@@ -1,0 +1,296 @@
+//! Structural query automorphisms (Definition 6.8) and structural
+//! subsumption via Lemma 6.9: `u` structurally subsumes `v` iff some
+//! structural query automorphism maps `v` to `u`.
+
+use fx_xpath::{Axis, NodeTest, Query, QueryNodeId};
+use std::collections::HashMap;
+
+/// A structural query automorphism as an explicit mapping.
+pub type Automorphism = HashMap<QueryNodeId, QueryNodeId>;
+
+/// Constraint-satisfaction engine for automorphism existence. Mirrors the
+/// matching machinery in `fx-eval` but maps the query into itself.
+pub struct AutomorphismFinder<'a> {
+    q: &'a Query,
+    memo: HashMap<(QueryNodeId, QueryNodeId), bool>,
+}
+
+impl<'a> AutomorphismFinder<'a> {
+    /// Creates a finder for `q`.
+    pub fn new(q: &'a Query) -> Self {
+        AutomorphismFinder { q, memo: HashMap::new() }
+    }
+
+    /// Can the subtree rooted at `w` be mapped onto targets under `t` with
+    /// `ψ(w) = t`, respecting node tests and (for the subtree-internal
+    /// steps) axes?
+    fn embeds(&mut self, w: QueryNodeId, t: QueryNodeId) -> bool {
+        if let Some(&hit) = self.memo.get(&(w, t)) {
+            return hit;
+        }
+        self.memo.insert((w, t), false);
+        let ok = self.check(w, t);
+        self.memo.insert((w, t), ok);
+        ok
+    }
+
+    fn check(&mut self, w: QueryNodeId, t: QueryNodeId) -> bool {
+        // Node test preservation: a non-wildcard test must be preserved
+        // exactly. A wildcard node may map to any node.
+        if let Some(NodeTest::Name(n)) = self.q.ntest(w) {
+            if self.q.ntest(t) != Some(&NodeTest::Name(n.clone())) {
+                return false;
+            }
+        }
+        // Targets must not be the query root unless w is (roots have no
+        // axis/node test, so only root maps to root).
+        if (t == self.q.root()) != (w == self.q.root()) {
+            return false;
+        }
+        for c in self.q.children(w).to_vec() {
+            if !self.child_has_target(c, t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does child `c` (of the source) have a valid target below `t`?
+    fn child_has_target(&mut self, c: QueryNodeId, t: QueryNodeId) -> bool {
+        match self.q.axis(c).expect("children have axes") {
+            Axis::Child => {
+                // ψ(c) must be a child of ψ(parent) with a child axis.
+                self.q
+                    .children(t)
+                    .to_vec()
+                    .into_iter()
+                    .any(|tc| self.q.axis(tc) == Some(Axis::Child) && self.embeds(c, tc))
+            }
+            Axis::Attribute => self
+                .q
+                .children(t)
+                .to_vec()
+                .into_iter()
+                .any(|tc| self.q.axis(tc) == Some(Axis::Attribute) && self.embeds(c, tc)),
+            Axis::Descendant => {
+                // ψ(c) must be a (proper) descendant of ψ(parent) with axis
+                // in {child, descendant}.
+                self.descendant_targets(t)
+                    .into_iter()
+                    .any(|tc| {
+                        matches!(self.q.axis(tc), Some(Axis::Child | Axis::Descendant))
+                            && self.embeds(c, tc)
+                    })
+            }
+        }
+    }
+
+    fn descendant_targets(&self, t: QueryNodeId) -> Vec<QueryNodeId> {
+        self.q.preorder(t).into_iter().filter(|&n| n != t).collect()
+    }
+
+    /// Does a structural query automorphism with `ψ(v) = u` exist?
+    /// (Lemma 6.9: iff `u` structurally subsumes `v`.)
+    pub fn exists_mapping(&mut self, v: QueryNodeId, u: QueryNodeId) -> bool {
+        self.constrained(self.q.root(), self.q.root(), v, u)
+    }
+
+    /// Automorphism of the whole query with the constraint ψ(v) = u, where
+    /// the search walks the path from the root to v.
+    fn constrained(&mut self, w: QueryNodeId, t: QueryNodeId, v: QueryNodeId, u: QueryNodeId) -> bool {
+        if w == v {
+            return t == u && self.embeds(w, t);
+        }
+        // Local checks at w → t.
+        if let Some(NodeTest::Name(n)) = self.q.ntest(w) {
+            if self.q.ntest(t) != Some(&NodeTest::Name(n.clone())) {
+                return false;
+            }
+        }
+        if (t == self.q.root()) != (w == self.q.root()) {
+            return false;
+        }
+        let path = self.q.path(v);
+        let Some(pos) = path.iter().position(|&n| n == w) else {
+            return false;
+        };
+        let next = path[pos + 1];
+        for c in self.q.children(w).to_vec() {
+            let ok = if c == next {
+                self.child_target_constrained(c, t, v, u)
+            } else {
+                self.child_has_target(c, t)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn child_target_constrained(
+        &mut self,
+        c: QueryNodeId,
+        t: QueryNodeId,
+        v: QueryNodeId,
+        u: QueryNodeId,
+    ) -> bool {
+        let candidates: Vec<QueryNodeId> = match self.q.axis(c).expect("children have axes") {
+            Axis::Child => self
+                .q
+                .children(t)
+                .iter()
+                .copied()
+                .filter(|&tc| self.q.axis(tc) == Some(Axis::Child))
+                .collect(),
+            Axis::Attribute => self
+                .q
+                .children(t)
+                .iter()
+                .copied()
+                .filter(|&tc| self.q.axis(tc) == Some(Axis::Attribute))
+                .collect(),
+            Axis::Descendant => self
+                .descendant_targets(t)
+                .into_iter()
+                .filter(|&tc| matches!(self.q.axis(tc), Some(Axis::Child | Axis::Descendant)))
+                .collect(),
+        };
+        candidates.into_iter().any(|tc| self.constrained(c, tc, v, u))
+    }
+}
+
+/// The structural domination set `SDOM(u)` (Def. 5.15), *excluding* `u`
+/// itself: all nodes `v ≠ u` that `u` structurally subsumes.
+pub fn structural_domination_set(q: &Query, u: QueryNodeId) -> Vec<QueryNodeId> {
+    let mut finder = AutomorphismFinder::new(q);
+    q.all_nodes().filter(|&v| v != u && finder.exists_mapping(v, u)).collect()
+}
+
+/// The leaves of `SDOM(u)` — the set `L_u` of Definitions 5.16/5.17.
+pub fn dominated_leaves(q: &Query, u: QueryNodeId) -> Vec<QueryNodeId> {
+    structural_domination_set(q, u).into_iter().filter(|&v| q.is_leaf(v)).collect()
+}
+
+/// True when some *non-trivial* structural automorphism pair exists, i.e.
+/// some node structurally subsumes another.
+pub fn has_structural_subsumption(q: &Query) -> bool {
+    q.all_nodes().any(|u| !structural_domination_set(q, u).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn paper_example_b_and_descendant_b() {
+        // §6.3 example: in /a[b and .//b], a non-trivial automorphism maps
+        // both b's onto the left (child-axis) b. So the child b subsumes
+        // the descendant b, not vice versa.
+        let query = q("/a[b and .//b]");
+        let a = query.successor(query.root()).unwrap();
+        let b_child = query.predicate_children(a)[0];
+        let b_desc = query.predicate_children(a)[1];
+        assert_eq!(query.axis(b_child), Some(Axis::Child));
+        assert_eq!(query.axis(b_desc), Some(Axis::Descendant));
+        let dom_child = structural_domination_set(&query, b_child);
+        assert_eq!(dom_child, vec![b_desc]);
+        let dom_desc = structural_domination_set(&query, b_desc);
+        assert!(dom_desc.is_empty());
+    }
+
+    #[test]
+    fn canonical_example_subsumptions() {
+        // §6.4.1: in /a[*/b > 5 and c/b//d > 12 and .//d < 30], the second
+        // b structurally subsumes the first b (a leaf), and the first d
+        // structurally subsumes the second d (a leaf).
+        let query = q("/a[*/b > 5 and c/b//d > 12 and .//d < 30]");
+        let a = query.successor(query.root()).unwrap();
+        let pc = query.predicate_children(a);
+        let star = pc[0];
+        let b1 = query.successor(star).unwrap();
+        let c = pc[1];
+        let b2 = query.successor(c).unwrap();
+        let d1 = query.successor(b2).unwrap();
+        let d2 = pc[2];
+        assert_eq!(structural_domination_set(&query, b2), vec![b1]);
+        assert_eq!(structural_domination_set(&query, d1), vec![d2]);
+        assert!(structural_domination_set(&query, b1).is_empty());
+        assert!(structural_domination_set(&query, d2).is_empty());
+        assert_eq!(dominated_leaves(&query, b2), vec![b1]);
+        assert_eq!(dominated_leaves(&query, d1), vec![d2]);
+    }
+
+    #[test]
+    fn no_subsumption_in_distinct_names() {
+        let query = q("/a[b and c]");
+        assert!(!has_structural_subsumption(&query));
+    }
+
+    #[test]
+    fn identical_siblings_subsume_each_other() {
+        // /a[b = 5 and .//b = 3]: structurally the child b subsumes the
+        // descendant b (§5.5 example).
+        let query = q("/a[b = 5 and .//b = 3]");
+        let a = query.successor(query.root()).unwrap();
+        let b1 = query.predicate_children(a)[0];
+        let b2 = query.predicate_children(a)[1];
+        assert!(AutomorphismFinder::new(&query).exists_mapping(b2, b1));
+        assert!(!AutomorphismFinder::new(&query).exists_mapping(b1, b2));
+    }
+
+    #[test]
+    fn wildcard_can_absorb_names() {
+        // Q' = /a[c[.//* and f] and b > 5] from §4.1: the f node maps onto
+        // the wildcard? No — the wildcard (descendant axis) can absorb f:
+        // ψ(f) can be... f has child axis, target must have child axis.
+        // The wildcard has a descendant axis, so f cannot map onto it; but
+        // the *wildcard* node maps onto f (wildcard passes any test).
+        let query = q("/a[c[.//* and f] and b > 5]");
+        let a = query.successor(query.root()).unwrap();
+        let c = query.predicate_children(a)[0];
+        let star = query.predicate_children(c)[0];
+        let f = query.predicate_children(c)[1];
+        // f structurally subsumes the wildcard node (any doc node matching
+        // f also matches *).
+        assert!(AutomorphismFinder::new(&query).exists_mapping(star, f));
+        assert!(structural_domination_set(&query, f).contains(&star));
+    }
+
+    #[test]
+    fn depth_monotonicity_of_automorphisms() {
+        // Proposition 6.10: DEPTH(v) ≥ DEPTH(ψ(v)) for v ↦ u mappings we
+        // find. Spot-check: in /a[b and .//b], both b's have equal depth.
+        let query = q("//x[.//y[z] and y[z]]");
+        let x = query.successor(query.root()).unwrap();
+        let y_desc = query.predicate_children(x)[0];
+        let y_child = query.predicate_children(x)[1];
+        // The child-axis y subsumes the descendant-axis y.
+        assert!(AutomorphismFinder::new(&query).exists_mapping(y_desc, y_child));
+        assert!(query.depth(y_desc) <= query.depth(y_child));
+    }
+
+    #[test]
+    fn subtree_structure_must_embed() {
+        // y[z] does not subsume a bare .//y (the bare y lacks a z child —
+        // wait, subsumption means every match of y[z]'s *target*…).
+        // u subsumes v iff ψ(v) = u exists. For ψ(v)=u with v = y[z],
+        // the whole subtree of v must embed at u = bare y: z needs a
+        // child-axis target under bare y — none. So bare-y does not
+        // structurally subsume y[z]… mapping ψ(v)=u requires embedding
+        // Q_v at u.
+        let query = q("//x[.//y[z] and .//y]");
+        let x = query.successor(query.root()).unwrap();
+        let y_with_z = query.predicate_children(x)[0];
+        let y_bare = query.predicate_children(x)[1];
+        // ψ(y_with_z) = y_bare impossible (z has no target).
+        assert!(!AutomorphismFinder::new(&query).exists_mapping(y_with_z, y_bare));
+        // ψ(y_bare) = y_with_z is fine (bare .//y embeds anywhere named y).
+        assert!(AutomorphismFinder::new(&query).exists_mapping(y_bare, y_with_z));
+    }
+}

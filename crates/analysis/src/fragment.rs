@@ -1,0 +1,254 @@
+//! The restriction checks defining Redundancy-free XPath (Definition 5.1):
+//! star-restricted (5.2), conjunctive (5.4), univariate (5.5), and
+//! leaf-only-value-restricted (5.7). Strong subsumption-freeness (5.18) is
+//! in [`crate::subsumption`]; the aggregate check is
+//! [`crate::redundancy_free`].
+
+use fx_eval::truth::{constraining_predicate, is_atomic, TruthError};
+use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
+
+/// A reason a query falls outside a fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentViolation {
+    /// A wildcard node is a leaf (Def. 5.2 (1)).
+    WildcardLeaf(QueryNodeId),
+    /// A wildcard node has a descendant axis (Def. 5.2 (2)).
+    WildcardDescendantAxis(QueryNodeId),
+    /// A wildcard node has a child with a descendant axis (Def. 5.2 (3)).
+    WildcardChildDescendantAxis(QueryNodeId),
+    /// A predicate contains `or`/`not` or otherwise fails to be a
+    /// conjunction of atomic predicates (Def. 5.4).
+    NotConjunctive(QueryNodeId),
+    /// An atomic predicate references more than one variable (Def. 5.5).
+    NotUnivariate(QueryNodeId),
+    /// An internal node is value-restricted (Def. 5.7).
+    InternalValueRestricted(QueryNodeId),
+    /// The sunflower property fails at a leaf (Def. 5.16) — no witness
+    /// value in `TRUTH(u)` outside the dominated leaves' truth sets.
+    SunflowerFails(QueryNodeId),
+    /// The prefix sunflower property fails at an internal node (Def. 5.17).
+    PrefixSunflowerFails(QueryNodeId),
+    /// Truth sets could not be analyzed.
+    Truth(String),
+}
+
+impl std::fmt::Display for FragmentViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use FragmentViolation::*;
+        match self {
+            WildcardLeaf(u) => write!(f, "wildcard node {u} is a leaf"),
+            WildcardDescendantAxis(u) => write!(f, "wildcard node {u} has a descendant axis"),
+            WildcardChildDescendantAxis(u) => {
+                write!(f, "wildcard node {u} has a child with a descendant axis")
+            }
+            NotConjunctive(u) => write!(f, "predicate of {u} is not a conjunction of atomic predicates"),
+            NotUnivariate(u) => write!(f, "an atomic predicate of {u} has more than one variable"),
+            InternalValueRestricted(u) => write!(f, "internal node {u} is value-restricted"),
+            SunflowerFails(u) => write!(f, "sunflower property fails at leaf {u}"),
+            PrefixSunflowerFails(u) => write!(f, "prefix sunflower property fails at internal node {u}"),
+            Truth(m) => write!(f, "truth-set analysis failed: {m}"),
+        }
+    }
+}
+
+impl From<TruthError> for FragmentViolation {
+    fn from(e: TruthError) -> Self {
+        FragmentViolation::Truth(e.to_string())
+    }
+}
+
+/// Definition 5.2: no wildcard node is a leaf, has a descendant axis, or
+/// has a child with a descendant axis. (Path expressions like `a/*`,
+/// `a//*/b`, and `a/*//b` are disallowed.)
+pub fn star_restricted(q: &Query) -> Vec<FragmentViolation> {
+    let mut out = Vec::new();
+    for u in q.all_nodes() {
+        if !matches!(q.ntest(u), Some(NodeTest::Wildcard)) {
+            continue;
+        }
+        if q.is_leaf(u) {
+            out.push(FragmentViolation::WildcardLeaf(u));
+        }
+        if q.axis(u) == Some(Axis::Descendant) {
+            out.push(FragmentViolation::WildcardDescendantAxis(u));
+        }
+        if q.children(u).iter().any(|&c| q.axis(c) == Some(Axis::Descendant)) {
+            out.push(FragmentViolation::WildcardChildDescendantAxis(u));
+        }
+    }
+    out
+}
+
+/// Definition 5.4: every predicate is an atomic predicate or a conjunction
+/// of atomic predicates.
+pub fn conjunctive(q: &Query) -> Vec<FragmentViolation> {
+    let mut out = Vec::new();
+    for u in q.all_nodes() {
+        if let Some(pred) = q.predicate(u) {
+            if !pred.conjuncts().iter().all(|c| is_atomic(c)) {
+                out.push(FragmentViolation::NotConjunctive(u));
+            }
+        }
+    }
+    out
+}
+
+/// Definition 5.5: every atomic predicate has at most one variable. (Only
+/// meaningful for conjunctive queries; non-conjunctive predicates are
+/// reported by [`conjunctive`].)
+pub fn univariate(q: &Query) -> Vec<FragmentViolation> {
+    let mut out = Vec::new();
+    for u in q.all_nodes() {
+        if let Some(pred) = q.predicate(u) {
+            for c in pred.conjuncts() {
+                if is_atomic(c) && c.vars().len() > 1 {
+                    out.push(FragmentViolation::NotUnivariate(u));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Definition 5.7: no internal node is value-restricted.
+pub fn leaf_only_value_restricted(q: &Query) -> Vec<FragmentViolation> {
+    let mut out = Vec::new();
+    for u in q.all_nodes() {
+        if q.is_leaf(u) {
+            continue;
+        }
+        match constraining_predicate(q, u) {
+            Ok(Some(_)) => out.push(FragmentViolation::InternalValueRestricted(u)),
+            Ok(None) => {}
+            Err(e) => out.push(e.into()),
+        }
+    }
+    out
+}
+
+/// True if the query never uses the descendant axis (Def. 8.7).
+pub fn closure_free(q: &Query) -> bool {
+    q.all_nodes().all(|u| q.axis(u) != Some(Axis::Descendant))
+}
+
+/// §7.2.1 Recursive XPath: returns the distinguished node `v` — a node
+/// such that (1) `v` or one of its ancestors has a descendant axis, and
+/// (2) `v` has at least two children with a child axis — if one exists.
+pub fn recursive_xpath_node(q: &Query) -> Option<QueryNodeId> {
+    q.all_nodes().find(|&v| {
+        let under_descendant =
+            q.path(v).iter().any(|&n| q.axis(n) == Some(Axis::Descendant));
+        let child_children =
+            q.children(v).iter().filter(|&&c| q.axis(c) == Some(Axis::Child)).count();
+        under_descendant && child_children >= 2
+    })
+}
+
+/// Theorem 7.14 eligibility: a node `u` with a child axis such that neither
+/// `u` nor its parent has a wildcard node test. Returns such a `u`. The
+/// parent must be a proper (non-root) query node: the construction inserts
+/// auxiliary paths between `φ(PARENT(u))` and `φ(u)`, which requires
+/// `φ(PARENT(u))` to be an element.
+pub fn depth_theorem_node(q: &Query) -> Option<QueryNodeId> {
+    q.all_nodes().find(|&u| {
+        q.axis(u) == Some(Axis::Child)
+            && matches!(q.ntest(u), Some(NodeTest::Name(_)))
+            && q.parent(u)
+                .is_some_and(|p| p != q.root() && matches!(q.ntest(p), Some(NodeTest::Name(_))))
+    })
+}
+
+/// Collects the variables of each atomic predicate of `u` along with the
+/// conjunct expression (helper shared by analyses).
+pub fn atomic_conjuncts(q: &Query, u: QueryNodeId) -> Vec<(Expr, Vec<QueryNodeId>)> {
+    q.predicate(u)
+        .map(|p| p.conjuncts().into_iter().map(|c| (c.clone(), c.vars())).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn star_restriction_examples() {
+        // Paper: a/*, a//*/b, a/*//b are disallowed.
+        assert!(!star_restricted(&q("/a/*")).is_empty());
+        assert!(!star_restricted(&q("/a//*/b")).is_empty());
+        assert!(!star_restricted(&q("/a/*//b")).is_empty());
+        // a/*/b is fine.
+        assert!(star_restricted(&q("/a/*/b")).is_empty());
+        assert!(star_restricted(&q("/a[*/b > 5]")).is_empty());
+        // The problematic mix from §5: [a//*].
+        assert!(!star_restricted(&q("/r[a//*]")).is_empty());
+    }
+
+    #[test]
+    fn conjunctive_examples() {
+        assert!(conjunctive(&q("/a[b > 5 and c + 1 = 7]")).is_empty());
+        assert!(!conjunctive(&q("/a[b or c]")).is_empty());
+        assert!(!conjunctive(&q("/a[not(b)]")).is_empty());
+        // Boolean nested under arithmetic: 1 - (a > 5) (§5.2 example).
+        assert!(!conjunctive(&q("/a[1 - (b > 5) = 0]")).is_empty());
+    }
+
+    #[test]
+    fn univariate_examples() {
+        // §5.3: "b > 5" univariate; "c + d = 7" is not.
+        assert!(univariate(&q("/a[b > 5]")).is_empty());
+        assert!(!univariate(&q("/a[b > 5 and c + d = 7]")).is_empty());
+        // [a//b] is univariate: only a is a variable (b is a successor).
+        assert!(univariate(&q("/r[a//b]")).is_empty());
+    }
+
+    #[test]
+    fn leaf_only_value_restricted_examples() {
+        // §5.4: /a[b[c] > 5] is not LOVR; /a[b[c > 5]] is.
+        assert!(!leaf_only_value_restricted(&q("/a[b[c] > 5]")).is_empty());
+        assert!(leaf_only_value_restricted(&q("/a[b[c > 5]]")).is_empty());
+        assert!(leaf_only_value_restricted(&q("/a[b > 5]")).is_empty());
+    }
+
+    #[test]
+    fn closure_free_examples() {
+        assert!(closure_free(&q("/a/b[c]")));
+        assert!(!closure_free(&q("//a")));
+        assert!(!closure_free(&q("/a[.//b]")));
+    }
+
+    #[test]
+    fn recursive_xpath_detection() {
+        // //a[b and c]: v = a.
+        let query = q("//a[b and c]");
+        let v = recursive_xpath_node(&query).unwrap();
+        assert_eq!(query.ntest(v), Some(&NodeTest::Name("a".into())));
+        // //d[f and a[b and c]]: both d and a qualify; some node returned.
+        assert!(recursive_xpath_node(&q("//d[f and a[b and c]]")).is_some());
+        // //a and //a//b do not qualify (the paper's remark).
+        assert!(recursive_xpath_node(&q("//a")).is_none());
+        assert!(recursive_xpath_node(&q("//a//b")).is_none());
+        // /a[b and c] has no descendant axis on the path.
+        assert!(recursive_xpath_node(&q("/a[b and c]")).is_none());
+    }
+
+    #[test]
+    fn depth_theorem_detection() {
+        // /a/b qualifies at b (parent a is named).
+        assert!(depth_theorem_node(&q("/a/b")).is_some());
+        // //a, */a, a/* do not (the §7.3 remark); //a//b neither.
+        assert!(depth_theorem_node(&q("//a")).is_none());
+        assert!(depth_theorem_node(&q("/*/a")).is_none());
+        assert!(depth_theorem_node(&q("//a//b")).is_none());
+        // //a/b qualifies at b.
+        assert!(depth_theorem_node(&q("//a/b")).is_some());
+        // /a alone does not: the construction needs an element above φ(u),
+        // and /a can be decided with O(1) bits regardless of depth.
+        assert!(depth_theorem_node(&q("/a")).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! The strawman baseline: buffer the entire document and evaluate in
+//! memory at `endDocument`. Handles the full query language but uses
+//! `Θ(|D|)` space — the gap to the paper's `O(|Q|·r·log d)` is what the
+//! whole line of work is about.
+
+use crate::traits::BooleanStreamFilter;
+use fx_xml::Event;
+use fx_xpath::Query;
+
+/// A filter that materializes the document and defers to the reference
+/// evaluator.
+#[derive(Debug, Clone)]
+pub struct BufferingFilter {
+    query: Query,
+    events: Vec<Event>,
+    bytes: usize,
+    max_bytes: usize,
+    result: Option<bool>,
+}
+
+impl BufferingFilter {
+    /// Creates the filter (any Forward XPath query).
+    pub fn new(q: &Query) -> BufferingFilter {
+        BufferingFilter { query: q.clone(), events: Vec::new(), bytes: 0, max_bytes: 0, result: None }
+    }
+}
+
+fn event_bytes(e: &Event) -> usize {
+    match e {
+        Event::StartDocument | Event::EndDocument => 1,
+        Event::StartElement { name, attributes } => {
+            name.len() + attributes.iter().map(|a| a.name.len() + a.value.len()).sum::<usize>() + 2
+        }
+        Event::EndElement { name } => name.len() + 3,
+        Event::Text { content } => content.len(),
+    }
+}
+
+impl BooleanStreamFilter for BufferingFilter {
+    fn process(&mut self, event: &Event) {
+        match event {
+            Event::StartDocument => {
+                self.events.clear();
+                self.bytes = 0;
+                self.result = None;
+                self.events.push(event.clone());
+            }
+            Event::EndDocument => {
+                self.events.push(event.clone());
+                let doc = fx_dom::Document::from_sax(&self.events)
+                    .expect("buffered stream is well-formed");
+                self.result = Some(fx_eval::bool_eval(&self.query, &doc).unwrap_or(false));
+                self.events.clear();
+            }
+            other => {
+                self.bytes += event_bytes(other);
+                self.max_bytes = self.max_bytes.max(self.bytes);
+                self.events.push(other.clone());
+            }
+        }
+    }
+
+    fn verdict(&self) -> Option<bool> {
+        self.result
+    }
+
+    fn peak_memory_bits(&self) -> u64 {
+        self.max_bytes as u64 * 8
+    }
+
+    fn label(&self) -> &'static str {
+        "buffer-all"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn agrees_with_streaming_filter() {
+        let queries = ["/a[b and c]", "//a[b and c]", "/a[b > 5]", "/a/b/c"];
+        let docs =
+            ["<a><b>6</b><c/></a>", "<a><b>2</b></a>", "<a><a><b/><c/></a></a>", "<a><b><c/></b></a>"];
+        for qs in queries {
+            let q = parse_query(qs).unwrap();
+            for xml in docs {
+                let events = fx_xml::parse(xml).unwrap();
+                let mut buf = BufferingFilter::new(&q);
+                let mut stream = fx_core::StreamFilter::new(&q).unwrap();
+                assert_eq!(buf.run_stream(&events), stream.run_stream(&events), "{qs} on {xml}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_document_size() {
+        let q = parse_query("/r[a]").unwrap();
+        let small = fx_xml::parse(&format!("<r>{}</r>", "<a/>".repeat(10))).unwrap();
+        let large = fx_xml::parse(&format!("<r>{}</r>", "<a/>".repeat(1000))).unwrap();
+        let mut f1 = BufferingFilter::new(&q);
+        f1.run_stream(&small);
+        let mut f2 = BufferingFilter::new(&q);
+        f2.run_stream(&large);
+        assert!(f2.peak_memory_bits() > 50 * f1.peak_memory_bits());
+        // The streaming filter's memory is flat across the same pair.
+        let mut s1 = fx_core::StreamFilter::new(&q).unwrap();
+        s1.run_stream(&small);
+        let mut s2 = fx_core::StreamFilter::new(&q).unwrap();
+        s2.run_stream(&large);
+        assert_eq!(s1.peak_memory_bits(), s2.peak_memory_bits());
+    }
+}

@@ -1,0 +1,59 @@
+//! A common interface over boolean streaming filters, so the lower-bound
+//! prober and the benchmark harness can treat the paper's algorithm and
+//! the automata baselines uniformly.
+
+use fx_xml::Event;
+
+/// A streaming algorithm computing `BOOLEVAL_Q` over SAX events.
+pub trait BooleanStreamFilter {
+    /// Feeds one event. A `StartDocument` resets internal state.
+    fn process(&mut self, event: &Event);
+    /// The verdict, available after `EndDocument`.
+    fn verdict(&self) -> Option<bool>;
+    /// Peak logical memory, in bits (the quantity the paper bounds).
+    fn peak_memory_bits(&self) -> u64;
+    /// A short label for reports.
+    fn label(&self) -> &'static str;
+
+    /// Feeds a whole stream and returns the verdict.
+    fn run_stream(&mut self, events: &[Event]) -> Option<bool> {
+        for e in events {
+            self.process(e);
+        }
+        self.verdict()
+    }
+}
+
+impl BooleanStreamFilter for fx_core::StreamFilter {
+    fn process(&mut self, event: &Event) {
+        fx_core::StreamFilter::process(self, event);
+    }
+
+    fn verdict(&self) -> Option<bool> {
+        self.result()
+    }
+
+    fn peak_memory_bits(&self) -> u64 {
+        self.stats().max_bits
+    }
+
+    fn label(&self) -> &'static str {
+        "frontier-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn stream_filter_implements_the_trait() {
+        let q = parse_query("/a[b]").unwrap();
+        let mut f = fx_core::StreamFilter::new(&q).unwrap();
+        let events = fx_xml::parse("<a><b/></a>").unwrap();
+        assert_eq!(f.run_stream(&events), Some(true));
+        assert!(f.peak_memory_bits() > 0);
+        assert_eq!(f.label(), "frontier-filter");
+    }
+}

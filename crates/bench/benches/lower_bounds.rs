@@ -1,0 +1,111 @@
+//! Experiments E1–E3 as benchmarks: the cost of building and verifying
+//! the lower-bound constructions, and of probing the filter's state space
+//! (these also serve as regression guards for the constructions' sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fx_core::StreamFilter;
+use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
+use fx_xpath::parse_query;
+
+fn bench_frontier_construction(c: &mut Criterion) {
+    let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+    let mut group = c.benchmark_group("lower_bounds/frontier_simple");
+    group.bench_function("build", |b| {
+        b.iter(|| frontier_bound(&q, None).unwrap());
+    });
+    let fb = frontier_bound(&q, None).unwrap();
+    group.bench_function("verify", |b| {
+        b.iter(|| fb.fooling.verify(&q).unwrap());
+    });
+    group.bench_function("probe", |b| {
+        b.iter(|| probe_fooling_set(|| StreamFilter::new(&q).unwrap(), &fb.fooling));
+    });
+    group.finish();
+}
+
+fn bench_disj_documents(c: &mut Criterion) {
+    let q = parse_query("//a[b and c]").unwrap();
+    let seg = disj_segments(&q).unwrap();
+    let mut group = c.benchmark_group("lower_bounds/recursion");
+    for r in [16usize, 256, 4096] {
+        let s = vec![true; r];
+        let t = vec![false; r];
+        group.bench_with_input(BenchmarkId::new("build_and_filter", r), &r, |b, _| {
+            b.iter(|| {
+                let events = seg.document(&s, &t);
+                let mut f = StreamFilter::new(&q).unwrap();
+                f.process_all(&events);
+                f.result()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_documents(c: &mut Criterion) {
+    let q = parse_query("/a/b").unwrap();
+    let db = depth_bound(&q).unwrap();
+    let mut group = c.benchmark_group("lower_bounds/depth");
+    for d in [64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("build_and_filter", d), &d, |b, _| {
+            b.iter(|| {
+                let events = db.document(d - 1);
+                let mut f = StreamFilter::new(&q).unwrap();
+                f.process_all(&events);
+                f.result()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dfa_blowup(c: &mut Criterion) {
+    // E9's cost side: materializing the exponential DFA vs compiling the
+    // frontier filter.
+    let mut group = c.benchmark_group("baselines/dfa_blowup");
+    for k in [4usize, 8] {
+        let stars = "/*".repeat(k);
+        let q = parse_query(&format!("//a{stars}/b")).unwrap();
+        group.bench_with_input(BenchmarkId::new("materialize_dfa", k), &k, |b, _| {
+            b.iter(|| {
+                let mut dfa = fx_automata::LazyDfaFilter::new(&q).unwrap();
+                dfa.materialize(&["a", "b"])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("compile_frontier", k), &k, |b, _| {
+            b.iter(|| StreamFilter::new(&q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E12 ablation: the runtime cost of full evaluation (position
+/// reporting) over pure filtering, on a pending-heavy document.
+fn bench_reporting_ablation(c: &mut Criterion) {
+    let q = parse_query("/a[x]/b").unwrap();
+    let xml = format!("<a>{}<x/></a>", "<b/>".repeat(500));
+    let events = fx_xml::parse(&xml).unwrap();
+    let mut group = c.benchmark_group("ablation/full_eval");
+    group.bench_function("filter_only", |b| {
+        let mut f = StreamFilter::new(&q).unwrap();
+        b.iter(|| {
+            f.process_all(&events);
+            f.result()
+        });
+    });
+    group.bench_function("with_positions", |b| {
+        let mut f = StreamFilter::new_reporting(&q).unwrap();
+        b.iter(|| {
+            f.process_all(&events);
+            f.matched_positions().map(|p| p.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_frontier_construction, bench_disj_documents, bench_depth_documents, bench_dfa_blowup, bench_reporting_ablation
+}
+criterion_main!(benches);

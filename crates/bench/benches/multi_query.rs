@@ -1,0 +1,37 @@
+//! Experiment E11: multi-query dissemination — throughput vs. the number
+//! of concurrently registered queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fx_core::MultiFilter;
+use fx_workloads as wl;
+use fx_xpath::Query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_bank_sizes(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1101);
+    let doc = wl::auction_site(&mut rng, &wl::XmarkConfig::default());
+    let events = doc.to_events();
+    let mut group = c.benchmark_group("multi_query");
+    for n in [1usize, 16, 128] {
+        let cfg = wl::RandomQueryConfig { max_nodes: 6, ..Default::default() };
+        let queries: Vec<Query> =
+            (0..n).map(|_| wl::random_redundancy_free(&mut rng, &cfg)).collect();
+        group.throughput(Throughput::Elements((events.len() * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, qs| {
+            let mut bank = MultiFilter::new(qs).unwrap();
+            b.iter(|| {
+                bank.process_all(&events);
+                bank.matching_queries().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_bank_sizes
+}
+criterion_main!(benches);

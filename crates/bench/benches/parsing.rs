@@ -1,0 +1,55 @@
+//! Substrate benchmarks: XML event parsing and XPath query parsing (not
+//! in the paper, but they dominate end-to-end latency and guard the
+//! substrate against regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fx_workloads as wl;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let doc = wl::auction_site(
+        &mut rng,
+        &wl::XmarkConfig { items: 40, auctions: 30, people: 20, category_depth: 4 },
+    );
+    let xml = doc.to_xml();
+    let mut group = c.benchmark_group("parsing/xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse", |b| b.iter(|| fx_xml::parse(&xml).unwrap()));
+    let events = doc.to_events();
+    group.bench_function("write", |b| b.iter(|| fx_xml::to_xml(&events).unwrap()));
+    group.bench_function("build_dom", |b| b.iter(|| fx_dom::from_events(&events).unwrap()));
+    group.finish();
+}
+
+fn bench_query_parse(c: &mut Criterion) {
+    let sources = [
+        "/a/b",
+        "//item[price > 300]",
+        "/a[c[.//e and f] and b > 5]/b",
+        "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+        "/a[matches(b, \"^A.*B$\") and starts-with(c, \"x\") and d + 2 * 3 = 8]",
+    ];
+    let mut group = c.benchmark_group("parsing/xpath");
+    group.bench_function("parse_5_queries", |b| {
+        b.iter(|| {
+            sources.iter().map(|s| fx_xpath::parse_query(s).unwrap().len()).sum::<usize>()
+        })
+    });
+    let q = fx_xpath::parse_query(sources[3]).unwrap();
+    group.bench_function("analyze_redundancy_free", |b| {
+        b.iter(|| fx_analysis::redundancy_free(&q).len())
+    });
+    group.bench_function("canonical_document", |b| {
+        b.iter(|| fx_analysis::canonical_document(&q).unwrap().doc.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_xml_parse, bench_query_parse
+}
+criterion_main!(benches);

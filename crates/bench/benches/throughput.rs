@@ -1,0 +1,113 @@
+//! Experiment E10: filtering throughput — the Õ(|D|·|Q|·r) time claim of
+//! Theorem 8.8, and the engine comparison on linear and twig queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fx_automata::{BooleanStreamFilter, BufferingFilter, LazyDfaFilter, NfaFilter};
+use fx_core::StreamFilter;
+use fx_workloads as wl;
+use fx_xpath::parse_query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn xmark_events(scale: usize) -> Vec<fx_xml::Event> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    wl::auction_site(
+        &mut rng,
+        &wl::XmarkConfig {
+            items: 10 * scale,
+            auctions: 6 * scale,
+            people: 5 * scale,
+            category_depth: 4,
+        },
+    )
+    .to_events()
+}
+
+/// Engines on a twig query over XMark-lite documents of growing size.
+fn bench_twig_engines(c: &mut Criterion) {
+    let q = parse_query("//item[price > 300]").unwrap();
+    let mut group = c.benchmark_group("throughput/twig");
+    for scale in [1usize, 4, 16] {
+        let events = xmark_events(scale);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(BenchmarkId::new("frontier", scale), &events, |b, ev| {
+            let mut f = StreamFilter::new(&q).unwrap();
+            b.iter(|| {
+                f.process_all(ev);
+                f.result()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("buffer-all", scale), &events, |b, ev| {
+            let mut f = BufferingFilter::new(&q);
+            b.iter(|| f.run_stream(ev));
+        });
+    }
+    group.finish();
+}
+
+/// Engines on a linear query (where all four compete).
+fn bench_linear_engines(c: &mut Criterion) {
+    let q = parse_query("/site/regions/asia/item").unwrap();
+    let events = xmark_events(4);
+    let mut group = c.benchmark_group("throughput/linear");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("frontier", |b| {
+        let mut f = StreamFilter::new(&q).unwrap();
+        b.iter(|| {
+            f.process_all(&events);
+            f.result()
+        });
+    });
+    group.bench_function("nfa", |b| {
+        let mut f = NfaFilter::new(&q).unwrap();
+        b.iter(|| f.run_stream(&events));
+    });
+    group.bench_function("lazy-dfa", |b| {
+        let mut f = LazyDfaFilter::new(&q).unwrap();
+        b.iter(|| f.run_stream(&events));
+    });
+    group.finish();
+}
+
+/// Time scaling with recursion depth r (the r factor of Thm 8.8).
+fn bench_recursion_scaling(c: &mut Criterion) {
+    let q = parse_query("//a[b and c]").unwrap();
+    let mut group = c.benchmark_group("throughput/recursion");
+    for r in [1usize, 16, 64] {
+        let events = wl::nested("a", r, "<b/><c/>").to_events();
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &events, |b, ev| {
+            let mut f = StreamFilter::new(&q).unwrap();
+            b.iter(|| {
+                f.process_all(ev);
+                f.result()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Time scaling with query size |Q|.
+fn bench_query_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/query_size");
+    let events = xmark_events(2);
+    for k in [2usize, 8, 32] {
+        let q = wl::star(k);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &events, |b, ev| {
+            let mut f = StreamFilter::new(&q).unwrap();
+            b.iter(|| {
+                f.process_all(ev);
+                f.result()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_twig_engines, bench_linear_engines, bench_recursion_scaling, bench_query_size_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! # fx-bench
+//!
+//! The experiment harness: `cargo run -p fx-bench --bin experiments`
+//! regenerates every lower-bound table and upper-bound curve of the paper
+//! (experiments E1–E12 of `DESIGN.md`); the Criterion benches under
+//! `benches/` cover the timing claims of Theorem 8.8.
+
+#![warn(missing_docs)]
+
+use fx_automata::BooleanStreamFilter;
+use fx_xml::Event;
+use std::time::Instant;
+
+/// Measures throughput (events/second) of a filter over a pre-materialized
+/// stream, repeated until at least `min_duration` elapses.
+pub fn throughput<F: BooleanStreamFilter>(
+    filter: &mut F,
+    events: &[Event],
+    min_duration: std::time::Duration,
+) -> f64 {
+    let start = Instant::now();
+    let mut processed = 0u64;
+    while start.elapsed() < min_duration {
+        for e in events {
+            filter.process(e);
+        }
+        processed += events.len() as u64;
+    }
+    processed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Renders a ratio like "12.5x" with a sensible precision.
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        return "∞".to_string();
+    }
+    let r = a as f64 / b as f64;
+    if r >= 10.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(100, 10), "10x");
+        assert_eq!(ratio(15, 10), "1.5x");
+        assert_eq!(ratio(1, 0), "∞");
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let q = fx_xpath::parse_query("/a[b]").unwrap();
+        let mut f = fx_core::StreamFilter::new(&q).unwrap();
+        let events = fx_xml::parse("<a><b/></a>").unwrap();
+        let t = throughput(&mut f, &events, std::time::Duration::from_millis(10));
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,813 @@
+//! The streaming XPath filtering algorithm of Section 8.
+//!
+//! The algorithm gradually constructs a matching of the document with the
+//! query on a *frontier* of the query (§8.1). When a `startElement` event
+//! arrives for a document node `x`, every frontier record `u` for which `x`
+//! is a *candidate match* spawns records for `u`'s children; when the
+//! matching `endElement` arrives, those child records decide whether `x`
+//! turned into a *real match* for `u`. The document matches the query iff
+//! the query root's children are all matched at `endDocument`.
+//!
+//! The implementation follows the pseudocode of Figs. 20–21, with two
+//! corrections documented in `DESIGN.md`:
+//!
+//! 1. *match-flag clobbering*: Fig. 21 line 28 sets `urec.matched := m`,
+//!    which under recursion lets a failed outer candidate erase an inner
+//!    candidate's success; we accumulate `matched ∨= m`;
+//! 2. *buffer-offset overwrite*: Fig. 20 line 8 stores a single
+//!    `strValueStart` per record, which nested candidacies of a
+//!    descendant-axis leaf overwrite; we keep a stack of offsets.
+//!
+//! Neither changes the space complexity (Thm 8.8): the offset stack depth
+//! is bounded by the path recursion depth `r`, which the theorem already
+//! charges per record.
+
+use crate::reporter::{Frame, Reporter};
+use crate::space::SpaceStats;
+use fx_eval::truth::{constraining_predicate, TruthError};
+use std::collections::HashMap;
+use fx_xml::{Attribute, Event, SaxHandler};
+use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
+use std::fmt;
+
+/// Why a query cannot be handled by the streaming filter. The algorithm
+/// supports every leaf-only-value-restricted univariate conjunctive query
+/// (§8 intro).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsupportedQuery {
+    /// A predicate is not a conjunction of atomic predicates.
+    NotConjunctive(QueryNodeId),
+    /// An atomic predicate has more than one variable.
+    NotUnivariate(QueryNodeId),
+    /// An internal node is value-restricted.
+    NotLeafOnlyValueRestricted(QueryNodeId),
+    /// Position reporting was requested but the output node is reached
+    /// via an attribute axis (attributes carry no element ordinal).
+    AttributeOutput,
+}
+
+impl fmt::Display for UnsupportedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedQuery::NotConjunctive(u) => {
+                write!(f, "predicate of {u} is not conjunctive")
+            }
+            UnsupportedQuery::NotUnivariate(u) => {
+                write!(f, "predicate of {u} is not univariate")
+            }
+            UnsupportedQuery::NotLeafOnlyValueRestricted(u) => {
+                write!(f, "internal node {u} is value-restricted")
+            }
+            UnsupportedQuery::AttributeOutput => {
+                write!(f, "position reporting does not support attribute output nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedQuery {}
+
+/// A compiled query node: the per-node data the event handlers consult.
+#[derive(Debug, Clone)]
+struct CNode {
+    axis: Axis,
+    ntest: NodeTest,
+    children: Vec<u32>,
+    /// For leaves: the constraining atomic predicate and its variable, or
+    /// `None` when `TRUTH(u) = S` (any candidate is a real match).
+    leaf_predicate: Option<(Expr, QueryNodeId)>,
+    is_leaf: bool,
+}
+
+/// The compiled form of a query accepted by the filter.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    nodes: Vec<CNode>,
+    parents: Vec<u32>,
+    root_children: Vec<u32>,
+    /// The succession chain from the root to `OUT(Q)` (excluding the
+    /// root). `out_path[m-1]` is the output node.
+    pub(crate) out_path: Vec<u32>,
+    /// For each node: its 1-based index on the output path, if any.
+    pub(crate) path_index: Vec<Option<u16>>,
+    size: usize,
+    source: String,
+}
+
+impl CompiledQuery {
+    /// Compiles `q`, verifying it lies in the supported fragment.
+    pub fn compile(q: &Query) -> Result<CompiledQuery, UnsupportedQuery> {
+        // Fragment checks (§8: leaf-only-value-restricted univariate
+        // conjunctive).
+        for u in q.all_nodes() {
+            if let Some(p) = q.predicate(u) {
+                for c in p.conjuncts() {
+                    if !fx_eval::is_atomic(c) {
+                        return Err(UnsupportedQuery::NotConjunctive(u));
+                    }
+                    if c.vars().len() > 1 {
+                        return Err(UnsupportedQuery::NotUnivariate(u));
+                    }
+                }
+            }
+        }
+        let mut nodes = Vec::with_capacity(q.len());
+        for u in q.all_nodes() {
+            let leaf_predicate = match constraining_predicate(q, u) {
+                Ok(p) => p.map(|(var, e)| (e, var)),
+                Err(TruthError::NotUnivariate { node }) => {
+                    return Err(UnsupportedQuery::NotUnivariate(node))
+                }
+                Err(TruthError::NotAtomic { node }) => {
+                    return Err(UnsupportedQuery::NotConjunctive(node))
+                }
+                Err(TruthError::Eval(_)) => None,
+            };
+            let is_leaf = q.is_leaf(u);
+            if !is_leaf && leaf_predicate.is_some() {
+                return Err(UnsupportedQuery::NotLeafOnlyValueRestricted(u));
+            }
+            nodes.push(CNode {
+                axis: q.axis(u).unwrap_or(Axis::Child),
+                ntest: q.ntest(u).cloned().unwrap_or(NodeTest::Wildcard),
+                children: q.children(u).iter().map(|c| c.0).collect(),
+                leaf_predicate: if is_leaf { leaf_predicate } else { None },
+                is_leaf,
+            });
+        }
+        let root_children = nodes[0].children.clone();
+        let parents = q.all_nodes().map(|u| q.parent(u).unwrap_or(q.root()).0).collect();
+        let mut out_path = Vec::new();
+        let mut path_index = vec![None; q.len()];
+        let mut cur = q.root();
+        while let Some(next) = q.successor(cur) {
+            out_path.push(next.0);
+            path_index[next.index()] = Some(out_path.len() as u16);
+            cur = next;
+        }
+        Ok(CompiledQuery {
+            nodes,
+            parents,
+            root_children,
+            out_path,
+            path_index,
+            size: q.len(),
+            source: fx_xpath::to_xpath(q),
+        })
+    }
+
+    /// The query size `|Q|`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The XPath text the query was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+/// One row of the frontier table (§8.2), extended with the offset stack.
+#[derive(Debug, Clone)]
+pub struct FrontierRecord {
+    /// The query node this record tracks (`ref`).
+    pub node: u32,
+    /// Has a real match been found (`matched`)?
+    pub matched: bool,
+    /// The document level at which a child-axis candidate must appear;
+    /// for descendant-axis records, the insertion level (candidates may be
+    /// deeper).
+    pub level: usize,
+    /// Buffer offsets of the string values of currently-open candidacies
+    /// (leaf records only). Innermost last.
+    pub str_starts: Vec<usize>,
+}
+
+/// The streaming filter: feed it SAX events (or use [`StreamFilter::run`])
+/// and read the verdict at `endDocument`.
+#[derive(Debug, Clone)]
+pub struct StreamFilter {
+    query: CompiledQuery,
+    frontier: Vec<FrontierRecord>,
+    buffer: String,
+    buffer_refs: usize,
+    current_level: usize,
+    stats: SpaceStats,
+    result: Option<bool>,
+    /// Full-evaluation extension: present in reporting mode only.
+    reporter: Option<Reporter>,
+    /// Ordinal of the next element start (reporting mode).
+    element_ordinal: u64,
+    /// Old `matched` values of child-axis records removed at candidacy
+    /// start, so reporting mode can restore them at reinsertion (keyed by
+    /// (node, level), stack discipline).
+    removed_matched: Vec<(u32, usize, bool)>,
+    /// Cached: for each 1-based output-path index, whether that step has
+    /// a child axis.
+    out_axes_child: Vec<bool>,
+}
+
+impl StreamFilter {
+    /// Creates a filter for a supported query.
+    pub fn new(q: &Query) -> Result<StreamFilter, UnsupportedQuery> {
+        Ok(StreamFilter::from_compiled(CompiledQuery::compile(q)?))
+    }
+
+    /// Creates a filter from an already-compiled query (cheap; used by the
+    /// multi-query engine to share compilation).
+    pub fn from_compiled(query: CompiledQuery) -> StreamFilter {
+        let size = query.size();
+        let out_axes_child = query
+            .out_path
+            .iter()
+            .map(|&n| query.nodes[n as usize].axis != Axis::Descendant)
+            .collect();
+        StreamFilter {
+            query,
+            frontier: Vec::new(),
+            buffer: String::new(),
+            buffer_refs: 0,
+            current_level: 0,
+            stats: SpaceStats::new(size),
+            result: None,
+            reporter: None,
+            element_ordinal: 0,
+            removed_matched: Vec::new(),
+            out_axes_child,
+        }
+    }
+
+    /// Creates a filter in *reporting* mode: besides the boolean verdict,
+    /// it reports the element ordinals (0-based `startElement` positions)
+    /// of the nodes `FULLEVAL(Q, D)` selects. This is the full-evaluation
+    /// extension the paper sketches in §1; it buffers unresolved candidate
+    /// positions, the cost the paper's follow-up [5] proves unavoidable.
+    pub fn new_reporting(q: &Query) -> Result<StreamFilter, UnsupportedQuery> {
+        let mut f = StreamFilter::from_compiled(CompiledQuery::compile(q)?);
+        if f.query
+            .out_path
+            .iter()
+            .any(|&n| f.query.nodes[n as usize].axis == Axis::Attribute)
+        {
+            return Err(UnsupportedQuery::AttributeOutput);
+        }
+        f.reporter = Some(Reporter::default());
+        Ok(f)
+    }
+
+    /// One-shot full evaluation: the ordinals of selected elements.
+    pub fn run_reporting(q: &Query, events: &[Event]) -> Result<Vec<u64>, UnsupportedQuery> {
+        let mut f = StreamFilter::new_reporting(q)?;
+        f.process_all(events);
+        Ok(f.matched_positions().expect("endDocument delivers positions"))
+    }
+
+    /// In reporting mode, after `endDocument`: the sorted element
+    /// ordinals selected by `FULLEVAL(Q, D)`.
+    pub fn matched_positions(&self) -> Option<Vec<u64>> {
+        match (&self.reporter, self.result) {
+            (Some(rep), Some(_)) => Some(rep.results()),
+            _ => None,
+        }
+    }
+
+    /// Peak number of simultaneously buffered candidate positions
+    /// (reporting mode) — the [5] buffering cost.
+    pub fn peak_pending_positions(&self) -> usize {
+        self.reporter.as_ref().map_or(0, |r| r.max_pendings)
+    }
+
+    /// One-shot evaluation of `BOOLEVAL_Q` over an event stream.
+    pub fn run(q: &Query, events: &[Event]) -> Result<bool, UnsupportedQuery> {
+        let mut f = StreamFilter::new(q)?;
+        f.process_all(events);
+        Ok(f.result().expect("endDocument delivers a verdict"))
+    }
+
+    /// Feeds a slice of events.
+    pub fn process_all(&mut self, events: &[Event]) {
+        for e in events {
+            self.process(e);
+        }
+    }
+
+    /// Feeds one event.
+    pub fn process(&mut self, event: &Event) {
+        match event {
+            Event::StartDocument => self.start_document(),
+            Event::EndDocument => self.end_document(),
+            Event::StartElement { name, attributes } => self.start_element(name, attributes),
+            Event::EndElement { name } => self.end_element(name),
+            Event::Text { content } => self.text(content),
+        }
+        self.stats.events += 1;
+        let stacks: usize = self.frontier.iter().map(|r| r.str_starts.len()).sum();
+        self.stats.observe(self.frontier.len(), stacks, self.buffer.len(), self.current_level);
+    }
+
+    /// The verdict, available after `endDocument`.
+    pub fn result(&self) -> Option<bool> {
+        self.result
+    }
+
+    /// The space statistics gathered so far.
+    pub fn stats(&self) -> &SpaceStats {
+        &self.stats
+    }
+
+    /// A snapshot of the frontier table (for tracing, cf. Fig. 22).
+    pub fn frontier(&self) -> &[FrontierRecord] {
+        &self.frontier
+    }
+
+    /// Renders a frontier record's node test (for traces).
+    pub fn ntest_of(&self, node: u32) -> String {
+        self.query.nodes[node as usize].ntest.to_string()
+    }
+
+    // -- event handlers (Figs. 20–21) --------------------------------------
+
+    fn start_document(&mut self) {
+        // The document root is, by definition, the unique candidate match
+        // for ROOT(Q); its children enter the frontier at level 0.
+        self.frontier.clear();
+        self.buffer.clear();
+        self.buffer_refs = 0;
+        self.current_level = 0;
+        self.result = None;
+        self.element_ordinal = 0;
+        self.removed_matched.clear();
+        if let Some(rep) = &mut self.reporter {
+            rep.reset();
+        }
+        for &v in self.query.root_children.clone().iter() {
+            self.frontier.push(FrontierRecord { node: v, matched: false, level: 0, str_starts: Vec::new() });
+        }
+    }
+
+    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
+        let lvl = self.current_level;
+        let reporting = self.reporter.is_some();
+        let ordinal = self.element_ordinal;
+        self.element_ordinal += 1;
+        // Select the frontier records for which this element is a
+        // candidate match (Fig. 20 lines 1–4). In reporting mode, records
+        // on the output path stay candidates even after a real match was
+        // found elsewhere: full evaluation must examine *every* candidate,
+        // not stop at the first.
+        let mut selected: Vec<usize> = Vec::new();
+        for (i, rec) in self.frontier.iter().enumerate() {
+            let on_path = self.query.path_index[rec.node as usize].is_some();
+            if rec.matched && !(reporting && on_path) {
+                continue;
+            }
+            let n = &self.query.nodes[rec.node as usize];
+            if n.axis == Axis::Attribute {
+                continue; // attribute records resolve from start tags below
+            }
+            if !n.ntest.passes(name) {
+                continue;
+            }
+            let level_ok = match n.axis {
+                Axis::Descendant => lvl >= rec.level,
+                _ => lvl == rec.level,
+            };
+            if level_ok {
+                selected.push(i);
+            }
+        }
+        let mut frame = Frame { ordinal, ..Frame::default() };
+        // Process selections: leaves begin buffering; internal nodes spawn
+        // child records (and child-axis records temporarily leave the
+        // table, Fig. 20 lines 10–11).
+        let mut to_remove: Vec<usize> = Vec::new();
+        let mut to_insert: Vec<FrontierRecord> = Vec::new();
+        for &i in &selected {
+            let node = self.frontier[i].node;
+            let n = self.query.nodes[node as usize].clone();
+            if reporting {
+                if let Some(idx) = self.query.path_index[node as usize] {
+                    if !frame.candidates.contains(&idx) {
+                        frame.candidates.push(idx);
+                    }
+                    if n.is_leaf && n.leaf_predicate.is_none()
+                        && idx as usize == self.query.out_path.len()
+                    {
+                        frame.out_leaf_unrestricted = true;
+                    }
+                }
+            }
+            if n.is_leaf {
+                if n.leaf_predicate.is_some() {
+                    self.buffer_refs += 1;
+                    self.frontier[i].str_starts.push(self.buffer.len());
+                } else {
+                    // TRUTH(u) = S: any candidate is a real match; decide
+                    // now and skip buffering.
+                    self.frontier[i].matched = true;
+                }
+            } else {
+                if n.axis == Axis::Child {
+                    if reporting {
+                        self.removed_matched.push((node, lvl, self.frontier[i].matched));
+                    }
+                    to_remove.push(i);
+                }
+                for &v in &n.children {
+                    let vn = &self.query.nodes[v as usize];
+                    if vn.axis == Axis::Attribute {
+                        // Attributes arrive with this very start tag:
+                        // resolve immediately.
+                        let matched = attributes.iter().any(|a| {
+                            vn.ntest.passes(&a.name)
+                                && vn.children.is_empty()
+                                && Self::value_in_truth(vn, &a.value)
+                        });
+                        if let Some(w) = attributes
+                            .iter()
+                            .find(|a| vn.ntest.passes(&a.name))
+                            .map(|a| a.value.chars().count())
+                        {
+                            self.stats.observe_text_width(w);
+                        }
+                        to_insert.push(FrontierRecord {
+                            node: v,
+                            matched,
+                            level: lvl + 1,
+                            str_starts: Vec::new(),
+                        });
+                    } else {
+                        to_insert.push(FrontierRecord {
+                            node: v,
+                            matched: false,
+                            level: lvl + 1,
+                            str_starts: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        // Apply removals back-to-front so indices stay valid.
+        for &i in to_remove.iter().rev() {
+            self.frontier.remove(i);
+        }
+        self.frontier.extend(to_insert);
+        self.current_level = lvl + 1;
+        if let Some(rep) = &mut self.reporter {
+            rep.open_element(frame);
+        }
+    }
+
+    fn value_in_truth(node: &CNode, value: &str) -> bool {
+        match &node.leaf_predicate {
+            None => true,
+            Some((expr, var)) => fx_xpath::eval_with_binding(expr, *var, value).unwrap_or(false),
+        }
+    }
+
+    fn text(&mut self, content: &str) {
+        if self.buffer_refs > 0 {
+            self.buffer.push_str(content);
+        }
+    }
+
+    fn end_element(&mut self, name: &str) {
+        // Saturate on malformed streams (the paper lets algorithms behave
+        // arbitrarily on them, but we must not crash: the lower-bound
+        // prober feeds crossed prefix/suffix pairs that may be malformed).
+        self.current_level = self.current_level.saturating_sub(1);
+        let lvl = self.current_level;
+
+        // 1. Leaf records whose candidacy ends here: evaluate the buffered
+        //    string value against TRUTH(u) (Fig. 21 lines 2–10).
+        let reporting = self.reporter.is_some();
+        let out_node = self.query.out_path.last().copied();
+        let mut out_leaf_value: Option<bool> = None;
+        for i in 0..self.frontier.len() {
+            let node = self.frontier[i].node;
+            let n = &self.query.nodes[node as usize];
+            if !n.is_leaf || n.leaf_predicate.is_none() || n.axis == Axis::Attribute {
+                continue;
+            }
+            if !n.ntest.passes(name) {
+                continue;
+            }
+            let level_ok = match n.axis {
+                Axis::Descendant => lvl >= self.frontier[i].level,
+                _ => lvl == self.frontier[i].level,
+            };
+            if !level_ok || self.frontier[i].str_starts.is_empty() {
+                continue;
+            }
+            let start = self.frontier[i].str_starts.pop().expect("checked non-empty");
+            let value = self.buffer[start..].to_string();
+            self.stats.observe_text_width(value.chars().count());
+            let needs_value = !self.frontier[i].matched || (reporting && Some(node) == out_node);
+            if needs_value {
+                let n = &self.query.nodes[node as usize];
+                let ok = Self::value_in_truth(n, &value);
+                self.frontier[i].matched |= ok;
+                if reporting && Some(node) == out_node {
+                    out_leaf_value = Some(ok);
+                }
+            }
+            self.buffer_refs -= 1;
+            if self.buffer_refs == 0 {
+                self.buffer.clear();
+            }
+        }
+
+        // 2. Child records of candidates ending at this element: group by
+        //    parent, conjoin their matched flags, and fold into the parent
+        //    record (Fig. 21 lines 11–29, with `matched ∨= m`).
+        let mut parents: Vec<u32> = Vec::new();
+        for rec in &self.frontier {
+            if rec.level > lvl {
+                let p = self.parent_of(rec.node);
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+        }
+        let mut group: HashMap<u32, (bool, bool)> = HashMap::new();
+        for p in parents {
+            // The successor child does not participate in the *predicate*
+            // conjunction (it is the output-path continuation).
+            let successor = self.query.path_index[p as usize].and_then(|idx| {
+                self.query.out_path.get(idx as usize).copied()
+            });
+            let mut all_matched = true;
+            let mut pred_matched = true;
+            let mut k = 0;
+            while k < self.frontier.len() {
+                let rec = &self.frontier[k];
+                if rec.level > lvl && self.parent_of(rec.node) == p {
+                    all_matched &= rec.matched;
+                    if Some(rec.node) != successor {
+                        pred_matched &= rec.matched;
+                    }
+                    self.frontier.remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+            group.insert(p, (all_matched, pred_matched));
+            let pn = &self.query.nodes[p as usize];
+            if pn.axis == Axis::Descendant {
+                // The record(s) for p are still in the table; accumulate
+                // into every live candidacy (under parent recursion the
+                // same element is a candidate for each of them).
+                for rec in self.frontier.iter_mut().filter(|r| r.node == p) {
+                    rec.matched |= all_matched;
+                }
+            } else {
+                // Reinsert the temporarily-removed child-axis record. In
+                // reporting mode a matched record may have been re-spawned
+                // for a later candidate; restore its previous flag.
+                let was_matched = if self.reporter.is_some() {
+                    match self.removed_matched.iter().rposition(|&(n, l, _)| n == p && l == lvl) {
+                        Some(pos) => self.removed_matched.remove(pos).2,
+                        None => false,
+                    }
+                } else {
+                    false
+                };
+                self.frontier.push(FrontierRecord {
+                    node: p,
+                    matched: was_matched || all_matched,
+                    level: lvl,
+                    str_starts: Vec::new(),
+                });
+            }
+        }
+        if let Some(rep) = &mut self.reporter {
+            rep.close_element(
+                &group,
+                out_leaf_value,
+                &self.query.out_path,
+                &self.out_axes_child,
+            );
+        }
+    }
+
+    fn parent_of(&self, node: u32) -> u32 {
+        self.query.parents[node as usize]
+    }
+
+    fn end_document(&mut self) {
+        // The document root is a real match for ROOT(Q) iff every child of
+        // ROOT(Q) found a real match.
+        let verdict = self
+            .query
+            .root_children
+            .iter()
+            .all(|&v| self.frontier.iter().any(|r| r.node == v && r.matched));
+        self.result = Some(verdict);
+    }
+}
+
+impl SaxHandler for StreamFilter {
+    fn start_document(&mut self) {
+        self.process(&Event::StartDocument);
+    }
+    fn end_document(&mut self) {
+        self.process(&Event::EndDocument);
+    }
+    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
+        self.process(&Event::StartElement { name: name.to_string(), attributes: attributes.to_vec() });
+    }
+    fn end_element(&mut self, name: &str) {
+        self.process(&Event::end(name));
+    }
+    fn text(&mut self, content: &str) {
+        self.process(&Event::text(content));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    fn filter(qs: &str, xml: &str) -> bool {
+        let q = parse_query(qs).unwrap();
+        let events = fx_xml::parse(xml).unwrap();
+        StreamFilter::run(&q, &events).unwrap()
+    }
+
+    fn agree(qs: &str, xml: &str) {
+        let q = parse_query(qs).unwrap();
+        let d = fx_dom::Document::from_xml(xml).unwrap();
+        let expected = fx_eval::bool_eval(&q, &d).unwrap();
+        let events = fx_xml::parse(xml).unwrap();
+        let got = StreamFilter::run(&q, &events).unwrap();
+        assert_eq!(got, expected, "{qs} on {xml}");
+    }
+
+    #[test]
+    fn paper_fig22_query_on_matching_document() {
+        assert!(filter("/a[c[.//e and f] and b]", "<a><c><d/><e/><f/></c><b/><c/></a>"));
+    }
+
+    #[test]
+    fn paper_theorem_queries() {
+        agree("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>");
+        agree("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>");
+        agree("//a[b and c]", "<a><b/><a><b/><a/><c/></a></a>");
+        agree("//a[b and c]", "<a><b/><a><a/><c/></a></a>");
+        agree("/a/b", "<a><Z><Z/></Z><b/><Z><Z/></Z></a>");
+        agree("/a/b", "<a><Z><Z/><b/><Z/></Z></a>");
+    }
+
+    #[test]
+    fn recursion_does_not_clobber_inner_match() {
+        // Erratum #1: the inner <a> matches; a later outer failure must
+        // not reset the flag.
+        agree("//a[b and c]", "<a><a><b/><c/></a></a>");
+        assert!(filter("//a[b and c]", "<a><a><b/><c/></a></a>"));
+        // And deeper stacks of failures around a success.
+        assert!(filter("//a[b and c]", "<a><a><a><b/><c/></a></a><x/></a>"));
+    }
+
+    #[test]
+    fn recursive_leaf_buffer_offsets() {
+        // Erratum #2: Q = //a[.//e > 5] on <a><e>7<e>3</e></e></a> — the
+        // outer e's value "73" passes even though the inner "3" fails.
+        agree("//a[.//e > 5]", "<a><e>7<e>3</e></e></a>");
+        assert!(filter("//a[.//e > 5]", "<a><e>7<e>3</e></e></a>"));
+        // Inner passes, outer fails (outer strval "09" = 9 > 5 too, so use
+        // the reference agreement to keep the oracle honest).
+        agree("//a[.//e > 5]", "<a><e>0<e>9</e></e></a>");
+        // Neither passes: outer strval "01" = 1, inner "1".
+        assert!(!filter("//a[.//e > 5]", "<a><e>0<e>1</e></e></a>"));
+        agree("//a[.//e > 5]", "<a><e>0<e>1</e></e></a>");
+    }
+
+    #[test]
+    fn value_predicates() {
+        agree("/a[b > 5]", "<a><b>3</b><b>7</b></a>");
+        agree("/a[b > 5]", "<a><b>3</b><b>5</b></a>");
+        agree("/a[b = \"xy\"]", "<a><b>x<c>y</c></b></a>");
+        agree("/a[contains(b, \"needle\")]", "<a><b>hay needle stack</b></a>");
+        agree("/a[contains(b, \"needle\")]", "<a><b>haystack</b></a>");
+    }
+
+    #[test]
+    fn attribute_queries() {
+        agree("/a[@id = 7]", r#"<a id="7"/>"#);
+        agree("/a[@id = 7]", r#"<a id="8"/>"#);
+        agree("/a/@id", r#"<a id="7"/>"#);
+        agree("/a/@id", "<a/>");
+        agree("/a[@id and b]", r#"<a id="1"><b/></a>"#);
+        agree("//a[@k = \"v\"]", r#"<r><a k="x"/><a k="v"/></r>"#);
+    }
+
+    #[test]
+    fn wildcards() {
+        agree("/a/*/b", "<a><x><b/></x></a>");
+        agree("/a/*/b", "<a><b/></a>");
+        agree("/a[*/b > 5]", "<a><q><b>9</b></q></a>");
+    }
+
+    #[test]
+    fn sibling_candidates_sequential() {
+        agree("/a/b[c]", "<a><b><x/></b><b><c/></b></a>");
+        agree("/a/b[c]", "<a><b><x/></b><b><y/></b></a>");
+    }
+
+    #[test]
+    fn deep_documents() {
+        // /a/b must not fire on deeper b's.
+        let deep = format!("<a>{}<b/>{}</a>", "<Z>".repeat(30), "</Z>".repeat(30));
+        agree("/a/b", &deep);
+        let inside = format!("<a>{}{}</a>", "<Z>".repeat(30), "<b/>".to_owned() + &"</Z>".repeat(30));
+        agree("/a/b", &inside);
+    }
+
+    #[test]
+    fn frontier_stays_at_fs_for_fig22_query() {
+        // FS(/a[c[.//e and f] and b]) = 3; the frontier table must never
+        // exceed 3 rows (§8.4: "As the frontier size is 3 for this query,
+        // there are at most 3 tuples in the system").
+        let q = parse_query("/a[c[.//e and f] and b]").unwrap();
+        let events = fx_xml::parse("<a><c><d/><e/><f/></c><b/><c/></a>").unwrap();
+        let mut f = StreamFilter::new(&q).unwrap();
+        f.process_all(&events);
+        assert_eq!(f.result(), Some(true));
+        assert!(f.stats().max_rows <= 3, "max rows = {}", f.stats().max_rows);
+    }
+
+    #[test]
+    fn frontier_grows_with_recursion_depth() {
+        // On documents of recursion depth r, the table holds Θ(r) rows.
+        let q = parse_query("//a[b and c]").unwrap();
+        let mut sizes = Vec::new();
+        for r in [1usize, 4, 16] {
+            let xml = format!("{}{}", "<a><b/>".repeat(r), "</a>".repeat(r));
+            let events = fx_xml::parse(&xml).unwrap();
+            let mut f = StreamFilter::new(&q).unwrap();
+            f.process_all(&events);
+            sizes.push(f.stats().max_rows);
+        }
+        assert!(sizes[1] > sizes[0]);
+        assert!(sizes[2] > sizes[1]);
+        assert!(sizes[2] >= 16, "{sizes:?}");
+    }
+
+    #[test]
+    fn unsupported_queries_are_rejected() {
+        for src in ["/a[b or c]", "/a[not(b)]", "/a[b > c]", "/a[b[c] > 5]"] {
+            let q = parse_query(src).unwrap();
+            assert!(StreamFilter::new(&q).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_documents() {
+        agree("/a", "<a/>");
+        agree("/a", "<b/>");
+        agree("//x", "<a><b><x/></b></a>");
+        agree("//x", "<a><b/></a>");
+    }
+
+    #[test]
+    fn text_outside_buffering_is_free() {
+        let q = parse_query("/a[b]").unwrap();
+        let xml = format!("<a><c>{}</c><b/></a>", "t".repeat(1000));
+        let events = fx_xml::parse(&xml).unwrap();
+        let mut f = StreamFilter::new(&q).unwrap();
+        f.process_all(&events);
+        assert_eq!(f.result(), Some(true));
+        // No leaf record was buffering under <c> (b is unrestricted), so
+        // the buffer stays empty.
+        assert_eq!(f.stats().max_buffer_bytes, 0);
+    }
+
+    #[test]
+    fn buffer_is_released_after_use() {
+        let q = parse_query("/a[b > 5 and c]").unwrap();
+        let xml = "<a><b>123456</b><c/></a>";
+        let events = fx_xml::parse(xml).unwrap();
+        let mut f = StreamFilter::new(&q).unwrap();
+        for e in &events {
+            f.process(e);
+        }
+        assert_eq!(f.result(), Some(true));
+        assert_eq!(f.stats().max_buffer_bytes, 6);
+        assert!(f.buffer.is_empty(), "buffer must be reset when refcount hits 0");
+    }
+
+    #[test]
+    fn repeated_runs_reset_state() {
+        let q = parse_query("/a[b]").unwrap();
+        let yes = fx_xml::parse("<a><b/></a>").unwrap();
+        let no = fx_xml::parse("<a><c/></a>").unwrap();
+        let mut f = StreamFilter::new(&q).unwrap();
+        f.process_all(&yes);
+        assert_eq!(f.result(), Some(true));
+        f.process_all(&no);
+        assert_eq!(f.result(), Some(false));
+        f.process_all(&yes);
+        assert_eq!(f.result(), Some(true));
+    }
+}

@@ -1,0 +1,125 @@
+//! Multi-query filtering: evaluating many XPath filters over one document
+//! stream, the selective-dissemination scenario that motivated streaming
+//! XPath engines ([1] in the paper). Each query keeps its own frontier
+//! table; events are fanned out once.
+
+use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
+use crate::space::SpaceStats;
+use fx_xml::Event;
+use fx_xpath::Query;
+
+/// A bank of streaming filters sharing one event feed.
+#[derive(Debug, Clone)]
+pub struct MultiFilter {
+    filters: Vec<StreamFilter>,
+}
+
+impl MultiFilter {
+    /// Compiles all queries; fails on the first unsupported one (with its
+    /// index).
+    pub fn new(queries: &[Query]) -> Result<MultiFilter, (usize, UnsupportedQuery)> {
+        let mut filters = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let compiled = CompiledQuery::compile(q).map_err(|e| (i, e))?;
+            filters.push(StreamFilter::from_compiled(compiled));
+        }
+        Ok(MultiFilter { filters })
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Feeds one event to every filter.
+    pub fn process(&mut self, event: &Event) {
+        for f in &mut self.filters {
+            f.process(event);
+        }
+    }
+
+    /// Feeds a whole stream.
+    pub fn process_all(&mut self, events: &[Event]) {
+        for e in events {
+            self.process(e);
+        }
+    }
+
+    /// Per-query verdicts (available after `endDocument`).
+    pub fn results(&self) -> Vec<Option<bool>> {
+        self.filters.iter().map(StreamFilter::result).collect()
+    }
+
+    /// Indices of the queries the last document matched.
+    pub fn matching_queries(&self) -> Vec<usize> {
+        self.filters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| (f.result() == Some(true)).then_some(i))
+            .collect()
+    }
+
+    /// Aggregate space: the sum of every filter's peak bits, plus the
+    /// per-filter stats for inspection.
+    pub fn total_max_bits(&self) -> u64 {
+        self.filters.iter().map(|f| f.stats().max_bits).sum()
+    }
+
+    /// Per-filter statistics.
+    pub fn stats(&self) -> Vec<&SpaceStats> {
+        self.filters.iter().map(StreamFilter::stats).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn dissemination_scenario() {
+        let queries: Vec<Query> = [
+            "/doc[title]",
+            "/doc[price > 100]",
+            "//section[figure and caption]",
+            "/doc/author",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        let xml = "<doc><title>t</title><price>150</price><author>a</author></doc>";
+        mf.process_all(&fx_xml::parse(xml).unwrap());
+        assert_eq!(mf.matching_queries(), vec![0, 1, 3]);
+        let xml2 = "<doc><section><figure/><caption/></section></doc>";
+        mf.process_all(&fx_xml::parse(xml2).unwrap());
+        assert_eq!(mf.matching_queries(), vec![2]);
+    }
+
+    #[test]
+    fn rejects_unsupported_with_index() {
+        let queries: Vec<Query> =
+            ["/a[b]", "/a[not(b)]"].iter().map(|s| parse_query(s).unwrap()).collect();
+        let err = MultiFilter::new(&queries).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn results_agree_with_individual_runs() {
+        let srcs = ["/r[a]", "//a[b and c]", "/r/a/b", "//c"];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let xml = "<r><a><b/><c/></a></r>";
+        let events = fx_xml::parse(xml).unwrap();
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        mf.process_all(&events);
+        for (i, q) in queries.iter().enumerate() {
+            let solo = StreamFilter::run(q, &events).unwrap();
+            assert_eq!(mf.results()[i], Some(solo), "{}", srcs[i]);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Space instrumentation: the filter's logical memory, measured in the
+//! units of Theorem 8.8 — frontier rows of
+//! `O(log|Q| + log d + log w)` bits each, plus the text buffer.
+//!
+//! This is the quantity the paper's lower bounds constrain (the state a
+//! streaming algorithm must carry between events), so the experiments
+//! report it rather than process RSS, which would be dominated by noise.
+
+/// Running space statistics for one filter execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpaceStats {
+    /// Peak number of frontier rows.
+    pub max_rows: usize,
+    /// Peak buffered text bytes.
+    pub max_buffer_bytes: usize,
+    /// Peak total buffered-offset stack entries across rows.
+    pub max_stack_entries: usize,
+    /// Deepest document level observed (the `d` of the bounds).
+    pub max_level: usize,
+    /// Longest buffered string value observed (the `w` of the bounds).
+    pub max_text_width: usize,
+    /// Peak instantaneous logical size in bits (rows × bits-per-row +
+    /// stacks + buffer).
+    pub max_bits: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Query size |Q| (for the bits-per-row term).
+    pub query_size: usize,
+}
+
+/// The bits to store a value in `0..=n` (`⌊log2 n⌋ + 1`, minimum 1).
+pub fn bits_for(n: usize) -> u32 {
+    if n == 0 {
+        1
+    } else {
+        usize::BITS - n.leading_zeros()
+    }
+}
+
+impl SpaceStats {
+    /// Creates stats for a query of `query_size` nodes.
+    pub fn new(query_size: usize) -> Self {
+        SpaceStats { query_size, ..Default::default() }
+    }
+
+    /// Records an instantaneous snapshot; keeps the running maxima.
+    pub fn observe(&mut self, rows: usize, stack_entries: usize, buffer_bytes: usize, level: usize) {
+        self.max_rows = self.max_rows.max(rows);
+        self.max_stack_entries = self.max_stack_entries.max(stack_entries);
+        self.max_buffer_bytes = self.max_buffer_bytes.max(buffer_bytes);
+        self.max_level = self.max_level.max(level);
+        let bits = self.instant_bits(rows, stack_entries, buffer_bytes, level);
+        self.max_bits = self.max_bits.max(bits);
+    }
+
+    /// Records the length of a completed buffered string value.
+    pub fn observe_text_width(&mut self, width: usize) {
+        self.max_text_width = self.max_text_width.max(width);
+    }
+
+    /// The bits of one frontier row: a query-node reference, a level, and
+    /// the matched flag (Thm 8.8's `log|Q| + log d` + O(1)).
+    pub fn bits_per_row(&self, level: usize) -> u64 {
+        (bits_for(self.query_size) + bits_for(level) + 1) as u64
+    }
+
+    fn instant_bits(&self, rows: usize, stack_entries: usize, buffer_bytes: usize, level: usize) -> u64 {
+        rows as u64 * self.bits_per_row(level)
+            + stack_entries as u64 * bits_for(buffer_bytes.max(1)) as u64
+            + buffer_bytes as u64 * 8
+    }
+
+    /// The theorem's bound `O(|Q|·r·(log|Q|+log d+log w) + w)` instantiated
+    /// with measured `d`/`w` and a given `r` — handy for reporting
+    /// measured-vs-bound ratios.
+    pub fn theorem_bound_bits(&self, r: usize) -> u64 {
+        let per_row = (bits_for(self.query_size)
+            + bits_for(self.max_level.max(1))
+            + bits_for(self.max_text_width.max(1))) as u64;
+        (self.query_size as u64) * (r.max(1) as u64) * per_row + 8 * self.max_text_width as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn observe_tracks_maxima() {
+        let mut s = SpaceStats::new(7);
+        s.observe(3, 0, 0, 2);
+        s.observe(1, 0, 10, 5);
+        s.observe(2, 1, 4, 1);
+        assert_eq!(s.max_rows, 3);
+        assert_eq!(s.max_buffer_bytes, 10);
+        assert_eq!(s.max_level, 5);
+        assert!(s.max_bits >= 80); // 10 bytes of buffer alone
+    }
+
+    #[test]
+    fn bound_grows_linearly_in_r() {
+        let mut s = SpaceStats::new(10);
+        s.observe(1, 0, 0, 7);
+        let b1 = s.theorem_bound_bits(1);
+        let b4 = s.theorem_bound_bits(4);
+        assert_eq!(b4 - 8 * s.max_text_width as u64, 4 * (b1 - 8 * s.max_text_width as u64));
+    }
+}

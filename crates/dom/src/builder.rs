@@ -1,0 +1,121 @@
+//! Building [`Document`] trees from SAX event streams and XML text.
+
+use crate::tree::{Document, NodeId, NodeKind};
+use fx_xml::{Event, ParseError, Violation};
+use std::fmt;
+
+/// An error while building a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The XML text failed to parse.
+    Parse(ParseError),
+    /// The event stream was not well-formed.
+    Malformed(Violation),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Malformed(v) => write!(f, "malformed event stream: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ParseError> for BuildError {
+    fn from(e: ParseError) -> Self {
+        BuildError::Parse(e)
+    }
+}
+
+impl From<Violation> for BuildError {
+    fn from(v: Violation) -> Self {
+        BuildError::Malformed(v)
+    }
+}
+
+/// Builds a document from a well-formed event stream. Attributes become
+/// [`NodeKind::Attribute`] children preceding all other children of their
+/// element, matching the data-model convention.
+pub fn from_events(events: &[Event]) -> Result<Document, BuildError> {
+    fx_xml::check(events)?;
+    let mut doc = Document::empty();
+    let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
+    for e in events {
+        match e {
+            Event::StartDocument | Event::EndDocument => {}
+            Event::StartElement { name, attributes } => {
+                let parent = *stack.last().expect("stack never empty while well-formed");
+                let elem = doc.push_node(parent, NodeKind::Element, name.clone(), "");
+                for a in attributes {
+                    doc.push_node(elem, NodeKind::Attribute, a.name.clone(), a.value.clone());
+                }
+                stack.push(elem);
+            }
+            Event::EndElement { .. } => {
+                stack.pop();
+            }
+            Event::Text { content } => {
+                let parent = *stack.last().expect("stack never empty while well-formed");
+                doc.push_node(parent, NodeKind::Text, "", content.clone());
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Parses XML text straight into a document.
+pub fn from_xml(xml: &str) -> Result<Document, BuildError> {
+    let events = fx_xml::parse(xml)?;
+    from_events(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_document() {
+        let d = from_xml("<a><c><e/><f/></c><b>6</b></a>").unwrap();
+        let a = d.children(NodeId::ROOT)[0];
+        assert_eq!(d.name(a), "a");
+        let kids: Vec<&str> = d.children(a).iter().map(|&c| d.name(c)).collect();
+        assert_eq!(kids, vec!["c", "b"]);
+        let b = d.children(a)[1];
+        assert_eq!(d.strval(b), "6");
+    }
+
+    #[test]
+    fn attributes_become_leading_children() {
+        let d = from_xml(r#"<a x="1"><b/></a>"#).unwrap();
+        let a = d.children(NodeId::ROOT)[0];
+        let kids = d.children(a);
+        assert_eq!(d.kind(kids[0]), NodeKind::Attribute);
+        assert_eq!(d.name(kids[0]), "x");
+        assert_eq!(d.strval(kids[0]), "1");
+        assert_eq!(d.kind(kids[1]), NodeKind::Element);
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        let events = vec![Event::StartDocument, Event::start("a"), Event::EndDocument];
+        assert!(matches!(from_events(&events), Err(BuildError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_bad_xml() {
+        assert!(matches!(from_xml("<a><b></a>"), Err(BuildError::Parse(_))));
+    }
+
+    #[test]
+    fn text_nodes_are_leaves() {
+        let d = from_xml("<a>hi<b/>yo</a>").unwrap();
+        let a = d.children(NodeId::ROOT)[0];
+        assert_eq!(d.children(a).len(), 3);
+        let texts: Vec<String> =
+            d.children(a).iter().filter(|&&c| d.kind(c) == NodeKind::Text).map(|&c| d.strval(c)).collect();
+        assert_eq!(texts, vec!["hi", "yo"]);
+    }
+}

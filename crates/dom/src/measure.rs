@@ -1,0 +1,124 @@
+//! Document measurements used by the paper's bounds: depth `d` (§4.3), the
+//! document frontier size `FS(D)` (Def. 4.1), and structural statistics.
+
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// The document depth `d`: length of the longest root-to-leaf path, counting
+/// element/attribute nodes only (the root and text nodes do not contribute).
+pub fn depth(doc: &Document) -> usize {
+    doc.all_nodes()
+        .filter(|&n| matches!(doc.kind(n), NodeKind::Element | NodeKind::Attribute))
+        .map(|n| doc.level(n))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The frontier of a document node `x` (Def. 4.1): `x` together with its
+/// super-siblings — siblings of `x` and of each of its ancestors. Text nodes
+/// are ignored, per the paper's remark.
+pub fn frontier(doc: &Document, x: NodeId) -> Vec<NodeId> {
+    let mut f = vec![x];
+    let mut cur = x;
+    while let Some(parent) = doc.parent(cur) {
+        for sib in doc.non_text_children(parent) {
+            if sib != cur {
+                f.push(sib);
+            }
+        }
+        cur = parent;
+    }
+    f
+}
+
+/// The frontier size `FS(D)` (Def. 4.1): the size of the largest frontier
+/// over all (non-text) nodes.
+pub fn frontier_size(doc: &Document) -> usize {
+    doc.all_nodes()
+        .filter(|&n| doc.kind(n) != NodeKind::Text)
+        .map(|n| frontier(doc, n).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Counts of each node kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// Element nodes.
+    pub elements: usize,
+    /// Attribute nodes.
+    pub attributes: usize,
+    /// Text nodes.
+    pub texts: usize,
+}
+
+/// Tallies node kinds.
+pub fn counts(doc: &Document) -> Counts {
+    let mut c = Counts::default();
+    for n in doc.all_nodes() {
+        match doc.kind(n) {
+            NodeKind::Element => c.elements += 1,
+            NodeKind::Attribute => c.attributes += 1,
+            NodeKind::Text => c.texts += 1,
+            NodeKind::Root => {}
+        }
+    }
+    c
+}
+
+/// The longest run of same-name nested elements, a query-independent upper
+/// estimate of recursion potential (the query-relative recursion depth of
+/// Thm 4.5 lives in `fx-eval`/`fx-analysis`).
+pub fn max_same_name_nesting(doc: &Document) -> usize {
+    let mut best = 0usize;
+    for n in doc.all_nodes() {
+        if doc.kind(n) != NodeKind::Element {
+            continue;
+        }
+        let name = doc.name(n);
+        let run = 1 + doc.ancestors(n).filter(|&a| doc.name(a) == name && doc.kind(a) == NodeKind::Element).count();
+        best = best.max(run);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_xml;
+
+    #[test]
+    fn depth_of_flat_and_nested() {
+        assert_eq!(depth(&from_xml("<a/>").unwrap()), 1);
+        assert_eq!(depth(&from_xml("<a><b><c/></b></a>").unwrap()), 3);
+        assert_eq!(depth(&from_xml("<a><b/><c><d><e/></d></c></a>").unwrap()), 4);
+    }
+
+    #[test]
+    fn paper_frontier_example() {
+        // D from Theorem 4.2: the frontier at x_e is {x_e, x_f, x_b} → FS = 3.
+        let d = from_xml("<a><c><e/><f/></c><b>6</b></a>").unwrap();
+        let a = d.children(d.root())[0];
+        let c = d.children(a)[0];
+        let e = d.children(c)[0];
+        let f = frontier(&d, e);
+        let names: Vec<&str> = f.iter().map(|&n| d.name(n)).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"e") && names.contains(&"f") && names.contains(&"b"));
+        assert_eq!(frontier_size(&d), 3);
+    }
+
+    #[test]
+    fn counts_tally() {
+        let d = from_xml(r#"<a x="1">t<b/>u</a>"#).unwrap();
+        let c = counts(&d);
+        assert_eq!(c, Counts { elements: 2, attributes: 1, texts: 2 });
+    }
+
+    #[test]
+    fn same_name_nesting() {
+        let d = from_xml("<a><a><b/><a/></a></a>").unwrap();
+        assert_eq!(max_same_name_nesting(&d), 3);
+        let flat = from_xml("<a><b/><c/></a>").unwrap();
+        assert_eq!(max_same_name_nesting(&flat), 1);
+    }
+}

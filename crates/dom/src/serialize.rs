@@ -1,0 +1,73 @@
+//! Serializing documents back to SAX events and XML text.
+
+use crate::tree::{Document, NodeId, NodeKind};
+use fx_xml::{Attribute, Event};
+
+/// Converts a document back into the canonical SAX event stream (attributes
+/// ride on `StartElement` events).
+pub fn to_events(doc: &Document) -> Vec<Event> {
+    let mut events = vec![Event::StartDocument];
+    for &child in doc.children(doc.root()) {
+        emit(doc, child, &mut events);
+    }
+    events.push(Event::EndDocument);
+    events
+}
+
+fn emit(doc: &Document, id: NodeId, out: &mut Vec<Event>) {
+    match doc.kind(id) {
+        NodeKind::Root => unreachable!("root is handled by to_events"),
+        NodeKind::Text => out.push(Event::text(doc.strval(id))),
+        NodeKind::Attribute => {
+            // Attributes are emitted with their owner element's start tag.
+        }
+        NodeKind::Element => {
+            let attributes: Vec<Attribute> = doc
+                .children(id)
+                .iter()
+                .filter(|&&c| doc.kind(c) == NodeKind::Attribute)
+                .map(|&c| Attribute::new(doc.name(c), doc.strval(c)))
+                .collect();
+            out.push(Event::StartElement { name: doc.name(id).to_string(), attributes });
+            for &child in doc.children(id) {
+                if doc.kind(child) != NodeKind::Attribute {
+                    emit(doc, child, out);
+                }
+            }
+            out.push(Event::end(doc.name(id)));
+        }
+    }
+}
+
+/// Serializes a document to compact XML text.
+pub fn to_xml(doc: &Document) -> String {
+    fx_xml::to_xml(&to_events(doc)).expect("documents always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_xml;
+
+    #[test]
+    fn event_round_trip() {
+        let src = "<a><c><e/><f/></c><b>6</b></a>";
+        let doc = from_xml(src).unwrap();
+        assert_eq!(to_xml(&doc), src);
+    }
+
+    #[test]
+    fn attribute_round_trip() {
+        let src = r#"<a id="1"><b k="v">x</b></a>"#;
+        let doc = from_xml(src).unwrap();
+        assert_eq!(to_xml(&doc), src);
+    }
+
+    #[test]
+    fn events_then_rebuild_is_identity() {
+        let src = "<r><a>1</a><a>2<b/></a></r>";
+        let doc = from_xml(src).unwrap();
+        let rebuilt = crate::builder::from_events(&to_events(&doc)).unwrap();
+        assert_eq!(rebuilt, doc);
+    }
+}

@@ -1,0 +1,307 @@
+//! The XPath 2.0 / XQuery 1.0 data model of §3.1.1: documents are rooted
+//! trees whose nodes carry `KIND`, `NAME`, and (derived) `STRVAL`.
+
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena. The root is always
+/// `NodeId(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The document root.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// `KIND(x)` per §3.1.1: root, element, attribute, or text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The document root (exactly one per document, unnamed).
+    Root,
+    /// An element node.
+    Element,
+    /// An attribute node (always a leaf, carries text content).
+    Attribute,
+    /// A text node (always a leaf, carries text content).
+    Text,
+}
+
+/// A single node in the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node kind.
+    pub kind: NodeKind,
+    /// `NAME(x)`. Empty for root and text nodes.
+    pub name: String,
+    /// Text content for [`NodeKind::Text`] and [`NodeKind::Attribute`]
+    /// nodes; empty otherwise.
+    pub content: String,
+    /// Parent node, `None` for the root only.
+    pub parent: Option<NodeId>,
+    /// Children in document order (attributes first, as produced by the
+    /// builder).
+    pub children: Vec<NodeId>,
+}
+
+/// An XML document as a rooted tree (arena-allocated, nodes in document
+/// order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates a document containing only a root node.
+    pub fn empty() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Root,
+                name: String::new(),
+                content: String::new(),
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Appends a node under `parent`, returning its id.
+    pub fn push_node(&mut self, parent: NodeId, kind: NodeKind, name: impl Into<String>, content: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+            content: content.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document holds only the root node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The root node id (`NodeId::ROOT`).
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// `KIND(x)`.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.node(id).kind
+    }
+
+    /// `NAME(x)` — empty string for root and text nodes.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.node(id).name
+    }
+
+    /// The parent, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Element/attribute children only (text nodes skipped) — document
+    /// frontiers ignore text nodes (Def. 4.1 Remark).
+    pub fn non_text_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).iter().copied().filter(|&c| self.kind(c) != NodeKind::Text)
+    }
+
+    /// `STRVAL(x)`: concatenation of the text contents of the text-node
+    /// descendants of `x` in document order (§3.1.1). For attribute and text
+    /// nodes this is their own content.
+    pub fn strval(&self, id: NodeId) -> String {
+        match self.kind(id) {
+            NodeKind::Text | NodeKind::Attribute => self.node(id).content.clone(),
+            _ => {
+                let mut out = String::new();
+                for d in self.descendants(id) {
+                    if self.kind(d) == NodeKind::Text {
+                        out.push_str(&self.node(d).content);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Pre-order (document-order) traversal of the subtree rooted at `id`,
+    /// including `id` itself.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// All nodes in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The sequence `PATH(x)`: nodes from the root to `x`, inclusive.
+    pub fn path(&self, id: NodeId) -> Vec<NodeId> {
+        let mut p = vec![id];
+        let mut cur = id;
+        while let Some(parent) = self.parent(cur) {
+            p.push(parent);
+            cur = parent;
+        }
+        p.reverse();
+        p
+    }
+
+    /// Ancestors of `id`, nearest first (excluding `id`).
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, cur: self.parent(id) }
+    }
+
+    /// True if `anc` is a *proper* ancestor of `id`.
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        self.ancestors(id).any(|a| a == anc)
+    }
+
+    /// `DEPTH(x)` = |PATH(x)|: number of nodes on the root-to-`x` path.
+    pub fn node_depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count() + 1
+    }
+
+    /// The document *level* of a node: the root is level 0, its element
+    /// children level 1, etc. (the `level`s tracked by the §8 algorithm).
+    pub fn level(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+}
+
+/// Iterator over a subtree in document order.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let kids = self.doc.children(id);
+        self.stack.extend(kids.iter().rev());
+        Some(id)
+    }
+}
+
+/// Iterator over ancestors, nearest first.
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = self.doc.parent(id);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        // <a><b>6</b><c/></a>
+        let mut d = Document::empty();
+        let a = d.push_node(NodeId::ROOT, NodeKind::Element, "a", "");
+        let b = d.push_node(a, NodeKind::Element, "b", "");
+        let _t = d.push_node(b, NodeKind::Text, "", "6");
+        let c = d.push_node(a, NodeKind::Element, "c", "");
+        (d, a, b, c)
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let (d, a, b, c) = sample();
+        assert_eq!(d.kind(NodeId::ROOT), NodeKind::Root);
+        assert_eq!(d.name(a), "a");
+        assert_eq!(d.parent(b), Some(a));
+        assert_eq!(d.children(a).len(), 2);
+        assert_eq!(d.children(a), &[b, c]);
+    }
+
+    #[test]
+    fn strval_concatenates_document_order() {
+        let mut d = Document::empty();
+        let a = d.push_node(NodeId::ROOT, NodeKind::Element, "a", "");
+        let b = d.push_node(a, NodeKind::Element, "b", "");
+        d.push_node(b, NodeKind::Text, "", "hel");
+        let c = d.push_node(a, NodeKind::Element, "c", "");
+        d.push_node(c, NodeKind::Text, "", "lo");
+        assert_eq!(d.strval(a), "hello");
+        assert_eq!(d.strval(b), "hel");
+        assert_eq!(d.strval(NodeId::ROOT), "hello");
+    }
+
+    #[test]
+    fn path_and_depth() {
+        let (d, a, b, _) = sample();
+        assert_eq!(d.path(b), vec![NodeId::ROOT, a, b]);
+        assert_eq!(d.node_depth(b), 3);
+        assert_eq!(d.level(b), 2);
+        assert_eq!(d.level(NodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (d, a, b, c) = sample();
+        assert!(d.is_ancestor(a, b));
+        assert!(d.is_ancestor(NodeId::ROOT, b));
+        assert!(!d.is_ancestor(b, a));
+        assert!(!d.is_ancestor(b, c));
+        assert!(!d.is_ancestor(b, b));
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let (d, a, b, c) = sample();
+        let order: Vec<NodeId> = d.descendants(NodeId::ROOT).collect();
+        assert_eq!(order[0], NodeId::ROOT);
+        assert_eq!(order[1], a);
+        assert_eq!(order[2], b);
+        assert!(order.iter().position(|&x| x == b).unwrap() < order.iter().position(|&x| x == c).unwrap());
+    }
+
+    #[test]
+    fn non_text_children_skip_text() {
+        let (d, a, _, _) = sample();
+        let b = d.children(a)[0];
+        assert_eq!(d.non_text_children(b).count(), 0);
+        assert_eq!(d.non_text_children(a).count(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Document homomorphisms (Definition 6.1): mappings between documents that
+//! preserve parent/child structure, names, and (depending on the flavour)
+//! string values. Used by the lower-bound constructions to transfer
+//! matchings between documents (Lemmas 6.2/6.4, Proposition 6.17).
+
+use fx_dom::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Which of Def. 6.1's properties a mapping must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomKind {
+    /// Root, tree-relationship, name, and value preservation everywhere.
+    Full,
+    /// Value preservation waived.
+    Structural,
+    /// Value preservation required for leaf nodes only.
+    Weak,
+}
+
+/// A node mapping between two documents.
+pub type NodeMap = HashMap<NodeId, NodeId>;
+
+/// Checks that `xi` is a homomorphism of the required kind from the subtree
+/// of `d` rooted at `x` to the subtree of `d2` rooted at `x2`.
+pub fn is_homomorphism(
+    d: &Document,
+    x: NodeId,
+    d2: &Document,
+    x2: NodeId,
+    xi: &NodeMap,
+    kind: HomKind,
+) -> bool {
+    // Root preservation.
+    if xi.get(&x) != Some(&x2) {
+        return false;
+    }
+    for y in d.descendants(x) {
+        if d.kind(y) == NodeKind::Text {
+            continue; // text nodes ride along via string values
+        }
+        let Some(&fy) = xi.get(&y) else { return false };
+        // Tree-relationship preservation.
+        if y != x {
+            let Some(p) = d.parent(y) else { return false };
+            let Some(&fp) = xi.get(&p) else { return false };
+            if d2.parent(fy) != Some(fp) {
+                return false;
+            }
+        }
+        // Name preservation.
+        if d2.name(fy) != d.name(y) {
+            return false;
+        }
+        // Value preservation.
+        let need_value = match kind {
+            HomKind::Full => true,
+            HomKind::Structural => false,
+            HomKind::Weak => d.non_text_children(y).count() == 0,
+        };
+        if need_value && d2.strval(fy) != d.strval(y) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks the additional conditions of an *internal-node-preserving* weak
+/// homomorphism (Def. 6.18): internal nodes map to internal nodes, and
+/// leading text children agree.
+pub fn is_internal_node_preserving(d: &Document, x: NodeId, d2: &Document, xi: &NodeMap) -> bool {
+    for y in d.descendants(x) {
+        if d.kind(y) == NodeKind::Text || d.non_text_children(y).count() == 0 {
+            continue; // only internal nodes carry extra conditions
+        }
+        let Some(&fy) = xi.get(&y) else { return false };
+        if d2.non_text_children(fy).count() == 0 {
+            return false;
+        }
+        let leading = |doc: &Document, n: NodeId| -> Option<String> {
+            let first = doc.children(n).first()?;
+            (doc.kind(*first) == NodeKind::Text).then(|| doc.strval(*first))
+        };
+        if leading(d, y) != leading(d2, fy) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Searches for a homomorphism of the required kind from `d`'s subtree at
+/// `x` into `d2`'s subtree at `x2` (backtracking; intended for the small
+/// documents of tests and constructions).
+pub fn find_homomorphism(
+    d: &Document,
+    x: NodeId,
+    d2: &Document,
+    x2: NodeId,
+    kind: HomKind,
+) -> Option<NodeMap> {
+    let mut map = NodeMap::new();
+    if assign(d, x, d2, x2, kind, &mut map) {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+fn compatible(d: &Document, y: NodeId, d2: &Document, t: NodeId, kind: HomKind) -> bool {
+    if d2.name(t) != d.name(y) || d2.kind(t) != d.kind(y) {
+        return false;
+    }
+    let need_value = match kind {
+        HomKind::Full => true,
+        HomKind::Structural => false,
+        HomKind::Weak => d.non_text_children(y).count() == 0,
+    };
+    !need_value || d2.strval(t) == d.strval(y)
+}
+
+fn assign(
+    d: &Document,
+    y: NodeId,
+    d2: &Document,
+    t: NodeId,
+    kind: HomKind,
+    map: &mut NodeMap,
+) -> bool {
+    if !compatible(d, y, d2, t, kind) {
+        return false;
+    }
+    map.insert(y, t);
+    let kids: Vec<NodeId> = d.non_text_children(y).collect();
+    let targets: Vec<NodeId> = d2.non_text_children(t).collect();
+    // Homomorphisms need not be injective: each child independently picks a
+    // target child, with backtracking through the recursion.
+    fn place(
+        d: &Document,
+        d2: &Document,
+        kind: HomKind,
+        kids: &[NodeId],
+        i: usize,
+        targets: &[NodeId],
+        map: &mut NodeMap,
+    ) -> bool {
+        if i == kids.len() {
+            return true;
+        }
+        for &t in targets {
+            let snapshot: Vec<NodeId> = map.keys().copied().collect();
+            if assign(d, kids[i], d2, t, kind, map)
+                && place(d, d2, kind, kids, i + 1, targets, map)
+            {
+                return true;
+            }
+            map.retain(|k, _| snapshot.contains(k));
+        }
+        false
+    }
+    place(d, d2, kind, &kids, 0, &targets, map)
+}
+
+/// True when `xi` is an isomorphism (Def. 6.5): a full homomorphism that is
+/// injective and onto the non-text nodes of the target subtree.
+pub fn is_isomorphism(d: &Document, x: NodeId, d2: &Document, x2: NodeId, xi: &NodeMap) -> bool {
+    if !is_homomorphism(d, x, d2, x2, xi, HomKind::Full) {
+        return false;
+    }
+    let mut image: Vec<NodeId> = d
+        .descendants(x)
+        .filter(|&y| d.kind(y) != NodeKind::Text)
+        .filter_map(|y| xi.get(&y).copied())
+        .collect();
+    image.sort_unstable();
+    let before = image.len();
+    image.dedup();
+    if image.len() != before {
+        return false; // not injective
+    }
+    let target_count = d2.descendants(x2).filter(|&y| d2.kind(y) != NodeKind::Text).count();
+    image.len() == target_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        Document::from_xml(s).unwrap()
+    }
+
+    #[test]
+    fn paper_weak_homomorphism_example() {
+        // §6.1 example: D with duplicated c maps weakly onto D'.
+        let d = doc("<a><c>world</c><c>world</c><b>hello</b></a>");
+        let d2 = doc("<a><b>hello</b><c>world</c></a>");
+        let xi = find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Weak).unwrap();
+        assert!(is_homomorphism(&d, d.root(), &d2, d2.root(), &xi, HomKind::Weak));
+        // It is NOT a full homomorphism: strval(a) differs
+        // ("worldworldhello" vs "helloworld").
+        assert!(find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Full).is_none());
+    }
+
+    #[test]
+    fn structural_ignores_values() {
+        let d = doc("<a><b>1</b></a>");
+        let d2 = doc("<a><b>2</b></a>");
+        assert!(find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Structural).is_some());
+        assert!(find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Weak).is_none());
+    }
+
+    #[test]
+    fn name_mismatch_blocks() {
+        let d = doc("<a><b/></a>");
+        let d2 = doc("<a><c/></a>");
+        assert!(find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Structural).is_none());
+    }
+
+    #[test]
+    fn identity_is_isomorphism() {
+        let d = doc("<a><b>6</b><c/></a>");
+        let xi: NodeMap = d.all_nodes().map(|n| (n, n)).collect();
+        assert!(is_isomorphism(&d, d.root(), &d, d.root(), &xi));
+    }
+
+    #[test]
+    fn collapsing_map_is_not_isomorphism() {
+        let d = doc("<a><b/><b/></a>");
+        let d2 = doc("<a><b/></a>");
+        let xi = find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Weak).unwrap();
+        assert!(!is_isomorphism(&d, d.root(), &d2, d2.root(), &xi));
+    }
+
+    #[test]
+    fn internal_node_preserving_checks_leading_text() {
+        // `hello` precedes the children of a in d but not in d2.
+        let d = doc("<a>hello<b/></a>");
+        let d2 = doc("<a><b/>hello</a>");
+        let xi: NodeMap = [(d.root(), d2.root())]
+            .into_iter()
+            .chain(d.all_nodes().filter(|&n| d.kind(n) != NodeKind::Text).skip(1).zip(
+                d2.all_nodes().filter(|&n| d2.kind(n) != NodeKind::Text).skip(1),
+            ))
+            .collect();
+        assert!(is_homomorphism(&d, d.root(), &d2, d2.root(), &xi, HomKind::Weak));
+        assert!(!is_internal_node_preserving(&d, d.root(), &d2, &xi));
+    }
+
+    #[test]
+    fn subtree_homomorphism() {
+        let d = doc("<r><a><b/></a></r>");
+        let d2 = doc("<x><y><a><b/><c/></a></y></x>");
+        let a1 = {
+            let r = d.children(d.root())[0];
+            d.children(r)[0]
+        };
+        let a2 = {
+            let x = d2.children(d2.root())[0];
+            let y = d2.children(x)[0];
+            d2.children(y)[0]
+        };
+        assert!(find_homomorphism(&d, a1, &d2, a2, HomKind::Structural).is_some());
+    }
+}

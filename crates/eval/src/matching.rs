@@ -1,0 +1,459 @@
+//! Matchings (Definition 5.8) — the paper's primary tool for reasoning
+//! about whether documents match queries — together with matching search,
+//! counting (for the uniqueness arguments of §6.4.2), and the
+//! `Lemma 5.10` equivalence with `BOOLEVAL`.
+
+use crate::select::axis_candidates;
+use crate::truth::{truth_contains, TruthError};
+use fx_dom::{Document, NodeId};
+use fx_xpath::{Query, QueryNodeId};
+use std::collections::HashMap;
+
+/// Whether the value-match property (Def. 5.8 item 4) is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchMode {
+    /// A full matching: axis, node test, and value match.
+    Full,
+    /// A structural matching: value match waived (Def. 5.8, last sentence).
+    Structural,
+}
+
+/// A concrete matching: the mapping `φ` from query nodes to document nodes.
+pub type Matching = HashMap<QueryNodeId, NodeId>;
+
+/// Memoized matching-existence engine for one `(query, document)` pair.
+pub struct Matcher<'a> {
+    q: &'a Query,
+    d: &'a Document,
+    mode: MatchMode,
+    memo: HashMap<(QueryNodeId, NodeId), bool>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher. The query must be univariate when `mode` is
+    /// [`MatchMode::Full`] (truth sets are undefined otherwise — calls will
+    /// return [`TruthError::NotUnivariate`]).
+    pub fn new(q: &'a Query, d: &'a Document, mode: MatchMode) -> Self {
+        Matcher { q, d, mode, memo: HashMap::new() }
+    }
+
+    /// Does some matching of `x` with `u` exist? (A mapping `φ: Q_u → D_x`
+    /// with the root/axis/node-test/value properties.)
+    pub fn can_match(&mut self, u: QueryNodeId, x: NodeId) -> Result<bool, TruthError> {
+        if let Some(&hit) = self.memo.get(&(u, x)) {
+            return Ok(hit);
+        }
+        // Insert a tentative `false` to keep recursion well-founded (the
+        // query is a tree, so no true cycles occur; this is belt and
+        // braces).
+        self.memo.insert((u, x), false);
+        let ok = self.check(u, x)?;
+        self.memo.insert((u, x), ok);
+        Ok(ok)
+    }
+
+    fn check(&mut self, u: QueryNodeId, x: NodeId) -> Result<bool, TruthError> {
+        // Node-test match (roots have no node test; the root maps to the
+        // document root by construction of the callers).
+        if let Some(ntest) = self.q.ntest(u) {
+            if !ntest.passes(self.d.name(x)) {
+                return Ok(false);
+            }
+        }
+        // Value match.
+        if self.mode == MatchMode::Full && !truth_contains(self.q, u, &self.d.strval(x))? {
+            return Ok(false);
+        }
+        // Axis match, recursively: every child must match somewhere among
+        // the axis candidates.
+        for v in self.q.children(u).to_vec() {
+            let axis = self.q.axis(v).expect("children have axes");
+            let mut found = false;
+            for y in axis_candidates(self.d, x, axis) {
+                if self.can_match(v, y)? {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Constructs one concrete matching of `x` with `u`, if any exists.
+    pub fn find(&mut self, u: QueryNodeId, x: NodeId) -> Result<Option<Matching>, TruthError> {
+        if !self.can_match(u, x)? {
+            return Ok(None);
+        }
+        let mut phi = Matching::new();
+        self.build(u, x, &mut phi)?;
+        Ok(Some(phi))
+    }
+
+    fn build(&mut self, u: QueryNodeId, x: NodeId, phi: &mut Matching) -> Result<(), TruthError> {
+        phi.insert(u, x);
+        for v in self.q.children(u).to_vec() {
+            let axis = self.q.axis(v).expect("children have axes");
+            let y = axis_candidates(self.d, x, axis)
+                .into_iter()
+                .find_map(|y| match self.can_match(v, y) {
+                    Ok(true) => Some(Ok(y)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .expect("can_match(u,x) held, so every child has a witness")?;
+            self.build(v, y, phi)?;
+        }
+        Ok(())
+    }
+
+    /// Counts matchings of `x` with `u`, saturating at `limit`. Used to
+    /// verify the *uniqueness* of the canonical matching (Lemma 6.15).
+    pub fn count(&mut self, u: QueryNodeId, x: NodeId, limit: usize) -> Result<usize, TruthError> {
+        if !self.can_match(u, x)? {
+            return Ok(0);
+        }
+        // The number of matchings is the product over children of the sum
+        // over axis candidates of the child's count.
+        let mut total = 1usize;
+        for v in self.q.children(u).to_vec() {
+            let axis = self.q.axis(v).expect("children have axes");
+            let mut sum = 0usize;
+            for y in axis_candidates(self.d, x, axis) {
+                sum = sum.saturating_add(self.count(v, y, limit)?);
+                if sum >= limit {
+                    sum = limit;
+                    break;
+                }
+            }
+            total = total.saturating_mul(sum).min(limit);
+            if total == 0 {
+                return Ok(0);
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Does a matching of `D` with `Q` exist? By Lemma 5.10 this is equivalent
+/// to `BOOLEVAL(Q, D)` for redundancy-free queries.
+pub fn document_matches(q: &Query, d: &Document) -> Result<bool, TruthError> {
+    Matcher::new(q, d, MatchMode::Full).can_match(q.root(), d.root())
+}
+
+/// Structural variant of [`document_matches`].
+pub fn document_matches_structurally(q: &Query, d: &Document) -> Result<bool, TruthError> {
+    Matcher::new(q, d, MatchMode::Structural).can_match(q.root(), d.root())
+}
+
+/// Finds one matching of `D` with `Q`.
+pub fn find_matching(q: &Query, d: &Document) -> Result<Option<Matching>, TruthError> {
+    Matcher::new(q, d, MatchMode::Full).find(q.root(), d.root())
+}
+
+/// Counts matchings of `D` with `Q`, saturating at `limit`.
+pub fn count_matchings(q: &Query, d: &Document, limit: usize) -> Result<usize, TruthError> {
+    Matcher::new(q, d, MatchMode::Full).count(q.root(), d.root(), limit)
+}
+
+/// Definition 5.9: does `y` match `v` relative to the context `u = x`?
+/// (Is there a matching `φ` of `x` with `u` such that `φ(v) = y`?)
+pub fn matches_relative(
+    q: &Query,
+    d: &Document,
+    v: QueryNodeId,
+    y: NodeId,
+    u: QueryNodeId,
+    x: NodeId,
+    mode: MatchMode,
+) -> Result<bool, TruthError> {
+    let mut m = Matcher::new(q, d, mode);
+    constrained(&mut m, u, x, v, y)
+}
+
+/// Existence of a matching of `x` with `u` under the constraint `φ(v) = y`.
+fn constrained(
+    m: &mut Matcher<'_>,
+    u: QueryNodeId,
+    x: NodeId,
+    v: QueryNodeId,
+    y: NodeId,
+) -> Result<bool, TruthError> {
+    if u == v {
+        return Ok(x == y && m.can_match(u, x)?);
+    }
+    // v must lie strictly below u; find the child of u on the path to v.
+    let path = m.q.path(v);
+    let Some(pos) = path.iter().position(|&n| n == u) else {
+        return Ok(false);
+    };
+    let next = path[pos + 1];
+    // Local conditions at u.
+    if let Some(ntest) = m.q.ntest(u) {
+        if !ntest.passes(m.d.name(x)) {
+            return Ok(false);
+        }
+    }
+    if m.mode == MatchMode::Full && !truth_contains(m.q, u, &m.d.strval(x))? {
+        return Ok(false);
+    }
+    for w in m.q.children(u).to_vec() {
+        let axis = m.q.axis(w).expect("children have axes");
+        let mut found = false;
+        for cand in axis_candidates(m.d, x, axis) {
+            let ok = if w == next { constrained(m, w, cand, v, y)? } else { m.can_match(w, cand)? };
+            if ok {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Definition 6.3: is `φ` leaf-preserving (every query leaf maps to a
+/// document leaf, text children notwithstanding)?
+pub fn is_leaf_preserving(q: &Query, d: &Document, phi: &Matching) -> bool {
+    phi.iter().all(|(&u, &x)| !q.is_leaf(u) || d.non_text_children(x).count() == 0)
+}
+
+/// Verifies that `phi` is a valid matching of `D` with `Q` in the given
+/// mode (checks all four properties of Def. 5.8 explicitly).
+pub fn verify_matching(
+    q: &Query,
+    d: &Document,
+    phi: &Matching,
+    mode: MatchMode,
+) -> Result<bool, TruthError> {
+    // Root match.
+    if phi.get(&q.root()) != Some(&d.root()) {
+        return Ok(false);
+    }
+    for u in q.all_nodes() {
+        let Some(&x) = phi.get(&u) else {
+            return Ok(false);
+        };
+        // Node test match.
+        if let Some(ntest) = q.ntest(u) {
+            if !ntest.passes(d.name(x)) {
+                return Ok(false);
+            }
+        }
+        // Axis match.
+        if let Some(p) = q.parent(u) {
+            let &px = phi.get(&p).expect("all query nodes checked");
+            let ok = match q.axis(u).expect("non-root") {
+                fx_xpath::Axis::Child => d.parent(x) == Some(px) && d.kind(x) == fx_dom::NodeKind::Element,
+                fx_xpath::Axis::Attribute => {
+                    d.parent(x) == Some(px) && d.kind(x) == fx_dom::NodeKind::Attribute
+                }
+                fx_xpath::Axis::Descendant => {
+                    d.is_ancestor(px, x) && d.kind(x) == fx_dom::NodeKind::Element
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        // Value match.
+        if mode == MatchMode::Full && !truth_contains(q, u, &d.strval(x))? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_dom::Document;
+    use fx_xpath::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    fn d(s: &str) -> Document {
+        Document::from_xml(s).unwrap()
+    }
+
+    #[test]
+    fn fig7_two_matchings() {
+        // Fig. 7: /a[b > 5] on <a><b>6</b><b>8</b></a> has two matchings.
+        let query = q("/a[b > 5]");
+        let doc = d("<a><b>6</b><b>8</b></a>");
+        assert!(document_matches(&query, &doc).unwrap());
+        assert_eq!(count_matchings(&query, &doc, 100).unwrap(), 2);
+        // With only one b in the truth set, one matching remains.
+        let doc2 = d("<a><b>6</b><b>3</b></a>");
+        assert_eq!(count_matchings(&query, &doc2, 100).unwrap(), 1);
+    }
+
+    #[test]
+    fn matching_found_is_valid() {
+        let query = q("/a[c[.//e and f] and b > 5]");
+        let doc = d("<a><c><e/><f/></c><b>6</b></a>");
+        let phi = find_matching(&query, &doc).unwrap().unwrap();
+        assert!(verify_matching(&query, &doc, &phi, MatchMode::Full).unwrap());
+        assert_eq!(phi.len(), query.len());
+        assert!(is_leaf_preserving(&query, &doc, &phi));
+    }
+
+    #[test]
+    fn structural_vs_full() {
+        // Structural matching ignores values: b=3 fails full but passes
+        // structural for /a[b > 5].
+        let query = q("/a[b > 5]");
+        let doc = d("<a><b>3</b></a>");
+        assert!(!document_matches(&query, &doc).unwrap());
+        assert!(document_matches_structurally(&query, &doc).unwrap());
+    }
+
+    #[test]
+    fn lemma_5_10_equivalence_on_examples() {
+        // BOOLEVAL(Q, D) ⇔ a matching exists, on the paper's queries.
+        let cases = [
+            ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>"),
+            ("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>"),
+            ("//a[b and c]", "<a><b/><a><b/><a/><c/></a></a>"),
+            ("//a[b and c]", "<a><b/><a><a/><c/></a></a>"),
+            ("/a/b", "<a><Z><Z/></Z><b/></a>"),
+            ("/a/b", "<a><Z><b/></Z></a>"),
+            ("/a[b = 5 and .//b = 3]", "<a><b>5</b><x><b>3</b></x></a>"),
+            ("/a[b = 5 and .//b = 3]", "<a><b>5</b></a>"),
+        ];
+        for (qs, xml) in cases {
+            let query = q(qs);
+            let doc = d(xml);
+            let via_matching = document_matches(&query, &doc).unwrap();
+            let via_select = crate::select::bool_eval(&query, &doc).unwrap();
+            assert_eq!(via_matching, via_select, "{qs} on {xml}");
+        }
+    }
+
+    #[test]
+    fn matches_relative_contexts() {
+        // In /a[b > 5] on <a><b>6</b><b>3</b></a>, only the first b matches
+        // the query's b node relative to root=root.
+        let query = q("/a[b > 5]");
+        let doc = d("<a><b>6</b><b>3</b></a>");
+        let a_q = query.successor(query.root()).unwrap();
+        let b_q = query.predicate_children(a_q)[0];
+        let a_d = doc.children(doc.root())[0];
+        let b1 = doc.children(a_d)[0];
+        let b2 = doc.children(a_d)[1];
+        assert!(matches_relative(&query, &doc, b_q, b1, query.root(), doc.root(), MatchMode::Full).unwrap());
+        assert!(!matches_relative(&query, &doc, b_q, b2, query.root(), doc.root(), MatchMode::Full).unwrap());
+        // Structurally, both match.
+        assert!(matches_relative(&query, &doc, b_q, b2, query.root(), doc.root(), MatchMode::Structural).unwrap());
+    }
+
+    #[test]
+    fn no_matching_when_names_differ() {
+        assert!(!document_matches(&q("/a/b"), &d("<a><c/></a>")).unwrap());
+        assert!(!document_matches(&q("/x"), &d("<a/>")).unwrap());
+    }
+
+    #[test]
+    fn descendant_matching_nested() {
+        let query = q("//a[b and c]");
+        assert!(document_matches(&query, &d("<r><x><a><b/><c/></a></x></r>")).unwrap());
+        assert!(!document_matches(&query, &d("<r><a><b/></a><a><c/></a></r>")).unwrap());
+    }
+
+    #[test]
+    fn counting_saturates_at_limit() {
+        let query = q("/a[b]");
+        let doc = d("<a><b/><b/><b/><b/><b/></a>");
+        assert_eq!(count_matchings(&query, &doc, 3).unwrap(), 3);
+        assert_eq!(count_matchings(&query, &doc, 100).unwrap(), 5);
+    }
+}
+
+/// Definition 6.6 / Lemma 6.7 — hybrid matchings: pastes a matching `phi`
+/// of a document node `x` with a query node `u` onto a matching `eta` of
+/// `D` with `Q−u` (the query minus `u`'s subtree). When `x` relates to
+/// `eta(PARENT(u))` according to `AXIS(u)`, the hybrid mapping is a full
+/// matching of `D` with `Q` (Lemma 6.7); this function performs that check
+/// and returns the pasted matching, or `None` when the axis condition
+/// fails.
+pub fn hybrid_matching(
+    q: &Query,
+    d: &Document,
+    u: QueryNodeId,
+    phi: &Matching,
+    eta: &Matching,
+) -> Option<Matching> {
+    let parent = q.parent(u)?;
+    let &x = phi.get(&u)?;
+    let &px = eta.get(&parent)?;
+    let related = match q.axis(u)? {
+        fx_xpath::Axis::Child => d.parent(x) == Some(px),
+        fx_xpath::Axis::Attribute => d.parent(x) == Some(px),
+        fx_xpath::Axis::Descendant => d.is_ancestor(px, x),
+    };
+    if !related {
+        return None;
+    }
+    let subtree: std::collections::HashSet<QueryNodeId> = q.preorder(u).into_iter().collect();
+    let mut mu = Matching::new();
+    for w in q.all_nodes() {
+        let source = if subtree.contains(&w) { phi.get(&w) } else { eta.get(&w) };
+        mu.insert(w, *source?);
+    }
+    Some(mu)
+}
+
+#[cfg(test)]
+mod hybrid_tests {
+    use super::*;
+    use fx_dom::Document;
+    use fx_xpath::parse_query;
+
+    /// Lemma 6.7 end-to-end: paste a subtree matching onto a rest-of-query
+    /// matching and verify the hybrid is a genuine matching.
+    #[test]
+    fn pasting_yields_a_valid_matching() {
+        let q = parse_query("/a[c[e] and b]").unwrap();
+        let d = Document::from_xml("<a><c><e/></c><b/><c><e/></c></a>").unwrap();
+        let a_q = q.successor(q.root()).unwrap();
+        let c_q = q.predicate_children(a_q)[0];
+        let e_q = q.predicate_children(c_q)[0];
+        let a_d = d.children(d.root())[0];
+        let c2_d = d.children(a_d)[2]; // the SECOND c element
+        let e2_d = d.children(c2_d)[0];
+
+        // phi: match the c subtree onto the second c.
+        let mut phi = Matching::new();
+        phi.insert(c_q, c2_d);
+        phi.insert(e_q, e2_d);
+        // eta: the canonical full matching (restricted to Q − c).
+        let eta = find_matching(&q, &d).unwrap().unwrap();
+
+        let mu = hybrid_matching(&q, &d, c_q, &phi, &eta).unwrap();
+        assert_eq!(mu[&c_q], c2_d);
+        assert!(verify_matching(&q, &d, &mu, MatchMode::Full).unwrap());
+    }
+
+    #[test]
+    fn axis_condition_is_enforced() {
+        // phi matches c against a node that is NOT a child of eta's a:
+        // the paste must be refused.
+        let q = parse_query("/a[c and b]").unwrap();
+        let d = Document::from_xml("<a><x><c/></x><c/><b/></a>").unwrap();
+        let a_q = q.successor(q.root()).unwrap();
+        let c_q = q.predicate_children(a_q)[0];
+        let a_d = d.children(d.root())[0];
+        let x_d = d.children(a_d)[0];
+        let deep_c = d.children(x_d)[0];
+        let mut phi = Matching::new();
+        phi.insert(c_q, deep_c);
+        let eta = find_matching(&q, &d).unwrap().unwrap();
+        assert!(hybrid_matching(&q, &d, c_q, &phi, &eta).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! The reference (in-memory) evaluation semantics of §3.1.3: `SELECT`
+//! (Def. 3.4), predicate satisfaction via `PEVAL` (Defs. 3.3/3.5),
+//! `FULLEVAL` and `BOOLEVAL` (Def. 3.6).
+//!
+//! This evaluator is deliberately a direct transcription of the paper's
+//! definitions — it is the ground truth the streaming filter is tested
+//! against, so clarity beats speed.
+
+use fx_dom::{Document, NodeId, NodeKind};
+use fx_xpath::ops::eval_expr;
+use fx_xpath::value::{EvalResult, Value};
+use fx_xpath::{Axis, EvalError, Query, QueryNodeId};
+
+/// Evaluates `FULLEVAL(Q, D)` (Def. 3.6): the sequence of document nodes
+/// selected by `OUT(Q)` under the context `ROOT(Q) = ROOT(D)`, in document
+/// order — or the empty sequence if the document root does not satisfy the
+/// root's predicate.
+pub fn full_eval(q: &Query, d: &Document) -> Result<Vec<NodeId>, EvalError> {
+    if !satisfies_predicate(q, d, q.root(), d.root())? {
+        return Ok(Vec::new());
+    }
+    select(q, d, q.output_node(), q.root(), d.root())
+}
+
+/// `BOOLEVAL(Q, D)`: true iff `D` matches `Q` (Def. 3.6).
+pub fn bool_eval(q: &Query, d: &Document) -> Result<bool, EvalError> {
+    Ok(!full_eval(q, d)?.is_empty())
+}
+
+/// `SELECT(v | u = x)` (Def. 3.4). Requires `u ∈ PATH(v)`.
+pub fn select(
+    q: &Query,
+    d: &Document,
+    v: QueryNodeId,
+    u: QueryNodeId,
+    x: NodeId,
+) -> Result<Vec<NodeId>, EvalError> {
+    debug_assert!(u == v || q.path(v).contains(&u), "u must lie on PATH(v)");
+    if u == v {
+        return Ok(vec![x]);
+    }
+    let p = q.parent(v).expect("v below u implies v has a parent");
+    if p == u {
+        // Direct case: children/descendants of x that pass the node test,
+        // relate by the axis, and satisfy the predicate — in document order.
+        let axis = q.axis(v).expect("non-root node");
+        let mut out = Vec::new();
+        for y in axis_candidates(d, x, axis) {
+            let name_ok = q.ntest(v).expect("non-root node").passes(d.name(y));
+            if name_ok && satisfies_predicate(q, d, v, y)? {
+                out.push(y);
+            }
+        }
+        return Ok(out);
+    }
+    // Inductive case: select the parent first, then select v relative to
+    // each parent match, concatenated in order.
+    let zs = select(q, d, p, u, x)?;
+    let mut out = Vec::new();
+    for z in zs {
+        out.extend(select(q, d, v, p, z)?);
+    }
+    Ok(out)
+}
+
+/// The document nodes related to `x` by `axis` (Def. 3.2), in document
+/// order. The child axis yields element children; the attribute axis yields
+/// attribute children (the paper's "special case of child"); the descendant
+/// axis yields proper element descendants.
+pub fn axis_candidates(d: &Document, x: NodeId, axis: Axis) -> Vec<NodeId> {
+    match axis {
+        Axis::Child => d
+            .children(x)
+            .iter()
+            .copied()
+            .filter(|&c| d.kind(c) == NodeKind::Element)
+            .collect(),
+        Axis::Attribute => d
+            .children(x)
+            .iter()
+            .copied()
+            .filter(|&c| d.kind(c) == NodeKind::Attribute)
+            .collect(),
+        Axis::Descendant => d
+            .descendants(x)
+            .filter(|&y| y != x && d.kind(y) == NodeKind::Element)
+            .collect(),
+    }
+}
+
+/// Predicate satisfaction (Def. 3.3): true if the predicate is empty, or if
+/// `EBV(PEVAL(r_u, x)) = true`.
+pub fn satisfies_predicate(
+    q: &Query,
+    d: &Document,
+    u: QueryNodeId,
+    x: NodeId,
+) -> Result<bool, EvalError> {
+    let Some(pred) = q.predicate(u) else {
+        return Ok(true);
+    };
+    let mut error = None;
+    let mut resolve = |w: QueryNodeId| -> EvalResult {
+        // Def. 3.5 part 2: the sequence of data values of the nodes in
+        // SELECT(LEAF(w) | u = x). With no schema, DATAVAL is the string
+        // value; numeric conversions happen at the operators.
+        match select(q, d, q.succession_leaf(w), u, x) {
+            Ok(nodes) => {
+                EvalResult::Sequence(nodes.into_iter().map(|n| Value::Str(d.strval(n))).collect())
+            }
+            Err(e) => {
+                error = Some(e);
+                EvalResult::Sequence(Vec::new())
+            }
+        }
+    };
+    let result = eval_expr(pred, &mut resolve)?;
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(result.ebv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_dom::Document;
+    use fx_xpath::parse_query;
+
+    fn matches(qs: &str, xml: &str) -> bool {
+        let q = parse_query(qs).unwrap();
+        let d = Document::from_xml(xml).unwrap();
+        bool_eval(&q, &d).unwrap()
+    }
+
+    #[test]
+    fn fig2_query_on_paper_document() {
+        // D from Theorem 4.2 matches /a[c[.//e and f] and b > 5].
+        assert!(matches("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>"));
+        // b = 5 fails the predicate.
+        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>5</b></a>"));
+        // missing f fails.
+        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><c><e/></c><b>6</b></a>"));
+    }
+
+    #[test]
+    fn reordering_children_preserves_match() {
+        // Claim 4.3: Q is indifferent to child order.
+        let q = "/a[c[.//e and f] and b > 5]";
+        assert!(matches(q, "<a><b>6</b><c><f/><e/></c></a>"));
+    }
+
+    #[test]
+    fn cross_splice_document_fails() {
+        // D_{T,T'} from the proof of Theorem 4.2: two f's, no e.
+        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>"));
+    }
+
+    #[test]
+    fn recursion_query_disj_documents() {
+        // Theorem 4.5: D_{s,t} matches //a[b and c] iff some a has both.
+        let q = "//a[b and c]";
+        assert!(matches(q, "<a><b/><a><b/><a/><c/></a></a>")); // s=110, t=010 → intersect at i=2
+        assert!(!matches(q, "<a><b/><a><a/><c/></a></a>")); // b and c on different a's
+        assert!(matches(q, "<a><a><b/><c/></a></a>"));
+    }
+
+    #[test]
+    fn depth_query() {
+        // Theorem 4.6: /a/b.
+        assert!(matches("/a/b", "<a><Z><Z></Z></Z><b/><Z></Z></a>"));
+        assert!(!matches("/a/b", "<a><Z><b/></Z></a>"));
+    }
+
+    #[test]
+    fn descendant_axis_is_proper() {
+        assert!(matches("//a//b", "<a><x><b/></x></a>"));
+        assert!(matches("//a//b", "<a><b/></a>"));
+        assert!(!matches("//a//b", "<ab/>"));
+    }
+
+    #[test]
+    fn full_eval_returns_document_order() {
+        let q = parse_query("/a/b").unwrap();
+        let d = Document::from_xml("<a><b>1</b><c/><b>2</b></a>").unwrap();
+        let out = full_eval(&q, &d).unwrap();
+        assert_eq!(out.len(), 2);
+        let vals: Vec<String> = out.iter().map(|&n| d.strval(n)).collect();
+        assert_eq!(vals, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn paper_remark_example() {
+        // Q = /a[b + 2 = 5], D = <a><b>0</b><b>3</b></a>: true under the
+        // paper's semantics (existential over the arithmetic product).
+        assert!(matches("/a[b + 2 = 5]", "<a><b>0</b><b>3</b></a>"));
+        assert!(!matches("/a[b + 2 = 5]", "<a><b>0</b><b>4</b></a>"));
+    }
+
+    #[test]
+    fn wildcard_and_attribute() {
+        assert!(matches("/a/*/b", "<a><x><b/></x></a>"));
+        assert!(!matches("/a/*/b", "<a><b/></a>"));
+        assert!(matches("/a[@id = 7]", r#"<a id="7"/>"#));
+        assert!(!matches("/a[@id = 7]", r#"<a id="8"/>"#));
+        assert!(matches("/a/@id", r#"<a id="7"/>"#));
+        assert!(!matches("/a/@id", "<a/>"));
+    }
+
+    #[test]
+    fn attribute_axis_excludes_elements_and_vice_versa() {
+        assert!(!matches("/a/@b", "<a><b/></a>"));
+        assert!(!matches("/a/b", r#"<a b="1"/>"#));
+    }
+
+    #[test]
+    fn existential_semantics_over_multiple_children() {
+        // Fig. 7: /a[b > 5] where one b passes.
+        assert!(matches("/a[b > 5]", "<a><b>3</b><b>7</b></a>"));
+        assert!(!matches("/a[b > 5]", "<a><b>3</b><b>5</b></a>"));
+    }
+
+    #[test]
+    fn string_values_nest() {
+        // STRVAL concatenates nested text (§3.1.1).
+        assert!(matches("/a[b = \"xy\"]", "<a><b>x<c>y</c></b></a>"));
+    }
+
+    #[test]
+    fn subsumption_example_queries() {
+        // §5.5: /a[b and .//b] — left b subsumes right one.
+        assert!(matches("/a[b and .//b]", "<a><b/></a>"));
+        assert!(!matches("/a[b and .//b]", "<a><x><b/></x></a>")); // no direct child b
+        // /a[b = 5 and .//b = 3] needs both values somewhere.
+        assert!(matches("/a[b = 5 and .//b = 3]", "<a><b>5</b><x><b>3</b></x></a>"));
+        assert!(!matches("/a[b = 5 and .//b = 3]", "<a><b>5</b></a>"));
+    }
+
+    #[test]
+    fn not_and_or() {
+        assert!(matches("/a[not(b)]", "<a><c/></a>"));
+        assert!(!matches("/a[not(b)]", "<a><b/></a>"));
+        assert!(matches("/a[b or c]", "<a><c/></a>"));
+    }
+
+    #[test]
+    fn leaf_restricted_value_example() {
+        // /a[b[c > 5]] from §5.4.
+        assert!(matches("/a[b[c > 5]]", "<a><b><c>6</c></b></a>"));
+        assert!(!matches("/a[b[c > 5]]", "<a><b><c>5</c></b></a>"));
+        // /a[b[c] > 5] (not leaf-only-value-restricted, still evaluable):
+        // the b child must have a c child AND strval(b) > 5.
+        assert!(matches("/a[b[c] > 5]", "<a><b>7<c/></b></a>"));
+        assert!(!matches("/a[b[c] > 5]", "<a><b>7</b></a>"));
+    }
+}

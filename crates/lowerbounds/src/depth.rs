@@ -1,0 +1,217 @@
+//! The document-depth lower bound (Theorem 4.6 / Theorem 7.14): a fooling
+//! set of `t = d − s` documents `D_i` built by wrapping the canonical
+//! document's node `φ(u)` in auxiliary paths of varying length — any
+//! streaming algorithm needs Ω(log d) bits to keep track of the level.
+
+use crate::fooling::FoolingSet3;
+use fx_analysis::{canonical_document, depth_theorem_node, CanonicalDocument, FragmentViolation};
+use fx_xml::{matching_end, Event};
+use fx_xpath::{Query, QueryNodeId};
+
+/// The Theorem 7.14 construction.
+#[derive(Debug, Clone)]
+pub struct DepthBound {
+    /// The distinguished child-axis node `u`.
+    pub u: QueryNodeId,
+    /// The α / β / γ split of the canonical stream around `φ(u)`.
+    pub alpha: Vec<Event>,
+    /// The element `φ(u)` itself.
+    pub beta: Vec<Event>,
+    /// The remainder.
+    pub gamma: Vec<Event>,
+    /// The auxiliary name `Z`.
+    pub aux: String,
+    /// The canonical document.
+    pub canonical: CanonicalDocument,
+}
+
+/// An error building the construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepthError {
+    /// No eligible node `u` (see the §7.3 remark: queries like `//a`,
+    /// `*/a`, `a/*`, `//a//b` are genuinely cheap in depth).
+    NoEligibleNode,
+    /// The query is not redundancy-free.
+    Fragment(FragmentViolation),
+}
+
+impl std::fmt::Display for DepthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepthError::NoEligibleNode => write!(f, "no child-axis node with named parent"),
+            DepthError::Fragment(v) => write!(f, "query is not redundancy-free: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DepthError {}
+
+impl From<FragmentViolation> for DepthError {
+    fn from(v: FragmentViolation) -> Self {
+        DepthError::Fragment(v)
+    }
+}
+
+/// Builds the α/β/γ split of §7.3 for an eligible redundancy-free query.
+pub fn depth_bound(q: &Query) -> Result<DepthBound, DepthError> {
+    let u = depth_theorem_node(q).ok_or(DepthError::NoEligibleNode)?;
+    let cd = canonical_document(q)?;
+    let d = &cd.doc;
+    let events = d.to_events();
+
+    let elems: Vec<fx_dom::NodeId> =
+        d.all_nodes().filter(|&n| d.kind(n) == fx_dom::NodeKind::Element).collect();
+    let ord = elems
+        .iter()
+        .position(|&n| n == cd.shadow[&u])
+        .expect("shadow of u is an element (u has a named test)");
+    let start = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_start())
+        .nth(ord)
+        .map(|(i, _)| i)
+        .expect("stream contains every element");
+    let close = matching_end(&events, start).expect("well-formed stream");
+
+    Ok(DepthBound {
+        u,
+        alpha: events[..start].to_vec(),
+        beta: events[start..=close].to_vec(),
+        gamma: events[close + 1..].to_vec(),
+        aux: cd.aux_name.clone(),
+        canonical: cd,
+    })
+}
+
+impl DepthBound {
+    /// `α_i = α ◦ 〈Z〉^i`.
+    pub fn alpha_i(&self, i: usize) -> Vec<Event> {
+        let mut out = self.alpha.clone();
+        out.extend(std::iter::repeat_with(|| Event::start(&self.aux)).take(i));
+        out
+    }
+
+    /// `β_i = 〈/Z〉^i ◦ β ◦ 〈Z〉^i`.
+    pub fn beta_i(&self, i: usize) -> Vec<Event> {
+        let mut out: Vec<Event> =
+            std::iter::repeat_with(|| Event::end(&self.aux)).take(i).collect();
+        out.extend_from_slice(&self.beta);
+        out.extend(std::iter::repeat_with(|| Event::start(&self.aux)).take(i));
+        out
+    }
+
+    /// `γ_i = 〈/Z〉^i ◦ γ`.
+    pub fn gamma_i(&self, i: usize) -> Vec<Event> {
+        let mut out: Vec<Event> =
+            std::iter::repeat_with(|| Event::end(&self.aux)).take(i).collect();
+        out.extend_from_slice(&self.gamma);
+        out
+    }
+
+    /// The matching document `D_i = α_i ◦ β_i ◦ γ_i` (Fig. 17).
+    pub fn document(&self, i: usize) -> Vec<Event> {
+        let mut out = self.alpha_i(i);
+        out.extend(self.beta_i(i));
+        out.extend(self.gamma_i(i));
+        out
+    }
+
+    /// The fooling set `{(α_i, β_i, γ_i)}` for depths `0..t` (the §7.3
+    /// set has size `t = d − s = Ω(d)`).
+    pub fn fooling_set(&self, t: usize) -> FoolingSet3 {
+        FoolingSet3 {
+            triples: (0..t).map(|i| (self.alpha_i(i), self.beta_i(i), self.gamma_i(i))).collect(),
+            expected: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_dom::Document;
+    use fx_eval::bool_eval;
+    use fx_xml::is_well_formed;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn theorem_4_6_query() {
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        let report = db.fooling_set(12).verify(&q).unwrap();
+        assert_eq!(report.size, 12);
+        assert!(report.bits >= 3); // ⌊log2 12⌋
+    }
+
+    #[test]
+    fn documents_match_and_crossings_fail() {
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        for i in [0usize, 1, 5] {
+            let doc = Document::from_sax(&db.document(i)).unwrap();
+            assert!(bool_eval(&q, &doc).unwrap(), "D_{i} must match");
+        }
+        // D_{i,j} with i > j: well-formed but non-matching (Fig. 6(b)).
+        let mut dij = db.alpha_i(5);
+        dij.extend(db.beta_i(2));
+        dij.extend(db.gamma_i(5));
+        assert!(is_well_formed(&dij));
+        let doc = Document::from_sax(&dij).unwrap();
+        assert!(!bool_eval(&q, &doc).unwrap());
+    }
+
+    #[test]
+    fn depth_of_d_i_is_linear_in_i() {
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        for i in [0usize, 3, 9] {
+            let doc = Document::from_sax(&db.document(i)).unwrap();
+            assert!(doc.depth() > i && doc.depth() <= i + 3, "i={i} depth={}", doc.depth());
+        }
+    }
+
+    #[test]
+    fn general_queries() {
+        for src in [
+            "//a/b",
+            "/r/a/b[c]",
+            "/a[c[.//e and f] and b > 5]",
+            "//d[f and a[b and c]]",
+        ] {
+            let q = parse_query(src).unwrap();
+            let db = depth_bound(&q).unwrap();
+            let report = db.fooling_set(8).verify(&q);
+            assert!(report.is_ok(), "{src}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn ineligible_queries_are_rejected() {
+        for src in ["//a", "/*/a", "//a//b"] {
+            let q = parse_query(src).unwrap();
+            assert!(matches!(depth_bound(&q), Err(DepthError::NoEligibleNode)), "{src}");
+        }
+    }
+
+    #[test]
+    fn filter_memory_grows_logarithmically_in_depth() {
+        // Upper-bound side: the filter's peak bits grow like log d on D_i
+        // (the level fields), not like d.
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        let bits_at = |i: usize| {
+            let mut f = fx_core::StreamFilter::new(&q).unwrap();
+            f.process_all(&db.document(i));
+            assert_eq!(f.result(), Some(true));
+            f.stats().max_bits
+        };
+        let b16 = bits_at(16);
+        let b4096 = bits_at(4096);
+        // 256× deeper, but the bits grow only by ≈ 8 extra level bits per
+        // frontier row — nowhere near the 256× a linear dependence would
+        // give.
+        assert!(b4096 > b16);
+        assert!(b4096 <= b16 + 64, "expected logarithmic growth: {b16} -> {b4096}");
+    }
+}

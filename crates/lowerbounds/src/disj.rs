@@ -1,0 +1,278 @@
+//! The recursion-depth lower bound (Theorem 4.5 / Theorem 7.4): a
+//! reduction from set disjointness. For a Recursive-XPath query, documents
+//! `D_{s,t}` of recursion depth ≤ r are built from the canonical document
+//! such that `D_{s,t}` matches `Q` iff the sets intersect — so any
+//! streaming algorithm needs Ω(r) bits (the one-way communication
+//! complexity of DISJ).
+
+use fx_analysis::{canonical_document, recursive_xpath_node, CanonicalDocument, FragmentViolation};
+use fx_dom::NodeId;
+use fx_xml::{matching_end, Event};
+use fx_xpath::{Axis, Query, QueryNodeId};
+
+/// The seven stream segments of §7.2 (γ_prefix, γ_y-beg, γ_w1, γ_y-mid,
+/// γ_w2, γ_y-end, γ_suffix).
+#[derive(Debug, Clone)]
+pub struct DisjSegments {
+    /// γ_prefix — up to (excluding) the `startElement` of `y`.
+    pub prefix: Vec<Event>,
+    /// γ_y-beg — from `y`'s start to (excluding) `φ(w1)`'s start.
+    pub y_beg: Vec<Event>,
+    /// γ_w1 — the element `φ(w1)`.
+    pub w1: Vec<Event>,
+    /// γ_y-mid — between `φ(w1)` and `φ(w2)`.
+    pub y_mid: Vec<Event>,
+    /// γ_w2 — the element `φ(w2)`.
+    pub w2: Vec<Event>,
+    /// γ_y-end — after `φ(w2)` through `y`'s end.
+    pub y_end: Vec<Event>,
+    /// γ_suffix — the rest of the stream.
+    pub suffix: Vec<Event>,
+    /// The distinguished query node `v` (= v_k) of §7.2.1.
+    pub v: QueryNodeId,
+    /// The canonical document the segments were cut from.
+    pub canonical: CanonicalDocument,
+}
+
+/// An error building the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisjError {
+    /// The query is not in Recursive XPath (§7.2.1).
+    NotRecursive,
+    /// The query is not redundancy-free.
+    Fragment(FragmentViolation),
+}
+
+impl std::fmt::Display for DisjError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DisjError::NotRecursive => write!(f, "query has no Recursive-XPath node v"),
+            DisjError::Fragment(v) => write!(f, "query is not redundancy-free: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DisjError {}
+
+impl From<FragmentViolation> for DisjError {
+    fn from(v: FragmentViolation) -> Self {
+        DisjError::Fragment(v)
+    }
+}
+
+/// Cuts the canonical document into the seven segments of §7.2.
+pub fn disj_segments(q: &Query) -> Result<DisjSegments, DisjError> {
+    let v = recursive_xpath_node(q).ok_or(DisjError::NotRecursive)?;
+    let cd = canonical_document(q)?;
+    let d = &cd.doc;
+
+    // v1: v itself if it has a descendant axis, else its lowest ancestor
+    // with one (guaranteed to exist by the Recursive-XPath definition).
+    let v1 = if q.axis(v) == Some(Axis::Descendant) {
+        v
+    } else {
+        *q.path(v)
+            .iter()
+            .rev()
+            .find(|&&n| q.axis(n) == Some(Axis::Descendant))
+            .expect("Recursive XPath guarantees a descendant-axis ancestor")
+    };
+    // w1, w2: the first two child-axis children of v.
+    let ws: Vec<QueryNodeId> =
+        q.children(v).iter().copied().filter(|&c| q.axis(c) == Some(Axis::Child)).collect();
+    let (w1, w2) = (ws[0], ws[1]);
+
+    // y: the first artificial node in the chain above SHADOW(v1).
+    let shadow_v1 = cd.shadow[&v1];
+    let mut y = shadow_v1;
+    while let Some(p) = d.parent(y) {
+        if cd.artificial.contains(&p) {
+            y = p;
+        } else {
+            break;
+        }
+    }
+
+    let events = d.to_events();
+    let find_start = |target: NodeId| -> usize {
+        // The k-th StartElement corresponds to the k-th element node in
+        // document order.
+        let elems: Vec<NodeId> = d
+            .all_nodes()
+            .filter(|&n| d.kind(n) == fx_dom::NodeKind::Element)
+            .collect();
+        let ord = elems.iter().position(|&n| n == target).expect("target is an element");
+        events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_start())
+            .nth(ord)
+            .map(|(i, _)| i)
+            .expect("stream contains every element")
+    };
+
+    let y_start = find_start(y);
+    let y_close = matching_end(&events, y_start).expect("well-formed stream");
+    let w1_start = find_start(cd.shadow[&w1]);
+    let w1_close = matching_end(&events, w1_start).expect("well-formed stream");
+    let w2_start = find_start(cd.shadow[&w2]);
+    let w2_close = matching_end(&events, w2_start).expect("well-formed stream");
+    assert!(y_start < w1_start && w1_close < w2_start && w2_close < y_close);
+
+    Ok(DisjSegments {
+        prefix: events[..y_start].to_vec(),
+        y_beg: events[y_start..w1_start].to_vec(),
+        w1: events[w1_start..=w1_close].to_vec(),
+        y_mid: events[w1_close + 1..w2_start].to_vec(),
+        w2: events[w2_start..=w2_close].to_vec(),
+        y_end: events[w2_close + 1..=y_close].to_vec(),
+        suffix: events[y_close + 1..].to_vec(),
+        v,
+        canonical: cd,
+    })
+}
+
+impl DisjSegments {
+    /// Alice's stream prefix `α = γ_prefix ◦ α_1 ◦ … ◦ α_r` (depends only
+    /// on `s`).
+    pub fn alpha(&self, s: &[bool]) -> Vec<Event> {
+        let mut out = self.prefix.clone();
+        for &si in s {
+            out.extend_from_slice(&self.y_beg);
+            if si {
+                out.extend_from_slice(&self.w1);
+            }
+            out.extend_from_slice(&self.y_mid);
+        }
+        out
+    }
+
+    /// Bob's stream suffix `β = β_r ◦ … ◦ β_1 ◦ γ_suffix` (depends only on
+    /// `t`).
+    pub fn beta(&self, t: &[bool]) -> Vec<Event> {
+        let mut out = Vec::new();
+        for &ti in t.iter().rev() {
+            if ti {
+                out.extend_from_slice(&self.w2);
+            }
+            out.extend_from_slice(&self.y_end);
+        }
+        out.extend_from_slice(&self.suffix);
+        out
+    }
+
+    /// The full document `D_{s,t}` (Fig. 15).
+    pub fn document(&self, s: &[bool], t: &[bool]) -> Vec<Event> {
+        assert_eq!(s.len(), t.len());
+        let mut out = self.alpha(s);
+        out.extend(self.beta(t));
+        out
+    }
+}
+
+/// `DISJ(s, t) = 1` iff the sets intersect (note the paper's convention:
+/// DISJ is 1 exactly when NOT disjoint — matching `D_{s,t} matches Q`).
+pub fn sets_intersect(s: &[bool], t: &[bool]) -> bool {
+    s.iter().zip(t).any(|(&a, &b)| a && b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_dom::Document;
+    use fx_eval::bool_eval;
+    use fx_xml::is_well_formed;
+    use fx_xpath::parse_query;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_query(src: &str, r: usize, cases: usize, seed: u64) {
+        let q = parse_query(src).unwrap();
+        let seg = disj_segments(&q).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..cases {
+            let s: Vec<bool> = (0..r).map(|_| rng.gen_bool(0.5)).collect();
+            let t: Vec<bool> = (0..r).map(|_| rng.gen_bool(0.5)).collect();
+            let events = seg.document(&s, &t);
+            assert!(is_well_formed(&events), "{src}: malformed D_s,t");
+            let doc = Document::from_sax(&events).unwrap();
+            let expected = sets_intersect(&s, &t);
+            assert_eq!(
+                bool_eval(&q, &doc).unwrap(),
+                expected,
+                "{src} with s={s:?} t={t:?}:\n{}",
+                doc.to_xml()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_query() {
+        check_query("//a[b and c]", 5, 40, 1);
+    }
+
+    #[test]
+    fn paper_7_2_example_query() {
+        // //d[f and a[b and c]] — the worked example of §7.2.
+        check_query("//d[f and a[b and c]]", 4, 40, 2);
+    }
+
+    #[test]
+    fn fig5_example_document() {
+        // r = 3, s = 110, t = 010 (Fig. 5 / Fig. 14).
+        let q = parse_query("//a[b and c]").unwrap();
+        let seg = disj_segments(&q).unwrap();
+        let events = seg.document(&[true, true, false], &[false, true, false]);
+        let doc = Document::from_sax(&events).unwrap();
+        assert!(bool_eval(&q, &doc).unwrap());
+        // Recursion depth w.r.t. the distinguished node is ≤ r.
+        let r = fx_analysis::recursion_depth_wrt(&q, &doc, seg.v).unwrap();
+        assert!(r <= 3, "recursion depth {r}");
+    }
+
+    #[test]
+    fn value_predicates_survive_the_reduction() {
+        check_query("//a[b > 5 and c]", 4, 30, 3);
+    }
+
+    #[test]
+    fn deeper_recursive_nodes() {
+        check_query("//x//a[b and c]", 3, 30, 4);
+        check_query("/r//a[b and c and d]", 3, 30, 5);
+    }
+
+    #[test]
+    fn non_recursive_queries_are_rejected() {
+        for src in ["//a", "//a//b", "/a[b and c]", "/a/b"] {
+            let q = parse_query(src).unwrap();
+            assert!(matches!(disj_segments(&q), Err(DisjError::NotRecursive)), "{src}");
+        }
+    }
+
+    #[test]
+    fn alpha_depends_only_on_s() {
+        let q = parse_query("//a[b and c]").unwrap();
+        let seg = disj_segments(&q).unwrap();
+        let s = [true, false, true];
+        assert_eq!(seg.alpha(&s), seg.alpha(&s));
+        assert_ne!(seg.alpha(&[true, true, true]), seg.alpha(&s));
+    }
+
+    #[test]
+    fn filter_memory_grows_linearly_in_r() {
+        // The upper-bound side of the same experiment: the streaming
+        // filter's frontier grows Θ(r) on D_{s,t}.
+        let q = parse_query("//a[b and c]").unwrap();
+        let seg = disj_segments(&q).unwrap();
+        let mut rows = Vec::new();
+        for r in [2usize, 8, 32] {
+            let s = vec![true; r];
+            let t = vec![false; r];
+            let events = seg.document(&s, &t);
+            let mut f = fx_core::StreamFilter::new(&q).unwrap();
+            f.process_all(&events);
+            rows.push(f.stats().max_rows);
+        }
+        assert!(rows[1] >= 3 * rows[0] / 2 && rows[2] >= 3 * rows[1], "{rows:?}");
+    }
+}

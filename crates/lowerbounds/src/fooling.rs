@@ -1,0 +1,265 @@
+//! The communication-complexity scaffolding of §3.2 in executable form:
+//! fooling sets (Def. 3.8) with a machine checker for their two defining
+//! properties, and the reduction-lemma bookkeeping (Lemma 3.7) that turns
+//! a fooling set into a bits-of-memory lower bound.
+
+use fx_dom::Document;
+use fx_eval::bool_eval;
+use fx_xml::{is_well_formed, splice, Event};
+use fx_xpath::Query;
+
+/// A two-argument fooling set for `BOOLEVAL²_Q`: pairs `(α_i, β_i)` of
+/// stream prefix/suffix whose concatenations all share the output value
+/// `expected`, such that crossing any two distinct pairs flips the output
+/// (or is malformed) in at least one direction.
+#[derive(Debug, Clone)]
+pub struct FoolingSet {
+    /// The prefix/suffix pairs.
+    pub pairs: Vec<(Vec<Event>, Vec<Event>)>,
+    /// The shared output value `z` of all diagonal inputs.
+    pub expected: bool,
+}
+
+/// The outcome of checking a fooling set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoolingReport {
+    /// Number of pairs `|S|`.
+    pub size: usize,
+    /// The communication (and, via Lemma 3.7 with k = 2, memory) lower
+    /// bound in bits: `⌊log2 |S|⌋`.
+    pub bits: u32,
+    /// Diagonal inputs verified to produce `expected`.
+    pub diagonal_checked: usize,
+    /// Off-diagonal pairs verified to flip in at least one direction.
+    pub cross_checked: usize,
+}
+
+/// A violation of the fooling-set properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoolingError {
+    /// `α_i ◦ β_i` is malformed or does not produce `expected`.
+    BadDiagonal {
+        /// Index of the offending pair.
+        index: usize,
+    },
+    /// Neither `α_i ◦ β_j` nor `α_j ◦ β_i` is a well-formed document with
+    /// output ≠ `expected`.
+    BadCross {
+        /// First pair index.
+        i: usize,
+        /// Second pair index.
+        j: usize,
+    },
+    /// The reference evaluator failed.
+    Eval(String),
+}
+
+impl std::fmt::Display for FoolingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoolingError::BadDiagonal { index } => write!(f, "pair {index} breaks property (1)"),
+            FoolingError::BadCross { i, j } => write!(f, "pairs ({i},{j}) break property (2)"),
+            FoolingError::Eval(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FoolingError {}
+
+impl FoolingSet {
+    /// The memory lower bound the set certifies (Theorem 3.9 + Lemma 3.7
+    /// with `k = 2`, `|Z| = 2`): at least `log2 |S| − 1` bits; we report
+    /// the un-slacked `⌊log2 |S|⌋` communication bound.
+    pub fn bits(&self) -> u32 {
+        usize::BITS - 1 - self.pairs.len().leading_zeros()
+    }
+
+    /// Checks both fooling-set properties against the reference evaluator
+    /// (Def. 3.8). `O(|S|²)` evaluations; intended for the experiment
+    /// harness, not hot paths.
+    pub fn verify(&self, q: &Query) -> Result<FoolingReport, FoolingError> {
+        let eval = |events: &[Event]| -> Result<Option<bool>, FoolingError> {
+            if !is_well_formed(events) {
+                return Ok(None);
+            }
+            let doc = Document::from_sax(events).map_err(|e| FoolingError::Eval(e.to_string()))?;
+            bool_eval(q, &doc).map(Some).map_err(|e| FoolingError::Eval(e.to_string()))
+        };
+        let mut diagonal_checked = 0;
+        for (i, (a, b)) in self.pairs.iter().enumerate() {
+            match eval(&splice(&[a, b]))? {
+                Some(v) if v == self.expected => diagonal_checked += 1,
+                _ => return Err(FoolingError::BadDiagonal { index: i }),
+            }
+        }
+        let mut cross_checked = 0;
+        for i in 0..self.pairs.len() {
+            for j in i + 1..self.pairs.len() {
+                let ij = eval(&splice(&[&self.pairs[i].0, &self.pairs[j].1]))?;
+                let ji = eval(&splice(&[&self.pairs[j].0, &self.pairs[i].1]))?;
+                let flips = |v: Option<bool>| v.is_some_and(|x| x != self.expected);
+                if flips(ij) || flips(ji) {
+                    cross_checked += 1;
+                } else {
+                    return Err(FoolingError::BadCross { i, j });
+                }
+            }
+        }
+        Ok(FoolingReport {
+            size: self.pairs.len(),
+            bits: self.bits(),
+            diagonal_checked,
+            cross_checked,
+        })
+    }
+}
+
+/// A three-argument fooling set for `BOOLEVAL³_Q` (used by the document
+/// depth bound, Thm 4.6/7.14): triples `(α_i, β_i, γ_i)` where Alice holds
+/// `(α, γ)` and Bob holds `β`.
+#[derive(Debug, Clone)]
+pub struct FoolingSet3 {
+    /// The (prefix, middle, suffix) triples.
+    pub triples: Vec<(Vec<Event>, Vec<Event>, Vec<Event>)>,
+    /// The shared output of the diagonal.
+    pub expected: bool,
+}
+
+impl FoolingSet3 {
+    /// `⌊log2 |S|⌋` (the Ω(log d) bound divides by k−1 = 2 per Lemma 3.7).
+    pub fn bits(&self) -> u32 {
+        usize::BITS - 1 - self.triples.len().leading_zeros()
+    }
+
+    /// Checks the two fooling-set properties: all `α_i β_i γ_i` produce
+    /// `expected`; crossing the middle part flips at least one direction.
+    pub fn verify(&self, q: &Query) -> Result<FoolingReport, FoolingError> {
+        let eval = |events: &[Event]| -> Result<Option<bool>, FoolingError> {
+            if !is_well_formed(events) {
+                return Ok(None);
+            }
+            let doc = Document::from_sax(events).map_err(|e| FoolingError::Eval(e.to_string()))?;
+            bool_eval(q, &doc).map(Some).map_err(|e| FoolingError::Eval(e.to_string()))
+        };
+        let mut diagonal_checked = 0;
+        for (i, (a, b, c)) in self.triples.iter().enumerate() {
+            match eval(&splice(&[a, b, c]))? {
+                Some(v) if v == self.expected => diagonal_checked += 1,
+                _ => return Err(FoolingError::BadDiagonal { index: i }),
+            }
+        }
+        let mut cross_checked = 0;
+        for i in 0..self.triples.len() {
+            for j in i + 1..self.triples.len() {
+                let (ai, _, ci) = &self.triples[i];
+                let (aj, _, cj) = &self.triples[j];
+                let ij = eval(&splice(&[ai, &self.triples[j].1, ci]))?;
+                let ji = eval(&splice(&[aj, &self.triples[i].1, cj]))?;
+                let flips = |v: Option<bool>| v.is_some_and(|x| x != self.expected);
+                if flips(ij) || flips(ji) {
+                    cross_checked += 1;
+                } else {
+                    return Err(FoolingError::BadCross { i, j });
+                }
+            }
+        }
+        Ok(FoolingReport {
+            size: self.triples.len(),
+            bits: self.bits(),
+            diagonal_checked,
+            cross_checked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    fn ev(xml: &str) -> Vec<Event> {
+        fx_xml::parse(xml).unwrap()
+    }
+
+    #[test]
+    fn hand_built_theorem_4_2_set_verifies() {
+        // The 8 subsets of {e, f, b} for /a[c[.//e and f] and b > 5],
+        // built by hand as in the proof of Theorem 4.2 (no canonical Z
+        // chain — the simplified §4.1 version).
+        let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+        let b6 = [Event::start("b"), Event::text("6"), Event::end("b")];
+        let e = [Event::start("e"), Event::end("e")];
+        let f = [Event::start("f"), Event::end("f")];
+        let mut pairs = Vec::new();
+        for t in 0u8..8 {
+            let te = t & 1 != 0;
+            let tf = t & 2 != 0;
+            let tb = t & 4 != 0;
+            // α: 〈$〉〈a〉 [b∈T] 〈c〉 [f∈T] [e∈T]; β: [e∉T] [f∉T] 〈/c〉 [b∉T]
+            // 〈/a〉〈/$〉 — the cut sits between T and its complement.
+            let mut alpha = vec![Event::StartDocument, Event::start("a")];
+            let mut beta = Vec::new();
+            if tb {
+                alpha.extend(b6.iter().cloned());
+            }
+            alpha.push(Event::start("c"));
+            if tf {
+                alpha.extend(f.iter().cloned());
+            }
+            if te {
+                alpha.extend(e.iter().cloned());
+            }
+            if !te {
+                beta.extend(e.iter().cloned());
+            }
+            if !tf {
+                beta.extend(f.iter().cloned());
+            }
+            beta.push(Event::end("c"));
+            if !tb {
+                beta.extend(b6.iter().cloned());
+            }
+            beta.push(Event::end("a"));
+            beta.push(Event::EndDocument);
+            pairs.push((alpha, beta));
+        }
+        let fs = FoolingSet { pairs, expected: true };
+        let report = fs.verify(&q).unwrap();
+        assert_eq!(report.size, 8);
+        assert_eq!(report.bits, 3); // = FS(Q)
+        assert_eq!(report.cross_checked, 8 * 7 / 2);
+    }
+
+    #[test]
+    fn broken_sets_are_rejected() {
+        // Two identical pairs cannot fool anything.
+        let q = parse_query("/a[b]").unwrap();
+        let events = ev("<a><b/></a>");
+        let pairs = vec![
+            (events[..2].to_vec(), events[2..].to_vec()),
+            (events[..2].to_vec(), events[2..].to_vec()),
+        ];
+        let fs = FoolingSet { pairs, expected: true };
+        assert!(matches!(fs.verify(&q), Err(FoolingError::BadCross { .. })));
+    }
+
+    #[test]
+    fn diagonal_mismatch_is_rejected() {
+        let q = parse_query("/a[b]").unwrap();
+        let events = ev("<a><c/></a>"); // does not match
+        let fs = FoolingSet {
+            pairs: vec![(events[..2].to_vec(), events[2..].to_vec())],
+            expected: true,
+        };
+        assert!(matches!(fs.verify(&q), Err(FoolingError::BadDiagonal { index: 0 })));
+    }
+
+    #[test]
+    fn bits_is_floor_log2() {
+        let dummy = (vec![], vec![]);
+        for (n, expect) in [(1usize, 0u32), (2, 1), (3, 1), (4, 2), (8, 3), (9, 3)] {
+            let fs = FoolingSet { pairs: vec![dummy.clone(); n], expected: true };
+            assert_eq!(fs.bits(), expect, "n={n}");
+        }
+    }
+}

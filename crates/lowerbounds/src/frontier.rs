@@ -1,0 +1,238 @@
+//! The query-frontier-size lower bound (Theorem 4.2 / Theorem 7.1): for a
+//! redundancy-free query `Q`, a fooling set of `2^FS(Q)` prefix/suffix
+//! pairs built from the canonical document — certifying that any streaming
+//! algorithm for `BOOLEVAL_Q` needs `FS(Q)` bits on some document.
+
+use crate::fooling::FoolingSet;
+use fx_analysis::{canonical_document, CanonicalDocument, FragmentViolation};
+use fx_dom::{NodeId, NodeKind};
+use fx_xml::Event;
+use fx_xpath::Query;
+
+/// The Theorem 7.1 construction, fully materialized.
+#[derive(Debug, Clone)]
+pub struct FrontierBound {
+    /// The canonical document the pairs are carved from.
+    pub canonical: CanonicalDocument,
+    /// The frontier node `x` (the shadow node with the largest frontier).
+    pub x: NodeId,
+    /// The frontier members `F(x)` in a fixed order (document nodes).
+    pub frontier: Vec<NodeId>,
+    /// The fooling set: one pair per subset `T ⊆ F(x)`.
+    pub fooling: FoolingSet,
+}
+
+impl FrontierBound {
+    /// The certified lower bound, in bits: `FS(Q)`.
+    pub fn bits(&self) -> u32 {
+        self.fooling.bits()
+    }
+}
+
+/// Builds the Theorem 7.1 fooling set for a redundancy-free query. With
+/// `cap` capping the subset enumeration (2^FS pairs explode quickly; pass
+/// `None` for all of them, or `Some(k)` to keep the first `k` subsets by
+/// binary counting — the bits certified shrink accordingly).
+pub fn frontier_bound(q: &Query, cap: Option<usize>) -> Result<FrontierBound, FragmentViolation> {
+    let cd = canonical_document(q)?;
+    let d = &cd.doc;
+
+    // The document node with the largest frontier; WLOG a shadow node
+    // (artificial nodes have no siblings, their frontier is dominated by
+    // the shadow below them).
+    let shadows: Vec<NodeId> = cd.shadow.values().copied().filter(|&n| n != d.root()).collect();
+    // Attribute nodes cannot be toggled across the cut (they ride their
+    // element's start tag), so the construction distributes only element
+    // frontier members; attribute members shrink the certified bits.
+    let elem_frontier = |n: NodeId| -> Vec<NodeId> {
+        fx_dom::measure::frontier(d, n)
+            .into_iter()
+            .filter(|&m| d.kind(m) == NodeKind::Element)
+            .collect()
+    };
+    // Prefer the *deepest* widest-frontier node: the crossing documents
+    // then drop an inner element while staying well-formed (a root-level
+    // widest frontier would make crossings malformed and certify
+    // nothing).
+    let x = shadows
+        .iter()
+        .copied()
+        .filter(|&n| d.kind(n) == NodeKind::Element)
+        .max_by_key(|&n| (elem_frontier(n).len(), d.level(n)))
+        .expect("queries have at least one non-root element node");
+    let frontier = elem_frontier(x);
+
+    let path = d.path(x); // document root (the 〈$〉 node) … x
+    if path.len() == 2 {
+        // Degenerate case: the widest frontier sits at the root element
+        // (single-step queries like `/a`). A streaming algorithm needs
+        // only the output bit there; certify the trivial 0-bit set.
+        let events = d.to_events();
+        let cut = events.len() - 1;
+        return Ok(FrontierBound {
+            x,
+            frontier,
+            fooling: FoolingSet {
+                pairs: vec![(events[..cut].to_vec(), events[cut..].to_vec())],
+                expected: true,
+            },
+            canonical: cd,
+        });
+    }
+    let subset_count = 1usize
+        .checked_shl(frontier.len() as u32)
+        .expect("frontier sizes stay well below 64");
+    let take = cap.map_or(subset_count, |c| c.min(subset_count));
+
+    let mut pairs = Vec::with_capacity(take);
+    for t in 0..take {
+        let in_t = |n: NodeId| frontier.iter().position(|&f| f == n).is_some_and(|i| t >> i & 1 == 1);
+        // α = 〈$〉 ◦ α_1 ◦ … ◦ α_{ℓ-1}, β = β_{ℓ-1} ◦ … ◦ β_1 ◦ 〈/$〉 where
+        // segment i covers the path node x_i: α_i = 〈x_i〉 ◦ (leading text)
+        // ◦ subtrees of T-children; β_i = subtrees of complement-children
+        // ◦ 〈/x_i〉. Children on the path are the nesting itself.
+        let mut alpha = vec![Event::StartDocument];
+        let mut beta = vec![Event::EndDocument];
+        // Iterate the path nodes x_1 … x_{ℓ-1} (§7.1: x_1 = ROOT(D), the
+        // 〈$〉 node, whose "frame" is the document envelope itself);
+        // x = x_ℓ is distributed at its parent like its super-siblings.
+        for w in 0..path.len() - 1 {
+            let xi = path[w];
+            // The path continues through this child — unless it is x
+            // itself, which is distributed by T-membership like its
+            // super-siblings.
+            let continuation = (w + 1 < path.len() - 1).then(|| path[w + 1]);
+            if w == 0 {
+                // The 〈$〉 frame is already in place; the document root has
+                // no other children to distribute.
+                continue;
+            }
+            let attrs: Vec<fx_xml::Attribute> = d
+                .children(xi)
+                .iter()
+                .filter(|&&c| d.kind(c) == NodeKind::Attribute)
+                .map(|&c| fx_xml::Attribute::new(d.name(c), d.strval(c)))
+                .collect();
+            alpha.push(Event::start_with_attrs(d.name(xi), attrs));
+            // Leading text (canonical values precede other children).
+            if let Some(&first) = d.children(xi).first() {
+                if d.kind(first) == NodeKind::Text {
+                    alpha.push(Event::text(d.strval(first)));
+                }
+            }
+            let mut closing = vec![Event::end(d.name(xi))];
+            for c in d.non_text_children(xi) {
+                if Some(c) == continuation {
+                    continue; // the nesting continues here
+                }
+                if d.kind(c) == NodeKind::Attribute {
+                    continue; // excluded from the toggled frontier
+                }
+                let sub = subtree_events(d, c);
+                if in_t(c) {
+                    alpha.extend(sub);
+                } else {
+                    let mut with_tail = sub;
+                    with_tail.append(&mut closing);
+                    closing = with_tail;
+                }
+            }
+            beta.splice(0..0, closing);
+        }
+        pairs.push((alpha, beta));
+    }
+    Ok(FrontierBound {
+        canonical: cd,
+        x,
+        frontier,
+        fooling: FoolingSet { pairs, expected: true },
+    })
+}
+
+/// Serializes the subtree rooted at `n` (attributes included) to events.
+fn subtree_events(d: &fx_dom::Document, n: NodeId) -> Vec<Event> {
+    match d.kind(n) {
+        NodeKind::Text => vec![Event::text(d.strval(n))],
+        NodeKind::Attribute => {
+            // Attributes ride on their element's start tag and are never
+            // serialized standalone (the construction filters them out).
+            debug_assert!(false, "attribute nodes are not distributable frontier members");
+            Vec::new()
+        }
+        _ => {
+            let mut out = Vec::new();
+            let attrs: Vec<fx_xml::Attribute> = d
+                .children(n)
+                .iter()
+                .filter(|&&c| d.kind(c) == NodeKind::Attribute)
+                .map(|&c| fx_xml::Attribute::new(d.name(c), d.strval(c)))
+                .collect();
+            out.push(Event::start_with_attrs(d.name(n), attrs));
+            for &c in d.children(n) {
+                match d.kind(c) {
+                    NodeKind::Attribute => {}
+                    NodeKind::Text => out.push(Event::text(d.strval(c))),
+                    _ => out.extend(subtree_events(d, c)),
+                }
+            }
+            out.push(Event::end(d.name(n)));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn theorem_4_2_fixed_query() {
+        // Q = /a[c[.//e and f] and b > 5]: FS(Q) = 3, fooling set of 8.
+        let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+        let fb = frontier_bound(&q, None).unwrap();
+        assert_eq!(fb.frontier.len(), 3);
+        assert_eq!(fb.fooling.pairs.len(), 8);
+        let report = fb.fooling.verify(&q).unwrap();
+        assert_eq!(report.bits, 3);
+        assert_eq!(report.bits as usize, fx_analysis::frontier_size(&q));
+    }
+
+    #[test]
+    fn general_queries_certify_their_frontier_size() {
+        for src in [
+            "//a[b and c]",
+            "/a[b and c and d]",
+            "/r[a[b and c] and d]",
+            "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+            "//d[f and a[b and c]]",
+        ] {
+            let q = parse_query(src).unwrap();
+            let fb = frontier_bound(&q, None).unwrap();
+            let report = fb.fooling.verify(&q).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(report.bits as usize, fx_analysis::frontier_size(&q), "{src}");
+        }
+    }
+
+    #[test]
+    fn capped_enumeration() {
+        let q = parse_query("/a[b and c and d and e]").unwrap(); // FS = 4
+        let fb = frontier_bound(&q, Some(4)).unwrap();
+        assert_eq!(fb.fooling.pairs.len(), 4);
+        assert!(fb.fooling.verify(&q).is_ok());
+        assert_eq!(fb.bits(), 2); // capped certification
+    }
+
+    #[test]
+    fn random_redundancy_free_queries_verify() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let cfg = fx_workloads::RandomQueryConfig { max_nodes: 8, ..Default::default() };
+        for i in 0..12 {
+            let q = fx_workloads::random_redundancy_free(&mut rng, &cfg);
+            let fb = frontier_bound(&q, Some(64)).unwrap();
+            let report = fb.fooling.verify(&q);
+            assert!(report.is_ok(), "query {i} {}: {report:?}", fx_xpath::to_xpath(&q));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The state-complexity prober: an executable rendering of the reduction
+//! lemma (Lemma 3.7). Running a streaming filter over a family of stream
+//! prefixes and probing each resulting state with a family of suffixes
+//! partitions the states into *behavioral equivalence classes*; any
+//! correct algorithm must keep these classes apart, so
+//! `⌈log2 #classes⌉` is a measured lower bound on its state size — and a
+//! machine check that our fooling sets really force the advertised
+//! memory.
+
+use fx_xml::Event;
+use std::collections::HashMap;
+
+/// A streaming filter usable by the prober: processable, cloneable (to
+/// snapshot the state at the cut), and yielding a verdict.
+pub trait Probe: Clone {
+    /// Feeds one event.
+    fn feed(&mut self, event: &Event);
+    /// The verdict after `EndDocument`.
+    fn verdict(&self) -> Option<bool>;
+}
+
+impl Probe for fx_core::StreamFilter {
+    fn feed(&mut self, event: &Event) {
+        self.process(event);
+    }
+    fn verdict(&self) -> Option<bool> {
+        self.result()
+    }
+}
+
+impl Probe for fx_automata::NfaFilter {
+    fn feed(&mut self, event: &Event) {
+        fx_automata::BooleanStreamFilter::process(self, event);
+    }
+    fn verdict(&self) -> Option<bool> {
+        fx_automata::BooleanStreamFilter::verdict(self)
+    }
+}
+
+impl Probe for fx_automata::LazyDfaFilter {
+    fn feed(&mut self, event: &Event) {
+        fx_automata::BooleanStreamFilter::process(self, event);
+    }
+    fn verdict(&self) -> Option<bool> {
+        fx_automata::BooleanStreamFilter::verdict(self)
+    }
+}
+
+/// The prober's findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeReport {
+    /// Number of prefixes probed.
+    pub prefixes: usize,
+    /// Number of behaviorally distinguishable states.
+    pub classes: usize,
+    /// `⌈log2 classes⌉`: the bits the filter provably dedicates to
+    /// separating this family.
+    pub bits: u32,
+}
+
+/// Runs `fresh()` on every prefix, snapshots the state, probes it with
+/// every suffix, and counts distinct behavior vectors.
+pub fn probe<F: Probe>(
+    fresh: impl Fn() -> F,
+    prefixes: &[Vec<Event>],
+    suffixes: &[Vec<Event>],
+) -> ProbeReport {
+    let mut classes: HashMap<Vec<Option<bool>>, usize> = HashMap::new();
+    for prefix in prefixes {
+        let mut f = fresh();
+        for e in prefix {
+            f.feed(e);
+        }
+        let behavior: Vec<Option<bool>> = suffixes
+            .iter()
+            .map(|suffix| {
+                let mut g = f.clone();
+                for e in suffix {
+                    g.feed(e);
+                }
+                g.verdict()
+            })
+            .collect();
+        let next = classes.len();
+        classes.entry(behavior).or_insert(next);
+    }
+    let n = classes.len();
+    ProbeReport {
+        prefixes: prefixes.len(),
+        classes: n,
+        bits: if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() },
+    }
+}
+
+/// Convenience: probes a filter with a two-argument fooling set, using the
+/// set's own suffixes as probes (the canonical usage of Lemma 3.7).
+pub fn probe_fooling_set<F: Probe>(
+    fresh: impl Fn() -> F,
+    fooling: &crate::fooling::FoolingSet,
+) -> ProbeReport {
+    let prefixes: Vec<Vec<Event>> = fooling.pairs.iter().map(|(a, _)| a.clone()).collect();
+    let suffixes: Vec<Vec<Event>> = fooling.pairs.iter().map(|(_, b)| b.clone()).collect();
+    probe(fresh, &prefixes, &suffixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::depth_bound;
+    use crate::disj::{disj_segments, sets_intersect};
+    use crate::frontier::frontier_bound;
+    use fx_core::StreamFilter;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn frontier_fooling_set_forces_fs_bits() {
+        // Theorem 4.2, measured: the filter's states after the 2^3
+        // prefixes are pairwise distinguishable — exactly FS(Q)=3 bits.
+        let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+        let fb = frontier_bound(&q, None).unwrap();
+        let report = probe_fooling_set(|| StreamFilter::new(&q).unwrap(), &fb.fooling);
+        assert_eq!(report.classes, 8);
+        assert_eq!(report.bits, 3);
+    }
+
+    #[test]
+    fn disj_prefixes_force_r_bits() {
+        // Theorem 4.5, measured: all 2^r Alice-side prefixes lead to
+        // pairwise-distinguishable states.
+        let q = parse_query("//a[b and c]").unwrap();
+        let seg = disj_segments(&q).unwrap();
+        let r = 6usize;
+        let all: Vec<Vec<bool>> = (0..1usize << r)
+            .map(|m| (0..r).map(|i| m >> i & 1 == 1).collect())
+            .collect();
+        let prefixes: Vec<Vec<Event>> = all.iter().map(|s| seg.alpha(s)).collect();
+        let suffixes: Vec<Vec<Event>> = all.iter().map(|t| seg.beta(t)).collect();
+        let report = probe(|| StreamFilter::new(&q).unwrap(), &prefixes, &suffixes);
+        assert_eq!(report.classes, 1 << r, "every subset state must be distinguishable");
+        assert_eq!(report.bits, r as u32);
+        // Sanity: the behavior actually encodes DISJ.
+        let mut f = StreamFilter::new(&q).unwrap();
+        let s = &all[0b101];
+        for e in seg.alpha(s) {
+            f.feed(&e);
+        }
+        for t in &all {
+            let mut g = f.clone();
+            for e in seg.beta(t) {
+                g.feed(&e);
+            }
+            assert_eq!(g.verdict(), Some(sets_intersect(s, t)));
+        }
+    }
+
+    #[test]
+    fn depth_prefixes_force_log_d_states() {
+        // Theorem 4.6, measured: the t prefixes α_i lead to t
+        // distinguishable states (i must be remembered exactly).
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        let t = 16usize;
+        let prefixes: Vec<Vec<Event>> = (0..t).map(|i| db.alpha_i(i)).collect();
+        let suffixes: Vec<Vec<Event>> = (0..t)
+            .map(|i| {
+                let mut s = db.beta_i(i);
+                s.extend(db.gamma_i(i));
+                s
+            })
+            .collect();
+        let report = probe(|| StreamFilter::new(&q).unwrap(), &prefixes, &suffixes);
+        assert_eq!(report.classes, t);
+        assert_eq!(report.bits, 4);
+    }
+
+    #[test]
+    fn automata_states_are_also_forced() {
+        // The NFA baseline must keep the depth states apart too (it is
+        // correct, so Lemma 3.7 applies to it equally).
+        let q = parse_query("/a/b").unwrap();
+        let db = depth_bound(&q).unwrap();
+        let t = 8usize;
+        let prefixes: Vec<Vec<Event>> = (0..t).map(|i| db.alpha_i(i)).collect();
+        let suffixes: Vec<Vec<Event>> = (0..t)
+            .map(|i| {
+                let mut s = db.beta_i(i);
+                s.extend(db.gamma_i(i));
+                s
+            })
+            .collect();
+        let report =
+            probe(|| fx_automata::NfaFilter::new(&q).unwrap(), &prefixes, &suffixes);
+        assert_eq!(report.classes, t);
+    }
+
+    #[test]
+    fn identical_prefixes_collapse_to_one_class() {
+        let q = parse_query("/a[b]").unwrap();
+        let events = fx_xml::parse("<a><b/></a>").unwrap();
+        let prefix = events[..2].to_vec();
+        let suffix = events[2..].to_vec();
+        let report = probe(
+            || StreamFilter::new(&q).unwrap(),
+            &[prefix.clone(), prefix],
+            &[suffix],
+        );
+        assert_eq!(report.classes, 1);
+        assert_eq!(report.bits, 0);
+    }
+}

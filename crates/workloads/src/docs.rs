@@ -1,0 +1,180 @@
+//! Seeded document generators: random trees plus the parameterized
+//! families the paper's bounds sweep over (deep, recursive, wide,
+//! long-text documents).
+
+use fx_dom::{Document, NodeId, NodeKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A small element-name alphabet shared by tests and benches.
+pub fn small_alphabet() -> Vec<String> {
+    ["a", "b", "c", "d", "e", "f", "x", "y"].iter().map(|s| s.to_string()).collect()
+}
+
+/// Configuration for [`random_document`].
+#[derive(Debug, Clone)]
+pub struct RandomDocConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_children: usize,
+    /// Element-name pool.
+    pub names: Vec<String>,
+    /// Text-value pool (empty string = no text node).
+    pub text_values: Vec<String>,
+}
+
+impl Default for RandomDocConfig {
+    fn default() -> Self {
+        RandomDocConfig {
+            max_depth: 6,
+            max_children: 4,
+            names: small_alphabet(),
+            text_values: vec![String::new(), "1".into(), "6".into(), "x".into()],
+        }
+    }
+}
+
+/// Generates a random document from the given RNG (deterministic for a
+/// seeded RNG).
+pub fn random_document<R: Rng>(rng: &mut R, cfg: &RandomDocConfig) -> Document {
+    let mut doc = Document::empty();
+    let root_name = cfg.names.choose(rng).expect("non-empty name pool").clone();
+    let root = doc.push_node(NodeId::ROOT, NodeKind::Element, root_name, "");
+    grow(rng, cfg, &mut doc, root, 1);
+    doc
+}
+
+fn grow<R: Rng>(rng: &mut R, cfg: &RandomDocConfig, doc: &mut Document, at: NodeId, depth: usize) {
+    if let Some(t) = cfg.text_values.choose(rng) {
+        if !t.is_empty() && rng.gen_bool(0.5) {
+            doc.push_node(at, NodeKind::Text, "", t.clone());
+        }
+    }
+    if depth >= cfg.max_depth {
+        return;
+    }
+    let n_children = rng.gen_range(0..=cfg.max_children);
+    for _ in 0..n_children {
+        let name = cfg.names.choose(rng).expect("non-empty name pool").clone();
+        let child = doc.push_node(at, NodeKind::Element, name, "");
+        grow(rng, cfg, doc, child, depth + 1);
+    }
+}
+
+/// The Theorem 4.6 family: `<a><Z>^i … <b/> … </a>` — a `/a/b`-matching
+/// document of depth `max(i+1, 2)`, with the `b` child of `a` flanked by
+/// two depth-`i` auxiliary paths (Fig. 6(a)).
+pub fn depth_document(i: usize) -> Document {
+    let xml = format!(
+        "<a>{o}{c}<b/>{o}{c}</a>",
+        o = "<Z>".repeat(i),
+        c = "</Z>".repeat(i)
+    );
+    Document::from_xml(&xml).expect("constructed XML is valid")
+}
+
+/// The Theorem 4.5 family `D_{s,t}` (Fig. 5): `r` nested `a` elements; the
+/// `i`-th has a left `b` child iff `s[i]`, and a right `c` child iff
+/// `t[i]`. Matches `//a[b and c]` iff the sets intersect.
+pub fn disjointness_document(s: &[bool], t: &[bool]) -> Document {
+    assert_eq!(s.len(), t.len());
+    let mut xml = String::new();
+    for &si in s {
+        xml.push_str("<a>");
+        if si {
+            xml.push_str("<b/>");
+        }
+    }
+    for &ti in t.iter().rev() {
+        if ti {
+            xml.push_str("<c/>");
+        }
+        xml.push_str("</a>");
+    }
+    Document::from_xml(&xml).expect("constructed XML is valid")
+}
+
+/// A recursive document: `r` nested `name` elements, the innermost
+/// carrying the given children XML.
+pub fn nested(name: &str, r: usize, innermost: &str) -> Document {
+    let xml = format!("{}{}{}", format!("<{name}>").repeat(r), innermost, format!("</{name}>").repeat(r));
+    Document::from_xml(&xml).expect("constructed XML is valid")
+}
+
+/// A wide, flat document: a root with `n` children cycling through
+/// `names`, each optionally holding a small text value.
+pub fn wide(root: &str, names: &[&str], n: usize) -> Document {
+    let mut xml = format!("<{root}>");
+    for i in 0..n {
+        let name = names[i % names.len()];
+        xml.push_str(&format!("<{name}>{}</{name}>", i % 10));
+    }
+    xml.push_str(&format!("</{root}>"));
+    Document::from_xml(&xml).expect("constructed XML is valid")
+}
+
+/// A document whose single `field` leaf under the root holds a text value
+/// of `width` characters (drives the `w` axis of Thm 8.8).
+pub fn long_text(root: &str, field: &str, width: usize) -> Document {
+    let text = "t".repeat(width);
+    let xml = format!("<{root}><{field}>{text}</{field}><ok/></{root}>");
+    Document::from_xml(&xml).expect("constructed XML is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_document_is_deterministic_per_seed() {
+        let cfg = RandomDocConfig::default();
+        let a = random_document(&mut SmallRng::seed_from_u64(7), &cfg);
+        let b = random_document(&mut SmallRng::seed_from_u64(7), &cfg);
+        let c = random_document(&mut SmallRng::seed_from_u64(8), &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    #[test]
+    fn depth_document_shape() {
+        let d = depth_document(3);
+        assert_eq!(d.depth(), 4); // i+1
+        assert_eq!(depth_document(0).depth(), 2);
+        // It matches /a/b.
+        let q = fx_xpath::parse_query("/a/b").unwrap();
+        assert!(fx_eval::bool_eval(&q, &d).unwrap());
+    }
+
+    #[test]
+    fn disjointness_document_semantics() {
+        let q = fx_xpath::parse_query("//a[b and c]").unwrap();
+        // s=110, t=010 (the paper's Fig. 5 example): intersect at i=2.
+        let d = disjointness_document(&[true, true, false], &[false, true, false]);
+        assert!(fx_eval::bool_eval(&q, &d).unwrap());
+        // Disjoint sets.
+        let d2 = disjointness_document(&[true, false, false], &[false, true, true]);
+        assert!(!fx_eval::bool_eval(&q, &d2).unwrap());
+        // Empty sets.
+        let d3 = disjointness_document(&[false; 4], &[false; 4]);
+        assert!(!fx_eval::bool_eval(&q, &d3).unwrap());
+    }
+
+    #[test]
+    fn nested_and_wide() {
+        let d = nested("a", 5, "<b/>");
+        assert_eq!(d.depth(), 6);
+        let w = wide("r", &["a", "b"], 10);
+        let root_elem = w.children(w.root())[0];
+        assert_eq!(w.non_text_children(root_elem).count(), 10);
+    }
+
+    #[test]
+    fn long_text_width() {
+        let d = long_text("r", "f", 500);
+        let q = fx_xpath::parse_query("/r[f = \"nope\"]").unwrap();
+        assert_eq!(fx_analysis::text_width(&q, &d), 500);
+    }
+}

@@ -1,0 +1,20 @@
+//! # fx-workloads
+//!
+//! Seeded, deterministic generators for the documents and queries the
+//! experiments sweep over: random trees, the paper's adversarial families
+//! (depth documents of Thm 4.6, DISJ documents of Thm 4.5), random
+//! redundancy-free queries, and a miniature XMark-style auction-site
+//! generator for realistic end-to-end scenarios.
+
+#![warn(missing_docs)]
+
+pub mod docs;
+pub mod queries;
+pub mod xmark;
+
+pub use docs::{
+    depth_document, disjointness_document, long_text, nested, random_document, small_alphabet,
+    wide, RandomDocConfig,
+};
+pub use queries::{balanced_twig, descendant_chain, random_redundancy_free, star, RandomQueryConfig};
+pub use xmark::{auction_site, standing_queries, XmarkConfig};

@@ -1,0 +1,186 @@
+//! Seeded query generators, including random members of Redundancy-free
+//! XPath (used by the generalized lower-bound experiments E4–E6).
+
+use fx_xpath::{parse_query, Query};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`random_redundancy_free`].
+#[derive(Debug, Clone)]
+pub struct RandomQueryConfig {
+    /// Upper bound on the number of steps/predicate children generated.
+    pub max_nodes: usize,
+    /// Probability of a descendant axis per step.
+    pub descendant_prob: f64,
+    /// Probability a node gets a predicate with children.
+    pub predicate_prob: f64,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> Self {
+        RandomQueryConfig { max_nodes: 12, descendant_prob: 0.3, predicate_prob: 0.5 }
+    }
+}
+
+/// Generates a random redundancy-free query. Distinct element names are
+/// drawn without replacement, which guarantees path-consistency-freeness
+/// of the structure; numeric predicates use disjoint intervals so the
+/// sunflower properties hold trivially. The result is checked against
+/// `fx_analysis::redundancy_free` by the caller's tests.
+pub fn random_redundancy_free<R: Rng>(rng: &mut R, cfg: &RandomQueryConfig) -> Query {
+    // A pool of distinct names: n0, n1, … — never reused, so no two query
+    // nodes are path consistent and no automorphism collapses nodes.
+    let mut next_name = 0usize;
+    let mut budget = cfg.max_nodes.max(2);
+    let src = gen_path(rng, cfg, &mut next_name, &mut budget, true);
+    parse_query(&src).expect("generated query is syntactically valid")
+}
+
+fn fresh(next_name: &mut usize) -> String {
+    let n = format!("n{next_name}");
+    *next_name += 1;
+    n
+}
+
+fn gen_path<R: Rng>(
+    rng: &mut R,
+    cfg: &RandomQueryConfig,
+    next_name: &mut usize,
+    budget: &mut usize,
+    top: bool,
+) -> String {
+    let mut out = String::new();
+    let steps = rng.gen_range(1..=2.min(*budget).max(1));
+    for i in 0..steps {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        let axis = if rng.gen_bool(cfg.descendant_prob) { "//" } else { "/" };
+        let axis = if top && i == 0 && axis == "/" { "/" } else { axis };
+        let name = fresh(next_name);
+        out.push_str(axis);
+        out.push_str(&name);
+        if *budget > 0 && rng.gen_bool(cfg.predicate_prob) {
+            let n_conj = rng.gen_range(1..=2.min(*budget).max(1));
+            let mut conjuncts = Vec::new();
+            for _ in 0..n_conj {
+                if *budget == 0 {
+                    break;
+                }
+                conjuncts.push(gen_conjunct(rng, next_name, budget));
+            }
+            if !conjuncts.is_empty() {
+                out.push('[');
+                out.push_str(&conjuncts.join(" and "));
+                out.push(']');
+            }
+        }
+    }
+    out
+}
+
+fn gen_conjunct<R: Rng>(rng: &mut R, next_name: &mut usize, budget: &mut usize) -> String {
+    *budget -= 1;
+    let axis = match rng.gen_range(0..3) {
+        0 => ".//",
+        _ => "",
+    };
+    let name = fresh(next_name);
+    // Optionally constrain the leaf's value; distinct constants keep the
+    // sunflower property trivially satisfiable.
+    let kind = rng.gen_range(0..4);
+    match kind {
+        0 => format!("{axis}{name}"),
+        1 => {
+            let c = rng.gen_range(0..1000) * 10 + 5;
+            format!("{axis}{name} > {c}")
+        }
+        2 => {
+            let s: String = (0..3).map(|_| *b"ghijklm".choose(rng).unwrap() as char).collect();
+            format!("{axis}{name} = \"{s}\"")
+        }
+        _ => {
+            if *budget > 0 {
+                *budget -= 1;
+                let inner = fresh(next_name);
+                format!("{axis}{name}[{inner}]")
+            } else {
+                format!("{axis}{name}")
+            }
+        }
+    }
+}
+
+/// The `//a1//a2…//ak` chain queries that blow up deterministic automata
+/// (experiment E9).
+pub fn descendant_chain(k: usize) -> Query {
+    let src: String = (0..k).map(|i| format!("//s{i}")).collect();
+    parse_query(&src).expect("chain query is valid")
+}
+
+/// A star query `/root[c0 and c1 and … and c(k-1)]` with frontier size k.
+pub fn star(k: usize) -> Query {
+    let conj: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+    parse_query(&format!("/root[{}]", conj.join(" and "))).expect("star query is valid")
+}
+
+/// A balanced binary twig of the given depth; `FS` grows linearly with
+/// depth while `|Q|` grows exponentially.
+pub fn balanced_twig(depth: usize) -> Query {
+    fn node(prefix: &str, depth: usize) -> String {
+        if depth == 0 {
+            prefix.to_string()
+        } else {
+            format!("{prefix}[{} and {}]", node(&format!("{prefix}l"), depth - 1), node(&format!("{prefix}r"), depth - 1))
+        }
+    }
+    parse_query(&format!("/{}", node("q", depth))).expect("twig query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_queries_are_redundancy_free() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let cfg = RandomQueryConfig::default();
+        let mut checked = 0;
+        for _ in 0..60 {
+            let q = random_redundancy_free(&mut rng, &cfg);
+            let violations = fx_analysis::redundancy_free(&q);
+            assert!(violations.is_empty(), "{}: {violations:?}", fx_xpath::to_xpath(&q));
+            checked += 1;
+        }
+        assert_eq!(checked, 60);
+    }
+
+    #[test]
+    fn random_queries_are_deterministic() {
+        let cfg = RandomQueryConfig::default();
+        let a = random_redundancy_free(&mut SmallRng::seed_from_u64(1), &cfg);
+        let b = random_redundancy_free(&mut SmallRng::seed_from_u64(1), &cfg);
+        assert_eq!(fx_xpath::to_xpath(&a), fx_xpath::to_xpath(&b));
+    }
+
+    #[test]
+    fn chain_star_twig_shapes() {
+        assert_eq!(descendant_chain(3).len(), 4);
+        let s = star(5);
+        assert_eq!(fx_analysis::frontier_size(&s), 5);
+        let t = balanced_twig(2);
+        assert_eq!(t.len(), 1 + 7); // root + complete binary tree of 7
+        assert!(fx_analysis::frontier_size(&t) < t.len());
+    }
+
+    #[test]
+    fn twigs_are_redundancy_free() {
+        let t = balanced_twig(3);
+        assert!(fx_analysis::redundancy_free(&t).is_empty());
+        assert!(fx_analysis::path_consistency_free(&t));
+        assert!(fx_analysis::closure_free(&t));
+    }
+}

@@ -1,0 +1,132 @@
+//! XML character escaping and entity decoding.
+
+use std::borrow::Cow;
+
+/// Escapes `&`, `<`, `>` for text content.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes `&`, `<`, `>`, `"`, `'` for attribute values.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, quotes: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (quotes && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if quotes => out.push_str("&quot;"),
+            '\'' if quotes => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// An error produced while decoding an entity reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityError {
+    /// The offending reference text (without the surrounding `&`/`;`).
+    pub reference: String,
+}
+
+impl std::fmt::Display for EntityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown or malformed entity reference `&{};`", self.reference)
+    }
+}
+
+impl std::error::Error for EntityError {}
+
+/// Decodes the five predefined entities plus decimal/hex character
+/// references. Unknown references are an error.
+pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, EntityError> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let end = rest.find(';').ok_or_else(|| EntityError { reference: rest.to_string() })?;
+        let name = &rest[..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let cp = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                let c = cp
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| EntityError { reference: name.to_string() })?;
+                out.push(c);
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_passthrough_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_escapes_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_escapes_quotes() {
+        assert_eq!(escape_attr(r#"he said "hi"'s"#), "he said &quot;hi&quot;&apos;s");
+    }
+
+    #[test]
+    fn decode_predefined_entities() {
+        assert_eq!(decode_entities("a&lt;b&amp;c&gt;d&quot;&apos;").unwrap(), "a<b&c>d\"'");
+    }
+
+    #[test]
+    fn decode_numeric_references() {
+        assert_eq!(decode_entities("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn decode_unknown_entity_is_error() {
+        assert!(decode_entities("&bogus;").is_err());
+        assert!(decode_entities("&unterminated").is_err());
+        assert!(decode_entities("&#xZZ;").is_err());
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "x < y && y > \"z\"";
+        let escaped = escape_attr(original);
+        assert_eq!(decode_entities(&escaped).unwrap(), original);
+    }
+}

@@ -1,0 +1,506 @@
+//! A streaming XML parser producing SAX events.
+//!
+//! The parser is a single pass over the input string. It supports the subset
+//! of XML needed by the paper's data model (§3.1.1): elements, attributes,
+//! text (with entity and CDATA decoding), comments, processing instructions,
+//! and a DOCTYPE prolog (the latter three are skipped). Namespaces are not
+//! interpreted — qualified names are kept verbatim, matching the paper's flat
+//! name universe `N`.
+
+use crate::escape::decode_entities;
+use crate::event::{Attribute, Event};
+use std::fmt;
+
+/// Options controlling parsing behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// If false (the default), text nodes consisting entirely of whitespace
+    /// are dropped. Documents in the paper never contain ignorable
+    /// whitespace; dropping it makes pretty-printed fixtures equivalent to
+    /// their compact forms.
+    pub keep_whitespace_text: bool,
+    /// If true (the default), adjacent text runs (e.g. text split by a
+    /// comment or CDATA section) are merged into a single `text` event.
+    pub coalesce_text: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { keep_whitespace_text: false, coalesce_text: true }
+    }
+}
+
+/// A parse error with 1-based line/column position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document into a SAX event sequence, including the
+/// surrounding `StartDocument`/`EndDocument` events.
+pub fn parse(input: &str) -> Result<Vec<Event>, ParseError> {
+    parse_with(input, ParseOptions::default())
+}
+
+/// [`parse`] with explicit [`ParseOptions`].
+pub fn parse_with(input: &str, options: ParseOptions) -> Result<Vec<Event>, ParseError> {
+    let mut p = Parser::new(input, options);
+    p.run()?;
+    Ok(p.events)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    options: ParseOptions,
+    events: Vec<Event>,
+    stack: Vec<String>,
+    pending_text: String,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, options: ParseOptions) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            options,
+            events: Vec::new(),
+            stack: Vec::new(),
+            pending_text: String::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = consumed.len() - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        ParseError { message: message.into(), line, column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn flush_text(&mut self) -> Result<(), ParseError> {
+        if self.pending_text.is_empty() {
+            return Ok(());
+        }
+        let text = std::mem::take(&mut self.pending_text);
+        let keep = self.options.keep_whitespace_text || !text.chars().all(char::is_whitespace);
+        if keep {
+            if self.stack.is_empty() {
+                return Err(self.err("text content outside the root element"));
+            }
+            self.events.push(Event::Text { content: text });
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        self.events.push(Event::StartDocument);
+        // Prolog: XML declaration, comments, PIs, DOCTYPE.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        self.parse_content()?;
+        // Epilog: trailing comments / PIs / whitespace only.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing content after root element"));
+        }
+        self.events.push(Event::EndDocument);
+        Ok(())
+    }
+
+    /// Parses the root element and everything nested in it.
+    fn parse_content(&mut self) -> Result<(), ParseError> {
+        let mut seen_root = false;
+        loop {
+            match self.peek() {
+                None => {
+                    if !self.stack.is_empty() {
+                        return Err(self.err(format!(
+                            "unexpected end of input; unclosed element `{}`",
+                            self.stack.last().unwrap()
+                        )));
+                    }
+                    return Err(self.err("empty document"));
+                }
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.parse_cdata()?;
+                    } else if self.starts_with("<?") {
+                        self.skip_pi()?;
+                    } else if self.starts_with("</") {
+                        self.flush_text()?;
+                        self.parse_end_tag()?;
+                        if self.stack.is_empty() {
+                            return Ok(());
+                        }
+                    } else {
+                        self.flush_text()?;
+                        if self.stack.is_empty() && seen_root {
+                            return Err(self.err("multiple root elements"));
+                        }
+                        seen_root = true;
+                        let self_closing = self.parse_start_tag()?;
+                        if self_closing && self.stack.is_empty() {
+                            return Ok(());
+                        }
+                    }
+                }
+                Some(_) => self.parse_text()?,
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        let decoded = decode_entities(raw).map_err(|e| self.err(e.to_string()))?;
+        if !self.options.coalesce_text && !self.pending_text.is_empty() {
+            self.flush_text()?;
+        }
+        self.pending_text.push_str(&decoded);
+        Ok(())
+    }
+
+    fn parse_cdata(&mut self) -> Result<(), ParseError> {
+        self.bump("<![CDATA[".len());
+        let rest = &self.input[self.pos..];
+        let end = rest.find("]]>").ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let content = rest[..end].to_string();
+        if !self.options.coalesce_text && !self.pending_text.is_empty() {
+            self.flush_text()?;
+        }
+        self.pending_text.push_str(&content);
+        self.bump(end + 3);
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        self.bump("<!--".len());
+        let rest = &self.input[self.pos..];
+        let end = rest.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+        self.bump(end + 3);
+        Ok(())
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.bump("<?".len());
+        let rest = &self.input[self.pos..];
+        let end = rest.find("?>").ok_or_else(|| self.err("unterminated processing instruction"))?;
+        self.bump(end + 2);
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // Skip to the matching `>`, tolerating a bracketed internal subset.
+        self.bump("<!DOCTYPE".len());
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.bytes[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(self.err("names may not start with a digit, `-`, or `.`"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Parses `<name attr="v" ...>` or `<name ... />`. Returns whether the
+    /// tag was self-closing.
+    fn parse_start_tag(&mut self) -> Result<bool, ParseError> {
+        self.bump(1); // consume '<'
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump(1);
+                    self.events.push(Event::StartElement { name: name.clone(), attributes });
+                    self.stack.push(name);
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    if !self.starts_with("/>") {
+                        return Err(self.err("expected `/>`"));
+                    }
+                    self.bump(2);
+                    self.events
+                        .push(Event::StartElement { name: name.clone(), attributes });
+                    self.events.push(Event::EndElement { name });
+                    return Ok(true);
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected `=` after attribute `{attr_name}`")));
+                    }
+                    self.bump(1);
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.bump(1);
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        if b == b'<' {
+                            return Err(self.err("`<` is not allowed in attribute values"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.bump(1);
+                    let value =
+                        decode_entities(raw).map_err(|e| self.err(e.to_string()))?.into_owned();
+                    if attributes.iter().any(|a: &Attribute| a.name == attr_name) {
+                        return Err(self.err(format!("duplicate attribute `{attr_name}`")));
+                    }
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<(), ParseError> {
+        self.bump(2); // consume '</'
+        let name = self.parse_name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.err("expected `>` in end tag"));
+        }
+        self.bump(1);
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                self.events.push(Event::EndElement { name });
+                Ok(())
+            }
+            Some(open) => Err(self.err(format!("mismatched end tag `</{name}>`; expected `</{open}>`"))),
+            None => Err(self.err(format!("end tag `</{name}>` without matching start tag"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::notation;
+
+    fn names(events: &[Event]) -> Vec<String> {
+        events.iter().map(|e| e.notation()).collect()
+    }
+
+    #[test]
+    fn parses_paper_document_d() {
+        // Document D from the proof of Theorem 4.2.
+        let events = parse("<a><c><e/><f/></c><b>6</b></a>").unwrap();
+        assert_eq!(
+            notation(&events),
+            "\u{27e8}$\u{27e9}\u{27e8}a\u{27e9}\u{27e8}c\u{27e9}\u{27e8}e\u{27e9}\u{27e8}/e\u{27e9}\u{27e8}f\u{27e9}\u{27e8}/f\u{27e9}\u{27e8}/c\u{27e9}\u{27e8}b\u{27e9}6\u{27e8}/b\u{27e9}\u{27e8}/a\u{27e9}\u{27e8}/$\u{27e9}"
+        );
+    }
+
+    #[test]
+    fn drops_whitespace_only_text_by_default() {
+        let events = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert!(!events.iter().any(|e| matches!(e, Event::Text { .. })));
+    }
+
+    #[test]
+    fn keeps_whitespace_when_asked() {
+        let events = parse_with(
+            "<a> <b/></a>",
+            ParseOptions { keep_whitespace_text: true, coalesce_text: true },
+        )
+        .unwrap();
+        assert!(events.iter().any(|e| matches!(e, Event::Text { content } if content == " ")));
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let events = parse(r#"<a id="1" name='x &amp; y'/>"#).unwrap();
+        match &events[1] {
+            Event::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0], Attribute::new("id", "1"));
+                assert_eq!(attributes[1], Attribute::new("name", "x & y"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn decodes_entities_in_text() {
+        let events = parse("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>").unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Text { content } if content == "1 < 2 && 3 > 2")));
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let events = parse("<a><![CDATA[x < y & z]]></a>").unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Text { content } if content == "x < y & z")));
+    }
+
+    #[test]
+    fn coalesces_text_across_comments() {
+        let events = parse("<a>he<!-- comment -->llo</a>").unwrap();
+        let texts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Text { content } => Some(content.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["hello"]);
+    }
+
+    #[test]
+    fn skips_prolog_and_doctype() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><!-- hi --><a/>";
+        let events = parse(doc).unwrap();
+        assert_eq!(names(&events).len(), 4); // <$> <a> </a> </$>
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_root() {
+        assert!(parse("<a><b></b>").is_err());
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn rejects_text_outside_root() {
+        assert!(parse("junk<a/>").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = parse("<a>\n<b x=1/></a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn nested_empty_element_shorthand() {
+        // `<n/>` is shorthand for `<n></n>` (§3.1.4).
+        let a = parse("<a><n/></a>").unwrap();
+        let b = parse("<a><n></n></a>").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,403 @@
+//! Incremental (chunk-at-a-time) XML parsing: the true streaming entry
+//! point. [`crate::parse`] needs the whole document in memory;
+//! [`StreamingParser`] accepts arbitrary byte-chunk boundaries and emits
+//! events as soon as they are complete, so a filter can run over documents
+//! far larger than RAM — the setting the paper's space bounds are about.
+
+use crate::escape::decode_entities;
+use crate::event::{Attribute, Event, SaxHandler};
+use crate::parser::ParseError;
+use std::io::BufRead;
+
+/// A resumable push parser. Feed it string chunks; it emits events through
+/// a callback and buffers only the current incomplete token.
+#[derive(Debug, Clone)]
+pub struct StreamingParser {
+    buf: String,
+    stack: Vec<String>,
+    started: bool,
+    finished: bool,
+    consumed: usize,
+    keep_whitespace: bool,
+}
+
+impl Default for StreamingParser {
+    fn default() -> Self {
+        StreamingParser::new()
+    }
+}
+
+impl StreamingParser {
+    /// Creates a parser with default options (whitespace-only text
+    /// dropped, matching [`crate::parse`]).
+    pub fn new() -> StreamingParser {
+        StreamingParser {
+            buf: String::new(),
+            stack: Vec::new(),
+            started: false,
+            finished: false,
+            consumed: 0,
+            keep_whitespace: false,
+        }
+    }
+
+    /// Keeps whitespace-only text nodes.
+    pub fn keep_whitespace(mut self) -> StreamingParser {
+        self.keep_whitespace = true;
+        self
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: 0, column: self.consumed + 1 }
+    }
+
+    /// Feeds a chunk, emitting every event that becomes complete.
+    pub fn feed(
+        &mut self,
+        chunk: &str,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<(), ParseError> {
+        self.buf.push_str(chunk);
+        self.drain(false, emit)
+    }
+
+    /// Signals end of input; emits any trailing events (including
+    /// `EndDocument`) and verifies completeness.
+    pub fn finish(&mut self, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        self.drain(true, emit)?;
+        if !self.buf.trim().is_empty() {
+            return Err(self.err("unexpected trailing content at end of input"));
+        }
+        if !self.stack.is_empty() {
+            return Err(self.err(format!("unclosed element `{}`", self.stack.last().expect("non-empty"))));
+        }
+        if !self.started {
+            return Err(self.err("empty document"));
+        }
+        if self.finished {
+            return Err(self.err("finish called twice"));
+        }
+        self.finished = true;
+        emit(Event::EndDocument);
+        Ok(())
+    }
+
+    fn drain(&mut self, at_eof: bool, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        loop {
+            // Text up to the next tag (or all of it at EOF).
+            match self.buf.find('<') {
+                Some(0) => {}
+                Some(pos) => {
+                    self.take_text(pos, emit)?;
+                    continue;
+                }
+                None => {
+                    if at_eof {
+                        let len = self.buf.len();
+                        if len > 0 {
+                            self.take_text(len, emit)?;
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+            // A tag begins at offset 0; find its end, respecting the
+            // multi-character terminators of comments/CDATA/PIs and
+            // quoted attribute values (which may contain `>`).
+            let Some(tag_len) = self.tag_length()? else {
+                return Ok(()); // incomplete: wait for more input
+            };
+            let tag: String = self.buf.drain(..tag_len).collect();
+            self.consumed += tag_len;
+            self.handle_tag(&tag, emit)?;
+        }
+    }
+
+    fn take_text(&mut self, len: usize, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        // Hold back a trailing fragment that may be a split entity
+        // reference ("&am" + "p;").
+        let mut end = len;
+        if let Some(amp) = self.buf[..len].rfind('&') {
+            if !self.buf[amp..len].contains(';') {
+                end = amp;
+            }
+        }
+        if end == 0 {
+            return Ok(());
+        }
+        let raw: String = self.buf.drain(..end).collect();
+        self.consumed += end;
+        let text = decode_entities(&raw).map_err(|e| self.err(e.to_string()))?;
+        if self.keep_whitespace || !text.chars().all(char::is_whitespace) {
+            if self.stack.is_empty() {
+                return Err(self.err("text content outside the root element"));
+            }
+            emit(Event::text(text));
+        }
+        Ok(())
+    }
+
+    /// Length of the complete tag at the buffer start, or `None` if more
+    /// input is needed.
+    fn tag_length(&self) -> Result<Option<usize>, ParseError> {
+        let b = &self.buf;
+        debug_assert!(b.starts_with('<'));
+        let closed_by = |needle: &str, from: usize| -> Option<usize> {
+            b[from..].find(needle).map(|i| from + i + needle.len())
+        };
+        if b.starts_with("<!--") {
+            return Ok(closed_by("-->", 4));
+        }
+        if b.starts_with("<![CDATA[") {
+            return Ok(closed_by("]]>", 9));
+        }
+        if b.starts_with("<?") {
+            return Ok(closed_by("?>", 2));
+        }
+        if b.starts_with("<!") {
+            // DOCTYPE with optional internal subset.
+            let mut depth = 0usize;
+            for (i, c) in b.char_indices().skip(2) {
+                match c {
+                    '[' => depth += 1,
+                    ']' => depth = depth.saturating_sub(1),
+                    '>' if depth == 0 => return Ok(Some(i + 1)),
+                    _ => {}
+                }
+            }
+            return Ok(None);
+        }
+        // A start or end tag: scan with quote awareness.
+        let mut quote: Option<char> = None;
+        for (i, c) in b.char_indices().skip(1) {
+            match (quote, c) {
+                (Some(q), _) if c == q => quote = None,
+                (Some(_), _) => {}
+                (None, '"') | (None, '\'') => quote = Some(c),
+                (None, '>') => return Ok(Some(i + 1)),
+                (None, '<') => return Err(self.err("`<` inside a tag")),
+                _ => {}
+            }
+        }
+        Ok(None)
+    }
+
+    fn handle_tag(&mut self, tag: &str, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        if tag.starts_with("<!--") || tag.starts_with("<?") || tag.starts_with("<!DOCTYPE") {
+            return Ok(());
+        }
+        if let Some(cdata) = tag.strip_prefix("<![CDATA[").and_then(|t| t.strip_suffix("]]>")) {
+            if self.stack.is_empty() {
+                return Err(self.err("CDATA outside the root element"));
+            }
+            if !cdata.is_empty() {
+                emit(Event::text(cdata));
+            }
+            return Ok(());
+        }
+        if let Some(rest) = tag.strip_prefix("</") {
+            let name = rest.trim_end_matches('>').trim();
+            match self.stack.pop() {
+                Some(open) if open == name => {
+                    emit(Event::end(name));
+                    Ok(())
+                }
+                Some(open) => Err(self.err(format!("mismatched `</{name}>`; expected `</{open}>`"))),
+                None => Err(self.err(format!("`</{name}>` without matching start tag"))),
+            }
+        } else {
+            let inner = tag.trim_start_matches('<').trim_end_matches('>');
+            let (inner, self_closing) = match inner.strip_suffix('/') {
+                Some(rest) => (rest, true),
+                None => (inner, false),
+            };
+            let mut parts = inner.splitn(2, [' ', '\t', '\r', '\n']);
+            let name = parts.next().unwrap_or_default().trim();
+            if name.is_empty() {
+                return Err(self.err("empty tag name"));
+            }
+            if self.stack.is_empty() && self.started {
+                return Err(self.err("multiple root elements"));
+            }
+            let attributes = match parts.next() {
+                Some(attrs) => parse_attrs(attrs).map_err(|m| self.err(m))?,
+                None => Vec::new(),
+            };
+            if !self.started {
+                self.started = true;
+                emit(Event::StartDocument);
+            }
+            emit(Event::StartElement { name: name.to_string(), attributes });
+            if self_closing {
+                emit(Event::end(name));
+            } else {
+                self.stack.push(name.to_string());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn parse_attrs(s: &str) -> Result<Vec<Attribute>, String> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("expected `=` in attributes: `{rest}`"))?;
+        let name = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let quote = rest.chars().next().filter(|&c| c == '"' || c == '\'');
+        let Some(q) = quote else {
+            return Err("expected quoted attribute value".to_string());
+        };
+        let close = rest[1..].find(q).ok_or("unterminated attribute value")? + 1;
+        let raw = &rest[1..close];
+        let value = decode_entities(raw).map_err(|e| e.to_string())?.into_owned();
+        if out.iter().any(|a: &Attribute| a.name == name) {
+            return Err(format!("duplicate attribute `{name}`"));
+        }
+        out.push(Attribute { name, value });
+        rest = rest[close + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+/// Parses from any [`BufRead`], pushing events into a [`SaxHandler`]
+/// without materializing the document. Fixed-size read buffer; memory is
+/// bounded by the largest single token.
+pub fn parse_reader<R: BufRead, H: SaxHandler>(
+    mut reader: R,
+    handler: &mut H,
+) -> Result<(), ParseError> {
+    let mut parser = StreamingParser::new();
+    let mut emit = |e: Event| match &e {
+        Event::StartDocument => handler.start_document(),
+        Event::EndDocument => handler.end_document(),
+        Event::StartElement { name, attributes } => handler.start_element(name, attributes),
+        Event::EndElement { name } => handler.end_element(name),
+        Event::Text { content } => handler.text(content),
+    };
+    loop {
+        let chunk = reader
+            .fill_buf()
+            .map_err(|e| ParseError { message: e.to_string(), line: 0, column: 0 })?;
+        if chunk.is_empty() {
+            break;
+        }
+        let text = std::str::from_utf8(chunk)
+            .map_err(|e| ParseError { message: format!("invalid UTF-8: {e}"), line: 0, column: 0 })?;
+        let len = chunk.len();
+        parser.feed(text, &mut emit)?;
+        reader.consume(len);
+    }
+    parser.finish(&mut emit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventCollector;
+    use crate::parser::parse;
+
+    /// Feeds a document in chunks of every size 1..=n and checks the
+    /// events match the batch parser.
+    fn chunked_equals_batch(xml: &str) {
+        let expected = parse(xml).unwrap();
+        for chunk_size in 1..=xml.len().min(7) {
+            let mut parser = StreamingParser::new();
+            let mut events = Vec::new();
+            let mut emit = |e: Event| events.push(e);
+            let bytes = xml.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let end = (i + chunk_size).min(bytes.len());
+                // Respect UTF-8 boundaries (ASCII fixtures here).
+                parser.feed(std::str::from_utf8(&bytes[i..end]).unwrap(), &mut emit).unwrap();
+                i = end;
+            }
+            parser.finish(&mut emit).unwrap();
+            assert_eq!(events, expected, "chunk size {chunk_size} on {xml}");
+        }
+    }
+
+    #[test]
+    fn chunked_parsing_matches_batch() {
+        chunked_equals_batch("<a><b>6</b><c/></a>");
+        chunked_equals_batch(r#"<a id="1"><b>x &amp; y</b></a>"#);
+        chunked_equals_batch("<a><!-- note --><b/></a>");
+        chunked_equals_batch("<a><![CDATA[1 < 2]]></a>");
+        chunked_equals_batch("<?xml version=\"1.0\"?><r><x/>text</r>");
+    }
+
+    #[test]
+    fn split_entities_survive_chunking() {
+        let mut parser = StreamingParser::new();
+        let mut events = Vec::new();
+        let mut emit = |e: Event| events.push(e);
+        parser.feed("<a>x &am", &mut emit).unwrap();
+        parser.feed("p; y</a>", &mut emit).unwrap();
+        parser.finish(&mut emit).unwrap();
+        assert!(events.contains(&Event::text("x & y")));
+    }
+
+    #[test]
+    fn attribute_values_with_gt() {
+        let xml = r#"<a note="1 > 0"><b/></a>"#;
+        chunked_equals_batch(xml);
+        let events = {
+            let mut p = StreamingParser::new();
+            let mut ev = Vec::new();
+            p.feed(xml, &mut |e| ev.push(e)).unwrap();
+            p.finish(&mut |e| ev.push(e)).unwrap();
+            ev
+        };
+        match &events[1] {
+            Event::StartElement { attributes, .. } => assert_eq!(attributes[0].value, "1 > 0"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_mismatch_and_garbage() {
+        let mut p = StreamingParser::new();
+        let mut sink = |_e: Event| {};
+        p.feed("<a><b>", &mut sink).unwrap();
+        assert!(p.feed("</a>", &mut sink).is_err());
+
+        let mut p2 = StreamingParser::new();
+        p2.feed("<a/>", &mut sink).unwrap();
+        assert!(p2.feed("<b/>", &mut sink).is_err());
+
+        let mut p3 = StreamingParser::new();
+        p3.feed("<a>", &mut sink).unwrap();
+        assert!(p3.finish(&mut sink).is_err());
+    }
+
+    #[test]
+    fn reader_drives_handler() {
+        let xml = "<a><b>6</b><c/></a>".to_string();
+        let mut collector = EventCollector::default();
+        parse_reader(std::io::Cursor::new(xml.as_bytes()), &mut collector).unwrap();
+        assert_eq!(collector.events, parse(&xml).unwrap());
+    }
+
+    #[test]
+    fn reader_streams_into_a_filter() {
+        // End-to-end: BufRead → events → the Section-8 filter, no DOM.
+        // (The filter lives downstream; here we just count elements.)
+        #[derive(Default)]
+        struct Counter {
+            starts: usize,
+        }
+        impl SaxHandler for Counter {
+            fn start_element(&mut self, _n: &str, _a: &[Attribute]) {
+                self.starts += 1;
+            }
+        }
+        let body: String = (0..500).map(|i| format!("<item><price>{i}</price></item>")).collect();
+        let xml = format!("<catalog>{body}</catalog>");
+        let mut counter = Counter::default();
+        parse_reader(std::io::BufReader::with_capacity(64, std::io::Cursor::new(xml)), &mut counter)
+            .unwrap();
+        assert_eq!(counter.starts, 1001);
+    }
+}

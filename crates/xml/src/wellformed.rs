@@ -1,0 +1,233 @@
+//! Well-formedness checking for event sequences.
+//!
+//! The lower-bound proofs splice stream segments together (`αT ◦ βT'`) and
+//! must verify that the result is a *well-formed* document: proper nesting,
+//! a single root, matching tag names, and the correct document envelope.
+
+use crate::event::Event;
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The sequence does not begin with `StartDocument`.
+    MissingStartDocument,
+    /// The sequence does not terminate with `EndDocument`.
+    MissingEndDocument,
+    /// `StartDocument`/`EndDocument` appeared in the interior.
+    StrayDocumentEvent {
+        /// Index of the offending event.
+        at: usize,
+    },
+    /// An end tag without a matching start tag, or mismatched names.
+    MismatchedEnd {
+        /// Index of the offending event.
+        at: usize,
+        /// The open element that should have been closed, if any.
+        expected: Option<String>,
+        /// The name actually found on the end tag.
+        found: String,
+    },
+    /// Elements remained open at `EndDocument`.
+    UnclosedElements {
+        /// The names still open, innermost last.
+        open: Vec<String>,
+    },
+    /// Text or elements occurred outside the single root element.
+    ContentOutsideRoot {
+        /// Index of the offending event.
+        at: usize,
+    },
+    /// The document has no element at all.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots {
+        /// Index of the second root's start event.
+        at: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingStartDocument => write!(f, "missing startDocument"),
+            Violation::MissingEndDocument => write!(f, "missing endDocument"),
+            Violation::StrayDocumentEvent { at } => write!(f, "stray document event at {at}"),
+            Violation::MismatchedEnd { at, expected, found } => match expected {
+                Some(e) => write!(f, "mismatched end tag </{found}> at {at}; expected </{e}>"),
+                None => write!(f, "end tag </{found}> at {at} with no open element"),
+            },
+            Violation::UnclosedElements { open } => {
+                write!(f, "unclosed elements at endDocument: {}", open.join(", "))
+            }
+            Violation::ContentOutsideRoot { at } => write!(f, "content outside root at {at}"),
+            Violation::NoRootElement => write!(f, "document has no root element"),
+            Violation::MultipleRoots { at } => write!(f, "second root element at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks whether `events` is a well-formed document stream. Returns the
+/// first violation found, or `Ok(())`.
+pub fn check(events: &[Event]) -> Result<(), Violation> {
+    if events.first() != Some(&Event::StartDocument) {
+        return Err(Violation::MissingStartDocument);
+    }
+    if events.last() != Some(&Event::EndDocument) {
+        return Err(Violation::MissingEndDocument);
+    }
+    let mut stack: Vec<&str> = Vec::new();
+    let mut seen_root = false;
+    for (i, e) in events.iter().enumerate() {
+        let interior = i != 0 && i != events.len() - 1;
+        match e {
+            Event::StartDocument | Event::EndDocument => {
+                if interior {
+                    return Err(Violation::StrayDocumentEvent { at: i });
+                }
+            }
+            Event::StartElement { name, .. } => {
+                if stack.is_empty() {
+                    if seen_root {
+                        return Err(Violation::MultipleRoots { at: i });
+                    }
+                    seen_root = true;
+                }
+                stack.push(name);
+            }
+            Event::EndElement { name } => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(Violation::MismatchedEnd {
+                        at: i,
+                        expected: Some(open.to_string()),
+                        found: name.clone(),
+                    })
+                }
+                None => {
+                    return Err(Violation::MismatchedEnd { at: i, expected: None, found: name.clone() })
+                }
+            },
+            Event::Text { .. } => {
+                if stack.is_empty() {
+                    return Err(Violation::ContentOutsideRoot { at: i });
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(Violation::UnclosedElements {
+            open: stack.into_iter().map(str::to_string).collect(),
+        });
+    }
+    if !seen_root {
+        return Err(Violation::NoRootElement);
+    }
+    Ok(())
+}
+
+/// Convenience predicate form of [`check`].
+pub fn is_well_formed(events: &[Event]) -> bool {
+    check(events).is_ok()
+}
+
+/// Computes the depth (length of the longest root-to-leaf *element* path) of
+/// a well-formed event stream without materializing a tree. The paper's
+/// document depth `d` (§4.3).
+pub fn stream_depth(events: &[Event]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for e in events {
+        match e {
+            Event::StartElement { .. } => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Event::EndElement { .. } => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ev(src: &str) -> Vec<Event> {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn parsed_documents_are_well_formed() {
+        assert!(is_well_formed(&ev("<a><b>6</b></a>")));
+    }
+
+    #[test]
+    fn detects_missing_envelope() {
+        assert_eq!(check(&[Event::start("a"), Event::end("a")]), Err(Violation::MissingStartDocument));
+        assert_eq!(
+            check(&[Event::StartDocument, Event::start("a"), Event::end("a")]),
+            Err(Violation::MissingEndDocument)
+        );
+    }
+
+    #[test]
+    fn detects_mismatched_nesting() {
+        let events = vec![
+            Event::StartDocument,
+            Event::start("a"),
+            Event::start("b"),
+            Event::end("a"),
+            Event::end("b"),
+            Event::EndDocument,
+        ];
+        assert!(matches!(check(&events), Err(Violation::MismatchedEnd { at: 3, .. })));
+    }
+
+    #[test]
+    fn detects_unclosed() {
+        let events = vec![Event::StartDocument, Event::start("a"), Event::EndDocument];
+        assert!(matches!(check(&events), Err(Violation::UnclosedElements { .. })));
+    }
+
+    #[test]
+    fn detects_multiple_roots() {
+        let events = vec![
+            Event::StartDocument,
+            Event::start("a"),
+            Event::end("a"),
+            Event::start("b"),
+            Event::end("b"),
+            Event::EndDocument,
+        ];
+        assert!(matches!(check(&events), Err(Violation::MultipleRoots { at: 3 })));
+    }
+
+    #[test]
+    fn detects_empty_document() {
+        assert_eq!(check(&[Event::StartDocument, Event::EndDocument]), Err(Violation::NoRootElement));
+    }
+
+    #[test]
+    fn paper_splice_is_well_formed() {
+        // Splicing αT ◦ βT' from Theorem 4.2 yields a well-formed document.
+        let a = ev("<a><b>6</b><c><f/><e/></c></a>");
+        // αT = 〈$〉〈a〉〈b〉6〈/b〉〈c〉〈f/〉 (prefix through index 7 = 〈/f〉),
+        // βT  = 〈e/〉〈/c〉〈/a〉〈/$〉 (the complementing suffix).
+        let alpha = &a[..=7];
+        let beta = &a[8..];
+        let mut spliced = alpha.to_vec();
+        spliced.extend_from_slice(beta);
+        assert!(is_well_formed(&spliced));
+    }
+
+    #[test]
+    fn stream_depth_matches_tree_depth() {
+        assert_eq!(stream_depth(&ev("<a/>")), 1);
+        assert_eq!(stream_depth(&ev("<a><b><c/></b><d/></a>")), 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Rendering query trees back to Forward XPath text, such that
+//! `parse_query(to_xpath(q)) == q` for parser-produced queries.
+
+use crate::ast::{Axis, Expr, Query, QueryNodeId};
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Renders a query to XPath text.
+pub fn to_xpath(q: &Query) -> String {
+    let mut out = String::new();
+    let mut current = q.root();
+    while let Some(next) = q.successor(current) {
+        write_step(q, next, &mut out, false);
+        current = next;
+    }
+    out
+}
+
+/// Renders the *relative path* rooted at a succession root `first` (a
+/// predicate child): its succession chain with predicates.
+fn write_rel_path(q: &Query, first: QueryNodeId, out: &mut String) {
+    write_step(q, first, out, true);
+    let mut current = first;
+    while let Some(next) = q.successor(current) {
+        write_step(q, next, out, false);
+        current = next;
+    }
+}
+
+fn write_step(q: &Query, node: QueryNodeId, out: &mut String, relative_first: bool) {
+    let axis = q.axis(node).expect("non-root nodes have an axis");
+    let axis_str = match (axis, relative_first) {
+        (Axis::Child, true) => "",
+        (Axis::Child, false) => "/",
+        (Axis::Descendant, true) => ".//",
+        (Axis::Descendant, false) => "//",
+        (Axis::Attribute, true) => "@",
+        (Axis::Attribute, false) => "/@",
+    };
+    out.push_str(axis_str);
+    let _ = write!(out, "{}", q.ntest(node).expect("non-root nodes have a node test"));
+    if let Some(pred) = q.predicate(node) {
+        out.push('[');
+        write_expr(q, pred, out, 0);
+        out.push(']');
+    }
+}
+
+/// Precedence levels: or=1, and=2, comparison=3, additive=4,
+/// multiplicative=5, unary=6, primary=7.
+fn write_expr(q: &Query, e: &Expr, out: &mut String, parent_level: u8) {
+    let level = expr_level(e);
+    let parens = level < parent_level;
+    if parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Const(Value::Number(n)) => {
+            let _ = write!(out, "{}", crate::value::format_number(*n));
+        }
+        Expr::Const(Value::Str(s)) => {
+            // Prefer double quotes; fall back to single.
+            if s.contains('"') {
+                let _ = write!(out, "'{s}'");
+            } else {
+                let _ = write!(out, "\"{s}\"");
+            }
+        }
+        Expr::Const(Value::Bool(b)) => {
+            let _ = write!(out, "{}()", if *b { "true" } else { "false" });
+        }
+        Expr::Var(v) => write_rel_path(q, *v, out),
+        Expr::Comp(op, a, b) => {
+            write_expr(q, a, out, 4);
+            let _ = write!(out, " {op} ");
+            write_expr(q, b, out, 4);
+        }
+        Expr::Arith(op, a, b) => {
+            let (lvl, next) = match op {
+                crate::ast::ArithOp::Add | crate::ast::ArithOp::Sub => (4, 5),
+                _ => (5, 6),
+            };
+            write_expr(q, a, out, lvl);
+            let _ = write!(out, " {op} ");
+            write_expr(q, b, out, next);
+        }
+        Expr::Neg(a) => {
+            out.push('-');
+            write_expr(q, a, out, 6);
+        }
+        Expr::And(a, b) => {
+            write_expr(q, a, out, 2);
+            out.push_str(" and ");
+            write_expr(q, b, out, 3);
+        }
+        Expr::Or(a, b) => {
+            write_expr(q, a, out, 1);
+            out.push_str(" or ");
+            write_expr(q, b, out, 2);
+        }
+        Expr::Not(a) => {
+            out.push_str("not(");
+            write_expr(q, a, out, 0);
+            out.push(')');
+        }
+        Expr::Call(f, args) => {
+            let _ = write!(out, "{}(", f.name());
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(q, a, out, 0);
+            }
+            out.push(')');
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+fn expr_level(e: &Expr) -> u8 {
+    match e {
+        Expr::Or(..) => 1,
+        Expr::And(..) => 2,
+        Expr::Comp(..) => 3,
+        Expr::Arith(op, ..) => match op {
+            crate::ast::ArithOp::Add | crate::ast::ArithOp::Sub => 4,
+            _ => 5,
+        },
+        Expr::Neg(..) => 6,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(src: &str) {
+        let q = parse_query(src).unwrap();
+        let rendered = to_xpath(&q);
+        let q2 = parse_query(&rendered).unwrap_or_else(|e| panic!("re-parse of {rendered:?}: {e}"));
+        assert_eq!(q2, q, "round trip failed: {src:?} -> {rendered:?}");
+    }
+
+    #[test]
+    fn renders_fig2_query() {
+        let q = parse_query("/a[c[.//e and f] and b > 5]/b").unwrap();
+        assert_eq!(to_xpath(&q), "/a[c[.//e and f] and b > 5]/b");
+    }
+
+    #[test]
+    fn round_trips_paper_queries() {
+        for src in [
+            "/a[c[.//e and f] and b > 5]/b",
+            "//a[b and c]",
+            "/a/b",
+            "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+            "//d[f and a[b and c]]",
+            "/a[b and .//b]",
+            "/a[b = 5 and .//b = 3]",
+            "/a[b[c] > 5]",
+            "/a[b[c > 5]]",
+            "/a[b/c > 5 and d]",
+            "/a[b > 5 and b > 6]",
+            "/a/@id",
+            "/a[@id = 7]/b",
+            "/a[matches(b, \"^A.*B$\") and matches(b, \"AB\")]",
+            "/a[not(b) or c]",
+            "/a[b + 2 = 5]",
+            "/a[b + 2 * 3 = 8 and -b < 2]",
+            "/a[(b + 2) * 3 = 8]",
+            "//a//b[c]//d",
+            "/a[string-length(b) = 3]",
+            "/a[concat(b, \"x\", c) = \"1x2\"]",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn parenthesization_is_minimal_but_correct() {
+        let q = parse_query("/a[(b or c) and d]").unwrap();
+        let s = to_xpath(&q);
+        assert_eq!(s, "/a[(b or c) and d]");
+        round_trip("/a[(b or c) and d]");
+    }
+}

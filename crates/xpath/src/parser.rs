@@ -1,0 +1,783 @@
+//! Parser for the Forward XPath grammar of Fig. 1.
+//!
+//! ```text
+//! Path      := Step | Path Step
+//! Step      := Axis NodeTest ('[' Predicate ']')?
+//! Axis      := '/' | '//' | '@'
+//! RelPath   := RelStep | RelPath Step
+//! RelStep   := RelAxis NodeTest ('[' Predicate ']')?
+//! RelAxis   := './/' | '@'                 (plus the implied child axis)
+//! NodeTest  := name | '*'
+//! Predicate := Expression | Expression compop Expression
+//!            | Predicate 'and' Predicate | Predicate 'or' Predicate
+//!            | 'not(' Predicate ')'
+//! Expression := const | RelPath | Expression arithop Expression
+//!            | '-' Expression | funcop '(' args ')'
+//! ```
+//!
+//! Notes mirroring the paper: a bare name inside a predicate is a relative
+//! path with an implied child axis (every example in the paper uses this,
+//! e.g. `/a[c[.//e and f] and b > 5]`); `position()`/`last()` are rejected;
+//! the attribute axis may be written `@n` or `/@n`.
+
+use crate::ast::{ArithOp, Axis, CompOp, Expr, Func, NodeTest, Query, QueryNodeId};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse error with a byte position into the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub at: usize,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parses a Forward XPath query string into a [`Query`] tree.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let tokens = lex(input)?;
+    let mut p = P { tokens: &tokens, pos: 0, query: Query::new() };
+    p.parse_path()?;
+    p.expect_eof()?;
+    let query = p.query;
+    query
+        .validate()
+        .map_err(|m| QueryParseError { message: format!("internal invariant violated: {m}"), at: 0 })?;
+    Ok(query)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Slash,
+    DSlash,
+    At,
+    DotDSlash,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Name(String),
+    Number(f64),
+    Str(String),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Slash => write!(f, "/"),
+            Tok::DSlash => write!(f, "//"),
+            Tok::At => write!(f, "@"),
+            Tok::DotDSlash => write!(f, ".//"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Star => write!(f, "*"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let at = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    toks.push((Tok::DSlash, at));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Slash, at));
+                    i += 1;
+                }
+            }
+            b'.' => {
+                if input[i..].starts_with(".//") {
+                    toks.push((Tok::DotDSlash, at));
+                    i += 3;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    // A decimal like `.5`.
+                    let (n, len) = lex_number(&input[i..])
+                        .ok_or_else(|| QueryParseError { message: "bad number".into(), at })?;
+                    toks.push((Tok::Number(n), at));
+                    i += len;
+                } else {
+                    return Err(QueryParseError {
+                        message: "unexpected `.` (only `.//` and decimals are supported)".into(),
+                        at,
+                    });
+                }
+            }
+            b'@' => {
+                toks.push((Tok::At, at));
+                i += 1;
+            }
+            b'[' => {
+                toks.push((Tok::LBracket, at));
+                i += 1;
+            }
+            b']' => {
+                toks.push((Tok::RBracket, at));
+                i += 1;
+            }
+            b'(' => {
+                toks.push((Tok::LParen, at));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, at));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, at));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((Tok::Star, at));
+                i += 1;
+            }
+            b'+' => {
+                toks.push((Tok::Plus, at));
+                i += 1;
+            }
+            b'-' => {
+                toks.push((Tok::Minus, at));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((Tok::Eq, at));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ne, at));
+                    i += 2;
+                } else {
+                    return Err(QueryParseError { message: "expected `!=`".into(), at });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Le, at));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, at));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, at));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, at));
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryParseError { message: "unterminated string literal".into(), at });
+                }
+                toks.push((Tok::Str(input[i + 1..j].to_string()), at));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let (n, len) = lex_number(&input[i..])
+                    .ok_or_else(|| QueryParseError { message: "bad number".into(), at })?;
+                toks.push((Tok::Number(n), at));
+                i += len;
+            }
+            _ => {
+                // Name: XML name characters. `-` is a name character, so
+                // subtraction requires surrounding whitespace (documented).
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    let ok = c.is_ascii_alphanumeric()
+                        || matches!(c, b'_' | b'-' | b':')
+                        || c >= 0x80;
+                    if !ok {
+                        break;
+                    }
+                    i += 1;
+                }
+                if i == start {
+                    return Err(QueryParseError {
+                        message: format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                        at,
+                    });
+                }
+                toks.push((Tok::Name(input[start..i].to_string()), at));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(s: &str) -> Option<(f64, usize)> {
+    let bytes = s.as_bytes();
+    let mut len = 0usize;
+    let mut seen_dot = false;
+    while len < bytes.len() {
+        match bytes[len] {
+            b'0'..=b'9' => len += 1,
+            b'.' if !seen_dot && bytes.get(len + 1).is_some_and(u8::is_ascii_digit) => {
+                seen_dot = true;
+                len += 1;
+            }
+            _ => break,
+        }
+    }
+    if len == 0 {
+        return None;
+    }
+    s[..len].parse().ok().map(|n| (n, len))
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct P<'a> {
+    tokens: &'a [(Tok, usize)],
+    pos: usize,
+    query: Query,
+}
+
+impl P<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens.get(self.pos).map(|&(_, a)| a).unwrap_or_else(|| {
+            self.tokens.last().map(|&(_, a)| a + 1).unwrap_or(0)
+        })
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError { message: message.into(), at: self.at() }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), QueryParseError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{tok}`, found {}",
+                self.peek().map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), QueryParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected `{}`", self.peek().unwrap())))
+        }
+    }
+
+    /// `Path := Step+` where each step's axis is `/`, `//`, `@`, or `/@`.
+    fn parse_path(&mut self) -> Result<(), QueryParseError> {
+        let mut current = QueryNodeId::ROOT;
+        let mut first = true;
+        loop {
+            let axis = match self.peek() {
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    if self.peek() == Some(&Tok::At) {
+                        self.pos += 1;
+                        Axis::Attribute
+                    } else {
+                        Axis::Child
+                    }
+                }
+                Some(Tok::DSlash) => {
+                    self.pos += 1;
+                    Axis::Descendant
+                }
+                Some(Tok::At) => {
+                    self.pos += 1;
+                    Axis::Attribute
+                }
+                _ if first => return Err(self.err("a query must begin with `/`, `//`, or `@`")),
+                _ => break,
+            };
+            first = false;
+            current = self.parse_step(current, axis)?;
+        }
+        Ok(())
+    }
+
+    /// Parses `NodeTest ('[' Predicate ']')?` under `parent` with `axis`,
+    /// marks the node as successor of `parent`, and returns it.
+    fn parse_step(&mut self, parent: QueryNodeId, axis: Axis) -> Result<QueryNodeId, QueryParseError> {
+        let ntest = self.parse_node_test()?;
+        let node = self.query.add_node(parent, axis, ntest);
+        self.query.set_successor(parent, node);
+        if self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let pred = self.parse_or(node)?;
+            self.expect(Tok::RBracket)?;
+            self.query.set_predicate(node, pred);
+        }
+        Ok(node)
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, QueryParseError> {
+        match self.next().cloned() {
+            Some(Tok::Star) => Ok(NodeTest::Wildcard),
+            Some(Tok::Name(n)) => {
+                if n == "position" || n == "last" {
+                    return Err(self.err(format!("`{n}()` is excluded from Forward XPath (Fig. 1)")));
+                }
+                Ok(NodeTest::Name(n))
+            }
+            other => Err(self.err(format!(
+                "expected a node test, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // -- Predicates -------------------------------------------------------
+
+    fn parse_or(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.parse_and(owner)?;
+        while let Some(Tok::Name(n)) = self.peek() {
+            if n != "or" {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_and(owner)?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.parse_comparison(owner)?;
+        while let Some(Tok::Name(n)) = self.peek() {
+            if n != "and" {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_comparison(owner)?;
+            lhs = Expr::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        let lhs = self.parse_additive(owner)?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => CompOp::Eq,
+            Some(Tok::Ne) => CompOp::Ne,
+            Some(Tok::Lt) => CompOp::Lt,
+            Some(Tok::Le) => CompOp::Le,
+            Some(Tok::Gt) => CompOp::Gt,
+            Some(Tok::Ge) => CompOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_additive(owner)?;
+        Ok(Expr::comp(op, lhs, rhs))
+    }
+
+    fn parse_additive(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.parse_multiplicative(owner)?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative(owner)?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        let mut lhs = self.parse_unary(owner)?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Name(n)) if n == "div" => ArithOp::Div,
+                Some(Tok::Name(n)) if n == "idiv" => ArithOp::IDiv,
+                Some(Tok::Name(n)) if n == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary(owner)?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            let inner = self.parse_unary(owner)?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.parse_primary(owner)
+    }
+
+    fn parse_primary(&mut self, owner: QueryNodeId) -> Result<Expr, QueryParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Number(n)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Str(s)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_or(owner)?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::DotDSlash) => {
+                self.pos += 1;
+                let var = self.parse_rel_path(owner, Axis::Descendant)?;
+                Ok(Expr::Var(var))
+            }
+            Some(Tok::At) => {
+                self.pos += 1;
+                let var = self.parse_rel_path(owner, Axis::Attribute)?;
+                Ok(Expr::Var(var))
+            }
+            Some(Tok::Star) => {
+                // A relative path starting with a wildcard child step, as in
+                // `/a[*/b > 5]` (the §6.4.1 example query).
+                let var = self.parse_rel_path(owner, Axis::Child)?;
+                Ok(Expr::Var(var))
+            }
+            Some(Tok::Name(name)) => {
+                if name == "not" && self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
+                    self.pos += 2;
+                    let inner = self.parse_or(owner)?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::Not(Box::new(inner)));
+                }
+                let fname = name.strip_prefix("fn:").unwrap_or(&name);
+                if self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
+                    if fname == "position" || fname == "last" {
+                        return Err(self.err(format!("`{fname}()` is excluded from Forward XPath (Fig. 1)")));
+                    }
+                    if let Some(func) = Func::by_name(fname) {
+                        self.pos += 2;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Tok::RParen) {
+                            args.push(self.parse_additive(owner)?);
+                            while self.peek() == Some(&Tok::Comma) {
+                                self.pos += 1;
+                                args.push(self.parse_additive(owner)?);
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                        let (lo, hi) = func.arity();
+                        if args.len() < lo || args.len() > hi {
+                            return Err(self.err(format!(
+                                "{}() takes {} argument(s), got {}",
+                                func.name(),
+                                if lo == hi { lo.to_string() } else { format!("{lo}..") },
+                                args.len()
+                            )));
+                        }
+                        return Ok(Expr::Call(func, args));
+                    }
+                    return Err(self.err(format!("unknown function `{name}`")));
+                }
+                // A relative path starting with an implied child step.
+                let var = self.parse_rel_path(owner, Axis::Child)?;
+                Ok(Expr::Var(var))
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// `RelPath`: builds a chain of nodes under `owner` (the first step as a
+    /// predicate child, the rest as successors) and returns the first node.
+    fn parse_rel_path(&mut self, owner: QueryNodeId, first_axis: Axis) -> Result<QueryNodeId, QueryParseError> {
+        let ntest = self.parse_node_test()?;
+        let first = self.query.add_node(owner, first_axis, ntest);
+        if self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let pred = self.parse_or(first)?;
+            self.expect(Tok::RBracket)?;
+            self.query.set_predicate(first, pred);
+        }
+        let mut current = first;
+        loop {
+            let axis = match self.peek() {
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    if self.peek() == Some(&Tok::At) {
+                        self.pos += 1;
+                        Axis::Attribute
+                    } else {
+                        Axis::Child
+                    }
+                }
+                Some(Tok::DSlash) => {
+                    self.pos += 1;
+                    Axis::Descendant
+                }
+                _ => break,
+            };
+            current = self.parse_step(current, axis)?;
+        }
+        Ok(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape() {
+        let q = parse_query("/a[c[.//e and f] and b > 5]/b").unwrap();
+        assert_eq!(q.len(), 7);
+        let a = q.successor(q.root()).unwrap();
+        assert_eq!(q.ntest(a), Some(&NodeTest::Name("a".into())));
+        assert_eq!(q.axis(a), Some(Axis::Child));
+        let out = q.output_node();
+        assert_eq!(q.ntest(out), Some(&NodeTest::Name("b".into())));
+        assert_eq!(q.parent(out), Some(a));
+        // a has 3 children: c, b (predicate), b (successor).
+        assert_eq!(q.children(a).len(), 3);
+        assert_eq!(q.predicate_children(a).len(), 2);
+        // c's predicate children: e (descendant axis), f (child axis).
+        let c = q.predicate_children(a)[0];
+        assert_eq!(q.ntest(c), Some(&NodeTest::Name("c".into())));
+        let pc = q.predicate_children(c);
+        assert_eq!(pc.len(), 2);
+        assert_eq!(q.axis(pc[0]), Some(Axis::Descendant));
+        assert_eq!(q.axis(pc[1]), Some(Axis::Child));
+    }
+
+    #[test]
+    fn parses_descendant_root_query() {
+        // Theorem 4.5's query: //a[b and c]
+        let q = parse_query("//a[b and c]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        assert_eq!(q.axis(a), Some(Axis::Descendant));
+        assert_eq!(q.predicate_children(a).len(), 2);
+        assert_eq!(q.output_node(), a);
+    }
+
+    #[test]
+    fn parses_simple_child_path() {
+        // Theorem 4.6's query: /a/b
+        let q = parse_query("/a/b").unwrap();
+        assert_eq!(q.len(), 3);
+        let a = q.successor(q.root()).unwrap();
+        let b = q.successor(a).unwrap();
+        assert_eq!(q.output_node(), b);
+        assert_eq!(q.axis(b), Some(Axis::Child));
+    }
+
+    #[test]
+    fn parses_canonical_example_query() {
+        // §6.4.1: /a[*/b > 5 and c/b//d > 12 and .//d < 30]
+        let q = parse_query("/a[*/b > 5 and c/b//d > 12 and .//d < 30]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        let pred = q.predicate(a).unwrap();
+        assert_eq!(pred.conjuncts().len(), 3);
+        // Predicate children of a: the wildcard, c, and the .//d node.
+        let pc = q.predicate_children(a);
+        assert_eq!(pc.len(), 3);
+        assert!(q.ntest(pc[0]).unwrap().is_wildcard());
+        assert_eq!(q.axis(pc[2]), Some(Axis::Descendant));
+        assert_eq!(q.longest_wildcard_chain(), 1);
+    }
+
+    #[test]
+    fn parses_attribute_axes() {
+        for src in ["/a/@id", "/a@id"] {
+            let q = parse_query(src).unwrap();
+            let a = q.successor(q.root()).unwrap();
+            let id = q.successor(a).unwrap();
+            assert_eq!(q.axis(id), Some(Axis::Attribute), "{src}");
+        }
+        let q = parse_query("/a[@id = 7]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        let id = q.predicate_children(a)[0];
+        assert_eq!(q.axis(id), Some(Axis::Attribute));
+    }
+
+    #[test]
+    fn parses_functions() {
+        let q = parse_query(
+            "/a[fn:matches(b,\"^A.*B$\") and matches(b,'AB') and starts-with(c, 'x')]",
+        )
+        .unwrap();
+        let a = q.successor(q.root()).unwrap();
+        assert_eq!(q.predicate_children(a).len(), 3);
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse_query("/a[b + 2 * 3 = 8]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        match q.predicate(a).unwrap() {
+            Expr::Comp(CompOp::Eq, lhs, _) => match lhs.as_ref() {
+                Expr::Arith(ArithOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.as_ref(), Expr::Arith(ArithOp::Mul, _, _)));
+                }
+                other => panic!("expected Add at top, got {other:?}"),
+            },
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_and_or() {
+        let q = parse_query("/a[not(b) or c and d]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        match q.predicate(a).unwrap() {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(lhs.as_ref(), Expr::Not(_)));
+                assert!(matches!(rhs.as_ref(), Expr::And(..)));
+            }
+            other => panic!("expected or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_relpath_predicates() {
+        let q = parse_query("/a[b[c > 5]]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        let b = q.predicate_children(a)[0];
+        let c = q.predicate_children(b)[0];
+        assert_eq!(q.ntest(c), Some(&NodeTest::Name("c".into())));
+    }
+
+    #[test]
+    fn parses_multi_step_relpath() {
+        // c/b//d from the canonical example: chain under the predicate child.
+        let q = parse_query("/a[c/b//d > 12]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        let c = q.predicate_children(a)[0];
+        let b = q.successor(c).unwrap();
+        let d = q.successor(b).unwrap();
+        assert_eq!(q.axis(d), Some(Axis::Descendant));
+        assert_eq!(q.succession_leaf(c), d);
+    }
+
+    #[test]
+    fn unary_minus_and_negative_constants() {
+        let q = parse_query("/a[b > -5]").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        match q.predicate(a).unwrap() {
+            Expr::Comp(CompOp::Gt, _, rhs) => assert!(matches!(rhs.as_ref(), Expr::Neg(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_position_and_last() {
+        assert!(parse_query("/a[position() = 1]").is_err());
+        assert!(parse_query("/a[last() = 1]").is_err());
+        assert!(parse_query("/a/position").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("a/b").is_err()); // must start with axis
+        assert!(parse_query("/a[").is_err());
+        assert!(parse_query("/a[b").is_err());
+        assert!(parse_query("/a]").is_err());
+        assert!(parse_query("/a[b >]").is_err());
+        assert!(parse_query("/a[unknownfn(b)]").is_err());
+        assert!(parse_query("/a[contains(b)]").is_err()); // arity
+        assert!(parse_query("//").is_err());
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let q = parse_query("/a[b = 3.5 and c = \"hi\" and d = 'lo']").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        assert_eq!(q.predicate(a).unwrap().conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn wildcard_steps_in_main_path() {
+        let q = parse_query("/a/*/b").unwrap();
+        let a = q.successor(q.root()).unwrap();
+        let star = q.successor(a).unwrap();
+        assert!(q.ntest(star).unwrap().is_wildcard());
+    }
+
+    #[test]
+    fn whole_subtree_is_validated() {
+        let q = parse_query("/a[c[.//e and f] and b > 5]/b").unwrap();
+        assert!(q.validate().is_ok());
+    }
+}

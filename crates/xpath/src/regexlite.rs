@@ -1,0 +1,414 @@
+//! A small self-contained regular-expression engine backing `fn:matches`.
+//!
+//! Supported syntax: literals, `.`, `*`, `+`, `?`, anchors `^`/`$`,
+//! character classes `[a-z0-9]` / `[^…]`, grouping `(…)`, alternation `|`,
+//! and `\`-escapes (including `\d`, `\w`, `\s`). `fn:matches` semantics:
+//! the pattern matches if it matches *some substring* unless anchored.
+//!
+//! The engine is a plain backtracking matcher — patterns in queries are tiny
+//! (the paper's examples are `"^A.*B$"`, `"AB"`, `"A.+B"`), so simplicity
+//! and zero dependencies win over automaton construction here.
+
+use std::fmt;
+
+/// A compile error for a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset in the pattern.
+    pub at: usize,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    alt: Alt,
+    pattern: String,
+}
+
+type Alt = Vec<Vec<Node>>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Char(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Start,
+    End,
+    Group(Alt),
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars: &chars, pos: 0 };
+        let alt = p.parse_alt()?;
+        if p.pos != chars.len() {
+            return Err(RegexError { message: "unbalanced `)`".into(), at: p.pos });
+        }
+        Ok(Regex { alt, pattern: pattern.to_string() })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// `fn:matches` semantics: true iff the pattern matches at some position.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        for start in 0..=chars.len() {
+            if match_alt(&self.alt, &chars, start, chars.len(), &mut |_| true) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True iff the pattern matches the *entire* string.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let total = chars.len();
+        match_alt(&self.alt, &chars, 0, total, &mut |end| end == total)
+    }
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_alt(&mut self) -> Result<Alt, RegexError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.parse_seq()?);
+        }
+        Ok(branches)
+    }
+
+    fn parse_seq(&mut self) -> Result<Vec<Node>, RegexError> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let node = self.parse_quantifier(atom)?;
+            seq.push(node);
+        }
+        Ok(seq)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, RegexError> {
+        let node = match self.peek() {
+            Some('*') => Node::Repeat { node: Box::new(atom), min: 0, max: None },
+            Some('+') => Node::Repeat { node: Box::new(atom), min: 1, max: None },
+            Some('?') => Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) },
+            _ => return Ok(atom),
+        };
+        self.pos += 1;
+        if matches!(self.peek(), Some('*' | '+' | '?')) {
+            return Err(RegexError { message: "double quantifier".into(), at: self.pos });
+        }
+        Ok(node)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        let at = self.pos;
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        Ok(match c {
+            '.' => Node::Any,
+            '^' => Node::Start,
+            '$' => Node::End,
+            '(' => {
+                let inner = self.parse_alt()?;
+                if self.peek() != Some(')') {
+                    return Err(RegexError { message: "unterminated group".into(), at });
+                }
+                self.pos += 1;
+                Node::Group(inner)
+            }
+            '[' => self.parse_class(at)?,
+            '\\' => self.parse_escape(at)?,
+            '*' | '+' | '?' => {
+                return Err(RegexError { message: "quantifier with nothing to repeat".into(), at })
+            }
+            other => Node::Char(other),
+        })
+    }
+
+    fn parse_escape(&mut self, at: usize) -> Result<Node, RegexError> {
+        let c = *self
+            .chars
+            .get(self.pos)
+            .ok_or_else(|| RegexError { message: "dangling escape".into(), at })?;
+        self.pos += 1;
+        Ok(match c {
+            'd' => Node::Class { negated: false, ranges: vec![('0', '9')] },
+            'D' => Node::Class { negated: true, ranges: vec![('0', '9')] },
+            'w' => Node::Class {
+                negated: false,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            's' => Node::Class {
+                negated: false,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            },
+            'n' => Node::Char('\n'),
+            't' => Node::Char('\t'),
+            'r' => Node::Char('\r'),
+            other => Node::Char(other),
+        })
+    }
+
+    fn parse_class(&mut self, at: usize) -> Result<Node, RegexError> {
+        let negated = self.peek() == Some('^');
+        if negated {
+            self.pos += 1;
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = *self
+                .chars
+                .get(self.pos)
+                .ok_or_else(|| RegexError { message: "unterminated character class".into(), at })?;
+            if c == ']' && !ranges.is_empty() {
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+            let lo = if c == '\\' {
+                let esc = *self.chars.get(self.pos).ok_or_else(|| RegexError {
+                    message: "dangling escape in class".into(),
+                    at,
+                })?;
+                self.pos += 1;
+                esc
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                self.pos += 1;
+                let hi = *self.chars.get(self.pos).ok_or_else(|| RegexError {
+                    message: "unterminated range".into(),
+                    at,
+                })?;
+                self.pos += 1;
+                if hi < lo {
+                    return Err(RegexError { message: "inverted range".into(), at });
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Node::Class { negated, ranges })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+}
+
+/// Matches `alt` starting exactly at `pos`, calling `k` with the end
+/// position of each candidate match; succeeds if `k` accepts one.
+fn match_alt(alt: &Alt, text: &[char], pos: usize, total: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    alt.iter().any(|seq| match_seq(seq, 0, text, pos, total, k))
+}
+
+fn match_seq(
+    seq: &[Node],
+    i: usize,
+    text: &[char],
+    pos: usize,
+    total: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if i == seq.len() {
+        return k(pos);
+    }
+    match &seq[i] {
+        Node::Start => pos == 0 && match_seq(seq, i + 1, text, pos, total, k),
+        Node::End => pos == total && match_seq(seq, i + 1, text, pos, total, k),
+        Node::Char(c) => {
+            text.get(pos) == Some(c) && match_seq(seq, i + 1, text, pos + 1, total, k)
+        }
+        Node::Any => pos < total && match_seq(seq, i + 1, text, pos + 1, total, k),
+        Node::Class { negated, ranges } => {
+            let Some(&c) = text.get(pos) else { return false };
+            let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+            (inside != *negated) && match_seq(seq, i + 1, text, pos + 1, total, k)
+        }
+        Node::Group(inner) => {
+            match_alt(inner, text, pos, total, &mut |end| match_seq(seq, i + 1, text, end, total, k))
+        }
+        Node::Repeat { node, min, max } => {
+            match_repeat(node, *min, *max, seq, i, text, pos, total, k)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_repeat(
+    node: &Node,
+    min: u32,
+    max: Option<u32>,
+    seq: &[Node],
+    i: usize,
+    text: &[char],
+    pos: usize,
+    total: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // Greedy with backtracking: collect all reachable end positions after
+    // consuming 0, 1, 2, … copies, then try continuations longest-first.
+    let mut frontier = vec![pos];
+    let mut ends: Vec<(u32, usize)> = vec![(0, pos)];
+    let mut count = 0u32;
+    while max.is_none_or(|m| count < m) {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            let single = std::slice::from_ref(node);
+            match_seq(single, 0, text, p, total, &mut |end| {
+                if end > p && !next.contains(&end) {
+                    next.push(end);
+                }
+                false // enumerate all ends
+            });
+        }
+        if next.is_empty() {
+            break;
+        }
+        count += 1;
+        for &e in &next {
+            ends.push((count, e));
+        }
+        frontier = next;
+    }
+    // Longest-first (greedy) continuation.
+    for &(n, end) in ends.iter().rev() {
+        if n >= min && match_seq(seq, i + 1, text, end, total, k) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn paper_examples() {
+        // The three patterns from the §5.5 sunflower example.
+        assert!(m("^A.*B$", "AB"));
+        assert!(m("^A.*B$", "AxyzB"));
+        assert!(!m("^A.*B$", "AxyzBC"));
+        assert!(m("AB", "xxAByy"));
+        assert!(!m("AB", "A-B"));
+        assert!(m("A.+B", "xAyBz"));
+        assert!(!m("A.+B", "AB")); // `.+` needs at least one char
+    }
+
+    #[test]
+    fn literal_and_dot() {
+        assert!(m("abc", "xxabcx"));
+        assert!(!m("abc", "ab"));
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "azc"));
+        assert!(!m("a.c", "ac"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abc"));
+        assert!(!m("^bc", "abc"));
+        assert!(m("bc$", "abc"));
+        assert!(!m("ab$", "abc"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[0-9]+", "abc42"));
+        assert!(!m("^[0-9]+$", "abc42"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("[^0-9]", "7"));
+        assert!(m(r"\d\d", "year 07"));
+        assert!(m(r"\w+", "hello_world"));
+        assert!(m("[a\\-z]", "-"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(!m("^(cat|dog)$", "catdog"));
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(!m("^(ab)+$", "ababa"));
+        assert!(m("a(b|c)*d", "abcbcd"));
+    }
+
+    #[test]
+    fn full_match() {
+        let re = Regex::new("a+").unwrap();
+        assert!(re.is_full_match("aaa"));
+        assert!(!re.is_full_match("aab"));
+        assert!(re.is_match("aab"));
+    }
+
+    #[test]
+    fn greedy_backtracking() {
+        // `.*B` must backtrack past the last B.
+        assert!(m("^A.*B$", "AxxBxxB"));
+        assert!(m("a.*b.*c", "a-b-c-b"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a**").is_err());
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("ab)").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        assert!(m("", ""));
+        assert!(m("", "anything"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+}

@@ -1,0 +1,114 @@
+//! fxgrep: grep for XML. Filters files (or stdin) against a Forward XPath
+//! query with near-optimal memory, streaming — documents never need to fit
+//! in RAM.
+//!
+//! Usage:
+//!   cargo run --example fxgrep -- '<query>' [file.xml ...]
+//!   cat doc.xml | cargo run --example fxgrep -- '//item[price > 300]'
+//!
+//! Flags:
+//!   -p   also print the 0-based element positions FULLEVAL selects
+//!   -v   print the filter's space statistics
+
+use frontier_xpath::prelude::*;
+use frontier_xpath::xml::{parse_reader, Attribute};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct FilterSink {
+    filter: StreamFilter,
+}
+
+impl SaxHandler for FilterSink {
+    fn start_document(&mut self) {
+        self.filter.process(&Event::StartDocument);
+    }
+    fn end_document(&mut self) {
+        self.filter.process(&Event::EndDocument);
+    }
+    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
+        self.filter.process(&Event::StartElement {
+            name: name.to_string(),
+            attributes: attributes.to_vec(),
+        });
+    }
+    fn end_element(&mut self, name: &str) {
+        self.filter.process(&Event::end(name));
+    }
+    fn text(&mut self, content: &str) {
+        self.filter.process(&Event::text(content));
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let positions = args.iter().any(|a| a == "-p");
+    let verbose = args.iter().any(|a| a == "-v");
+    args.retain(|a| a != "-p" && a != "-v");
+
+    let Some(query_src) = args.first() else {
+        eprintln!("usage: fxgrep [-p] [-v] '<xpath>' [file.xml ...]");
+        return ExitCode::from(2);
+    };
+    let query = match parse_query(query_src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("fxgrep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let make_filter = || {
+        if positions {
+            StreamFilter::new_reporting(&query)
+        } else {
+            StreamFilter::new(&query)
+        }
+    };
+    if let Err(e) = make_filter() {
+        eprintln!("fxgrep: unsupported query: {e}");
+        return ExitCode::from(2);
+    }
+
+    let files = &args[1..];
+    let mut any_match = false;
+    let mut run = |label: &str, reader: &mut dyn Read| {
+        let mut sink = FilterSink { filter: make_filter().expect("checked above") };
+        match parse_reader(std::io::BufReader::new(reader), &mut sink) {
+            Ok(()) => {
+                let matched = sink.filter.result() == Some(true);
+                any_match |= matched;
+                println!("{label}: {}", if matched { "MATCH" } else { "no match" });
+                if positions {
+                    if let Some(pos) = sink.filter.matched_positions() {
+                        println!("  selected element positions: {pos:?}");
+                    }
+                }
+                if verbose {
+                    let s = sink.filter.stats();
+                    println!(
+                        "  space: {} rows, {} buffer bytes, {} bits peak; {} events",
+                        s.max_rows, s.max_buffer_bytes, s.max_bits, s.events
+                    );
+                }
+            }
+            Err(e) => eprintln!("{label}: parse error: {e}"),
+        }
+    };
+
+    if files.is_empty() {
+        let mut stdin = std::io::stdin().lock();
+        run("<stdin>", &mut stdin);
+    } else {
+        for path in files {
+            match std::fs::File::open(path) {
+                Ok(mut f) => run(path, &mut f),
+                Err(e) => eprintln!("{path}: {e}"),
+            }
+        }
+    }
+    if any_match {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

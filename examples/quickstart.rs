@@ -1,0 +1,48 @@
+//! Quickstart: parse a Forward XPath query, filter a streaming XML
+//! document, and inspect the memory the filter actually used.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use frontier_xpath::analysis::{frontier_size, path_recursion_depth, redundancy_free};
+use frontier_xpath::prelude::*;
+
+fn main() {
+    // The paper's running example (Fig. 3): a query with predicates, a
+    // descendant axis, and a value comparison.
+    let query = parse_query("/a[c[.//e and f] and b > 5]").expect("valid Forward XPath");
+    println!("query:          /a[c[.//e and f] and b > 5]");
+    println!("|Q|:            {}", query.len());
+    println!("FS(Q):          {}  (the paper's lower bound, in bits)", frontier_size(&query));
+    println!("redundancy-free: {}", redundancy_free(&query).is_empty());
+
+    // A document arriving as a stream of SAX events.
+    let xml = "<a><c><d/><e/><f/></c><b>6</b><c/></a>";
+    let events = parse_xml(xml).expect("well-formed XML");
+    println!("\ndocument:       {xml}");
+
+    // Stream it through the Section-8 filter.
+    let mut filter = StreamFilter::new(&query).expect("query is in the supported fragment");
+    for event in &events {
+        filter.process(event);
+    }
+    println!("matches:        {}", filter.result().unwrap());
+
+    // The filter's instrumented memory — the quantity Theorem 8.8 bounds.
+    let stats = filter.stats();
+    println!("\n-- space used (Theorem 8.8's measure) --");
+    println!("frontier rows (peak): {}", stats.max_rows);
+    println!("buffer bytes (peak):  {}", stats.max_buffer_bytes);
+    println!("document depth d:     {}", stats.max_level + 1);
+    println!("text width w:         {}", stats.max_text_width);
+    println!("total bits (peak):    {}", stats.max_bits);
+
+    // Cross-check against the in-memory reference evaluator (Def. 3.6).
+    let doc = Document::from_xml(xml).unwrap();
+    assert_eq!(bool_eval(&query, &doc).unwrap(), filter.result().unwrap());
+    println!("\nreference evaluator agrees; document recursion depth r = {}",
+        path_recursion_depth(&query, &doc));
+
+    // Full evaluation returns the selected nodes in document order.
+    let selected = full_eval(&query, &doc).unwrap();
+    println!("FULLEVAL selects {} node(s)", selected.len());
+}

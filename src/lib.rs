@@ -1,0 +1,67 @@
+//! # frontier-xpath
+//!
+//! A complete Rust implementation of
+//! *Bar-Yossef, Fontoura, Josifovski — On the Memory Requirements of XPath
+//! Evaluation over XML Streams* (PODS 2004; JCSS 73(3), 2007): the
+//! near-optimal streaming XPath filter of Section 8 **and** the paper's
+//! memory lower bounds as executable, machine-checked constructions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use frontier_xpath::prelude::*;
+//! use frontier_xpath::analysis::frontier_size;
+//! use frontier_xpath::lowerbounds::frontier_bound;
+//!
+//! // Parse a Forward XPath query (the grammar of Fig. 1)…
+//! let query = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+//!
+//! // …and filter a streaming document with O(FS(Q)·log d) bits.
+//! let events = parse_xml("<a><c><e/><f/></c><b>6</b></a>").unwrap();
+//! assert!(StreamFilter::run(&query, &events).unwrap());
+//!
+//! // The matching lower bound: FS(Q) = 3 bits are *necessary*.
+//! assert_eq!(frontier_size(&query), 3);
+//! let bound = frontier_bound(&query, None).unwrap();
+//! assert_eq!(bound.fooling.verify(&query).unwrap().bits, 3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`xml`] | SAX events, streaming parser/writer, stream splicing (§3.1.4) |
+//! | [`dom`] | The XPath data model: trees, `STRVAL`, depth (§3.1.1) |
+//! | [`xpath`] | Forward XPath parser, query trees, predicate semantics (§3.1.2–3) |
+//! | [`eval`] | Reference `SELECT`/`FULLEVAL`/`BOOLEVAL`, matchings (§3.1.3, §5.5) |
+//! | [`analysis`] | Redundancy-free XPath, truth sets, canonical documents, `FS(Q)` (§4–6) |
+//! | [`filter`] | **The Section-8 streaming filter** with space instrumentation |
+//! | [`automata`] | NFA / lazy-DFA / buffer-all baselines (§1.2, §2) |
+//! | [`lowerbounds`] | Fooling sets, DISJ reduction, depth bound, state prober (§3.2, §4, §7) |
+//! | [`workloads`] | Seeded document/query generators |
+
+#![warn(missing_docs)]
+
+pub use fx_analysis as analysis;
+pub use fx_automata as automata;
+pub use fx_core as filter;
+pub use fx_dom as dom;
+pub use fx_eval as eval;
+pub use fx_lowerbounds as lowerbounds;
+pub use fx_workloads as workloads;
+pub use fx_xml as xml;
+pub use fx_xpath as xpath;
+
+/// The one-stop import for applications.
+pub mod prelude {
+    pub use fx_analysis::{
+        canonical_document, frontier_size, path_recursion_depth, redundancy_free, text_width,
+    };
+    pub use fx_automata::{BooleanStreamFilter, BufferingFilter, LazyDfaFilter, NfaFilter};
+    pub use fx_core::{MultiFilter, SpaceStats, StreamFilter};
+    pub use fx_dom::Document;
+    pub use fx_eval::{bool_eval, document_matches, full_eval};
+    pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
+    pub use fx_xml::{parse as parse_xml, Event, SaxHandler};
+    pub use fx_xpath::{parse_query, Query};
+}
