@@ -18,7 +18,10 @@ pub struct AutomorphismFinder<'a> {
 impl<'a> AutomorphismFinder<'a> {
     /// Creates a finder for `q`.
     pub fn new(q: &'a Query) -> Self {
-        AutomorphismFinder { q, memo: HashMap::new() }
+        AutomorphismFinder {
+            q,
+            memo: HashMap::new(),
+        }
     }
 
     /// Can the subtree rooted at `w` be mapped onto targets under `t` with
@@ -75,12 +78,10 @@ impl<'a> AutomorphismFinder<'a> {
             Axis::Descendant => {
                 // ψ(c) must be a (proper) descendant of ψ(parent) with axis
                 // in {child, descendant}.
-                self.descendant_targets(t)
-                    .into_iter()
-                    .any(|tc| {
-                        matches!(self.q.axis(tc), Some(Axis::Child | Axis::Descendant))
-                            && self.embeds(c, tc)
-                    })
+                self.descendant_targets(t).into_iter().any(|tc| {
+                    matches!(self.q.axis(tc), Some(Axis::Child | Axis::Descendant))
+                        && self.embeds(c, tc)
+                })
             }
         }
     }
@@ -97,7 +98,13 @@ impl<'a> AutomorphismFinder<'a> {
 
     /// Automorphism of the whole query with the constraint ψ(v) = u, where
     /// the search walks the path from the root to v.
-    fn constrained(&mut self, w: QueryNodeId, t: QueryNodeId, v: QueryNodeId, u: QueryNodeId) -> bool {
+    fn constrained(
+        &mut self,
+        w: QueryNodeId,
+        t: QueryNodeId,
+        v: QueryNodeId,
+        u: QueryNodeId,
+    ) -> bool {
         if w == v {
             return t == u && self.embeds(w, t);
         }
@@ -156,7 +163,9 @@ impl<'a> AutomorphismFinder<'a> {
                 .filter(|&tc| matches!(self.q.axis(tc), Some(Axis::Child | Axis::Descendant)))
                 .collect(),
         };
-        candidates.into_iter().any(|tc| self.constrained(c, tc, v, u))
+        candidates
+            .into_iter()
+            .any(|tc| self.constrained(c, tc, v, u))
     }
 }
 
@@ -164,18 +173,24 @@ impl<'a> AutomorphismFinder<'a> {
 /// itself: all nodes `v ≠ u` that `u` structurally subsumes.
 pub fn structural_domination_set(q: &Query, u: QueryNodeId) -> Vec<QueryNodeId> {
     let mut finder = AutomorphismFinder::new(q);
-    q.all_nodes().filter(|&v| v != u && finder.exists_mapping(v, u)).collect()
+    q.all_nodes()
+        .filter(|&v| v != u && finder.exists_mapping(v, u))
+        .collect()
 }
 
 /// The leaves of `SDOM(u)` — the set `L_u` of Definitions 5.16/5.17.
 pub fn dominated_leaves(q: &Query, u: QueryNodeId) -> Vec<QueryNodeId> {
-    structural_domination_set(q, u).into_iter().filter(|&v| q.is_leaf(v)).collect()
+    structural_domination_set(q, u)
+        .into_iter()
+        .filter(|&v| q.is_leaf(v))
+        .collect()
 }
 
 /// True when some *non-trivial* structural automorphism pair exists, i.e.
 /// some node structurally subsumes another.
 pub fn has_structural_subsumption(q: &Query) -> bool {
-    q.all_nodes().any(|u| !structural_domination_set(q, u).is_empty())
+    q.all_nodes()
+        .any(|u| !structural_domination_set(q, u).is_empty())
 }
 
 #[cfg(test)]

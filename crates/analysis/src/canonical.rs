@@ -59,7 +59,10 @@ pub fn auxiliary_name(q: &Query) -> String {
     if !used.contains("Z") {
         return "Z".to_string();
     }
-    (0..).map(|i| format!("Z{i}")).find(|n| !used.contains(n.as_str())).expect("names are unbounded")
+    (0..)
+        .map(|i| format!("Z{i}"))
+        .find(|n| !used.contains(n.as_str()))
+        .expect("names are unbounded")
 }
 
 /// Builds the canonical document of a redundancy-free query (Fig. 8).
@@ -79,7 +82,11 @@ pub fn structurally_canonical_document(q: &Query) -> CanonicalDocument {
 fn build(q: &Query, with_values: bool) -> Result<CanonicalDocument, FragmentViolation> {
     let aux = auxiliary_name(q);
     let h = q.longest_wildcard_chain();
-    let values = if with_values { unique_values(q)? } else { HashMap::new() };
+    let values = if with_values {
+        unique_values(q)?
+    } else {
+        HashMap::new()
+    };
 
     let mut doc = Document::empty();
     let mut shadow = HashMap::new();
@@ -117,7 +124,14 @@ fn build(q: &Query, with_values: bool) -> Result<CanonicalDocument, FragmentViol
             stack.push((child, node));
         }
     }
-    Ok(CanonicalDocument { doc, shadow, artificial, aux_name: aux, wildcard_chain: h, values })
+    Ok(CanonicalDocument {
+        doc,
+        shadow,
+        artificial,
+        aux_name: aux,
+        wildcard_chain: h,
+        values,
+    })
 }
 
 /// Computes `getUniqueValue` for every node that needs one (Fig. 8 line
@@ -293,7 +307,9 @@ mod tests {
         let q = parse_query("/a[b[c = \"A\"] and ends-with(b, \"B\")]").unwrap();
         let violations = strongly_subsumption_free(&q);
         assert!(
-            violations.iter().any(|v| matches!(v, FragmentViolation::PrefixSunflowerFails(_))),
+            violations
+                .iter()
+                .any(|v| matches!(v, FragmentViolation::PrefixSunflowerFails(_))),
             "{violations:?}"
         );
     }
@@ -310,7 +326,9 @@ mod tests {
         let q = parse_query("/a[b > 5 and b > 6]").unwrap();
         let violations = strongly_subsumption_free(&q);
         assert!(
-            violations.iter().any(|v| matches!(v, FragmentViolation::SunflowerFails(_))),
+            violations
+                .iter()
+                .any(|v| matches!(v, FragmentViolation::SunflowerFails(_))),
             "{violations:?}"
         );
     }

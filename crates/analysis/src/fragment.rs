@@ -41,11 +41,16 @@ impl std::fmt::Display for FragmentViolation {
             WildcardChildDescendantAxis(u) => {
                 write!(f, "wildcard node {u} has a child with a descendant axis")
             }
-            NotConjunctive(u) => write!(f, "predicate of {u} is not a conjunction of atomic predicates"),
+            NotConjunctive(u) => write!(
+                f,
+                "predicate of {u} is not a conjunction of atomic predicates"
+            ),
             NotUnivariate(u) => write!(f, "an atomic predicate of {u} has more than one variable"),
             InternalValueRestricted(u) => write!(f, "internal node {u} is value-restricted"),
             SunflowerFails(u) => write!(f, "sunflower property fails at leaf {u}"),
-            PrefixSunflowerFails(u) => write!(f, "prefix sunflower property fails at internal node {u}"),
+            PrefixSunflowerFails(u) => {
+                write!(f, "prefix sunflower property fails at internal node {u}")
+            }
             Truth(m) => write!(f, "truth-set analysis failed: {m}"),
         }
     }
@@ -72,7 +77,10 @@ pub fn star_restricted(q: &Query) -> Vec<FragmentViolation> {
         if q.axis(u) == Some(Axis::Descendant) {
             out.push(FragmentViolation::WildcardDescendantAxis(u));
         }
-        if q.children(u).iter().any(|&c| q.axis(c) == Some(Axis::Descendant)) {
+        if q.children(u)
+            .iter()
+            .any(|&c| q.axis(c) == Some(Axis::Descendant))
+        {
             out.push(FragmentViolation::WildcardChildDescendantAxis(u));
         }
     }
@@ -137,10 +145,15 @@ pub fn closure_free(q: &Query) -> bool {
 /// (2) `v` has at least two children with a child axis — if one exists.
 pub fn recursive_xpath_node(q: &Query) -> Option<QueryNodeId> {
     q.all_nodes().find(|&v| {
-        let under_descendant =
-            q.path(v).iter().any(|&n| q.axis(n) == Some(Axis::Descendant));
-        let child_children =
-            q.children(v).iter().filter(|&&c| q.axis(c) == Some(Axis::Child)).count();
+        let under_descendant = q
+            .path(v)
+            .iter()
+            .any(|&n| q.axis(n) == Some(Axis::Descendant));
+        let child_children = q
+            .children(v)
+            .iter()
+            .filter(|&&c| q.axis(c) == Some(Axis::Child))
+            .count();
         under_descendant && child_children >= 2
     })
 }
@@ -163,7 +176,12 @@ pub fn depth_theorem_node(q: &Query) -> Option<QueryNodeId> {
 /// conjunct expression (helper shared by analyses).
 pub fn atomic_conjuncts(q: &Query, u: QueryNodeId) -> Vec<(Expr, Vec<QueryNodeId>)> {
     q.predicate(u)
-        .map(|p| p.conjuncts().into_iter().map(|c| (c.clone(), c.vars())).collect())
+        .map(|p| {
+            p.conjuncts()
+                .into_iter()
+                .map(|c| (c.clone(), c.vars()))
+                .collect()
+        })
         .unwrap_or_default()
 }
 

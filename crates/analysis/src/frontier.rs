@@ -22,7 +22,10 @@ pub fn frontier(q: &Query, u: QueryNodeId) -> Vec<QueryNodeId> {
 /// The frontier size `FS(Q)`: the size of the largest frontier over all
 /// nodes of `Q`.
 pub fn frontier_size(q: &Query) -> usize {
-    q.all_nodes().map(|u| frontier(q, u).len()).max().unwrap_or(0)
+    q.all_nodes()
+        .map(|u| frontier(q, u).len())
+        .max()
+        .unwrap_or(0)
 }
 
 /// The node realizing the largest frontier (ties broken by id order).

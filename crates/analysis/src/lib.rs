@@ -29,8 +29,8 @@ pub mod truthset;
 
 pub use automorphism::{dominated_leaves, structural_domination_set, AutomorphismFinder};
 pub use canonical::{
-    auxiliary_name, canonical_document, strongly_subsumption_free,
-    structurally_canonical_document, unique_values, CanonicalDocument,
+    auxiliary_name, canonical_document, strongly_subsumption_free, structurally_canonical_document,
+    unique_values, CanonicalDocument,
 };
 pub use fragment::{
     closure_free, conjunctive, depth_theorem_node, leaf_only_value_restricted,
@@ -83,7 +83,11 @@ mod tests {
             "/a[b[c > 5]]",
         ] {
             let q = parse_query(src).unwrap();
-            assert!(redundancy_free(&q).is_empty(), "{src}: {:?}", redundancy_free(&q));
+            assert!(
+                redundancy_free(&q).is_empty(),
+                "{src}: {:?}",
+                redundancy_free(&q)
+            );
         }
     }
 
@@ -98,7 +102,10 @@ mod tests {
             ("/a[not(b)]", "negation"),
             ("/a[b > c]", "multivariate"),
             ("/a[b[c] > 5]", "value-restricted internal node"),
-            ("/a[b[c = \"A\"] and ends-with(b, \"B\")]", "prefix sunflower"),
+            (
+                "/a[b[c = \"A\"] and ends-with(b, \"B\")]",
+                "prefix sunflower",
+            ),
             ("/r[a//*]", "star restriction (wildcard below descendant)"),
             // The Fig. 2 query *with* the output step: the predicate's
             // `b > 5` leaf and the output `b` mutually structurally
@@ -107,11 +114,17 @@ mod tests {
             // be unique (both b nodes could map to <b>6</b>). The
             // lower-bound sections consistently use the query *without*
             // the trailing /b.
-            ("/a[c[.//e and f] and b > 5]/b", "sunflower via output/predicate twins"),
+            (
+                "/a[c[.//e and f] and b > 5]/b",
+                "sunflower via output/predicate twins",
+            ),
         ];
         for (src, why) in cases {
             let q = parse_query(src).unwrap();
-            assert!(!redundancy_free(&q).is_empty(), "{src} should be rejected ({why})");
+            assert!(
+                !redundancy_free(&q).is_empty(),
+                "{src} should be rejected ({why})"
+            );
         }
     }
 

@@ -125,7 +125,10 @@ pub fn find_redundancy(q: &Query) -> Option<Redundancy> {
             }
             for &u in kids {
                 if u != v && implies_subtree(q, v, u, true) {
-                    return Some(Redundancy { redundant: v, witness: u });
+                    return Some(Redundancy {
+                        redundant: v,
+                        witness: u,
+                    });
                 }
             }
         }
@@ -185,9 +188,7 @@ fn implies_subtree(q: &Query, v: QueryNodeId, u: QueryNodeId, top: bool) -> bool
                 .preorder(u)
                 .into_iter()
                 .filter(|&t| t != u)
-                .any(|t| {
-                    q.axis(t) != Some(Axis::Attribute) && implies_subtree(q, c, t, false)
-                }),
+                .any(|t| q.axis(t) != Some(Axis::Attribute) && implies_subtree(q, c, t, false)),
             None => false,
         };
         if !covered {
@@ -260,12 +261,16 @@ fn remap_expr(e: &Expr, map: &HashMap<QueryNodeId, QueryNodeId>) -> Expr {
     match e {
         Expr::Const(v) => Expr::Const(v.clone()),
         Expr::Var(v) => Expr::Var(map[v]),
-        Expr::Comp(op, a, b) => {
-            Expr::Comp(*op, Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map)))
-        }
-        Expr::Arith(op, a, b) => {
-            Expr::Arith(*op, Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map)))
-        }
+        Expr::Comp(op, a, b) => Expr::Comp(
+            *op,
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+        ),
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+        ),
         Expr::Neg(a) => Expr::Neg(Box::new(remap_expr(a, map))),
         Expr::And(a, b) => Expr::and(remap_expr(a, map), remap_expr(b, map)),
         Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
@@ -345,7 +350,11 @@ mod tests {
         let q = parse_query("/a[b > 5 and b > 6]").unwrap();
         assert!(!crate::redundancy_free(&q).is_empty());
         let min = minimize(&q);
-        assert!(crate::redundancy_free(&min).is_empty(), "{}", to_xpath(&min));
+        assert!(
+            crate::redundancy_free(&min).is_empty(),
+            "{}",
+            to_xpath(&min)
+        );
     }
 
     #[test]
@@ -360,8 +369,8 @@ mod tests {
         assert_eq!(truth_implies(&t_gt6, &t_gt5), Tri::Yes);
         assert_eq!(truth_implies(&t_gt5, &t_gt6), Tri::No);
         assert_eq!(truth_implies(&t_eqx, &t_gt5), Tri::No); // "x" is NaN
-        // Cross-direction intervals are not provably included; the
-        // eliminator only acts on Yes, so Unknown/No are both safe.
+                                                            // Cross-direction intervals are not provably included; the
+                                                            // eliminator only acts on Yes, so Unknown/No are both safe.
         assert_ne!(truth_implies(&t_lt3, &t_gt5), Tri::Yes);
         assert_eq!(truth_implies(&t_gt5, &t_gt5), Tri::Yes);
     }
@@ -388,7 +397,13 @@ mod tests {
                 let d = random_doc(&mut rng, &cfg);
                 let before = fx_eval::bool_eval(&q, &d).unwrap();
                 let after = fx_eval::bool_eval(&min, &d).unwrap();
-                assert_eq!(before, after, "{src} → {} on {}", to_xpath(&min), d.to_xml());
+                assert_eq!(
+                    before,
+                    after,
+                    "{src} → {} on {}",
+                    to_xpath(&min),
+                    d.to_xml()
+                );
             }
         }
     }
@@ -397,7 +412,12 @@ mod tests {
     #[derive(Default)]
     struct RandomDocCfg;
     fn random_doc(rng: &mut impl rand::Rng, _cfg: &RandomDocCfg) -> fx_dom::Document {
-        fn grow(rng: &mut impl rand::Rng, doc: &mut fx_dom::Document, at: fx_dom::NodeId, depth: usize) {
+        fn grow(
+            rng: &mut impl rand::Rng,
+            doc: &mut fx_dom::Document,
+            at: fx_dom::NodeId,
+            depth: usize,
+        ) {
             if depth >= 5 {
                 return;
             }

@@ -51,7 +51,9 @@ pub fn path_match_sets(q: &Query, d: &Document) -> HashMap<NodeId, HashSet<Query
 
 /// Does `x` path match `u`?
 pub fn path_matches(q: &Query, d: &Document, u: QueryNodeId, x: NodeId) -> bool {
-    path_match_sets(q, d).get(&x).is_some_and(|s| s.contains(&u))
+    path_match_sets(q, d)
+        .get(&x)
+        .is_some_and(|s| s.contains(&u))
 }
 
 /// The path recursion depth of `D` w.r.t. `Q` (Def. 8.3): the longest
@@ -130,7 +132,10 @@ fn steps_to(q: &Query, u: QueryNodeId) -> Vec<Step> {
     q.path(u)
         .into_iter()
         .skip(1) // drop the root
-        .map(|n| Step { axis: q.axis(n).expect("non-root"), test: q.ntest(n).expect("non-root").clone() })
+        .map(|n| Step {
+            axis: q.axis(n).expect("non-root"),
+            test: q.ntest(n).expect("non-root").clone(),
+        })
         .collect()
 }
 

@@ -62,10 +62,16 @@ impl TruthSet {
     /// Builds the truth set of node `u` (Def. 5.6).
     pub fn of(q: &Query, u: QueryNodeId) -> Result<TruthSet, TruthError> {
         match constraining_predicate(q, u)? {
-            None => Ok(TruthSet { source: None, shape: Shape::All }),
+            None => Ok(TruthSet {
+                source: None,
+                shape: Shape::All,
+            }),
             Some((var, pred)) => {
                 let shape = recognize(&pred, var);
-                Ok(TruthSet { source: Some((var, pred)), shape })
+                Ok(TruthSet {
+                    source: Some((var, pred)),
+                    shape,
+                })
             }
         }
     }
@@ -123,7 +129,17 @@ impl TruthSet {
         match &self.shape {
             Shape::All | Shape::Opaque => vec!["v".into(), "1".into(), "".into()],
             Shape::NumCmp(op, c) => {
-                let mut v = vec![*c, c + 1.0, c - 1.0, c + 0.5, c - 0.5, c * 2.0, 0.0, c + 1000.0, c - 1000.0];
+                let mut v = vec![
+                    *c,
+                    c + 1.0,
+                    c - 1.0,
+                    c + 0.5,
+                    c - 0.5,
+                    c * 2.0,
+                    0.0,
+                    c + 1000.0,
+                    c - 1000.0,
+                ];
                 if matches!(op, CompOp::Ne) {
                     v.push(c + 7.0);
                 }
@@ -276,8 +292,12 @@ pub fn sample_distinct_member(target: &TruthSet, avoid: &[TruthSet], salt: u64) 
 pub fn sample_non_prefix(avoid: &[TruthSet], salt: u64) -> Option<String> {
     // Letters break numeric parses; 'q'/'z' rarely occur in constants. Try
     // several in case a string constant contains one of them.
-    let candidates =
-        [format!("zq{salt}zq"), format!("qz{salt}xw"), format!("wy{salt}yw"), format!("kj{salt}jk")];
+    let candidates = [
+        format!("zq{salt}zq"),
+        format!("qz{salt}xw"),
+        format!("wy{salt}yw"),
+        format!("kj{salt}jk"),
+    ];
     candidates
         .into_iter()
         .find(|cand| avoid.iter().all(|av| av.extends_to_member(cand) == Tri::No))
@@ -364,10 +384,9 @@ mod tests {
         // but the first is covered by the union. Check that a witness for
         // "in ^A.*B$ but not in AB-contains" does not exist, while
         // "in contains-AB but not in ^A.*B$" does (e.g. "xABx").
-        let q = parse_query(
-            "/a[matches(b,\"^A.*B$\") and matches(b,\"AB\") and matches(b,\"A.+B\")]",
-        )
-        .unwrap();
+        let q =
+            parse_query("/a[matches(b,\"^A.*B$\") and matches(b,\"AB\") and matches(b,\"A.+B\")]")
+                .unwrap();
         let a = q.successor(q.root()).unwrap();
         let pc = q.predicate_children(a);
         let t1 = TruthSet::of(&q, pc[0]).unwrap();

@@ -3,7 +3,6 @@
 //! `Θ(|D|)` space — the gap to the paper's `O(|Q|·r·log d)` is what the
 //! whole line of work is about.
 
-use crate::traits::BooleanStreamFilter;
 use fx_xml::Event;
 use fx_xpath::Query;
 
@@ -21,23 +20,18 @@ pub struct BufferingFilter {
 impl BufferingFilter {
     /// Creates the filter (any Forward XPath query).
     pub fn new(q: &Query) -> BufferingFilter {
-        BufferingFilter { query: q.clone(), events: Vec::new(), bytes: 0, max_bytes: 0, result: None }
-    }
-}
-
-fn event_bytes(e: &Event) -> usize {
-    match e {
-        Event::StartDocument | Event::EndDocument => 1,
-        Event::StartElement { name, attributes } => {
-            name.len() + attributes.iter().map(|a| a.name.len() + a.value.len()).sum::<usize>() + 2
+        BufferingFilter {
+            query: q.clone(),
+            events: Vec::new(),
+            bytes: 0,
+            max_bytes: 0,
+            result: None,
         }
-        Event::EndElement { name } => name.len() + 3,
-        Event::Text { content } => content.len(),
     }
-}
 
-impl BooleanStreamFilter for BufferingFilter {
-    fn process(&mut self, event: &Event) {
+    /// Feeds one event, buffering it until `EndDocument` triggers the
+    /// in-memory evaluation.
+    pub fn process(&mut self, event: &Event) {
         match event {
             Event::StartDocument => {
                 self.events.clear();
@@ -60,16 +54,43 @@ impl BooleanStreamFilter for BufferingFilter {
         }
     }
 
-    fn verdict(&self) -> Option<bool> {
+    /// The verdict, available after `EndDocument`.
+    pub fn verdict(&self) -> Option<bool> {
         self.result
     }
 
-    fn peak_memory_bits(&self) -> u64 {
+    /// Peak logical memory, in bits: the whole buffered document.
+    pub fn peak_memory_bits(&self) -> u64 {
         self.max_bytes as u64 * 8
     }
 
-    fn label(&self) -> &'static str {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
         "buffer-all"
+    }
+
+    /// Feeds a whole stream and returns the verdict.
+    pub fn run_stream(&mut self, events: &[Event]) -> Option<bool> {
+        for e in events {
+            self.process(e);
+        }
+        self.verdict()
+    }
+}
+
+fn event_bytes(e: &Event) -> usize {
+    match e {
+        Event::StartDocument | Event::EndDocument => 1,
+        Event::StartElement { name, attributes } => {
+            name.len()
+                + attributes
+                    .iter()
+                    .map(|a| a.name.len() + a.value.len())
+                    .sum::<usize>()
+                + 2
+        }
+        Event::EndElement { name } => name.len() + 3,
+        Event::Text { content } => content.len(),
     }
 }
 
@@ -81,15 +102,23 @@ mod tests {
     #[test]
     fn agrees_with_streaming_filter() {
         let queries = ["/a[b and c]", "//a[b and c]", "/a[b > 5]", "/a/b/c"];
-        let docs =
-            ["<a><b>6</b><c/></a>", "<a><b>2</b></a>", "<a><a><b/><c/></a></a>", "<a><b><c/></b></a>"];
+        let docs = [
+            "<a><b>6</b><c/></a>",
+            "<a><b>2</b></a>",
+            "<a><a><b/><c/></a></a>",
+            "<a><b><c/></b></a>",
+        ];
         for qs in queries {
             let q = parse_query(qs).unwrap();
             for xml in docs {
                 let events = fx_xml::parse(xml).unwrap();
                 let mut buf = BufferingFilter::new(&q);
                 let mut stream = fx_core::StreamFilter::new(&q).unwrap();
-                assert_eq!(buf.run_stream(&events), stream.run_stream(&events), "{qs} on {xml}");
+                assert_eq!(
+                    buf.run_stream(&events),
+                    stream.run_stream(&events),
+                    "{qs} on {xml}"
+                );
             }
         }
     }

@@ -6,7 +6,6 @@
 //! simulating non-deterministic automata by deterministic ones."
 
 use crate::linear::{subset_transition, LinearPath, StateSet};
-use crate::traits::BooleanStreamFilter;
 use fx_xml::Event;
 use fx_xpath::Query;
 use std::collections::HashMap;
@@ -90,10 +89,10 @@ impl LazyDfaFilter {
         }
         self.states.len()
     }
-}
 
-impl BooleanStreamFilter for LazyDfaFilter {
-    fn process(&mut self, event: &Event) {
+    /// Feeds one event. A `StartDocument` resets the run-time stack but
+    /// deliberately keeps the memoized transition table (see below).
+    pub fn process(&mut self, event: &Event) {
         match event {
             Event::StartDocument => {
                 self.stack.clear();
@@ -106,7 +105,10 @@ impl BooleanStreamFilter for LazyDfaFilter {
             }
             Event::EndDocument => self.result = Some(self.matched),
             Event::StartElement { name, .. } => {
-                let top = *self.stack.last().expect("startDocument pushed the initial state");
+                let top = *self
+                    .stack
+                    .last()
+                    .expect("startDocument pushed the initial state");
                 let to = self.step(top, name);
                 if self.states[to as usize].contains(self.path.accepting()) {
                     self.matched = true;
@@ -121,11 +123,13 @@ impl BooleanStreamFilter for LazyDfaFilter {
         }
     }
 
-    fn verdict(&self) -> Option<bool> {
+    /// The verdict, available after `EndDocument`.
+    pub fn verdict(&self) -> Option<bool> {
         self.result
     }
 
-    fn peak_memory_bits(&self) -> u64 {
+    /// Peak logical memory, in bits (the quantity the paper bounds).
+    pub fn peak_memory_bits(&self) -> u64 {
         // The run-time stack stores DFA state ids; the dominant cost is
         // the materialized automaton: each state holds its subset (m
         // bits), each transition entry a (state, name, state) triple.
@@ -138,8 +142,17 @@ impl BooleanStreamFilter for LazyDfaFilter {
         states + table + stack + 1
     }
 
-    fn label(&self) -> &'static str {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
         "lazy-dfa"
+    }
+
+    /// Feeds a whole stream and returns the verdict.
+    pub fn run_stream(&mut self, events: &[Event]) -> Option<bool> {
+        for e in events {
+            self.process(e);
+        }
+        self.verdict()
     }
 }
 
@@ -189,7 +202,10 @@ mod tests {
     fn table_persists_across_documents() {
         let q = parse_query("//a//b").unwrap();
         let mut f = LazyDfaFilter::new(&q).unwrap();
-        assert_eq!(f.run_stream(&fx_xml::parse("<a><b/></a>").unwrap()), Some(true));
+        assert_eq!(
+            f.run_stream(&fx_xml::parse("<a><b/></a>").unwrap()),
+            Some(true)
+        );
         let states = f.state_count();
         assert_eq!(f.run_stream(&fx_xml::parse("<x/>").unwrap()), Some(false));
         assert!(f.state_count() >= states);

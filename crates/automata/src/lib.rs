@@ -7,18 +7,26 @@
 //! buffer-everything strawman. All are instrumented for the same logical
 //! memory measure as the paper's algorithm, so the benchmark harness can
 //! report who wins where.
+//!
+//! Each baseline exposes the uniform `process` / `verdict` /
+//! `peak_memory_bits` shape as inherent methods; the trait unifying them
+//! (formerly `BooleanStreamFilter` in this crate) now lives at the
+//! engine layer as `fx_engine::Evaluator`, where every backend —
+//! including the paper's own `fx_core::StreamFilter` — implements it.
+//! Select a baseline through `fx_engine::Backend` rather than
+//! constructing filters directly when filtering documents; direct
+//! construction remains for experiments that poke automaton internals
+//! (eager materialization, state counts).
 
 #![warn(missing_docs)]
 
 pub mod buffering;
 pub mod dfa;
 pub mod linear;
-pub mod traits;
 
 pub use buffering::BufferingFilter;
 pub use dfa::LazyDfaFilter;
 pub use linear::{LinearPath, NfaFilter, PathStep, StateSet};
-pub use traits::BooleanStreamFilter;
 
 #[cfg(test)]
 mod crosscheck {
@@ -27,7 +35,15 @@ mod crosscheck {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    const LINEAR_QUERIES: &[&str] = &["/a/b", "//a//b", "/a//b/c", "//x", "/a/*/b", "//a/b//c", "//a/*/*/b"];
+    const LINEAR_QUERIES: &[&str] = &[
+        "/a/b",
+        "//a//b",
+        "/a//b/c",
+        "//x",
+        "/a/*/b",
+        "//a/b//c",
+        "//a/*/*/b",
+    ];
 
     proptest! {
         /// All four engines agree on linear queries over random documents.

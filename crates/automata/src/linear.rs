@@ -3,7 +3,6 @@
 //! automaton's active state set is maintained per open element on a
 //! run-time stack.
 
-use crate::traits::BooleanStreamFilter;
 use fx_xml::{Attribute, Event};
 use fx_xpath::{Axis, NodeTest, Query};
 
@@ -41,7 +40,10 @@ impl LinearPath {
                     if axis == Axis::Attribute {
                         return None;
                     }
-                    steps.push(PathStep { axis, test: q.ntest(next)?.clone() });
+                    steps.push(PathStep {
+                        axis,
+                        test: q.ntest(next)?.clone(),
+                    });
                     cur = next;
                 }
                 None => break,
@@ -71,7 +73,9 @@ impl LinearPath {
 
     /// Whether `state` may skip a level (its next step is `descendant`).
     pub fn may_skip(&self, state: usize) -> bool {
-        self.steps.get(state).is_some_and(|s| s.axis == Axis::Descendant)
+        self.steps
+            .get(state)
+            .is_some_and(|s| s.axis == Axis::Descendant)
     }
 
     /// The accepting state.
@@ -152,7 +156,10 @@ impl NfaFilter {
     /// Builds the filter for a linear query.
     pub fn new(q: &Query) -> Option<NfaFilter> {
         let path = LinearPath::from_query(q)?;
-        assert!(path.state_count() <= 128, "linear baseline supports ≤127 steps");
+        assert!(
+            path.state_count() <= 128,
+            "linear baseline supports ≤127 steps"
+        );
         Some(NfaFilter {
             path,
             stack: Vec::new(),
@@ -164,7 +171,11 @@ impl NfaFilter {
     }
 
     fn start_element(&mut self, name: &str, _attrs: &[Attribute]) {
-        let top = self.stack.last().copied().unwrap_or_else(|| StateSet::singleton(0));
+        let top = self
+            .stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| StateSet::singleton(0));
         let next = subset_transition(&self.path, top, name);
         if next.contains(self.path.accepting()) {
             self.matched = true;
@@ -173,10 +184,10 @@ impl NfaFilter {
         self.max_stack = self.max_stack.max(self.stack.len());
         self.max_active = self.max_active.max(next.len());
     }
-}
 
-impl BooleanStreamFilter for NfaFilter {
-    fn process(&mut self, event: &Event) {
+    /// Feeds one event. A `StartDocument` resets the run-time stack (the
+    /// automaton itself is immutable).
+    pub fn process(&mut self, event: &Event) {
         match event {
             Event::StartDocument => {
                 self.stack.clear();
@@ -193,17 +204,28 @@ impl BooleanStreamFilter for NfaFilter {
         }
     }
 
-    fn verdict(&self) -> Option<bool> {
+    /// The verdict, available after `EndDocument`.
+    pub fn verdict(&self) -> Option<bool> {
         self.result
     }
 
-    fn peak_memory_bits(&self) -> u64 {
+    /// Peak logical memory, in bits (the quantity the paper bounds).
+    pub fn peak_memory_bits(&self) -> u64 {
         // One state set (m bits) per stack frame, plus the match flag.
         self.max_stack as u64 * self.path.state_count() as u64 + 1
     }
 
-    fn label(&self) -> &'static str {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
         "nfa"
+    }
+
+    /// Feeds a whole stream and returns the verdict.
+    pub fn run_stream(&mut self, events: &[Event]) -> Option<bool> {
+        for e in events {
+            self.process(e);
+        }
+        self.verdict()
     }
 }
 
@@ -268,7 +290,12 @@ mod tests {
     fn memory_grows_with_depth_not_length() {
         let q = parse_query("//a/b").unwrap();
         let shallow = fx_xml::parse(&format!("<r>{}</r>", "<a><b/></a>".repeat(50))).unwrap();
-        let deep = fx_xml::parse(&format!("<r>{}<a><b/></a>{}</r>", "<x>".repeat(50), "</x>".repeat(50))).unwrap();
+        let deep = fx_xml::parse(&format!(
+            "<r>{}<a><b/></a>{}</r>",
+            "<x>".repeat(50),
+            "</x>".repeat(50)
+        ))
+        .unwrap();
         let mut f1 = NfaFilter::new(&q).unwrap();
         f1.run_stream(&shallow);
         let mut f2 = NfaFilter::new(&q).unwrap();

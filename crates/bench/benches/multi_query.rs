@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fx_core::MultiFilter;
+use fx_engine::Engine;
 use fx_workloads as wl;
 use fx_xpath::Query;
 use rand::rngs::SmallRng;
@@ -14,15 +15,37 @@ fn bench_bank_sizes(c: &mut Criterion) {
     let events = doc.to_events();
     let mut group = c.benchmark_group("multi_query");
     for n in [1usize, 16, 128] {
-        let cfg = wl::RandomQueryConfig { max_nodes: 6, ..Default::default() };
-        let queries: Vec<Query> =
-            (0..n).map(|_| wl::random_redundancy_free(&mut rng, &cfg)).collect();
+        let cfg = wl::RandomQueryConfig {
+            max_nodes: 6,
+            ..Default::default()
+        };
+        let queries: Vec<Query> = (0..n)
+            .map(|_| wl::random_redundancy_free(&mut rng, &cfg))
+            .collect();
         group.throughput(Throughput::Elements((events.len() * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, qs| {
+        // The legacy bank (with verdict-decided short-circuiting)…
+        group.bench_with_input(BenchmarkId::new("multifilter", n), &queries, |b, qs| {
             let mut bank = MultiFilter::new(qs).unwrap();
             b.iter(|| {
-                bank.process_all(&events);
+                for e in &events {
+                    bank.process(e);
+                }
                 bank.matching_queries().len()
+            });
+        });
+        // …vs the canonical engine session (which runs the same
+        // short-circuiting bank under the hood, plus session bookkeeping).
+        group.bench_with_input(BenchmarkId::new("engine-session", n), &queries, |b, qs| {
+            let engine = Engine::builder()
+                .queries(qs.iter().cloned())
+                .build()
+                .unwrap();
+            let mut session = engine.session();
+            b.iter(|| {
+                for e in &events {
+                    session.push(e);
+                }
+                session.finish().unwrap().matching_queries().len()
             });
         });
     }

@@ -11,7 +11,12 @@ fn bench_xml_parse(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(7);
     let doc = wl::auction_site(
         &mut rng,
-        &wl::XmarkConfig { items: 40, auctions: 30, people: 20, category_depth: 4 },
+        &wl::XmarkConfig {
+            items: 40,
+            auctions: 30,
+            people: 20,
+            category_depth: 4,
+        },
     );
     let xml = doc.to_xml();
     let mut group = c.benchmark_group("parsing/xml");
@@ -19,7 +24,9 @@ fn bench_xml_parse(c: &mut Criterion) {
     group.bench_function("parse", |b| b.iter(|| fx_xml::parse(&xml).unwrap()));
     let events = doc.to_events();
     group.bench_function("write", |b| b.iter(|| fx_xml::to_xml(&events).unwrap()));
-    group.bench_function("build_dom", |b| b.iter(|| fx_dom::from_events(&events).unwrap()));
+    group.bench_function("build_dom", |b| {
+        b.iter(|| fx_dom::from_events(&events).unwrap())
+    });
     group.finish();
 }
 
@@ -34,7 +41,10 @@ fn bench_query_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("parsing/xpath");
     group.bench_function("parse_5_queries", |b| {
         b.iter(|| {
-            sources.iter().map(|s| fx_xpath::parse_query(s).unwrap().len()).sum::<usize>()
+            sources
+                .iter()
+                .map(|s| fx_xpath::parse_query(s).unwrap().len())
+                .sum::<usize>()
         })
     });
     let q = fx_xpath::parse_query(sources[3]).unwrap();

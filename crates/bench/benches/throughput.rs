@@ -2,8 +2,9 @@
 //! Theorem 8.8, and the engine comparison on linear and twig queries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fx_automata::{BooleanStreamFilter, BufferingFilter, LazyDfaFilter, NfaFilter};
+use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
 use fx_core::StreamFilter;
+use fx_engine::Engine;
 use fx_workloads as wl;
 use fx_xpath::parse_query;
 use rand::rngs::SmallRng;
@@ -41,6 +42,22 @@ fn bench_twig_engines(c: &mut Criterion) {
             let mut f = BufferingFilter::new(&q);
             b.iter(|| f.run_stream(ev));
         });
+        // The new canonical surface: a reused engine session fed event
+        // by event, to keep its overhead over bare StreamFilter honest.
+        group.bench_with_input(
+            BenchmarkId::new("engine-session", scale),
+            &events,
+            |b, ev| {
+                let engine = Engine::builder().query(q.clone()).build().unwrap();
+                let mut session = engine.session();
+                b.iter(|| {
+                    for e in ev {
+                        session.push(e);
+                    }
+                    session.finish().unwrap().any()
+                });
+            },
+        );
     }
     group.finish();
 }

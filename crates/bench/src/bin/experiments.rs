@@ -6,10 +6,12 @@
 //!   cargo run --release -p fx-bench --bin experiments -- e2 e9  # subset
 
 use fx_analysis::{frontier_size, redundancy_free};
-use fx_automata::{BooleanStreamFilter, BufferingFilter, LazyDfaFilter, NfaFilter};
+use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
 use fx_bench::{ratio, throughput};
 use fx_core::{MultiFilter, StreamFilter};
-use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe, probe_fooling_set, sets_intersect};
+use fx_lowerbounds::{
+    depth_bound, disj_segments, frontier_bound, probe, probe_fooling_set, sets_intersect,
+};
 use fx_workloads as wl;
 use fx_xml::Event;
 use fx_xpath::{parse_query, to_xpath, Query};
@@ -71,12 +73,17 @@ fn header(id: &str, title: &str) {
 // ---------------------------------------------------------------------------
 
 fn e1_frontier_simple() {
-    header("E1", "Theorem 4.2 — query frontier size (fixed query, Figs. 3-4)");
+    header(
+        "E1",
+        "Theorem 4.2 — query frontier size (fixed query, Figs. 3-4)",
+    );
     let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
     let fb = frontier_bound(&q, None).unwrap();
     let report = fb.fooling.verify(&q).unwrap();
     let probe_report = probe_fooling_set(|| StreamFilter::new(&q).unwrap(), &fb.fooling);
-    println!("query                      FS(Q)  |S|  diag  cross  LB bits  filter states  filter bits");
+    println!(
+        "query                      FS(Q)  |S|  diag  cross  LB bits  filter states  filter bits"
+    );
     println!(
         "{:<26} {:>5}  {:>3}  {:>4}  {:>5}  {:>7}  {:>13}  {:>11}",
         "/a[c[.//e and f] and b>5]",
@@ -92,13 +99,20 @@ fn e1_frontier_simple() {
 }
 
 fn e2_recursion() {
-    header("E2", "Theorem 4.5 — recursion depth, DISJ reduction (Fig. 5)");
+    header(
+        "E2",
+        "Theorem 4.5 — recursion depth, DISJ reduction (Fig. 5)",
+    );
     let q = parse_query("//a[b and c]").unwrap();
     let seg = disj_segments(&q).unwrap();
-    println!("{:>4}  {:>10}  {:>8}  {:>13}  {:>12}", "r", "LB states", "LB bits", "probe states", "filter bits");
+    println!(
+        "{:>4}  {:>10}  {:>8}  {:>13}  {:>12}",
+        "r", "LB states", "LB bits", "probe states", "filter bits"
+    );
     for r in [2usize, 4, 6, 8] {
-        let all: Vec<Vec<bool>> =
-            (0..1usize << r).map(|m| (0..r).map(|i| m >> i & 1 == 1).collect()).collect();
+        let all: Vec<Vec<bool>> = (0..1usize << r)
+            .map(|m| (0..r).map(|i| m >> i & 1 == 1).collect())
+            .collect();
         let prefixes: Vec<Vec<Event>> = all.iter().map(|s| seg.alpha(s)).collect();
         let suffixes: Vec<Vec<Event>> = all.iter().map(|t| seg.beta(t)).collect();
         let report = probe(|| StreamFilter::new(&q).unwrap(), &prefixes, &suffixes);
@@ -118,7 +132,11 @@ fn e2_recursion() {
     for r in [16usize, 64, 256, 1024, 4096] {
         let mut f = StreamFilter::new(&q).unwrap();
         f.process_all(&seg.document(&vec![true; r], &vec![false; r]));
-        println!("{r:>6}  {:>8}  {:>12}", f.stats().max_rows, f.stats().max_bits);
+        println!(
+            "{r:>6}  {:>8}  {:>12}",
+            f.stats().max_rows,
+            f.stats().max_bits
+        );
     }
     println!("shape check: probe states = 2^r exactly; filter bits grow linearly in r.\n");
 }
@@ -127,7 +145,10 @@ fn e3_depth() {
     header("E3", "Theorem 4.6 — document depth (Fig. 6)");
     let q = parse_query("/a/b").unwrap();
     let db = depth_bound(&q).unwrap();
-    println!("{:>6}  {:>10}  {:>8}  {:>13}  {:>12}", "d", "LB states", "LB bits", "probe states", "filter bits");
+    println!(
+        "{:>6}  {:>10}  {:>8}  {:>13}  {:>12}",
+        "d", "LB states", "LB bits", "probe states", "filter bits"
+    );
     for d in [4usize, 16, 64, 256, 1024, 4096] {
         let fooling = db.fooling_set(d.min(256)); // verification is O(t²)
         let report = fooling.verify(&q).unwrap();
@@ -151,19 +172,33 @@ fn e3_depth() {
             f.stats().max_bits
         );
     }
-    println!("shape check: filter bits grow by ~2 per 4x depth (logarithmic), matching Ω(log d).\n");
+    println!(
+        "shape check: filter bits grow by ~2 per 4x depth (logarithmic), matching Ω(log d).\n"
+    );
 }
 
 fn e4_frontier_general() {
-    header("E4", "Theorem 7.1 — general frontier bound on random redundancy-free queries");
+    header(
+        "E4",
+        "Theorem 7.1 — general frontier bound on random redundancy-free queries",
+    );
     let mut rng = SmallRng::seed_from_u64(7001);
-    let cfg = wl::RandomQueryConfig { max_nodes: 10, ..Default::default() };
-    println!("{:<44}  {:>5}  {:>4}  {:>8}  {:>8}", "query", "FS(Q)", "|S|", "verified", "LB bits");
+    let cfg = wl::RandomQueryConfig {
+        max_nodes: 10,
+        ..Default::default()
+    };
+    println!(
+        "{:<44}  {:>5}  {:>4}  {:>8}  {:>8}",
+        "query", "FS(Q)", "|S|", "verified", "LB bits"
+    );
     for _ in 0..10 {
         let q = wl::random_redundancy_free(&mut rng, &cfg);
         assert!(redundancy_free(&q).is_empty());
         let fb = frontier_bound(&q, Some(64)).unwrap();
-        let report = fb.fooling.verify(&q).expect("Theorem 7.1 construction verifies");
+        let report = fb
+            .fooling
+            .verify(&q)
+            .expect("Theorem 7.1 construction verifies");
         let mut src = to_xpath(&q);
         src.truncate(44);
         println!(
@@ -178,10 +213,22 @@ fn e4_frontier_general() {
 }
 
 fn e5_recursion_general() {
-    header("E5", "Theorem 7.4 — general recursion bound on Recursive-XPath queries (Figs. 10-15)");
+    header(
+        "E5",
+        "Theorem 7.4 — general recursion bound on Recursive-XPath queries (Figs. 10-15)",
+    );
     let mut rng = SmallRng::seed_from_u64(7002);
-    println!("{:<30}  {:>4}  {:>7}  {:>9}", "query", "r", "checks", "verified");
-    for src in ["//a[b and c]", "//d[f and a[b and c]]", "//x//a[b and c and d]", "//a[b > 7 and c]", "/r//q[m and n]"] {
+    println!(
+        "{:<30}  {:>4}  {:>7}  {:>9}",
+        "query", "r", "checks", "verified"
+    );
+    for src in [
+        "//a[b and c]",
+        "//d[f and a[b and c]]",
+        "//x//a[b and c and d]",
+        "//a[b > 7 and c]",
+        "/r//q[m and n]",
+    ] {
         let q = parse_query(src).unwrap();
         let seg = disj_segments(&q).unwrap();
         let r = 5;
@@ -191,7 +238,11 @@ fn e5_recursion_general() {
             let t: Vec<bool> = (0..r).map(|_| rng.gen_bool(0.5)).collect();
             let events = seg.document(&s, &t);
             let doc = fx_dom::Document::from_sax(&events).unwrap();
-            assert_eq!(fx_eval::bool_eval(&q, &doc).unwrap(), sets_intersect(&s, &t), "{src}");
+            assert_eq!(
+                fx_eval::bool_eval(&q, &doc).unwrap(),
+                sets_intersect(&s, &t),
+                "{src}"
+            );
             checks += 1;
         }
         println!("{src:<30}  {r:>4}  {checks:>7}  {:>9}", "ok");
@@ -201,12 +252,26 @@ fn e5_recursion_general() {
 
 fn e6_depth_general() {
     header("E6", "Theorem 7.14 — general depth bound (Figs. 16-19)");
-    println!("{:<36}  {:>4}  {:>9}  {:>8}", "query", "|S|", "verified", "LB bits");
-    for src in ["//a/b", "/r/a/b[c]", "/a[c[.//e and f] and b > 5]", "//d[f and a[b and c]]"] {
+    println!(
+        "{:<36}  {:>4}  {:>9}  {:>8}",
+        "query", "|S|", "verified", "LB bits"
+    );
+    for src in [
+        "//a/b",
+        "/r/a/b[c]",
+        "/a[c[.//e and f] and b > 5]",
+        "//d[f and a[b and c]]",
+    ] {
         let q = parse_query(src).unwrap();
         let db = depth_bound(&q).unwrap();
-        let report = db.fooling_set(16).verify(&q).expect("Theorem 7.14 construction verifies");
-        println!("{src:<36}  {:>4}  {:>9}  {:>8}", report.size, "ok", report.bits);
+        let report = db
+            .fooling_set(16)
+            .verify(&q)
+            .expect("Theorem 7.14 construction verifies");
+        println!(
+            "{src:<36}  {:>4}  {:>9}  {:>8}",
+            report.size, "ok", report.bits
+        );
     }
     println!("shape check: every D_i matches, every D_i,j crossing fails.\n");
 }
@@ -225,7 +290,10 @@ fn e8_space_sweeps() {
     header("E8", "Theorem 8.8 — the filter's space, factor by factor");
 
     println!("-- |Q| sweep (star queries /root[c0 and … and ck-1], flat documents) --");
-    println!("{:>5}  {:>6}  {:>6}  {:>10}", "k=|F|", "FS(Q)", "rows", "bits");
+    println!(
+        "{:>5}  {:>6}  {:>6}  {:>10}",
+        "k=|F|", "FS(Q)", "rows", "bits"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let q = wl::star(k);
         let names: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
@@ -233,11 +301,19 @@ fn e8_space_sweeps() {
         let d = wl::wide("root", &name_refs, k * 2);
         let mut f = StreamFilter::new(&q).unwrap();
         f.process_all(&d.to_events());
-        println!("{k:>5}  {:>6}  {:>6}  {:>10}", frontier_size(&q), f.stats().max_rows, f.stats().max_bits);
+        println!(
+            "{k:>5}  {:>6}  {:>6}  {:>10}",
+            frontier_size(&q),
+            f.stats().max_rows,
+            f.stats().max_bits
+        );
     }
 
     println!("\n-- FS(Q) vs |Q|: balanced twigs (FS ≪ |Q|) --");
-    println!("{:>6}  {:>5}  {:>6}  {:>6}  {:>10}", "depth", "|Q|", "FS(Q)", "rows", "bits");
+    println!(
+        "{:>6}  {:>5}  {:>6}  {:>6}  {:>10}",
+        "depth", "|Q|", "FS(Q)", "rows", "bits"
+    );
     for depth in [1usize, 2, 3, 4, 5] {
         let q = wl::balanced_twig(depth);
         let cd = fx_analysis::canonical_document(&q).unwrap();
@@ -254,7 +330,10 @@ fn e8_space_sweeps() {
 
     println!("\n-- r sweep (//a[b and c] on nested documents) --");
     let q = parse_query("//a[b and c]").unwrap();
-    println!("{:>6}  {:>6}  {:>12}  {:>14}", "r", "rows", "bits", "bound (8.8)");
+    println!(
+        "{:>6}  {:>6}  {:>12}  {:>14}",
+        "r", "rows", "bits", "bound (8.8)"
+    );
     for r in [1usize, 4, 16, 64, 256] {
         let d = wl::nested("a", r, "<b/><c/>");
         let mut f = StreamFilter::new(&q).unwrap();
@@ -274,7 +353,11 @@ fn e8_space_sweeps() {
         let doc = wl::depth_document(d - 1);
         let mut f = StreamFilter::new(&q).unwrap();
         f.process_all(&doc.to_events());
-        println!("{d:>6}  {:>6}  {:>12}", f.stats().max_rows, f.stats().max_bits);
+        println!(
+            "{d:>6}  {:>6}  {:>12}",
+            f.stats().max_rows,
+            f.stats().max_bits
+        );
     }
 
     println!("\n-- w sweep (/r[f = \"nope\" and ok] on long-text documents) --");
@@ -284,7 +367,11 @@ fn e8_space_sweeps() {
         let doc = wl::long_text("r", "f", w);
         let mut f = StreamFilter::new(&q).unwrap();
         f.process_all(&doc.to_events());
-        println!("{w:>8}  {:>12}  {:>14}", f.stats().max_buffer_bytes, f.stats().max_bits);
+        println!(
+            "{w:>8}  {:>12}  {:>14}",
+            f.stats().max_buffer_bytes,
+            f.stats().max_bits
+        );
     }
     println!("shape check: rows track FS/|Q|·r; bits add log d; buffer tracks w linearly.\n");
 }
@@ -323,7 +410,12 @@ fn e10_throughput() {
     let mut rng = SmallRng::seed_from_u64(8010);
     let doc = wl::auction_site(
         &mut rng,
-        &wl::XmarkConfig { items: 60, auctions: 40, people: 30, category_depth: 5 },
+        &wl::XmarkConfig {
+            items: 60,
+            auctions: 40,
+            people: 30,
+            category_depth: 5,
+        },
     );
     let events = doc.to_events();
     println!("document: XMark-lite, {} events", events.len());
@@ -334,8 +426,18 @@ fn e10_throughput() {
     let mut frontier = StreamFilter::new(&q).unwrap();
     let mut buf = BufferingFilter::new(&q);
     println!("{:<16} {:>14}  {:>12}", "engine", "events/sec", "peak bits");
-    println!("{:<16} {:>14.0}  {:>12}", "frontier", throughput(&mut frontier, &events, budget), frontier.peak_memory_bits());
-    println!("{:<16} {:>14.0}  {:>12}", "buffer-all", throughput(&mut buf, &events, budget), buf.peak_memory_bits());
+    println!(
+        "{:<16} {:>14.0}  {:>12}",
+        "frontier",
+        throughput(&mut frontier, &events, budget),
+        frontier.peak_memory_bits()
+    );
+    println!(
+        "{:<16} {:>14.0}  {:>12}",
+        "buffer-all",
+        throughput(&mut buf, &events, budget),
+        buf.peak_memory_bits()
+    );
 
     println!("\n-- linear query /site/regions/asia/item --");
     let q = parse_query("/site/regions/asia/item").unwrap();
@@ -343,9 +445,24 @@ fn e10_throughput() {
     let mut nfa = NfaFilter::new(&q).unwrap();
     let mut dfa = LazyDfaFilter::new(&q).unwrap();
     println!("{:<16} {:>14}  {:>12}", "engine", "events/sec", "peak bits");
-    println!("{:<16} {:>14.0}  {:>12}", "frontier", throughput(&mut frontier, &events, budget), frontier.peak_memory_bits());
-    println!("{:<16} {:>14.0}  {:>12}", "nfa", throughput(&mut nfa, &events, budget), nfa.peak_memory_bits());
-    println!("{:<16} {:>14.0}  {:>12}", "lazy-dfa", throughput(&mut dfa, &events, budget), dfa.peak_memory_bits());
+    println!(
+        "{:<16} {:>14.0}  {:>12}",
+        "frontier",
+        throughput(&mut frontier, &events, budget),
+        frontier.peak_memory_bits()
+    );
+    println!(
+        "{:<16} {:>14.0}  {:>12}",
+        "nfa",
+        throughput(&mut nfa, &events, budget),
+        nfa.peak_memory_bits()
+    );
+    println!(
+        "{:<16} {:>14.0}  {:>12}",
+        "lazy-dfa",
+        throughput(&mut dfa, &events, budget),
+        dfa.peak_memory_bits()
+    );
 
     println!("\n-- recursive documents: time scales with r --");
     let q = parse_query("//a[b and c]").unwrap();
@@ -360,11 +477,17 @@ fn e10_throughput() {
 }
 
 fn e12_full_eval_overhead() {
-    header("E12", "full evaluation vs filtering — the [5] buffering cost, measured");
+    header(
+        "E12",
+        "full evaluation vs filtering — the [5] buffering cost, measured",
+    );
     // Worst case for full evaluation: n output candidates whose ancestor
     // predicate resolves only at the very end of the document.
     let q = parse_query("/a[x]/b").unwrap();
-    println!("{:>8}  {:>12}  {:>12}  {:>14}  {:>10}", "cands", "filter bits", "report bits", "peak pendings", "selected");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>14}  {:>10}",
+        "cands", "filter bits", "report bits", "peak pendings", "selected"
+    );
     for n in [10usize, 100, 1000, 10000] {
         let xml = format!("<a>{}<x/></a>", "<b/>".repeat(n));
         let events = fx_xml::parse(&xml).unwrap();
@@ -380,7 +503,9 @@ fn e12_full_eval_overhead() {
             filt.stats().max_bits
         );
     }
-    println!("shape check: filtering stays O(1); full evaluation buffers Θ(#unresolved candidates)");
+    println!(
+        "shape check: filtering stays O(1); full evaluation buffers Θ(#unresolved candidates)"
+    );
     println!("— exactly the separation the paper's follow-up [5] proves necessary.\n");
 }
 
@@ -389,15 +514,25 @@ fn e11_multi_query() {
     let mut rng = SmallRng::seed_from_u64(8011);
     let doc = wl::auction_site(&mut rng, &wl::XmarkConfig::default());
     let events = doc.to_events();
-    println!("{:>7}  {:>14}  {:>14}  {:>14}", "queries", "events/sec", "total bits", "bits/query");
+    println!(
+        "{:>7}  {:>14}  {:>14}  {:>14}",
+        "queries", "events/sec", "total bits", "bits/query"
+    );
     for n in [1usize, 8, 64, 256, 1024] {
-        let cfg = wl::RandomQueryConfig { max_nodes: 6, ..Default::default() };
-        let queries: Vec<Query> = (0..n).map(|_| wl::random_redundancy_free(&mut rng, &cfg)).collect();
+        let cfg = wl::RandomQueryConfig {
+            max_nodes: 6,
+            ..Default::default()
+        };
+        let queries: Vec<Query> = (0..n)
+            .map(|_| wl::random_redundancy_free(&mut rng, &cfg))
+            .collect();
         let mut bank = MultiFilter::new(&queries).unwrap();
         let start = std::time::Instant::now();
         let mut processed = 0u64;
         while start.elapsed() < Duration::from_millis(200) {
-            bank.process_all(&events);
+            for e in &events {
+                bank.process(e);
+            }
             processed += events.len() as u64;
         }
         let eps = processed as f64 / start.elapsed().as_secs_f64();

@@ -7,13 +7,13 @@
 
 #![warn(missing_docs)]
 
-use fx_automata::BooleanStreamFilter;
+use fx_engine::Evaluator;
 use fx_xml::Event;
 use std::time::Instant;
 
 /// Measures throughput (events/second) of a filter over a pre-materialized
 /// stream, repeated until at least `min_duration` elapses.
-pub fn throughput<F: BooleanStreamFilter>(
+pub fn throughput<F: Evaluator>(
     filter: &mut F,
     events: &[Event],
     min_duration: std::time::Duration,

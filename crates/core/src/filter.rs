@@ -25,9 +25,9 @@
 use crate::reporter::{Frame, Reporter};
 use crate::space::SpaceStats;
 use fx_eval::truth::{constraining_predicate, TruthError};
-use std::collections::HashMap;
 use fx_xml::{Attribute, Event, SaxHandler};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why a query cannot be handled by the streaming filter. The algorithm
@@ -59,7 +59,10 @@ impl fmt::Display for UnsupportedQuery {
                 write!(f, "internal node {u} is value-restricted")
             }
             UnsupportedQuery::AttributeOutput => {
-                write!(f, "position reporting does not support attribute output nodes")
+                write!(
+                    f,
+                    "position reporting does not support attribute output nodes"
+                )
             }
         }
     }
@@ -136,7 +139,10 @@ impl CompiledQuery {
             });
         }
         let root_children = nodes[0].children.clone();
-        let parents = q.all_nodes().map(|u| q.parent(u).unwrap_or(q.root()).0).collect();
+        let parents = q
+            .all_nodes()
+            .map(|u| q.parent(u).unwrap_or(q.root()).0)
+            .collect();
         let mut out_path = Vec::new();
         let mut path_index = vec![None; q.len()];
         let mut cur = q.root();
@@ -205,6 +211,10 @@ pub struct StreamFilter {
     /// Cached: for each 1-based output-path index, whether that step has
     /// a child axis.
     out_axes_child: Vec<bool>,
+    /// Bumped whenever some record's `matched` flag turns true; lets the
+    /// multi-query bank re-run the (recursive) early-decision check only
+    /// when it could possibly have changed.
+    match_progress: u64,
 }
 
 impl StreamFilter {
@@ -234,6 +244,7 @@ impl StreamFilter {
             element_ordinal: 0,
             removed_matched: Vec::new(),
             out_axes_child,
+            match_progress: 0,
         }
     }
 
@@ -259,7 +270,8 @@ impl StreamFilter {
     pub fn run_reporting(q: &Query, events: &[Event]) -> Result<Vec<u64>, UnsupportedQuery> {
         let mut f = StreamFilter::new_reporting(q)?;
         f.process_all(events);
-        Ok(f.matched_positions().expect("endDocument delivers positions"))
+        Ok(f.matched_positions()
+            .expect("endDocument delivers positions"))
     }
 
     /// In reporting mode, after `endDocument`: the sorted element
@@ -278,6 +290,12 @@ impl StreamFilter {
     }
 
     /// One-shot evaluation of `BOOLEVAL_Q` over an event stream.
+    #[deprecated(
+        since = "0.2.0",
+        note = "requires a materialized Vec<Event>, forfeiting the streaming memory \
+                guarantee; use fx_engine::Engine::builder() and Session::run_reader \
+                (or push events incrementally via StreamFilter::process)"
+    )]
     pub fn run(q: &Query, events: &[Event]) -> Result<bool, UnsupportedQuery> {
         let mut f = StreamFilter::new(q)?;
         f.process_all(events);
@@ -291,6 +309,14 @@ impl StreamFilter {
         }
     }
 
+    /// Feeds a whole stream and returns the verdict — the same shape as
+    /// the automata baselines' `run_stream`, so comparative tests can
+    /// treat all engines uniformly.
+    pub fn run_stream(&mut self, events: &[Event]) -> Option<bool> {
+        self.process_all(events);
+        self.result()
+    }
+
     /// Feeds one event.
     pub fn process(&mut self, event: &Event) {
         match event {
@@ -302,7 +328,12 @@ impl StreamFilter {
         }
         self.stats.events += 1;
         let stacks: usize = self.frontier.iter().map(|r| r.str_starts.len()).sum();
-        self.stats.observe(self.frontier.len(), stacks, self.buffer.len(), self.current_level);
+        self.stats.observe(
+            self.frontier.len(),
+            stacks,
+            self.buffer.len(),
+            self.current_level,
+        );
     }
 
     /// The verdict, available after `endDocument`.
@@ -310,9 +341,96 @@ impl StreamFilter {
         self.result
     }
 
+    /// Early decision: `Some(verdict)` as soon as the verdict can no
+    /// longer change, even mid-document.
+    ///
+    /// In filtering mode the `matched` flags of the query root's child
+    /// records are monotone (a real match is never revoked), so once
+    /// every root child is matched the document is accepted regardless
+    /// of the remaining events; conversely, a child-axis root child the
+    /// root element failed to select can never match, deciding the
+    /// document rejected at its very first tag. The multi-query bank
+    /// uses both to stop feeding decided filters — the XFilter-style
+    /// hot-path win. Reporting mode never decides early (every candidate
+    /// must still be examined), and an undecided filter reports `None`
+    /// until `endDocument`.
+    pub fn decided(&self) -> Option<bool> {
+        if self.result.is_some() {
+            return self.result;
+        }
+        if self.reporter.is_some() {
+            return None;
+        }
+        if self
+            .query
+            .root_children
+            .iter()
+            .all(|&v| self.satisfied_at(v, 0))
+        {
+            return Some(true);
+        }
+        // Early FALSE: a child-axis root child's only possible candidate
+        // is the document root element. While we are inside the root
+        // (`current_level > 0`), a level-0 child-axis record still present
+        // and unmatched with no open candidacy means the root's start tag
+        // did not select it — its node test failed — so it can never
+        // match and the conjunction is dead. This is the dominant
+        // dissemination case: most `/doc[...]`-shaped filters die on the
+        // root tag of a non-matching document.
+        if self.current_level > 0 {
+            let impossible = self.frontier.iter().any(|r| {
+                r.level == 0
+                    && !r.matched
+                    && r.str_starts.is_empty()
+                    && self.query.nodes[r.node as usize].axis == Axis::Child
+            });
+            if impossible {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// Monotone counter of decision-relevant transitions within the
+    /// current document: match flags turning true, plus the root
+    /// element's start (which can kill child-axis filters early).
+    /// [`StreamFilter::decided`] can only flip on such a transition, so
+    /// callers polling it per event (the multi-query bank) re-check only
+    /// when this value moved — keeping the polling off the hot path.
+    pub fn match_progress(&self) -> u64 {
+        self.match_progress
+    }
+
+    /// Whether query node `u`, expected at frontier level `level`, is
+    /// already guaranteed a real match. Either its record is matched, or
+    /// `u` is mid-candidacy (child-axis records leave the table then) and
+    /// every child is satisfied one level deeper — in which case the
+    /// candidacy's close is guaranteed to fold `u` to matched, because
+    /// matched flags are monotone in filtering mode.
+    fn satisfied_at(&self, u: u32, level: usize) -> bool {
+        if self
+            .frontier
+            .iter()
+            .any(|r| r.node == u && r.level == level && r.matched)
+        {
+            return true;
+        }
+        let n = &self.query.nodes[u as usize];
+        if n.is_leaf || n.axis == Axis::Attribute {
+            return false;
+        }
+        n.children.iter().all(|&c| self.satisfied_at(c, level + 1))
+    }
+
     /// The space statistics gathered so far.
     pub fn stats(&self) -> &SpaceStats {
         &self.stats
+    }
+
+    /// Peak logical memory, in bits — shorthand for `stats().max_bits`,
+    /// mirroring the automata baselines' accessor of the same name.
+    pub fn peak_memory_bits(&self) -> u64 {
+        self.stats.max_bits
     }
 
     /// A snapshot of the frontier table (for tracing, cf. Fig. 22).
@@ -337,11 +455,17 @@ impl StreamFilter {
         self.result = None;
         self.element_ordinal = 0;
         self.removed_matched.clear();
+        self.match_progress = 0;
         if let Some(rep) = &mut self.reporter {
             rep.reset();
         }
         for &v in self.query.root_children.clone().iter() {
-            self.frontier.push(FrontierRecord { node: v, matched: false, level: 0, str_starts: Vec::new() });
+            self.frontier.push(FrontierRecord {
+                node: v,
+                matched: false,
+                level: 0,
+                str_starts: Vec::new(),
+            });
         }
     }
 
@@ -350,6 +474,12 @@ impl StreamFilter {
         let reporting = self.reporter.is_some();
         let ordinal = self.element_ordinal;
         self.element_ordinal += 1;
+        if lvl == 0 {
+            // The root element's start is decision-relevant even when no
+            // match flag moves: an unselected child-axis root child is
+            // dead from here on (see `decided`).
+            self.match_progress += 1;
+        }
         // Select the frontier records for which this element is a
         // candidate match (Fig. 20 lines 1–4). In reporting mode, records
         // on the output path stay candidates even after a real match was
@@ -376,7 +506,10 @@ impl StreamFilter {
                 selected.push(i);
             }
         }
-        let mut frame = Frame { ordinal, ..Frame::default() };
+        let mut frame = Frame {
+            ordinal,
+            ..Frame::default()
+        };
         // Process selections: leaves begin buffering; internal nodes spawn
         // child records (and child-axis records temporarily leave the
         // table, Fig. 20 lines 10–11).
@@ -390,7 +523,8 @@ impl StreamFilter {
                     if !frame.candidates.contains(&idx) {
                         frame.candidates.push(idx);
                     }
-                    if n.is_leaf && n.leaf_predicate.is_none()
+                    if n.is_leaf
+                        && n.leaf_predicate.is_none()
                         && idx as usize == self.query.out_path.len()
                     {
                         frame.out_leaf_unrestricted = true;
@@ -405,11 +539,13 @@ impl StreamFilter {
                     // TRUTH(u) = S: any candidate is a real match; decide
                     // now and skip buffering.
                     self.frontier[i].matched = true;
+                    self.match_progress += 1;
                 }
             } else {
                 if n.axis == Axis::Child {
                     if reporting {
-                        self.removed_matched.push((node, lvl, self.frontier[i].matched));
+                        self.removed_matched
+                            .push((node, lvl, self.frontier[i].matched));
                     }
                     to_remove.push(i);
                 }
@@ -429,6 +565,9 @@ impl StreamFilter {
                             .map(|a| a.value.chars().count())
                         {
                             self.stats.observe_text_width(w);
+                        }
+                        if matched {
+                            self.match_progress += 1;
                         }
                         to_insert.push(FrontierRecord {
                             node: v,
@@ -499,7 +638,10 @@ impl StreamFilter {
             if !level_ok || self.frontier[i].str_starts.is_empty() {
                 continue;
             }
-            let start = self.frontier[i].str_starts.pop().expect("checked non-empty");
+            let start = self.frontier[i]
+                .str_starts
+                .pop()
+                .expect("checked non-empty");
             let value = self.buffer[start..].to_string();
             self.stats.observe_text_width(value.chars().count());
             let needs_value = !self.frontier[i].matched || (reporting && Some(node) == out_node);
@@ -507,6 +649,9 @@ impl StreamFilter {
                 let n = &self.query.nodes[node as usize];
                 let ok = Self::value_in_truth(n, &value);
                 self.frontier[i].matched |= ok;
+                if ok {
+                    self.match_progress += 1;
+                }
                 if reporting && Some(node) == out_node {
                     out_leaf_value = Some(ok);
                 }
@@ -533,9 +678,8 @@ impl StreamFilter {
         for p in parents {
             // The successor child does not participate in the *predicate*
             // conjunction (it is the output-path continuation).
-            let successor = self.query.path_index[p as usize].and_then(|idx| {
-                self.query.out_path.get(idx as usize).copied()
-            });
+            let successor = self.query.path_index[p as usize]
+                .and_then(|idx| self.query.out_path.get(idx as usize).copied());
             let mut all_matched = true;
             let mut pred_matched = true;
             let mut k = 0;
@@ -552,6 +696,9 @@ impl StreamFilter {
                 }
             }
             group.insert(p, (all_matched, pred_matched));
+            if all_matched {
+                self.match_progress += 1;
+            }
             let pn = &self.query.nodes[p as usize];
             if pn.axis == Axis::Descendant {
                 // The record(s) for p are still in the table; accumulate
@@ -565,7 +712,11 @@ impl StreamFilter {
                 // reporting mode a matched record may have been re-spawned
                 // for a later candidate; restore its previous flag.
                 let was_matched = if self.reporter.is_some() {
-                    match self.removed_matched.iter().rposition(|&(n, l, _)| n == p && l == lvl) {
+                    match self
+                        .removed_matched
+                        .iter()
+                        .rposition(|&(n, l, _)| n == p && l == lvl)
+                    {
                         Some(pos) => self.removed_matched.remove(pos).2,
                         None => false,
                     }
@@ -614,7 +765,10 @@ impl SaxHandler for StreamFilter {
         self.process(&Event::EndDocument);
     }
     fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
-        self.process(&Event::StartElement { name: name.to_string(), attributes: attributes.to_vec() });
+        self.process(&Event::StartElement {
+            name: name.to_string(),
+            attributes: attributes.to_vec(),
+        });
     }
     fn end_element(&mut self, name: &str) {
         self.process(&Event::end(name));
@@ -632,7 +786,7 @@ mod tests {
     fn filter(qs: &str, xml: &str) -> bool {
         let q = parse_query(qs).unwrap();
         let events = fx_xml::parse(xml).unwrap();
-        StreamFilter::run(&q, &events).unwrap()
+        StreamFilter::new(&q).unwrap().run_stream(&events).unwrap()
     }
 
     fn agree(qs: &str, xml: &str) {
@@ -640,19 +794,28 @@ mod tests {
         let d = fx_dom::Document::from_xml(xml).unwrap();
         let expected = fx_eval::bool_eval(&q, &d).unwrap();
         let events = fx_xml::parse(xml).unwrap();
-        let got = StreamFilter::run(&q, &events).unwrap();
+        let got = StreamFilter::new(&q).unwrap().run_stream(&events).unwrap();
         assert_eq!(got, expected, "{qs} on {xml}");
     }
 
     #[test]
     fn paper_fig22_query_on_matching_document() {
-        assert!(filter("/a[c[.//e and f] and b]", "<a><c><d/><e/><f/></c><b/><c/></a>"));
+        assert!(filter(
+            "/a[c[.//e and f] and b]",
+            "<a><c><d/><e/><f/></c><b/><c/></a>"
+        ));
     }
 
     #[test]
     fn paper_theorem_queries() {
-        agree("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>");
-        agree("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>");
+        agree(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><c><e/><f/></c><b>6</b></a>",
+        );
+        agree(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><b>6</b><c><f/><f/></c></a>",
+        );
         agree("//a[b and c]", "<a><b/><a><b/><a/><c/></a></a>");
         agree("//a[b and c]", "<a><b/><a><a/><c/></a></a>");
         agree("/a/b", "<a><Z><Z/></Z><b/><Z><Z/></Z></a>");
@@ -688,7 +851,10 @@ mod tests {
         agree("/a[b > 5]", "<a><b>3</b><b>7</b></a>");
         agree("/a[b > 5]", "<a><b>3</b><b>5</b></a>");
         agree("/a[b = \"xy\"]", "<a><b>x<c>y</c></b></a>");
-        agree("/a[contains(b, \"needle\")]", "<a><b>hay needle stack</b></a>");
+        agree(
+            "/a[contains(b, \"needle\")]",
+            "<a><b>hay needle stack</b></a>",
+        );
         agree("/a[contains(b, \"needle\")]", "<a><b>haystack</b></a>");
     }
 
@@ -720,7 +886,11 @@ mod tests {
         // /a/b must not fire on deeper b's.
         let deep = format!("<a>{}<b/>{}</a>", "<Z>".repeat(30), "</Z>".repeat(30));
         agree("/a/b", &deep);
-        let inside = format!("<a>{}{}</a>", "<Z>".repeat(30), "<b/>".to_owned() + &"</Z>".repeat(30));
+        let inside = format!(
+            "<a>{}{}</a>",
+            "<Z>".repeat(30),
+            "<b/>".to_owned() + &"</Z>".repeat(30)
+        );
         agree("/a/b", &inside);
     }
 
@@ -794,7 +964,10 @@ mod tests {
         }
         assert_eq!(f.result(), Some(true));
         assert_eq!(f.stats().max_buffer_bytes, 6);
-        assert!(f.buffer.is_empty(), "buffer must be reset when refcount hits 0");
+        assert!(
+            f.buffer.is_empty(),
+            "buffer must be reset when refcount hits 0"
+        );
     }
 
     #[test]

@@ -8,13 +8,24 @@
 //! `O(|Q|·r·(log|Q| + log d + log w) + w)`-bit space bound of Theorem 8.8
 //! that (almost) matches the paper's lower bounds.
 //!
+//! This crate is the *algorithm* layer: [`StreamFilter`] is fed one SAX
+//! event at a time through [`StreamFilter::process`] and never needs the
+//! document materialized. Applications should normally go through the
+//! `fx-engine` crate, whose `Engine`/`Session` API wires this filter to
+//! pull-based event sources and multi-query banks; the batch helpers
+//! here (`StreamFilter::run`, `MultiFilter::process_all`) are deprecated
+//! shims kept for differential testing against the legacy surface.
+//!
 //! ```
 //! use fx_xpath::parse_query;
 //! use fx_core::StreamFilter;
 //!
 //! let q = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
-//! let events = fx_xml::parse("<a><c><e/><f/></c><b>6</b></a>").unwrap();
-//! assert!(StreamFilter::run(&q, &events).unwrap());
+//! let mut filter = StreamFilter::new(&q).unwrap();
+//! for event in &fx_xml::parse("<a><c><e/><f/></c><b>6</b></a>").unwrap() {
+//!     filter.process(event); // incremental: one event at a time
+//! }
+//! assert_eq!(filter.result(), Some(true));
 //! ```
 
 #![warn(missing_docs)]
@@ -62,8 +73,10 @@ mod differential {
     }
 
     fn arb_doc() -> impl Strategy<Value = Document> {
-        let leaf = (prop::sample::select(vec!["a", "b", "c", "d", "e", "f", "x"]),
-            prop::sample::select(vec!["", "1", "3", "6", "x", "y"]))
+        let leaf = (
+            prop::sample::select(vec!["a", "b", "c", "d", "e", "f", "x"]),
+            prop::sample::select(vec!["", "1", "3", "6", "x", "y"]),
+        )
             .prop_map(|(n, t)| {
                 if t.is_empty() {
                     format!("<{n}/>")
@@ -72,7 +85,10 @@ mod differential {
                 }
             });
         leaf.prop_recursive(5, 48, 4, move |inner| {
-            (prop::sample::select(vec!["a", "b", "c", "x"]), prop::collection::vec(inner, 1..4))
+            (
+                prop::sample::select(vec!["a", "b", "c", "x"]),
+                prop::collection::vec(inner, 1..4),
+            )
                 .prop_map(|(n, kids)| format!("<{n}>{}</{n}>", kids.concat()))
         })
         .prop_map(|xml| Document::from_xml(&xml).unwrap())
@@ -84,8 +100,8 @@ mod differential {
         #[test]
         fn filter_agrees_with_reference(q in arb_query(), d in arb_doc()) {
             let expected = fx_eval::bool_eval(&q, &d).unwrap();
-            let got = StreamFilter::run(&q, &d.to_events()).unwrap();
-            prop_assert_eq!(got, expected);
+            let got = StreamFilter::new(&q).unwrap().run_stream(&d.to_events());
+            prop_assert_eq!(got, Some(expected));
         }
 
         /// Space sanity: the frontier never exceeds |Q| × path recursion
@@ -125,8 +141,8 @@ mod differential {
                     },
                 );
                 let expected = fx_eval::bool_eval(&q, &d).unwrap();
-                let got = StreamFilter::run(&q, &d.to_events()).unwrap();
-                assert_eq!(got, expected, "query {src} doc {}", d.to_xml());
+                let got = StreamFilter::new(&q).unwrap().run_stream(&d.to_events());
+                assert_eq!(got, Some(expected), "query {src} doc {}", d.to_xml());
                 checked += 1;
             }
         }

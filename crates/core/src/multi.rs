@@ -12,6 +12,13 @@ use fx_xpath::Query;
 #[derive(Debug, Clone)]
 pub struct MultiFilter {
     filters: Vec<StreamFilter>,
+    /// Early verdicts for the current document: once a filter decides
+    /// mid-stream (see [`StreamFilter::decided`]) its verdict is frozen
+    /// here and the filter skips the rest of the event feed.
+    decided: Vec<Option<bool>>,
+    /// Last observed [`StreamFilter::match_progress`] per filter: the
+    /// decision check re-runs only when a match flag actually moved.
+    progress: Vec<u64>,
 }
 
 impl MultiFilter {
@@ -23,7 +30,29 @@ impl MultiFilter {
             let compiled = CompiledQuery::compile(q).map_err(|e| (i, e))?;
             filters.push(StreamFilter::from_compiled(compiled));
         }
-        Ok(MultiFilter { filters })
+        let decided = vec![None; filters.len()];
+        let progress = vec![0; filters.len()];
+        Ok(MultiFilter {
+            filters,
+            decided,
+            progress,
+        })
+    }
+
+    /// Builds a bank from already-compiled queries (cheap; lets the
+    /// engine share one compilation across many sessions).
+    pub fn from_compiled(compiled: impl IntoIterator<Item = CompiledQuery>) -> MultiFilter {
+        let filters: Vec<StreamFilter> = compiled
+            .into_iter()
+            .map(StreamFilter::from_compiled)
+            .collect();
+        let decided = vec![None; filters.len()];
+        let progress = vec![0; filters.len()];
+        MultiFilter {
+            filters,
+            decided,
+            progress,
+        }
     }
 
     /// Number of registered queries.
@@ -36,31 +65,75 @@ impl MultiFilter {
         self.filters.is_empty()
     }
 
-    /// Feeds one event to every filter.
+    /// Feeds one event to every filter whose verdict is still open.
+    ///
+    /// Filters that decide mid-document (see [`StreamFilter::decided`])
+    /// stop receiving content events — on dissemination workloads most
+    /// of the bank typically decides within the document's first
+    /// elements, so this is the hot-path win. Document framing events
+    /// still reach every filter, so per-document reset and final
+    /// verdicts behave exactly as before. A decided filter's space/event
+    /// statistics simply stop advancing at its decision point.
     pub fn process(&mut self, event: &Event) {
-        for f in &mut self.filters {
-            f.process(event);
+        match event {
+            Event::StartDocument => {
+                for i in 0..self.filters.len() {
+                    self.filters[i].process(event);
+                    self.decided[i] = None;
+                    self.progress[i] = 0;
+                }
+            }
+            _ => {
+                for i in 0..self.filters.len() {
+                    if self.decided[i].is_some() {
+                        // The skipped filter's frontier is frozen mid-
+                        // document, so even `EndDocument` must not reach
+                        // it; its verdict lives in `decided`.
+                        continue;
+                    }
+                    let f = &mut self.filters[i];
+                    f.process(event);
+                    // `decided` can only flip when a match flag turned
+                    // true, so the recursive check runs on transitions
+                    // only — not on every event of the stream.
+                    let progress = f.match_progress();
+                    if progress != self.progress[i] {
+                        self.progress[i] = progress;
+                        self.decided[i] = f.decided();
+                    }
+                }
+            }
         }
     }
 
     /// Feeds a whole stream.
+    #[deprecated(
+        since = "0.2.0",
+        note = "requires a materialized Vec<Event>; use fx_engine::Engine with a \
+                multi-query Session, or push events incrementally via process"
+    )]
     pub fn process_all(&mut self, events: &[Event]) {
         for e in events {
             self.process(e);
         }
     }
 
-    /// Per-query verdicts (available after `endDocument`).
+    /// Per-query verdicts (available after `endDocument`, or earlier for
+    /// filters that short-circuited).
     pub fn results(&self) -> Vec<Option<bool>> {
-        self.filters.iter().map(StreamFilter::result).collect()
+        self.filters
+            .iter()
+            .zip(&self.decided)
+            .map(|(f, d)| f.result().or(*d))
+            .collect()
     }
 
     /// Indices of the queries the last document matched.
     pub fn matching_queries(&self) -> Vec<usize> {
-        self.filters
+        self.results()
             .iter()
             .enumerate()
-            .filter_map(|(i, f)| (f.result() == Some(true)).then_some(i))
+            .filter_map(|(i, r)| (*r == Some(true)).then_some(i))
             .collect()
     }
 
@@ -78,6 +151,8 @@ impl MultiFilter {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the tests pit the legacy batch shims against the new paths
+
     use super::*;
     use fx_xpath::parse_query;
 
@@ -103,8 +178,10 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_with_index() {
-        let queries: Vec<Query> =
-            ["/a[b]", "/a[not(b)]"].iter().map(|s| parse_query(s).unwrap()).collect();
+        let queries: Vec<Query> = ["/a[b]", "/a[not(b)]"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
         let err = MultiFilter::new(&queries).unwrap_err();
         assert_eq!(err.0, 1);
     }
@@ -120,6 +197,88 @@ mod tests {
         for (i, q) in queries.iter().enumerate() {
             let solo = StreamFilter::run(q, &events).unwrap();
             assert_eq!(mf.results()[i], Some(solo), "{}", srcs[i]);
+        }
+    }
+
+    #[test]
+    fn decided_filters_skip_the_rest_of_the_document() {
+        // `/r[a]` decides at the first <a>; the padding after it must not
+        // be fed to that filter, while the undecided `/r[z]` sees it all.
+        let queries: Vec<Query> = ["/r[a]", "/r[z]"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let padding = "<x/>".repeat(500);
+        let xml = format!("<r><a/>{padding}</r>");
+        let events = fx_xml::parse(&xml).unwrap();
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        mf.process_all(&events);
+        assert_eq!(mf.results(), vec![Some(true), Some(false)]);
+        let stats = mf.stats();
+        assert!(
+            stats[0].events < stats[1].events / 2,
+            "decided filter kept processing: {} vs {}",
+            stats[0].events,
+            stats[1].events
+        );
+        // And the next document resets the short-circuit.
+        mf.process_all(&fx_xml::parse("<r><z/></r>").unwrap());
+        assert_eq!(mf.results(), vec![Some(false), Some(true)]);
+    }
+
+    #[test]
+    fn root_mismatch_decides_false_at_the_first_tag() {
+        // The dominant dissemination case: a `/doc[...]` filter fed a
+        // document rooted elsewhere dies at the root start tag and skips
+        // the entire body; the descendant-axis filter cannot and must
+        // keep listening.
+        let queries: Vec<Query> = ["/doc[title]", "//doc[title]"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let body = "<x/>".repeat(500);
+        let xml = format!("<other>{body}<doc><title/></doc></other>");
+        let events = fx_xml::parse(&xml).unwrap();
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        mf.process_all(&events);
+        // `/doc[title]` is rooted: no match. `//doc[title]` finds the
+        // nested <doc>: match.
+        assert_eq!(mf.results(), vec![Some(false), Some(true)]);
+        let stats = mf.stats();
+        assert!(
+            stats[0].events < 10,
+            "root-mismatched filter saw {} events, expected a handful",
+            stats[0].events
+        );
+        // And the next document is judged afresh.
+        mf.process_all(&fx_xml::parse("<doc><title/></doc>").unwrap());
+        assert_eq!(mf.results(), vec![Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn short_circuit_preserves_verdicts_on_random_workloads() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let srcs = [
+            "/a[b]",
+            "//a[b and c]",
+            "//b",
+            "/a/b/c",
+            "/a[b > 3]",
+            "//a[.//b]",
+        ];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let mut rng = SmallRng::seed_from_u64(0x5C1C);
+        let cfg = fx_workloads::RandomDocConfig::default();
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        for _ in 0..60 {
+            let d = fx_workloads::random_document(&mut rng, &cfg);
+            let events = d.to_events();
+            mf.process_all(&events);
+            for (i, q) in queries.iter().enumerate() {
+                let solo = StreamFilter::new(q).unwrap().run_stream(&events);
+                assert_eq!(mf.results()[i], solo, "{} on {}", srcs[i], d.to_xml());
+            }
         }
     }
 }

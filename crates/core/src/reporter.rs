@@ -93,10 +93,16 @@ impl Reporter {
             } else {
                 // Internal output node: its predicate children must have
                 // matched within this element.
-                pred_ok.get(&path_nodes[m as usize - 1]).map(|&(_, p)| p).unwrap_or(false)
+                pred_ok
+                    .get(&path_nodes[m as usize - 1])
+                    .map(|&(_, p)| p)
+                    .unwrap_or(false)
             };
             if local_ok {
-                out.push(Pending { ordinal: frame.ordinal, needed: m - 1 });
+                out.push(Pending {
+                    ordinal: frame.ordinal,
+                    needed: m - 1,
+                });
             }
         }
 
@@ -119,7 +125,10 @@ impl Reporter {
                     false
                 });
                 if ok {
-                    out.push(Pending { ordinal: p.ordinal, needed: i - 1 });
+                    out.push(Pending {
+                        ordinal: p.ordinal,
+                        needed: i - 1,
+                    });
                 }
             }
             // Skip: allowed when the step *below* index i (index i+1)
@@ -141,7 +150,8 @@ impl Reporter {
                 // Root element closed: surviving pendings with needed == 0
                 // are genuine results (the query root is matched by the
                 // document root by definition).
-                self.confirmed.extend(out.iter().filter(|p| p.needed == 0).map(|p| p.ordinal));
+                self.confirmed
+                    .extend(out.iter().filter(|p| p.needed == 0).map(|p| p.ordinal));
             }
         }
         let live: usize = self.frames.iter().map(|f| f.pendings.len()).sum();
@@ -168,12 +178,19 @@ mod tests {
     fn expected_positions(query: &str, xml: &str) -> Vec<u64> {
         let q = parse_query(query).unwrap();
         let d = Document::from_xml(xml).unwrap();
-        let elements: Vec<_> =
-            d.all_nodes().filter(|&n| d.kind(n) == NodeKind::Element).collect();
+        let elements: Vec<_> = d
+            .all_nodes()
+            .filter(|&n| d.kind(n) == NodeKind::Element)
+            .collect();
         let mut out: Vec<u64> = fx_eval::full_eval(&q, &d)
             .unwrap()
             .into_iter()
-            .map(|n| elements.iter().position(|&e| e == n).expect("selected nodes are elements") as u64)
+            .map(|n| {
+                elements
+                    .iter()
+                    .position(|&e| e == n)
+                    .expect("selected nodes are elements") as u64
+            })
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -222,8 +239,14 @@ mod tests {
         // OUT(Q) itself is always unrestricted (its succession root is the
         // query root, Def. 5.6 case 2), so values gate selection through
         // predicates on the path.
-        agree("//item[price > 300]/name", "<item><price>400</price><name>x</name></item>");
-        agree("//item[price > 300]/name", "<item><price>200</price><name>x</name></item>");
+        agree(
+            "//item[price > 300]/name",
+            "<item><price>400</price><name>x</name></item>",
+        );
+        agree(
+            "//item[price > 300]/name",
+            "<item><price>200</price><name>x</name></item>",
+        );
         agree(
             "//item[price > 300]/name",
             "<r><item><price>400</price><name>a</name></item><item><name>b</name><price>500</price></item></r>",

@@ -40,11 +40,20 @@ pub fn bits_for(n: usize) -> u32 {
 impl SpaceStats {
     /// Creates stats for a query of `query_size` nodes.
     pub fn new(query_size: usize) -> Self {
-        SpaceStats { query_size, ..Default::default() }
+        SpaceStats {
+            query_size,
+            ..Default::default()
+        }
     }
 
     /// Records an instantaneous snapshot; keeps the running maxima.
-    pub fn observe(&mut self, rows: usize, stack_entries: usize, buffer_bytes: usize, level: usize) {
+    pub fn observe(
+        &mut self,
+        rows: usize,
+        stack_entries: usize,
+        buffer_bytes: usize,
+        level: usize,
+    ) {
         self.max_rows = self.max_rows.max(rows);
         self.max_stack_entries = self.max_stack_entries.max(stack_entries);
         self.max_buffer_bytes = self.max_buffer_bytes.max(buffer_bytes);
@@ -64,7 +73,13 @@ impl SpaceStats {
         (bits_for(self.query_size) + bits_for(level) + 1) as u64
     }
 
-    fn instant_bits(&self, rows: usize, stack_entries: usize, buffer_bytes: usize, level: usize) -> u64 {
+    fn instant_bits(
+        &self,
+        rows: usize,
+        stack_entries: usize,
+        buffer_bytes: usize,
+        level: usize,
+    ) -> u64 {
         rows as u64 * self.bits_per_row(level)
             + stack_entries as u64 * bits_for(buffer_bytes.max(1)) as u64
             + buffer_bytes as u64 * 8
@@ -114,6 +129,9 @@ mod tests {
         s.observe(1, 0, 0, 7);
         let b1 = s.theorem_bound_bits(1);
         let b4 = s.theorem_bound_bits(4);
-        assert_eq!(b4 - 8 * s.max_text_width as u64, 4 * (b1 - 8 * s.max_text_width as u64));
+        assert_eq!(
+            b4 - 8 * s.max_text_width as u64,
+            4 * (b1 - 8 * s.max_text_width as u64)
+        );
     }
 }

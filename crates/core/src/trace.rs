@@ -53,9 +53,17 @@ pub fn trace(q: &Query, events: &[Event]) -> Result<(Vec<TraceStep>, bool), Unsu
         let frontier = f
             .frontier()
             .iter()
-            .map(|r| Tuple { level: r.level, ntest: f.ntest_of(r.node), matched: r.matched })
+            .map(|r| Tuple {
+                level: r.level,
+                ntest: f.ntest_of(r.node),
+                matched: r.matched,
+            })
             .collect();
-        steps.push(TraceStep { event: e.notation(), level: event_level, frontier });
+        steps.push(TraceStep {
+            event: e.notation(),
+            level: event_level,
+            frontier,
+        });
     }
     let verdict = f.result().expect("trace runs must end with endDocument");
     Ok((steps, verdict))
@@ -65,10 +73,17 @@ pub fn trace(q: &Query, events: &[Event]) -> Result<(Vec<TraceStep>, bool), Unsu
 /// the presentation of Fig. 22.
 pub fn render(steps: &[TraceStep]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<6} {:<14} frontier (level, ntest, matched)", "#", "event");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<14} frontier (level, ntest, matched)",
+        "#", "event"
+    );
     for (i, s) in steps.iter().enumerate() {
-        let tuples: Vec<String> =
-            s.frontier.iter().map(|t| format!("({},{},{})", t.level, t.ntest, u8::from(t.matched))).collect();
+        let tuples: Vec<String> = s
+            .frontier
+            .iter()
+            .map(|t| format!("({},{},{})", t.level, t.ntest, u8::from(t.matched)))
+            .collect();
         let _ = writeln!(out, "{:<6} {:<14} [{}]", i, s.event, tuples.join(" "));
     }
     out

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn rejects_malformed_streams() {
         let events = vec![Event::StartDocument, Event::start("a"), Event::EndDocument];
-        assert!(matches!(from_events(&events), Err(BuildError::Malformed(_))));
+        assert!(matches!(
+            from_events(&events),
+            Err(BuildError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -114,8 +117,12 @@ mod tests {
         let d = from_xml("<a>hi<b/>yo</a>").unwrap();
         let a = d.children(NodeId::ROOT)[0];
         assert_eq!(d.children(a).len(), 3);
-        let texts: Vec<String> =
-            d.children(a).iter().filter(|&&c| d.kind(c) == NodeKind::Text).map(|&c| d.strval(c)).collect();
+        let texts: Vec<String> = d
+            .children(a)
+            .iter()
+            .filter(|&&c| d.kind(c) == NodeKind::Text)
+            .map(|&c| d.strval(c))
+            .collect();
         assert_eq!(texts, vec!["hi", "yo"]);
     }
 }

@@ -55,17 +55,20 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_xml() -> impl Strategy<Value = String> {
-        let leaf = prop::sample::select(vec!["<x/>", "<y>7</y>", "<z>text</z>"]).prop_map(String::from);
+        let leaf =
+            prop::sample::select(vec!["<x/>", "<y>7</y>", "<z>text</z>"]).prop_map(String::from);
         leaf.prop_recursive(4, 32, 4, |inner| {
-            (prop::sample::select(vec!["p", "q", "r"]), prop::collection::vec(inner, 0..4)).prop_map(
-                |(n, kids)| {
+            (
+                prop::sample::select(vec!["p", "q", "r"]),
+                prop::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(n, kids)| {
                     if kids.is_empty() {
                         format!("<{n}/>")
                     } else {
                         format!("<{n}>{}</{n}>", kids.concat())
                     }
-                },
-            )
+                })
         })
     }
 

@@ -75,7 +75,10 @@ pub fn max_same_name_nesting(doc: &Document) -> usize {
             continue;
         }
         let name = doc.name(n);
-        let run = 1 + doc.ancestors(n).filter(|&a| doc.name(a) == name && doc.kind(a) == NodeKind::Element).count();
+        let run = 1 + doc
+            .ancestors(n)
+            .filter(|&a| doc.name(a) == name && doc.kind(a) == NodeKind::Element)
+            .count();
         best = best.max(run);
     }
     best
@@ -90,7 +93,10 @@ mod tests {
     fn depth_of_flat_and_nested() {
         assert_eq!(depth(&from_xml("<a/>").unwrap()), 1);
         assert_eq!(depth(&from_xml("<a><b><c/></b></a>").unwrap()), 3);
-        assert_eq!(depth(&from_xml("<a><b/><c><d><e/></d></c></a>").unwrap()), 4);
+        assert_eq!(
+            depth(&from_xml("<a><b/><c><d><e/></d></c></a>").unwrap()),
+            4
+        );
     }
 
     #[test]
@@ -111,7 +117,14 @@ mod tests {
     fn counts_tally() {
         let d = from_xml(r#"<a x="1">t<b/>u</a>"#).unwrap();
         let c = counts(&d);
-        assert_eq!(c, Counts { elements: 2, attributes: 1, texts: 2 });
+        assert_eq!(
+            c,
+            Counts {
+                elements: 2,
+                attributes: 1,
+                texts: 2
+            }
+        );
     }
 
     #[test]

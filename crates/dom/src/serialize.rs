@@ -28,7 +28,10 @@ fn emit(doc: &Document, id: NodeId, out: &mut Vec<Event>) {
                 .filter(|&&c| doc.kind(c) == NodeKind::Attribute)
                 .map(|&c| Attribute::new(doc.name(c), doc.strval(c)))
                 .collect();
-            out.push(Event::StartElement { name: doc.name(id).to_string(), attributes });
+            out.push(Event::StartElement {
+                name: doc.name(id).to_string(),
+                attributes,
+            });
             for &child in doc.children(id) {
                 if doc.kind(child) != NodeKind::Attribute {
                     emit(doc, child, out);

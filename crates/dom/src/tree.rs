@@ -76,7 +76,13 @@ impl Document {
     }
 
     /// Appends a node under `parent`, returning its id.
-    pub fn push_node(&mut self, parent: NodeId, kind: NodeKind, name: impl Into<String>, content: impl Into<String>) -> NodeId {
+    pub fn push_node(
+        &mut self,
+        parent: NodeId,
+        kind: NodeKind,
+        name: impl Into<String>,
+        content: impl Into<String>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             kind,
@@ -132,7 +138,10 @@ impl Document {
     /// Element/attribute children only (text nodes skipped) — document
     /// frontiers ignore text nodes (Def. 4.1 Remark).
     pub fn non_text_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.children(id).iter().copied().filter(|&c| self.kind(c) != NodeKind::Text)
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| self.kind(c) != NodeKind::Text)
     }
 
     /// `STRVAL(x)`: concatenation of the text contents of the text-node
@@ -156,7 +165,10 @@ impl Document {
     /// Pre-order (document-order) traversal of the subtree rooted at `id`,
     /// including `id` itself.
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, stack: vec![id] }
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     /// All nodes in document order.
@@ -178,7 +190,10 @@ impl Document {
 
     /// Ancestors of `id`, nearest first (excluding `id`).
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
-        Ancestors { doc: self, cur: self.parent(id) }
+        Ancestors {
+            doc: self,
+            cur: self.parent(id),
+        }
     }
 
     /// True if `anc` is a *proper* ancestor of `id`.
@@ -294,7 +309,10 @@ mod tests {
         assert_eq!(order[0], NodeId::ROOT);
         assert_eq!(order[1], a);
         assert_eq!(order[2], b);
-        assert!(order.iter().position(|&x| x == b).unwrap() < order.iter().position(|&x| x == c).unwrap());
+        assert!(
+            order.iter().position(|&x| x == b).unwrap()
+                < order.iter().position(|&x| x == c).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! [`Engine`] and its builder: compile-once, stream-many query banks.
+
+use crate::error::EngineError;
+use crate::session::{Session, SessionInner, Verdicts};
+use fx_core::{CompiledQuery, StreamFilter};
+use fx_xml::Event;
+use fx_xpath::{parse_query, Query};
+use std::io::Read;
+
+/// Which evaluation algorithm a built [`Engine`] runs.
+///
+/// All four implement [`crate::Evaluator`]; they differ in supported
+/// fragment and in the memory/time trade-off the paper studies:
+///
+/// | Backend | Fragment | Memory |
+/// |---|---|---|
+/// | `Frontier` | univariate conjunctive Forward XPath | `O(|Q|·r·log d)` bits (Thm 8.8) — the paper's algorithm |
+/// | `Nfa` | linear paths | `O(d·|Q|)` bits |
+/// | `LazyDfa` | linear paths | up to `2^|Q|` transition-table states |
+/// | `Buffering` | anything the reference evaluator handles | `Θ(|D|)` bits |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The paper's Section-8 frontier algorithm (the default).
+    #[default]
+    Frontier,
+    /// Lazily-determinized DFA (Green et al. style).
+    LazyDfa,
+    /// NFA with a run-time stack of state sets (XFilter/YFilter style).
+    Nfa,
+    /// Buffer the document, evaluate at `EndDocument` (the strawman).
+    Buffering,
+}
+
+/// Builds an [`Engine`]: accumulate queries, pick a [`Backend`], then
+/// [`EngineBuilder::build`] validates everything up front so sessions
+/// can be spawned infallibly.
+#[derive(Debug, Default)]
+#[must_use = "builders do nothing until `.build()` is called"]
+pub struct EngineBuilder {
+    queries: Vec<Query>,
+    backend: Backend,
+    /// First query-string parse failure, surfaced at `build()` so the
+    /// fluent chain stays ergonomic.
+    deferred: Option<EngineError>,
+}
+
+impl EngineBuilder {
+    /// Registers one parsed query.
+    pub fn query(mut self, q: Query) -> EngineBuilder {
+        self.queries.push(q);
+        self
+    }
+
+    /// Registers a query from XPath source text; a parse failure is
+    /// reported by `build()` with this query's index.
+    pub fn query_str(mut self, src: &str) -> EngineBuilder {
+        match parse_query(src) {
+            Ok(q) => self.queries.push(q),
+            Err(source) => {
+                if self.deferred.is_none() {
+                    self.deferred = Some(EngineError::QueryParse {
+                        index: self.queries.len(),
+                        source,
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Registers many parsed queries.
+    pub fn queries(mut self, qs: impl IntoIterator<Item = Query>) -> EngineBuilder {
+        self.queries.extend(qs);
+        self
+    }
+
+    /// Selects the evaluation backend (default: [`Backend::Frontier`]).
+    pub fn backend(mut self, backend: Backend) -> EngineBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates every query against the chosen backend and compiles
+    /// what can be compiled ahead of time.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        if let Some(e) = self.deferred {
+            return Err(e);
+        }
+        if self.queries.is_empty() {
+            return Err(EngineError::NoQueries);
+        }
+        let mut compiled = Vec::new();
+        match self.backend {
+            Backend::Frontier => {
+                for (index, q) in self.queries.iter().enumerate() {
+                    compiled.push(
+                        CompiledQuery::compile(q)
+                            .map_err(|source| EngineError::Unsupported { index, source })?,
+                    );
+                }
+            }
+            Backend::Nfa | Backend::LazyDfa => {
+                for (index, q) in self.queries.iter().enumerate() {
+                    let linear =
+                        fx_automata::LinearPath::from_query(q).filter(|p| p.state_count() <= 128);
+                    if linear.is_none() {
+                        return Err(EngineError::BackendRequiresLinear {
+                            index,
+                            backend: self.backend,
+                            query: fx_xpath::to_xpath(q),
+                        });
+                    }
+                }
+            }
+            Backend::Buffering => {}
+        }
+        Ok(Engine {
+            queries: self.queries,
+            compiled,
+            backend: self.backend,
+        })
+    }
+}
+
+/// A compiled, validated bank of streaming XPath filters.
+///
+/// The engine itself is immutable (and cheaply shareable across
+/// threads for `Frontier`/`Buffering` backends); all per-document state
+/// lives in the [`Session`]s it spawns.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    queries: Vec<Query>,
+    /// Pre-compiled forms (Frontier backend only; other backends build
+    /// their automata per session, which is cheap for linear paths).
+    compiled: Vec<CompiledQuery>,
+    backend: Backend,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are registered (unreachable via the builder,
+    /// which rejects empty banks).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The registered queries, in registration order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Opens a session: the mutable per-document evaluation state. A
+    /// session may be reused for many documents in sequence (each
+    /// `StartDocument` resets the filters), which is how the
+    /// dissemination workload amortizes setup — and how the `LazyDfa`
+    /// backend keeps its memoized transition table warm across documents.
+    pub fn session(&self) -> Session {
+        // A multi-query Frontier session runs on the short-circuiting
+        // bank; a single-query one keeps the bare filter so its space
+        // statistics stay bit-for-bit identical to a legacy run.
+        if self.backend == Backend::Frontier && self.compiled.len() > 1 {
+            return Session::new(SessionInner::Bank(fx_core::MultiFilter::from_compiled(
+                self.compiled.iter().cloned(),
+            )));
+        }
+        let evaluators: Vec<Box<dyn crate::Evaluator>> = match self.backend {
+            Backend::Frontier => self
+                .compiled
+                .iter()
+                .map(|c| {
+                    Box::new(StreamFilter::from_compiled(c.clone())) as Box<dyn crate::Evaluator>
+                })
+                .collect(),
+            Backend::Nfa => self
+                .queries
+                .iter()
+                .map(|q| {
+                    Box::new(fx_automata::NfaFilter::new(q).expect("validated linear at build()"))
+                        as Box<dyn crate::Evaluator>
+                })
+                .collect(),
+            Backend::LazyDfa => self
+                .queries
+                .iter()
+                .map(|q| {
+                    Box::new(
+                        fx_automata::LazyDfaFilter::new(q).expect("validated linear at build()"),
+                    ) as Box<dyn crate::Evaluator>
+                })
+                .collect(),
+            Backend::Buffering => self
+                .queries
+                .iter()
+                .map(|q| {
+                    Box::new(fx_automata::BufferingFilter::new(q)) as Box<dyn crate::Evaluator>
+                })
+                .collect(),
+        };
+        Session::new(SessionInner::Each(evaluators))
+    }
+
+    /// One-shot convenience: stream a document from a reader through a
+    /// fresh session. Use [`Engine::session`] directly to amortize
+    /// session setup over many documents.
+    pub fn run_reader<R: Read>(&self, reader: R) -> Result<Verdicts, EngineError> {
+        self.session().run_reader(reader)
+    }
+
+    /// One-shot convenience over an in-memory XML string. The string is
+    /// still *streamed* (via [`fx_xml::EventIter`] over its bytes), not
+    /// materialized into events.
+    pub fn run_str(&self, xml: &str) -> Result<Verdicts, EngineError> {
+        self.run_reader(xml.as_bytes())
+    }
+
+    /// One-shot convenience over pre-materialized events, for callers
+    /// migrating from the legacy `&[Event]` batch surface.
+    pub fn run_events(&self, events: &[Event]) -> Result<Verdicts, EngineError> {
+        let mut session = self.session();
+        for e in events {
+            session.push(e);
+        }
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_per_backend() {
+        // Twig queries compile on Frontier…
+        let e = Engine::builder().query_str("/a[b and c]").build().unwrap();
+        assert_eq!(e.backend(), Backend::Frontier);
+        assert_eq!(e.len(), 1);
+
+        // …but the automata backends demand linear paths.
+        let err = Engine::builder()
+            .query_str("/a[b and c]")
+            .backend(Backend::Nfa)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::BackendRequiresLinear { index: 0, .. }),
+            "{err}"
+        );
+
+        // Buffering takes anything, including non-streamable queries.
+        Engine::builder()
+            .query_str("/a[not(b)]")
+            .backend(Backend::Buffering)
+            .build()
+            .unwrap();
+
+        // Frontier rejects non-streamable queries with the index.
+        let err = Engine::builder()
+            .query_str("/a[b]")
+            .query_str("/a[not(b)]")
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Unsupported { index: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_bad_sources() {
+        assert!(matches!(
+            Engine::builder().build(),
+            Err(EngineError::NoQueries)
+        ));
+        let err = Engine::builder().query_str("///").build().unwrap_err();
+        assert!(
+            matches!(err, EngineError::QueryParse { index: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn all_four_backends_agree_on_a_linear_query() {
+        let xml = "<a><x><b/></x><a><b/></a></a>";
+        let mut verdicts = Vec::new();
+        for backend in [
+            Backend::Frontier,
+            Backend::Nfa,
+            Backend::LazyDfa,
+            Backend::Buffering,
+        ] {
+            let engine = Engine::builder()
+                .query_str("//a/b")
+                .backend(backend)
+                .build()
+                .unwrap();
+            verdicts.push(engine.run_str(xml).unwrap().any());
+        }
+        assert_eq!(verdicts, vec![true; 4]);
+    }
+}

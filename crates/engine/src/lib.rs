@@ -1,0 +1,80 @@
+//! # fx-engine
+//!
+//! The canonical public API of the `frontier-xpath` workspace: a
+//! *true-streaming* engine for evaluating banks of Forward XPath filters
+//! over XML documents in the near-optimal memory of
+//! *Bar-Yossef, Fontoura, Josifovski — On the Memory Requirements of
+//! XPath Evaluation over XML Streams* (PODS 2004 / JCSS 2007).
+//!
+//! The paper's contribution is that filtering needs only
+//! `O(FS(Q)·log d)` bits — so the engine's surface never requires a
+//! materialized `Vec<Event>`. Documents arrive either event-by-event
+//! through [`Session::push`] or straight from any [`std::io::Read`]
+//! through [`Session::run_reader`], which drives the pull-based
+//! [`fx_xml::EventIter`] so memory stays bounded by the read buffer plus
+//! the filter state regardless of document size.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fx_engine::{Backend, Engine};
+//!
+//! let engine = Engine::builder()
+//!     .query_str("/a[c[.//e and f] and b > 5]")
+//!     .backend(Backend::Frontier)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Stream a document from any `io::Read` — never materialized.
+//! let verdicts = engine.run_reader("<a><c><e/><f/></c><b>6</b></a>".as_bytes()).unwrap();
+//! assert!(verdicts.any());
+//! ```
+//!
+//! ## Multi-query dissemination
+//!
+//! The XFilter-style selective-dissemination workload ([1] in the
+//! paper) registers many standing queries and streams each arriving
+//! document through all of them at once:
+//!
+//! ```
+//! use fx_engine::Engine;
+//! use fx_xpath::parse_query;
+//!
+//! let engine = Engine::builder()
+//!     .queries(["/doc[title]", "/doc[price > 100]"].iter().map(|s| parse_query(s).unwrap()))
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.session();
+//! for xml in ["<doc><title>t</title></doc>", "<doc><price>150</price></doc>"] {
+//!     let verdicts = session.run_reader(xml.as_bytes()).unwrap();
+//!     assert_eq!(verdicts.matching_queries().len(), 1);
+//! }
+//! ```
+//!
+//! ## Layering
+//!
+//! | Piece | Role |
+//! |---|---|
+//! | [`Engine`] / [`EngineBuilder`] | Compiles and validates a query bank against a [`Backend`] |
+//! | [`Session`] | Per-document (reusable) evaluation state: `push` / `finish` / `run_reader` |
+//! | [`Evaluator`] | The uniform boolean-streaming-filter interface every backend implements |
+//! | [`Verdicts`] | Per-query outcomes plus the paper's logical-memory measure |
+//! | [`EngineError`] | One `std::error::Error` for everything the above can reject |
+//!
+//! The [`Evaluator`] trait lived in `fx_automata` as
+//! `BooleanStreamFilter` before this crate existed; it now sits at the
+//! engine layer, where the paper's algorithm ([`fx_core::StreamFilter`]),
+//! the three automata baselines, and the legacy multi-query bank all
+//! implement it.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod evaluator;
+mod session;
+
+pub use builder::{Backend, Engine, EngineBuilder};
+pub use error::EngineError;
+pub use evaluator::Evaluator;
+pub use session::{Session, Verdicts};

@@ -1,0 +1,250 @@
+//! Per-document evaluation state: [`Session`] and its [`Verdicts`].
+
+use crate::error::EngineError;
+use crate::evaluator::Evaluator;
+use fx_xml::{Event, EventIter};
+use std::io::Read;
+
+/// The mutable half of the engine: filters mid-document.
+///
+/// A session is fed incrementally — [`Session::push`] one event at a
+/// time, or [`Session::run_reader`] to drive a whole document from any
+/// byte source through the pull-based [`EventIter`] without ever
+/// materializing it. After `EndDocument` (or `finish()`), the same
+/// session can be reused for the next document: the next
+/// `StartDocument` resets every filter's per-document state while
+/// keeping amortizable state (such as the lazy DFA's memoized
+/// transition table) warm.
+///
+/// Multi-query `Frontier` sessions run on the short-circuiting
+/// [`fx_core::MultiFilter`] bank: filters whose verdict is already
+/// decided (accepted — or rejected at the root tag, the dominant
+/// dissemination case) stop seeing events. Verdicts are unaffected; a
+/// decided filter's peak-bit statistic simply freezes at its decision
+/// point. Single-query sessions feed the filter every event, so their
+/// statistics are bit-for-bit identical to a bare
+/// [`fx_core::StreamFilter`] run.
+pub struct Session {
+    inner: SessionInner,
+    events: u64,
+}
+
+pub(crate) enum SessionInner {
+    /// One evaluator per query (single-query banks and the automata and
+    /// buffering backends).
+    Each(Vec<Box<dyn Evaluator>>),
+    /// The short-circuiting frontier bank (multi-query `Frontier`).
+    Bank(fx_core::MultiFilter),
+}
+
+impl Session {
+    pub(crate) fn new(inner: SessionInner) -> Session {
+        Session { inner, events: 0 }
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            SessionInner::Each(evs) => evs.len(),
+            SessionInner::Bank(bank) => bank.len(),
+        }
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feeds one SAX event to every filter whose verdict is still open.
+    /// Streams must carry the full document framing (`StartDocument` …
+    /// `EndDocument`), which is what every `fx_xml` source produces.
+    pub fn push(&mut self, event: &Event) {
+        self.events += 1;
+        match &mut self.inner {
+            SessionInner::Each(evs) => {
+                for ev in evs {
+                    ev.process(event);
+                }
+            }
+            SessionInner::Bank(bank) => bank.process(event),
+        }
+    }
+
+    /// Collects the per-query verdicts of the document just streamed.
+    ///
+    /// Errors with [`EngineError::IncompleteDocument`] if `EndDocument`
+    /// has not been pushed. The session remains usable for the next
+    /// document afterwards.
+    pub fn finish(&mut self) -> Result<Verdicts, EngineError> {
+        let (matched, peak_bits) = match &self.inner {
+            SessionInner::Each(evs) => {
+                let mut matched = Vec::with_capacity(evs.len());
+                let mut peak_bits = Vec::with_capacity(evs.len());
+                for ev in evs {
+                    matched.push(ev.verdict().ok_or(EngineError::IncompleteDocument)?);
+                    peak_bits.push(ev.peak_memory_bits());
+                }
+                (matched, peak_bits)
+            }
+            SessionInner::Bank(bank) => {
+                let mut matched = Vec::with_capacity(bank.len());
+                for r in bank.results() {
+                    matched.push(r.ok_or(EngineError::IncompleteDocument)?);
+                }
+                let peak_bits = bank.stats().iter().map(|s| s.max_bits).collect();
+                (matched, peak_bits)
+            }
+        };
+        Ok(Verdicts {
+            matched,
+            peak_bits,
+            events: self.events,
+        })
+    }
+
+    /// Streams one whole document from `reader` and finishes: the
+    /// true-streaming entry point. Memory is bounded by the read chunk,
+    /// the largest single XML token, and the filters' own state — never
+    /// by document size.
+    pub fn run_reader<R: Read>(&mut self, reader: R) -> Result<Verdicts, EngineError> {
+        for item in EventIter::new(reader) {
+            self.push(&item?);
+        }
+        self.finish()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("queries", &self.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+/// Per-query outcomes of one document, plus the logical-memory measure
+/// the paper's bounds are stated in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdicts {
+    matched: Vec<bool>,
+    peak_bits: Vec<u64>,
+    events: u64,
+}
+
+impl Verdicts {
+    /// Per-query verdicts, in registration order.
+    pub fn matched(&self) -> &[bool] {
+        &self.matched
+    }
+
+    /// Whether any query matched.
+    pub fn any(&self) -> bool {
+        self.matched.iter().any(|&m| m)
+    }
+
+    /// Whether every query matched.
+    pub fn all(&self) -> bool {
+        self.matched.iter().all(|&m| m)
+    }
+
+    /// Indices of the matching queries — the dissemination fan-out list.
+    pub fn matching_queries(&self) -> Vec<usize> {
+        (0..self.matched.len())
+            .filter(|&i| self.matched[i])
+            .collect()
+    }
+
+    /// Per-query peak logical filter state, in bits.
+    pub fn peak_memory_bits(&self) -> &[u64] {
+        &self.peak_bits
+    }
+
+    /// Aggregate peak logical filter state across the bank, in bits.
+    pub fn total_peak_bits(&self) -> u64 {
+        self.peak_bits.iter().sum()
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// True for an empty bank (unreachable via [`crate::Engine`]).
+    pub fn is_empty(&self) -> bool {
+        self.matched.is_empty()
+    }
+
+    /// Events processed by the session so far (cumulative across
+    /// documents when the session is reused).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Backend, Engine, EngineError};
+
+    #[test]
+    fn push_finish_lifecycle() {
+        let engine = Engine::builder().query_str("/a[b > 5]").build().unwrap();
+        let mut session = engine.session();
+        // finish() before EndDocument is an error, not a panic.
+        for e in &fx_xml::parse("<a><b>6</b></a>").unwrap()[..3] {
+            session.push(e);
+        }
+        assert!(matches!(
+            session.finish(),
+            Err(EngineError::IncompleteDocument)
+        ));
+        // Completing the stream delivers verdicts.
+        for e in &fx_xml::parse("<a><b>6</b></a>").unwrap()[3..] {
+            session.push(e);
+        }
+        let v = session.finish().unwrap();
+        assert_eq!(v.matched(), &[true]);
+        assert!(v.total_peak_bits() > 0);
+    }
+
+    #[test]
+    fn session_reuse_across_documents() {
+        let engine = Engine::builder()
+            .query_str("/doc[title]")
+            .query_str("/doc[price > 100]")
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let v1 = session
+            .run_reader("<doc><title>t</title><price>150</price></doc>".as_bytes())
+            .unwrap();
+        assert_eq!(v1.matching_queries(), vec![0, 1]);
+        let v2 = session
+            .run_reader("<doc><title>t</title></doc>".as_bytes())
+            .unwrap();
+        assert_eq!(v2.matching_queries(), vec![0]);
+        assert!(v2.events() > v1.events(), "event counter is cumulative");
+    }
+
+    #[test]
+    fn malformed_documents_surface_parse_errors() {
+        let engine = Engine::builder().query_str("/a").build().unwrap();
+        let err = engine.run_str("<a><b></a>").unwrap_err();
+        assert!(matches!(err, EngineError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn lazy_dfa_table_stays_warm_across_documents() {
+        let engine = Engine::builder()
+            .query_str("//a//b")
+            .backend(Backend::LazyDfa)
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let v1 = session.run_reader("<a><b/></a>".as_bytes()).unwrap();
+        let v2 = session.run_reader("<a><b/></a>".as_bytes()).unwrap();
+        assert!(v1.any() && v2.any());
+        // Memoized table persists, so peak memory does not restart at 0.
+        assert!(v2.total_peak_bits() >= v1.total_peak_bits());
+    }
+}

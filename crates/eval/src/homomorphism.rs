@@ -147,8 +147,7 @@ fn assign(
         }
         for &t in targets {
             let snapshot: Vec<NodeId> = map.keys().copied().collect();
-            if assign(d, kids[i], d2, t, kind, map)
-                && place(d, d2, kind, kids, i + 1, targets, map)
+            if assign(d, kids[i], d2, t, kind, map) && place(d, d2, kind, kids, i + 1, targets, map)
             {
                 return true;
             }
@@ -176,7 +175,10 @@ pub fn is_isomorphism(d: &Document, x: NodeId, d2: &Document, x2: NodeId, xi: &N
     if image.len() != before {
         return false; // not injective
     }
-    let target_count = d2.descendants(x2).filter(|&y| d2.kind(y) != NodeKind::Text).count();
+    let target_count = d2
+        .descendants(x2)
+        .filter(|&y| d2.kind(y) != NodeKind::Text)
+        .count();
     image.len() == target_count
 }
 
@@ -194,7 +196,14 @@ mod tests {
         let d = doc("<a><c>world</c><c>world</c><b>hello</b></a>");
         let d2 = doc("<a><b>hello</b><c>world</c></a>");
         let xi = find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Weak).unwrap();
-        assert!(is_homomorphism(&d, d.root(), &d2, d2.root(), &xi, HomKind::Weak));
+        assert!(is_homomorphism(
+            &d,
+            d.root(),
+            &d2,
+            d2.root(),
+            &xi,
+            HomKind::Weak
+        ));
         // It is NOT a full homomorphism: strval(a) differs
         // ("worldworldhello" vs "helloworld").
         assert!(find_homomorphism(&d, d.root(), &d2, d2.root(), HomKind::Full).is_none());
@@ -237,11 +246,25 @@ mod tests {
         let d2 = doc("<a><b/>hello</a>");
         let xi: NodeMap = [(d.root(), d2.root())]
             .into_iter()
-            .chain(d.all_nodes().filter(|&n| d.kind(n) != NodeKind::Text).skip(1).zip(
-                d2.all_nodes().filter(|&n| d2.kind(n) != NodeKind::Text).skip(1),
-            ))
+            .chain(
+                d.all_nodes()
+                    .filter(|&n| d.kind(n) != NodeKind::Text)
+                    .skip(1)
+                    .zip(
+                        d2.all_nodes()
+                            .filter(|&n| d2.kind(n) != NodeKind::Text)
+                            .skip(1),
+                    ),
+            )
             .collect();
-        assert!(is_homomorphism(&d, d.root(), &d2, d2.root(), &xi, HomKind::Weak));
+        assert!(is_homomorphism(
+            &d,
+            d.root(),
+            &d2,
+            d2.root(),
+            &xi,
+            HomKind::Weak
+        ));
         assert!(!is_internal_node_preserving(&d, d.root(), &d2, &xi));
     }
 

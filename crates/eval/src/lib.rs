@@ -27,9 +27,8 @@ pub mod truth;
 
 pub use homomorphism::{find_homomorphism, is_homomorphism, is_isomorphism, HomKind, NodeMap};
 pub use matching::{
-    hybrid_matching,
     count_matchings, document_matches, document_matches_structurally, find_matching,
-    matches_relative, verify_matching, MatchMode, Matcher, Matching,
+    hybrid_matching, matches_relative, verify_matching, MatchMode, Matcher, Matching,
 };
 pub use select::{axis_candidates, bool_eval, full_eval, satisfies_predicate, select};
 pub use truth::{constraining_predicate, is_atomic, truth_contains, TruthError};
@@ -68,7 +67,10 @@ mod proptests {
             }
         });
         leaf.prop_recursive(4, 40, 4, move |inner| {
-            (prop::sample::select(vec!["a", "b", "c", "x"]), prop::collection::vec(inner, 1..4))
+            (
+                prop::sample::select(vec!["a", "b", "c", "x"]),
+                prop::collection::vec(inner, 1..4),
+            )
                 .prop_map(|(n, kids)| format!("<{n}>{}</{n}>", kids.concat()))
         })
         .prop_map(|xml| Document::from_xml(&xml).unwrap())

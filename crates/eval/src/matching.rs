@@ -34,7 +34,12 @@ impl<'a> Matcher<'a> {
     /// [`MatchMode::Full`] (truth sets are undefined otherwise — calls will
     /// return [`TruthError::NotUnivariate`]).
     pub fn new(q: &'a Query, d: &'a Document, mode: MatchMode) -> Self {
-        Matcher { q, d, mode, memo: HashMap::new() }
+        Matcher {
+            q,
+            d,
+            mode,
+            memo: HashMap::new(),
+        }
     }
 
     /// Does some matching of `x` with `u` exist? (A mapping `φ: Q_u → D_x`
@@ -203,7 +208,11 @@ fn constrained(
         let axis = m.q.axis(w).expect("children have axes");
         let mut found = false;
         for cand in axis_candidates(m.d, x, axis) {
-            let ok = if w == next { constrained(m, w, cand, v, y)? } else { m.can_match(w, cand)? };
+            let ok = if w == next {
+                constrained(m, w, cand, v, y)?
+            } else {
+                m.can_match(w, cand)?
+            };
             if ok {
                 found = true;
                 break;
@@ -219,7 +228,8 @@ fn constrained(
 /// Definition 6.3: is `φ` leaf-preserving (every query leaf maps to a
 /// document leaf, text children notwithstanding)?
 pub fn is_leaf_preserving(q: &Query, d: &Document, phi: &Matching) -> bool {
-    phi.iter().all(|(&u, &x)| !q.is_leaf(u) || d.non_text_children(x).count() == 0)
+    phi.iter()
+        .all(|(&u, &x)| !q.is_leaf(u) || d.non_text_children(x).count() == 0)
 }
 
 /// Verifies that `phi` is a valid matching of `D` with `Q` in the given
@@ -248,7 +258,9 @@ pub fn verify_matching(
         if let Some(p) = q.parent(u) {
             let &px = phi.get(&p).expect("all query nodes checked");
             let ok = match q.axis(u).expect("non-root") {
-                fx_xpath::Axis::Child => d.parent(x) == Some(px) && d.kind(x) == fx_dom::NodeKind::Element,
+                fx_xpath::Axis::Child => {
+                    d.parent(x) == Some(px) && d.kind(x) == fx_dom::NodeKind::Element
+                }
                 fx_xpath::Axis::Attribute => {
                     d.parent(x) == Some(px) && d.kind(x) == fx_dom::NodeKind::Attribute
                 }
@@ -318,8 +330,14 @@ mod tests {
     fn lemma_5_10_equivalence_on_examples() {
         // BOOLEVAL(Q, D) ⇔ a matching exists, on the paper's queries.
         let cases = [
-            ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>"),
-            ("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>"),
+            (
+                "/a[c[.//e and f] and b > 5]",
+                "<a><c><e/><f/></c><b>6</b></a>",
+            ),
+            (
+                "/a[c[.//e and f] and b > 5]",
+                "<a><b>6</b><c><f/><f/></c></a>",
+            ),
             ("//a[b and c]", "<a><b/><a><b/><a/><c/></a></a>"),
             ("//a[b and c]", "<a><b/><a><a/><c/></a></a>"),
             ("/a/b", "<a><Z><Z/></Z><b/></a>"),
@@ -347,10 +365,37 @@ mod tests {
         let a_d = doc.children(doc.root())[0];
         let b1 = doc.children(a_d)[0];
         let b2 = doc.children(a_d)[1];
-        assert!(matches_relative(&query, &doc, b_q, b1, query.root(), doc.root(), MatchMode::Full).unwrap());
-        assert!(!matches_relative(&query, &doc, b_q, b2, query.root(), doc.root(), MatchMode::Full).unwrap());
+        assert!(matches_relative(
+            &query,
+            &doc,
+            b_q,
+            b1,
+            query.root(),
+            doc.root(),
+            MatchMode::Full
+        )
+        .unwrap());
+        assert!(!matches_relative(
+            &query,
+            &doc,
+            b_q,
+            b2,
+            query.root(),
+            doc.root(),
+            MatchMode::Full
+        )
+        .unwrap());
         // Structurally, both match.
-        assert!(matches_relative(&query, &doc, b_q, b2, query.root(), doc.root(), MatchMode::Structural).unwrap());
+        assert!(matches_relative(
+            &query,
+            &doc,
+            b_q,
+            b2,
+            query.root(),
+            doc.root(),
+            MatchMode::Structural
+        )
+        .unwrap());
     }
 
     #[test]
@@ -403,7 +448,11 @@ pub fn hybrid_matching(
     let subtree: std::collections::HashSet<QueryNodeId> = q.preorder(u).into_iter().collect();
     let mut mu = Matching::new();
     for w in q.all_nodes() {
-        let source = if subtree.contains(&w) { phi.get(&w) } else { eta.get(&w) };
+        let source = if subtree.contains(&w) {
+            phi.get(&w)
+        } else {
+            eta.get(&w)
+        };
         mu.insert(w, *source?);
     }
     Some(mu)

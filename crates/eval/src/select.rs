@@ -136,11 +136,20 @@ mod tests {
     #[test]
     fn fig2_query_on_paper_document() {
         // D from Theorem 4.2 matches /a[c[.//e and f] and b > 5].
-        assert!(matches("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>"));
+        assert!(matches(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><c><e/><f/></c><b>6</b></a>"
+        ));
         // b = 5 fails the predicate.
-        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>5</b></a>"));
+        assert!(!matches(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><c><e/><f/></c><b>5</b></a>"
+        ));
         // missing f fails.
-        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><c><e/></c><b>6</b></a>"));
+        assert!(!matches(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><c><e/></c><b>6</b></a>"
+        ));
     }
 
     #[test]
@@ -153,7 +162,10 @@ mod tests {
     #[test]
     fn cross_splice_document_fails() {
         // D_{T,T'} from the proof of Theorem 4.2: two f's, no e.
-        assert!(!matches("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><f/></c></a>"));
+        assert!(!matches(
+            "/a[c[.//e and f] and b > 5]",
+            "<a><b>6</b><c><f/><f/></c></a>"
+        ));
     }
 
     #[test]
@@ -231,8 +243,11 @@ mod tests {
         // §5.5: /a[b and .//b] — left b subsumes right one.
         assert!(matches("/a[b and .//b]", "<a><b/></a>"));
         assert!(!matches("/a[b and .//b]", "<a><x><b/></x></a>")); // no direct child b
-        // /a[b = 5 and .//b = 3] needs both values somewhere.
-        assert!(matches("/a[b = 5 and .//b = 3]", "<a><b>5</b><x><b>3</b></x></a>"));
+                                                                   // /a[b = 5 and .//b = 3] needs both values somewhere.
+        assert!(matches(
+            "/a[b = 5 and .//b = 3]",
+            "<a><b>5</b><x><b>3</b></x></a>"
+        ));
         assert!(!matches("/a[b = 5 and .//b = 3]", "<a><b>5</b></a>"));
     }
 

@@ -83,7 +83,10 @@ impl std::fmt::Display for TruthError {
                 write!(f, "atomic predicate of {node} is not univariate")
             }
             TruthError::NotAtomic { node } => {
-                write!(f, "the conjunct containing {node} is not an atomic predicate")
+                write!(
+                    f,
+                    "the conjunct containing {node} is not an atomic predicate"
+                )
             }
             TruthError::Eval(e) => write!(f, "{e}"),
         }

@@ -59,8 +59,10 @@ pub fn depth_bound(q: &Query) -> Result<DepthBound, DepthError> {
     let d = &cd.doc;
     let events = d.to_events();
 
-    let elems: Vec<fx_dom::NodeId> =
-        d.all_nodes().filter(|&n| d.kind(n) == fx_dom::NodeKind::Element).collect();
+    let elems: Vec<fx_dom::NodeId> = d
+        .all_nodes()
+        .filter(|&n| d.kind(n) == fx_dom::NodeKind::Element)
+        .collect();
     let ord = elems
         .iter()
         .position(|&n| n == cd.shadow[&u])
@@ -94,8 +96,9 @@ impl DepthBound {
 
     /// `β_i = 〈/Z〉^i ◦ β ◦ 〈Z〉^i`.
     pub fn beta_i(&self, i: usize) -> Vec<Event> {
-        let mut out: Vec<Event> =
-            std::iter::repeat_with(|| Event::end(&self.aux)).take(i).collect();
+        let mut out: Vec<Event> = std::iter::repeat_with(|| Event::end(&self.aux))
+            .take(i)
+            .collect();
         out.extend_from_slice(&self.beta);
         out.extend(std::iter::repeat_with(|| Event::start(&self.aux)).take(i));
         out
@@ -103,8 +106,9 @@ impl DepthBound {
 
     /// `γ_i = 〈/Z〉^i ◦ γ`.
     pub fn gamma_i(&self, i: usize) -> Vec<Event> {
-        let mut out: Vec<Event> =
-            std::iter::repeat_with(|| Event::end(&self.aux)).take(i).collect();
+        let mut out: Vec<Event> = std::iter::repeat_with(|| Event::end(&self.aux))
+            .take(i)
+            .collect();
         out.extend_from_slice(&self.gamma);
         out
     }
@@ -121,7 +125,9 @@ impl DepthBound {
     /// set has size `t = d − s = Ω(d)`).
     pub fn fooling_set(&self, t: usize) -> FoolingSet3 {
         FoolingSet3 {
-            triples: (0..t).map(|i| (self.alpha_i(i), self.beta_i(i), self.gamma_i(i))).collect(),
+            triples: (0..t)
+                .map(|i| (self.alpha_i(i), self.beta_i(i), self.gamma_i(i)))
+                .collect(),
             expected: true,
         }
     }
@@ -167,7 +173,11 @@ mod tests {
         let db = depth_bound(&q).unwrap();
         for i in [0usize, 3, 9] {
             let doc = Document::from_sax(&db.document(i)).unwrap();
-            assert!(doc.depth() > i && doc.depth() <= i + 3, "i={i} depth={}", doc.depth());
+            assert!(
+                doc.depth() > i && doc.depth() <= i + 3,
+                "i={i} depth={}",
+                doc.depth()
+            );
         }
     }
 
@@ -190,7 +200,10 @@ mod tests {
     fn ineligible_queries_are_rejected() {
         for src in ["//a", "/*/a", "//a//b"] {
             let q = parse_query(src).unwrap();
-            assert!(matches!(depth_bound(&q), Err(DepthError::NoEligibleNode)), "{src}");
+            assert!(
+                matches!(depth_bound(&q), Err(DepthError::NoEligibleNode)),
+                "{src}"
+            );
         }
     }
 
@@ -212,6 +225,9 @@ mod tests {
         // frontier row — nowhere near the 256× a linear dependence would
         // give.
         assert!(b4096 > b16);
-        assert!(b4096 <= b16 + 64, "expected logarithmic growth: {b16} -> {b4096}");
+        assert!(
+            b4096 <= b16 + 64,
+            "expected logarithmic growth: {b16} -> {b4096}"
+        );
     }
 }

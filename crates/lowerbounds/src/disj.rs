@@ -78,8 +78,12 @@ pub fn disj_segments(q: &Query) -> Result<DisjSegments, DisjError> {
             .expect("Recursive XPath guarantees a descendant-axis ancestor")
     };
     // w1, w2: the first two child-axis children of v.
-    let ws: Vec<QueryNodeId> =
-        q.children(v).iter().copied().filter(|&c| q.axis(c) == Some(Axis::Child)).collect();
+    let ws: Vec<QueryNodeId> = q
+        .children(v)
+        .iter()
+        .copied()
+        .filter(|&c| q.axis(c) == Some(Axis::Child))
+        .collect();
     let (w1, w2) = (ws[0], ws[1]);
 
     // y: the first artificial node in the chain above SHADOW(v1).
@@ -101,7 +105,10 @@ pub fn disj_segments(q: &Query) -> Result<DisjSegments, DisjError> {
             .all_nodes()
             .filter(|&n| d.kind(n) == fx_dom::NodeKind::Element)
             .collect();
-        let ord = elems.iter().position(|&n| n == target).expect("target is an element");
+        let ord = elems
+            .iter()
+            .position(|&n| n == target)
+            .expect("target is an element");
         events
             .iter()
             .enumerate()
@@ -245,7 +252,10 @@ mod tests {
     fn non_recursive_queries_are_rejected() {
         for src in ["//a", "//a//b", "/a[b and c]", "/a/b"] {
             let q = parse_query(src).unwrap();
-            assert!(matches!(disj_segments(&q), Err(DisjError::NotRecursive)), "{src}");
+            assert!(
+                matches!(disj_segments(&q), Err(DisjError::NotRecursive)),
+                "{src}"
+            );
         }
     }
 
@@ -273,6 +283,9 @@ mod tests {
             f.process_all(&events);
             rows.push(f.stats().max_rows);
         }
-        assert!(rows[1] >= 3 * rows[0] / 2 && rows[2] >= 3 * rows[1], "{rows:?}");
+        assert!(
+            rows[1] >= 3 * rows[0] / 2 && rows[2] >= 3 * rows[1],
+            "{rows:?}"
+        );
     }
 }

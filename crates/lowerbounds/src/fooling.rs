@@ -83,7 +83,9 @@ impl FoolingSet {
                 return Ok(None);
             }
             let doc = Document::from_sax(events).map_err(|e| FoolingError::Eval(e.to_string()))?;
-            bool_eval(q, &doc).map(Some).map_err(|e| FoolingError::Eval(e.to_string()))
+            bool_eval(q, &doc)
+                .map(Some)
+                .map_err(|e| FoolingError::Eval(e.to_string()))
         };
         let mut diagonal_checked = 0;
         for (i, (a, b)) in self.pairs.iter().enumerate() {
@@ -139,7 +141,9 @@ impl FoolingSet3 {
                 return Ok(None);
             }
             let doc = Document::from_sax(events).map_err(|e| FoolingError::Eval(e.to_string()))?;
-            bool_eval(q, &doc).map(Some).map_err(|e| FoolingError::Eval(e.to_string()))
+            bool_eval(q, &doc)
+                .map(Some)
+                .map_err(|e| FoolingError::Eval(e.to_string()))
         };
         let mut diagonal_checked = 0;
         for (i, (a, b, c)) in self.triples.iter().enumerate() {
@@ -223,7 +227,10 @@ mod tests {
             beta.push(Event::EndDocument);
             pairs.push((alpha, beta));
         }
-        let fs = FoolingSet { pairs, expected: true };
+        let fs = FoolingSet {
+            pairs,
+            expected: true,
+        };
         let report = fs.verify(&q).unwrap();
         assert_eq!(report.size, 8);
         assert_eq!(report.bits, 3); // = FS(Q)
@@ -239,7 +246,10 @@ mod tests {
             (events[..2].to_vec(), events[2..].to_vec()),
             (events[..2].to_vec(), events[2..].to_vec()),
         ];
-        let fs = FoolingSet { pairs, expected: true };
+        let fs = FoolingSet {
+            pairs,
+            expected: true,
+        };
         assert!(matches!(fs.verify(&q), Err(FoolingError::BadCross { .. })));
     }
 
@@ -251,14 +261,20 @@ mod tests {
             pairs: vec![(events[..2].to_vec(), events[2..].to_vec())],
             expected: true,
         };
-        assert!(matches!(fs.verify(&q), Err(FoolingError::BadDiagonal { index: 0 })));
+        assert!(matches!(
+            fs.verify(&q),
+            Err(FoolingError::BadDiagonal { index: 0 })
+        ));
     }
 
     #[test]
     fn bits_is_floor_log2() {
         let dummy = (vec![], vec![]);
         for (n, expect) in [(1usize, 0u32), (2, 1), (3, 1), (4, 2), (8, 3), (9, 3)] {
-            let fs = FoolingSet { pairs: vec![dummy.clone(); n], expected: true };
+            let fs = FoolingSet {
+                pairs: vec![dummy.clone(); n],
+                expected: true,
+            };
             assert_eq!(fs.bits(), expect, "n={n}");
         }
     }

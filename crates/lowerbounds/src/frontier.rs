@@ -40,7 +40,12 @@ pub fn frontier_bound(q: &Query, cap: Option<usize>) -> Result<FrontierBound, Fr
     // The document node with the largest frontier; WLOG a shadow node
     // (artificial nodes have no siblings, their frontier is dominated by
     // the shadow below them).
-    let shadows: Vec<NodeId> = cd.shadow.values().copied().filter(|&n| n != d.root()).collect();
+    let shadows: Vec<NodeId> = cd
+        .shadow
+        .values()
+        .copied()
+        .filter(|&n| n != d.root())
+        .collect();
     // Attribute nodes cannot be toggled across the cut (they ride their
     // element's start tag), so the construction distributes only element
     // frontier members; attribute members shrink the certified bits.
@@ -86,7 +91,12 @@ pub fn frontier_bound(q: &Query, cap: Option<usize>) -> Result<FrontierBound, Fr
 
     let mut pairs = Vec::with_capacity(take);
     for t in 0..take {
-        let in_t = |n: NodeId| frontier.iter().position(|&f| f == n).is_some_and(|i| t >> i & 1 == 1);
+        let in_t = |n: NodeId| {
+            frontier
+                .iter()
+                .position(|&f| f == n)
+                .is_some_and(|i| t >> i & 1 == 1)
+        };
         // α = 〈$〉 ◦ α_1 ◦ … ◦ α_{ℓ-1}, β = β_{ℓ-1} ◦ … ◦ β_1 ◦ 〈/$〉 where
         // segment i covers the path node x_i: α_i = 〈x_i〉 ◦ (leading text)
         // ◦ subtrees of T-children; β_i = subtrees of complement-children
@@ -145,7 +155,10 @@ pub fn frontier_bound(q: &Query, cap: Option<usize>) -> Result<FrontierBound, Fr
         canonical: cd,
         x,
         frontier,
-        fooling: FoolingSet { pairs, expected: true },
+        fooling: FoolingSet {
+            pairs,
+            expected: true,
+        },
     })
 }
 
@@ -156,7 +169,10 @@ fn subtree_events(d: &fx_dom::Document, n: NodeId) -> Vec<Event> {
         NodeKind::Attribute => {
             // Attributes ride on their element's start tag and are never
             // serialized standalone (the construction filters them out).
-            debug_assert!(false, "attribute nodes are not distributable frontier members");
+            debug_assert!(
+                false,
+                "attribute nodes are not distributable frontier members"
+            );
             Vec::new()
         }
         _ => {
@@ -209,8 +225,15 @@ mod tests {
         ] {
             let q = parse_query(src).unwrap();
             let fb = frontier_bound(&q, None).unwrap();
-            let report = fb.fooling.verify(&q).unwrap_or_else(|e| panic!("{src}: {e}"));
-            assert_eq!(report.bits as usize, fx_analysis::frontier_size(&q), "{src}");
+            let report = fb
+                .fooling
+                .verify(&q)
+                .unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(
+                report.bits as usize,
+                fx_analysis::frontier_size(&q),
+                "{src}"
+            );
         }
     }
 
@@ -227,12 +250,19 @@ mod tests {
     fn random_redundancy_free_queries_verify() {
         use rand::{rngs::SmallRng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(2024);
-        let cfg = fx_workloads::RandomQueryConfig { max_nodes: 8, ..Default::default() };
+        let cfg = fx_workloads::RandomQueryConfig {
+            max_nodes: 8,
+            ..Default::default()
+        };
         for i in 0..12 {
             let q = fx_workloads::random_redundancy_free(&mut rng, &cfg);
             let fb = frontier_bound(&q, Some(64)).unwrap();
             let report = fb.fooling.verify(&q);
-            assert!(report.is_ok(), "query {i} {}: {report:?}", fx_xpath::to_xpath(&q));
+            assert!(
+                report.is_ok(),
+                "query {i} {}: {report:?}",
+                fx_xpath::to_xpath(&q)
+            );
         }
     }
 }

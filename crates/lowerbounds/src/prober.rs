@@ -30,19 +30,19 @@ impl Probe for fx_core::StreamFilter {
 
 impl Probe for fx_automata::NfaFilter {
     fn feed(&mut self, event: &Event) {
-        fx_automata::BooleanStreamFilter::process(self, event);
+        self.process(event);
     }
     fn verdict(&self) -> Option<bool> {
-        fx_automata::BooleanStreamFilter::verdict(self)
+        fx_automata::NfaFilter::verdict(self)
     }
 }
 
 impl Probe for fx_automata::LazyDfaFilter {
     fn feed(&mut self, event: &Event) {
-        fx_automata::BooleanStreamFilter::process(self, event);
+        self.process(event);
     }
     fn verdict(&self) -> Option<bool> {
-        fx_automata::BooleanStreamFilter::verdict(self)
+        fx_automata::LazyDfaFilter::verdict(self)
     }
 }
 
@@ -88,7 +88,11 @@ pub fn probe<F: Probe>(
     ProbeReport {
         prefixes: prefixes.len(),
         classes: n,
-        bits: if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() },
+        bits: if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        },
     }
 }
 
@@ -136,7 +140,11 @@ mod tests {
         let prefixes: Vec<Vec<Event>> = all.iter().map(|s| seg.alpha(s)).collect();
         let suffixes: Vec<Vec<Event>> = all.iter().map(|t| seg.beta(t)).collect();
         let report = probe(|| StreamFilter::new(&q).unwrap(), &prefixes, &suffixes);
-        assert_eq!(report.classes, 1 << r, "every subset state must be distinguishable");
+        assert_eq!(
+            report.classes,
+            1 << r,
+            "every subset state must be distinguishable"
+        );
         assert_eq!(report.bits, r as u32);
         // Sanity: the behavior actually encodes DISJ.
         let mut f = StreamFilter::new(&q).unwrap();
@@ -188,8 +196,11 @@ mod tests {
                 s
             })
             .collect();
-        let report =
-            probe(|| fx_automata::NfaFilter::new(&q).unwrap(), &prefixes, &suffixes);
+        let report = probe(
+            || fx_automata::NfaFilter::new(&q).unwrap(),
+            &prefixes,
+            &suffixes,
+        );
         assert_eq!(report.classes, t);
     }
 

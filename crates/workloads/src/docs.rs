@@ -8,7 +8,10 @@ use rand::Rng;
 
 /// A small element-name alphabet shared by tests and benches.
 pub fn small_alphabet() -> Vec<String> {
-    ["a", "b", "c", "d", "e", "f", "x", "y"].iter().map(|s| s.to_string()).collect()
+    ["a", "b", "c", "d", "e", "f", "x", "y"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
 }
 
 /// Configuration for [`random_document`].
@@ -98,7 +101,12 @@ pub fn disjointness_document(s: &[bool], t: &[bool]) -> Document {
 /// A recursive document: `r` nested `name` elements, the innermost
 /// carrying the given children XML.
 pub fn nested(name: &str, r: usize, innermost: &str) -> Document {
-    let xml = format!("{}{}{}", format!("<{name}>").repeat(r), innermost, format!("</{name}>").repeat(r));
+    let xml = format!(
+        "{}{}{}",
+        format!("<{name}>").repeat(r),
+        innermost,
+        format!("</{name}>").repeat(r)
+    );
     Document::from_xml(&xml).expect("constructed XML is valid")
 }
 

@@ -16,5 +16,7 @@ pub use docs::{
     depth_document, disjointness_document, long_text, nested, random_document, small_alphabet,
     wide, RandomDocConfig,
 };
-pub use queries::{balanced_twig, descendant_chain, random_redundancy_free, star, RandomQueryConfig};
+pub use queries::{
+    balanced_twig, descendant_chain, random_redundancy_free, star, RandomQueryConfig,
+};
 pub use xmark::{auction_site, standing_queries, XmarkConfig};

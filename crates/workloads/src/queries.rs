@@ -18,7 +18,11 @@ pub struct RandomQueryConfig {
 
 impl Default for RandomQueryConfig {
     fn default() -> Self {
-        RandomQueryConfig { max_nodes: 12, descendant_prob: 0.3, predicate_prob: 0.5 }
+        RandomQueryConfig {
+            max_nodes: 12,
+            descendant_prob: 0.3,
+            predicate_prob: 0.5,
+        }
     }
 }
 
@@ -56,8 +60,16 @@ fn gen_path<R: Rng>(
             break;
         }
         *budget -= 1;
-        let axis = if rng.gen_bool(cfg.descendant_prob) { "//" } else { "/" };
-        let axis = if top && i == 0 && axis == "/" { "/" } else { axis };
+        let axis = if rng.gen_bool(cfg.descendant_prob) {
+            "//"
+        } else {
+            "/"
+        };
+        let axis = if top && i == 0 && axis == "/" {
+            "/"
+        } else {
+            axis
+        };
         let name = fresh(next_name);
         out.push_str(axis);
         out.push_str(&name);
@@ -97,7 +109,9 @@ fn gen_conjunct<R: Rng>(rng: &mut R, next_name: &mut usize, budget: &mut usize) 
             format!("{axis}{name} > {c}")
         }
         2 => {
-            let s: String = (0..3).map(|_| *b"ghijklm".choose(rng).unwrap() as char).collect();
+            let s: String = (0..3)
+                .map(|_| *b"ghijklm".choose(rng).unwrap() as char)
+                .collect();
             format!("{axis}{name} = \"{s}\"")
         }
         _ => {
@@ -132,7 +146,11 @@ pub fn balanced_twig(depth: usize) -> Query {
         if depth == 0 {
             prefix.to_string()
         } else {
-            format!("{prefix}[{} and {}]", node(&format!("{prefix}l"), depth - 1), node(&format!("{prefix}r"), depth - 1))
+            format!(
+                "{prefix}[{} and {}]",
+                node(&format!("{prefix}l"), depth - 1),
+                node(&format!("{prefix}r"), depth - 1)
+            )
         }
     }
     parse_query(&format!("/{}", node("q", depth))).expect("twig query is valid")
@@ -152,7 +170,11 @@ mod tests {
         for _ in 0..60 {
             let q = random_redundancy_free(&mut rng, &cfg);
             let violations = fx_analysis::redundancy_free(&q);
-            assert!(violations.is_empty(), "{}: {violations:?}", fx_xpath::to_xpath(&q));
+            assert!(
+                violations.is_empty(),
+                "{}: {violations:?}",
+                fx_xpath::to_xpath(&q)
+            );
             checked += 1;
         }
         assert_eq!(checked, 60);

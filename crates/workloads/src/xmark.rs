@@ -22,7 +22,12 @@ pub struct XmarkConfig {
 
 impl Default for XmarkConfig {
     fn default() -> Self {
-        XmarkConfig { items: 20, auctions: 10, people: 10, category_depth: 3 }
+        XmarkConfig {
+            items: 20,
+            auctions: 10,
+            people: 10,
+            category_depth: 3,
+        }
     }
 }
 
@@ -47,7 +52,12 @@ pub fn auction_site<R: Rng>(rng: &mut R, cfg: &XmarkConfig) -> Document {
             let w2 = WORDS.choose(rng).expect("non-empty");
             d.push_node(name, NodeKind::Text, "", format!("{w1} {w2}"));
             let price = d.push_node(item, NodeKind::Element, "price", "");
-            d.push_node(price, NodeKind::Text, "", format!("{}", rng.gen_range(1..500)));
+            d.push_node(
+                price,
+                NodeKind::Text,
+                "",
+                format!("{}", rng.gen_range(1..500)),
+            );
             if rng.gen_bool(0.4) {
                 let ship = d.push_node(item, NodeKind::Element, "shipping", "");
                 d.push_node(ship, NodeKind::Text, "", "worldwide".to_string());
@@ -60,14 +70,24 @@ pub fn auction_site<R: Rng>(rng: &mut R, cfg: &XmarkConfig) -> Document {
         let a = d.push_node(auctions, NodeKind::Element, "open_auction", "");
         d.push_node(a, NodeKind::Attribute, "id", format!("auction{i}"));
         let initial = d.push_node(a, NodeKind::Element, "initial", "");
-        d.push_node(initial, NodeKind::Text, "", format!("{}", rng.gen_range(1..100)));
+        d.push_node(
+            initial,
+            NodeKind::Text,
+            "",
+            format!("{}", rng.gen_range(1..100)),
+        );
         for _ in 0..rng.gen_range(0..4) {
             let bid = d.push_node(a, NodeKind::Element, "bidder", "");
             let inc = d.push_node(bid, NodeKind::Element, "increase", "");
             d.push_node(inc, NodeKind::Text, "", format!("{}", rng.gen_range(1..50)));
         }
         let current = d.push_node(a, NodeKind::Element, "current", "");
-        d.push_node(current, NodeKind::Text, "", format!("{}", rng.gen_range(100..1000)));
+        d.push_node(
+            current,
+            NodeKind::Text,
+            "",
+            format!("{}", rng.gen_range(100..1000)),
+        );
     }
 
     let people = d.push_node(site, NodeKind::Element, "people", "");
@@ -79,7 +99,12 @@ pub fn auction_site<R: Rng>(rng: &mut R, cfg: &XmarkConfig) -> Document {
         if rng.gen_bool(0.6) {
             let watch = d.push_node(p, NodeKind::Element, "watches", "");
             let w = d.push_node(watch, NodeKind::Element, "watch", "");
-            d.push_node(w, NodeKind::Attribute, "auction", format!("auction{}", rng.gen_range(0..cfg.auctions.max(1))));
+            d.push_node(
+                w,
+                NodeKind::Attribute,
+                "auction",
+                format!("auction{}", rng.gen_range(0..cfg.auctions.max(1))),
+            );
         }
     }
 
@@ -101,13 +126,21 @@ pub fn standing_queries() -> Vec<(&'static str, fx_xpath::Query)> {
     [
         ("expensive items", "//item[price > 300]"),
         ("shipped items", "//item[shipping and price]"),
-        ("active auctions", "//open_auction[bidder and current > 500]"),
+        (
+            "active auctions",
+            "//open_auction[bidder and current > 500]",
+        ),
         ("watchers", "//person[name and watches]"),
         ("deep categories", "//category[category and name]"),
         ("asia items", "/site/regions/asia/item"),
     ]
     .into_iter()
-    .map(|(label, src)| (label, fx_xpath::parse_query(src).expect("standing query parses")))
+    .map(|(label, src)| {
+        (
+            label,
+            fx_xpath::parse_query(src).expect("standing query parses"),
+        )
+    })
     .collect()
 }
 
@@ -132,11 +165,22 @@ mod tests {
     #[test]
     fn standing_queries_run_and_some_match() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let d = auction_site(&mut rng, &XmarkConfig { items: 50, auctions: 30, people: 20, category_depth: 4 });
+        let d = auction_site(
+            &mut rng,
+            &XmarkConfig {
+                items: 50,
+                auctions: 30,
+                people: 20,
+                category_depth: 4,
+            },
+        );
         let mut matched = 0;
         for (label, q) in standing_queries() {
             let reference = fx_eval::bool_eval(&q, &d).unwrap();
-            let streamed = fx_core::StreamFilter::run(&q, &d.to_events()).unwrap();
+            let streamed = fx_core::StreamFilter::new(&q)
+                .unwrap()
+                .run_stream(&d.to_events())
+                .unwrap();
             assert_eq!(reference, streamed, "{label}");
             matched += usize::from(reference);
         }

@@ -42,7 +42,11 @@ pub struct EntityError {
 
 impl std::fmt::Display for EntityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown or malformed entity reference `&{};`", self.reference)
+        write!(
+            f,
+            "unknown or malformed entity reference `&{};`",
+            self.reference
+        )
     }
 }
 
@@ -59,7 +63,9 @@ pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, EntityError> {
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos + 1..];
-        let end = rest.find(';').ok_or_else(|| EntityError { reference: rest.to_string() })?;
+        let end = rest.find(';').ok_or_else(|| EntityError {
+            reference: rest.to_string(),
+        })?;
         let name = &rest[..end];
         match name {
             "amp" => out.push('&'),
@@ -68,16 +74,18 @@ pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, EntityError> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ => {
-                let cp = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                let cp = if let Some(hex) =
+                    name.strip_prefix("#x").or_else(|| name.strip_prefix("#X"))
+                {
                     u32::from_str_radix(hex, 16).ok()
                 } else if let Some(dec) = name.strip_prefix('#') {
                     dec.parse::<u32>().ok()
                 } else {
                     None
                 };
-                let c = cp
-                    .and_then(char::from_u32)
-                    .ok_or_else(|| EntityError { reference: name.to_string() })?;
+                let c = cp.and_then(char::from_u32).ok_or_else(|| EntityError {
+                    reference: name.to_string(),
+                })?;
                 out.push(c);
             }
         }
@@ -103,12 +111,18 @@ mod tests {
 
     #[test]
     fn escape_attr_escapes_quotes() {
-        assert_eq!(escape_attr(r#"he said "hi"'s"#), "he said &quot;hi&quot;&apos;s");
+        assert_eq!(
+            escape_attr(r#"he said "hi"'s"#),
+            "he said &quot;hi&quot;&apos;s"
+        );
     }
 
     #[test]
     fn decode_predefined_entities() {
-        assert_eq!(decode_entities("a&lt;b&amp;c&gt;d&quot;&apos;").unwrap(), "a<b&c>d\"'");
+        assert_eq!(
+            decode_entities("a&lt;b&amp;c&gt;d&quot;&apos;").unwrap(),
+            "a<b&c>d\"'"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute from anything string-like.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Attribute { name: name.into(), value: value.into() }
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -55,12 +58,18 @@ pub enum Event {
 impl Event {
     /// Shorthand constructor for a start-element event without attributes.
     pub fn start(name: impl Into<String>) -> Self {
-        Event::StartElement { name: name.into(), attributes: Vec::new() }
+        Event::StartElement {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Shorthand constructor for a start-element event with attributes.
     pub fn start_with_attrs(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        Event::StartElement { name: name.into(), attributes }
+        Event::StartElement {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Shorthand constructor for an end-element event.
@@ -70,7 +79,9 @@ impl Event {
 
     /// Shorthand constructor for a text event.
     pub fn text(content: impl Into<String>) -> Self {
-        Event::Text { content: content.into() }
+        Event::Text {
+            content: content.into(),
+        }
     }
 
     /// Returns the element name if this is a start- or end-element event.

@@ -1,0 +1,310 @@
+//! A pull-based event source: [`EventIter`] adapts any [`std::io::Read`]
+//! into an `Iterator<Item = Result<Event, ParseError>>`, driving the
+//! incremental [`StreamingParser`] one fixed-size chunk at a time.
+//!
+//! This is the inversion of [`crate::parse_reader`]'s push model: instead
+//! of handing events to a callback, the consumer *pulls* them, which is
+//! what lets the engine layer compose filters, sessions, and event
+//! sources without ever materializing a `Vec<Event>`. Memory is bounded
+//! by the read buffer plus the largest single XML token, independent of
+//! document size — the setting the paper's space bounds are about.
+//!
+//! ```
+//! use fx_xml::{Event, EventIter};
+//!
+//! let doc = "<a><b>6</b></a>";
+//! let events: Vec<Event> = EventIter::new(doc.as_bytes())
+//!     .collect::<Result<_, _>>()
+//!     .unwrap();
+//! assert_eq!(events, fx_xml::parse(doc).unwrap());
+//! ```
+
+use crate::event::Event;
+use crate::parser::ParseError;
+use crate::reader::StreamingParser;
+use std::collections::VecDeque;
+use std::io::Read;
+
+/// Default read-chunk size in bytes.
+const DEFAULT_CHUNK: usize = 8 * 1024;
+
+/// An iterator of SAX events pulled from a byte stream.
+///
+/// The iterator is fused around errors: after yielding `Err(_)` once it
+/// yields `None` forever. `EndDocument` is emitted when the underlying
+/// reader reaches EOF and the document is complete.
+#[derive(Debug)]
+pub struct EventIter<R: Read> {
+    reader: R,
+    parser: StreamingParser,
+    pending: VecDeque<Event>,
+    /// Incomplete UTF-8 tail carried between reads.
+    carry: Vec<u8>,
+    /// Reused read buffer (allocated once, not per refill).
+    chunk: Vec<u8>,
+    /// A parse/read error waiting to be yielded once `pending` drains:
+    /// events completed before the fault are delivered first, so the
+    /// prefix a consumer sees does not depend on the chunk size.
+    error: Option<ParseError>,
+    eof: bool,
+    failed: bool,
+}
+
+impl<R: Read> EventIter<R> {
+    /// Wraps a reader with the default chunk size.
+    pub fn new(reader: R) -> EventIter<R> {
+        EventIter::with_chunk_size(reader, DEFAULT_CHUNK)
+    }
+
+    /// Wraps a reader, reading `chunk_size` bytes at a time (minimum 4,
+    /// so a UTF-8 scalar always fits).
+    pub fn with_chunk_size(reader: R, chunk_size: usize) -> EventIter<R> {
+        EventIter {
+            reader,
+            parser: StreamingParser::new(),
+            pending: VecDeque::new(),
+            carry: Vec::new(),
+            chunk: vec![0u8; chunk_size.max(4)],
+            error: None,
+            eof: false,
+            failed: false,
+        }
+    }
+
+    /// Keeps whitespace-only text nodes (dropped by default, matching
+    /// [`crate::parse`]).
+    pub fn keep_whitespace(mut self) -> EventIter<R> {
+        self.parser = self.parser.keep_whitespace();
+        self
+    }
+
+    /// Feeds `buf` (arbitrary byte boundary) to the parser, queuing every
+    /// completed event.
+    fn feed_bytes(&mut self, buf: &[u8], at_eof: bool) -> Result<(), ParseError> {
+        let mut data = std::mem::take(&mut self.carry);
+        data.extend_from_slice(buf);
+        let valid_len = match std::str::from_utf8(&data) {
+            Ok(_) => data.len(),
+            Err(e) if e.error_len().is_none() && !at_eof => e.valid_up_to(),
+            Err(e) => {
+                return Err(ParseError {
+                    message: format!("invalid UTF-8 in input: {e}"),
+                    line: 0,
+                    column: 0,
+                })
+            }
+        };
+        let text = std::str::from_utf8(&data[..valid_len]).expect("validated prefix");
+        let pending = &mut self.pending;
+        self.parser.feed(text, &mut |e| pending.push_back(e))?;
+        self.carry = data[valid_len..].to_vec();
+        Ok(())
+    }
+
+    fn pump(&mut self) -> Result<(), ParseError> {
+        // Move the buffer out for the duration of the loop so `read` and
+        // `feed_bytes` can borrow `self` independently; no allocation.
+        let mut buf = std::mem::take(&mut self.chunk);
+        let result = self.pump_into(&mut buf);
+        self.chunk = buf;
+        result
+    }
+
+    fn pump_into(&mut self, buf: &mut [u8]) -> Result<(), ParseError> {
+        while self.pending.is_empty() && !self.eof {
+            let n = match self.reader.read(buf) {
+                Ok(n) => n,
+                // Retriable by std::io convention (cf. read_to_end):
+                // a signal interrupted the read, not ended the stream.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(ParseError {
+                        message: format!("read error: {e}"),
+                        line: 0,
+                        column: 0,
+                    })
+                }
+            };
+            if n == 0 {
+                self.eof = true;
+                self.feed_bytes(&[], true)?;
+                let pending = &mut self.pending;
+                self.parser.finish(&mut |e| pending.push_back(e))?;
+            } else {
+                self.feed_bytes(&buf[..n], false)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for EventIter<R> {
+    type Item = Result<Event, ParseError>;
+
+    fn next(&mut self) -> Option<Result<Event, ParseError>> {
+        if self.failed {
+            return None;
+        }
+        if self.pending.is_empty() && self.error.is_none() {
+            if let Err(e) = self.pump() {
+                self.error = Some(e);
+            }
+        }
+        if let Some(event) = self.pending.pop_front() {
+            return Some(Ok(event));
+        }
+        if let Some(e) = self.error.take() {
+            self.failed = true;
+            return Some(Err(e));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::io::{Cursor, Read};
+
+    #[test]
+    fn yields_same_events_as_batch_parser() {
+        let xml = r#"<a id="1"><b>x &amp; y</b><!-- note --><c/>tail</a>"#;
+        for chunk in [1usize, 2, 3, 5, 7, 64, 8192] {
+            let events: Vec<Event> = EventIter::with_chunk_size(Cursor::new(xml.as_bytes()), chunk)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(events, parse(xml).unwrap(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn multibyte_utf8_split_across_chunks() {
+        let xml = "<a>héllo • wörld</a>";
+        for chunk in 1..=6usize {
+            let events: Vec<Event> = EventIter::with_chunk_size(Cursor::new(xml.as_bytes()), chunk)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(events, parse(xml).unwrap(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn error_then_fused() {
+        let mut it = EventIter::new(Cursor::new(b"<a><b></a>".as_ref()));
+        let mut saw_err = false;
+        for item in it.by_ref() {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(it.next().is_none(), "iterator must fuse after an error");
+    }
+
+    #[test]
+    fn events_before_an_error_are_yielded_regardless_of_chunk_size() {
+        // `<a><b/><b></a>`: the first three element events are valid; the
+        // mismatched end tag then faults. Every chunk size must deliver
+        // the same valid prefix before the single Err.
+        let bad = b"<a><b/><b></a>";
+        let mut expected: Option<Vec<Event>> = None;
+        for chunk in [1usize, 3, 8192] {
+            let mut events = Vec::new();
+            let mut errors = 0;
+            for item in EventIter::with_chunk_size(Cursor::new(bad.as_ref()), chunk) {
+                match item {
+                    Ok(e) => events.push(e),
+                    Err(_) => errors += 1,
+                }
+            }
+            assert_eq!(errors, 1, "chunk size {chunk}");
+            assert!(
+                events.contains(&Event::start("b")),
+                "valid prefix lost at chunk size {chunk}: {events:?}"
+            );
+            match &expected {
+                None => expected = Some(events),
+                Some(prev) => assert_eq!(&events, prev, "prefix differs at chunk size {chunk}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_document_errors_at_eof() {
+        let items: Vec<_> = EventIter::new(Cursor::new(b"<a><b>".as_ref())).collect();
+        assert!(items.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported() {
+        let bytes = b"<a>\xFF</a>";
+        let items: Vec<_> = EventIter::new(Cursor::new(bytes.as_ref())).collect();
+        assert!(items.iter().any(|i| i.is_err()));
+    }
+
+    #[test]
+    fn constant_queue_memory_on_large_documents() {
+        // The pull loop never holds more than one chunk's worth of events:
+        // the queue drains fully between reads.
+        let body: String = (0..5_000).map(|i| format!("<i>{i}</i>")).collect();
+        let xml = format!("<r>{body}</r>");
+        let mut it = EventIter::with_chunk_size(Cursor::new(xml.as_bytes()), 64);
+        let mut count = 0usize;
+        let mut max_queue = 0usize;
+        while let Some(item) = it.next() {
+            item.unwrap();
+            count += 1;
+            max_queue = max_queue.max(it.pending.len());
+        }
+        assert_eq!(count, 2 + 2 + 2 * 5_000 + 5_000); // docs + root + elements + texts
+        assert!(max_queue < 64, "queue stayed chunk-bounded: {max_queue}");
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        struct Flaky {
+            data: &'static [u8],
+            pos: usize,
+            hiccup: bool,
+        }
+        impl Read for Flaky {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if !self.hiccup {
+                    self.hiccup = true;
+                    return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+                }
+                self.hiccup = false;
+                let n = (self.data.len() - self.pos).min(out.len()).min(3);
+                out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let xml = "<a><b>6</b></a>";
+        let flaky = Flaky {
+            data: xml.as_bytes(),
+            pos: 0,
+            hiccup: false,
+        };
+        let events: Vec<Event> = EventIter::new(flaky).collect::<Result<_, _>>().unwrap();
+        assert_eq!(events, parse(xml).unwrap());
+    }
+
+    #[test]
+    fn keep_whitespace_mode() {
+        let xml = "<a> <b/></a>";
+        let with_ws: Vec<Event> = EventIter::new(Cursor::new(xml.as_bytes()))
+            .keep_whitespace()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(with_ws
+            .iter()
+            .any(|e| matches!(e, Event::Text { content } if content == " ")));
+        let without: Vec<Event> = EventIter::new(Cursor::new(xml.as_bytes()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(!without.iter().any(|e| matches!(e, Event::Text { .. })));
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod escape;
 pub mod event;
+pub mod iter;
 pub mod parser;
 pub mod reader;
 pub mod split;
@@ -27,9 +28,12 @@ pub mod writer;
 
 pub use escape::{decode_entities, escape_attr, escape_text};
 pub use event::{drive, notation, Attribute, Event, EventCollector, SaxHandler};
+pub use iter::EventIter;
 pub use parser::{parse, parse_with, ParseError, ParseOptions};
 pub use reader::{parse_reader, StreamingParser};
-pub use split::{element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation};
+pub use split::{
+    element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,
+};
 pub use wellformed::{check, is_well_formed, stream_depth, Violation};
 pub use writer::{to_pretty_xml, to_xml, WriteError};
 
@@ -51,16 +55,18 @@ mod proptests {
             v
         });
         leaf.prop_recursive(depth, 64, 4, move |inner| {
-            (prop::sample::select(vec!["r", "s", "t"]), prop::collection::vec(inner, 1..4)).prop_map(
-                |(n, kids)| {
+            (
+                prop::sample::select(vec!["r", "s", "t"]),
+                prop::collection::vec(inner, 1..4),
+            )
+                .prop_map(|(n, kids)| {
                     let mut v = vec![Event::start(n)];
                     for k in kids {
                         v.extend(k);
                     }
                     v.push(Event::end(n));
                     v
-                },
-            )
+                })
         })
     }
 

@@ -26,7 +26,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { keep_whitespace_text: false, coalesce_text: true }
+        ParseOptions {
+            keep_whitespace_text: false,
+            coalesce_text: true,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -89,7 +96,11 @@ impl<'a> Parser<'a> {
         let consumed = &self.input[..self.pos.min(self.input.len())];
         let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
         let column = consumed.len() - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
-        ParseError { message: message.into(), line, column }
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -226,7 +237,9 @@ impl<'a> Parser<'a> {
     fn parse_cdata(&mut self) -> Result<(), ParseError> {
         self.bump("<![CDATA[".len());
         let rest = &self.input[self.pos..];
-        let end = rest.find("]]>").ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let end = rest
+            .find("]]>")
+            .ok_or_else(|| self.err("unterminated CDATA section"))?;
         let content = rest[..end].to_string();
         if !self.options.coalesce_text && !self.pending_text.is_empty() {
             self.flush_text()?;
@@ -239,7 +252,9 @@ impl<'a> Parser<'a> {
     fn skip_comment(&mut self) -> Result<(), ParseError> {
         self.bump("<!--".len());
         let rest = &self.input[self.pos..];
-        let end = rest.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+        let end = rest
+            .find("-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
         self.bump(end + 3);
         Ok(())
     }
@@ -247,7 +262,9 @@ impl<'a> Parser<'a> {
     fn skip_pi(&mut self) -> Result<(), ParseError> {
         self.bump("<?".len());
         let rest = &self.input[self.pos..];
-        let end = rest.find("?>").ok_or_else(|| self.err("unterminated processing instruction"))?;
+        let end = rest
+            .find("?>")
+            .ok_or_else(|| self.err("unterminated processing instruction"))?;
         self.bump(end + 2);
         Ok(())
     }
@@ -271,9 +288,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -300,7 +316,10 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'>') => {
                     self.bump(1);
-                    self.events.push(Event::StartElement { name: name.clone(), attributes });
+                    self.events.push(Event::StartElement {
+                        name: name.clone(),
+                        attributes,
+                    });
                     self.stack.push(name);
                     return Ok(false);
                 }
@@ -309,8 +328,10 @@ impl<'a> Parser<'a> {
                         return Err(self.err("expected `/>`"));
                     }
                     self.bump(2);
-                    self.events
-                        .push(Event::StartElement { name: name.clone(), attributes });
+                    self.events.push(Event::StartElement {
+                        name: name.clone(),
+                        attributes,
+                    });
                     self.events.push(Event::EndElement { name });
                     return Ok(true);
                 }
@@ -342,12 +363,16 @@ impl<'a> Parser<'a> {
                     }
                     let raw = &self.input[start..self.pos];
                     self.bump(1);
-                    let value =
-                        decode_entities(raw).map_err(|e| self.err(e.to_string()))?.into_owned();
+                    let value = decode_entities(raw)
+                        .map_err(|e| self.err(e.to_string()))?
+                        .into_owned();
                     if attributes.iter().any(|a: &Attribute| a.name == attr_name) {
                         return Err(self.err(format!("duplicate attribute `{attr_name}`")));
                     }
-                    attributes.push(Attribute { name: attr_name, value });
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
                 }
                 None => return Err(self.err("unterminated start tag")),
             }
@@ -367,7 +392,9 @@ impl<'a> Parser<'a> {
                 self.events.push(Event::EndElement { name });
                 Ok(())
             }
-            Some(open) => Err(self.err(format!("mismatched end tag `</{name}>`; expected `</{open}>`"))),
+            Some(open) => Err(self.err(format!(
+                "mismatched end tag `</{name}>`; expected `</{open}>`"
+            ))),
             None => Err(self.err(format!("end tag `</{name}>` without matching start tag"))),
         }
     }
@@ -402,10 +429,15 @@ mod tests {
     fn keeps_whitespace_when_asked() {
         let events = parse_with(
             "<a> <b/></a>",
-            ParseOptions { keep_whitespace_text: true, coalesce_text: true },
+            ParseOptions {
+                keep_whitespace_text: true,
+                coalesce_text: true,
+            },
         )
         .unwrap();
-        assert!(events.iter().any(|e| matches!(e, Event::Text { content } if content == " ")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Text { content } if content == " ")));
     }
 
     #[test]

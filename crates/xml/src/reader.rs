@@ -48,15 +48,15 @@ impl StreamingParser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), line: 0, column: self.consumed + 1 }
+        ParseError {
+            message: message.into(),
+            line: 0,
+            column: self.consumed + 1,
+        }
     }
 
     /// Feeds a chunk, emitting every event that becomes complete.
-    pub fn feed(
-        &mut self,
-        chunk: &str,
-        emit: &mut dyn FnMut(Event),
-    ) -> Result<(), ParseError> {
+    pub fn feed(&mut self, chunk: &str, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
         self.buf.push_str(chunk);
         self.drain(false, emit)
     }
@@ -69,7 +69,10 @@ impl StreamingParser {
             return Err(self.err("unexpected trailing content at end of input"));
         }
         if !self.stack.is_empty() {
-            return Err(self.err(format!("unclosed element `{}`", self.stack.last().expect("non-empty"))));
+            return Err(self.err(format!(
+                "unclosed element `{}`",
+                self.stack.last().expect("non-empty")
+            )));
         }
         if !self.started {
             return Err(self.err("empty document"));
@@ -186,7 +189,10 @@ impl StreamingParser {
         if tag.starts_with("<!--") || tag.starts_with("<?") || tag.starts_with("<!DOCTYPE") {
             return Ok(());
         }
-        if let Some(cdata) = tag.strip_prefix("<![CDATA[").and_then(|t| t.strip_suffix("]]>")) {
+        if let Some(cdata) = tag
+            .strip_prefix("<![CDATA[")
+            .and_then(|t| t.strip_suffix("]]>"))
+        {
             if self.stack.is_empty() {
                 return Err(self.err("CDATA outside the root element"));
             }
@@ -202,7 +208,9 @@ impl StreamingParser {
                     emit(Event::end(name));
                     Ok(())
                 }
-                Some(open) => Err(self.err(format!("mismatched `</{name}>`; expected `</{open}>`"))),
+                Some(open) => {
+                    Err(self.err(format!("mismatched `</{name}>`; expected `</{open}>`")))
+                }
                 None => Err(self.err(format!("`</{name}>` without matching start tag"))),
             }
         } else {
@@ -227,7 +235,10 @@ impl StreamingParser {
                 self.started = true;
                 emit(Event::StartDocument);
             }
-            emit(Event::StartElement { name: name.to_string(), attributes });
+            emit(Event::StartElement {
+                name: name.to_string(),
+                attributes,
+            });
             if self_closing {
                 emit(Event::end(name));
             } else {
@@ -242,7 +253,9 @@ fn parse_attrs(s: &str) -> Result<Vec<Attribute>, String> {
     let mut out = Vec::new();
     let mut rest = s.trim();
     while !rest.is_empty() {
-        let eq = rest.find('=').ok_or_else(|| format!("expected `=` in attributes: `{rest}`"))?;
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("expected `=` in attributes: `{rest}`"))?;
         let name = rest[..eq].trim().to_string();
         rest = rest[eq + 1..].trim_start();
         let quote = rest.chars().next().filter(|&c| c == '"' || c == '\'');
@@ -251,7 +264,9 @@ fn parse_attrs(s: &str) -> Result<Vec<Attribute>, String> {
         };
         let close = rest[1..].find(q).ok_or("unterminated attribute value")? + 1;
         let raw = &rest[1..close];
-        let value = decode_entities(raw).map_err(|e| e.to_string())?.into_owned();
+        let value = decode_entities(raw)
+            .map_err(|e| e.to_string())?
+            .into_owned();
         if out.iter().any(|a: &Attribute| a.name == name) {
             return Err(format!("duplicate attribute `{name}`"));
         }
@@ -277,14 +292,19 @@ pub fn parse_reader<R: BufRead, H: SaxHandler>(
         Event::Text { content } => handler.text(content),
     };
     loop {
-        let chunk = reader
-            .fill_buf()
-            .map_err(|e| ParseError { message: e.to_string(), line: 0, column: 0 })?;
+        let chunk = reader.fill_buf().map_err(|e| ParseError {
+            message: e.to_string(),
+            line: 0,
+            column: 0,
+        })?;
         if chunk.is_empty() {
             break;
         }
-        let text = std::str::from_utf8(chunk)
-            .map_err(|e| ParseError { message: format!("invalid UTF-8: {e}"), line: 0, column: 0 })?;
+        let text = std::str::from_utf8(chunk).map_err(|e| ParseError {
+            message: format!("invalid UTF-8: {e}"),
+            line: 0,
+            column: 0,
+        })?;
         let len = chunk.len();
         parser.feed(text, &mut emit)?;
         reader.consume(len);
@@ -311,7 +331,9 @@ mod tests {
             while i < bytes.len() {
                 let end = (i + chunk_size).min(bytes.len());
                 // Respect UTF-8 boundaries (ASCII fixtures here).
-                parser.feed(std::str::from_utf8(&bytes[i..end]).unwrap(), &mut emit).unwrap();
+                parser
+                    .feed(std::str::from_utf8(&bytes[i..end]).unwrap(), &mut emit)
+                    .unwrap();
                 i = end;
             }
             parser.finish(&mut emit).unwrap();
@@ -393,11 +415,16 @@ mod tests {
                 self.starts += 1;
             }
         }
-        let body: String = (0..500).map(|i| format!("<item><price>{i}</price></item>")).collect();
+        let body: String = (0..500)
+            .map(|i| format!("<item><price>{i}</price></item>"))
+            .collect();
         let xml = format!("<catalog>{body}</catalog>");
         let mut counter = Counter::default();
-        parse_reader(std::io::BufReader::with_capacity(64, std::io::Cursor::new(xml)), &mut counter)
-            .unwrap();
+        parse_reader(
+            std::io::BufReader::with_capacity(64, std::io::Cursor::new(xml)),
+            &mut counter,
+        )
+        .unwrap();
         assert_eq!(counter.starts, 1001);
     }
 }

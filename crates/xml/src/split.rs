@@ -25,7 +25,10 @@ impl Segmentation {
     pub fn new(events: Vec<Event>, mut cuts: Vec<usize>) -> Self {
         cuts.sort_unstable();
         cuts.dedup();
-        assert!(cuts.iter().all(|&c| c <= events.len()), "cut point out of range");
+        assert!(
+            cuts.iter().all(|&c| c <= events.len()),
+            "cut point out of range"
+        );
         Segmentation { events, cuts }
     }
 
@@ -37,7 +40,11 @@ impl Segmentation {
     /// Returns segment `i` as a slice.
     pub fn segment(&self, i: usize) -> &[Event] {
         let start = if i == 0 { 0 } else { self.cuts[i - 1] };
-        let end = if i == self.cuts.len() { self.events.len() } else { self.cuts[i] };
+        let end = if i == self.cuts.len() {
+            self.events.len()
+        } else {
+            self.cuts[i]
+        };
         &self.events[start..end]
     }
 
@@ -69,12 +76,20 @@ pub fn find_nth(events: &[Event], n: usize, mut pred: impl FnMut(&Event) -> bool
 
 /// Index of the first `startElement(name)` event.
 pub fn first_start(events: &[Event], name: &str) -> Option<usize> {
-    find_nth(events, 0, |e| matches!(e, Event::StartElement { name: n, .. } if n == name))
+    find_nth(
+        events,
+        0,
+        |e| matches!(e, Event::StartElement { name: n, .. } if n == name),
+    )
 }
 
 /// Index of the first `endElement(name)` event.
 pub fn first_end(events: &[Event], name: &str) -> Option<usize> {
-    find_nth(events, 0, |e| matches!(e, Event::EndElement { name: n } if n == name))
+    find_nth(
+        events,
+        0,
+        |e| matches!(e, Event::EndElement { name: n } if n == name),
+    )
 }
 
 /// Given the index of a `startElement`, returns the index of its matching
@@ -149,7 +164,9 @@ mod tests {
             .filter(|e| matches!(e, Event::StartElement { name, .. } if name == "f"))
             .count();
         assert_eq!(fs, 2);
-        assert!(first_start(&spliced, "e").is_none() || first_start(&spliced, "e").unwrap() > cut_a);
+        assert!(
+            first_start(&spliced, "e").is_none() || first_start(&spliced, "e").unwrap() > cut_a
+        );
     }
 
     #[test]
@@ -176,9 +193,12 @@ mod tests {
     #[test]
     fn find_nth_counts_correctly() {
         let events = parse("<a><x/><x/><x/></a>").unwrap();
-        let second =
-            find_nth(&events, 1, |e| matches!(e, Event::StartElement { name, .. } if name == "x"))
-                .unwrap();
+        let second = find_nth(
+            &events,
+            1,
+            |e| matches!(e, Event::StartElement { name, .. } if name == "x"),
+        )
+        .unwrap();
         assert_eq!(events[second], Event::start("x"));
         assert_eq!(second, 4);
     }

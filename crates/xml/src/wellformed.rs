@@ -53,7 +53,11 @@ impl fmt::Display for Violation {
             Violation::MissingStartDocument => write!(f, "missing startDocument"),
             Violation::MissingEndDocument => write!(f, "missing endDocument"),
             Violation::StrayDocumentEvent { at } => write!(f, "stray document event at {at}"),
-            Violation::MismatchedEnd { at, expected, found } => match expected {
+            Violation::MismatchedEnd {
+                at,
+                expected,
+                found,
+            } => match expected {
                 Some(e) => write!(f, "mismatched end tag </{found}> at {at}; expected </{e}>"),
                 None => write!(f, "end tag </{found}> at {at} with no open element"),
             },
@@ -107,7 +111,11 @@ pub fn check(events: &[Event]) -> Result<(), Violation> {
                     })
                 }
                 None => {
-                    return Err(Violation::MismatchedEnd { at: i, expected: None, found: name.clone() })
+                    return Err(Violation::MismatchedEnd {
+                        at: i,
+                        expected: None,
+                        found: name.clone(),
+                    })
                 }
             },
             Event::Text { .. } => {
@@ -168,7 +176,10 @@ mod tests {
 
     #[test]
     fn detects_missing_envelope() {
-        assert_eq!(check(&[Event::start("a"), Event::end("a")]), Err(Violation::MissingStartDocument));
+        assert_eq!(
+            check(&[Event::start("a"), Event::end("a")]),
+            Err(Violation::MissingStartDocument)
+        );
         assert_eq!(
             check(&[Event::StartDocument, Event::start("a"), Event::end("a")]),
             Err(Violation::MissingEndDocument)
@@ -185,13 +196,19 @@ mod tests {
             Event::end("b"),
             Event::EndDocument,
         ];
-        assert!(matches!(check(&events), Err(Violation::MismatchedEnd { at: 3, .. })));
+        assert!(matches!(
+            check(&events),
+            Err(Violation::MismatchedEnd { at: 3, .. })
+        ));
     }
 
     #[test]
     fn detects_unclosed() {
         let events = vec![Event::StartDocument, Event::start("a"), Event::EndDocument];
-        assert!(matches!(check(&events), Err(Violation::UnclosedElements { .. })));
+        assert!(matches!(
+            check(&events),
+            Err(Violation::UnclosedElements { .. })
+        ));
     }
 
     #[test]
@@ -204,12 +221,18 @@ mod tests {
             Event::end("b"),
             Event::EndDocument,
         ];
-        assert!(matches!(check(&events), Err(Violation::MultipleRoots { at: 3 })));
+        assert!(matches!(
+            check(&events),
+            Err(Violation::MultipleRoots { at: 3 })
+        ));
     }
 
     #[test]
     fn detects_empty_document() {
-        assert_eq!(check(&[Event::StartDocument, Event::EndDocument]), Err(Violation::NoRootElement));
+        assert_eq!(
+            check(&[Event::StartDocument, Event::EndDocument]),
+            Err(Violation::NoRootElement)
+        );
     }
 
     #[test]

@@ -60,14 +60,20 @@ pub fn to_xml(events: &[Event]) -> Result<String, WriteError> {
             Event::Text { content } => {
                 flush(&mut out, &mut pending);
                 if content.is_empty() {
-                    return Err(WriteError { message: "empty text event".into(), at: i });
+                    return Err(WriteError {
+                        message: "empty text event".into(),
+                        at: i,
+                    });
                 }
                 out.push_str(&escape_text(content));
             }
         }
     }
     if pending.is_some() {
-        return Err(WriteError { message: "unterminated start tag".into(), at: events.len() });
+        return Err(WriteError {
+            message: "unterminated start tag".into(),
+            at: events.len(),
+        });
     }
     Ok(out)
 }
@@ -97,7 +103,9 @@ pub fn to_pretty_xml(events: &[Event]) -> Result<String, WriteError> {
                         out.push_str("/>");
                         i += 1;
                     }
-                    Some(Event::Text { content }) if matches!(events.get(i + 2), Some(Event::EndElement { .. })) => {
+                    Some(Event::Text { content })
+                        if matches!(events.get(i + 2), Some(Event::EndElement { .. })) =>
+                    {
                         out.push('>');
                         out.push_str(&escape_text(content));
                         out.push_str(&format!("</{name}>"));

@@ -89,7 +89,14 @@ pub enum CompOp {
 
 impl CompOp {
     /// All six operators.
-    pub const ALL: [CompOp; 6] = [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge];
+    pub const ALL: [CompOp; 6] = [
+        CompOp::Eq,
+        CompOp::Ne,
+        CompOp::Lt,
+        CompOp::Le,
+        CompOp::Gt,
+        CompOp::Ge,
+    ];
 
     /// Whether the operator imposes a numeric ordering (everything except
     /// `=`/`!=`, which compare by type).
@@ -238,7 +245,12 @@ impl Func {
     pub fn output_is_boolean(self) -> bool {
         matches!(
             self,
-            Func::Contains | Func::StartsWith | Func::EndsWith | Func::Matches | Func::True | Func::False
+            Func::Contains
+                | Func::StartsWith
+                | Func::EndsWith
+                | Func::Matches
+                | Func::True
+                | Func::False
         )
     }
 
@@ -483,7 +495,11 @@ impl Query {
     /// (§3.1.2).
     pub fn predicate_children(&self, id: QueryNodeId) -> Vec<QueryNodeId> {
         let succ = self.successor(id);
-        self.children(id).iter().copied().filter(|&c| Some(c) != succ).collect()
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| Some(c) != succ)
+            .collect()
     }
 
     /// `LEAF(u)`: the succession leaf reached by repeatedly following
@@ -607,8 +623,11 @@ impl Query {
                     return Err(format!("successor of {id} is not its child"));
                 }
             }
-            let vars: Vec<QueryNodeId> =
-                node.predicate.as_ref().map(|p| p.vars()).unwrap_or_default();
+            let vars: Vec<QueryNodeId> = node
+                .predicate
+                .as_ref()
+                .map(|p| p.vars())
+                .unwrap_or_default();
             for &v in &vars {
                 if self.parent(v) != Some(id) {
                     return Err(format!("predicate of {id} points at non-child {v}"));
@@ -622,11 +641,15 @@ impl Query {
             let before = sorted.len();
             sorted.dedup();
             if sorted.len() != before {
-                return Err(format!("two predicate leaves of {id} point at the same child"));
+                return Err(format!(
+                    "two predicate leaves of {id} point at the same child"
+                ));
             }
             for pc in self.predicate_children(id) {
                 if !vars.contains(&pc) {
-                    return Err(format!("child {pc} of {id} is neither successor nor pointed to by the predicate"));
+                    return Err(format!(
+                        "child {pc} of {id} is neither successor nor pointed to by the predicate"
+                    ));
                 }
             }
         }
@@ -725,7 +748,11 @@ mod tests {
 
     #[test]
     fn expr_classifications() {
-        let cmp = Expr::comp(CompOp::Gt, Expr::Var(QueryNodeId(1)), Expr::Const(Value::Number(5.0)));
+        let cmp = Expr::comp(
+            CompOp::Gt,
+            Expr::Var(QueryNodeId(1)),
+            Expr::Const(Value::Number(5.0)),
+        );
         assert!(cmp.output_is_boolean());
         assert!(!cmp.is_boolean_operator());
         let conj = Expr::and(cmp.clone(), cmp.clone());

@@ -38,7 +38,11 @@ fn write_step(q: &Query, node: QueryNodeId, out: &mut String, relative_first: bo
         (Axis::Attribute, false) => "/@",
     };
     out.push_str(axis_str);
-    let _ = write!(out, "{}", q.ntest(node).expect("non-root nodes have a node test"));
+    let _ = write!(
+        out,
+        "{}",
+        q.ntest(node).expect("non-root nodes have a node test")
+    );
     if let Some(pred) = q.predicate(node) {
         out.push('[');
         write_expr(q, pred, out, 0);

@@ -49,7 +49,10 @@ mod proptests {
             "",
         ]);
         prop::collection::vec((axis, name, pred), 1..5).prop_map(|steps| {
-            steps.into_iter().map(|(a, n, p)| format!("{a}{n}{p}")).collect::<String>()
+            steps
+                .into_iter()
+                .map(|(a, n, p)| format!("{a}{n}{p}"))
+                .collect::<String>()
         })
     }
 

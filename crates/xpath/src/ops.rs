@@ -64,7 +64,9 @@ pub fn eval_expr(
             let rhs = eval_expr(b, resolve)?.ebv();
             Ok(EvalResult::Atomic(Value::Bool(lhs || rhs)))
         }
-        Expr::Not(a) => Ok(EvalResult::Atomic(Value::Bool(!eval_expr(a, resolve)?.ebv()))),
+        Expr::Not(a) => Ok(EvalResult::Atomic(Value::Bool(
+            !eval_expr(a, resolve)?.ebv(),
+        ))),
         // Part 4: boolean output, non-boolean arguments — existential.
         Expr::Comp(op, a, b) => {
             let pa = eval_expr(a, resolve)?.into_sequence();
@@ -76,7 +78,10 @@ pub fn eval_expr(
         Expr::Call(f, args) if f.output_is_boolean() => {
             let (lo, hi) = f.arity();
             if args.len() < lo || args.len() > hi {
-                return Err(EvalError::Arity { func: *f, got: args.len() });
+                return Err(EvalError::Arity {
+                    func: *f,
+                    got: args.len(),
+                });
             }
             let seqs: Vec<Vec<Value>> = args
                 .iter()
@@ -108,7 +113,10 @@ pub fn eval_expr(
         Expr::Call(f, args) => {
             let (lo, hi) = f.arity();
             if args.len() < lo || args.len() > hi {
-                return Err(EvalError::Arity { func: *f, got: args.len() });
+                return Err(EvalError::Arity {
+                    func: *f,
+                    got: args.len(),
+                });
             }
             let seqs: Vec<Vec<Value>> = args
                 .iter()
@@ -220,7 +228,11 @@ pub fn apply_arith(op: ArithOp, a: &Value, b: &Value) -> Value {
         ArithOp::Mod => {
             // XPath `mod`: result has the sign of the dividend.
             let r = x % y;
-            if r.is_nan() { f64::NAN } else { r }
+            if r.is_nan() {
+                f64::NAN
+            } else {
+                r
+            }
         }
     })
 }
@@ -243,7 +255,11 @@ pub fn apply_func(f: Func, args: &[Value]) -> Result<Value, EvalError> {
             // 1-based `start`, optional `len`, per F&O (rounded).
             let text: Vec<char> = s(0).chars().collect();
             let start = n(1).round();
-            let end = if args.len() == 3 { start + n(2).round() } else { f64::INFINITY };
+            let end = if args.len() == 3 {
+                start + n(2).round()
+            } else {
+                f64::INFINITY
+            };
             let mut out = String::new();
             for (i, c) in text.iter().enumerate() {
                 let pos = (i + 1) as f64;
@@ -278,7 +294,10 @@ pub fn apply_func(f: Func, args: &[Value]) -> Result<Value, EvalError> {
 /// is true even when the candidate's string value is empty.
 pub fn eval_with_binding(expr: &Expr, var: QueryNodeId, value: &str) -> Result<bool, EvalError> {
     let mut resolve = |v: QueryNodeId| {
-        debug_assert_eq!(v, var, "univariate predicate resolved an unexpected variable");
+        debug_assert_eq!(
+            v, var,
+            "univariate predicate resolved an unexpected variable"
+        );
         EvalResult::Sequence(vec![Value::str(value)])
     };
     Ok(eval_expr(expr, &mut resolve)?.ebv())
@@ -319,11 +338,14 @@ mod tests {
         // existential rule applies to the whole comparison.
         let expr = Expr::comp(
             CompOp::Eq,
-            Expr::Arith(ArithOp::Add, Box::new(Expr::Var(var())), Box::new(Expr::Const(V::Number(2.0)))),
+            Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::Var(var())),
+                Box::new(Expr::Const(V::Number(2.0))),
+            ),
             Expr::Const(V::Number(5.0)),
         );
-        let mut resolve =
-            |_| EvalResult::Sequence(vec![V::str("0"), V::str("3")]);
+        let mut resolve = |_| EvalResult::Sequence(vec![V::str("0"), V::str("3")]);
         let out = eval_expr(&expr, &mut resolve).unwrap();
         assert_eq!(out, EvalResult::Atomic(V::Bool(true)));
     }
@@ -346,7 +368,12 @@ mod tests {
         let out = eval_expr(&expr, &mut resolve).unwrap();
         assert_eq!(
             out,
-            EvalResult::Sequence(vec![V::Number(11.0), V::Number(21.0), V::Number(12.0), V::Number(22.0)])
+            EvalResult::Sequence(vec![
+                V::Number(11.0),
+                V::Number(21.0),
+                V::Number(12.0),
+                V::Number(22.0)
+            ])
         );
     }
 
@@ -356,7 +383,10 @@ mod tests {
         let f = Expr::Const(V::str(""));
         assert!(eval_bound(&Expr::and(t.clone(), t.clone()), ""));
         assert!(!eval_bound(&Expr::and(t.clone(), f.clone()), ""));
-        assert!(eval_bound(&Expr::Or(Box::new(f.clone()), Box::new(t.clone())), ""));
+        assert!(eval_bound(
+            &Expr::Or(Box::new(f.clone()), Box::new(t.clone())),
+            ""
+        ));
         assert!(eval_bound(&Expr::Not(Box::new(f)), ""));
     }
 
@@ -364,7 +394,10 @@ mod tests {
     fn empty_sequence_comparison_is_false() {
         let expr = Expr::comp(CompOp::Eq, Expr::Var(var()), Expr::Const(V::Number(1.0)));
         let mut resolve = |_| EvalResult::Sequence(vec![]);
-        assert_eq!(eval_expr(&expr, &mut resolve).unwrap(), EvalResult::Atomic(V::Bool(false)));
+        assert_eq!(
+            eval_expr(&expr, &mut resolve).unwrap(),
+            EvalResult::Atomic(V::Bool(false))
+        );
     }
 
     #[test]
@@ -374,43 +407,103 @@ mod tests {
             vec![Expr::Var(var()), Expr::Const(V::str("ab"))],
         );
         let mut resolve = |_| EvalResult::Sequence(vec![V::str("xy"), V::str("abz")]);
-        assert_eq!(eval_expr(&expr, &mut resolve).unwrap(), EvalResult::Atomic(V::Bool(true)));
+        assert_eq!(
+            eval_expr(&expr, &mut resolve).unwrap(),
+            EvalResult::Atomic(V::Bool(true))
+        );
     }
 
     #[test]
     fn string_functions() {
-        assert_eq!(apply_func(Func::Concat, &[V::str("a"), V::str("b"), V::str("c")]).unwrap(), V::str("abc"));
-        assert_eq!(apply_func(Func::StringLength, &[V::str("héllo")]).unwrap(), V::Number(5.0));
-        assert_eq!(apply_func(Func::Substring, &[V::str("hello"), V::Number(2.0), V::Number(3.0)]).unwrap(), V::str("ell"));
-        assert_eq!(apply_func(Func::Substring, &[V::str("hello"), V::Number(3.0)]).unwrap(), V::str("llo"));
-        assert_eq!(apply_func(Func::NormalizeSpace, &[V::str("  a  b ")]).unwrap(), V::str("a b"));
-        assert_eq!(apply_func(Func::UpperCase, &[V::str("ab")]).unwrap(), V::str("AB"));
+        assert_eq!(
+            apply_func(Func::Concat, &[V::str("a"), V::str("b"), V::str("c")]).unwrap(),
+            V::str("abc")
+        );
+        assert_eq!(
+            apply_func(Func::StringLength, &[V::str("héllo")]).unwrap(),
+            V::Number(5.0)
+        );
+        assert_eq!(
+            apply_func(
+                Func::Substring,
+                &[V::str("hello"), V::Number(2.0), V::Number(3.0)]
+            )
+            .unwrap(),
+            V::str("ell")
+        );
+        assert_eq!(
+            apply_func(Func::Substring, &[V::str("hello"), V::Number(3.0)]).unwrap(),
+            V::str("llo")
+        );
+        assert_eq!(
+            apply_func(Func::NormalizeSpace, &[V::str("  a  b ")]).unwrap(),
+            V::str("a b")
+        );
+        assert_eq!(
+            apply_func(Func::UpperCase, &[V::str("ab")]).unwrap(),
+            V::str("AB")
+        );
     }
 
     #[test]
     fn numeric_functions() {
-        assert_eq!(apply_func(Func::Floor, &[V::Number(2.7)]).unwrap(), V::Number(2.0));
-        assert_eq!(apply_func(Func::Ceiling, &[V::Number(2.1)]).unwrap(), V::Number(3.0));
-        assert_eq!(apply_func(Func::Round, &[V::Number(2.5)]).unwrap(), V::Number(3.0));
-        assert_eq!(apply_func(Func::Round, &[V::Number(-2.5)]).unwrap(), V::Number(-2.0));
-        assert_eq!(apply_func(Func::Abs, &[V::Number(-3.0)]).unwrap(), V::Number(3.0));
+        assert_eq!(
+            apply_func(Func::Floor, &[V::Number(2.7)]).unwrap(),
+            V::Number(2.0)
+        );
+        assert_eq!(
+            apply_func(Func::Ceiling, &[V::Number(2.1)]).unwrap(),
+            V::Number(3.0)
+        );
+        assert_eq!(
+            apply_func(Func::Round, &[V::Number(2.5)]).unwrap(),
+            V::Number(3.0)
+        );
+        assert_eq!(
+            apply_func(Func::Round, &[V::Number(-2.5)]).unwrap(),
+            V::Number(-2.0)
+        );
+        assert_eq!(
+            apply_func(Func::Abs, &[V::Number(-3.0)]).unwrap(),
+            V::Number(3.0)
+        );
     }
 
     #[test]
     fn arith_ops() {
-        assert_eq!(apply_arith(ArithOp::Add, &V::str("2"), &V::Number(3.0)), V::Number(5.0));
-        assert_eq!(apply_arith(ArithOp::IDiv, &V::Number(7.0), &V::Number(2.0)), V::Number(3.0));
-        assert_eq!(apply_arith(ArithOp::Mod, &V::Number(7.0), &V::Number(2.0)), V::Number(1.0));
-        assert_eq!(apply_arith(ArithOp::Mod, &V::Number(-7.0), &V::Number(2.0)), V::Number(-1.0));
-        assert!(apply_arith(ArithOp::Div, &V::str("x"), &V::Number(2.0)).to_number().is_nan());
+        assert_eq!(
+            apply_arith(ArithOp::Add, &V::str("2"), &V::Number(3.0)),
+            V::Number(5.0)
+        );
+        assert_eq!(
+            apply_arith(ArithOp::IDiv, &V::Number(7.0), &V::Number(2.0)),
+            V::Number(3.0)
+        );
+        assert_eq!(
+            apply_arith(ArithOp::Mod, &V::Number(7.0), &V::Number(2.0)),
+            V::Number(1.0)
+        );
+        assert_eq!(
+            apply_arith(ArithOp::Mod, &V::Number(-7.0), &V::Number(2.0)),
+            V::Number(-1.0)
+        );
+        assert!(apply_arith(ArithOp::Div, &V::str("x"), &V::Number(2.0))
+            .to_number()
+            .is_nan());
     }
 
     #[test]
     fn matches_function() {
-        let expr = Expr::Call(Func::Matches, vec![Expr::Var(var()), Expr::Const(V::str("^A.*B$"))]);
+        let expr = Expr::Call(
+            Func::Matches,
+            vec![Expr::Var(var()), Expr::Const(V::str("^A.*B$"))],
+        );
         assert!(eval_bound(&expr, "AxB"));
         assert!(!eval_bound(&expr, "AxC"));
-        let bad = Expr::Call(Func::Matches, vec![Expr::Var(var()), Expr::Const(V::str("("))]);
+        let bad = Expr::Call(
+            Func::Matches,
+            vec![Expr::Var(var()), Expr::Const(V::str("("))],
+        );
         assert!(matches!(
             eval_with_binding(&bad, var(), "x"),
             Err(EvalError::BadPattern(_))
@@ -420,6 +513,9 @@ mod tests {
     #[test]
     fn arity_errors() {
         let e = Expr::Call(Func::Contains, vec![Expr::Const(V::str("a"))]);
-        assert!(matches!(eval_with_binding(&e, var(), ""), Err(EvalError::Arity { .. })));
+        assert!(matches!(
+            eval_with_binding(&e, var(), ""),
+            Err(EvalError::Arity { .. })
+        ));
     }
 }

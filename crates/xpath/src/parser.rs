@@ -44,13 +44,18 @@ impl std::error::Error for QueryParseError {}
 /// Parses a Forward XPath query string into a [`Query`] tree.
 pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
     let tokens = lex(input)?;
-    let mut p = P { tokens: &tokens, pos: 0, query: Query::new() };
+    let mut p = P {
+        tokens: &tokens,
+        pos: 0,
+        query: Query::new(),
+    };
     p.parse_path()?;
     p.expect_eof()?;
     let query = p.query;
-    query
-        .validate()
-        .map_err(|m| QueryParseError { message: format!("internal invariant violated: {m}"), at: 0 })?;
+    query.validate().map_err(|m| QueryParseError {
+        message: format!("internal invariant violated: {m}"),
+        at: 0,
+    })?;
     Ok(query)
 }
 
@@ -138,8 +143,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                     i += 3;
                 } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     // A decimal like `.5`.
-                    let (n, len) = lex_number(&input[i..])
-                        .ok_or_else(|| QueryParseError { message: "bad number".into(), at })?;
+                    let (n, len) = lex_number(&input[i..]).ok_or_else(|| QueryParseError {
+                        message: "bad number".into(),
+                        at,
+                    })?;
                     toks.push((Tok::Number(n), at));
                     i += len;
                 } else {
@@ -194,7 +201,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                     toks.push((Tok::Ne, at));
                     i += 2;
                 } else {
-                    return Err(QueryParseError { message: "expected `!=`".into(), at });
+                    return Err(QueryParseError {
+                        message: "expected `!=`".into(),
+                        at,
+                    });
                 }
             }
             b'<' => {
@@ -222,14 +232,19 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(QueryParseError { message: "unterminated string literal".into(), at });
+                    return Err(QueryParseError {
+                        message: "unterminated string literal".into(),
+                        at,
+                    });
                 }
                 toks.push((Tok::Str(input[i + 1..j].to_string()), at));
                 i = j + 1;
             }
             b'0'..=b'9' => {
-                let (n, len) = lex_number(&input[i..])
-                    .ok_or_else(|| QueryParseError { message: "bad number".into(), at })?;
+                let (n, len) = lex_number(&input[i..]).ok_or_else(|| QueryParseError {
+                    message: "bad number".into(),
+                    at,
+                })?;
                 toks.push((Tok::Number(n), at));
                 i += len;
             }
@@ -239,9 +254,8 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                 let start = i;
                 while i < bytes.len() {
                     let c = bytes[i];
-                    let ok = c.is_ascii_alphanumeric()
-                        || matches!(c, b'_' | b'-' | b':')
-                        || c >= 0x80;
+                    let ok =
+                        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':') || c >= 0x80;
                     if !ok {
                         break;
                     }
@@ -249,7 +263,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, QueryParseError> {
                 }
                 if i == start {
                     return Err(QueryParseError {
-                        message: format!("unexpected character `{}`", &input[i..].chars().next().unwrap()),
+                        message: format!(
+                            "unexpected character `{}`",
+                            &input[i..].chars().next().unwrap()
+                        ),
                         at,
                     });
                 }
@@ -296,9 +313,10 @@ impl P<'_> {
     }
 
     fn at(&self) -> usize {
-        self.tokens.get(self.pos).map(|&(_, a)| a).unwrap_or_else(|| {
-            self.tokens.last().map(|&(_, a)| a + 1).unwrap_or(0)
-        })
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, a)| a)
+            .unwrap_or_else(|| self.tokens.last().map(|&(_, a)| a + 1).unwrap_or(0))
     }
 
     fn next(&mut self) -> Option<&Tok> {
@@ -310,7 +328,10 @@ impl P<'_> {
     }
 
     fn err(&self, message: impl Into<String>) -> QueryParseError {
-        QueryParseError { message: message.into(), at: self.at() }
+        QueryParseError {
+            message: message.into(),
+            at: self.at(),
+        }
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), QueryParseError> {
@@ -320,7 +341,9 @@ impl P<'_> {
         } else {
             Err(self.err(format!(
                 "expected `{tok}`, found {}",
-                self.peek().map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -367,7 +390,11 @@ impl P<'_> {
 
     /// Parses `NodeTest ('[' Predicate ']')?` under `parent` with `axis`,
     /// marks the node as successor of `parent`, and returns it.
-    fn parse_step(&mut self, parent: QueryNodeId, axis: Axis) -> Result<QueryNodeId, QueryParseError> {
+    fn parse_step(
+        &mut self,
+        parent: QueryNodeId,
+        axis: Axis,
+    ) -> Result<QueryNodeId, QueryParseError> {
         let ntest = self.parse_node_test()?;
         let node = self.query.add_node(parent, axis, ntest);
         self.query.set_successor(parent, node);
@@ -385,13 +412,17 @@ impl P<'_> {
             Some(Tok::Star) => Ok(NodeTest::Wildcard),
             Some(Tok::Name(n)) => {
                 if n == "position" || n == "last" {
-                    return Err(self.err(format!("`{n}()` is excluded from Forward XPath (Fig. 1)")));
+                    return Err(
+                        self.err(format!("`{n}()` is excluded from Forward XPath (Fig. 1)"))
+                    );
                 }
                 Ok(NodeTest::Name(n))
             }
             other => Err(self.err(format!(
                 "expected a node test, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -514,7 +545,9 @@ impl P<'_> {
                 Ok(Expr::Var(var))
             }
             Some(Tok::Name(name)) => {
-                if name == "not" && self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
+                if name == "not"
+                    && self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen)
+                {
                     self.pos += 2;
                     let inner = self.parse_or(owner)?;
                     self.expect(Tok::RParen)?;
@@ -523,7 +556,9 @@ impl P<'_> {
                 let fname = name.strip_prefix("fn:").unwrap_or(&name);
                 if self.tokens.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) {
                     if fname == "position" || fname == "last" {
-                        return Err(self.err(format!("`{fname}()` is excluded from Forward XPath (Fig. 1)")));
+                        return Err(self.err(format!(
+                            "`{fname}()` is excluded from Forward XPath (Fig. 1)"
+                        )));
                     }
                     if let Some(func) = Func::by_name(fname) {
                         self.pos += 2;
@@ -541,7 +576,11 @@ impl P<'_> {
                             return Err(self.err(format!(
                                 "{}() takes {} argument(s), got {}",
                                 func.name(),
-                                if lo == hi { lo.to_string() } else { format!("{lo}..") },
+                                if lo == hi {
+                                    lo.to_string()
+                                } else {
+                                    format!("{lo}..")
+                                },
                                 args.len()
                             )));
                         }
@@ -555,14 +594,20 @@ impl P<'_> {
             }
             other => Err(self.err(format!(
                 "expected an expression, found {}",
-                other.map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
 
     /// `RelPath`: builds a chain of nodes under `owner` (the first step as a
     /// predicate child, the rest as successors) and returns the first node.
-    fn parse_rel_path(&mut self, owner: QueryNodeId, first_axis: Axis) -> Result<QueryNodeId, QueryParseError> {
+    fn parse_rel_path(
+        &mut self,
+        owner: QueryNodeId,
+        first_axis: Axis,
+    ) -> Result<QueryNodeId, QueryParseError> {
         let ntest = self.parse_node_test()?;
         let first = self.query.add_node(owner, first_axis, ntest);
         if self.peek() == Some(&Tok::LBracket) {
@@ -673,10 +718,9 @@ mod tests {
 
     #[test]
     fn parses_functions() {
-        let q = parse_query(
-            "/a[fn:matches(b,\"^A.*B$\") and matches(b,'AB') and starts-with(c, 'x')]",
-        )
-        .unwrap();
+        let q =
+            parse_query("/a[fn:matches(b,\"^A.*B$\") and matches(b,'AB') and starts-with(c, 'x')]")
+                .unwrap();
         let a = q.successor(q.root()).unwrap();
         assert_eq!(q.predicate_children(a).len(), 3);
     }

@@ -41,23 +41,39 @@ type Alt = Vec<Vec<Node>>;
 enum Node {
     Char(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Start,
     End,
     Group(Alt),
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 impl Regex {
     /// Compiles a pattern.
     pub fn new(pattern: &str) -> Result<Regex, RegexError> {
         let chars: Vec<char> = pattern.chars().collect();
-        let mut p = Parser { chars: &chars, pos: 0 };
+        let mut p = Parser {
+            chars: &chars,
+            pos: 0,
+        };
         let alt = p.parse_alt()?;
         if p.pos != chars.len() {
-            return Err(RegexError { message: "unbalanced `)`".into(), at: p.pos });
+            return Err(RegexError {
+                message: "unbalanced `)`".into(),
+                at: p.pos,
+            });
         }
-        Ok(Regex { alt, pattern: pattern.to_string() })
+        Ok(Regex {
+            alt,
+            pattern: pattern.to_string(),
+        })
     }
 
     /// The original pattern text.
@@ -114,14 +130,29 @@ impl Parser<'_> {
 
     fn parse_quantifier(&mut self, atom: Node) -> Result<Node, RegexError> {
         let node = match self.peek() {
-            Some('*') => Node::Repeat { node: Box::new(atom), min: 0, max: None },
-            Some('+') => Node::Repeat { node: Box::new(atom), min: 1, max: None },
-            Some('?') => Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) },
+            Some('*') => Node::Repeat {
+                node: Box::new(atom),
+                min: 0,
+                max: None,
+            },
+            Some('+') => Node::Repeat {
+                node: Box::new(atom),
+                min: 1,
+                max: None,
+            },
+            Some('?') => Node::Repeat {
+                node: Box::new(atom),
+                min: 0,
+                max: Some(1),
+            },
             _ => return Ok(atom),
         };
         self.pos += 1;
         if matches!(self.peek(), Some('*' | '+' | '?')) {
-            return Err(RegexError { message: "double quantifier".into(), at: self.pos });
+            return Err(RegexError {
+                message: "double quantifier".into(),
+                at: self.pos,
+            });
         }
         Ok(node)
     }
@@ -137,7 +168,10 @@ impl Parser<'_> {
             '(' => {
                 let inner = self.parse_alt()?;
                 if self.peek() != Some(')') {
-                    return Err(RegexError { message: "unterminated group".into(), at });
+                    return Err(RegexError {
+                        message: "unterminated group".into(),
+                        at,
+                    });
                 }
                 self.pos += 1;
                 Node::Group(inner)
@@ -145,21 +179,30 @@ impl Parser<'_> {
             '[' => self.parse_class(at)?,
             '\\' => self.parse_escape(at)?,
             '*' | '+' | '?' => {
-                return Err(RegexError { message: "quantifier with nothing to repeat".into(), at })
+                return Err(RegexError {
+                    message: "quantifier with nothing to repeat".into(),
+                    at,
+                })
             }
             other => Node::Char(other),
         })
     }
 
     fn parse_escape(&mut self, at: usize) -> Result<Node, RegexError> {
-        let c = *self
-            .chars
-            .get(self.pos)
-            .ok_or_else(|| RegexError { message: "dangling escape".into(), at })?;
+        let c = *self.chars.get(self.pos).ok_or_else(|| RegexError {
+            message: "dangling escape".into(),
+            at,
+        })?;
         self.pos += 1;
         Ok(match c {
-            'd' => Node::Class { negated: false, ranges: vec![('0', '9')] },
-            'D' => Node::Class { negated: true, ranges: vec![('0', '9')] },
+            'd' => Node::Class {
+                negated: false,
+                ranges: vec![('0', '9')],
+            },
+            'D' => Node::Class {
+                negated: true,
+                ranges: vec![('0', '9')],
+            },
             'w' => Node::Class {
                 negated: false,
                 ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
@@ -182,10 +225,10 @@ impl Parser<'_> {
         }
         let mut ranges = Vec::new();
         loop {
-            let c = *self
-                .chars
-                .get(self.pos)
-                .ok_or_else(|| RegexError { message: "unterminated character class".into(), at })?;
+            let c = *self.chars.get(self.pos).ok_or_else(|| RegexError {
+                message: "unterminated character class".into(),
+                at,
+            })?;
             if c == ']' && !ranges.is_empty() {
                 self.pos += 1;
                 break;
@@ -209,7 +252,10 @@ impl Parser<'_> {
                 })?;
                 self.pos += 1;
                 if hi < lo {
-                    return Err(RegexError { message: "inverted range".into(), at });
+                    return Err(RegexError {
+                        message: "inverted range".into(),
+                        at,
+                    });
                 }
                 ranges.push((lo, hi));
             } else {
@@ -226,7 +272,13 @@ impl Parser<'_> {
 
 /// Matches `alt` starting exactly at `pos`, calling `k` with the end
 /// position of each candidate match; succeeds if `k` accepts one.
-fn match_alt(alt: &Alt, text: &[char], pos: usize, total: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+fn match_alt(
+    alt: &Alt,
+    text: &[char],
+    pos: usize,
+    total: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
     alt.iter().any(|seq| match_seq(seq, 0, text, pos, total, k))
 }
 
@@ -244,18 +296,18 @@ fn match_seq(
     match &seq[i] {
         Node::Start => pos == 0 && match_seq(seq, i + 1, text, pos, total, k),
         Node::End => pos == total && match_seq(seq, i + 1, text, pos, total, k),
-        Node::Char(c) => {
-            text.get(pos) == Some(c) && match_seq(seq, i + 1, text, pos + 1, total, k)
-        }
+        Node::Char(c) => text.get(pos) == Some(c) && match_seq(seq, i + 1, text, pos + 1, total, k),
         Node::Any => pos < total && match_seq(seq, i + 1, text, pos + 1, total, k),
         Node::Class { negated, ranges } => {
-            let Some(&c) = text.get(pos) else { return false };
+            let Some(&c) = text.get(pos) else {
+                return false;
+            };
             let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
             (inside != *negated) && match_seq(seq, i + 1, text, pos + 1, total, k)
         }
-        Node::Group(inner) => {
-            match_alt(inner, text, pos, total, &mut |end| match_seq(seq, i + 1, text, end, total, k))
-        }
+        Node::Group(inner) => match_alt(inner, text, pos, total, &mut |end| {
+            match_seq(seq, i + 1, text, end, total, k)
+        }),
         Node::Repeat { node, min, max } => {
             match_repeat(node, *min, *max, seq, i, text, pos, total, k)
         }

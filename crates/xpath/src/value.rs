@@ -98,7 +98,11 @@ pub fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -204,10 +208,22 @@ mod tests {
     #[test]
     fn comparisons_prefer_numeric() {
         use Ordering::*;
-        assert_eq!(compare_values(&Value::str("10"), &Value::str("9"), false), Some(Greater));
-        assert_eq!(compare_values(&Value::str("abc"), &Value::str("abd"), false), Some(Less));
-        assert_eq!(compare_values(&Value::Number(5.0), &Value::str("5"), false), Some(Equal));
-        assert_eq!(compare_values(&Value::str("abc"), &Value::str("1"), true), None);
+        assert_eq!(
+            compare_values(&Value::str("10"), &Value::str("9"), false),
+            Some(Greater)
+        );
+        assert_eq!(
+            compare_values(&Value::str("abc"), &Value::str("abd"), false),
+            Some(Less)
+        );
+        assert_eq!(
+            compare_values(&Value::Number(5.0), &Value::str("5"), false),
+            Some(Equal)
+        );
+        assert_eq!(
+            compare_values(&Value::str("abc"), &Value::str("1"), true),
+            None
+        );
     }
 
     #[test]

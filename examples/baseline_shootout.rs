@@ -2,6 +2,10 @@
 //! observation that DFA-based engines pay exponentially for transition
 //! tables where the frontier algorithm stays near the lower bound.
 //!
+//! All engines run behind the same `Engine`/`Backend` surface; the DFA
+//! blowup section additionally materializes the automaton eagerly, as a
+//! compile-ahead engine would.
+//!
 //! Run with: `cargo run --example baseline_shootout`
 
 use frontier_xpath::prelude::*;
@@ -15,7 +19,8 @@ fn main() {
     );
     for k in [2usize, 4, 6, 8, 10] {
         let stars = "/*".repeat(k);
-        let query = parse_query(&format!("//a{stars}/b")).unwrap();
+        let src = format!("//a{stars}/b");
+        let query = parse_query(&src).unwrap();
 
         // Eagerly materialize the DFA, as a compile-ahead engine would.
         let mut dfa = LazyDfaFilter::new(&query).unwrap();
@@ -25,37 +30,62 @@ fn main() {
         let doc = nested("a", k + 2, "<b/>");
         let events = doc.to_events();
 
-        let mut nfa = NfaFilter::new(&query).unwrap();
-        nfa.run_stream(&events);
-        let mut frontier = StreamFilter::new(&query).unwrap();
-        let frontier_verdict = frontier.run_stream(&events);
-        let mut dfa_run = LazyDfaFilter::new(&query).unwrap();
-        dfa_run.materialize(&["a", "b"]);
-        let dfa_verdict = dfa_run.run_stream(&events);
-        assert_eq!(frontier_verdict, dfa_verdict);
+        // The same query behind each Engine backend.
+        let verdict_of = |backend: Backend| {
+            let engine = Engine::builder()
+                .query(query.clone())
+                .backend(backend)
+                .build()
+                .unwrap();
+            let mut session = engine.session();
+            for e in &events {
+                session.push(e);
+            }
+            session.finish().unwrap()
+        };
+        let nfa = verdict_of(Backend::Nfa);
+        let frontier = verdict_of(Backend::Frontier);
+        let dfa_run = verdict_of(Backend::LazyDfa);
+        assert_eq!(frontier.matched(), dfa_run.matched());
+        dfa.run_stream(&events);
 
         println!(
             "{k:>3} {states:>12} {:>16} {:>16} {:>16}",
-            dfa_run.peak_memory_bits(),
-            nfa.peak_memory_bits(),
-            frontier.peak_memory_bits()
+            dfa.peak_memory_bits(),
+            nfa.total_peak_bits(),
+            frontier.total_peak_bits()
         );
     }
 
     println!("\n== buffer-everything vs streaming on growing documents ==");
-    println!("{:>8} {:>16} {:>16}", "|D|", "buffer-all bits", "frontier bits");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "|D|", "buffer-all bits", "frontier bits"
+    );
     let query = parse_query("//item[price > 100]").unwrap();
+    let buffering = Engine::builder()
+        .query(query.clone())
+        .backend(Backend::Buffering)
+        .build()
+        .unwrap();
+    let streaming = Engine::builder()
+        .query(query)
+        .backend(Backend::Frontier)
+        .build()
+        .unwrap();
     for n in [10usize, 100, 1000, 10000] {
-        let body: String =
-            (0..n).map(|i| format!("<item><price>{}</price></item>", i % 200)).collect();
+        let body: String = (0..n)
+            .map(|i| format!("<item><price>{}</price></item>", i % 200))
+            .collect();
         let xml = format!("<catalog>{body}</catalog>");
-        let events = parse_xml(&xml).unwrap();
-        let mut buf = BufferingFilter::new(&query);
-        let a = buf.run_stream(&events);
-        let mut frontier = StreamFilter::new(&query).unwrap();
-        let b = frontier.run_stream(&events);
-        assert_eq!(a, b);
-        println!("{n:>8} {:>16} {:>16}", buf.peak_memory_bits(), frontier.peak_memory_bits());
+        let a = buffering.run_str(&xml).unwrap();
+        let b = streaming.run_str(&xml).unwrap();
+        assert_eq!(a.matched(), b.matched());
+        println!(
+            "{n:>8} {:>16} {:>16}",
+            a.total_peak_bits(),
+            b.total_peak_bits()
+        );
     }
     println!("\n(the frontier filter's state is flat in |D| — Theorem 8.8 in action)");
 }

@@ -3,6 +3,11 @@
 //! auction-site documents is matched against a bank of standing user
 //! queries, each evaluated in near-optimal memory.
 //!
+//! One `Engine` compiles the bank once; one reused `Session` streams
+//! every arriving document through it. Under the hood the bank
+//! short-circuits: a filter whose verdict is already decided stops
+//! seeing events.
+//!
 //! Run with: `cargo run --example dissemination`
 
 use frontier_xpath::prelude::*;
@@ -12,39 +17,54 @@ use rand::SeedableRng;
 
 fn main() {
     let labeled = standing_queries();
-    let queries: Vec<Query> = labeled.iter().map(|(_, q)| q.clone()).collect();
-    let mut bank = MultiFilter::new(&queries).expect("standing queries are supported");
-    println!("registered {} standing queries:", bank.len());
+    let engine = Engine::builder()
+        .queries(labeled.iter().map(|(_, q)| q.clone()))
+        .backend(Backend::Frontier)
+        .build()
+        .expect("standing queries are supported");
+    println!("registered {} standing queries:", engine.len());
     for (label, q) in &labeled {
         println!("  [{label}] {}", frontier_xpath::xpath::to_xpath(q));
     }
 
+    let mut session = engine.session();
     let mut rng = SmallRng::seed_from_u64(20260613);
-    let mut deliveries = vec![0usize; queries.len()];
+    let mut deliveries = vec![0usize; engine.len()];
     let docs = 25usize;
-    let mut total_events = 0usize;
+    let mut total_bits = 0u64;
+    let mut total_events = 0u64;
 
     for doc_id in 0..docs {
         let doc = auction_site(
             &mut rng,
-            &XmarkConfig { items: 8, auctions: 6, people: 5, category_depth: 2 + doc_id % 3 },
+            &XmarkConfig {
+                items: 8,
+                auctions: 6,
+                people: 5,
+                category_depth: 2 + doc_id % 3,
+            },
         );
-        let events = doc.to_events();
-        total_events += events.len();
-        bank.process_all(&events);
-        for idx in bank.matching_queries() {
+        // Stream the document's bytes through the session — it is parsed
+        // and filtered incrementally, never materialized.
+        let verdicts = session
+            .run_reader(doc.to_xml().as_bytes())
+            .expect("well-formed");
+        for idx in verdicts.matching_queries() {
             deliveries[idx] += 1;
         }
+        total_bits = verdicts.total_peak_bits();
+        total_events = verdicts.events(); // cumulative across the session
     }
 
-    println!("\nprocessed {docs} documents ({total_events} events)");
+    println!("\nprocessed {docs} documents ({total_events} events through the session)");
     println!("\n-- deliveries --");
     for (i, (label, _)) in labeled.iter().enumerate() {
         println!("  {label:<18} {:>3}/{docs}", deliveries[i]);
     }
 
-    let bits = bank.total_max_bits();
-    println!("\naggregate peak filter state: {bits} bits ({} bytes)", bits.div_ceil(8));
-    println!("(compare: buffering even one document would cost ~{} bytes)",
-        total_events / docs * 8);
+    println!(
+        "\naggregate peak filter state: {total_bits} bits ({} bytes)",
+        total_bits.div_ceil(8)
+    );
+    println!("(compare: buffering even one document would cost kilobytes)");
 }

@@ -9,36 +9,14 @@
 //! Flags:
 //!   -p   also print the 0-based element positions FULLEVAL selects
 //!   -v   print the filter's space statistics
+//!
+//! The byte stream is pulled through `fx_xml::EventIter` event by event;
+//! position reporting (`-p`) runs the Section-8 filter in its reporting
+//! mode, which the boolean `Engine` surface does not expose.
 
 use frontier_xpath::prelude::*;
-use frontier_xpath::xml::{parse_reader, Attribute};
 use std::io::Read;
 use std::process::ExitCode;
-
-struct FilterSink {
-    filter: StreamFilter,
-}
-
-impl SaxHandler for FilterSink {
-    fn start_document(&mut self) {
-        self.filter.process(&Event::StartDocument);
-    }
-    fn end_document(&mut self) {
-        self.filter.process(&Event::EndDocument);
-    }
-    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
-        self.filter.process(&Event::StartElement {
-            name: name.to_string(),
-            attributes: attributes.to_vec(),
-        });
-    }
-    fn end_element(&mut self, name: &str) {
-        self.filter.process(&Event::end(name));
-    }
-    fn text(&mut self, content: &str) {
-        self.filter.process(&Event::text(content));
-    }
-}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,26 +50,36 @@ fn main() -> ExitCode {
     let files = &args[1..];
     let mut any_match = false;
     let mut run = |label: &str, reader: &mut dyn Read| {
-        let mut sink = FilterSink { filter: make_filter().expect("checked above") };
-        match parse_reader(std::io::BufReader::new(reader), &mut sink) {
-            Ok(()) => {
-                let matched = sink.filter.result() == Some(true);
+        let mut filter = make_filter().expect("checked above");
+        let mut parse_error = None;
+        for item in EventIter::new(&mut *reader) {
+            match item {
+                Ok(event) => filter.process(&event),
+                Err(e) => {
+                    parse_error = Some(e);
+                    break;
+                }
+            }
+        }
+        match parse_error {
+            None => {
+                let matched = filter.result() == Some(true);
                 any_match |= matched;
                 println!("{label}: {}", if matched { "MATCH" } else { "no match" });
                 if positions {
-                    if let Some(pos) = sink.filter.matched_positions() {
+                    if let Some(pos) = filter.matched_positions() {
                         println!("  selected element positions: {pos:?}");
                     }
                 }
                 if verbose {
-                    let s = sink.filter.stats();
+                    let s = filter.stats();
                     println!(
                         "  space: {} rows, {} buffer bytes, {} bits peak; {} events",
                         s.max_rows, s.max_buffer_bytes, s.max_bits, s.events
                     );
                 }
             }
-            Err(e) => eprintln!("{label}: parse error: {e}"),
+            Some(e) => eprintln!("{label}: parse error: {e}"),
         }
     };
 

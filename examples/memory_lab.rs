@@ -7,7 +7,9 @@
 //! Run with: `cargo run --example memory_lab`
 
 use frontier_xpath::analysis::frontier_size;
-use frontier_xpath::lowerbounds::{depth_bound, disj_segments, frontier_bound, probe, probe_fooling_set};
+use frontier_xpath::lowerbounds::{
+    depth_bound, disj_segments, frontier_bound, probe, probe_fooling_set,
+};
 use frontier_xpath::prelude::*;
 use frontier_xpath::xml::Event;
 
@@ -40,17 +42,26 @@ fn recursion_lab() {
     let query = parse_query("//a[b and c]").unwrap();
     let seg = disj_segments(&query).unwrap();
     println!("query:     //a[b and c]");
-    println!("{:>4} {:>12} {:>10} {:>14}", "r", "DISJ states", "LB bits", "filter bits");
+    println!(
+        "{:>4} {:>12} {:>10} {:>14}",
+        "r", "DISJ states", "LB bits", "filter bits"
+    );
     for r in [2usize, 4, 6, 8] {
-        let all: Vec<Vec<bool>> =
-            (0..1usize << r).map(|m| (0..r).map(|i| m >> i & 1 == 1).collect()).collect();
+        let all: Vec<Vec<bool>> = (0..1usize << r)
+            .map(|m| (0..r).map(|i| m >> i & 1 == 1).collect())
+            .collect();
         let prefixes: Vec<Vec<Event>> = all.iter().map(|s| seg.alpha(s)).collect();
         let suffixes: Vec<Vec<Event>> = all.iter().map(|t| seg.beta(t)).collect();
         let report = probe(|| StreamFilter::new(&query).unwrap(), &prefixes, &suffixes);
         // The filter's actual memory on the worst D_{s,t}.
         let mut f = StreamFilter::new(&query).unwrap();
         f.process_all(&seg.document(&vec![true; r], &vec![false; r]));
-        println!("{r:>4} {:>12} {:>10} {:>14}", report.classes, report.bits, f.stats().max_bits);
+        println!(
+            "{r:>4} {:>12} {:>10} {:>14}",
+            report.classes,
+            report.bits,
+            f.stats().max_bits
+        );
     }
     println!();
 }
@@ -60,13 +71,21 @@ fn depth_lab() {
     let query = parse_query("/a/b").unwrap();
     let db = depth_bound(&query).unwrap();
     println!("query:     /a/b");
-    println!("{:>6} {:>12} {:>10} {:>14}", "depth", "LB states", "LB bits", "filter bits");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "depth", "LB states", "LB bits", "filter bits"
+    );
     for t in [4usize, 16, 64, 256] {
         let fooling = db.fooling_set(t);
         let report = fooling.verify(&query).unwrap();
         let mut f = StreamFilter::new(&query).unwrap();
         f.process_all(&db.document(t - 1));
-        println!("{t:>6} {:>12} {:>10} {:>14}", report.size, report.bits, f.stats().max_bits);
+        println!(
+            "{t:>6} {:>12} {:>10} {:>14}",
+            report.size,
+            report.bits,
+            f.stats().max_bits
+        );
     }
     println!("\n(filter bits grow additively with log d — the bound is tight)");
 }

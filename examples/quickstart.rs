@@ -1,5 +1,5 @@
-//! Quickstart: parse a Forward XPath query, filter a streaming XML
-//! document, and inspect the memory the filter actually used.
+//! Quickstart: build a streaming engine, filter an XML document straight
+//! from its bytes, and inspect the memory the filter actually used.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -9,25 +9,40 @@ use frontier_xpath::prelude::*;
 fn main() {
     // The paper's running example (Fig. 3): a query with predicates, a
     // descendant axis, and a value comparison.
-    let query = parse_query("/a[c[.//e and f] and b > 5]").expect("valid Forward XPath");
-    println!("query:          /a[c[.//e and f] and b > 5]");
+    let query_src = "/a[c[.//e and f] and b > 5]";
+    let query = parse_query(query_src).expect("valid Forward XPath");
+    println!("query:          {query_src}");
     println!("|Q|:            {}", query.len());
-    println!("FS(Q):          {}  (the paper's lower bound, in bits)", frontier_size(&query));
+    println!(
+        "FS(Q):          {}  (the paper's lower bound, in bits)",
+        frontier_size(&query)
+    );
     println!("redundancy-free: {}", redundancy_free(&query).is_empty());
 
-    // A document arriving as a stream of SAX events.
+    // The canonical surface: an Engine streams documents from any
+    // `io::Read` — the document is never materialized.
+    let engine = Engine::builder()
+        .query(query.clone())
+        .backend(Backend::Frontier)
+        .build()
+        .expect("query is in the supported fragment");
     let xml = "<a><c><d/><e/><f/></c><b>6</b><c/></a>";
-    let events = parse_xml(xml).expect("well-formed XML");
     println!("\ndocument:       {xml}");
+    let verdicts = engine.run_reader(xml.as_bytes()).expect("well-formed XML");
+    println!("matches:        {}", verdicts.any());
+    println!(
+        "peak bits:      {}  (Theorem 8.8's measure)",
+        verdicts.total_peak_bits()
+    );
 
-    // Stream it through the Section-8 filter.
-    let mut filter = StreamFilter::new(&query).expect("query is in the supported fragment");
-    for event in &events {
-        filter.process(event);
+    // For the full space breakdown, drive the Section-8 filter directly —
+    // it is the same incremental event-at-a-time algorithm the engine
+    // runs under the hood.
+    let mut filter = StreamFilter::new(&query).expect("supported fragment");
+    for event in EventIter::new(xml.as_bytes()) {
+        filter.process(&event.expect("well-formed XML"));
     }
-    println!("matches:        {}", filter.result().unwrap());
-
-    // The filter's instrumented memory — the quantity Theorem 8.8 bounds.
+    assert_eq!(filter.result(), Some(verdicts.any()));
     let stats = filter.stats();
     println!("\n-- space used (Theorem 8.8's measure) --");
     println!("frontier rows (peak): {}", stats.max_rows);
@@ -38,9 +53,11 @@ fn main() {
 
     // Cross-check against the in-memory reference evaluator (Def. 3.6).
     let doc = Document::from_xml(xml).unwrap();
-    assert_eq!(bool_eval(&query, &doc).unwrap(), filter.result().unwrap());
-    println!("\nreference evaluator agrees; document recursion depth r = {}",
-        path_recursion_depth(&query, &doc));
+    assert_eq!(bool_eval(&query, &doc).unwrap(), verdicts.any());
+    println!(
+        "\nreference evaluator agrees; document recursion depth r = {}",
+        path_recursion_depth(&query, &doc)
+    );
 
     // Full evaluation returns the selected nodes in document order.
     let selected = full_eval(&query, &doc).unwrap();

@@ -8,29 +8,56 @@
 //!
 //! ## Quick start
 //!
+//! The canonical entry point is the [`engine`]: build once, then stream
+//! documents from any `io::Read` — no `Vec<Event>` is ever materialized,
+//! so the paper's `O(FS(Q)·log d)`-bit guarantee holds end to end.
+//!
 //! ```
 //! use frontier_xpath::prelude::*;
 //! use frontier_xpath::analysis::frontier_size;
 //! use frontier_xpath::lowerbounds::frontier_bound;
 //!
-//! // Parse a Forward XPath query (the grammar of Fig. 1)…
-//! let query = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
+//! // A bank of one Forward XPath query (the grammar of Fig. 1), on the
+//! // paper's own algorithm…
+//! let engine = Engine::builder()
+//!     .query_str("/a[c[.//e and f] and b > 5]")
+//!     .backend(Backend::Frontier)
+//!     .build()
+//!     .unwrap();
 //!
-//! // …and filter a streaming document with O(FS(Q)·log d) bits.
-//! let events = parse_xml("<a><c><e/><f/></c><b>6</b></a>").unwrap();
-//! assert!(StreamFilter::run(&query, &events).unwrap());
+//! // …filtering a streaming document in O(FS(Q)·log d) bits.
+//! let verdicts = engine.run_reader("<a><c><e/><f/></c><b>6</b></a>".as_bytes()).unwrap();
+//! assert!(verdicts.any());
 //!
 //! // The matching lower bound: FS(Q) = 3 bits are *necessary*.
+//! let query = parse_query("/a[c[.//e and f] and b > 5]").unwrap();
 //! assert_eq!(frontier_size(&query), 3);
 //! let bound = frontier_bound(&query, None).unwrap();
 //! assert_eq!(bound.fooling.verify(&query).unwrap().bits, 3);
+//! ```
+//!
+//! For multi-document workloads (selective dissemination), open one
+//! [`engine::Session`] and reuse it:
+//!
+//! ```
+//! use frontier_xpath::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .query_str("/doc[title]")
+//!     .query_str("//section[figure and caption]")
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.session();
+//! let verdicts = session.run_reader("<doc><title>t</title></doc>".as_bytes()).unwrap();
+//! assert_eq!(verdicts.matching_queries(), vec![0]);
 //! ```
 //!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | [`xml`] | SAX events, streaming parser/writer, stream splicing (§3.1.4) |
+//! | [`engine`] | **The canonical API**: `Engine` builder, per-document `Session`s, the `Evaluator` trait, unified `EngineError` |
+//! | [`xml`] | SAX events, streaming parser/writer, pull-based [`xml::EventIter`], stream splicing (§3.1.4) |
 //! | [`dom`] | The XPath data model: trees, `STRVAL`, depth (§3.1.1) |
 //! | [`xpath`] | Forward XPath parser, query trees, predicate semantics (§3.1.2–3) |
 //! | [`eval`] | Reference `SELECT`/`FULLEVAL`/`BOOLEVAL`, matchings (§3.1.3, §5.5) |
@@ -39,6 +66,15 @@
 //! | [`automata`] | NFA / lazy-DFA / buffer-all baselines (§1.2, §2) |
 //! | [`lowerbounds`] | Fooling sets, DISJ reduction, depth bound, state prober (§3.2, §4, §7) |
 //! | [`workloads`] | Seeded document/query generators |
+//!
+//! ## Legacy batch surface
+//!
+//! The pre-engine entry points — `StreamFilter::run(&query, &events)`
+//! and `MultiFilter::process_all(&[Event])` — required the caller to
+//! materialize the whole document as a `Vec<Event>`, forfeiting the
+//! memory guarantee at the API boundary. They remain as thin deprecated
+//! shims so differential tests can pit old against new; new code should
+//! go through [`engine::Engine`].
 
 #![warn(missing_docs)]
 
@@ -46,6 +82,7 @@ pub use fx_analysis as analysis;
 pub use fx_automata as automata;
 pub use fx_core as filter;
 pub use fx_dom as dom;
+pub use fx_engine as engine;
 pub use fx_eval as eval;
 pub use fx_lowerbounds as lowerbounds;
 pub use fx_workloads as workloads;
@@ -57,11 +94,17 @@ pub mod prelude {
     pub use fx_analysis::{
         canonical_document, frontier_size, path_recursion_depth, redundancy_free, text_width,
     };
-    pub use fx_automata::{BooleanStreamFilter, BufferingFilter, LazyDfaFilter, NfaFilter};
+    pub use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
     pub use fx_core::{MultiFilter, SpaceStats, StreamFilter};
     pub use fx_dom::Document;
+    /// The pre-engine name of [`Evaluator`], kept so downstream imports
+    /// keep compiling; new code should name [`Evaluator`] directly.
+    pub use fx_engine::Evaluator as BooleanStreamFilter;
+    pub use fx_engine::{
+        Backend, Engine, EngineBuilder, EngineError, Evaluator, Session, Verdicts,
+    };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
-    pub use fx_xml::{parse as parse_xml, Event, SaxHandler};
+    pub use fx_xml::{parse as parse_xml, Event, EventIter, SaxHandler};
     pub use fx_xpath::{parse_query, Query};
 }

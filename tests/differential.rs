@@ -1,6 +1,11 @@
 //! Cross-crate differential testing: the streaming filter, the reference
 //! evaluator, the matching engine, and (where applicable) the automata
 //! baselines must agree everywhere.
+//!
+//! This file deliberately exercises the deprecated batch shims
+//! (`StreamFilter::run`) so the legacy surface keeps agreeing with the
+//! reference; engine-vs-legacy parity lives in `engine_differential.rs`.
+#![allow(deprecated)]
 
 use frontier_xpath::prelude::*;
 use frontier_xpath::workloads::{random_document, RandomDocConfig};
@@ -34,8 +39,18 @@ fn seeded_sweep_filter_vs_reference_vs_matching() {
     let cfg = RandomDocConfig {
         max_depth: 7,
         max_children: 4,
-        names: ["a", "b", "c", "d", "e", "x"].iter().map(|s| s.to_string()).collect(),
-        text_values: vec![String::new(), "1".into(), "3".into(), "6".into(), "x".into(), "1x".into()],
+        names: ["a", "b", "c", "d", "e", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        text_values: vec![
+            String::new(),
+            "1".into(),
+            "3".into(),
+            "6".into(),
+            "x".into(),
+            "1x".into(),
+        ],
     };
     let mut total = 0usize;
     let mut matched = 0usize;
@@ -46,7 +61,12 @@ fn seeded_sweep_filter_vs_reference_vs_matching() {
             let reference = bool_eval(&q, &d).unwrap();
             let via_matching = document_matches(&q, &d).unwrap();
             let streamed = StreamFilter::run(&q, &d.to_events()).unwrap();
-            assert_eq!(reference, via_matching, "{src} (Lemma 5.10) on {}", d.to_xml());
+            assert_eq!(
+                reference,
+                via_matching,
+                "{src} (Lemma 5.10) on {}",
+                d.to_xml()
+            );
             assert_eq!(reference, streamed, "{src} (filter) on {}", d.to_xml());
             total += 1;
             matched += usize::from(reference);
@@ -55,7 +75,10 @@ fn seeded_sweep_filter_vs_reference_vs_matching() {
     assert_eq!(total, QUERIES.len() * 60);
     // The workload must exercise both outcomes.
     assert!(matched > total / 20, "too few matches: {matched}/{total}");
-    assert!(matched < total * 19 / 20, "too many matches: {matched}/{total}");
+    assert!(
+        matched < total * 19 / 20,
+        "too many matches: {matched}/{total}"
+    );
 }
 
 #[test]

@@ -1,0 +1,301 @@
+//! Engine-vs-legacy differential testing: the new `Engine`/`Session`
+//! surface must reproduce the legacy batch surface exactly — same
+//! verdicts *and* same peak-bit space statistics — and its pull-based
+//! event source must filter large documents without buffering them.
+//!
+//! The legacy half of each comparison intentionally uses the deprecated
+//! batch shims; that is the point of keeping them.
+#![allow(deprecated)]
+
+use frontier_xpath::prelude::*;
+use frontier_xpath::workloads::{random_document, RandomDocConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::Read;
+
+/// The same query pool the legacy differential suite sweeps.
+const QUERIES: &[&str] = &[
+    "/a[b and c]",
+    "//a[b and c]",
+    "/a[b > 5]",
+    "/a[b]/c",
+    "//a//b",
+    "/a/b/c",
+    "/a[c[.//e and f] and b > 5]",
+    "/a[b = \"x\"]",
+    "//a[b]/c[d]",
+    "/a[.//b and c]",
+    "//b[a and .//c]",
+    "/a/*/b",
+    "//a[b > 2 and c]",
+    "/x[a and b and c and d]",
+    "//c[.//a]",
+    "/a[contains(b, \"x\")]",
+];
+
+const LINEAR_QUERIES: &[&str] = &["/a/b", "//a//b", "/a//b/c", "//x", "/a/*/b"];
+
+/// Verdict AND peak-bit parity between `Engine` (Frontier backend) and
+/// legacy `StreamFilter::run` over the seeded random-document generator.
+#[test]
+fn frontier_backend_matches_legacy_verdicts_and_bits() {
+    let mut rng = SmallRng::seed_from_u64(0xE9611E);
+    let cfg = RandomDocConfig {
+        max_depth: 7,
+        max_children: 4,
+        names: ["a", "b", "c", "d", "e", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        text_values: vec![
+            String::new(),
+            "1".into(),
+            "3".into(),
+            "6".into(),
+            "x".into(),
+        ],
+    };
+    for src in QUERIES {
+        let q = parse_query(src).unwrap();
+        let engine = Engine::builder()
+            .query(q.clone())
+            .backend(Backend::Frontier)
+            .build()
+            .unwrap();
+        for _ in 0..40 {
+            let d = random_document(&mut rng, &cfg);
+            let events = d.to_events();
+
+            // Old: one legacy pass yields both verdict and instrumented
+            // stats (the `StreamFilter::run` shim itself is covered by
+            // `differential.rs` and the proptest parity case below).
+            let mut legacy = StreamFilter::new(&q).unwrap();
+            let legacy_verdict = legacy.run_stream(&events).unwrap();
+            let legacy_bits = legacy.stats().max_bits;
+
+            // New: a fresh engine session over the same events.
+            let verdicts = engine.run_events(&events).unwrap();
+            assert_eq!(
+                verdicts.matched(),
+                &[legacy_verdict],
+                "{src} on {}",
+                d.to_xml()
+            );
+            assert_eq!(
+                verdicts.peak_memory_bits(),
+                &[legacy_bits],
+                "peak bits diverged: {src} on {}",
+                d.to_xml()
+            );
+        }
+    }
+}
+
+/// The reader path (EventIter under the hood) agrees with the event path.
+#[test]
+fn run_reader_matches_run_events() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let cfg = RandomDocConfig::default();
+    for src in QUERIES {
+        let engine = Engine::builder().query_str(src).build().unwrap();
+        for _ in 0..20 {
+            let d = random_document(&mut rng, &cfg);
+            let via_events = engine.run_events(&d.to_events()).unwrap();
+            let via_reader = engine.run_reader(d.to_xml().as_bytes()).unwrap();
+            assert_eq!(
+                via_events.matched(),
+                via_reader.matched(),
+                "{src} on {}",
+                d.to_xml()
+            );
+        }
+    }
+}
+
+/// Every backend agrees with the reference evaluator on linear queries.
+#[test]
+fn all_backends_agree_with_reference_on_linear_queries() {
+    let mut rng = SmallRng::seed_from_u64(0xBACE);
+    let cfg = RandomDocConfig::default();
+    for src in LINEAR_QUERIES {
+        let q = parse_query(src).unwrap();
+        let engines: Vec<Engine> = [
+            Backend::Frontier,
+            Backend::Nfa,
+            Backend::LazyDfa,
+            Backend::Buffering,
+        ]
+        .iter()
+        .map(|&b| {
+            Engine::builder()
+                .query(q.clone())
+                .backend(b)
+                .build()
+                .unwrap()
+        })
+        .collect();
+        for _ in 0..25 {
+            let d = random_document(&mut rng, &cfg);
+            let reference = bool_eval(&q, &d).unwrap();
+            let events = d.to_events();
+            for engine in &engines {
+                assert_eq!(
+                    engine.run_events(&events).unwrap().any(),
+                    reference,
+                    "{src} via {:?} on {}",
+                    engine.backend(),
+                    d.to_xml()
+                );
+            }
+        }
+    }
+}
+
+/// A multi-query session agrees with per-query legacy runs, including
+/// the short-circuiting `MultiFilter` bank.
+#[test]
+fn multi_query_session_agrees_with_legacy_bank() {
+    let queries: Vec<Query> = QUERIES.iter().map(|s| parse_query(s).unwrap()).collect();
+    let engine = Engine::builder()
+        .queries(queries.iter().cloned())
+        .build()
+        .unwrap();
+    let mut session = engine.session();
+    let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+    let cfg = RandomDocConfig::default();
+    for _ in 0..30 {
+        let d = random_document(&mut rng, &cfg);
+        let events = d.to_events();
+        let verdicts = session.run_reader(d.to_xml().as_bytes()).unwrap();
+        let mut bank = MultiFilter::new(&queries).unwrap();
+        bank.process_all(&events);
+        for (i, q) in queries.iter().enumerate() {
+            let solo = StreamFilter::run(q, &events).unwrap();
+            assert_eq!(
+                verdicts.matched()[i],
+                solo,
+                "session: {} on {}",
+                QUERIES[i],
+                d.to_xml()
+            );
+            assert_eq!(
+                bank.results()[i],
+                Some(solo),
+                "bank: {} on {}",
+                QUERIES[i],
+                d.to_xml()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Proptest-driven parity on (query, seed) pairs.
+    #[test]
+    fn engine_agrees_on_proptest_pairs(qi in 0..QUERIES.len(), seed in 0u64..100_000) {
+        let q = parse_query(QUERIES[qi]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = random_document(&mut rng, &RandomDocConfig::default());
+        let legacy = StreamFilter::run(&q, &d.to_events()).unwrap();
+        let engine = Engine::builder().query(q).build().unwrap();
+        prop_assert_eq!(engine.run_str(&d.to_xml()).unwrap().any(), legacy);
+    }
+}
+
+/// A `Read` that synthesizes a huge catalog on the fly: the document
+/// never exists in memory, so a bounded-memory pass over it proves the
+/// engine is truly streaming end to end.
+struct SyntheticCatalog {
+    items: usize,
+    emitted: usize,
+    buffer: Vec<u8>,
+    state: usize, // 0 = header, 1 = items, 2 = footer, 3 = done
+}
+
+impl SyntheticCatalog {
+    fn new(items: usize) -> SyntheticCatalog {
+        SyntheticCatalog {
+            items,
+            emitted: 0,
+            buffer: Vec::new(),
+            state: 0,
+        }
+    }
+}
+
+impl Read for SyntheticCatalog {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.buffer.is_empty() && self.state != 3 {
+            match self.state {
+                0 => {
+                    self.buffer.extend_from_slice(b"<catalog>");
+                    self.state = 1;
+                }
+                1 => {
+                    if self.emitted < self.items {
+                        let i = self.emitted;
+                        self.buffer.extend_from_slice(
+                            format!("<item><price>{}</price></item>", i % 500).as_bytes(),
+                        );
+                        self.emitted += 1;
+                    } else {
+                        self.state = 2;
+                    }
+                }
+                2 => {
+                    self.buffer.extend_from_slice(b"</catalog>");
+                    self.state = 3;
+                }
+                _ => unreachable!(),
+            }
+        }
+        let n = self.buffer.len().min(out.len());
+        out[..n].copy_from_slice(&self.buffer[..n]);
+        self.buffer.drain(..n);
+        Ok(n)
+    }
+}
+
+/// The acceptance-criteria scenario: a document far larger than any
+/// buffer filters end-to-end through `run_reader` with flat peak memory
+/// — no `Vec<Event>` (or the document itself) is ever materialized.
+#[test]
+fn event_iter_filters_large_document_without_buffering() {
+    let engine = Engine::builder()
+        .query_str("//item[price > 400]")
+        .build()
+        .unwrap();
+
+    let small = engine.run_reader(SyntheticCatalog::new(500)).unwrap();
+    let large = engine.run_reader(SyntheticCatalog::new(200_000)).unwrap();
+    assert!(small.any() && large.any());
+    // StartDocument/EndDocument + <catalog>…</catalog> + five events per
+    // item (start, start, text, end, end).
+    assert_eq!(large.events(), 2 + 2 + 5 * 200_000);
+
+    // The filter's peak state is *identical* across a 400× size increase
+    // — the O(FS(Q)·log d) guarantee holds through the whole API stack.
+    // (A buffering pass over the same stream pays ~megabytes.)
+    assert_eq!(
+        small.total_peak_bits(),
+        large.total_peak_bits(),
+        "streaming memory must be flat in document size"
+    );
+    let buffering = Engine::builder()
+        .query_str("//item[price > 400]")
+        .backend(Backend::Buffering)
+        .build()
+        .unwrap();
+    let buffered = buffering
+        .run_reader(SyntheticCatalog::new(200_000))
+        .unwrap();
+    assert!(
+        buffered.total_peak_bits() > 1_000 * large.total_peak_bits(),
+        "buffer-all: {} bits, frontier: {} bits",
+        buffered.total_peak_bits(),
+        large.total_peak_bits()
+    );
+}

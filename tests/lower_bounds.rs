@@ -38,7 +38,10 @@ fn e2_recursion_disj_simple() {
             // Reference and streaming agree with DISJ.
             let doc = Document::from_xml(&frontier_xpath::xml::to_xml(&events).unwrap()).unwrap();
             assert_eq!(bool_eval(&q, &doc).unwrap(), expected);
-            assert_eq!(StreamFilter::run(&q, &events).unwrap(), expected);
+            assert_eq!(
+                StreamFilter::new(&q).unwrap().run_stream(&events),
+                Some(expected)
+            );
         }
     }
 }
@@ -48,8 +51,9 @@ fn e2_prober_measures_2_to_the_r() {
     let q = parse_query("//a[b and c]").unwrap();
     let seg = disj_segments(&q).unwrap();
     for r in [3usize, 5] {
-        let all: Vec<Vec<bool>> =
-            (0..1usize << r).map(|m| (0..r).map(|i| m >> i & 1 == 1).collect()).collect();
+        let all: Vec<Vec<bool>> = (0..1usize << r)
+            .map(|m| (0..r).map(|i| m >> i & 1 == 1).collect())
+            .collect();
         let prefixes: Vec<Vec<Event>> = all.iter().map(|s| seg.alpha(s)).collect();
         let suffixes: Vec<Vec<Event>> = all.iter().map(|t| seg.beta(t)).collect();
         let report = probe(|| StreamFilter::new(&q).unwrap(), &prefixes, &suffixes);
@@ -79,8 +83,14 @@ fn e3_depth_fooling_set_simple() {
 
 #[test]
 fn e4_general_frontier_bound_on_random_queries() {
-    let mut rng = SmallRng::seed_from_u64(404);
-    let cfg = RandomQueryConfig { max_nodes: 9, ..Default::default() };
+    // Seed chosen so the vendored xoshiro-based `SmallRng` stream yields
+    // a healthy share of branching queries (the old seed, 404, was tuned
+    // to upstream rand's stream and produces only 4 here).
+    let mut rng = SmallRng::seed_from_u64(202);
+    let cfg = RandomQueryConfig {
+        max_nodes: 9,
+        ..Default::default()
+    };
     let mut nontrivial = 0usize;
     for _ in 0..15 {
         let q = random_redundancy_free(&mut rng, &cfg);
@@ -99,14 +109,21 @@ fn e4_general_frontier_bound_on_random_queries() {
             assert_eq!(report.bits as usize, frontier_size(&q));
         }
     }
-    assert!(nontrivial >= 5, "generator should produce branching queries");
+    assert!(
+        nontrivial >= 5,
+        "generator should produce branching queries"
+    );
 }
 
 #[test]
 fn e5_general_recursion_bound_on_recursive_queries() {
     let mut rng = SmallRng::seed_from_u64(505);
-    for src in ["//a[b and c]", "//d[f and a[b and c]]", "//x//a[b and c and d]", "//a[b > 7 and c]"]
-    {
+    for src in [
+        "//a[b and c]",
+        "//d[f and a[b and c]]",
+        "//x//a[b and c and d]",
+        "//a[b > 7 and c]",
+    ] {
         let q = parse_query(src).unwrap();
         let seg = disj_segments(&q).unwrap();
         for _ in 0..15 {
@@ -116,7 +133,11 @@ fn e5_general_recursion_bound_on_recursive_queries() {
             let events = seg.document(&s, &t);
             assert!(frontier_xpath::xml::is_well_formed(&events), "{src}");
             let doc = Document::from_sax(&events).unwrap();
-            assert_eq!(bool_eval(&q, &doc).unwrap(), sets_intersect(&s, &t), "{src}");
+            assert_eq!(
+                bool_eval(&q, &doc).unwrap(),
+                sets_intersect(&s, &t),
+                "{src}"
+            );
         }
     }
 }

@@ -2,15 +2,19 @@
 //! exercised across the full crate stack (XML parser → query parser →
 //! analysis → streaming filter → reference evaluator).
 
-use frontier_xpath::analysis::{
-    frontier_size, path_recursion_depth, redundancy_free, text_width,
-};
+use frontier_xpath::analysis::{frontier_size, path_recursion_depth, redundancy_free, text_width};
 use frontier_xpath::prelude::*;
 
 fn stream_matches(query: &str, xml: &str) -> bool {
-    let q = parse_query(query).unwrap();
-    let events = parse_xml(xml).unwrap();
-    StreamFilter::run(&q, &events).unwrap()
+    // Through the canonical engine surface: the document is streamed
+    // from its bytes, never materialized as events.
+    Engine::builder()
+        .query_str(query)
+        .build()
+        .unwrap()
+        .run_str(xml)
+        .unwrap()
+        .any()
 }
 
 fn both_agree(query: &str, xml: &str) -> bool {
@@ -21,7 +25,11 @@ fn both_agree(query: &str, xml: &str) -> bool {
     assert_eq!(reference, streamed, "{query} on {xml}");
     // Lemma 5.10: matching existence coincides for the univariate
     // conjunctive queries used in these scenarios.
-    assert_eq!(document_matches(&q, &d).unwrap(), reference, "{query} on {xml}");
+    assert_eq!(
+        document_matches(&q, &d).unwrap(),
+        reference,
+        "{query} on {xml}"
+    );
     reference
 }
 
@@ -54,20 +62,37 @@ fn section_4_3_depth_example() {
     // D_i and D_{i,j} shapes (Fig. 6).
     let q = "/a/b";
     for i in [0usize, 1, 5, 30] {
-        let xml = format!("<a>{o}{c}<b/>{o}{c}</a>", o = "<Z>".repeat(i), c = "</Z>".repeat(i));
+        let xml = format!(
+            "<a>{o}{c}<b/>{o}{c}</a>",
+            o = "<Z>".repeat(i),
+            c = "</Z>".repeat(i)
+        );
         assert!(both_agree(q, &xml), "D_{i}");
     }
     // D_{i,j}: the b node slides into the Z path.
-    let xml = format!("<a>{}{}<b/>{}{}</a>", "<Z>".repeat(5), "</Z>".repeat(2), "<Z>".repeat(2), "</Z>".repeat(5));
+    let xml = format!(
+        "<a>{}{}<b/>{}{}</a>",
+        "<Z>".repeat(5),
+        "</Z>".repeat(2),
+        "<Z>".repeat(2),
+        "</Z>".repeat(5)
+    );
     assert!(!both_agree(q, &xml));
 }
 
 #[test]
 fn section_5_fragment_examples() {
     // Every §5 example lands on the right side of the fragment line.
-    let rf = ["/a[c[.//e and f] and b > 5]", "/a[b/c > 5 and d]", "/a[b[c > 5]]"];
+    let rf = [
+        "/a[c[.//e and f] and b > 5]",
+        "/a[b/c > 5 and d]",
+        "/a[b[c > 5]]",
+    ];
     for src in rf {
-        assert!(redundancy_free(&parse_query(src).unwrap()).is_empty(), "{src}");
+        assert!(
+            redundancy_free(&parse_query(src).unwrap()).is_empty(),
+            "{src}"
+        );
     }
     let not_rf = [
         "/a[b > 5 and b > 6]",
@@ -78,7 +103,10 @@ fn section_5_fragment_examples() {
         "/a[b[c = \"A\"] and ends-with(b, \"B\")]",
     ];
     for src in not_rf {
-        assert!(!redundancy_free(&parse_query(src).unwrap()).is_empty(), "{src}");
+        assert!(
+            !redundancy_free(&parse_query(src).unwrap()).is_empty(),
+            "{src}"
+        );
     }
 }
 
@@ -88,10 +116,14 @@ fn section_6_4_canonical_example() {
     let q = parse_query("/a[*/b > 5 and c/b//d > 12 and .//d < 30]").unwrap();
     let cd = canonical_document(&q).unwrap();
     assert!(document_matches(&q, &cd.doc).unwrap());
-    assert_eq!(frontier_xpath::eval::count_matchings(&q, &cd.doc, 16).unwrap(), 1);
+    assert_eq!(
+        frontier_xpath::eval::count_matchings(&q, &cd.doc, 16).unwrap(),
+        1
+    );
     // And streams correctly through the filter.
     let events = cd.doc.to_events();
-    assert!(StreamFilter::run(&q, &events).unwrap());
+    let engine = Engine::builder().query(q).build().unwrap();
+    assert!(engine.run_events(&events).unwrap().any());
 }
 
 #[test]
@@ -162,14 +194,17 @@ fn multi_query_bank_spanning_fragments() {
     .iter()
     .map(|s| parse_query(s).unwrap())
     .collect();
-    let mut bank = MultiFilter::new(&queries).unwrap();
+    let engine = Engine::builder()
+        .queries(queries.iter().cloned())
+        .build()
+        .unwrap();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
     let doc = frontier_xpath::workloads::auction_site(
         &mut rng,
         &frontier_xpath::workloads::XmarkConfig::default(),
     );
-    bank.process_all(&doc.to_events());
+    let verdicts = engine.run_events(&doc.to_events()).unwrap();
     for (i, q) in queries.iter().enumerate() {
-        assert_eq!(bank.results()[i], Some(bool_eval(q, &doc).unwrap()));
+        assert_eq!(verdicts.matched()[i], bool_eval(q, &doc).unwrap());
     }
 }

@@ -1,0 +1,287 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the benchmarking API surface the workspace uses:
+//! [`Criterion`] with `benchmark_group` / `bench_function`, groups with
+//! [`Throughput`] annotation and `bench_with_input`, [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after one warm-up call, each
+//! benchmark runs batches of its closure until `measurement_time`
+//! elapses (or `sample_size` batches complete, whichever is later is
+//! capped by 4× the budget) and reports mean wall-clock time per
+//! iteration plus derived throughput. No statistics files are written;
+//! results go to stdout, which is what the experiment harness reads.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    budget: Duration,
+    min_batches: usize,
+    report: &'a mut Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `f`, recording iterations and elapsed
+    /// wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up (and lazy-initialization) pass
+        let mut iters = 0u64;
+        let mut batches = 0usize;
+        let hard_cap = self.budget * 4;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            batches += 1;
+            let elapsed = start.elapsed();
+            if (elapsed >= self.budget && batches >= self.min_batches) || elapsed >= hard_cap {
+                *self.report = Some((iters, elapsed));
+                return;
+            }
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        run_one(self, &name, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl IntoLabel, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, self.throughput, &mut f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(self.criterion, &label, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (printing nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark label (`&str` or [`BenchmarkId`]).
+pub trait IntoLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut report = None;
+    let mut b = Bencher {
+        budget: criterion.measurement_time,
+        min_batches: criterion.sample_size,
+        report: &mut report,
+    };
+    f(&mut b);
+    match report {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+                Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+            });
+            println!(
+                "bench: {label:<40} {:>12} /iter  ({iters} iters){}",
+                format_time(per_iter),
+                rate.unwrap_or_default()
+            );
+        }
+        _ => println!("bench: {label:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn_a,
+/// fn_b)` or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3, "{calls}");
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let data = vec![1, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<i32>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7));
+        group.finish();
+        assert_eq!(BenchmarkId::new("x", 4).label, "x/4");
+        assert_eq!(BenchmarkId::from_parameter(4).label, "4");
+    }
+}

@@ -1,0 +1,378 @@
+//! The [`Strategy`] trait and its combinators: random value generation
+//! without shrinking.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerates until `f` accepts the value (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Builds recursive structures: `expand` receives a strategy for the
+    /// substructure and returns the strategy for one enclosing layer,
+    /// nested at most `depth` deep. The `_desired_size` and
+    /// `_expected_branch_size` hints of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            expand: Rc::new(move |inner| expand(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut SmallRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform selection from a fixed pool (see `prop::sample::select`).
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The [`Strategy::prop_filter`] combinator.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter: no value satisfied `{}` in 1000 attempts",
+            self.reason
+        );
+    }
+}
+
+/// The [`Strategy::prop_recursive`] combinator.
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    expand: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            expand: Rc::clone(&self.expand),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        // Terminate at depth 0; otherwise expand one layer with
+        // probability 3/4 (keeps expected sizes small but deep nesting
+        // reachable, the role proptest's size hints play).
+        if self.depth == 0 || rng.gen_bool(0.25) {
+            return self.base.generate(rng);
+        }
+        let inner = Recursive {
+            base: self.base.clone(),
+            expand: Rc::clone(&self.expand),
+            depth: self.depth - 1,
+        };
+        (self.expand)(inner.boxed()).generate(rng)
+    }
+}
+
+/// Vectors of a given length range (see `prop::collection::vec`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Optional values (see `prop::option::of`).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        rng.gen_bool(0.75).then(|| self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String strategies from simple regex-like patterns of the form
+/// `[class]{m,n}` (or `[class]{n}`), where the class may contain
+/// literal characters and `a-z`-style ranges. This covers every pattern
+/// the workspace uses; richer patterns panic loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (chars, min, max) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string-strategy pattern `{self}`"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            chars.extend(lo..=hi);
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (min <= max).then_some((chars, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn select_and_map() {
+        let s = prop::sample::select(vec![1, 2, 3]).prop_map(|x| x * 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_strategies() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-c]{1,4}", &mut r);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate(&"[ -~]{0,8}", &mut r);
+            assert!(t.len() <= 8);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_filter() {
+        let mut r = rng();
+        let v = prop::collection::vec(0..5usize, 2..6);
+        for _ in 0..50 {
+            let xs = v.generate(&mut r);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+        let o = prop::option::of(0..3usize);
+        let somes = (0..400).filter(|_| o.generate(&mut r).is_some()).count();
+        assert!((200..=390).contains(&somes), "{somes}");
+        let f = (0..10usize).prop_filter("even", |x| x % 2 == 0);
+        assert!((0..100).all(|_| f.generate(&mut r) % 2 == 0));
+    }
+
+    #[test]
+    fn recursion_terminates_and_nests() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth_of(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth_of).max().unwrap_or(0),
+            }
+        }
+        let s = Just(())
+            .prop_map(|()| Tree::Leaf)
+            .prop_recursive(4, 32, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = s.generate(&mut r);
+            let d = depth_of(&t);
+            assert!(d <= 4);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "recursion never nested: {max_depth}");
+    }
+}
