@@ -1,7 +1,7 @@
 //! The restriction checks defining Redundancy-free XPath (Definition 5.1):
 //! star-restricted (5.2), conjunctive (5.4), univariate (5.5), and
 //! leaf-only-value-restricted (5.7). Strong subsumption-freeness (5.18) is
-//! in [`crate::subsumption`]; the aggregate check is
+//! in [`crate::automorphism`]; the aggregate check is
 //! [`crate::redundancy_free`].
 
 use fx_eval::truth::{constraining_predicate, is_atomic, TruthError};

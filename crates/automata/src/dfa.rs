@@ -1,4 +1,4 @@
-//! A lazily-determinized DFA filter in the style of Green et al. ([18] in
+//! A lazily-determinized DFA filter in the style of Green et al. (\[18\] in
 //! the paper): subset construction on demand, with the transition table
 //! memoized across the stream. This is the design whose transition tables
 //! the paper's §1.2 calls out — "storage of large transition tables … the

@@ -1,5 +1,5 @@
 //! Linear path queries as position automata, and an NFA-based streaming
-//! filter in the style of XFilter/YFilter ([1], [14] in the paper): the
+//! filter in the style of XFilter/YFilter (\[1\], \[14\] in the paper): the
 //! automaton's active state set is maintained per open element on a
 //! run-time stack.
 

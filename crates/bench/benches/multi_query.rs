@@ -23,14 +23,16 @@ fn bench_bank_sizes(c: &mut Criterion) {
             .map(|_| wl::random_redundancy_free(&mut rng, &cfg))
             .collect();
         group.throughput(Throughput::Elements((events.len() * n) as u64));
-        // The legacy bank (with verdict-decided short-circuiting)…
+        // The bare bank (with verdict-decided short-circuiting)…
         group.bench_with_input(BenchmarkId::new("multifilter", n), &queries, |b, qs| {
             let mut bank = MultiFilter::new(qs).unwrap();
             b.iter(|| {
                 for e in &events {
                     bank.process(e);
                 }
-                bank.matching_queries().len()
+                // Iterator form: the fan-out count without allocating a
+                // Vec<usize> per document on the hot path.
+                bank.matching().count()
             });
         });
         // …vs the canonical engine session (which runs the same
@@ -45,7 +47,26 @@ fn bench_bank_sizes(c: &mut Criterion) {
                 for e in &events {
                     session.push(e);
                 }
-                session.finish().unwrap().matching_queries().len()
+                session.finish().unwrap().matching().count()
+            });
+        });
+        // …and the selection bank: same documents, but every confirmed
+        // match is routed to a (counting) sink — the full-fledged
+        // dissemination path.
+        group.bench_with_input(BenchmarkId::new("engine-select", n), &queries, |b, qs| {
+            let engine = Engine::builder()
+                .queries(qs.iter().cloned())
+                .mode(fx_engine::Mode::Select)
+                .build()
+                .unwrap();
+            let mut session = engine.session();
+            b.iter(|| {
+                let mut delivered = 0usize;
+                for e in &events {
+                    session.push_to(e, &mut |_m: fx_engine::Match| delivered += 1);
+                }
+                session.finish().unwrap();
+                delivered
             });
         });
     }

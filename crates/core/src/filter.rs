@@ -22,10 +22,10 @@
 //! is bounded by the path recursion depth `r`, which the theorem already
 //! charges per record.
 
-use crate::reporter::{Frame, Reporter};
+use crate::reporter::{Frame, Match, MatchSink, Reporter};
 use crate::space::SpaceStats;
 use fx_eval::truth::{constraining_predicate, TruthError};
-use fx_xml::{Attribute, Event, SaxHandler};
+use fx_xml::{Attribute, Event, SaxHandler, Span};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -171,6 +171,20 @@ impl CompiledQuery {
     pub fn source(&self) -> &str {
         &self.source
     }
+
+    /// Whether the query can run in *reporting* (selection) mode:
+    /// position reporting requires an element output node, since
+    /// attributes carry no element ordinal.
+    pub fn reporting_supported(&self) -> Result<(), UnsupportedQuery> {
+        if self
+            .out_path
+            .iter()
+            .any(|&n| self.nodes[n as usize].axis == Axis::Attribute)
+        {
+            return Err(UnsupportedQuery::AttributeOutput);
+        }
+        Ok(())
+    }
 }
 
 /// One row of the frontier table (§8.2), extended with the offset stack.
@@ -189,8 +203,10 @@ pub struct FrontierRecord {
     pub str_starts: Vec<usize>,
 }
 
-/// The streaming filter: feed it SAX events (or use [`StreamFilter::run`])
-/// and read the verdict at `endDocument`.
+/// The streaming filter: feed it SAX events through
+/// [`StreamFilter::process`] (or [`StreamFilter::process_spanned`], to
+/// stamp reported matches with source byte spans) and read the verdict
+/// at `endDocument`.
 #[derive(Debug, Clone)]
 pub struct StreamFilter {
     query: CompiledQuery,
@@ -252,16 +268,16 @@ impl StreamFilter {
     /// it reports the element ordinals (0-based `startElement` positions)
     /// of the nodes `FULLEVAL(Q, D)` selects. This is the full-evaluation
     /// extension the paper sketches in §1; it buffers unresolved candidate
-    /// positions, the cost the paper's follow-up [5] proves unavoidable.
+    /// positions, the cost the paper's follow-up \[5\] proves unavoidable.
     pub fn new_reporting(q: &Query) -> Result<StreamFilter, UnsupportedQuery> {
-        let mut f = StreamFilter::from_compiled(CompiledQuery::compile(q)?);
-        if f.query
-            .out_path
-            .iter()
-            .any(|&n| f.query.nodes[n as usize].axis == Axis::Attribute)
-        {
-            return Err(UnsupportedQuery::AttributeOutput);
-        }
+        StreamFilter::from_compiled_reporting(CompiledQuery::compile(q)?)
+    }
+
+    /// Reporting-mode filter from an already-compiled query (cheap; used
+    /// by the multi-query bank and the engine's selection mode).
+    pub fn from_compiled_reporting(query: CompiledQuery) -> Result<StreamFilter, UnsupportedQuery> {
+        query.reporting_supported()?;
+        let mut f = StreamFilter::from_compiled(query);
         f.reporter = Some(Reporter::default());
         Ok(f)
     }
@@ -275,7 +291,13 @@ impl StreamFilter {
     }
 
     /// In reporting mode, after `endDocument`: the sorted element
-    /// ordinals selected by `FULLEVAL(Q, D)`.
+    /// ordinals selected by `FULLEVAL(Q, D)` that have **not** been
+    /// drained through [`StreamFilter::drain_matches`].
+    ///
+    /// This is the legacy batch accessor, now a thin wrapper over the
+    /// reporter's collecting outbox: when nothing drains matches
+    /// incrementally (the `run_reporting` path) every confirmed position
+    /// accumulates there and this returns the complete result set.
     pub fn matched_positions(&self) -> Option<Vec<u64>> {
         match (&self.reporter, self.result) {
             (Some(rep), Some(_)) => Some(rep.results()),
@@ -283,23 +305,35 @@ impl StreamFilter {
         }
     }
 
-    /// Peak number of simultaneously buffered candidate positions
-    /// (reporting mode) — the [5] buffering cost.
+    /// Drains every match confirmed since the last drain into `sink`,
+    /// stamped with bank index `query`. The engine calls this after each
+    /// event, so matches reach the consumer the moment the paper's
+    /// frontier resolves their ancestor chains — not at `endDocument`.
+    ///
+    /// No-op in filtering (non-reporting) mode.
+    pub fn drain_matches(&mut self, query: usize, sink: &mut dyn MatchSink) {
+        if let Some(rep) = &mut self.reporter {
+            for (ordinal, span) in rep.drain_outbox() {
+                sink.on_match(Match {
+                    query,
+                    ordinal,
+                    span,
+                });
+            }
+        }
+    }
+
+    /// Peak number of simultaneously buffered *unresolved* candidate
+    /// positions (reporting mode) — the \[5\] buffering cost. Matches whose
+    /// ancestor chains already resolved are emitted immediately and never
+    /// counted here.
     pub fn peak_pending_positions(&self) -> usize {
         self.reporter.as_ref().map_or(0, |r| r.max_pendings)
     }
 
-    /// One-shot evaluation of `BOOLEVAL_Q` over an event stream.
-    #[deprecated(
-        since = "0.2.0",
-        note = "requires a materialized Vec<Event>, forfeiting the streaming memory \
-                guarantee; use fx_engine::Engine::builder() and Session::run_reader \
-                (or push events incrementally via StreamFilter::process)"
-    )]
-    pub fn run(q: &Query, events: &[Event]) -> Result<bool, UnsupportedQuery> {
-        let mut f = StreamFilter::new(q)?;
-        f.process_all(events);
-        Ok(f.result().expect("endDocument delivers a verdict"))
+    /// True when this filter reports positions (selection mode).
+    pub fn is_reporting(&self) -> bool {
+        self.reporter.is_some()
     }
 
     /// Feeds a slice of events.
@@ -317,13 +351,22 @@ impl StreamFilter {
         self.result()
     }
 
-    /// Feeds one event.
+    /// Feeds one event without span information (matches then carry
+    /// [`Span::EMPTY`]). Sources that know byte offsets use
+    /// [`StreamFilter::process_spanned`].
     pub fn process(&mut self, event: &Event) {
+        self.process_spanned(event, Span::EMPTY);
+    }
+
+    /// Feeds one event together with its source byte span, so reporting
+    /// mode can stamp each confirmed match with the element's full
+    /// source range (start tag through end tag).
+    pub fn process_spanned(&mut self, event: &Event, span: Span) {
         match event {
             Event::StartDocument => self.start_document(),
             Event::EndDocument => self.end_document(),
-            Event::StartElement { name, attributes } => self.start_element(name, attributes),
-            Event::EndElement { name } => self.end_element(name),
+            Event::StartElement { name, attributes } => self.start_element(name, attributes, span),
+            Event::EndElement { name } => self.end_element(name, span),
             Event::Text { content } => self.text(content),
         }
         self.stats.events += 1;
@@ -469,7 +512,7 @@ impl StreamFilter {
         }
     }
 
-    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
+    fn start_element(&mut self, name: &str, attributes: &[Attribute], span: Span) {
         let lvl = self.current_level;
         let reporting = self.reporter.is_some();
         let ordinal = self.element_ordinal;
@@ -508,6 +551,7 @@ impl StreamFilter {
         }
         let mut frame = Frame {
             ordinal,
+            span_start: span.start,
             ..Frame::default()
         };
         // Process selections: leaves begin buffering; internal nodes spawn
@@ -610,7 +654,7 @@ impl StreamFilter {
         }
     }
 
-    fn end_element(&mut self, name: &str) {
+    fn end_element(&mut self, name: &str, span: Span) {
         // Saturate on malformed streams (the paper lets algorithms behave
         // arbitrarily on them, but we must not crash: the lower-bound
         // prober feeds crossed prefix/suffix pairs that may be malformed).
@@ -737,6 +781,7 @@ impl StreamFilter {
                 out_leaf_value,
                 &self.query.out_path,
                 &self.out_axes_child,
+                span.end,
             );
         }
     }

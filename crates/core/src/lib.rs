@@ -10,11 +10,15 @@
 //!
 //! This crate is the *algorithm* layer: [`StreamFilter`] is fed one SAX
 //! event at a time through [`StreamFilter::process`] and never needs the
-//! document materialized. Applications should normally go through the
-//! `fx-engine` crate, whose `Engine`/`Session` API wires this filter to
-//! pull-based event sources and multi-query banks; the batch helpers
-//! here (`StreamFilter::run`, `MultiFilter::process_all`) are deprecated
-//! shims kept for differential testing against the legacy surface.
+//! document materialized. Beyond the boolean verdict, a filter built in
+//! *reporting* mode performs the paper's §1 full-evaluation extension:
+//! confirmed output nodes are emitted incrementally as [`Match`]es (with
+//! document-order ordinals and source byte spans) through a
+//! [`MatchSink`], buffering only the unresolved candidates whose cost
+//! the follow-up work \[5\] proves unavoidable. Applications should
+//! normally go through the `fx-engine` crate, whose `Engine`/`Session`
+//! API wires these filters to pull-based event sources and multi-query
+//! banks.
 //!
 //! ```
 //! use fx_xpath::parse_query;
@@ -38,6 +42,7 @@ pub mod trace;
 
 pub use filter::{CompiledQuery, FrontierRecord, StreamFilter, UnsupportedQuery};
 pub use multi::MultiFilter;
+pub use reporter::{Match, MatchSink};
 pub use space::{bits_for, SpaceStats};
 pub use trace::{render, trace, TraceStep, Tuple};
 

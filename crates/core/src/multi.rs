@@ -1,11 +1,18 @@
 //! Multi-query filtering: evaluating many XPath filters over one document
 //! stream, the selective-dissemination scenario that motivated streaming
-//! XPath engines ([1] in the paper). Each query keeps its own frontier
+//! XPath engines (\[1\] in the paper). Each query keeps its own frontier
 //! table; events are fanned out once.
+//!
+//! A bank built with [`MultiFilter::from_compiled_reporting`] runs every
+//! filter in *selection* mode: confirmed output nodes are routed to a
+//! [`MatchSink`] as [`Match`]es stamped with their query's bank index the
+//! moment they resolve — the per-subscriber fan-out a dissemination
+//! deployment needs.
 
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
+use crate::reporter::{Match, MatchSink};
 use crate::space::SpaceStats;
-use fx_xml::Event;
+use fx_xml::{Event, Span};
 use fx_xpath::Query;
 
 /// A bank of streaming filters sharing one event feed.
@@ -55,6 +62,27 @@ impl MultiFilter {
         }
     }
 
+    /// Builds a *selection* bank from already-compiled queries: every
+    /// filter runs in reporting mode, and [`MultiFilter::process_to`]
+    /// routes each confirmed match to the sink with its query index.
+    /// Fails with the index of the first query whose output node cannot
+    /// be reported (attribute output).
+    pub fn from_compiled_reporting(
+        compiled: impl IntoIterator<Item = CompiledQuery>,
+    ) -> Result<MultiFilter, (usize, UnsupportedQuery)> {
+        let mut filters = Vec::new();
+        for (i, c) in compiled.into_iter().enumerate() {
+            filters.push(StreamFilter::from_compiled_reporting(c).map_err(|e| (i, e))?);
+        }
+        let decided = vec![None; filters.len()];
+        let progress = vec![0; filters.len()];
+        Ok(MultiFilter {
+            filters,
+            decided,
+            progress,
+        })
+    }
+
     /// Number of registered queries.
     pub fn len(&self) -> usize {
         self.filters.len()
@@ -75,10 +103,22 @@ impl MultiFilter {
     /// verdicts behave exactly as before. A decided filter's space/event
     /// statistics simply stop advancing at its decision point.
     pub fn process(&mut self, event: &Event) {
+        self.process_to(event, Span::EMPTY, &mut |_: Match| {});
+    }
+
+    /// Feeds one event with its source span, routing any matches it
+    /// confirmed to `sink` — each stamped with the index of the query
+    /// that selected it, so a dissemination layer can fan confirmed
+    /// matches straight out to per-query subscribers.
+    ///
+    /// Filtering-mode banks never produce matches (the sink is simply
+    /// not called); reporting banks never short-circuit, because full
+    /// evaluation must examine every candidate.
+    pub fn process_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
         match event {
             Event::StartDocument => {
                 for i in 0..self.filters.len() {
-                    self.filters[i].process(event);
+                    self.filters[i].process_spanned(event, span);
                     self.decided[i] = None;
                     self.progress[i] = 0;
                 }
@@ -92,7 +132,8 @@ impl MultiFilter {
                         continue;
                     }
                     let f = &mut self.filters[i];
-                    f.process(event);
+                    f.process_spanned(event, span);
+                    f.drain_matches(i, sink);
                     // `decided` can only flip when a match flag turned
                     // true, so the recursive check runs on transitions
                     // only — not on every event of the stream.
@@ -106,18 +147,6 @@ impl MultiFilter {
         }
     }
 
-    /// Feeds a whole stream.
-    #[deprecated(
-        since = "0.2.0",
-        note = "requires a materialized Vec<Event>; use fx_engine::Engine with a \
-                multi-query Session, or push events incrementally via process"
-    )]
-    pub fn process_all(&mut self, events: &[Event]) {
-        for e in events {
-            self.process(e);
-        }
-    }
-
     /// Per-query verdicts (available after `endDocument`, or earlier for
     /// filters that short-circuited).
     pub fn results(&self) -> Vec<Option<bool>> {
@@ -128,13 +157,35 @@ impl MultiFilter {
             .collect()
     }
 
-    /// Indices of the queries the last document matched.
-    pub fn matching_queries(&self) -> Vec<usize> {
-        self.results()
+    /// Iterates the indices of the queries the last document matched,
+    /// without allocating — the hot-path form of
+    /// [`MultiFilter::matching_queries`] for per-document fan-out loops.
+    pub fn matching(&self) -> impl Iterator<Item = usize> + '_ {
+        self.filters
             .iter()
+            .zip(&self.decided)
             .enumerate()
-            .filter_map(|(i, r)| (*r == Some(true)).then_some(i))
+            .filter_map(|(i, (f, d))| (f.result().or(*d) == Some(true)).then_some(i))
+    }
+
+    /// Indices of the queries the last document matched, collected.
+    pub fn matching_queries(&self) -> Vec<usize> {
+        self.matching().collect()
+    }
+
+    /// Per-query peak counts of buffered unresolved candidate positions
+    /// (all zero for filtering-mode banks) — the \[5\] selection cost.
+    pub fn peak_pending_positions(&self) -> Vec<usize> {
+        self.filters
+            .iter()
+            .map(StreamFilter::peak_pending_positions)
             .collect()
+    }
+
+    /// True when this bank reports positions (built via
+    /// [`MultiFilter::from_compiled_reporting`]).
+    pub fn is_reporting(&self) -> bool {
+        self.filters.iter().any(StreamFilter::is_reporting)
     }
 
     /// Aggregate space: the sum of every filter's peak bits, plus the
@@ -151,10 +202,15 @@ impl MultiFilter {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the tests pit the legacy batch shims against the new paths
-
     use super::*;
     use fx_xpath::parse_query;
+
+    /// Event-at-a-time feed, the way the engine session drives a bank.
+    fn feed(mf: &mut MultiFilter, events: &[Event]) {
+        for e in events {
+            mf.process(e);
+        }
+    }
 
     #[test]
     fn dissemination_scenario() {
@@ -169,11 +225,68 @@ mod tests {
         .collect();
         let mut mf = MultiFilter::new(&queries).unwrap();
         let xml = "<doc><title>t</title><price>150</price><author>a</author></doc>";
-        mf.process_all(&fx_xml::parse(xml).unwrap());
+        feed(&mut mf, &fx_xml::parse(xml).unwrap());
         assert_eq!(mf.matching_queries(), vec![0, 1, 3]);
+        assert_eq!(mf.matching().collect::<Vec<_>>(), vec![0, 1, 3]);
         let xml2 = "<doc><section><figure/><caption/></section></doc>";
-        mf.process_all(&fx_xml::parse(xml2).unwrap());
+        feed(&mut mf, &fx_xml::parse(xml2).unwrap());
         assert_eq!(mf.matching_queries(), vec![2]);
+    }
+
+    #[test]
+    fn reporting_bank_routes_matches_per_query() {
+        let queries: Vec<Query> = ["/doc/item", "//note", "/doc[absent]/item"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let compiled = queries
+            .iter()
+            .map(|q| CompiledQuery::compile(q).unwrap())
+            .collect::<Vec<_>>();
+        let mut bank = MultiFilter::from_compiled_reporting(compiled).unwrap();
+        assert!(bank.is_reporting());
+        let xml = "<doc><item/><note/><item/></doc>";
+        let mut routed: Vec<Match> = Vec::new();
+        for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+            bank.process_to(&event, span, &mut routed);
+        }
+        // Ordinals: doc=0, item=1, note=2, item=3.
+        let per_query = |q: usize| {
+            routed
+                .iter()
+                .filter(|m| m.query == q)
+                .map(|m| m.ordinal)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(per_query(0), vec![1, 3]);
+        assert_eq!(per_query(1), vec![2]);
+        assert_eq!(per_query(2), Vec::<u64>::new());
+        // Spans point back at the matched elements' source bytes.
+        for m in &routed {
+            let text = m.span.slice(xml).unwrap();
+            assert!(text == "<item/>" || text == "<note/>", "{text}");
+        }
+        // Verdicts stay available alongside routed matches.
+        assert_eq!(
+            bank.results(),
+            vec![Some(true), Some(true), Some(false)],
+            "boolean verdicts coexist with selection"
+        );
+    }
+
+    #[test]
+    fn reporting_bank_rejects_attribute_output_with_index() {
+        let queries: Vec<Query> = ["/a/b", "/a/@id"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let compiled = queries
+            .iter()
+            .map(|q| CompiledQuery::compile(q).unwrap())
+            .collect::<Vec<_>>();
+        let err = MultiFilter::from_compiled_reporting(compiled).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(err.1, UnsupportedQuery::AttributeOutput);
     }
 
     #[test]
@@ -193,9 +306,9 @@ mod tests {
         let xml = "<r><a><b/><c/></a></r>";
         let events = fx_xml::parse(xml).unwrap();
         let mut mf = MultiFilter::new(&queries).unwrap();
-        mf.process_all(&events);
+        feed(&mut mf, &events);
         for (i, q) in queries.iter().enumerate() {
-            let solo = StreamFilter::run(q, &events).unwrap();
+            let solo = StreamFilter::new(q).unwrap().run_stream(&events).unwrap();
             assert_eq!(mf.results()[i], Some(solo), "{}", srcs[i]);
         }
     }
@@ -212,7 +325,7 @@ mod tests {
         let xml = format!("<r><a/>{padding}</r>");
         let events = fx_xml::parse(&xml).unwrap();
         let mut mf = MultiFilter::new(&queries).unwrap();
-        mf.process_all(&events);
+        feed(&mut mf, &events);
         assert_eq!(mf.results(), vec![Some(true), Some(false)]);
         let stats = mf.stats();
         assert!(
@@ -222,7 +335,7 @@ mod tests {
             stats[1].events
         );
         // And the next document resets the short-circuit.
-        mf.process_all(&fx_xml::parse("<r><z/></r>").unwrap());
+        feed(&mut mf, &fx_xml::parse("<r><z/></r>").unwrap());
         assert_eq!(mf.results(), vec![Some(false), Some(true)]);
     }
 
@@ -240,7 +353,7 @@ mod tests {
         let xml = format!("<other>{body}<doc><title/></doc></other>");
         let events = fx_xml::parse(&xml).unwrap();
         let mut mf = MultiFilter::new(&queries).unwrap();
-        mf.process_all(&events);
+        feed(&mut mf, &events);
         // `/doc[title]` is rooted: no match. `//doc[title]` finds the
         // nested <doc>: match.
         assert_eq!(mf.results(), vec![Some(false), Some(true)]);
@@ -251,7 +364,7 @@ mod tests {
             stats[0].events
         );
         // And the next document is judged afresh.
-        mf.process_all(&fx_xml::parse("<doc><title/></doc>").unwrap());
+        feed(&mut mf, &fx_xml::parse("<doc><title/></doc>").unwrap());
         assert_eq!(mf.results(), vec![Some(true), Some(true)]);
     }
 
@@ -274,7 +387,7 @@ mod tests {
         for _ in 0..60 {
             let d = fx_workloads::random_document(&mut rng, &cfg);
             let events = d.to_events();
-            mf.process_all(&events);
+            feed(&mut mf, &events);
             for (i, q) in queries.iter().enumerate() {
                 let solo = StreamFilter::new(q).unwrap().run_stream(&events);
                 assert_eq!(mf.results()[i], solo, "{} on {}", srcs[i], d.to_xml());

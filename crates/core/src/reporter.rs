@@ -1,10 +1,10 @@
 //! Full-fledged evaluation on streams: reporting the document-order
-//! positions of the nodes `FULLEVAL(Q, D)` selects, not just the boolean
-//! verdict.
+//! positions of the nodes `FULLEVAL(Q, D)` selects — incrementally, the
+//! moment each is confirmed — not just the boolean verdict.
 //!
 //! The paper notes (§1) that the filtering algorithm "could be extended to
-//! provide also a full-fledged evaluation of XPath queries [22]"; its
-//! follow-up work ([5]) proves that such evaluation inherently requires
+//! provide also a full-fledged evaluation of XPath queries \[22\]"; its
+//! follow-up work (\[5\]) proves that such evaluation inherently requires
 //! buffering — here, of *candidate output positions* whose ancestors'
 //! predicates are still unresolved. This module implements that extension:
 //! each open element carries a frame; confirmed output candidates bubble
@@ -12,11 +12,58 @@
 //! still need an ancestor match for, and are confirmed or dropped as the
 //! enclosing candidates close.
 //!
-//! The buffered state is exactly the set of unresolved positions — the
-//! quantity [5] shows is unavoidable — so the space overhead over pure
-//! filtering is `O(#pending · log |D|)` bits.
+//! A position whose ancestor chain fully resolves is **emitted
+//! immediately** as a [`Match`] (pushed to an outbox the owning filter
+//! drains into a [`MatchSink`] after every event); only *unresolved*
+//! candidates stay buffered. The buffered state is therefore exactly the
+//! quantity \[5\] shows is unavoidable, and the space overhead over pure
+//! filtering is `O(#pending · log |D|)` bits — matches in subtrees whose
+//! predicates already resolved cost nothing and reach the consumer before
+//! the rest of the document has streamed.
 
+use fx_xml::Span;
 use std::collections::HashMap;
+
+/// One confirmed output node of `FULLEVAL(Q, D)`, delivered to a
+/// [`MatchSink`] the moment its ancestor chain resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Index of the matching query within its bank (0 for single-query
+    /// filters), in registration order.
+    pub query: usize,
+    /// The 0-based ordinal of the selected element: its position among
+    /// the document's `startElement` events (document order).
+    pub ordinal: u64,
+    /// Source byte range of the whole element, from the first byte of
+    /// its start tag to the last byte of its end tag. [`Span::EMPTY`]
+    /// when the events were pushed without span information.
+    pub span: Span,
+}
+
+/// A push-style consumer of confirmed matches: the output half of
+/// full-fledged evaluation, mirroring how `SaxHandler` is the input half.
+///
+/// Implemented by `Vec<Match>` (collect everything) and by any
+/// `FnMut(Match)` closure, so ad-hoc sinks need no newtype.
+pub trait MatchSink {
+    /// Called once per confirmed output node, in confirmation order
+    /// (which is *not* document order: a match in an already-resolved
+    /// subtree is delivered before earlier candidates still pending on
+    /// unresolved predicates).
+    fn on_match(&mut self, m: Match);
+}
+
+impl<F: FnMut(Match)> MatchSink for F {
+    fn on_match(&mut self, m: Match) {
+        self(m)
+    }
+}
+
+impl MatchSink for Vec<Match> {
+    fn on_match(&mut self, m: Match) {
+        self.push(m)
+    }
+}
 
 /// A pending output position: `ordinal` was locally confirmed, and the
 /// chain of ancestors matching output-path indexes `needed, needed-1, …`
@@ -29,6 +76,9 @@ pub(crate) struct Pending {
     /// The 1-based output-path index the next enclosing consumer must
     /// match; 0 means the chain is complete.
     needed: u16,
+    /// The candidate element's source byte range (start tag through end
+    /// tag), fixed at the close that created the pending.
+    span: Span,
 }
 
 /// One frame per open element.
@@ -36,6 +86,8 @@ pub(crate) struct Pending {
 pub(crate) struct Frame {
     /// The element's ordinal.
     pub(crate) ordinal: u64,
+    /// Byte offset of the element's start tag (for the match span).
+    pub(crate) span_start: u64,
     /// Output-path indexes (1-based) this element is a candidate for.
     pub(crate) candidates: Vec<u16>,
     /// Whether this element is a candidate for a *leaf* output node whose
@@ -50,16 +102,21 @@ pub(crate) struct Frame {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Reporter {
     frames: Vec<Frame>,
-    /// Pendings that reached the top level with `needed == 0`.
-    confirmed: Vec<u64>,
-    /// Peak number of simultaneously buffered pendings (the [5] cost).
+    /// Matches confirmed but not yet drained by the owning filter. In
+    /// sink-driven use this is emptied after every event; in legacy
+    /// batch use it accumulates and doubles as the collecting sink
+    /// behind `matched_positions()`.
+    outbox: Vec<(u64, Span)>,
+    /// Peak number of simultaneously buffered *unresolved* pendings (the
+    /// \[5\] cost). Confirmed matches leave the buffer at emission and are
+    /// not counted.
     pub(crate) max_pendings: usize,
 }
 
 impl Reporter {
     pub(crate) fn reset(&mut self) {
         self.frames.clear();
-        self.confirmed.clear();
+        self.outbox.clear();
     }
 
     pub(crate) fn open_element(&mut self, frame: Frame) {
@@ -71,15 +128,18 @@ impl Reporter {
     /// `out_leaf_value` is the per-candidate value verdict when the output
     /// node is a value-restricted leaf candidate here; `axes_child` tells,
     /// for each 1-based path index, whether that step has a child axis
-    /// (true) or descendant axis (false); `out_len` is the path length m.
+    /// (true) or descendant axis (false); `end_offset` is the source byte
+    /// offset one past the closing tag (completing the element's span).
     pub(crate) fn close_element(
         &mut self,
         pred_ok: &HashMap<u32, (bool, bool)>,
         out_leaf_value: Option<bool>,
         path_nodes: &[u32],
         axes_child: &[bool],
+        end_offset: u64,
     ) {
         let frame = self.frames.pop().expect("close without open frame");
+        let elem_span = Span::new(frame.span_start, end_offset);
         let m = path_nodes.len() as u16;
         let mut out: Vec<Pending> = Vec::new();
 
@@ -102,6 +162,7 @@ impl Reporter {
                 out.push(Pending {
                     ordinal: frame.ordinal,
                     needed: m - 1,
+                    span: elem_span,
                 });
             }
         }
@@ -125,10 +186,7 @@ impl Reporter {
                     false
                 });
                 if ok {
-                    out.push(Pending {
-                        ordinal: p.ordinal,
-                        needed: i - 1,
-                    });
+                    out.push(Pending { needed: i - 1, ..p });
                 }
             }
             // Skip: allowed when the step *below* index i (index i+1)
@@ -140,29 +198,55 @@ impl Reporter {
         }
 
         // Deduplicate (an element may be a candidate for several indexes,
-        // or a pending may arrive via multiple chains).
+        // or a pending may arrive via multiple chains). A pending's span
+        // is determined by its ordinal, so (ordinal, needed) ordering
+        // groups true duplicates adjacently.
         out.sort_unstable_by_key(|p| (p.ordinal, p.needed));
         out.dedup();
 
-        match self.frames.last_mut() {
-            Some(parent) => parent.pendings.extend(out),
-            None => {
-                // Root element closed: surviving pendings with needed == 0
-                // are genuine results (the query root is matched by the
-                // document root by definition).
-                self.confirmed
-                    .extend(out.iter().filter(|p| p.needed == 0).map(|p| p.ordinal));
+        // 3. Emission: a pending whose chain just completed (needed == 0)
+        // is a genuine result *now* — no later event can revoke a real
+        // match — so it goes straight to the outbox instead of bubbling
+        // to the root. Every other copy of that ordinal (forked by the
+        // consume-and-skip rule on descendant axes) is dropped so the
+        // node cannot confirm twice via a second chain; all copies of an
+        // ordinal live in this frame, so purging `out` is complete.
+        let mut keep: Vec<Pending> = Vec::new();
+        let mut i = 0;
+        while i < out.len() {
+            let ordinal = out[i].ordinal;
+            let mut j = i + 1;
+            while j < out.len() && out[j].ordinal == ordinal {
+                j += 1;
             }
+            if out[i].needed == 0 {
+                self.outbox.push((ordinal, out[i].span));
+            } else {
+                keep.extend_from_slice(&out[i..j]);
+            }
+            i = j;
+        }
+
+        // Unresolved pendings bubble to the parent; at the root element
+        // there is no further ancestor to complete their chains, so they
+        // are dropped.
+        if let Some(parent) = self.frames.last_mut() {
+            parent.pendings.extend(keep);
         }
         let live: usize = self.frames.iter().map(|f| f.pendings.len()).sum();
         self.max_pendings = self.max_pendings.max(live);
     }
 
-    /// The confirmed output ordinals, sorted and deduplicated.
+    /// Drains the confirmed-match outbox, oldest first.
+    pub(crate) fn drain_outbox(&mut self) -> std::vec::Drain<'_, (u64, Span)> {
+        self.outbox.drain(..)
+    }
+
+    /// The undrained confirmed output ordinals, sorted. (Emission already
+    /// deduplicates, so this is a sort of the outbox.)
     pub(crate) fn results(&self) -> Vec<u64> {
-        let mut r = self.confirmed.clone();
+        let mut r: Vec<u64> = self.outbox.iter().map(|&(o, _)| o).collect();
         r.sort_unstable();
-        r.dedup();
         r
     }
 }
@@ -305,6 +389,99 @@ mod tests {
             let mut reporting = StreamFilter::new_reporting(&q).unwrap();
             reporting.process_all(&events);
             assert_eq!(plain.result(), reporting.result(), "{xml}");
+        }
+    }
+
+    #[test]
+    fn matches_emit_the_moment_their_chain_resolves() {
+        // Two <a> subtrees: the first resolves (has <x/>) and closes
+        // early; its b-matches must be drained *before* the second
+        // subtree — let alone endDocument — streams.
+        let xml = "<r><a><x/><b/><b/></a><a><b/><b/><b/></a></r>";
+        let q = parse_query("//a[x]/b").unwrap();
+        let mut f = StreamFilter::new_reporting(&q).unwrap();
+        let spanned = fx_xml::parse_spanned(xml).unwrap();
+        let mut arrivals: Vec<(u64, usize)> = Vec::new(); // (ordinal, events seen)
+        for (i, (event, span)) in spanned.iter().enumerate() {
+            f.process_spanned(event, *span);
+            let seen = i + 1;
+            f.drain_matches(0, &mut |m: crate::Match| arrivals.push((m.ordinal, seen)));
+        }
+        let total = spanned.len();
+        // Ordinals: r=0, a=1, x=2, b=3, b=4, a=5, b=6,7,8. Only the
+        // first subtree's b's match.
+        assert_eq!(
+            arrivals.iter().map(|&(o, _)| o).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        for &(ordinal, seen) in &arrivals {
+            assert!(
+                seen <= total / 2,
+                "match {ordinal} arrived at event {seen}/{total}, not incrementally"
+            );
+        }
+        // Drained matches are gone; the legacy accessor sees only what
+        // was never drained (nothing here).
+        assert_eq!(f.matched_positions().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn match_spans_cover_the_selected_elements() {
+        let xml = "<r><a><x/><b>hi</b></a><b/></r>";
+        let q = parse_query("//a[x]/b").unwrap();
+        let mut f = StreamFilter::new_reporting(&q).unwrap();
+        let mut matches: Vec<crate::Match> = Vec::new();
+        for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+            f.process_spanned(&event, span);
+            f.drain_matches(7, &mut matches);
+        }
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].query, 7, "sink sees the stamped bank index");
+        assert_eq!(matches[0].span.slice(xml), Some("<b>hi</b>"));
+    }
+
+    #[test]
+    fn resolved_matches_are_not_buffered_as_pending() {
+        // Every <b> resolves at its own close: n matches stream out while
+        // the unresolved-candidate buffer (the [5] cost) stays empty.
+        let n = 200;
+        let xml = format!("<r>{}</r>", "<b/>".repeat(n));
+        let q = parse_query("//b").unwrap();
+        let mut f = StreamFilter::new_reporting(&q).unwrap();
+        let mut count = 0usize;
+        for (event, span) in fx_xml::parse_spanned(&xml).unwrap() {
+            f.process_spanned(&event, span);
+            f.drain_matches(0, &mut |_m: crate::Match| count += 1);
+        }
+        assert_eq!(count, n);
+        assert_eq!(
+            f.peak_pending_positions(),
+            0,
+            "immediately-resolved matches must not occupy the pending buffer"
+        );
+    }
+
+    #[test]
+    fn forked_chains_confirm_an_ordinal_once() {
+        // //a//b under nested a's: the pending forks (consume + skip) and
+        // both copies eventually resolve; the b must be reported once.
+        for xml in [
+            "<a><a><b/></a></a>",
+            "<a><a><a><b/></a></a></a>",
+            "<r><a><a><b/><b/></a></a></r>",
+        ] {
+            let q = parse_query("//a//b").unwrap();
+            let mut f = StreamFilter::new_reporting(&q).unwrap();
+            let mut seen: Vec<u64> = Vec::new();
+            for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+                f.process_spanned(&event, span);
+                f.drain_matches(0, &mut |m: crate::Match| seen.push(m.ordinal));
+            }
+            let mut deduped = seen.clone();
+            deduped.sort_unstable();
+            deduped.dedup();
+            assert_eq!(seen.len(), deduped.len(), "duplicate emission on {xml}");
+            assert_eq!(deduped, expected_positions("//a//b", xml), "{xml}");
         }
     }
 

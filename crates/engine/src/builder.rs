@@ -1,11 +1,33 @@
 //! [`Engine`] and its builder: compile-once, stream-many query banks.
 
 use crate::error::EngineError;
-use crate::session::{Session, SessionInner, Verdicts};
+use crate::session::{Outcome, Session, SessionInner, Verdicts};
 use fx_core::{CompiledQuery, StreamFilter};
 use fx_xml::Event;
 use fx_xpath::{parse_query, Query};
 use std::io::Read;
+
+/// What a built [`Engine`] produces for each document.
+///
+/// | Mode | Output | Extra memory over filtering |
+/// |---|---|---|
+/// | `Filter` | boolean [`Verdicts`] only | none — the paper's `O(FS(Q)·log d)` bits |
+/// | `Select` | verdicts **plus** a stream of [`crate::Match`]es | the unresolved-candidate buffer the paper's follow-up (\[5\]) proves unavoidable |
+///
+/// In `Select` mode every confirmed output node of `FULLEVAL(Q, D)` is
+/// delivered to a [`crate::MatchSink`] the moment its ancestor chain
+/// resolves — before the rest of the document streams — with its
+/// document-order ordinal and source byte [`fx_xml::Span`]. Selection
+/// requires [`Backend::Frontier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Boolean filtering (the default): `BOOLEVAL_Q` per query.
+    #[default]
+    Filter,
+    /// Full-fledged evaluation: incremental `FULLEVAL_Q` match streams
+    /// alongside the verdicts.
+    Select,
+}
 
 /// Which evaluation algorithm a built [`Engine`] runs.
 ///
@@ -39,6 +61,7 @@ pub enum Backend {
 pub struct EngineBuilder {
     queries: Vec<Query>,
     backend: Backend,
+    mode: Mode,
     /// First query-string parse failure, surfaced at `build()` so the
     /// fluent chain stays ergonomic.
     deferred: Option<EngineError>,
@@ -80,8 +103,21 @@ impl EngineBuilder {
         self
     }
 
-    /// Validates every query against the chosen backend and compiles
-    /// what can be compiled ahead of time.
+    /// Selects what the engine produces (default: [`Mode::Filter`]).
+    /// [`Mode::Select`] additionally streams confirmed matches and
+    /// requires [`Backend::Frontier`].
+    pub fn mode(mut self, mode: Mode) -> EngineBuilder {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.mode(Mode::Select)`.
+    pub fn select(self) -> EngineBuilder {
+        self.mode(Mode::Select)
+    }
+
+    /// Validates every query against the chosen backend and mode, and
+    /// compiles what can be compiled ahead of time.
     pub fn build(self) -> Result<Engine, EngineError> {
         if let Some(e) = self.deferred {
             return Err(e);
@@ -89,14 +125,22 @@ impl EngineBuilder {
         if self.queries.is_empty() {
             return Err(EngineError::NoQueries);
         }
+        if self.mode == Mode::Select && self.backend != Backend::Frontier {
+            return Err(EngineError::SelectionUnsupported {
+                backend: self.backend,
+            });
+        }
         let mut compiled = Vec::new();
         match self.backend {
             Backend::Frontier => {
                 for (index, q) in self.queries.iter().enumerate() {
-                    compiled.push(
-                        CompiledQuery::compile(q)
-                            .map_err(|source| EngineError::Unsupported { index, source })?,
-                    );
+                    let c = CompiledQuery::compile(q)
+                        .map_err(|source| EngineError::Unsupported { index, source })?;
+                    if self.mode == Mode::Select {
+                        c.reporting_supported()
+                            .map_err(|source| EngineError::Unsupported { index, source })?;
+                    }
+                    compiled.push(c);
                 }
             }
             Backend::Nfa | Backend::LazyDfa => {
@@ -118,6 +162,7 @@ impl EngineBuilder {
             queries: self.queries,
             compiled,
             backend: self.backend,
+            mode: self.mode,
         })
     }
 }
@@ -134,6 +179,7 @@ pub struct Engine {
     /// their automata per session, which is cheap for linear paths).
     compiled: Vec<CompiledQuery>,
     backend: Backend,
+    mode: Mode,
 }
 
 impl Engine {
@@ -158,6 +204,11 @@ impl Engine {
         self.backend
     }
 
+    /// The configured output mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
     /// The registered queries, in registration order.
     pub fn queries(&self) -> &[Query] {
         &self.queries
@@ -169,13 +220,24 @@ impl Engine {
     /// dissemination workload amortizes setup — and how the `LazyDfa`
     /// backend keeps its memoized transition table warm across documents.
     pub fn session(&self) -> Session {
+        // Selection sessions always run on a reporting bank (even with a
+        // single query): the bank stamps every confirmed match with its
+        // query index and routes it to the caller's sink.
+        if self.mode == Mode::Select {
+            let bank = fx_core::MultiFilter::from_compiled_reporting(self.compiled.iter().cloned())
+                .expect("reporting support validated at build()");
+            return Session::new(SessionInner::Bank(bank), self.mode);
+        }
         // A multi-query Frontier session runs on the short-circuiting
         // bank; a single-query one keeps the bare filter so its space
         // statistics stay bit-for-bit identical to a legacy run.
         if self.backend == Backend::Frontier && self.compiled.len() > 1 {
-            return Session::new(SessionInner::Bank(fx_core::MultiFilter::from_compiled(
-                self.compiled.iter().cloned(),
-            )));
+            return Session::new(
+                SessionInner::Bank(fx_core::MultiFilter::from_compiled(
+                    self.compiled.iter().cloned(),
+                )),
+                self.mode,
+            );
         }
         let evaluators: Vec<Box<dyn crate::Evaluator>> = match self.backend {
             Backend::Frontier => self
@@ -210,7 +272,7 @@ impl Engine {
                 })
                 .collect(),
         };
-        Session::new(SessionInner::Each(evaluators))
+        Session::new(SessionInner::Each(evaluators), self.mode)
     }
 
     /// One-shot convenience: stream a document from a reader through a
@@ -235,6 +297,24 @@ impl Engine {
             session.push(e);
         }
         session.finish()
+    }
+
+    /// One-shot selection: streams a document from a reader through a
+    /// fresh session and returns the full [`Outcome`] — verdicts plus
+    /// the per-query match lists. Meaningful on a [`Mode::Select`]
+    /// engine; a filtering engine returns empty match lists.
+    ///
+    /// To consume matches *as they are confirmed* (rather than collected
+    /// at the end), open a session and use
+    /// [`Session::run_reader_to`] with your own [`crate::MatchSink`].
+    pub fn select_reader<R: Read>(&self, reader: R) -> Result<Outcome, EngineError> {
+        self.session().run_reader_outcome(reader)
+    }
+
+    /// [`Engine::select_reader`] over an in-memory XML string (still
+    /// streamed, never materialized into events).
+    pub fn select_str(&self, xml: &str) -> Result<Outcome, EngineError> {
+        self.select_reader(xml.as_bytes())
     }
 }
 
@@ -277,6 +357,48 @@ mod tests {
             matches!(err, EngineError::Unsupported { index: 1, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn selection_mode_validates_backend_and_output() {
+        // Selection runs only on the paper's algorithm…
+        let err = Engine::builder()
+            .query_str("/a/b")
+            .backend(Backend::Nfa)
+            .mode(Mode::Select)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::SelectionUnsupported {
+                    backend: Backend::Nfa
+                }
+            ),
+            "{err}"
+        );
+
+        // …and needs an element output node (attributes carry no
+        // element ordinal), reported with the query's index.
+        let err = Engine::builder()
+            .query_str("/a/b")
+            .query_str("/a/@id")
+            .select()
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Unsupported { index: 1, .. }),
+            "{err}"
+        );
+
+        // A valid selection bank reports its mode.
+        let e = Engine::builder()
+            .query_str("//a[b]/c")
+            .select()
+            .build()
+            .unwrap();
+        assert_eq!(e.mode(), Mode::Select);
+        assert_eq!(e.session().mode(), Mode::Select);
     }
 
     #[test]

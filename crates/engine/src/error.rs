@@ -42,6 +42,12 @@ pub enum EngineError {
         /// The query, rendered back to XPath.
         query: String,
     },
+    /// Selection mode was requested on a backend that cannot report
+    /// matched positions.
+    SelectionUnsupported {
+        /// The backend that only computes boolean verdicts.
+        backend: Backend,
+    },
     /// The document stream was malformed XML (or unreadable).
     Parse(ParseError),
     /// `finish()` was called before `EndDocument` was seen.
@@ -71,6 +77,14 @@ impl fmt::Display for EngineError {
                     "query #{index} (`{query}`) is outside the {backend:?} backend's fragment \
                      (linear predicate-free paths of at most 127 steps, no attributes); \
                      use Backend::Frontier"
+                )
+            }
+            EngineError::SelectionUnsupported { backend } => {
+                write!(
+                    f,
+                    "selection (Mode::Select) requires Backend::Frontier — the paper's \
+                     algorithm is the one extended to full-fledged evaluation; \
+                     {backend:?} only computes boolean verdicts"
                 )
             }
             EngineError::Parse(e) => write!(f, "document stream: {e}"),

@@ -30,9 +30,53 @@
 //! assert!(verdicts.any());
 //! ```
 //!
+//! ## Selection: streaming `FULLEVAL`, not just a verdict
+//!
+//! A [`Mode::Select`] engine performs the paper's §1 full-evaluation
+//! extension: alongside the verdicts it emits one [`Match`] per node
+//! `FULLEVAL(Q, D)` selects — with the element's document-order
+//! ordinal and its source byte [`fx_xml::Span`] — *the moment the
+//! frontier resolves its ancestor chain*, not at end-of-document.
+//! Deliver them to your own [`MatchSink`] (any `FnMut(Match)` closure
+//! works) or collect them:
+//!
+//! ```
+//! use fx_engine::{Engine, Match, Mode};
+//!
+//! let engine = Engine::builder()
+//!     .query_str("//item[price > 300]/name")
+//!     .mode(Mode::Select)
+//!     .build()
+//!     .unwrap();
+//!
+//! let xml = "<r><item><price>400</price><name>gold</name></item>\
+//!            <item><price>10</price><name>tin</name></item></r>";
+//!
+//! // Sink-driven: matches arrive as they are confirmed, mid-stream.
+//! let mut names = Vec::new();
+//! let mut session = engine.session();
+//! session
+//!     .run_reader_to(xml.as_bytes(), &mut |m: Match| {
+//!         names.push(m.span.slice(xml).unwrap().to_string());
+//!     })
+//!     .unwrap();
+//! assert_eq!(names, ["<name>gold</name>"]);
+//!
+//! // Or collected: the one-shot Outcome face of the same machinery.
+//! let outcome = engine.select_str(xml).unwrap();
+//! assert_eq!(outcome.total_matches(), 1);
+//! assert_eq!(outcome.ordinals(0), vec![3]); // r=0 item=1 price=2 name=3
+//! ```
+//!
+//! The only extra memory over pure filtering is the set of *unresolved*
+//! candidate matches (tracked by [`Verdicts::peak_pending_positions`]),
+//! which the paper's follow-up work (\[5\]) proves unavoidable for
+//! full-fledged evaluation; matches in already-resolved subtrees are
+//! emitted immediately and never buffered.
+//!
 //! ## Multi-query dissemination
 //!
-//! The XFilter-style selective-dissemination workload ([1] in the
+//! The XFilter-style selective-dissemination workload (\[1\] in the
 //! paper) registers many standing queries and streams each arriving
 //! document through all of them at once:
 //!
@@ -47,18 +91,23 @@
 //! let mut session = engine.session();
 //! for xml in ["<doc><title>t</title></doc>", "<doc><price>150</price></doc>"] {
 //!     let verdicts = session.run_reader(xml.as_bytes()).unwrap();
-//!     assert_eq!(verdicts.matching_queries().len(), 1);
+//!     assert_eq!(verdicts.matching().count(), 1);
 //! }
 //! ```
+//!
+//! In `Select` mode the bank stamps every match with the index of the
+//! query that selected it, so one pass fans confirmed matches out to
+//! per-query subscribers.
 //!
 //! ## Layering
 //!
 //! | Piece | Role |
 //! |---|---|
-//! | [`Engine`] / [`EngineBuilder`] | Compiles and validates a query bank against a [`Backend`] |
-//! | [`Session`] | Per-document (reusable) evaluation state: `push` / `finish` / `run_reader` |
+//! | [`Engine`] / [`EngineBuilder`] | Compiles and validates a query bank against a [`Backend`] and [`Mode`] |
+//! | [`Session`] | Per-document (reusable) evaluation state: `push` / `finish` / `run_reader`, plus the `_to` sink-driven variants |
 //! | [`Evaluator`] | The uniform boolean-streaming-filter interface every backend implements |
-//! | [`Verdicts`] | Per-query outcomes plus the paper's logical-memory measure |
+//! | [`Verdicts`] / [`Outcome`] | Per-query outcomes (and match lists) plus the paper's logical-memory measures |
+//! | [`Match`] / [`MatchSink`] / [`MatchCollector`] | The incremental selection output surface |
 //! | [`EngineError`] | One `std::error::Error` for everything the above can reject |
 //!
 //! The [`Evaluator`] trait lived in `fx_automata` as
@@ -74,7 +123,8 @@ mod error;
 mod evaluator;
 mod session;
 
-pub use builder::{Backend, Engine, EngineBuilder};
+pub use builder::{Backend, Engine, EngineBuilder, Mode};
 pub use error::EngineError;
 pub use evaluator::Evaluator;
-pub use session::{Session, Verdicts};
+pub use fx_core::{Match, MatchSink};
+pub use session::{MatchCollector, Outcome, Session, Verdicts};

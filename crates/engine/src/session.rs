@@ -1,8 +1,11 @@
-//! Per-document evaluation state: [`Session`] and its [`Verdicts`].
+//! Per-document evaluation state: [`Session`], its [`Verdicts`], the
+//! selection [`Outcome`], and the convenience [`MatchCollector`] sink.
 
+use crate::builder::Mode;
 use crate::error::EngineError;
 use crate::evaluator::Evaluator;
-use fx_xml::{Event, EventIter};
+use fx_core::{Match, MatchSink};
+use fx_xml::{Event, EventIter, Span};
 use std::io::Read;
 
 /// The mutable half of the engine: filters mid-document.
@@ -16,30 +19,59 @@ use std::io::Read;
 /// keeping amortizable state (such as the lazy DFA's memoized
 /// transition table) warm.
 ///
-/// Multi-query `Frontier` sessions run on the short-circuiting
-/// [`fx_core::MultiFilter`] bank: filters whose verdict is already
-/// decided (accepted — or rejected at the root tag, the dominant
-/// dissemination case) stop seeing events. Verdicts are unaffected; a
-/// decided filter's peak-bit statistic simply freezes at its decision
-/// point. Single-query sessions feed the filter every event, so their
-/// statistics are bit-for-bit identical to a bare
-/// [`fx_core::StreamFilter`] run.
+/// On a [`Mode::Select`] engine the session additionally *streams
+/// matches*: every confirmed output node is delivered to a
+/// [`MatchSink`] (the `_to` entry points) the moment its ancestor
+/// chain resolves. The sink-less entry points collect matches
+/// internally instead, for retrieval via [`Session::finish_outcome`].
+///
+/// Multi-query `Frontier` filtering sessions run on the
+/// short-circuiting [`fx_core::MultiFilter`] bank: filters whose
+/// verdict is already decided (accepted — or rejected at the root tag,
+/// the dominant dissemination case) stop seeing events. Verdicts are
+/// unaffected; a decided filter's peak-bit statistic simply freezes at
+/// its decision point. Single-query filtering sessions feed the filter
+/// every event, so their statistics are bit-for-bit identical to a
+/// bare [`fx_core::StreamFilter`] run. Selection sessions never
+/// short-circuit — full evaluation must examine every candidate.
 pub struct Session {
     inner: SessionInner,
     events: u64,
+    mode: Mode,
+    /// Matches confirmed through the sink-less entry points, held for
+    /// [`Session::finish_outcome`]; cleared at each `StartDocument`.
+    collected: Vec<Match>,
 }
 
 pub(crate) enum SessionInner {
     /// One evaluator per query (single-query banks and the automata and
     /// buffering backends).
     Each(Vec<Box<dyn Evaluator>>),
-    /// The short-circuiting frontier bank (multi-query `Frontier`).
+    /// The (optionally reporting) frontier bank.
     Bank(fx_core::MultiFilter),
 }
 
+impl SessionInner {
+    fn push(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        match self {
+            SessionInner::Each(evs) => {
+                for ev in evs {
+                    ev.process(event);
+                }
+            }
+            SessionInner::Bank(bank) => bank.process_to(event, span, sink),
+        }
+    }
+}
+
 impl Session {
-    pub(crate) fn new(inner: SessionInner) -> Session {
-        Session { inner, events: 0 }
+    pub(crate) fn new(inner: SessionInner, mode: Mode) -> Session {
+        Session {
+            inner,
+            events: 0,
+            mode,
+            collected: Vec::new(),
+        }
     }
 
     /// Number of registered queries.
@@ -55,19 +87,54 @@ impl Session {
         self.len() == 0
     }
 
+    /// The engine mode this session was spawned with.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
     /// Feeds one SAX event to every filter whose verdict is still open.
     /// Streams must carry the full document framing (`StartDocument` …
     /// `EndDocument`), which is what every `fx_xml` source produces.
+    ///
+    /// On a selection session, matches this event confirms are collected
+    /// internally for [`Session::finish_outcome`]; hand-pushed events
+    /// carry no source offsets, so their matches have [`Span::EMPTY`].
+    /// Use [`Session::push_spanned_to`] to stream matches to a sink with
+    /// real spans.
     pub fn push(&mut self, event: &Event) {
-        self.events += 1;
-        match &mut self.inner {
-            SessionInner::Each(evs) => {
-                for ev in evs {
-                    ev.process(event);
-                }
-            }
-            SessionInner::Bank(bank) => bank.process(event),
+        self.push_spanned(event, Span::EMPTY);
+    }
+
+    /// [`Session::push`] with the event's source byte span (from
+    /// [`fx_xml::SpannedEvents`] or [`fx_xml::parse_spanned`]), so
+    /// collected matches carry real source ranges.
+    pub fn push_spanned(&mut self, event: &Event, span: Span) {
+        if matches!(event, Event::StartDocument) {
+            self.collected.clear();
         }
+        self.events += 1;
+        let Session {
+            inner, collected, ..
+        } = self;
+        inner.push(event, span, collected);
+    }
+
+    /// Feeds one event, routing any matches it confirms to `sink`
+    /// (selection sessions; filtering sessions never call the sink).
+    pub fn push_to(&mut self, event: &Event, sink: &mut dyn MatchSink) {
+        self.push_spanned_to(event, Span::EMPTY, sink);
+    }
+
+    /// [`Session::push_to`] with the event's source byte span: the full
+    /// incremental-selection entry point. Matches reach `sink` the
+    /// moment the frontier resolves their ancestor chains — possibly
+    /// many events before `EndDocument`.
+    pub fn push_spanned_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        if matches!(event, Event::StartDocument) {
+            self.collected.clear();
+        }
+        self.events += 1;
+        self.inner.push(event, span, sink);
     }
 
     /// Collects the per-query verdicts of the document just streamed.
@@ -76,7 +143,7 @@ impl Session {
     /// has not been pushed. The session remains usable for the next
     /// document afterwards.
     pub fn finish(&mut self) -> Result<Verdicts, EngineError> {
-        let (matched, peak_bits) = match &self.inner {
+        let (matched, peak_bits, peak_pending) = match &self.inner {
             SessionInner::Each(evs) => {
                 let mut matched = Vec::with_capacity(evs.len());
                 let mut peak_bits = Vec::with_capacity(evs.len());
@@ -84,7 +151,8 @@ impl Session {
                     matched.push(ev.verdict().ok_or(EngineError::IncompleteDocument)?);
                     peak_bits.push(ev.peak_memory_bits());
                 }
-                (matched, peak_bits)
+                let peak_pending = vec![0; evs.len()];
+                (matched, peak_bits, peak_pending)
             }
             SessionInner::Bank(bank) => {
                 let mut matched = Vec::with_capacity(bank.len());
@@ -92,25 +160,71 @@ impl Session {
                     matched.push(r.ok_or(EngineError::IncompleteDocument)?);
                 }
                 let peak_bits = bank.stats().iter().map(|s| s.max_bits).collect();
-                (matched, peak_bits)
+                (matched, peak_bits, bank.peak_pending_positions())
             }
         };
         Ok(Verdicts {
             matched,
             peak_bits,
+            peak_pending,
             events: self.events,
         })
+    }
+
+    /// [`Session::finish`], additionally returning the matches the
+    /// sink-less entry points collected since the last `StartDocument`,
+    /// grouped per query: the batch face of selection.
+    pub fn finish_outcome(&mut self) -> Result<Outcome, EngineError> {
+        let verdicts = self.finish()?;
+        let mut matches: Vec<Vec<Match>> = (0..verdicts.len()).map(|_| Vec::new()).collect();
+        for m in self.collected.drain(..) {
+            matches[m.query].push(m);
+        }
+        Ok(Outcome { verdicts, matches })
     }
 
     /// Streams one whole document from `reader` and finishes: the
     /// true-streaming entry point. Memory is bounded by the read chunk,
     /// the largest single XML token, and the filters' own state — never
-    /// by document size.
+    /// by document size. (On selection sessions, prefer
+    /// [`Session::run_reader_to`] or [`Session::run_reader_outcome`],
+    /// which do not discard the matches.)
     pub fn run_reader<R: Read>(&mut self, reader: R) -> Result<Verdicts, EngineError> {
-        for item in EventIter::new(reader) {
-            self.push(&item?);
+        self.drive_collected(reader)?;
+        self.finish()
+    }
+
+    /// Streams one whole document from `reader`, delivering each match
+    /// to `sink` *as it is confirmed*, and finishes with the verdicts.
+    /// This is the dissemination hot path: subscribers see matches while
+    /// the document is still streaming, with byte spans to act on.
+    pub fn run_reader_to<R: Read>(
+        &mut self,
+        reader: R,
+        sink: &mut dyn MatchSink,
+    ) -> Result<Verdicts, EngineError> {
+        let mut events = EventIter::new(reader);
+        while let Some(item) = events.next_spanned() {
+            let (event, span) = item?;
+            self.push_spanned_to(&event, span, sink);
         }
         self.finish()
+    }
+
+    /// Streams one whole document from `reader` and returns the full
+    /// [`Outcome`] — verdicts plus the collected per-query matches.
+    pub fn run_reader_outcome<R: Read>(&mut self, reader: R) -> Result<Outcome, EngineError> {
+        self.drive_collected(reader)?;
+        self.finish_outcome()
+    }
+
+    fn drive_collected<R: Read>(&mut self, reader: R) -> Result<(), EngineError> {
+        let mut events = EventIter::new(reader);
+        while let Some(item) = events.next_spanned() {
+            let (event, span) = item?;
+            self.push_spanned(&event, span);
+        }
+        Ok(())
     }
 }
 
@@ -118,8 +232,129 @@ impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("queries", &self.len())
+            .field("mode", &self.mode)
             .field("events", &self.events)
             .finish()
+    }
+}
+
+/// Everything one document produced on a selection engine: the boolean
+/// [`Verdicts`] plus, per query, the confirmed [`Match`]es in
+/// confirmation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    verdicts: Verdicts,
+    matches: Vec<Vec<Match>>,
+}
+
+impl Outcome {
+    /// The per-query boolean verdicts and space statistics.
+    pub fn verdicts(&self) -> &Verdicts {
+        &self.verdicts
+    }
+
+    /// The matches query `query` confirmed, in confirmation order (use
+    /// [`Outcome::ordinals`] for document order).
+    pub fn matches(&self, query: usize) -> &[Match] {
+        &self.matches[query]
+    }
+
+    /// All matches across the bank, in confirmation order per query.
+    pub fn all_matches(&self) -> impl Iterator<Item = &Match> {
+        self.matches.iter().flatten()
+    }
+
+    /// Total number of confirmed matches across all queries.
+    pub fn total_matches(&self) -> usize {
+        self.matches.iter().map(Vec::len).sum()
+    }
+
+    /// The selected element ordinals of query `query`, sorted into
+    /// document order — directly comparable with `fx_eval::full_eval`
+    /// ground truth.
+    pub fn ordinals(&self, query: usize) -> Vec<u64> {
+        let mut o: Vec<u64> = self.matches[query].iter().map(|m| m.ordinal).collect();
+        o.sort_unstable();
+        o
+    }
+
+    /// Decomposes into `(verdicts, per-query matches)`.
+    pub fn into_parts(self) -> (Verdicts, Vec<Vec<Match>>) {
+        (self.verdicts, self.matches)
+    }
+}
+
+/// The convenience collecting [`MatchSink`]: accumulates every match,
+/// preserving confirmation order.
+///
+/// ```
+/// use fx_engine::{Engine, MatchCollector, Mode};
+///
+/// let engine = Engine::builder()
+///     .query_str("//item[price > 300]/name")
+///     .mode(Mode::Select)
+///     .build()
+///     .unwrap();
+/// let mut sink = MatchCollector::new();
+/// let xml = "<r><item><price>400</price><name>a</name></item></r>";
+/// engine.session().run_reader_to(xml.as_bytes(), &mut sink).unwrap();
+/// assert_eq!(sink.len(), 1);
+/// assert_eq!(sink.matches()[0].span.slice(xml), Some("<name>a</name>"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatchCollector {
+    matches: Vec<Match>,
+}
+
+impl MatchCollector {
+    /// An empty collector.
+    pub fn new() -> MatchCollector {
+        MatchCollector::default()
+    }
+
+    /// The collected matches, in confirmation order.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Consumes the collector, returning the matches.
+    pub fn into_matches(self) -> Vec<Match> {
+        self.matches
+    }
+
+    /// The collected ordinals of query `query`, sorted into document
+    /// order.
+    pub fn ordinals(&self, query: usize) -> Vec<u64> {
+        let mut o: Vec<u64> = self
+            .matches
+            .iter()
+            .filter(|m| m.query == query)
+            .map(|m| m.ordinal)
+            .collect();
+        o.sort_unstable();
+        o
+    }
+
+    /// Number of collected matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Empties the collector (e.g. between documents of a reused
+    /// session).
+    pub fn clear(&mut self) {
+        self.matches.clear();
+    }
+}
+
+impl MatchSink for MatchCollector {
+    fn on_match(&mut self, m: Match) {
+        self.matches.push(m);
     }
 }
 
@@ -129,6 +364,7 @@ impl std::fmt::Debug for Session {
 pub struct Verdicts {
     matched: Vec<bool>,
     peak_bits: Vec<u64>,
+    peak_pending: Vec<usize>,
     events: u64,
 }
 
@@ -148,16 +384,32 @@ impl Verdicts {
         self.matched.iter().all(|&m| m)
     }
 
-    /// Indices of the matching queries — the dissemination fan-out list.
+    /// Iterates the indices of the matching queries without allocating —
+    /// the per-document dissemination fan-out loop should use this
+    /// rather than [`Verdicts::matching_queries`].
+    pub fn matching(&self) -> impl Iterator<Item = usize> + '_ {
+        self.matched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+    }
+
+    /// Indices of the matching queries, collected into a `Vec`.
     pub fn matching_queries(&self) -> Vec<usize> {
-        (0..self.matched.len())
-            .filter(|&i| self.matched[i])
-            .collect()
+        self.matching().collect()
     }
 
     /// Per-query peak logical filter state, in bits.
     pub fn peak_memory_bits(&self) -> &[u64] {
         &self.peak_bits
+    }
+
+    /// Per-query peak counts of buffered unresolved candidate positions
+    /// — the extra memory selection pays over filtering, which the
+    /// paper's follow-up (\[5\]) proves unavoidable. All zeros on
+    /// filtering sessions.
+    pub fn peak_pending_positions(&self) -> &[usize] {
+        &self.peak_pending
     }
 
     /// Aggregate peak logical filter state across the bank, in bits.
@@ -231,6 +483,111 @@ mod tests {
         let engine = Engine::builder().query_str("/a").build().unwrap();
         let err = engine.run_str("<a><b></a>").unwrap_err();
         assert!(matches!(err, EngineError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn selection_outcome_routes_matches_per_query() {
+        let engine = Engine::builder()
+            .query_str("/doc/item")
+            .query_str("//note")
+            .mode(crate::Mode::Select)
+            .build()
+            .unwrap();
+        let xml = "<doc><item/><note/><item/></doc>";
+        let outcome = engine.select_str(xml).unwrap();
+        assert_eq!(outcome.verdicts().matched(), &[true, true]);
+        // Ordinals: doc=0, item=1, note=2, item=3.
+        assert_eq!(outcome.ordinals(0), vec![1, 3]);
+        assert_eq!(outcome.ordinals(1), vec![2]);
+        assert_eq!(outcome.total_matches(), 3);
+        for m in outcome.all_matches() {
+            let text = m.span.slice(xml).unwrap();
+            assert!(text == "<item/>" || text == "<note/>", "{text}");
+        }
+    }
+
+    #[test]
+    fn selection_and_filter_modes_agree_on_verdicts() {
+        let srcs = ["/doc/item", "//a[b]/c", "//missing"];
+        let xml = "<doc><item/><a><b/><c/></a></doc>";
+        let filter = Engine::builder()
+            .queries(srcs.iter().map(|s| fx_xpath::parse_query(s).unwrap()))
+            .build()
+            .unwrap();
+        let select = Engine::builder()
+            .queries(srcs.iter().map(|s| fx_xpath::parse_query(s).unwrap()))
+            .select()
+            .build()
+            .unwrap();
+        assert_eq!(
+            filter.run_str(xml).unwrap().matched(),
+            select.select_str(xml).unwrap().verdicts().matched()
+        );
+    }
+
+    #[test]
+    fn selection_session_reuse_clears_collected_matches() {
+        let engine = Engine::builder()
+            .query_str("//b")
+            .mode(crate::Mode::Select)
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        let o1 = session
+            .run_reader_outcome("<a><b/><b/></a>".as_bytes())
+            .unwrap();
+        assert_eq!(o1.ordinals(0), vec![1, 2]);
+        let o2 = session
+            .run_reader_outcome("<a><b/></a>".as_bytes())
+            .unwrap();
+        assert_eq!(
+            o2.ordinals(0),
+            vec![1],
+            "first document's matches must not leak"
+        );
+    }
+
+    #[test]
+    fn selection_tracks_peak_pending_positions() {
+        let n = 40usize;
+        // All <b> candidates stay pending on the late <x/>…
+        let pending_heavy = format!("<a>{}<x/></a>", "<b/>".repeat(n));
+        // …whereas immediately-resolved matches never occupy the buffer.
+        let resolved = format!("<a>{}</a>", "<b/>".repeat(n));
+        let engine = Engine::builder()
+            .query_str("/a[x]/b")
+            .select()
+            .build()
+            .unwrap();
+        let v = engine.select_str(&pending_heavy).unwrap();
+        assert!(v.verdicts().peak_pending_positions()[0] >= n);
+        assert_eq!(v.total_matches(), n);
+
+        let free = Engine::builder().query_str("//b").select().build().unwrap();
+        let v = free.select_str(&resolved).unwrap();
+        assert_eq!(v.total_matches(), n);
+        assert_eq!(v.verdicts().peak_pending_positions(), &[0]);
+
+        // Filtering sessions report no pending-position cost at all.
+        let f = Engine::builder().query_str("/a[x]/b").build().unwrap();
+        assert_eq!(
+            f.run_str(&pending_heavy).unwrap().peak_pending_positions(),
+            &[0]
+        );
+    }
+
+    #[test]
+    fn push_to_streams_matches_with_empty_spans() {
+        let engine = Engine::builder().query_str("//b").select().build().unwrap();
+        let mut session = engine.session();
+        let mut got: Vec<crate::Match> = Vec::new();
+        for e in &fx_xml::parse("<a><b/></a>").unwrap() {
+            session.push_to(e, &mut got);
+        }
+        session.finish().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ordinal, 1);
+        assert_eq!(got[0].span, fx_xml::Span::EMPTY);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::event::Event;
 use crate::parser::ParseError;
 use crate::reader::StreamingParser;
+use crate::span::Span;
 use std::collections::VecDeque;
 use std::io::Read;
 
@@ -37,7 +38,7 @@ const DEFAULT_CHUNK: usize = 8 * 1024;
 pub struct EventIter<R: Read> {
     reader: R,
     parser: StreamingParser,
-    pending: VecDeque<Event>,
+    pending: VecDeque<(Event, Span)>,
     /// Incomplete UTF-8 tail carried between reads.
     carry: Vec<u8>,
     /// Reused read buffer (allocated once, not per refill).
@@ -78,6 +79,36 @@ impl<R: Read> EventIter<R> {
         self
     }
 
+    /// Pulls the next event together with its source byte [`Span`].
+    ///
+    /// Spans are stream offsets: chunk boundaries never shift them, so
+    /// a consumer can seek back into the original byte source (or slice
+    /// an in-memory document) to recover the matched region.
+    pub fn next_spanned(&mut self) -> Option<Result<(Event, Span), ParseError>> {
+        if self.failed {
+            return None;
+        }
+        if self.pending.is_empty() && self.error.is_none() {
+            if let Err(e) = self.pump() {
+                self.error = Some(e);
+            }
+        }
+        if let Some(item) = self.pending.pop_front() {
+            return Some(Ok(item));
+        }
+        if let Some(e) = self.error.take() {
+            self.failed = true;
+            return Some(Err(e));
+        }
+        None
+    }
+
+    /// Adapts this iterator to yield `(Event, Span)` pairs — the form
+    /// the engine's selection mode consumes.
+    pub fn spanned(self) -> SpannedEvents<R> {
+        SpannedEvents(self)
+    }
+
     /// Feeds `buf` (arbitrary byte boundary) to the parser, queuing every
     /// completed event.
     fn feed_bytes(&mut self, buf: &[u8], at_eof: bool) -> Result<(), ParseError> {
@@ -96,7 +127,8 @@ impl<R: Read> EventIter<R> {
         };
         let text = std::str::from_utf8(&data[..valid_len]).expect("validated prefix");
         let pending = &mut self.pending;
-        self.parser.feed(text, &mut |e| pending.push_back(e))?;
+        self.parser
+            .feed_spanned(text, &mut |e, s| pending.push_back((e, s)))?;
         self.carry = data[valid_len..].to_vec();
         Ok(())
     }
@@ -129,7 +161,8 @@ impl<R: Read> EventIter<R> {
                 self.eof = true;
                 self.feed_bytes(&[], true)?;
                 let pending = &mut self.pending;
-                self.parser.finish(&mut |e| pending.push_back(e))?;
+                self.parser
+                    .finish_spanned(&mut |e, s| pending.push_back((e, s)))?;
             } else {
                 self.feed_bytes(&buf[..n], false)?;
             }
@@ -142,22 +175,27 @@ impl<R: Read> Iterator for EventIter<R> {
     type Item = Result<Event, ParseError>;
 
     fn next(&mut self) -> Option<Result<Event, ParseError>> {
-        if self.failed {
-            return None;
-        }
-        if self.pending.is_empty() && self.error.is_none() {
-            if let Err(e) = self.pump() {
-                self.error = Some(e);
-            }
-        }
-        if let Some(event) = self.pending.pop_front() {
-            return Some(Ok(event));
-        }
-        if let Some(e) = self.error.take() {
-            self.failed = true;
-            return Some(Err(e));
-        }
-        None
+        Some(self.next_spanned()?.map(|(event, _span)| event))
+    }
+}
+
+/// [`EventIter`] adapted to yield `(Event, Span)` pairs, from
+/// [`EventIter::spanned`]. Fused around errors, like the plain iterator.
+#[derive(Debug)]
+pub struct SpannedEvents<R: Read>(EventIter<R>);
+
+impl<R: Read> SpannedEvents<R> {
+    /// Returns the underlying event iterator.
+    pub fn into_inner(self) -> EventIter<R> {
+        self.0
+    }
+}
+
+impl<R: Read> Iterator for SpannedEvents<R> {
+    type Item = Result<(Event, Span), ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next_spanned()
     }
 }
 
@@ -260,6 +298,40 @@ mod tests {
         }
         assert_eq!(count, 2 + 2 + 2 * 5_000 + 5_000); // docs + root + elements + texts
         assert!(max_queue < 64, "queue stayed chunk-bounded: {max_queue}");
+    }
+
+    #[test]
+    fn spans_match_the_batch_parser_at_every_chunk_size() {
+        let xml = r#"<a id="1"><b>x &amp; y</b><c/>tail</a>"#;
+        let expected = crate::parser::parse_spanned(xml).unwrap();
+        for chunk in [1usize, 2, 3, 5, 7, 64, 8192] {
+            let got: Vec<(Event, crate::span::Span)> =
+                EventIter::with_chunk_size(Cursor::new(xml.as_bytes()), chunk)
+                    .spanned()
+                    .collect::<Result<_, _>>()
+                    .unwrap();
+            assert_eq!(got, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn spans_survive_multibyte_chunk_splits() {
+        // Offsets are byte offsets even when UTF-8 scalars straddle
+        // chunk boundaries and are carried between reads.
+        let xml = "<a>héllo</a>";
+        for chunk in 1..=4usize {
+            let got: Vec<(Event, crate::span::Span)> =
+                EventIter::with_chunk_size(Cursor::new(xml.as_bytes()), chunk)
+                    .spanned()
+                    .collect::<Result<_, _>>()
+                    .unwrap();
+            for (event, span) in &got {
+                if let Event::Text { content } = event {
+                    assert_eq!(span.slice(xml), Some(content.as_str()), "chunk {chunk}");
+                }
+            }
+            assert_eq!(got, crate::parser::parse_spanned(xml).unwrap());
+        }
     }
 
     #[test]

@@ -22,15 +22,17 @@ pub mod event;
 pub mod iter;
 pub mod parser;
 pub mod reader;
+pub mod span;
 pub mod split;
 pub mod wellformed;
 pub mod writer;
 
 pub use escape::{decode_entities, escape_attr, escape_text};
 pub use event::{drive, notation, Attribute, Event, EventCollector, SaxHandler};
-pub use iter::EventIter;
-pub use parser::{parse, parse_with, ParseError, ParseOptions};
+pub use iter::{EventIter, SpannedEvents};
+pub use parser::{parse, parse_spanned, parse_spanned_with, parse_with, ParseError, ParseOptions};
 pub use reader::{parse_reader, StreamingParser};
+pub use span::Span;
 pub use split::{
     element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,
 };

@@ -9,6 +9,7 @@
 
 use crate::escape::decode_entities;
 use crate::event::{Attribute, Event};
+use crate::span::Span;
 use std::fmt;
 
 /// Options controlling parsing behavior.
@@ -69,14 +70,37 @@ pub fn parse_with(input: &str, options: ParseOptions) -> Result<Vec<Event>, Pars
     Ok(p.events)
 }
 
+/// [`parse`], with each event's source byte [`Span`]: tag spans for
+/// element events, raw character regions for text (covering any comment
+/// or CDATA boundary the run was coalesced across), and zero-width
+/// spans for the document framing events.
+pub fn parse_spanned(input: &str) -> Result<Vec<(Event, Span)>, ParseError> {
+    parse_spanned_with(input, ParseOptions::default())
+}
+
+/// [`parse_spanned`] with explicit [`ParseOptions`].
+pub fn parse_spanned_with(
+    input: &str,
+    options: ParseOptions,
+) -> Result<Vec<(Event, Span)>, ParseError> {
+    let mut p = Parser::new(input, options);
+    p.run()?;
+    Ok(p.events.into_iter().zip(p.spans).collect())
+}
+
 struct Parser<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
     options: ParseOptions,
     events: Vec<Event>,
+    /// One span per event, parallel to `events`.
+    spans: Vec<Span>,
     stack: Vec<String>,
     pending_text: String,
+    /// Source region the pending text was decoded from (covers comment
+    /// and CDATA boundaries when runs are coalesced).
+    pending_text_span: Option<Span>,
 }
 
 impl<'a> Parser<'a> {
@@ -87,9 +111,24 @@ impl<'a> Parser<'a> {
             pos: 0,
             options,
             events: Vec::new(),
+            spans: Vec::new(),
             stack: Vec::new(),
             pending_text: String::new(),
+            pending_text_span: None,
         }
+    }
+
+    fn emit(&mut self, event: Event, span: Span) {
+        self.events.push(event);
+        self.spans.push(span);
+    }
+
+    fn note_text_region(&mut self, start: usize, end: usize) {
+        let region = Span::new(start as u64, end as u64);
+        self.pending_text_span = Some(match self.pending_text_span {
+            Some(s) => s.cover(region),
+            None => region,
+        });
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -122,6 +161,7 @@ impl<'a> Parser<'a> {
     }
 
     fn flush_text(&mut self) -> Result<(), ParseError> {
+        let span = self.pending_text_span.take().unwrap_or_default();
         if self.pending_text.is_empty() {
             return Ok(());
         }
@@ -131,13 +171,13 @@ impl<'a> Parser<'a> {
             if self.stack.is_empty() {
                 return Err(self.err("text content outside the root element"));
             }
-            self.events.push(Event::Text { content: text });
+            self.emit(Event::Text { content: text }, span);
         }
         Ok(())
     }
 
     fn run(&mut self) -> Result<(), ParseError> {
-        self.events.push(Event::StartDocument);
+        self.emit(Event::StartDocument, Span::point(0));
         // Prolog: XML declaration, comments, PIs, DOCTYPE.
         loop {
             self.skip_ws();
@@ -169,7 +209,7 @@ impl<'a> Parser<'a> {
         if self.pos != self.input.len() {
             return Err(self.err("trailing content after root element"));
         }
-        self.events.push(Event::EndDocument);
+        self.emit(Event::EndDocument, Span::point(self.input.len() as u64));
         Ok(())
     }
 
@@ -231,10 +271,12 @@ impl<'a> Parser<'a> {
             self.flush_text()?;
         }
         self.pending_text.push_str(&decoded);
+        self.note_text_region(start, self.pos);
         Ok(())
     }
 
     fn parse_cdata(&mut self) -> Result<(), ParseError> {
+        let tag_start = self.pos;
         self.bump("<![CDATA[".len());
         let rest = &self.input[self.pos..];
         let end = rest
@@ -246,6 +288,7 @@ impl<'a> Parser<'a> {
         }
         self.pending_text.push_str(&content);
         self.bump(end + 3);
+        self.note_text_region(tag_start, self.pos);
         Ok(())
     }
 
@@ -308,6 +351,7 @@ impl<'a> Parser<'a> {
     /// Parses `<name attr="v" ...>` or `<name ... />`. Returns whether the
     /// tag was self-closing.
     fn parse_start_tag(&mut self) -> Result<bool, ParseError> {
+        let tag_start = self.pos as u64;
         self.bump(1); // consume '<'
         let name = self.parse_name()?;
         let mut attributes = Vec::new();
@@ -316,10 +360,14 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'>') => {
                     self.bump(1);
-                    self.events.push(Event::StartElement {
-                        name: name.clone(),
-                        attributes,
-                    });
+                    let span = Span::new(tag_start, self.pos as u64);
+                    self.emit(
+                        Event::StartElement {
+                            name: name.clone(),
+                            attributes,
+                        },
+                        span,
+                    );
                     self.stack.push(name);
                     return Ok(false);
                 }
@@ -328,11 +376,16 @@ impl<'a> Parser<'a> {
                         return Err(self.err("expected `/>`"));
                     }
                     self.bump(2);
-                    self.events.push(Event::StartElement {
-                        name: name.clone(),
-                        attributes,
-                    });
-                    self.events.push(Event::EndElement { name });
+                    // Both events of a self-closing tag share its span.
+                    let span = Span::new(tag_start, self.pos as u64);
+                    self.emit(
+                        Event::StartElement {
+                            name: name.clone(),
+                            attributes,
+                        },
+                        span,
+                    );
+                    self.emit(Event::EndElement { name }, span);
                     return Ok(true);
                 }
                 Some(_) => {
@@ -380,6 +433,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_end_tag(&mut self) -> Result<(), ParseError> {
+        let tag_start = self.pos as u64;
         self.bump(2); // consume '</'
         let name = self.parse_name()?;
         self.skip_ws();
@@ -387,9 +441,10 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected `>` in end tag"));
         }
         self.bump(1);
+        let span = Span::new(tag_start, self.pos as u64);
         match self.stack.pop() {
             Some(open) if open == name => {
-                self.events.push(Event::EndElement { name });
+                self.emit(Event::EndElement { name }, span);
                 Ok(())
             }
             Some(open) => Err(self.err(format!(

@@ -7,6 +7,7 @@
 use crate::escape::decode_entities;
 use crate::event::{Attribute, Event, SaxHandler};
 use crate::parser::ParseError;
+use crate::span::Span;
 use std::io::BufRead;
 
 /// A resumable push parser. Feed it string chunks; it emits events through
@@ -57,6 +58,19 @@ impl StreamingParser {
 
     /// Feeds a chunk, emitting every event that becomes complete.
     pub fn feed(&mut self, chunk: &str, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        self.feed_spanned(chunk, &mut |e, _| emit(e))
+    }
+
+    /// [`StreamingParser::feed`], with each event's source byte [`Span`].
+    ///
+    /// Offsets are cumulative across chunks — a tag split over two
+    /// `feed` calls is stamped with its position in the whole stream,
+    /// not in the chunk that completed it.
+    pub fn feed_spanned(
+        &mut self,
+        chunk: &str,
+        emit: &mut dyn FnMut(Event, Span),
+    ) -> Result<(), ParseError> {
         self.buf.push_str(chunk);
         self.drain(false, emit)
     }
@@ -64,6 +78,11 @@ impl StreamingParser {
     /// Signals end of input; emits any trailing events (including
     /// `EndDocument`) and verifies completeness.
     pub fn finish(&mut self, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+        self.finish_spanned(&mut |e, _| emit(e))
+    }
+
+    /// [`StreamingParser::finish`], with each event's source byte [`Span`].
+    pub fn finish_spanned(&mut self, emit: &mut dyn FnMut(Event, Span)) -> Result<(), ParseError> {
         self.drain(true, emit)?;
         if !self.buf.trim().is_empty() {
             return Err(self.err("unexpected trailing content at end of input"));
@@ -81,17 +100,25 @@ impl StreamingParser {
             return Err(self.err("finish called twice"));
         }
         self.finished = true;
-        emit(Event::EndDocument);
+        emit(Event::EndDocument, Span::point(self.consumed as u64));
         Ok(())
     }
 
-    fn drain(&mut self, at_eof: bool, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+    fn drain(&mut self, at_eof: bool, emit: &mut dyn FnMut(Event, Span)) -> Result<(), ParseError> {
         loop {
             // Text up to the next tag (or all of it at EOF).
             match self.buf.find('<') {
                 Some(0) => {}
                 Some(pos) => {
+                    let before = self.consumed;
                     self.take_text(pos, emit)?;
+                    if self.consumed == before {
+                        // The text before the tag is entirely a held-back
+                        // entity fragment ("&am…" with no `;`); a tag can
+                        // never complete it, so looping would never make
+                        // progress.
+                        return Err(self.err("unterminated entity reference before tag"));
+                    }
                     continue;
                 }
                 None => {
@@ -112,11 +139,16 @@ impl StreamingParser {
             };
             let tag: String = self.buf.drain(..tag_len).collect();
             self.consumed += tag_len;
-            self.handle_tag(&tag, emit)?;
+            let span = Span::new((self.consumed - tag_len) as u64, self.consumed as u64);
+            self.handle_tag(&tag, span, emit)?;
         }
     }
 
-    fn take_text(&mut self, len: usize, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+    fn take_text(
+        &mut self,
+        len: usize,
+        emit: &mut dyn FnMut(Event, Span),
+    ) -> Result<(), ParseError> {
         // Hold back a trailing fragment that may be a split entity
         // reference ("&am" + "p;").
         let mut end = len;
@@ -130,12 +162,13 @@ impl StreamingParser {
         }
         let raw: String = self.buf.drain(..end).collect();
         self.consumed += end;
+        let span = Span::new((self.consumed - end) as u64, self.consumed as u64);
         let text = decode_entities(&raw).map_err(|e| self.err(e.to_string()))?;
         if self.keep_whitespace || !text.chars().all(char::is_whitespace) {
             if self.stack.is_empty() {
                 return Err(self.err("text content outside the root element"));
             }
-            emit(Event::text(text));
+            emit(Event::text(text), span);
         }
         Ok(())
     }
@@ -185,7 +218,12 @@ impl StreamingParser {
         Ok(None)
     }
 
-    fn handle_tag(&mut self, tag: &str, emit: &mut dyn FnMut(Event)) -> Result<(), ParseError> {
+    fn handle_tag(
+        &mut self,
+        tag: &str,
+        span: Span,
+        emit: &mut dyn FnMut(Event, Span),
+    ) -> Result<(), ParseError> {
         if tag.starts_with("<!--") || tag.starts_with("<?") || tag.starts_with("<!DOCTYPE") {
             return Ok(());
         }
@@ -197,7 +235,7 @@ impl StreamingParser {
                 return Err(self.err("CDATA outside the root element"));
             }
             if !cdata.is_empty() {
-                emit(Event::text(cdata));
+                emit(Event::text(cdata), span);
             }
             return Ok(());
         }
@@ -205,7 +243,7 @@ impl StreamingParser {
             let name = rest.trim_end_matches('>').trim();
             match self.stack.pop() {
                 Some(open) if open == name => {
-                    emit(Event::end(name));
+                    emit(Event::end(name), span);
                     Ok(())
                 }
                 Some(open) => {
@@ -233,14 +271,18 @@ impl StreamingParser {
             };
             if !self.started {
                 self.started = true;
-                emit(Event::StartDocument);
+                emit(Event::StartDocument, Span::point(0));
             }
-            emit(Event::StartElement {
-                name: name.to_string(),
-                attributes,
-            });
+            emit(
+                Event::StartElement {
+                    name: name.to_string(),
+                    attributes,
+                },
+                span,
+            );
             if self_closing {
-                emit(Event::end(name));
+                // A self-closing tag is both events; they share its span.
+                emit(Event::end(name), span);
             } else {
                 self.stack.push(name.to_string());
             }
@@ -392,6 +434,66 @@ mod tests {
         let mut p3 = StreamingParser::new();
         p3.feed("<a>", &mut sink).unwrap();
         assert!(p3.finish(&mut sink).is_err());
+    }
+
+    #[test]
+    fn unterminated_entity_before_tag_errors_instead_of_looping() {
+        // Regression: "&am" (no `;`) directly before a tag used to spin
+        // forever in `drain` — the held-back fragment never shrank.
+        let mut p = StreamingParser::new();
+        let mut sink = |_e: Event| {};
+        assert!(p.feed("<a>x &am<b/></a>", &mut sink).is_err());
+    }
+
+    /// Collects `(event, span)` pairs, feeding in `chunk` byte steps.
+    fn spanned_events(xml: &str, chunk: usize) -> Vec<(Event, crate::span::Span)> {
+        let mut parser = StreamingParser::new();
+        let mut out = Vec::new();
+        let mut emit = |e: Event, s: crate::span::Span| out.push((e, s));
+        let bytes = xml.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + chunk).min(bytes.len());
+            parser
+                .feed_spanned(std::str::from_utf8(&bytes[i..end]).unwrap(), &mut emit)
+                .unwrap();
+            i = end;
+        }
+        parser.finish_spanned(&mut emit).unwrap();
+        out
+    }
+
+    #[test]
+    fn spans_slice_back_to_the_source() {
+        let xml = r#"<a id="1"><b>6</b><c/>t</a>"#;
+        for (event, span) in spanned_events(xml, xml.len()) {
+            let text = span.slice(xml).expect("span in bounds");
+            match event {
+                Event::StartElement { ref name, .. } => {
+                    assert!(text.starts_with(&format!("<{name}")), "{text}");
+                }
+                Event::EndElement { ref name } => {
+                    // Self-closing tags share the `<c/>` span.
+                    assert!(
+                        text == format!("</{name}>") || text == format!("<{name}/>"),
+                        "{text}"
+                    );
+                }
+                Event::Text { ref content } => assert_eq!(text, content.as_str()),
+                Event::StartDocument | Event::EndDocument => assert!(text.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_chunk_boundary_correct() {
+        // Offsets must count stream bytes, not chunk-local positions:
+        // every chunking yields identical spans.
+        let xml = r#"<a note="1 > 0"><b>x &amp; y</b><![CDATA[q]]><c/></a>"#;
+        let reference = spanned_events(xml, xml.len());
+        for chunk in 1..=9usize {
+            assert_eq!(spanned_events(xml, chunk), reference, "chunk size {chunk}");
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Source byte spans: the provenance half of full-fledged evaluation.
+//!
+//! A boolean verdict needs no pointer back into the document, but a
+//! *selected* node does: dissemination subscribers want to cut the
+//! matched fragment out of the stream, and diagnostics want to say
+//! *where* a match sits. [`Span`] is a half-open byte range
+//! `[start, end)` into the original document stream, stamped on every
+//! event by the streaming parser (chunk-boundary correct: offsets count
+//! source bytes, not chunk-local positions) and by the batch parser.
+//!
+//! Spans cost nothing to carry — two `u64`s per in-flight event — and
+//! never require buffering document content: they are offsets, not
+//! copies, so the paper's memory guarantees are unaffected.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source document.
+///
+/// For a `StartElement` event the span covers the start tag
+/// (`<name …>`); for an `EndElement` the end tag (or, for a
+/// self-closing `<name/>`, the whole tag — both events then share one
+/// span); for `Text` the raw (pre-entity-decoding) character region.
+/// `StartDocument` is the zero-width span at offset 0 and
+/// `EndDocument` the zero-width span at the end of the stream.
+///
+/// Events constructed in memory rather than parsed (e.g. pushed by hand
+/// into an engine session) carry [`Span::EMPTY`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte of the region.
+    pub start: u64,
+    /// Byte offset one past the last byte of the region.
+    pub end: u64,
+}
+
+impl Span {
+    /// The zero-width span at offset 0 — the stamp for events with no
+    /// source provenance (hand-constructed, or replayed without spans).
+    pub const EMPTY: Span = Span { start: 0, end: 0 };
+
+    /// A span from `start` to `end` (half-open, in bytes).
+    pub fn new(start: u64, end: u64) -> Span {
+        Span { start, end }
+    }
+
+    /// The zero-width span at `offset`.
+    pub fn point(offset: u64) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// Length of the region, in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The smallest span covering both `self` and `other` — how an
+    /// element's full extent is assembled from its start- and end-tag
+    /// spans.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slices `source` to this span's byte range (for documents that
+    /// are available in memory; streaming consumers seek instead).
+    /// Returns `None` when the span is out of bounds or does not fall
+    /// on UTF-8 boundaries.
+    pub fn slice<'a>(&self, source: &'a str) -> Option<&'a str> {
+        let (s, e) = (
+            usize::try_from(self.start).ok()?,
+            usize::try_from(self.end).ok()?,
+        );
+        source.get(s..e)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Span::new(3, 9);
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::EMPTY, Span::default());
+        assert_eq!(s.to_string(), "3..9");
+    }
+
+    #[test]
+    fn cover_unions_ranges() {
+        let a = Span::new(2, 5);
+        let b = Span::new(10, 14);
+        assert_eq!(a.cover(b), Span::new(2, 14));
+        assert_eq!(b.cover(a), Span::new(2, 14));
+    }
+
+    #[test]
+    fn slice_extracts_the_region() {
+        let doc = "<a><b/></a>";
+        assert_eq!(Span::new(3, 7).slice(doc), Some("<b/>"));
+        assert_eq!(Span::new(0, 99).slice(doc), None);
+    }
+}

@@ -149,7 +149,7 @@ impl fmt::Display for ArithOp {
 }
 
 /// Basic XPath functions on atomic arguments (`funcop` in Fig. 1; a subset
-/// of [24] — `position()` and `last()` are excluded by the grammar).
+/// of \[24\] — `position()` and `last()` are excluded by the grammar).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Func {
     /// `fn:contains(s, t)` — boolean.

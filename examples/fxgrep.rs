@@ -7,12 +7,14 @@
 //!   cat doc.xml | cargo run --example fxgrep -- '//item[price > 300]'
 //!
 //! Flags:
-//!   -p   also print the 0-based element positions FULLEVAL selects
+//!   -p   selection mode: print each matched element (ordinal + byte span)
+//!        the moment the engine confirms it — grep-style streaming output
 //!   -v   print the filter's space statistics
 //!
-//! The byte stream is pulled through `fx_xml::EventIter` event by event;
-//! position reporting (`-p`) runs the Section-8 filter in its reporting
-//! mode, which the boolean `Engine` surface does not expose.
+//! With `-p` the engine runs in `Mode::Select`: matches stream out as
+//! they are confirmed (often long before end-of-document), each carrying
+//! the source byte span of the matched element, so downstream tooling
+//! can cut the fragment straight out of the file.
 
 use frontier_xpath::prelude::*;
 use std::io::Read;
@@ -28,58 +30,54 @@ fn main() -> ExitCode {
         eprintln!("usage: fxgrep [-p] [-v] '<xpath>' [file.xml ...]");
         return ExitCode::from(2);
     };
-    let query = match parse_query(query_src) {
-        Ok(q) => q,
+    let engine = match Engine::builder()
+        .query_str(query_src)
+        .mode(if positions {
+            Mode::Select
+        } else {
+            Mode::Filter
+        })
+        .build()
+    {
+        Ok(e) => e,
         Err(e) => {
             eprintln!("fxgrep: {e}");
             return ExitCode::from(2);
         }
     };
-    let make_filter = || {
-        if positions {
-            StreamFilter::new_reporting(&query)
-        } else {
-            StreamFilter::new(&query)
-        }
-    };
-    if let Err(e) = make_filter() {
-        eprintln!("fxgrep: unsupported query: {e}");
-        return ExitCode::from(2);
-    }
 
     let files = &args[1..];
     let mut any_match = false;
+    // One session per file: the session's event counter and peak
+    // statistics are cumulative across the documents it processes, and
+    // `-v` should report each file on its own.
     let mut run = |label: &str, reader: &mut dyn Read| {
-        let mut filter = make_filter().expect("checked above");
-        let mut parse_error = None;
-        for item in EventIter::new(&mut *reader) {
-            match item {
-                Ok(event) => filter.process(&event),
-                Err(e) => {
-                    parse_error = Some(e);
-                    break;
-                }
-            }
-        }
-        match parse_error {
-            None => {
-                let matched = filter.result() == Some(true);
+        let mut session = engine.session();
+        // Matches print as the engine confirms them, mid-stream.
+        let mut matches = 0usize;
+        let mut sink = |m: Match| {
+            matches += 1;
+            println!("{label}: element #{} @ bytes {}", m.ordinal, m.span);
+        };
+        match session.run_reader_to(reader, &mut sink) {
+            Ok(verdicts) => {
+                let matched = verdicts.any();
                 any_match |= matched;
-                println!("{label}: {}", if matched { "MATCH" } else { "no match" });
-                if positions {
-                    if let Some(pos) = filter.matched_positions() {
-                        println!("  selected element positions: {pos:?}");
-                    }
+                match (matched, positions) {
+                    (true, true) => println!("{label}: MATCH ({matches} selected)"),
+                    (true, false) => println!("{label}: MATCH"),
+                    (false, _) => println!("{label}: no match"),
                 }
                 if verbose {
-                    let s = filter.stats();
                     println!(
-                        "  space: {} rows, {} buffer bytes, {} bits peak; {} events",
-                        s.max_rows, s.max_buffer_bytes, s.max_bits, s.events
+                        "  space: {} bits peak, {} pending positions peak; {} events",
+                        verdicts.total_peak_bits(),
+                        verdicts.peak_pending_positions().iter().sum::<usize>(),
+                        verdicts.events()
                     );
                 }
             }
-            Some(e) => eprintln!("{label}: parse error: {e}"),
+            Err(e) => eprintln!("{label}: {e}"),
         }
     };
 

@@ -49,7 +49,27 @@
 //!     .unwrap();
 //! let mut session = engine.session();
 //! let verdicts = session.run_reader("<doc><title>t</title></doc>".as_bytes()).unwrap();
-//! assert_eq!(verdicts.matching_queries(), vec![0]);
+//! assert_eq!(verdicts.matching().collect::<Vec<_>>(), vec![0]);
+//! ```
+//!
+//! Beyond boolean filtering, a [`engine::Mode::Select`] engine performs
+//! full-fledged evaluation: each node `FULLEVAL(Q, D)` selects is
+//! delivered incrementally as a [`engine::Match`] — document-order
+//! ordinal plus source byte [`xml::Span`] — the moment its ancestor
+//! chain resolves:
+//!
+//! ```
+//! use frontier_xpath::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .query_str("//item[price > 300]/name")
+//!     .mode(Mode::Select)
+//!     .build()
+//!     .unwrap();
+//! let xml = "<r><item><price>400</price><name>gold</name></item></r>";
+//! let outcome = engine.select_str(xml).unwrap();
+//! let m = outcome.matches(0)[0];
+//! assert_eq!(m.span.slice(xml), Some("<name>gold</name>"));
 //! ```
 //!
 //! ## Crate map
@@ -69,12 +89,15 @@
 //!
 //! ## Legacy batch surface
 //!
-//! The pre-engine entry points — `StreamFilter::run(&query, &events)`
-//! and `MultiFilter::process_all(&[Event])` — required the caller to
-//! materialize the whole document as a `Vec<Event>`, forfeiting the
-//! memory guarantee at the API boundary. They remain as thin deprecated
-//! shims so differential tests can pit old against new; new code should
-//! go through [`engine::Engine`].
+//! The pre-engine one-shot entry points — `StreamFilter::run(&query,
+//! &events)` and `MultiFilter::process_all(&[Event])` — required the
+//! caller to materialize the whole document as a `Vec<Event>`,
+//! forfeiting the memory guarantee at the API boundary. They have been
+//! removed: everything goes through [`engine::Engine`] now, and the
+//! algorithm layer is driven event-at-a-time (`StreamFilter::process`).
+//! Likewise `StreamFilter::matched_positions()` is only a thin wrapper
+//! over the incremental [`engine::MatchSink`] machinery, reading
+//! whatever matches were never drained.
 
 #![warn(missing_docs)]
 
@@ -101,10 +124,11 @@ pub mod prelude {
     /// keep compiling; new code should name [`Evaluator`] directly.
     pub use fx_engine::Evaluator as BooleanStreamFilter;
     pub use fx_engine::{
-        Backend, Engine, EngineBuilder, EngineError, Evaluator, Session, Verdicts,
+        Backend, Engine, EngineBuilder, EngineError, Evaluator, Match, MatchCollector, MatchSink,
+        Mode, Outcome, Session, Verdicts,
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
-    pub use fx_xml::{parse as parse_xml, Event, EventIter, SaxHandler};
+    pub use fx_xml::{parse as parse_xml, Event, EventIter, SaxHandler, Span};
     pub use fx_xpath::{parse_query, Query};
 }

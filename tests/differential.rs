@@ -2,10 +2,10 @@
 //! evaluator, the matching engine, and (where applicable) the automata
 //! baselines must agree everywhere.
 //!
-//! This file deliberately exercises the deprecated batch shims
-//! (`StreamFilter::run`) so the legacy surface keeps agreeing with the
-//! reference; engine-vs-legacy parity lives in `engine_differential.rs`.
-#![allow(deprecated)]
+//! This file drives the bare `StreamFilter` (the algorithm layer) so it
+//! keeps agreeing with the reference; engine-vs-filter parity lives in
+//! `engine_differential.rs`, selection parity in
+//! `selection_differential.rs`.
 
 use frontier_xpath::prelude::*;
 use frontier_xpath::workloads::{random_document, RandomDocConfig};
@@ -60,7 +60,10 @@ fn seeded_sweep_filter_vs_reference_vs_matching() {
             let d = random_document(&mut rng, &cfg);
             let reference = bool_eval(&q, &d).unwrap();
             let via_matching = document_matches(&q, &d).unwrap();
-            let streamed = StreamFilter::run(&q, &d.to_events()).unwrap();
+            let streamed = StreamFilter::new(&q)
+                .unwrap()
+                .run_stream(&d.to_events())
+                .unwrap();
             assert_eq!(
                 reference,
                 via_matching,
@@ -97,7 +100,11 @@ fn linear_queries_four_way() {
             assert_eq!(nfa.run_stream(&events), Some(reference), "{src}");
             assert_eq!(dfa.run_stream(&events), Some(reference), "{src}");
             assert_eq!(buf.run_stream(&events), Some(reference), "{src}");
-            assert_eq!(StreamFilter::run(&q, &events).unwrap(), reference, "{src}");
+            assert_eq!(
+                StreamFilter::new(&q).unwrap().run_stream(&events).unwrap(),
+                reference,
+                "{src}"
+            );
         }
     }
 }
@@ -126,7 +133,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let d = random_document(&mut rng, &RandomDocConfig::default());
         let reference = bool_eval(&q, &d).unwrap();
-        prop_assert_eq!(StreamFilter::run(&q, &d.to_events()).unwrap(), reference);
+        prop_assert_eq!(StreamFilter::new(&q).unwrap().run_stream(&d.to_events()).unwrap(), reference);
     }
 
     /// Restarting a filter on a second document gives the same answer as
@@ -141,7 +148,7 @@ proptest! {
         let mut reused = StreamFilter::new(&q).unwrap();
         reused.process_all(&d1.to_events());
         reused.process_all(&d2.to_events());
-        let fresh = StreamFilter::run(&q, &d2.to_events()).unwrap();
+        let fresh = StreamFilter::new(&q).unwrap().run_stream(&d2.to_events()).unwrap();
         prop_assert_eq!(reused.result(), Some(fresh));
     }
 }

@@ -1,11 +1,7 @@
-//! Engine-vs-legacy differential testing: the new `Engine`/`Session`
-//! surface must reproduce the legacy batch surface exactly — same
+//! Engine-vs-filter differential testing: the `Engine`/`Session`
+//! surface must reproduce the bare algorithm layer exactly — same
 //! verdicts *and* same peak-bit space statistics — and its pull-based
 //! event source must filter large documents without buffering them.
-//!
-//! The legacy half of each comparison intentionally uses the deprecated
-//! batch shims; that is the point of keeping them.
-#![allow(deprecated)]
 
 use frontier_xpath::prelude::*;
 use frontier_xpath::workloads::{random_document, RandomDocConfig};
@@ -37,7 +33,7 @@ const QUERIES: &[&str] = &[
 const LINEAR_QUERIES: &[&str] = &["/a/b", "//a//b", "/a//b/c", "//x", "/a/*/b"];
 
 /// Verdict AND peak-bit parity between `Engine` (Frontier backend) and
-/// legacy `StreamFilter::run` over the seeded random-document generator.
+/// a bare `StreamFilter` over the seeded random-document generator.
 #[test]
 fn frontier_backend_matches_legacy_verdicts_and_bits() {
     let mut rng = SmallRng::seed_from_u64(0xE9611E);
@@ -67,9 +63,9 @@ fn frontier_backend_matches_legacy_verdicts_and_bits() {
             let d = random_document(&mut rng, &cfg);
             let events = d.to_events();
 
-            // Old: one legacy pass yields both verdict and instrumented
-            // stats (the `StreamFilter::run` shim itself is covered by
-            // `differential.rs` and the proptest parity case below).
+            // One bare-filter pass yields both verdict and instrumented
+            // stats (the filter itself is covered by `differential.rs`
+            // and the proptest parity case below).
             let mut legacy = StreamFilter::new(&q).unwrap();
             let legacy_verdict = legacy.run_stream(&events).unwrap();
             let legacy_bits = legacy.stats().max_bits;
@@ -169,9 +165,11 @@ fn multi_query_session_agrees_with_legacy_bank() {
         let events = d.to_events();
         let verdicts = session.run_reader(d.to_xml().as_bytes()).unwrap();
         let mut bank = MultiFilter::new(&queries).unwrap();
-        bank.process_all(&events);
+        for e in &events {
+            bank.process(e);
+        }
         for (i, q) in queries.iter().enumerate() {
-            let solo = StreamFilter::run(q, &events).unwrap();
+            let solo = StreamFilter::new(q).unwrap().run_stream(&events).unwrap();
             assert_eq!(
                 verdicts.matched()[i],
                 solo,
@@ -199,9 +197,9 @@ proptest! {
         let q = parse_query(QUERIES[qi]).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
         let d = random_document(&mut rng, &RandomDocConfig::default());
-        let legacy = StreamFilter::run(&q, &d.to_events()).unwrap();
+        let bare = StreamFilter::new(&q).unwrap().run_stream(&d.to_events()).unwrap();
         let engine = Engine::builder().query(q).build().unwrap();
-        prop_assert_eq!(engine.run_str(&d.to_xml()).unwrap().any(), legacy);
+        prop_assert_eq!(engine.run_str(&d.to_xml()).unwrap().any(), bare);
     }
 }
 
