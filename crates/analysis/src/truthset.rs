@@ -245,7 +245,10 @@ fn num_or_str(op: CompOp, c: &Value) -> Shape {
     }
 }
 
-fn flip(op: CompOp) -> CompOp {
+/// Mirrors a comparison across its operands: `a op b` ⟺ `b flip(op) a`.
+/// Shared with the canonical-query renderer, which uses it to orient
+/// `const op path` comparisons path-first.
+pub(crate) fn flip(op: CompOp) -> CompOp {
     match op {
         CompOp::Eq => CompOp::Eq,
         CompOp::Ne => CompOp::Ne,

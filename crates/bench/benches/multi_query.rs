@@ -1,9 +1,10 @@
 //! Experiment E11: multi-query dissemination — throughput vs. the number
-//! of concurrently registered queries.
+//! of concurrently registered queries, for the naive per-query bank and
+//! the shared-prefix indexed bank.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fx_core::MultiFilter;
-use fx_engine::Engine;
+use fx_core::{IndexedBank, MultiFilter};
+use fx_engine::{Engine, IndexPolicy};
 use fx_workloads as wl;
 use fx_xpath::Query;
 use rand::rngs::SmallRng;
@@ -73,9 +74,72 @@ fn bench_bank_sizes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The indexed series: overlapping query families (16 queries per
+/// shared prefix) against documents that activate only a couple of
+/// families. The naive bank pays Θ(n) per event; the indexed bank pays
+/// for the shared trie plus the activated families only, so per-event
+/// work grows sublinearly as the bank goes 1 → 16 → 128 → 1024.
+fn bench_shared_prefix_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_query_indexed");
+    for n in [1usize, 16, 128, 1024] {
+        let mut rng = SmallRng::seed_from_u64(0xBEC + n as u64);
+        let families = (n / 16).max(1);
+        let bank = wl::random_shared_prefix_bank(
+            &mut rng,
+            &wl::SharedPrefixBankConfig {
+                families,
+                queries_per_family: n.min(16),
+                prefix_depth: 3,
+            },
+        );
+        assert_eq!(bank.len(), n);
+        let active: Vec<usize> = (0..families.min(2)).collect();
+        let xml = bank.document(&active, 4, 8);
+        let events = fx_xml::parse(&xml).unwrap();
+        group.throughput(Throughput::Elements((events.len() * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &bank.queries, |b, qs| {
+            let mut mf = MultiFilter::new(qs).unwrap();
+            b.iter(|| {
+                for e in &events {
+                    mf.process(e);
+                }
+                mf.matching().count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &bank.queries, |b, qs| {
+            let mut ib = IndexedBank::new(qs).unwrap();
+            b.iter(|| {
+                for e in &events {
+                    ib.process(e);
+                }
+                ib.matching().count()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("engine-indexed", n),
+            &bank.queries,
+            |b, qs| {
+                let engine = Engine::builder()
+                    .queries(qs.iter().cloned())
+                    .index(IndexPolicy::SharedPrefix)
+                    .build()
+                    .unwrap();
+                let mut session = engine.session();
+                b.iter(|| {
+                    for e in &events {
+                        session.push(e);
+                    }
+                    session.finish().unwrap().matching().count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_bank_sizes
+    targets = bench_bank_sizes, bench_shared_prefix_index
 }
 criterion_main!(benches);

@@ -1,0 +1,877 @@
+//! The shared-prefix **indexed multi-query bank**: YFilter-style work
+//! sharing for the selective-dissemination workload (\[1\] in the paper).
+//!
+//! [`crate::MultiFilter`] fans every event out to an independent
+//! [`StreamFilter`] per query, so per-event cost is Θ(n) in bank size.
+//! [`IndexedBank`] instead canonicalizes each query's succession chain
+//! (`fx_analysis::canonical_steps`), inserts the chains into a prefix
+//! **trie**, and walks the trie **once** per event: a trie node shared by
+//! a thousand queries owns a single frontier-table segment — one record
+//! per open occurrence of its path — no matter how many queries hang
+//! below it. Per-query state exists only at *divergence points*: when a
+//! document element completes a query group's shared prefix, the bank
+//! spawns a **residual instance** (a plain [`StreamFilter`] over the
+//! query's remainder, re-rooted at that element) that sees only the
+//! events inside the activating element's subtree and retires at its
+//! close. Queries whose whole chain is predicate-free live entirely in
+//! the trie and need no instance at all.
+//!
+//! Per-event cost is therefore `O(shared trie records + live residual
+//! instances)` instead of `O(bank size)`: queries whose prefix the
+//! document never exhibits cost **zero** per event, and equivalent
+//! queries (equal `fx_analysis::canonical_key`, e.g. commutative
+//! predicate reorderings) are evaluated once and fanned out. On
+//! overlapping query families this makes per-event work grow sublinearly
+//! with bank size; on banks with no shared structure (every prefix
+//! empty) it degrades gracefully to the naive bank's behaviour, with the
+//! same decided-filter short-circuiting.
+//!
+//! Correctness rests on the decomposition `BOOLEVAL(Q, D) = ∨ₓ
+//! BOOLEVAL(Q', subtree(x))` (and the analogous union for `FULLEVAL`)
+//! over the candidates `x` of the predicate-free prefix — predicates
+//! cannot constrain prefix nodes, so matches distribute over the
+//! divergence point — and is proven against [`crate::MultiFilter`] by
+//! `tests/indexed_differential.rs` (verdicts *and* routed match streams,
+//! ordinals, spans and bank indices included).
+
+use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
+use crate::reporter::{Match, MatchSink};
+use fx_analysis::{canonical_key, canonical_steps, sharable_prefix_of};
+use fx_xml::{Event, Span};
+use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
+use std::collections::{HashMap, HashSet};
+
+/// One node of the shared-prefix trie: a canonical (axis, node-test)
+/// step. All queries whose canonical chains run through this step share
+/// this node — and thus share the per-event work of tracking it.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    axis: Axis,
+    ntest: NodeTest,
+    children: Vec<u32>,
+    /// Groups whose entire chain ends here: a predicate-free linear
+    /// query. An activation of this node *is* a match; no per-query
+    /// state is ever needed.
+    terminal: Vec<u32>,
+    /// Groups that diverge here: activation spawns one residual
+    /// instance per group, rooted at the activating element.
+    residual: Vec<u32>,
+}
+
+/// A set of bank queries with identical canonical form, evaluated once.
+#[derive(Debug, Clone)]
+struct Group {
+    /// Bank indices (registration order) sharing this canonical form.
+    members: Vec<usize>,
+    /// The compiled remainder of the query below the shared prefix
+    /// (`None` for terminal groups).
+    residual: Option<CompiledQuery>,
+    /// Whether the shared prefix contains a descendant-axis step, in
+    /// which case nested activations can confirm the same output element
+    /// twice and reported ordinals must be deduplicated per document.
+    needs_dedup: bool,
+}
+
+/// A live residual evaluation: one query group below one activation.
+#[derive(Debug, Clone)]
+struct Instance {
+    group: u32,
+    filter: StreamFilter,
+    /// Instance-local element ordinals plus this offset are global
+    /// document ordinals (the subtree's ordinals are contiguous).
+    ordinal_offset: u64,
+    /// Document level of the activating element; `-1` for
+    /// document-rooted instances (groups with an empty sharable prefix).
+    root_level: i64,
+    /// Last observed [`StreamFilter::match_progress`], so the (filter
+    /// mode) early-decision check runs only on transitions.
+    progress: u64,
+}
+
+/// An indexed bank of streaming filters sharing one event feed *and*
+/// the evaluation of common query prefixes.
+///
+/// The surface mirrors [`crate::MultiFilter`]: feed events through
+/// [`IndexedBank::process`] / [`IndexedBank::process_to`], read
+/// per-query verdicts from [`IndexedBank::results`] or
+/// [`IndexedBank::matching`], and (in reporting mode) receive each
+/// confirmed [`Match`] stamped with the bank index of the query that
+/// selected it. Verdicts and routed matches are event-for-event
+/// equivalent to the naive bank; only the work sharing differs.
+#[derive(Debug, Clone)]
+pub struct IndexedBank {
+    trie: Vec<TrieNode>,
+    groups: Vec<Group>,
+    /// Groups with an empty sharable prefix, spawned at `StartDocument`
+    /// as document-rooted instances (the naive-bank degenerate case).
+    root_groups: Vec<u32>,
+    /// Bank index → group index.
+    query_group: Vec<u32>,
+    reporting: bool,
+
+    // -- per-document state -------------------------------------------------
+    /// The shared frontier segment: one `(trie node, insertion level)`
+    /// record per open occurrence of a trie path.
+    records: Vec<(u32, u32)>,
+    instances: Vec<Instance>,
+    current_level: u32,
+    element_ordinal: u64,
+    /// Terminal activations awaiting their close tag (for the span):
+    /// `(level, group, ordinal, span start)`, stack-ordered.
+    open_terminals: Vec<(u32, u32, u64, u64)>,
+    /// Per-group verdict accumulator (monotone within a document).
+    group_true: Vec<bool>,
+    /// Per-group ordinals already reported this document (allocated only
+    /// for groups with `needs_dedup`).
+    emitted: Vec<HashSet<u64>>,
+    /// Whether `EndDocument` has been seen for the current document.
+    finished: bool,
+
+    // -- statistics ---------------------------------------------------------
+    /// Per-group peak filter bits (max over this group's instances).
+    peak_bits: Vec<u64>,
+    /// Per-group peak pending (unresolved-candidate) positions.
+    peak_pending: Vec<usize>,
+    /// Peak number of shared trie records.
+    peak_records: usize,
+    /// Peak number of simultaneously live residual instances.
+    peak_instances: usize,
+}
+
+impl IndexedBank {
+    /// Compiles and indexes a bank of filtering queries; fails on the
+    /// first unsupported one (with its bank index), exactly like
+    /// [`crate::MultiFilter::new`].
+    pub fn new(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        IndexedBank::build(queries, false)
+    }
+
+    /// Compiles and indexes a *selection* bank: every query runs in
+    /// reporting mode and [`IndexedBank::process_to`] routes each
+    /// confirmed match to the sink with its query's bank index. Fails
+    /// with the index of the first query whose output node cannot be
+    /// reported.
+    pub fn new_reporting(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        IndexedBank::build(queries, true)
+    }
+
+    fn build(queries: &[Query], reporting: bool) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        let mut trie = vec![TrieNode {
+            axis: Axis::Child,
+            ntest: NodeTest::Wildcard,
+            children: Vec::new(),
+            terminal: Vec::new(),
+            residual: Vec::new(),
+        }];
+        let mut groups: Vec<Group> = Vec::new();
+        let mut root_groups = Vec::new();
+        let mut query_group = Vec::with_capacity(queries.len());
+        let mut group_of_key: HashMap<String, u32> = HashMap::new();
+
+        for (i, q) in queries.iter().enumerate() {
+            // Validate the full query exactly like the naive bank, so
+            // unsupported queries fail with the same index either way.
+            let compiled = CompiledQuery::compile(q).map_err(|e| (i, e))?;
+            if reporting {
+                compiled.reporting_supported().map_err(|e| (i, e))?;
+            }
+            let key = canonical_key(q);
+            if let Some(&g) = group_of_key.get(&key) {
+                groups[g as usize].members.push(i);
+                query_group.push(g);
+                continue;
+            }
+            let steps = canonical_steps(q);
+            let k = sharable_prefix_of(&steps);
+            let mut node = 0u32;
+            let mut needs_dedup = false;
+            for step in &steps[..k] {
+                needs_dedup |= step.axis == Axis::Descendant;
+                node = match trie[node as usize].children.iter().copied().find(|&c| {
+                    trie[c as usize].axis == step.axis && trie[c as usize].ntest == step.ntest
+                }) {
+                    Some(c) => c,
+                    None => {
+                        let id = trie.len() as u32;
+                        trie.push(TrieNode {
+                            axis: step.axis,
+                            ntest: step.ntest.clone(),
+                            children: Vec::new(),
+                            terminal: Vec::new(),
+                            residual: Vec::new(),
+                        });
+                        trie[node as usize].children.push(id);
+                        id
+                    }
+                };
+            }
+            let g = groups.len() as u32;
+            group_of_key.insert(key, g);
+            query_group.push(g);
+            if k == steps.len() && k > 0 {
+                trie[node as usize].terminal.push(g);
+                groups.push(Group {
+                    members: vec![i],
+                    residual: None,
+                    needs_dedup,
+                });
+            } else if k == 0 {
+                root_groups.push(g);
+                groups.push(Group {
+                    members: vec![i],
+                    residual: Some(compiled),
+                    needs_dedup: false,
+                });
+            } else {
+                let residual = residual_query(q, k);
+                let rc = CompiledQuery::compile(&residual).map_err(|e| (i, e))?;
+                if reporting {
+                    rc.reporting_supported().map_err(|e| (i, e))?;
+                }
+                trie[node as usize].residual.push(g);
+                groups.push(Group {
+                    members: vec![i],
+                    residual: Some(rc),
+                    needs_dedup,
+                });
+            }
+        }
+
+        let n_groups = groups.len();
+        Ok(IndexedBank {
+            trie,
+            groups,
+            root_groups,
+            query_group,
+            reporting,
+            records: Vec::new(),
+            instances: Vec::new(),
+            current_level: 0,
+            element_ordinal: 0,
+            open_terminals: Vec::new(),
+            group_true: vec![false; n_groups],
+            emitted: vec![HashSet::new(); n_groups],
+            finished: false,
+            peak_bits: vec![0; n_groups],
+            peak_pending: vec![0; n_groups],
+            peak_records: 0,
+            peak_instances: 0,
+        })
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.query_group.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.query_group.is_empty()
+    }
+
+    /// True when this bank reports positions (built via
+    /// [`IndexedBank::new_reporting`]).
+    pub fn is_reporting(&self) -> bool {
+        self.reporting
+    }
+
+    /// Number of distinct canonical query groups (each evaluated once).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of shared trie nodes (excluding the virtual root).
+    pub fn shared_nodes(&self) -> usize {
+        self.trie.len() - 1
+    }
+
+    /// Currently live residual instances (per-query state that exists
+    /// only below activated divergence points).
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Peak number of simultaneously live residual instances.
+    pub fn peak_live_instances(&self) -> usize {
+        self.peak_instances
+    }
+
+    /// Peak number of shared trie frontier records.
+    pub fn peak_shared_records(&self) -> usize {
+        self.peak_records
+    }
+
+    /// Feeds one event to the index (no span information; reported
+    /// matches carry [`Span::EMPTY`]).
+    pub fn process(&mut self, event: &Event) {
+        self.process_to(event, Span::EMPTY, &mut |_: Match| {});
+    }
+
+    /// Feeds one event with its source span, routing any matches it
+    /// confirmed to `sink` — each stamped with the bank index of the
+    /// query that selected it. Filtering-mode banks never call the sink.
+    pub fn process_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        match event {
+            Event::StartDocument => self.start_document(),
+            Event::StartElement { name, .. } => self.start_element(event, name, span, sink),
+            Event::EndElement { .. } => self.end_element(event, span, sink),
+            Event::Text { .. } => self.feed_instances(event, span, self.current_level as i64, sink),
+            Event::EndDocument => self.end_document(sink),
+        }
+    }
+
+    /// Per-query verdicts (available after `endDocument`, or earlier for
+    /// groups that short-circuited to an accept).
+    pub fn results(&self) -> Vec<Option<bool>> {
+        self.query_group
+            .iter()
+            .map(|&g| {
+                if self.group_true[g as usize] {
+                    Some(true)
+                } else if self.finished {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Iterates the indices of the queries the last document matched,
+    /// without allocating.
+    pub fn matching(&self) -> impl Iterator<Item = usize> + '_ {
+        self.query_group
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g)| self.group_true[g as usize].then_some(i))
+    }
+
+    /// Indices of the queries the last document matched, collected.
+    pub fn matching_queries(&self) -> Vec<usize> {
+        self.matching().collect()
+    }
+
+    /// Per-query peak filter bits. With sharing, the figure is the peak
+    /// over the query's *group* instances — queries of one group report
+    /// the same number, and queries whose prefix never activated report
+    /// zero (they did zero per-query work).
+    pub fn peak_memory_bits(&self) -> Vec<u64> {
+        self.query_group
+            .iter()
+            .map(|&g| self.peak_bits[g as usize])
+            .collect()
+    }
+
+    /// Per-query peak counts of buffered unresolved candidate positions
+    /// (all zero for filtering-mode banks) — the \[5\] selection cost.
+    pub fn peak_pending_positions(&self) -> Vec<usize> {
+        self.query_group
+            .iter()
+            .map(|&g| self.peak_pending[g as usize])
+            .collect()
+    }
+
+    /// Aggregate peak filter state across the bank, in bits: the sum of
+    /// per-group peaks (shared groups are counted once — that is the
+    /// point of the index).
+    pub fn total_max_bits(&self) -> u64 {
+        self.peak_bits.iter().sum()
+    }
+
+    // -- event handlers -----------------------------------------------------
+
+    fn start_document(&mut self) {
+        self.records.clear();
+        self.instances.clear();
+        self.open_terminals.clear();
+        self.current_level = 0;
+        self.element_ordinal = 0;
+        self.finished = false;
+        for v in &mut self.group_true {
+            *v = false;
+        }
+        for s in &mut self.emitted {
+            s.clear();
+        }
+        for &c in &self.trie[0].children {
+            self.records.push((c, 0));
+        }
+        // Empty-prefix groups run as document-rooted instances: exactly
+        // the naive bank's per-query filters, short-circuiting included.
+        for gi in 0..self.root_groups.len() {
+            let g = self.root_groups[gi];
+            self.spawn_instance(g, 0, -1);
+        }
+        self.peak_records = self.peak_records.max(self.records.len());
+    }
+
+    fn start_element(&mut self, event: &Event, name: &str, span: Span, sink: &mut dyn MatchSink) {
+        let lvl = self.current_level;
+        // Feed instances rooted strictly above this element first; the
+        // instances this element spawns below must not see its start tag
+        // (they are rooted *at* it).
+        self.feed_instances(event, span, lvl as i64, sink);
+
+        // Walk the shared segment once: which trie nodes does this
+        // element activate?
+        let mut activated: Vec<u32> = Vec::new();
+        for &(t, rl) in &self.records {
+            let node = &self.trie[t as usize];
+            let level_ok = match node.axis {
+                Axis::Descendant => lvl >= rl,
+                _ => lvl == rl,
+            };
+            if level_ok && node.ntest.passes(name) && !activated.contains(&t) {
+                activated.push(t);
+            }
+        }
+        for &t in &activated {
+            for ci in 0..self.trie[t as usize].children.len() {
+                let c = self.trie[t as usize].children[ci];
+                if !self.records.contains(&(c, lvl + 1)) {
+                    self.records.push((c, lvl + 1));
+                }
+            }
+            for gi in 0..self.trie[t as usize].terminal.len() {
+                let g = self.trie[t as usize].terminal[gi];
+                if self.reporting {
+                    self.open_terminals
+                        .push((lvl, g, self.element_ordinal, span.start));
+                } else {
+                    self.group_true[g as usize] = true;
+                }
+            }
+            for gi in 0..self.trie[t as usize].residual.len() {
+                let g = self.trie[t as usize].residual[gi];
+                // Decided-group short-circuit: a filtering group already
+                // accepted needs no further instances.
+                if !self.reporting && self.group_true[g as usize] {
+                    continue;
+                }
+                self.spawn_instance(g, self.element_ordinal + 1, lvl as i64);
+            }
+        }
+        self.element_ordinal += 1;
+        self.current_level = lvl + 1;
+        self.peak_records = self.peak_records.max(self.records.len());
+    }
+
+    fn end_element(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        let new_level = self.current_level.saturating_sub(1);
+        // Instances strictly inside see the end tag; the ones rooted at
+        // the closing element get `EndDocument` instead, below.
+        self.feed_instances(event, span, new_level as i64, sink);
+        self.current_level = new_level;
+
+        // Retire instances rooted at the closing element.
+        let mut i = 0;
+        while i < self.instances.len() {
+            if self.instances[i].root_level == new_level as i64 {
+                self.retire_instance(i, sink);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Drop shared records spawned inside the closing element.
+        self.records.retain(|&(_, rl)| rl <= new_level);
+
+        // Terminal activations of the closing element: the span is now
+        // complete, and — the chain being predicate-free — the match is
+        // definitely confirmed.
+        while let Some(&(l, g, ordinal, start)) = self.open_terminals.last() {
+            if l != new_level {
+                break;
+            }
+            self.open_terminals.pop();
+            self.emit(g as usize, ordinal, Span::new(start, span.end), sink);
+        }
+    }
+
+    fn end_document(&mut self, sink: &mut dyn MatchSink) {
+        while !self.instances.is_empty() {
+            self.retire_instance(0, sink);
+        }
+        self.finished = true;
+    }
+
+    // -- instance plumbing --------------------------------------------------
+
+    fn spawn_instance(&mut self, g: u32, ordinal_offset: u64, root_level: i64) {
+        let group = &self.groups[g as usize];
+        let compiled = group
+            .residual
+            .as_ref()
+            .expect("only residual groups spawn instances")
+            .clone();
+        let mut filter = if self.reporting {
+            StreamFilter::from_compiled_reporting(compiled)
+                .expect("reporting support validated at build")
+        } else {
+            StreamFilter::from_compiled(compiled)
+        };
+        filter.process(&Event::StartDocument);
+        self.instances.push(Instance {
+            group: g,
+            filter,
+            ordinal_offset,
+            root_level,
+            progress: 0,
+        });
+        self.peak_instances = self.peak_instances.max(self.instances.len());
+    }
+
+    /// Feeds `event` to every instance rooted strictly above `threshold`
+    /// (the level the event occurs at), draining matches and applying
+    /// the decided-filter short-circuit in filtering mode.
+    fn feed_instances(
+        &mut self,
+        event: &Event,
+        span: Span,
+        threshold: i64,
+        sink: &mut dyn MatchSink,
+    ) {
+        let mut i = 0;
+        while i < self.instances.len() {
+            let g = self.instances[i].group as usize;
+            if !self.reporting && self.group_true[g] {
+                // The group already accepted: its verdict cannot change,
+                // so the instance is pure overhead. Same rationale as
+                // MultiFilter's decided-filter skip.
+                self.note_stats(i);
+                self.instances.swap_remove(i);
+                continue;
+            }
+            if threshold <= self.instances[i].root_level {
+                i += 1;
+                continue;
+            }
+            let mut drained: Vec<(u64, Span)> = Vec::new();
+            let mut decided = None;
+            {
+                let inst = &mut self.instances[i];
+                inst.filter.process_spanned(event, span);
+                if self.reporting {
+                    inst.filter
+                        .drain_matches(0, &mut |m: Match| drained.push((m.ordinal, m.span)));
+                } else {
+                    let p = inst.filter.match_progress();
+                    if p != inst.progress {
+                        inst.progress = p;
+                        decided = inst.filter.decided();
+                        // The early-reject branch of `decided()` assumes
+                        // level-0 child-axis candidates are exhausted
+                        // after one element — true only for a document's
+                        // unique root. An element-rooted instance sees
+                        // every child of its activation element at level
+                        // 0, so for it only the (monotone) accept is
+                        // decisive.
+                        if decided == Some(false) && inst.root_level >= 0 {
+                            decided = None;
+                        }
+                    }
+                }
+            }
+            if !drained.is_empty() {
+                let offset = self.instances[i].ordinal_offset;
+                for (o, sp) in drained {
+                    self.emit(g, o + offset, sp, sink);
+                }
+            }
+            if let Some(v) = decided {
+                if v {
+                    self.group_true[g] = true;
+                }
+                self.note_stats(i);
+                self.instances.swap_remove(i);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Sends `EndDocument` to instance `i`, harvests its verdict and any
+    /// final matches, records statistics, and removes it.
+    fn retire_instance(&mut self, i: usize, sink: &mut dyn MatchSink) {
+        let g = self.instances[i].group as usize;
+        let mut drained: Vec<(u64, Span)> = Vec::new();
+        let verdict;
+        {
+            let inst = &mut self.instances[i];
+            inst.filter.process(&Event::EndDocument);
+            if self.reporting {
+                inst.filter
+                    .drain_matches(0, &mut |m: Match| drained.push((m.ordinal, m.span)));
+            }
+            verdict = inst.filter.result();
+        }
+        let offset = self.instances[i].ordinal_offset;
+        for (o, sp) in drained {
+            self.emit(g, o + offset, sp, sink);
+        }
+        if verdict == Some(true) {
+            self.group_true[g] = true;
+        }
+        self.note_stats(i);
+        self.instances.swap_remove(i);
+    }
+
+    fn note_stats(&mut self, i: usize) {
+        let g = self.instances[i].group as usize;
+        let bits = self.instances[i].filter.stats().max_bits;
+        self.peak_bits[g] = self.peak_bits[g].max(bits);
+        let pending = self.instances[i].filter.peak_pending_positions();
+        self.peak_pending[g] = self.peak_pending[g].max(pending);
+    }
+
+    /// Routes one confirmed match to every member of group `g`,
+    /// deduplicating ordinals for groups whose descendant-axis prefixes
+    /// allow nested activations to confirm the same element twice.
+    fn emit(&mut self, g: usize, ordinal: u64, span: Span, sink: &mut dyn MatchSink) {
+        self.group_true[g] = true;
+        if !self.reporting {
+            return;
+        }
+        if self.groups[g].needs_dedup && !self.emitted[g].insert(ordinal) {
+            return;
+        }
+        for &m in &self.groups[g].members {
+            sink.on_match(Match {
+                query: m,
+                ordinal,
+                span,
+            });
+        }
+    }
+}
+
+/// Builds the residual query of `q` below a sharable prefix of length
+/// `skip`: the subtree rooted at chain node `u_{skip+1}`, re-rooted so
+/// its first step is relative to a prefix-activation element.
+fn residual_query(q: &Query, skip: usize) -> Query {
+    let mut chain = Vec::new();
+    let mut cur = q.root();
+    while let Some(n) = q.successor(cur) {
+        chain.push(n);
+        cur = n;
+    }
+    let start = chain[skip];
+    let mut rq = Query::new();
+    let root = rq.root();
+    let mut map: HashMap<QueryNodeId, QueryNodeId> = HashMap::new();
+    copy_subtree(q, start, &mut rq, root, &mut map);
+    rq.set_successor(root, map[&start]);
+    rq
+}
+
+fn copy_subtree(
+    q: &Query,
+    u: QueryNodeId,
+    rq: &mut Query,
+    parent: QueryNodeId,
+    map: &mut HashMap<QueryNodeId, QueryNodeId>,
+) {
+    let id = rq.add_node(
+        parent,
+        q.axis(u).unwrap_or(Axis::Child),
+        q.ntest(u).cloned().unwrap_or(NodeTest::Wildcard),
+    );
+    map.insert(u, id);
+    for c in q.children(u).to_vec() {
+        copy_subtree(q, c, rq, id, map);
+    }
+    if let Some(s) = q.successor(u) {
+        rq.set_successor(id, map[&s]);
+    }
+    if let Some(p) = q.predicate(u) {
+        let remapped = remap_expr(p, map);
+        rq.set_predicate(id, remapped);
+    }
+}
+
+fn remap_expr(e: &Expr, map: &HashMap<QueryNodeId, QueryNodeId>) -> Expr {
+    match e {
+        Expr::Const(v) => Expr::Const(v.clone()),
+        Expr::Var(v) => Expr::Var(map[v]),
+        Expr::Comp(op, a, b) => Expr::Comp(
+            *op,
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+        ),
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(remap_expr(a, map)),
+            Box::new(remap_expr(b, map)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(remap_expr(a, map))),
+        Expr::And(a, b) => Expr::And(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
+        Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, map)), Box::new(remap_expr(b, map))),
+        Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, map))),
+        Expr::Call(f, args) => Expr::Call(*f, args.iter().map(|a| remap_expr(a, map)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::MultiFilter;
+    use fx_xpath::parse_query;
+
+    fn bank(srcs: &[&str]) -> (IndexedBank, MultiFilter) {
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        (
+            IndexedBank::new(&queries).unwrap(),
+            MultiFilter::new(&queries).unwrap(),
+        )
+    }
+
+    fn feed_both(ib: &mut IndexedBank, mf: &mut MultiFilter, xml: &str) {
+        for e in &fx_xml::parse(xml).unwrap() {
+            ib.process(e);
+            mf.process(e);
+        }
+        assert_eq!(ib.results(), mf.results(), "{xml}");
+    }
+
+    #[test]
+    fn shared_prefix_families_agree_with_naive_bank() {
+        let (mut ib, mut mf) = bank(&[
+            "/site/regions/asia/item",
+            "/site/regions/asia/item[price > 100]",
+            "/site/regions/europe/item",
+            "/site/regions/europe/item[shipping]",
+            "//category//name",
+            "/doc[title]",
+        ]);
+        // Trie sharing: the two asia queries share site/regions/asia, the
+        // europe ones site/regions/europe → well under 6 separate chains.
+        assert!(ib.shared_nodes() <= 8, "{}", ib.shared_nodes());
+        for xml in [
+            "<site><regions><asia><item><price>150</price></item></asia></regions></site>",
+            "<site><regions><europe><item><shipping/></item></europe></regions></site>",
+            "<site><categories><category><name>x</name></category></categories></site>",
+            "<doc><title>t</title></doc>",
+            "<other/>",
+        ] {
+            feed_both(&mut ib, &mut mf, xml);
+        }
+    }
+
+    #[test]
+    fn equivalent_queries_share_one_group() {
+        let queries: Vec<Query> = ["/a[b and c]/d", "/a[c and b]/d", "/a[b and c and b]/d"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let mut ib = IndexedBank::new(&queries).unwrap();
+        assert_eq!(ib.group_count(), 1, "commutative reorderings share a group");
+        for e in &fx_xml::parse("<a><c/><b/><d/></a>").unwrap() {
+            ib.process(e);
+        }
+        assert_eq!(ib.results(), vec![Some(true); 3]);
+        assert_eq!(ib.matching_queries(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn non_activated_prefixes_cost_no_instances() {
+        let (mut ib, _) = bank(&[
+            "/site/regions/asia/item[price > 10]",
+            "/site/regions/europe/item[price > 10]",
+            "/site/regions/africa/item[price > 10]",
+        ]);
+        let xml = format!(
+            "<site><regions><asia>{}</asia></regions></site>",
+            "<item><price>50</price></item>".repeat(20)
+        );
+        for e in &fx_xml::parse(&xml).unwrap() {
+            ib.process(e);
+        }
+        assert_eq!(
+            ib.results(),
+            vec![Some(true), Some(false), Some(false)],
+            "verdicts"
+        );
+        // Only the asia group ever spawned per-query state, and only one
+        // of its items is open at a time.
+        assert_eq!(ib.peak_live_instances(), 1);
+    }
+
+    #[test]
+    fn reporting_matches_route_with_bank_indices_and_spans() {
+        let srcs = ["/r/a/b", "/r/a/b[c]", "//b"];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let mut ib = IndexedBank::new_reporting(&queries).unwrap();
+        let compiled = queries
+            .iter()
+            .map(|q| CompiledQuery::compile(q).unwrap())
+            .collect::<Vec<_>>();
+        let mut mf = MultiFilter::from_compiled_reporting(compiled).unwrap();
+        let xml = "<r><a><b><c/></b><b/></a><b/></r>";
+        let mut got: Vec<Match> = Vec::new();
+        let mut want: Vec<Match> = Vec::new();
+        for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+            ib.process_to(&event, span, &mut got);
+            mf.process_to(&event, span, &mut want);
+        }
+        assert_eq!(ib.results(), mf.results());
+        let norm = |v: &[Match]| {
+            let mut v: Vec<(usize, u64, Span)> =
+                v.iter().map(|m| (m.query, m.ordinal, m.span)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&got), norm(&want), "{xml}");
+        for m in &got {
+            assert!(m.span.slice(xml).unwrap().starts_with("<b"), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn nested_descendant_activations_deduplicate() {
+        let queries = vec![parse_query("//a//b").unwrap()];
+        let mut ib = IndexedBank::new_reporting(&queries).unwrap();
+        let xml = "<a><a><b/><b/></a></a>";
+        let mut got: Vec<u64> = Vec::new();
+        for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+            ib.process_to(&event, span, &mut |m: Match| got.push(m.ordinal));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3], "each b reported exactly once");
+        assert_eq!(ib.results(), vec![Some(true)]);
+    }
+
+    #[test]
+    fn session_reuse_resets_per_document_state() {
+        let (mut ib, mut mf) = bank(&["/r[a]", "//b[c]", "/r/a/b"]);
+        feed_both(&mut ib, &mut mf, "<r><a><b/></a></r>");
+        feed_both(&mut ib, &mut mf, "<x><b><c/></b></x>");
+        feed_both(&mut ib, &mut mf, "<r><z/></r>");
+    }
+
+    #[test]
+    fn rejects_unsupported_with_index() {
+        let queries: Vec<Query> = ["/a[b]", "/a[not(b)]"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let err = IndexedBank::new(&queries).unwrap_err();
+        assert_eq!(err.0, 1);
+        let queries: Vec<Query> = ["/a/b", "/a/@id"]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let err = IndexedBank::new_reporting(&queries).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(err.1, UnsupportedQuery::AttributeOutput);
+    }
+
+    #[test]
+    fn attribute_chains_stay_with_the_residual() {
+        // /hub/item/@id: the @id resolves from <item>'s start tag, so the
+        // sharable prefix must stop at /hub.
+        let (mut ib, mut mf) = bank(&["/hub/item/@id", "/hub/item[@id = 7]"]);
+        feed_both(&mut ib, &mut mf, r#"<hub><item id="7"/></hub>"#);
+        feed_both(&mut ib, &mut mf, r#"<hub><item id="8"/></hub>"#);
+        feed_both(&mut ib, &mut mf, "<hub><item/></hub>");
+    }
+}

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod filter;
+pub mod indexed;
 pub mod multi;
 pub mod reporter;
 pub mod space;
 pub mod trace;
 
 pub use filter::{CompiledQuery, FrontierRecord, StreamFilter, UnsupportedQuery};
+pub use indexed::IndexedBank;
 pub use multi::MultiFilter;
 pub use reporter::{Match, MatchSink};
 pub use space::{bits_for, SpaceStats};

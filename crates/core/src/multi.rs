@@ -8,6 +8,30 @@
 //! [`MatchSink`] as [`Match`]es stamped with their query's bank index the
 //! moment they resolve — the per-subscriber fan-out a dissemination
 //! deployment needs.
+//!
+//! ## Naive bank vs. the shared-prefix index
+//!
+//! [`MultiFilter`] is the *naive* bank: per-event cost is Θ(n) in bank
+//! size (every undecided filter scans its frontier on every event), with
+//! two mitigations — decided filters stop seeing events, and rooted
+//! filters die on a mismatched root tag. Its per-query space statistics
+//! are bit-for-bit those of n independent [`StreamFilter`] runs, which
+//! makes it the reference bank for the paper's memory measurements and
+//! the oracle the indexed bank is differentially tested against.
+//!
+//! [`crate::IndexedBank`] is the *shared-prefix* bank: queries are
+//! grouped by canonical form (`fx_analysis::canonical_key`) and their
+//! predicate-free chain prefixes merged into a trie walked **once** per
+//! event, with per-query state only below activated divergence points.
+//! Per-event cost is `O(shared trie records + live residual instances)`
+//! instead of Θ(n) — sublinear in bank size whenever queries overlap
+//! and documents touch only part of the bank, at the price of slightly
+//! coarser per-query statistics (shared work cannot be attributed to a
+//! single query). Prefer it for large overlapping banks (hundreds to
+//! millions of dissemination subscriptions); prefer `MultiFilter` for
+//! small banks or when exact per-query space accounting matters.
+//! Verdicts and routed matches are identical either way — proven by
+//! `tests/indexed_differential.rs` on seeded 1k-query banks.
 
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};

@@ -2,7 +2,7 @@
 
 use crate::error::EngineError;
 use crate::session::{Outcome, Session, SessionInner, Verdicts};
-use fx_core::{CompiledQuery, StreamFilter};
+use fx_core::{CompiledQuery, IndexedBank, StreamFilter};
 use fx_xml::Event;
 use fx_xpath::{parse_query, Query};
 use std::io::Read;
@@ -53,6 +53,29 @@ pub enum Backend {
     Buffering,
 }
 
+/// How a multi-query [`Engine`] organizes its bank.
+///
+/// | Policy | Per-event cost | When to use |
+/// |---|---|---|
+/// | `None` | Θ(n) — one independent filter per query | small banks, maximal per-query statistics fidelity |
+/// | `SharedPrefix` | O(shared trie records + live residual instances) | large banks of overlapping queries (dissemination) |
+///
+/// `SharedPrefix` canonicalizes each query's step chain
+/// (`fx_analysis::canonical_steps`), shares the evaluation of common
+/// predicate-free prefixes in one trie walked once per event, and keeps
+/// per-query state only below *activated* divergence points — see
+/// [`fx_core::IndexedBank`]. Verdicts and routed matches are identical
+/// to the naive bank (proven by `tests/indexed_differential.rs`); only
+/// the work sharing differs. Requires [`Backend::Frontier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexPolicy {
+    /// One independent [`StreamFilter`] per query (the default).
+    #[default]
+    None,
+    /// The shared-prefix indexed bank ([`fx_core::IndexedBank`]).
+    SharedPrefix,
+}
+
 /// Builds an [`Engine`]: accumulate queries, pick a [`Backend`], then
 /// [`EngineBuilder::build`] validates everything up front so sessions
 /// can be spawned infallibly.
@@ -62,6 +85,7 @@ pub struct EngineBuilder {
     queries: Vec<Query>,
     backend: Backend,
     mode: Mode,
+    index: IndexPolicy,
     /// First query-string parse failure, surfaced at `build()` so the
     /// fluent chain stays ergonomic.
     deferred: Option<EngineError>,
@@ -116,6 +140,15 @@ impl EngineBuilder {
         self.mode(Mode::Select)
     }
 
+    /// Selects how the multi-query bank is organized (default:
+    /// [`IndexPolicy::None`]). [`IndexPolicy::SharedPrefix`] makes
+    /// per-event work scale with the *activated* part of the bank
+    /// instead of its size; it requires [`Backend::Frontier`].
+    pub fn index(mut self, policy: IndexPolicy) -> EngineBuilder {
+        self.index = policy;
+        self
+    }
+
     /// Validates every query against the chosen backend and mode, and
     /// compiles what can be compiled ahead of time.
     pub fn build(self) -> Result<Engine, EngineError> {
@@ -130,9 +163,18 @@ impl EngineBuilder {
                 backend: self.backend,
             });
         }
+        if self.index == IndexPolicy::SharedPrefix && self.backend != Backend::Frontier {
+            return Err(EngineError::IndexUnsupported {
+                backend: self.backend,
+            });
+        }
         let mut compiled = Vec::new();
         match self.backend {
-            Backend::Frontier => {
+            // Under IndexPolicy::SharedPrefix the indexed bank built
+            // below is the sole compiler/validator (it checks every
+            // query in order, with the same error indices), and indexed
+            // sessions never read `compiled` — skip the duplicate pass.
+            Backend::Frontier if self.index == IndexPolicy::None => {
                 for (index, q) in self.queries.iter().enumerate() {
                     let c = CompiledQuery::compile(q)
                         .map_err(|source| EngineError::Unsupported { index, source })?;
@@ -143,6 +185,7 @@ impl EngineBuilder {
                     compiled.push(c);
                 }
             }
+            Backend::Frontier => {}
             Backend::Nfa | Backend::LazyDfa => {
                 for (index, q) in self.queries.iter().enumerate() {
                     let linear =
@@ -158,11 +201,25 @@ impl EngineBuilder {
             }
             Backend::Buffering => {}
         }
+        // The indexed bank is built once here (trie construction +
+        // residual compilation) and cheaply cloned per session.
+        let indexed = if self.index == IndexPolicy::SharedPrefix {
+            let bank = if self.mode == Mode::Select {
+                IndexedBank::new_reporting(&self.queries)
+            } else {
+                IndexedBank::new(&self.queries)
+            }
+            .map_err(|(index, source)| EngineError::Unsupported { index, source })?;
+            Some(bank)
+        } else {
+            None
+        };
         Ok(Engine {
             queries: self.queries,
             compiled,
             backend: self.backend,
             mode: self.mode,
+            indexed,
         })
     }
 }
@@ -180,6 +237,9 @@ pub struct Engine {
     compiled: Vec<CompiledQuery>,
     backend: Backend,
     mode: Mode,
+    /// The shared-prefix bank prototype ([`IndexPolicy::SharedPrefix`]
+    /// only): trie and residuals prebuilt, cloned per session.
+    indexed: Option<IndexedBank>,
 }
 
 impl Engine {
@@ -209,6 +269,15 @@ impl Engine {
         self.mode
     }
 
+    /// The configured bank organization.
+    pub fn index_policy(&self) -> IndexPolicy {
+        if self.indexed.is_some() {
+            IndexPolicy::SharedPrefix
+        } else {
+            IndexPolicy::None
+        }
+    }
+
     /// The registered queries, in registration order.
     pub fn queries(&self) -> &[Query] {
         &self.queries
@@ -220,6 +289,11 @@ impl Engine {
     /// dissemination workload amortizes setup — and how the `LazyDfa`
     /// backend keeps its memoized transition table warm across documents.
     pub fn session(&self) -> Session {
+        // Indexed engines run every session on a clone of the prebuilt
+        // shared-prefix bank (filtering or reporting per the mode).
+        if let Some(proto) = &self.indexed {
+            return Session::new(SessionInner::Indexed(Box::new(proto.clone())), self.mode);
+        }
         // Selection sessions always run on a reporting bank (even with a
         // single query): the bank stamps every confirmed match with its
         // query index and routes it to the caller's sink.
@@ -399,6 +473,77 @@ mod tests {
             .unwrap();
         assert_eq!(e.mode(), Mode::Select);
         assert_eq!(e.session().mode(), Mode::Select);
+    }
+
+    #[test]
+    fn indexed_sessions_agree_with_naive_sessions() {
+        let srcs = [
+            "/site/regions/asia/item",
+            "/site/regions/asia/item[price > 100]",
+            "/site/regions/europe/item",
+            "/doc[title]",
+        ];
+        let naive = Engine::builder()
+            .queries(srcs.iter().map(|s| fx_xpath::parse_query(s).unwrap()))
+            .build()
+            .unwrap();
+        let indexed = Engine::builder()
+            .queries(srcs.iter().map(|s| fx_xpath::parse_query(s).unwrap()))
+            .index(IndexPolicy::SharedPrefix)
+            .build()
+            .unwrap();
+        assert_eq!(indexed.index_policy(), IndexPolicy::SharedPrefix);
+        assert_eq!(naive.index_policy(), IndexPolicy::None);
+        let mut s1 = naive.session();
+        let mut s2 = indexed.session();
+        for xml in [
+            "<site><regions><asia><item><price>150</price></item></asia></regions></site>",
+            "<doc><title>t</title></doc>",
+            "<other/>",
+        ] {
+            let v1 = s1.run_reader(xml.as_bytes()).unwrap();
+            let v2 = s2.run_reader(xml.as_bytes()).unwrap();
+            assert_eq!(v1.matched(), v2.matched(), "{xml}");
+        }
+    }
+
+    #[test]
+    fn indexed_selection_routes_identical_matches() {
+        let srcs = ["/doc/item", "//note"];
+        let build = |policy| {
+            Engine::builder()
+                .queries(srcs.iter().map(|s| fx_xpath::parse_query(s).unwrap()))
+                .select()
+                .index(policy)
+                .build()
+                .unwrap()
+        };
+        let xml = "<doc><item/><note/><item/></doc>";
+        let naive = build(IndexPolicy::None).select_str(xml).unwrap();
+        let indexed = build(IndexPolicy::SharedPrefix).select_str(xml).unwrap();
+        assert_eq!(naive.verdicts().matched(), indexed.verdicts().matched());
+        for q in 0..srcs.len() {
+            assert_eq!(naive.ordinals(q), indexed.ordinals(q), "query #{q}");
+        }
+    }
+
+    #[test]
+    fn index_requires_frontier_backend() {
+        let err = Engine::builder()
+            .query_str("/a/b")
+            .backend(Backend::Nfa)
+            .index(IndexPolicy::SharedPrefix)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::IndexUnsupported {
+                    backend: Backend::Nfa
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum EngineError {
         /// The backend that only computes boolean verdicts.
         backend: Backend,
     },
+    /// A shared-prefix index was requested on a backend other than the
+    /// paper's frontier algorithm.
+    IndexUnsupported {
+        /// The backend that has no indexed bank.
+        backend: Backend,
+    },
     /// The document stream was malformed XML (or unreadable).
     Parse(ParseError),
     /// `finish()` was called before `EndDocument` was seen.
@@ -85,6 +91,14 @@ impl fmt::Display for EngineError {
                     "selection (Mode::Select) requires Backend::Frontier — the paper's \
                      algorithm is the one extended to full-fledged evaluation; \
                      {backend:?} only computes boolean verdicts"
+                )
+            }
+            EngineError::IndexUnsupported { backend } => {
+                write!(
+                    f,
+                    "IndexPolicy::SharedPrefix requires Backend::Frontier — the indexed \
+                     bank shares frontier-table segments across queries; {backend:?} has \
+                     no such structure"
                 )
             }
             EngineError::Parse(e) => write!(f, "document stream: {e}"),

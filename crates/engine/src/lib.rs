@@ -99,11 +99,19 @@
 //! query that selected it, so one pass fans confirmed matches out to
 //! per-query subscribers.
 //!
+//! For *large overlapping* banks, add
+//! `.index(`[`IndexPolicy::SharedPrefix`]`)`: common predicate-free
+//! query prefixes are canonicalized and merged into a trie evaluated
+//! once per event ([`fx_core::IndexedBank`]), so per-event work scales
+//! with the activated part of the bank instead of its size — same
+//! verdicts, same routed matches, sublinear cost on dissemination
+//! workloads.
+//!
 //! ## Layering
 //!
 //! | Piece | Role |
 //! |---|---|
-//! | [`Engine`] / [`EngineBuilder`] | Compiles and validates a query bank against a [`Backend`] and [`Mode`] |
+//! | [`Engine`] / [`EngineBuilder`] | Compiles and validates a query bank against a [`Backend`], [`Mode`] and [`IndexPolicy`] |
 //! | [`Session`] | Per-document (reusable) evaluation state: `push` / `finish` / `run_reader`, plus the `_to` sink-driven variants |
 //! | [`Evaluator`] | The uniform boolean-streaming-filter interface every backend implements |
 //! | [`Verdicts`] / [`Outcome`] | Per-query outcomes (and match lists) plus the paper's logical-memory measures |
@@ -123,7 +131,7 @@ mod error;
 mod evaluator;
 mod session;
 
-pub use builder::{Backend, Engine, EngineBuilder, Mode};
+pub use builder::{Backend, Engine, EngineBuilder, IndexPolicy, Mode};
 pub use error::EngineError;
 pub use evaluator::Evaluator;
 pub use fx_core::{Match, MatchSink};

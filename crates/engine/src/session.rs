@@ -49,6 +49,11 @@ pub(crate) enum SessionInner {
     Each(Vec<Box<dyn Evaluator>>),
     /// The (optionally reporting) frontier bank.
     Bank(fx_core::MultiFilter),
+    /// The shared-prefix indexed bank
+    /// ([`crate::IndexPolicy::SharedPrefix`]): common query prefixes
+    /// evaluated once per event, per-query state only below activated
+    /// divergence points.
+    Indexed(Box<fx_core::IndexedBank>),
 }
 
 impl SessionInner {
@@ -60,6 +65,7 @@ impl SessionInner {
                 }
             }
             SessionInner::Bank(bank) => bank.process_to(event, span, sink),
+            SessionInner::Indexed(bank) => bank.process_to(event, span, sink),
         }
     }
 }
@@ -79,6 +85,7 @@ impl Session {
         match &self.inner {
             SessionInner::Each(evs) => evs.len(),
             SessionInner::Bank(bank) => bank.len(),
+            SessionInner::Indexed(bank) => bank.len(),
         }
     }
 
@@ -161,6 +168,17 @@ impl Session {
                 }
                 let peak_bits = bank.stats().iter().map(|s| s.max_bits).collect();
                 (matched, peak_bits, bank.peak_pending_positions())
+            }
+            SessionInner::Indexed(bank) => {
+                let mut matched = Vec::with_capacity(bank.len());
+                for r in bank.results() {
+                    matched.push(r.ok_or(EngineError::IncompleteDocument)?);
+                }
+                (
+                    matched,
+                    bank.peak_memory_bits(),
+                    bank.peak_pending_positions(),
+                )
             }
         };
         Ok(Verdicts {

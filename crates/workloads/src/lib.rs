@@ -17,6 +17,7 @@ pub use docs::{
     wide, RandomDocConfig,
 };
 pub use queries::{
-    balanced_twig, descendant_chain, random_redundancy_free, star, RandomQueryConfig,
+    balanced_twig, descendant_chain, random_redundancy_free, random_shared_prefix_bank, star,
+    RandomQueryConfig, SharedPrefixBank, SharedPrefixBankConfig,
 };
 pub use xmark::{auction_site, standing_queries, XmarkConfig};

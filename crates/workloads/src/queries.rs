@@ -126,6 +126,191 @@ fn gen_conjunct<R: Rng>(rng: &mut R, next_name: &mut usize, budget: &mut usize) 
     }
 }
 
+/// Configuration for [`random_shared_prefix_bank`].
+#[derive(Debug, Clone)]
+pub struct SharedPrefixBankConfig {
+    /// Number of query families; each family owns one shared prefix.
+    pub families: usize,
+    /// Queries generated per family.
+    pub queries_per_family: usize,
+    /// Length of each family's shared predicate-free prefix, in steps —
+    /// including the leading `/hub` step every family has in common (so
+    /// the bank diverges *below* the document root, where a naive bank
+    /// cannot short-circuit on the root tag).
+    pub prefix_depth: usize,
+}
+
+impl Default for SharedPrefixBankConfig {
+    fn default() -> Self {
+        SharedPrefixBankConfig {
+            families: 8,
+            queries_per_family: 4,
+            prefix_depth: 3,
+        }
+    }
+}
+
+/// A bank of queries organized into shared-prefix families — the
+/// workload the shared-prefix index (`fx_core::IndexedBank`) is built
+/// for, used by both the `multi_query` bench and the indexed
+/// differential suite.
+#[derive(Debug, Clone)]
+pub struct SharedPrefixBank {
+    /// The generated queries, in bank order.
+    pub queries: Vec<Query>,
+    /// Per family: the XPath text of its shared prefix (`/hub/f0x1/…`).
+    pub prefixes: Vec<String>,
+    /// Per query: the family it belongs to.
+    pub family_of: Vec<usize>,
+    /// Per query: an XML fragment that satisfies the query's residual
+    /// when placed under the family's prefix-end element.
+    pub witnesses: Vec<String>,
+    /// The configured shared-prefix depth.
+    pub prefix_depth: usize,
+}
+
+impl SharedPrefixBank {
+    /// Number of queries in the bank.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Bank indices of the queries in family `f`.
+    pub fn members(&self, f: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.family_of[i] == f)
+            .collect()
+    }
+
+    /// Builds a document that instantiates the prefixes of
+    /// `active_families` and, under each, the witness fragments of that
+    /// family's first `witnesses_per_family` members, padded with
+    /// `noise` inert elements per active family. Queries of inactive
+    /// families never see their prefix, witnessed queries match, and
+    /// unwitnessed members of active families usually do not.
+    pub fn document(
+        &self,
+        active_families: &[usize],
+        witnesses_per_family: usize,
+        noise: usize,
+    ) -> String {
+        let mut xml = String::from("<hub>");
+        for &f in active_families {
+            // Open the family-specific part of the prefix (after /hub).
+            let steps: Vec<&str> = self.prefixes[f]
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .skip(1)
+                .collect();
+            for s in &steps {
+                xml.push_str(&format!("<{s}>"));
+            }
+            for (n, &i) in self.members(f).iter().enumerate() {
+                if n < witnesses_per_family {
+                    xml.push_str(&self.witnesses[i]);
+                }
+            }
+            for _ in 0..noise {
+                xml.push_str("<zz/>");
+            }
+            for s in steps.iter().rev() {
+                xml.push_str(&format!("</{s}>"));
+            }
+        }
+        xml.push_str("</hub>");
+        xml
+    }
+}
+
+/// Generates a bank of overlapping-prefix query families: family `i`
+/// owns the predicate-free chain `/hub/f{i}x1/…` of the configured
+/// depth, and its members diverge below it with varied residual shapes
+/// (bare tails, name predicates, conjunctive value predicates with an
+/// output step, string equality, descendant tails — plus occasional
+/// *commutative twins*, members identical to their predecessor up to
+/// conjunct order, which a canonical index must collapse into one
+/// group). Every generated query parses, compiles in the streamable
+/// fragment, supports reporting, and shares exactly `prefix_depth`
+/// leading canonical steps with its family siblings (one, the `/hub`
+/// root step, across families).
+pub fn random_shared_prefix_bank<R: Rng>(
+    rng: &mut R,
+    cfg: &SharedPrefixBankConfig,
+) -> SharedPrefixBank {
+    let depth = cfg.prefix_depth.max(1);
+    let mut queries = Vec::new();
+    let mut prefixes = Vec::new();
+    let mut family_of = Vec::new();
+    let mut witnesses = Vec::new();
+    for f in 0..cfg.families {
+        let mut prefix = String::from("/hub");
+        for l in 1..depth {
+            prefix.push_str(&format!("/f{f}x{l}"));
+        }
+        prefixes.push(prefix.clone());
+        // (tail, witness) of the previous member, for commutative twins.
+        let mut prev: Option<(String, String)> = None;
+        for j in 0..cfg.queries_per_family {
+            let t = format!("t{f}x{j}");
+            let (tail, witness) = match rng.gen_range(0..6) {
+                0 => (format!("/{t}"), format!("<{t}/>")),
+                1 => (format!("/{t}[u{f}x{j}]"), format!("<{t}><u{f}x{j}/></{t}>")),
+                2 => {
+                    let c = rng.gen_range(0..500) * 2 + 1;
+                    (
+                        format!("/{t}[u{f}x{j} and v{f}x{j} > {c}]/w{f}x{j}"),
+                        format!(
+                            "<{t}><u{f}x{j}/><v{f}x{j}>{}</v{f}x{j}><w{f}x{j}/></{t}>",
+                            c + 1
+                        ),
+                    )
+                }
+                3 => (
+                    format!("/{t}[v{f}x{j} = \"mid\"]"),
+                    format!("<{t}><v{f}x{j}>mid</v{f}x{j}></{t}>"),
+                ),
+                4 => (
+                    format!("//{t}[u{f}x{j}]"),
+                    format!("<{t}><u{f}x{j}/></{t}>"),
+                ),
+                _ => match &prev {
+                    // A commutative twin: the previous member's tail
+                    // with its conjuncts swapped (when it has two).
+                    Some((tail, witness)) if tail.contains(" and ") => {
+                        let open = tail.find('[').expect("conjunctive tails have a predicate");
+                        let close = tail.rfind(']').expect("matching bracket");
+                        let (a, b) = tail[open + 1..close]
+                            .split_once(" and ")
+                            .expect("two conjuncts");
+                        (
+                            format!("{}[{b} and {a}]{}", &tail[..open], &tail[close + 1..]),
+                            witness.clone(),
+                        )
+                    }
+                    _ => (format!("/{t}"), format!("<{t}/>")),
+                },
+            };
+            let src = format!("{prefix}{tail}");
+            queries.push(parse_query(&src).expect("generated query is syntactically valid"));
+            family_of.push(f);
+            witnesses.push(witness.clone());
+            prev = Some((tail, witness));
+        }
+    }
+    SharedPrefixBank {
+        queries,
+        prefixes,
+        family_of,
+        witnesses,
+        prefix_depth: depth,
+    }
+}
+
 /// The `//a1//a2…//ak` chain queries that blow up deterministic automata
 /// (experiment E9).
 pub fn descendant_chain(k: usize) -> Query {
@@ -204,5 +389,82 @@ mod tests {
         assert!(fx_analysis::redundancy_free(&t).is_empty());
         assert!(fx_analysis::path_consistency_free(&t));
         assert!(fx_analysis::closure_free(&t));
+    }
+
+    #[test]
+    fn shared_prefix_bank_parses_compiles_and_reports() {
+        let mut rng = SmallRng::seed_from_u64(0x5A11);
+        let cfg = SharedPrefixBankConfig {
+            families: 6,
+            queries_per_family: 5,
+            prefix_depth: 3,
+        };
+        let bank = random_shared_prefix_bank(&mut rng, &cfg);
+        assert_eq!(bank.len(), 30);
+        for (i, q) in bank.queries.iter().enumerate() {
+            // Every query is in the streamable fragment…
+            let compiled = fx_core::CompiledQuery::compile(q)
+                .unwrap_or_else(|e| panic!("query #{i} uncompilable: {e}"));
+            // …and has an element output node (usable in Select mode).
+            compiled
+                .reporting_supported()
+                .unwrap_or_else(|e| panic!("query #{i} not reportable: {e}"));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_bank_shares_the_intended_depth() {
+        let mut rng = SmallRng::seed_from_u64(0x5A12);
+        let cfg = SharedPrefixBankConfig {
+            families: 4,
+            queries_per_family: 6,
+            prefix_depth: 4,
+        };
+        let bank = random_shared_prefix_bank(&mut rng, &cfg);
+        for i in 0..bank.len() {
+            for j in (i + 1)..bank.len() {
+                let d = fx_analysis::shared_prefix_depth(&bank.queries[i], &bank.queries[j]);
+                if bank.family_of[i] == bank.family_of[j] {
+                    assert_eq!(
+                        d, cfg.prefix_depth,
+                        "family members #{i} and #{j} must share the whole prefix"
+                    );
+                } else {
+                    assert_eq!(d, 1, "cross-family pairs share only /hub (#{i}, #{j})");
+                }
+            }
+        }
+        // The prefix steps themselves are predicate-free and sharable.
+        for q in &bank.queries {
+            assert!(fx_analysis::sharable_prefix_len(q) >= cfg.prefix_depth);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_documents_witness_the_intended_queries() {
+        let mut rng = SmallRng::seed_from_u64(0x5A13);
+        let cfg = SharedPrefixBankConfig::default();
+        let bank = random_shared_prefix_bank(&mut rng, &cfg);
+        let xml = bank.document(&[0, 2], 2, 3);
+        let events = fx_xml::parse(&xml).unwrap();
+        let mut mf = fx_core::MultiFilter::new(&bank.queries).unwrap();
+        for e in &events {
+            mf.process(e);
+        }
+        let results = mf.results();
+        let mut matched = 0usize;
+        for (i, r) in results.iter().enumerate() {
+            let f = bank.family_of[i];
+            let witnessed =
+                (f == 0 || f == 2) && bank.members(f).iter().position(|&m| m == i).unwrap() < 2;
+            if witnessed {
+                assert_eq!(*r, Some(true), "witnessed query #{i} must match");
+                matched += 1;
+            }
+            if f != 0 && f != 2 {
+                assert_eq!(*r, Some(false), "inactive family query #{i} must not match");
+            }
+        }
+        assert!(matched >= 4, "expected several witnessed matches");
     }
 }

@@ -115,17 +115,18 @@ pub use fx_xpath as xpath;
 /// The one-stop import for applications.
 pub mod prelude {
     pub use fx_analysis::{
-        canonical_document, frontier_size, path_recursion_depth, redundancy_free, text_width,
+        canonical_document, canonical_key, canonical_steps, frontier_size, path_recursion_depth,
+        redundancy_free, text_width,
     };
     pub use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
-    pub use fx_core::{MultiFilter, SpaceStats, StreamFilter};
+    pub use fx_core::{IndexedBank, MultiFilter, SpaceStats, StreamFilter};
     pub use fx_dom::Document;
     /// The pre-engine name of [`Evaluator`], kept so downstream imports
     /// keep compiling; new code should name [`Evaluator`] directly.
     pub use fx_engine::Evaluator as BooleanStreamFilter;
     pub use fx_engine::{
-        Backend, Engine, EngineBuilder, EngineError, Evaluator, Match, MatchCollector, MatchSink,
-        Mode, Outcome, Session, Verdicts,
+        Backend, Engine, EngineBuilder, EngineError, Evaluator, IndexPolicy, Match, MatchCollector,
+        MatchSink, Mode, Outcome, Session, Verdicts,
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};

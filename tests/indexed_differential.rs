@@ -1,0 +1,310 @@
+//! Indexed-bank parity: `fx_core::IndexedBank` (the shared-prefix
+//! multi-query index) must be observationally equivalent to the naive
+//! `fx_core::MultiFilter` — per-query boolean **verdicts** and the
+//! routed **match streams** (bank index + document-order ordinal +
+//! source byte span) — across seeded xmark documents, shared-prefix
+//! family workloads (including a 1k-query bank), random documents, and
+//! proptest-chosen query/document pairs. Match streams are compared as
+//! sorted vectors, so duplicated or dropped emissions fail loudly.
+
+use frontier_xpath::engine::{IndexPolicy, Mode};
+use frontier_xpath::filter::{CompiledQuery, IndexedBank, MultiFilter};
+use frontier_xpath::prelude::*;
+use frontier_xpath::workloads::{
+    auction_site, random_document, random_shared_prefix_bank, standing_queries, RandomDocConfig,
+    SharedPrefixBankConfig, XmarkConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// (query, ordinal, span start, span end) — the full observable content
+/// of a routed match, order-normalized.
+fn normalize(matches: &[Match]) -> Vec<(usize, u64, u64, u64)> {
+    let mut v: Vec<(usize, u64, u64, u64)> = matches
+        .iter()
+        .map(|m| (m.query, m.ordinal, m.span.start, m.span.end))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Feeds `xml` through both banks in filtering *and* reporting mode and
+/// asserts verdict and match-stream parity.
+fn assert_parity(queries: &[Query], xml: &str) {
+    // Filtering mode: verdicts only.
+    let mut ib = IndexedBank::new(queries).unwrap();
+    let mut mf = MultiFilter::new(queries).unwrap();
+    for e in &fx_xml::parse(xml).unwrap() {
+        ib.process(e);
+        mf.process(e);
+    }
+    assert_eq!(ib.results(), mf.results(), "filter verdicts on {xml}");
+    assert_eq!(
+        ib.matching_queries(),
+        mf.matching_queries(),
+        "fan-out on {xml}"
+    );
+
+    // Reporting mode: verdicts plus routed match streams.
+    let mut ib = IndexedBank::new_reporting(queries).unwrap();
+    let compiled: Vec<CompiledQuery> = queries
+        .iter()
+        .map(|q| CompiledQuery::compile(q).unwrap())
+        .collect();
+    let mut mf = MultiFilter::from_compiled_reporting(compiled).unwrap();
+    let mut got: Vec<Match> = Vec::new();
+    let mut want: Vec<Match> = Vec::new();
+    for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+        ib.process_to(&event, span, &mut got);
+        mf.process_to(&event, span, &mut want);
+    }
+    assert_eq!(ib.results(), mf.results(), "reporting verdicts on {xml}");
+    assert_eq!(normalize(&got), normalize(&want), "match streams on {xml}");
+}
+
+/// The acceptance-criteria scenario: a seeded 1024-query bank of
+/// overlapping prefix families, equivalent under the index and the
+/// naive bank on family documents, partially-active documents, and
+/// documents that activate nothing.
+#[test]
+fn seeded_1k_bank_parity_on_shared_prefix_documents() {
+    let mut rng = SmallRng::seed_from_u64(0x1D1);
+    let bank = random_shared_prefix_bank(
+        &mut rng,
+        &SharedPrefixBankConfig {
+            families: 64,
+            queries_per_family: 16,
+            prefix_depth: 3,
+        },
+    );
+    assert_eq!(bank.len(), 1024);
+    let docs = [
+        bank.document(&[0, 7, 31, 63], 4, 2),
+        bank.document(&[1], 16, 0),
+        bank.document(&(0..16).collect::<Vec<_>>(), 1, 1),
+        bank.document(&[], 0, 4),
+        "<other><hub/></other>".to_string(),
+    ];
+    for xml in &docs {
+        assert_parity(&bank.queries, xml);
+    }
+}
+
+/// Parity on the xmark auction corpus with the standing dissemination
+/// queries plus selection-style path queries (descendant prefixes,
+/// recursion through nested categories, value predicates).
+#[test]
+fn xmark_corpus_parity() {
+    let mut queries: Vec<Query> = standing_queries().into_iter().map(|(_, q)| q).collect();
+    for src in [
+        "//item[price > 300]/name",
+        "/site/regions/asia/item",
+        "/site/regions/asia/item/name",
+        "//category//name",
+        "//person[watches]/name",
+        "/site/open_auctions/open_auction[bidder]/current",
+    ] {
+        queries.push(parse_query(src).unwrap());
+    }
+    let mut rng = SmallRng::seed_from_u64(0xA0C7);
+    for doc_id in 0..8 {
+        let d = auction_site(
+            &mut rng,
+            &XmarkConfig {
+                items: 5,
+                auctions: 4,
+                people: 4,
+                category_depth: 2 + doc_id % 3,
+            },
+        );
+        assert_parity(&queries, &d.to_xml());
+    }
+}
+
+/// Duplicate and commutatively-permuted queries collapse into shared
+/// groups inside the index; the fan-out must still route per-query.
+#[test]
+fn equivalent_query_fanout_parity() {
+    let srcs = [
+        "/a[b and c]/d",
+        "/a[c and b]/d",
+        "/a/b",
+        "/a/b",
+        "//a[b and c]",
+        "//a[c and b]",
+        "/a[5 < b]/c",
+        "/a[b > 5]/c",
+    ];
+    let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+    let ib = IndexedBank::new(&queries).unwrap();
+    assert_eq!(ib.group_count(), 4, "permutations must share groups");
+    let mut rng = SmallRng::seed_from_u64(0xFA11);
+    let cfg = RandomDocConfig {
+        max_depth: 6,
+        max_children: 4,
+        names: ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+        text_values: vec![String::new(), "3".into(), "6".into()],
+    };
+    for _ in 0..60 {
+        let d = random_document(&mut rng, &cfg);
+        assert_parity(&queries, &d.to_xml());
+    }
+}
+
+/// Random small-alphabet documents against a bank mixing shared child
+/// chains, descendant prefixes (nested activations), wildcards, value
+/// predicates, and empty-prefix queries — the adversarial recursion
+/// cases for instance scoping and ordinal-offset bookkeeping.
+#[test]
+fn random_document_parity_across_prefix_shapes() {
+    let srcs = [
+        "/a/b/c",
+        "/a/b/c[x]",
+        "/a/b[c]/c",
+        "/a/b//c",
+        "//a/b",
+        "//a//b",
+        "//a//b[c]",
+        "//a[b]/c",
+        "/a[b and c]",
+        "/a/*/b",
+        "//b[a and .//c]",
+        "/a[b > 2]/c",
+        "//x//a[b]",
+        "//c",
+    ];
+    let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    let cfg = RandomDocConfig {
+        max_depth: 7,
+        max_children: 4,
+        names: ["a", "b", "c", "x"].iter().map(|s| s.to_string()).collect(),
+        text_values: vec![String::new(), "1".into(), "3".into(), "6".into()],
+    };
+    for _ in 0..150 {
+        let d = random_document(&mut rng, &cfg);
+        assert_parity(&queries, &d.to_xml());
+    }
+}
+
+/// The engine surface: an `IndexPolicy::SharedPrefix` engine must be
+/// outcome-equivalent to the default engine in both modes, across
+/// reused sessions.
+#[test]
+fn engine_sessions_agree_across_policies() {
+    let mut rng = SmallRng::seed_from_u64(0xE2E);
+    let bank = random_shared_prefix_bank(
+        &mut rng,
+        &SharedPrefixBankConfig {
+            families: 12,
+            queries_per_family: 8,
+            prefix_depth: 4,
+        },
+    );
+    let build = |policy, mode| {
+        Engine::builder()
+            .queries(bank.queries.iter().cloned())
+            .mode(mode)
+            .index(policy)
+            .build()
+            .unwrap()
+    };
+    let naive = build(IndexPolicy::None, Mode::Filter);
+    let indexed = build(IndexPolicy::SharedPrefix, Mode::Filter);
+    let naive_sel = build(IndexPolicy::None, Mode::Select);
+    let indexed_sel = build(IndexPolicy::SharedPrefix, Mode::Select);
+    let mut s1 = naive.session();
+    let mut s2 = indexed.session();
+    let mut s3 = naive_sel.session();
+    let mut s4 = indexed_sel.session();
+    for xml in [
+        bank.document(&[0, 5, 11], 3, 2),
+        bank.document(&[2], 8, 0),
+        bank.document(&[], 0, 2),
+    ] {
+        let v1 = s1.run_reader(xml.as_bytes()).unwrap();
+        let v2 = s2.run_reader(xml.as_bytes()).unwrap();
+        assert_eq!(v1.matched(), v2.matched(), "{xml}");
+        let o1 = s3.run_reader_outcome(xml.as_bytes()).unwrap();
+        let o2 = s4.run_reader_outcome(xml.as_bytes()).unwrap();
+        assert_eq!(o1.verdicts().matched(), o2.verdicts().matched(), "{xml}");
+        for q in 0..bank.len() {
+            assert_eq!(o1.ordinals(q), o2.ordinals(q), "query #{q} on {xml}");
+        }
+    }
+}
+
+/// Sharing must actually shrink per-query state: a 1k-query bank over
+/// one activated family keeps only that family's instances live, and
+/// equivalent queries collapse into far fewer groups than queries.
+#[test]
+fn index_shares_state_on_inactive_families() {
+    let mut rng = SmallRng::seed_from_u64(0x54A);
+    let bank = random_shared_prefix_bank(
+        &mut rng,
+        &SharedPrefixBankConfig {
+            families: 64,
+            queries_per_family: 16,
+            prefix_depth: 3,
+        },
+    );
+    let mut ib = IndexedBank::new(&bank.queries).unwrap();
+    let xml = bank.document(&[3], 16, 2);
+    for e in &fx_xml::parse(&xml).unwrap() {
+        ib.process(e);
+    }
+    // Only family 3's divergence points ever spawned instances; with its
+    // witnesses arriving one after another, far fewer than 16 residuals
+    // are ever live at once — and nothing from the other 63 families.
+    assert!(
+        ib.peak_live_instances() <= 16,
+        "peak {} instances for a 1024-query bank",
+        ib.peak_live_instances()
+    );
+    // The trie itself collapsed 1024 chains into a few hundred shared
+    // nodes (|families| · depth + divergence steps, not |bank| · depth).
+    assert!(
+        ib.shared_nodes() < 600,
+        "trie has {} nodes",
+        ib.shared_nodes()
+    );
+}
+
+const PROPTEST_BANKS: &[&[&str]] = &[
+    &["/a/b/c", "/a/b/c[x]", "/a/b[c]/c", "/a/b//c"],
+    &["//a//b", "//a/b", "//a//b[c]", "//b"],
+    &["/a[b and c]", "/a[c and b]", "/a/b", "//x//a[b]"],
+    &["/a/*/b", "//a[b > 2]/c", "/a[x]/b", "//b[a and .//c]"],
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proptest-driven parity on generated (bank, document) pairs.
+    #[test]
+    fn indexed_parity_on_proptest_pairs(bi in 0..PROPTEST_BANKS.len(), seed in 0u64..100_000) {
+        let queries: Vec<Query> = PROPTEST_BANKS[bi]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = random_document(&mut rng, &RandomDocConfig::default());
+        let xml = d.to_xml();
+
+        let mut ib = IndexedBank::new_reporting(&queries).unwrap();
+        let compiled: Vec<CompiledQuery> = queries
+            .iter()
+            .map(|q| CompiledQuery::compile(q).unwrap())
+            .collect();
+        let mut mf = MultiFilter::from_compiled_reporting(compiled).unwrap();
+        let mut got: Vec<Match> = Vec::new();
+        let mut want: Vec<Match> = Vec::new();
+        for (event, span) in fx_xml::parse_spanned(&xml).unwrap() {
+            ib.process_to(&event, span, &mut got);
+            mf.process_to(&event, span, &mut want);
+        }
+        prop_assert_eq!(ib.results(), mf.results(), "verdicts on {}", xml);
+        prop_assert_eq!(normalize(&got), normalize(&want), "matches on {}", xml);
+    }
+}
