@@ -257,6 +257,22 @@ pub fn canonical_key(q: &Query) -> String {
         .collect()
 }
 
+/// A canonical textual key for the query's **residual** below a prefix of
+/// `skip` chain steps: the concatenation of the canonical steps from
+/// position `skip` onward. Two queries with equal residual keys have
+/// semantically interchangeable remainders below their (possibly
+/// different) shared prefixes — so an indexed bank may compile that
+/// remainder **once** and share the compiled form across trie groups,
+/// even groups that diverge from entirely different prefixes. With
+/// `skip = 0` this is exactly [`canonical_key`].
+pub fn canonical_residual_key(q: &Query, skip: usize) -> String {
+    canonical_steps(q)
+        .iter()
+        .skip(skip)
+        .map(CanonicalStep::to_string)
+        .collect()
+}
+
 /// The number of leading canonical steps of `q` a shared-prefix trie may
 /// own: maximal run of predicate-free non-attribute steps, shortened by
 /// one when the step that follows it is attribute-axis (an attribute
@@ -670,6 +686,32 @@ mod tests {
         // attribute resolves from the parent's start tag).
         assert_eq!(sharable_prefix_len(&parse_query("/a/b/@id").unwrap()), 1);
         assert_eq!(sharable_prefix_len(&parse_query("/a/@id").unwrap()), 0);
+    }
+
+    #[test]
+    fn residual_keys_dedupe_across_prefixes() {
+        // Canonically-equal remainders below *different* prefixes render
+        // to one key — the shared-residual pool's dedup criterion.
+        let a = parse_query("/hub/asia/item[price > 5]/name").unwrap();
+        let b = parse_query("/hub/europe/item[5 < price]/name").unwrap();
+        let ka = canonical_residual_key(&a, sharable_prefix_len(&a));
+        let kb = canonical_residual_key(&b, sharable_prefix_len(&b));
+        assert_eq!(ka, kb, "{ka} vs {kb}");
+        assert_eq!(ka, "/item[price > 5]/name");
+        // Different remainders stay apart even under equal prefixes.
+        let c = parse_query("/hub/asia/item[price > 6]/name").unwrap();
+        assert_ne!(ka, canonical_residual_key(&c, sharable_prefix_len(&c)));
+        // skip = 0 degenerates to the full canonical key, so a
+        // document-rooted remainder can share with a trie remainder.
+        let root = parse_query("//t[u]").unwrap();
+        assert_eq!(canonical_residual_key(&root, 0), canonical_key(&root));
+        let nested = parse_query("/hub//t[u]").unwrap();
+        assert_eq!(
+            canonical_residual_key(&nested, sharable_prefix_len(&nested)),
+            canonical_residual_key(&root, 0)
+        );
+        // Past-the-end skips are empty, not a panic.
+        assert_eq!(canonical_residual_key(&root, 99), "");
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod truthset;
 
 pub use automorphism::{dominated_leaves, structural_domination_set, AutomorphismFinder};
 pub use canonical::{
-    auxiliary_name, canonical_document, canonical_key, canonical_steps, sharable_prefix_len,
-    sharable_prefix_of, shared_prefix_depth, strongly_subsumption_free,
+    auxiliary_name, canonical_document, canonical_key, canonical_residual_key, canonical_steps,
+    sharable_prefix_len, sharable_prefix_of, shared_prefix_depth, strongly_subsumption_free,
     structurally_canonical_document, unique_values, CanonicalDocument, CanonicalStep,
 };
 pub use fragment::{

@@ -3,7 +3,7 @@
 //! the shared-prefix indexed bank.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fx_core::{IndexedBank, MultiFilter};
+use fx_core::{CompiledResidual, IndexedBank, MultiFilter};
 use fx_engine::{Engine, IndexPolicy};
 use fx_workloads as wl;
 use fx_xpath::Query;
@@ -90,6 +90,7 @@ fn bench_shared_prefix_index(c: &mut Criterion) {
                 families,
                 queries_per_family: n.min(16),
                 prefix_depth: 3,
+                cross_family_tails: false,
             },
         );
         assert_eq!(bank.len(), n);
@@ -137,9 +138,72 @@ fn bench_shared_prefix_index(c: &mut Criterion) {
     group.finish();
 }
 
+/// The space + activation-rate series for the shared-prefix family: the
+/// same workload as [`bench_shared_prefix_index`], but reporting the
+/// paper's *memory* axis — total peak logical bits, indexed vs naive —
+/// plus how often the index actually spawns per-query state. Printed
+/// once (criterion times throughput; this series is about bits, which
+/// don't need repetition). The 1024-query row is asserted: the indexed
+/// bank's total must sit below the naive bank's, or the index has
+/// stopped earning its keep on its own workload.
+fn report_space_series(_c: &mut Criterion) {
+    println!(
+        "space: multi_query_indexed — total peak bits, indexed vs naive \
+         (shared-prefix family, 2 active families)"
+    );
+    for n in [16usize, 128, 1024] {
+        let mut rng = SmallRng::seed_from_u64(0xBEC + n as u64);
+        let families = (n / 16).max(1);
+        let bank = wl::random_shared_prefix_bank(
+            &mut rng,
+            &wl::SharedPrefixBankConfig {
+                families,
+                queries_per_family: n.min(16),
+                prefix_depth: 3,
+                cross_family_tails: false,
+            },
+        );
+        let active: Vec<usize> = (0..families.min(2)).collect();
+        let xml = bank.document(&active, 4, 8);
+        let events = fx_xml::parse(&xml).unwrap();
+        let builds_before = CompiledResidual::total_builds();
+        let mut ib = IndexedBank::new(&bank.queries).unwrap();
+        let builds = CompiledResidual::total_builds() - builds_before;
+        let mut mf = MultiFilter::new(&bank.queries).unwrap();
+        for e in &events {
+            ib.process(e);
+            mf.process(e);
+        }
+        let stats = ib.space_stats();
+        println!(
+            "space: n={n:<4} naive_bits={:<7} indexed_bits={:<7} \
+             (trie {} + residuals {})  activations/event={:.4}  \
+             residual_builds={builds} for {} groups",
+            mf.total_max_bits(),
+            stats.total_bits,
+            stats.shared_trie_bits,
+            stats.residual_bits,
+            stats.activation_rate(),
+            stats.groups,
+        );
+        assert_eq!(
+            builds, stats.residual_pool as u64,
+            "one compiled-residual build per canonical form"
+        );
+        if n == 1024 {
+            assert!(
+                stats.total_bits < mf.total_max_bits(),
+                "indexed total ({}) must undercut naive total ({}) at n=1024",
+                stats.total_bits,
+                mf.total_max_bits()
+            );
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_bank_sizes, bench_shared_prefix_index
+    targets = report_space_series, bench_bank_sizes, bench_shared_prefix_index
 }
 criterion_main!(benches);

@@ -29,6 +29,7 @@ use fx_xml::{Attribute, Event, SaxHandler, Span};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a query cannot be handled by the streaming filter. The algorithm
 /// supports every leaf-only-value-restricted univariate conjunctive query
@@ -93,6 +94,10 @@ pub struct CompiledQuery {
     pub(crate) out_path: Vec<u32>,
     /// For each node: its 1-based index on the output path, if any.
     pub(crate) path_index: Vec<Option<u16>>,
+    /// For each 1-based output-path index: whether that step has a
+    /// child axis (precomputed so spawning a filter from shared compiled
+    /// state allocates nothing).
+    pub(crate) out_axes_child: Vec<bool>,
     size: usize,
     source: String,
 }
@@ -151,12 +156,17 @@ impl CompiledQuery {
             path_index[next.index()] = Some(out_path.len() as u16);
             cur = next;
         }
+        let out_axes_child = out_path
+            .iter()
+            .map(|&n| nodes[n as usize].axis != Axis::Descendant)
+            .collect();
         Ok(CompiledQuery {
             nodes,
             parents,
             root_children,
             out_path,
             path_index,
+            out_axes_child,
             size: q.len(),
             source: fx_xpath::to_xpath(q),
         })
@@ -209,7 +219,11 @@ pub struct FrontierRecord {
 /// at `endDocument`.
 #[derive(Debug, Clone)]
 pub struct StreamFilter {
-    query: CompiledQuery,
+    /// The compiled query, behind an [`Arc`] so many filters (e.g. the
+    /// residual instances the indexed bank spawns per activation) share
+    /// one compilation: constructing a filter from an existing handle is
+    /// a reference-count bump, never a recompilation or deep clone.
+    query: Arc<CompiledQuery>,
     frontier: Vec<FrontierRecord>,
     buffer: String,
     buffer_refs: usize,
@@ -224,9 +238,6 @@ pub struct StreamFilter {
     /// start, so reporting mode can restore them at reinsertion (keyed by
     /// (node, level), stack discipline).
     removed_matched: Vec<(u32, usize, bool)>,
-    /// Cached: for each 1-based output-path index, whether that step has
-    /// a child axis.
-    out_axes_child: Vec<bool>,
     /// Bumped whenever some record's `matched` flag turns true; lets the
     /// multi-query bank re-run the (recursive) early-decision check only
     /// when it could possibly have changed.
@@ -242,12 +253,15 @@ impl StreamFilter {
     /// Creates a filter from an already-compiled query (cheap; used by the
     /// multi-query engine to share compilation).
     pub fn from_compiled(query: CompiledQuery) -> StreamFilter {
+        StreamFilter::from_shared(Arc::new(query))
+    }
+
+    /// Creates a filter from a *shared* compiled query: a reference-count
+    /// bump plus empty per-document state — no recompilation, no deep
+    /// clone, no per-step allocation. This is the indexed bank's
+    /// activation hot path (one call per residual instance spawned).
+    pub fn from_shared(query: Arc<CompiledQuery>) -> StreamFilter {
         let size = query.size();
-        let out_axes_child = query
-            .out_path
-            .iter()
-            .map(|&n| query.nodes[n as usize].axis != Axis::Descendant)
-            .collect();
         StreamFilter {
             query,
             frontier: Vec::new(),
@@ -259,7 +273,6 @@ impl StreamFilter {
             reporter: None,
             element_ordinal: 0,
             removed_matched: Vec::new(),
-            out_axes_child,
             match_progress: 0,
         }
     }
@@ -276,8 +289,16 @@ impl StreamFilter {
     /// Reporting-mode filter from an already-compiled query (cheap; used
     /// by the multi-query bank and the engine's selection mode).
     pub fn from_compiled_reporting(query: CompiledQuery) -> Result<StreamFilter, UnsupportedQuery> {
+        StreamFilter::from_shared_reporting(Arc::new(query))
+    }
+
+    /// Reporting-mode filter from a *shared* compiled query — the
+    /// selection-mode counterpart of [`StreamFilter::from_shared`].
+    pub fn from_shared_reporting(
+        query: Arc<CompiledQuery>,
+    ) -> Result<StreamFilter, UnsupportedQuery> {
         query.reporting_supported()?;
-        let mut f = StreamFilter::from_compiled(query);
+        let mut f = StreamFilter::from_shared(query);
         f.reporter = Some(Reporter::default());
         Ok(f)
     }
@@ -780,7 +801,7 @@ impl StreamFilter {
                 &group,
                 out_leaf_value,
                 &self.query.out_path,
-                &self.out_axes_child,
+                &self.query.out_axes_child,
                 span.end,
             );
         }

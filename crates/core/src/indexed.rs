@@ -26,6 +26,35 @@
 //! empty) it degrades gracefully to the naive bank's behaviour, with the
 //! same decided-filter short-circuiting.
 //!
+//! ## Shared residuals
+//!
+//! Residual remainders are compiled **once per canonical residual form
+//! per bank**, not once per group: every distinct
+//! `fx_analysis::canonical_residual_key` owns a single
+//! [`CompiledResidual`] in the bank's pool, shared across *all* trie
+//! groups whose remainders render to that form — even groups diverging
+//! from entirely different prefixes (`/asia/item[price > 5]` and
+//! `/europe/item[5 < price]` share one compiled remainder). Activation
+//! at a divergence point is therefore allocation-free with respect to
+//! compiled state: spawning a residual instance bumps an [`Arc`]
+//! refcount and initializes empty per-instance state — no recompilation,
+//! no deep clone, no per-step allocation
+//! ([`IndexedBank::residual_builds`] counts exactly one build per
+//! canonical form, and stays flat however many instances spawn).
+//!
+//! ## Space attribution
+//!
+//! Shared state is attributed back to queries so the indexed bank's
+//! space statistics are comparable with [`crate::MultiFilter`]'s:
+//! [`IndexedBank::peak_memory_bits`] splits each group's peak residual-
+//! instance bits evenly across the group's members and the shared trie's
+//! peak frontier-segment bits evenly across the queries whose prefixes
+//! live in the trie (integer remainders go to the lowest-ranked
+//! sharers), so the per-query figures sum **exactly** to
+//! [`IndexedBank::total_max_bits`] — the bank-level total of
+//! `peak shared-trie bits + Σ per-group instance peaks`, measured in the
+//! same Theorem 8.8 frontier-row units as [`crate::SpaceStats`].
+//!
 //! Correctness rests on the decomposition `BOOLEVAL(Q, D) = ∨ₓ
 //! BOOLEVAL(Q', subtree(x))` (and the analogous union for `FULLEVAL`)
 //! over the candidates `x` of the predicate-free prefix — predicates
@@ -36,10 +65,58 @@
 
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
-use fx_analysis::{canonical_key, canonical_steps, sharable_prefix_of};
+use crate::space::bits_for;
+use fx_analysis::{canonical_key, canonical_steps, sharable_prefix_of, CanonicalStep};
 use fx_xml::{Event, Span};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of [`CompiledResidual`] constructions, for
+/// measurement harnesses (the multi_query bench reports builds per
+/// bank). Tests should prefer the race-free per-bank
+/// [`IndexedBank::residual_builds`].
+static RESIDUAL_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// A compiled residual remainder, built **once** per canonical residual
+/// form per bank and shared — behind an [`Arc`] — by every group and
+/// every activation that needs it. Spawning an instance from one is a
+/// refcount bump; the compiled automaton is never cloned or rebuilt.
+#[derive(Debug, Clone)]
+pub struct CompiledResidual {
+    compiled: Arc<CompiledQuery>,
+    key: String,
+}
+
+impl CompiledResidual {
+    fn build(compiled: CompiledQuery, key: String) -> CompiledResidual {
+        RESIDUAL_BUILDS.fetch_add(1, Ordering::Relaxed);
+        CompiledResidual {
+            compiled: Arc::new(compiled),
+            key,
+        }
+    }
+
+    /// The shared compiled form.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+
+    /// The `fx_analysis::canonical_residual_key` this pool entry is
+    /// deduplicated under.
+    pub fn canonical_key(&self) -> &str {
+        &self.key
+    }
+
+    /// Process-wide number of compiled-residual builds so far. Sample
+    /// before/after a bank build (single-threaded harnesses only) to
+    /// verify the one-build-per-canonical-form invariant; activations
+    /// never move this counter.
+    pub fn total_builds() -> u64 {
+        RESIDUAL_BUILDS.load(Ordering::Relaxed)
+    }
+}
 
 /// One node of the shared-prefix trie: a canonical (axis, node-test)
 /// step. All queries whose canonical chains run through this step share
@@ -63,9 +140,11 @@ struct TrieNode {
 struct Group {
     /// Bank indices (registration order) sharing this canonical form.
     members: Vec<usize>,
-    /// The compiled remainder of the query below the shared prefix
-    /// (`None` for terminal groups).
-    residual: Option<CompiledQuery>,
+    /// Index into the bank's [`CompiledResidual`] pool of the compiled
+    /// remainder below the shared prefix (`None` for terminal groups).
+    /// Groups with canonically-equal remainders share one pool entry,
+    /// even across different trie paths.
+    residual: Option<u32>,
     /// Whether the shared prefix contains a descendant-axis step, in
     /// which case nested activations can confirm the same output element
     /// twice and reported ordinals must be deduplicated per document.
@@ -86,6 +165,13 @@ struct Instance {
     /// Last observed [`StreamFilter::match_progress`], so the (filter
     /// mode) early-decision check runs only on transitions.
     progress: u64,
+    /// This instance's bits as last folded into its group's live total
+    /// (the filter's monotone `max_bits`); deltas keep the total exact
+    /// in O(1) per touched instance.
+    noted_bits: u64,
+    /// Likewise for the reporter's pending-candidate count (the
+    /// filter's monotone `peak_pending_positions`).
+    noted_pending: usize,
 }
 
 /// An indexed bank of streaming filters sharing one event feed *and*
@@ -102,11 +188,24 @@ struct Instance {
 pub struct IndexedBank {
     trie: Vec<TrieNode>,
     groups: Vec<Group>,
+    /// The shared-residual pool: one entry per **canonical residual
+    /// form**, `Arc`-shared by every group and activation that needs it.
+    /// Cloning the bank (one clone per engine session) bumps refcounts;
+    /// nothing is ever recompiled.
+    residuals: Vec<CompiledResidual>,
+    /// Number of [`CompiledResidual`] builds this bank performed — by
+    /// construction exactly `residuals.len()`, and flat across any
+    /// amount of processing (activations only bump refcounts).
+    built_residuals: u64,
     /// Groups with an empty sharable prefix, spawned at `StartDocument`
     /// as document-rooted instances (the naive-bank degenerate case).
     root_groups: Vec<u32>,
     /// Bank index → group index.
     query_group: Vec<u32>,
+    /// Bank indices of the queries whose prefixes live in the trie
+    /// (everything except empty-prefix root groups): the sharers the
+    /// shared-trie bits are attributed across.
+    trie_sharers: Vec<usize>,
     reporting: bool,
 
     // -- per-document state -------------------------------------------------
@@ -128,14 +227,80 @@ pub struct IndexedBank {
     finished: bool,
 
     // -- statistics ---------------------------------------------------------
-    /// Per-group peak filter bits (max over this group's instances).
+    /// Per-group peak filter bits: the maximum, over time, of the *sum*
+    /// of this group's simultaneously-live instance bits — overlapping
+    /// activations (nested descendant prefixes) are charged together,
+    /// exactly as one naive filter's frontier holds all simultaneous
+    /// candidates at once.
     peak_bits: Vec<u64>,
-    /// Per-group peak pending (unresolved-candidate) positions.
+    /// Per-group bits currently live: the sum of `noted_bits` over the
+    /// group's live instances.
+    live_bits: Vec<u64>,
+    /// Per-group peak pending (unresolved-candidate) positions —
+    /// simultaneously-live instances summed, like `peak_bits`, so the
+    /// figure is comparable with one naive filter buffering all of the
+    /// group's candidacies at once.
     peak_pending: Vec<usize>,
+    /// Per-group pending positions currently live (sum of
+    /// `noted_pending` over live instances).
+    live_pending: Vec<usize>,
     /// Peak number of shared trie records.
     peak_records: usize,
+    /// Peak logical size of the shared frontier segment, in bits — one
+    /// row per record, `log|trie| + log d + O(1)` bits per row (the
+    /// Theorem 8.8 units of [`crate::SpaceStats`]).
+    peak_trie_bits: u64,
     /// Peak number of simultaneously live residual instances.
     peak_instances: usize,
+    /// Total residual instances spawned (the activation count).
+    activations: u64,
+    /// Total events processed.
+    events: u64,
+}
+
+/// A bank-level breakdown of the indexed path's logical memory and
+/// activation behaviour, in the Theorem 8.8 units of
+/// [`crate::SpaceStats`] — read it from [`IndexedBank::space_stats`] (or
+/// `Session::index_stats` at the engine layer) after a document to
+/// compare indexed-vs-naive space, not just time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexSpaceStats {
+    /// Peak bits of the shared trie's frontier segment (rows shared by
+    /// every query whose prefix runs through them).
+    pub shared_trie_bits: u64,
+    /// Sum of per-group peak residual-instance bits, where a group's
+    /// peak counts its simultaneously-live instances *together* (each
+    /// group counted once, however many queries it fans out to).
+    pub residual_bits: u64,
+    /// `shared_trie_bits + residual_bits` — equals the sum of the
+    /// per-query attribution [`IndexedBank::peak_memory_bits`] exactly.
+    pub total_bits: u64,
+    /// Peak number of shared trie frontier records.
+    pub peak_records: usize,
+    /// Peak number of simultaneously live residual instances.
+    pub peak_instances: usize,
+    /// Total residual instances spawned (each an `Arc` bump, never a
+    /// compile).
+    pub activations: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Distinct canonical query groups.
+    pub groups: usize,
+    /// Distinct canonical residual forms (= compiled-residual builds).
+    pub residual_pool: usize,
+}
+
+impl IndexSpaceStats {
+    /// Residual instances spawned per event — the activation rate the
+    /// index keeps low by sharing prefixes (non-activated prefixes spawn
+    /// nothing).
+    pub fn activation_rate(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.activations as f64 / self.events as f64
+        }
+    }
 }
 
 impl IndexedBank {
@@ -143,7 +308,7 @@ impl IndexedBank {
     /// first unsupported one (with its bank index), exactly like
     /// [`crate::MultiFilter::new`].
     pub fn new(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        IndexedBank::build(queries, false)
+        IndexedBank::build(queries, false, true)
     }
 
     /// Compiles and indexes a *selection* bank: every query runs in
@@ -152,10 +317,24 @@ impl IndexedBank {
     /// with the index of the first query whose output node cannot be
     /// reported.
     pub fn new_reporting(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        IndexedBank::build(queries, true)
+        IndexedBank::build(queries, true, true)
     }
 
-    fn build(queries: &[Query], reporting: bool) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+    /// A filtering bank that skips the shared-residual pool: every
+    /// residual-bearing group compiles a private, freshly-built (non-Arc
+    /// -shared) remainder. This is the differential-testing reference
+    /// that proves pooling changes nothing observable (see the
+    /// `indexed_differential` proptests); production code wants
+    /// [`IndexedBank::new`].
+    pub fn new_unpooled(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        IndexedBank::build(queries, false, false)
+    }
+
+    fn build(
+        queries: &[Query],
+        reporting: bool,
+        pooled: bool,
+    ) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
         let mut trie = vec![TrieNode {
             axis: Axis::Child,
             ntest: NodeTest::Wildcard,
@@ -164,9 +343,12 @@ impl IndexedBank {
             residual: Vec::new(),
         }];
         let mut groups: Vec<Group> = Vec::new();
+        let mut residuals: Vec<CompiledResidual> = Vec::new();
         let mut root_groups = Vec::new();
         let mut query_group = Vec::with_capacity(queries.len());
         let mut group_of_key: HashMap<String, u32> = HashMap::new();
+        // Canonical residual form → pool index: the cross-group dedup.
+        let mut pool_of_key: HashMap<String, u32> = HashMap::new();
 
         for (i, q) in queries.iter().enumerate() {
             // Validate the full query exactly like the naive bank, so
@@ -216,33 +398,62 @@ impl IndexedBank {
                     needs_dedup,
                 });
             } else if k == 0 {
+                // Document-rooted remainder = the whole query; its
+                // residual form is the full canonical key, so a root
+                // group can still share its compiled form with a trie
+                // group whose remainder renders identically.
+                let rkey = residual_key_of(&steps, 0);
+                let r = match pool_of_key.get(&rkey).filter(|_| pooled) {
+                    Some(&r) => r,
+                    None => intern_residual(&mut residuals, &mut pool_of_key, rkey, compiled),
+                };
                 root_groups.push(g);
                 groups.push(Group {
                     members: vec![i],
-                    residual: Some(compiled),
+                    residual: Some(r),
                     needs_dedup: false,
                 });
             } else {
-                let residual = residual_query(q, k);
-                let rc = CompiledQuery::compile(&residual).map_err(|e| (i, e))?;
-                if reporting {
-                    rc.reporting_supported().map_err(|e| (i, e))?;
-                }
+                let rkey = residual_key_of(&steps, k);
+                let r = match pool_of_key.get(&rkey).filter(|_| pooled) {
+                    // Pool hit: the remainder was already compiled (and
+                    // reporting-validated) for an earlier group —
+                    // possibly one on an entirely different trie path.
+                    Some(&r) => r,
+                    None => {
+                        let residual = residual_query(q, k);
+                        let rc = CompiledQuery::compile(&residual).map_err(|e| (i, e))?;
+                        if reporting {
+                            rc.reporting_supported().map_err(|e| (i, e))?;
+                        }
+                        intern_residual(&mut residuals, &mut pool_of_key, rkey, rc)
+                    }
+                };
                 trie[node as usize].residual.push(g);
                 groups.push(Group {
                     members: vec![i],
-                    residual: Some(rc),
+                    residual: Some(r),
                     needs_dedup,
                 });
             }
         }
 
         let n_groups = groups.len();
+        let root_set: HashSet<u32> = root_groups.iter().copied().collect();
+        let trie_sharers: Vec<usize> = query_group
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g)| (!root_set.contains(&g)).then_some(i))
+            .collect();
+        let built_residuals = residuals.len() as u64;
         Ok(IndexedBank {
             trie,
             groups,
+            residuals,
+            built_residuals,
             root_groups,
             query_group,
+            trie_sharers,
             reporting,
             records: Vec::new(),
             instances: Vec::new(),
@@ -253,9 +464,14 @@ impl IndexedBank {
             emitted: vec![HashSet::new(); n_groups],
             finished: false,
             peak_bits: vec![0; n_groups],
+            live_bits: vec![0; n_groups],
             peak_pending: vec![0; n_groups],
+            live_pending: vec![0; n_groups],
             peak_records: 0,
+            peak_trie_bits: 0,
             peak_instances: 0,
+            activations: 0,
+            events: 0,
         })
     }
 
@@ -278,6 +494,33 @@ impl IndexedBank {
     /// Number of distinct canonical query groups (each evaluated once).
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of distinct canonical residual forms in the shared pool —
+    /// at most the number of residual-bearing groups, and strictly less
+    /// whenever remainders repeat across trie groups.
+    pub fn residual_pool_size(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Number of [`CompiledResidual`] builds this bank performed: exactly
+    /// one per canonical residual form, at construction. Processing any
+    /// number of documents — and spawning any number of residual
+    /// instances — leaves this unchanged, which is the allocation-free
+    /// activation guarantee.
+    pub fn residual_builds(&self) -> u64 {
+        self.built_residuals
+    }
+
+    /// Total residual instances spawned so far (cumulative across
+    /// documents) — each one an `Arc` bump plus empty instance state.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Total events processed so far (cumulative across documents).
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Number of shared trie nodes (excluding the virtual root).
@@ -311,6 +554,7 @@ impl IndexedBank {
     /// confirmed to `sink` — each stamped with the bank index of the
     /// query that selected it. Filtering-mode banks never call the sink.
     pub fn process_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        self.events += 1;
         match event {
             Event::StartDocument => self.start_document(),
             Event::StartElement { name, .. } => self.start_element(event, name, span, sink),
@@ -351,19 +595,33 @@ impl IndexedBank {
         self.matching().collect()
     }
 
-    /// Per-query peak filter bits. With sharing, the figure is the peak
-    /// over the query's *group* instances — queries of one group report
-    /// the same number, and queries whose prefix never activated report
-    /// zero (they did zero per-query work).
+    /// Per-query **attributed** peak bits, comparable with
+    /// [`crate::MultiFilter`]'s per-filter figures: each group's peak
+    /// residual-instance bits are split evenly across the group's
+    /// members, and the shared trie's peak bits evenly across the
+    /// queries whose prefixes live in the trie (integer remainders go to
+    /// the lowest-ranked sharers), so the vector sums **exactly** to
+    /// [`IndexedBank::total_max_bits`]. Queries whose prefix never
+    /// activated are charged only their share of the trie. Under real
+    /// sharing (families of queries per trie path) a query's attribution
+    /// sits well below what a standalone [`crate::StreamFilter`] run of
+    /// the same query would cost; with only a handful of sharers the
+    /// trie share — whose rows cost `log|trie|` where a lone filter's
+    /// cost `log|Q|` — can exceed a solo run's figure by a bit or two.
     pub fn peak_memory_bits(&self) -> Vec<u64> {
-        self.query_group
-            .iter()
-            .map(|&g| self.peak_bits[g as usize])
-            .collect()
+        let mut out = vec![0u64; self.query_group.len()];
+        for (g, group) in self.groups.iter().enumerate() {
+            split_evenly(self.peak_bits[g], &group.members, &mut out);
+        }
+        split_evenly(self.peak_trie_bits, &self.trie_sharers, &mut out);
+        out
     }
 
     /// Per-query peak counts of buffered unresolved candidate positions
     /// (all zero for filtering-mode banks) — the \[5\] selection cost.
+    /// A query reports its group's peak, which counts the group's
+    /// simultaneously-live instances together (one naive filter would
+    /// buffer all those candidacies in a single reporter).
     pub fn peak_pending_positions(&self) -> Vec<usize> {
         self.query_group
             .iter()
@@ -371,11 +629,31 @@ impl IndexedBank {
             .collect()
     }
 
-    /// Aggregate peak filter state across the bank, in bits: the sum of
-    /// per-group peaks (shared groups are counted once — that is the
-    /// point of the index).
+    /// Aggregate peak logical state across the bank, in bits: the peak
+    /// shared-trie segment plus the sum of per-group instance peaks
+    /// (shared state counted **once** — that is the point of the index).
+    /// Directly comparable with [`crate::MultiFilter::total_max_bits`],
+    /// which sums per-filter peaks the same way; equals the sum of
+    /// [`IndexedBank::peak_memory_bits`] exactly.
     pub fn total_max_bits(&self) -> u64 {
-        self.peak_bits.iter().sum()
+        self.peak_trie_bits + self.peak_bits.iter().sum::<u64>()
+    }
+
+    /// The bank-level space/activation breakdown (see
+    /// [`IndexSpaceStats`]).
+    pub fn space_stats(&self) -> IndexSpaceStats {
+        let residual_bits = self.peak_bits.iter().sum::<u64>();
+        IndexSpaceStats {
+            shared_trie_bits: self.peak_trie_bits,
+            residual_bits,
+            total_bits: self.peak_trie_bits + residual_bits,
+            peak_records: self.peak_records,
+            peak_instances: self.peak_instances,
+            activations: self.activations,
+            events: self.events,
+            groups: self.groups.len(),
+            residual_pool: self.residuals.len(),
+        }
     }
 
     // -- event handlers -----------------------------------------------------
@@ -383,6 +661,8 @@ impl IndexedBank {
     fn start_document(&mut self) {
         self.records.clear();
         self.instances.clear();
+        self.live_bits.fill(0);
+        self.live_pending.fill(0);
         self.open_terminals.clear();
         self.current_level = 0;
         self.element_ordinal = 0;
@@ -402,7 +682,7 @@ impl IndexedBank {
             let g = self.root_groups[gi];
             self.spawn_instance(g, 0, -1);
         }
-        self.peak_records = self.peak_records.max(self.records.len());
+        self.note_trie_peak();
     }
 
     fn start_element(&mut self, event: &Event, name: &str, span: Span, sink: &mut dyn MatchSink) {
@@ -453,7 +733,22 @@ impl IndexedBank {
         }
         self.element_ordinal += 1;
         self.current_level = lvl + 1;
+        self.note_trie_peak();
+    }
+
+    /// Updates the shared-segment peaks: record count, and the segment's
+    /// logical size in bits — one row per record, each a trie-node
+    /// reference plus an insertion level plus O(1) flags, mirroring
+    /// [`crate::SpaceStats::bits_per_row`]'s `log|Q| + log d + 1` shape
+    /// with the trie standing in for the query.
+    fn note_trie_peak(&mut self) {
         self.peak_records = self.peak_records.max(self.records.len());
+        let row_bits = (bits_for(self.trie.len().saturating_sub(1))
+            + bits_for(self.current_level as usize)
+            + 1) as u64;
+        self.peak_trie_bits = self
+            .peak_trie_bits
+            .max(self.records.len() as u64 * row_bits);
     }
 
     fn end_element(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
@@ -497,27 +792,39 @@ impl IndexedBank {
 
     // -- instance plumbing --------------------------------------------------
 
+    /// Spawns one residual instance: an `Arc` bump on the group's pooled
+    /// [`CompiledResidual`] plus empty per-instance state. No
+    /// compilation, no deep clone, no per-step allocation — the hot path
+    /// the shared pool exists for.
     fn spawn_instance(&mut self, g: u32, ordinal_offset: u64, root_level: i64) {
-        let group = &self.groups[g as usize];
-        let compiled = group
+        let rid = self.groups[g as usize]
             .residual
-            .as_ref()
-            .expect("only residual groups spawn instances")
-            .clone();
+            .expect("only residual groups spawn instances");
+        let compiled = Arc::clone(&self.residuals[rid as usize].compiled);
         let mut filter = if self.reporting {
-            StreamFilter::from_compiled_reporting(compiled)
+            StreamFilter::from_shared_reporting(compiled)
                 .expect("reporting support validated at build")
         } else {
-            StreamFilter::from_compiled(compiled)
+            StreamFilter::from_shared(compiled)
         };
         filter.process(&Event::StartDocument);
+        let noted_bits = filter.stats().max_bits;
+        let noted_pending = filter.peak_pending_positions();
         self.instances.push(Instance {
             group: g,
             filter,
             ordinal_offset,
             root_level,
             progress: 0,
+            noted_bits,
+            noted_pending,
         });
+        let gi = g as usize;
+        self.live_bits[gi] += noted_bits;
+        self.peak_bits[gi] = self.peak_bits[gi].max(self.live_bits[gi]);
+        self.live_pending[gi] += noted_pending;
+        self.peak_pending[gi] = self.peak_pending[gi].max(self.live_pending[gi]);
+        self.activations += 1;
         self.peak_instances = self.peak_instances.max(self.instances.len());
     }
 
@@ -572,6 +879,24 @@ impl IndexedBank {
                     }
                 }
             }
+            // Fold the instance's growth into its group's live totals, so
+            // the group peaks charge simultaneously-live instances
+            // *together* — overlapping activations cost what one naive
+            // filter would holding all their candidates at once.
+            let grown = self.instances[i].filter.stats().max_bits;
+            let prev = self.instances[i].noted_bits;
+            if grown > prev {
+                self.instances[i].noted_bits = grown;
+                self.live_bits[g] += grown - prev;
+                self.peak_bits[g] = self.peak_bits[g].max(self.live_bits[g]);
+            }
+            let pending = self.instances[i].filter.peak_pending_positions();
+            let prev = self.instances[i].noted_pending;
+            if pending > prev {
+                self.instances[i].noted_pending = pending;
+                self.live_pending[g] += pending - prev;
+                self.peak_pending[g] = self.peak_pending[g].max(self.live_pending[g]);
+            }
             if !drained.is_empty() {
                 let offset = self.instances[i].ordinal_offset;
                 for (o, sp) in drained {
@@ -616,12 +941,25 @@ impl IndexedBank {
         self.instances.swap_remove(i);
     }
 
+    /// Folds instance `i`'s final statistics into its group's peaks and
+    /// releases its contribution to the group's live totals. Call
+    /// immediately before removing the instance.
     fn note_stats(&mut self, i: usize) {
         let g = self.instances[i].group as usize;
         let bits = self.instances[i].filter.stats().max_bits;
-        self.peak_bits[g] = self.peak_bits[g].max(bits);
+        let prev = self.instances[i].noted_bits;
+        if bits > prev {
+            self.live_bits[g] += bits - prev;
+        }
+        self.peak_bits[g] = self.peak_bits[g].max(self.live_bits[g]);
+        self.live_bits[g] -= bits;
         let pending = self.instances[i].filter.peak_pending_positions();
-        self.peak_pending[g] = self.peak_pending[g].max(pending);
+        let prev = self.instances[i].noted_pending;
+        if pending > prev {
+            self.live_pending[g] += pending - prev;
+        }
+        self.peak_pending[g] = self.peak_pending[g].max(self.live_pending[g]);
+        self.live_pending[g] -= pending;
     }
 
     /// Routes one confirmed match to every member of group `g`,
@@ -643,6 +981,46 @@ impl IndexedBank {
             });
         }
     }
+}
+
+/// Adds `bits` to `out`, split evenly across the bank indices in
+/// `sharers`; the integer remainder goes one extra bit apiece to the
+/// lowest-ranked sharers, so the split sums back to `bits` exactly. An
+/// empty sharer list only arises when `bits` is already zero (a bank
+/// with no trie never pushes a record).
+fn split_evenly(bits: u64, sharers: &[usize], out: &mut [u64]) {
+    if sharers.is_empty() || bits == 0 {
+        return;
+    }
+    let k = sharers.len() as u64;
+    let (base, rem) = (bits / k, bits % k);
+    for (rank, &i) in sharers.iter().enumerate() {
+        out[i] += base + u64::from((rank as u64) < rem);
+    }
+}
+
+/// The canonical residual form of a chain below a prefix of `skip`
+/// steps, rendered from an already-computed canonical chain — the same
+/// key `fx_analysis::canonical_residual_key` produces, without
+/// re-deriving the steps the build loop is already holding.
+fn residual_key_of(steps: &[CanonicalStep], skip: usize) -> String {
+    steps[skip..].iter().map(CanonicalStep::to_string).collect()
+}
+
+/// Interns an already-validated compiled remainder into the bank's
+/// shared-residual pool under its canonical residual form. Callers check
+/// for a pool hit first (to skip re-deriving and re-compiling the
+/// remainder); this only runs for genuinely new forms.
+fn intern_residual(
+    residuals: &mut Vec<CompiledResidual>,
+    pool_of_key: &mut HashMap<String, u32>,
+    key: String,
+    compiled: CompiledQuery,
+) -> u32 {
+    let r = residuals.len() as u32;
+    residuals.push(CompiledResidual::build(compiled, key.clone()));
+    pool_of_key.insert(key, r);
+    r
 }
 
 /// Builds the residual query of `q` below a sharable prefix of length
@@ -863,6 +1241,163 @@ mod tests {
         let err = IndexedBank::new_reporting(&queries).unwrap_err();
         assert_eq!(err.0, 1);
         assert_eq!(err.1, UnsupportedQuery::AttributeOutput);
+    }
+
+    #[test]
+    fn cross_group_equal_residuals_compile_once() {
+        let srcs = [
+            "/hub/asia/item[price > 5]/name",
+            "/hub/europe/item[5 < price]/name",
+            "/hub/africa/item[price > 5]/name",
+            "/hub/asia/other",
+        ];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let mut ib = IndexedBank::new(&queries).unwrap();
+        assert_eq!(ib.group_count(), 4, "distinct full queries stay distinct");
+        assert_eq!(
+            ib.residual_pool_size(),
+            1,
+            "the three flipped/region variants share one canonical residual form"
+        );
+        assert_eq!(ib.residual_builds(), 1, "exactly one build per form");
+        // Heavy activation: every repeated <asia>/<europe> divergence
+        // element spawns a fresh instance (none ever accepts, so the
+        // decided-group short-circuit cannot kick in) — many instances,
+        // zero further builds.
+        let asia = "<asia><item><price>2</price><name/></item></asia>".repeat(15);
+        let europe = "<europe><item><price>2</price><name/></item></europe>".repeat(10);
+        let xml = format!("<hub>{asia}{europe}<asia><other/></asia></hub>");
+        for e in &fx_xml::parse(&xml).unwrap() {
+            ib.process(e);
+        }
+        assert!(ib.activations() >= 25, "{}", ib.activations());
+        assert_eq!(ib.residual_builds(), 1, "activation never compiles");
+        assert_eq!(
+            ib.results(),
+            vec![Some(false), Some(false), Some(false), Some(true)]
+        );
+        // The unpooled reference compiles one remainder per group but
+        // observes the same verdicts.
+        let mut reference = IndexedBank::new_unpooled(&queries).unwrap();
+        assert_eq!(reference.residual_builds(), 3, "one fresh build per group");
+        for e in &fx_xml::parse(&xml).unwrap() {
+            reference.process(e);
+        }
+        assert_eq!(reference.results(), ib.results());
+    }
+
+    #[test]
+    fn root_and_trie_groups_share_equal_residual_forms() {
+        let srcs = ["//t[u]", "/hub//t[u]"];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let mut ib = IndexedBank::new(&queries).unwrap();
+        assert_eq!(ib.group_count(), 2);
+        assert_eq!(
+            ib.residual_pool_size(),
+            1,
+            "a document-rooted remainder and a trie remainder with the \
+             same canonical form share one compiled build"
+        );
+        let mut mf = MultiFilter::new(&queries).unwrap();
+        for xml in [
+            "<hub><t><u/></t></hub>",
+            "<x><t><u/></t></x>",
+            "<hub><a><t><u/></t></a></hub>",
+            "<hub><t/></hub>",
+        ] {
+            feed_both(&mut ib, &mut mf, xml);
+        }
+    }
+
+    #[test]
+    fn attributed_bits_sum_exactly_to_the_bank_total() {
+        let (mut ib, _) = bank(&[
+            "/site/a/item[p > 1]",
+            "/site/a/item[1 < p]",
+            "/site/b/item[p > 1]",
+            "/site/a/leaf",
+            "//x[y]",
+        ]);
+        for xml in [
+            "<site><a><item><p>2</p></item><leaf/></a><b><item><p>0</p></item></b></site>",
+            "<site><a><x><y/></x></a></site>",
+            "<other/>",
+        ] {
+            for e in &fx_xml::parse(xml).unwrap() {
+                ib.process(e);
+            }
+        }
+        let per = ib.peak_memory_bits();
+        assert_eq!(
+            per.iter().sum::<u64>(),
+            ib.total_max_bits(),
+            "attribution must be exact: {per:?}"
+        );
+        let stats = ib.space_stats();
+        assert_eq!(stats.total_bits, ib.total_max_bits());
+        assert_eq!(
+            stats.residual_bits + stats.shared_trie_bits,
+            stats.total_bits
+        );
+        assert!(stats.shared_trie_bits > 0, "the trie held records");
+        assert!(stats.activations > 0 && stats.events > 0);
+        assert!(stats.activation_rate() > 0.0 && stats.activation_rate() < 1.0);
+        // The two equivalent queries share a group, so their attribution
+        // differs by at most the 1-bit remainder.
+        assert!(per[0].abs_diff(per[1]) <= 1, "{per:?}");
+    }
+
+    #[test]
+    fn overlapping_same_group_instances_are_charged_together() {
+        // /hub//t/x[y] on d nested <t> elements: d residual instances of
+        // the *same* group are live at once (one per open <t>). The
+        // group peak must charge them together — the honest equivalent
+        // of one naive filter's frontier holding all d candidacies —
+        // not just the largest single instance.
+        let residual_bits_at = |d: usize| {
+            let queries = vec![parse_query("/hub//t/x[y]").unwrap()];
+            let mut ib = IndexedBank::new(&queries).unwrap();
+            // x carries no y, so no instance ever accepts and none is
+            // short-circuited away before the peak.
+            let xml = format!("<hub>{}<x/>{}</hub>", "<t>".repeat(d), "</t>".repeat(d));
+            for e in &fx_xml::parse(&xml).unwrap() {
+                ib.process(e);
+            }
+            assert_eq!(ib.results(), vec![Some(false)]);
+            assert_eq!(ib.peak_live_instances(), d);
+            ib.space_stats().residual_bits
+        };
+        let one = residual_bits_at(1);
+        let eight = residual_bits_at(8);
+        assert!(
+            eight >= 4 * one,
+            "8 simultaneous instances must cost several times one: {eight} vs {one}"
+        );
+
+        // Same for the selection buffering cost: the <x> candidacy is
+        // unresolved while <m>'s predicate awaits its <z/>, and with a
+        // descendant residual every nested instance buffers it, so the
+        // group's pending peak must count them together.
+        let pending_at = |d: usize| {
+            let queries = vec![parse_query("/hub//t//m[z]/x").unwrap()];
+            let mut ib = IndexedBank::new_reporting(&queries).unwrap();
+            let xml = format!(
+                "<hub>{}<m><x/><z/></m>{}</hub>",
+                "<t>".repeat(d),
+                "</t>".repeat(d)
+            );
+            for (event, span) in fx_xml::parse_spanned(&xml).unwrap() {
+                ib.process_to(&event, span, &mut |_: Match| {});
+            }
+            ib.peak_pending_positions()[0]
+        };
+        let one = pending_at(1);
+        assert!(one >= 1, "the open <x> candidacy buffers: {one}");
+        let six = pending_at(6);
+        assert!(
+            six >= 4 * one,
+            "6 simultaneous instances must buffer several candidacies: {six} vs {one}"
+        );
     }
 
     #[test]

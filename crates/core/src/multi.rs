@@ -22,15 +22,21 @@
 //! [`crate::IndexedBank`] is the *shared-prefix* bank: queries are
 //! grouped by canonical form (`fx_analysis::canonical_key`) and their
 //! predicate-free chain prefixes merged into a trie walked **once** per
-//! event, with per-query state only below activated divergence points.
-//! Per-event cost is `O(shared trie records + live residual instances)`
-//! instead of Θ(n) — sublinear in bank size whenever queries overlap
-//! and documents touch only part of the bank, at the price of slightly
-//! coarser per-query statistics (shared work cannot be attributed to a
-//! single query). Prefer it for large overlapping banks (hundreds to
-//! millions of dissemination subscriptions); prefer `MultiFilter` for
-//! small banks or when exact per-query space accounting matters.
-//! Verdicts and routed matches are identical either way — proven by
+//! event, with per-query state only below activated divergence points —
+//! and the compiled remainders below those points pooled per canonical
+//! residual form, so activation never compiles. Per-event cost is
+//! `O(shared trie records + live residual instances)` instead of Θ(n) —
+//! sublinear in bank size whenever queries overlap and documents touch
+//! only part of the bank. Its per-query space figures are *attributed*
+//! (shared bits split evenly across sharers, summing exactly to the
+//! bank total) rather than individually measured, so
+//! [`IndexedBank::total_max_bits`](crate::IndexedBank::total_max_bits)
+//! is directly comparable with [`MultiFilter::total_max_bits`] while a
+//! single query's number is an even share, not a bit-exact solo run.
+//! Prefer the index for large overlapping banks (hundreds to millions
+//! of dissemination subscriptions); prefer `MultiFilter` for small
+//! banks or when bit-exact per-query accounting matters. Verdicts and
+//! routed matches are identical either way — proven by
 //! `tests/indexed_differential.rs` on seeded 1k-query banks.
 
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};

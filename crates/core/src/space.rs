@@ -112,6 +112,83 @@ mod tests {
     }
 
     #[test]
+    fn bits_for_powers_of_two_and_extremes() {
+        // At every power of two the count steps up by exactly one…
+        for k in 0..usize::BITS {
+            let p = 1usize << k;
+            assert_eq!(bits_for(p), k + 1, "2^{k}");
+            if p > 1 {
+                assert_eq!(bits_for(p - 1), k, "2^{k} - 1");
+            }
+        }
+        // …and the extremes saturate without overflow: usize::MAX needs
+        // every bit, 0 still needs one (a value in 0..=0 is one state,
+        // but a row must occupy at least a bit).
+        assert_eq!(bits_for(usize::MAX), usize::BITS);
+        assert_eq!(bits_for(usize::MAX - 1), usize::BITS);
+        assert_eq!(bits_for(usize::MAX / 2), usize::BITS - 1);
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+    }
+
+    #[test]
+    fn bits_for_is_monotone() {
+        // Spot-check monotonicity across magnitudes (the property the
+        // attribution arithmetic leans on: growing a structure never
+        // shrinks its reported bits).
+        let samples = [
+            0usize,
+            1,
+            2,
+            3,
+            7,
+            8,
+            100,
+            1 << 20,
+            (1 << 20) + 1,
+            usize::MAX / 2,
+            usize::MAX,
+        ];
+        for w in samples.windows(2) {
+            assert!(bits_for(w[0]) <= bits_for(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn observe_is_monotone_in_every_field() {
+        let mut s = SpaceStats::new(5);
+        let mut prev = s.clone();
+        // A shrinking sequence of snapshots after a large one must never
+        // lower any running maximum.
+        let snapshots = [
+            (10usize, 4usize, 100usize, 8usize),
+            (2, 1, 5, 3),
+            (0, 0, 0, 0),
+            (11, 0, 0, 0),
+            (0, 5, 0, 0),
+            (0, 0, 101, 0),
+            (0, 0, 0, 9),
+        ];
+        for (rows, stacks, buffer, level) in snapshots {
+            s.observe(rows, stacks, buffer, level);
+            assert!(s.max_rows >= prev.max_rows);
+            assert!(s.max_stack_entries >= prev.max_stack_entries);
+            assert!(s.max_buffer_bytes >= prev.max_buffer_bytes);
+            assert!(s.max_level >= prev.max_level);
+            assert!(s.max_bits >= prev.max_bits, "max_bits regressed");
+            prev = s.clone();
+        }
+        assert_eq!(s.max_rows, 11);
+        assert_eq!(s.max_stack_entries, 5);
+        assert_eq!(s.max_buffer_bytes, 101);
+        assert_eq!(s.max_level, 9);
+        // observe_text_width shares the monotone contract.
+        s.observe_text_width(7);
+        s.observe_text_width(3);
+        assert_eq!(s.max_text_width, 7);
+    }
+
+    #[test]
     fn observe_tracks_maxima() {
         let mut s = SpaceStats::new(7);
         s.observe(3, 0, 0, 2);

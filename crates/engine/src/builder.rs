@@ -67,6 +67,20 @@ pub enum Backend {
 /// [`fx_core::IndexedBank`]. Verdicts and routed matches are identical
 /// to the naive bank (proven by `tests/indexed_differential.rs`); only
 /// the work sharing differs. Requires [`Backend::Frontier`].
+///
+/// Two further sharing layers ride on the index. **Shared residuals**:
+/// the remainder of a query below its prefix is compiled once per
+/// *canonical residual form* (`fx_analysis::canonical_residual_key`) and
+/// held behind an `Arc`, shared across all groups whose remainders
+/// render identically — even groups on different trie paths — so
+/// activating a divergence point spawns an instance with a refcount
+/// bump, never a recompilation or deep clone. **Attributed space**: the
+/// shared trie's and each group's peak bits are split evenly across
+/// their sharers into [`crate::Verdicts::peak_memory_bits`], summing exactly to
+/// the bank total, so indexed and naive sessions report comparable
+/// per-query space; the bank-level breakdown (shared-trie bits, residual
+/// bits, activation rate, pool size) is on
+/// [`crate::Session::index_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IndexPolicy {
     /// One independent [`StreamFilter`] per query (the default).

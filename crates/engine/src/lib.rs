@@ -134,5 +134,5 @@ mod session;
 pub use builder::{Backend, Engine, EngineBuilder, IndexPolicy, Mode};
 pub use error::EngineError;
 pub use evaluator::Evaluator;
-pub use fx_core::{Match, MatchSink};
+pub use fx_core::{IndexSpaceStats, Match, MatchSink};
 pub use session::{MatchCollector, Outcome, Session, Verdicts};

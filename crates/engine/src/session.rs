@@ -99,6 +99,19 @@ impl Session {
         self.mode
     }
 
+    /// The indexed bank's space/activation breakdown — shared-trie bits,
+    /// per-group residual bits, exact bank total, activation counts and
+    /// the shared-residual pool size (see [`fx_core::IndexSpaceStats`]).
+    /// `None` on sessions not built with
+    /// [`crate::IndexPolicy::SharedPrefix`]; for those, the per-query
+    /// figures in [`Verdicts::peak_memory_bits`] are already exact.
+    pub fn index_stats(&self) -> Option<fx_core::IndexSpaceStats> {
+        match &self.inner {
+            SessionInner::Indexed(bank) => Some(bank.space_stats()),
+            _ => None,
+        }
+    }
+
     /// Feeds one SAX event to every filter whose verdict is still open.
     /// Streams must carry the full document framing (`StartDocument` …
     /// `EndDocument`), which is what every `fx_xml` source produces.

@@ -138,6 +138,13 @@ pub struct SharedPrefixBankConfig {
     /// the bank diverges *below* the document root, where a naive bank
     /// cannot short-circuit on the root tag).
     pub prefix_depth: usize,
+    /// When `true`, member tails are drawn from a *family-independent*
+    /// name pool, so the same residual shape recurs under many distinct
+    /// prefixes: canonically-equal residuals across different trie
+    /// groups, the dedup target of the indexed bank's shared-residual
+    /// pool. When `false` (the default) every tail name embeds its
+    /// family, so residuals are family-unique.
+    pub cross_family_tails: bool,
 }
 
 impl Default for SharedPrefixBankConfig {
@@ -146,6 +153,7 @@ impl Default for SharedPrefixBankConfig {
             families: 8,
             queries_per_family: 4,
             prefix_depth: 3,
+            cross_family_tails: false,
         }
     }
 }
@@ -238,6 +246,12 @@ impl SharedPrefixBank {
 /// fragment, supports reporting, and shares exactly `prefix_depth`
 /// leading canonical steps with its family siblings (one, the `/hub`
 /// root step, across families).
+///
+/// With [`SharedPrefixBankConfig::cross_family_tails`] set, tail names
+/// drop their family component: member `j` of every family gets the
+/// *same* residual shape, so a shared-residual index can compile each
+/// distinct remainder once and reuse it across all families' trie
+/// groups.
 pub fn random_shared_prefix_bank<R: Rng>(
     rng: &mut R,
     cfg: &SharedPrefixBankConfig,
@@ -247,6 +261,21 @@ pub fn random_shared_prefix_bank<R: Rng>(
     let mut prefixes = Vec::new();
     let mut family_of = Vec::new();
     let mut witnesses = Vec::new();
+    // Cross-family mode draws one tail pool up front (member `j` of
+    // every family reuses entry `j`), so equal residual shapes — random
+    // constants included — recur under every family prefix.
+    let shared_tails: Vec<(String, String)> = if cfg.cross_family_tails {
+        let mut pool = Vec::new();
+        let mut prev: Option<(String, String)> = None;
+        for j in 0..cfg.queries_per_family {
+            let tw = gen_tail(rng, "s", j, &prev);
+            prev = Some(tw.clone());
+            pool.push(tw);
+        }
+        pool
+    } else {
+        Vec::new()
+    };
     for f in 0..cfg.families {
         let mut prefix = String::from("/hub");
         for l in 1..depth {
@@ -256,44 +285,11 @@ pub fn random_shared_prefix_bank<R: Rng>(
         // (tail, witness) of the previous member, for commutative twins.
         let mut prev: Option<(String, String)> = None;
         for j in 0..cfg.queries_per_family {
-            let t = format!("t{f}x{j}");
-            let (tail, witness) = match rng.gen_range(0..6) {
-                0 => (format!("/{t}"), format!("<{t}/>")),
-                1 => (format!("/{t}[u{f}x{j}]"), format!("<{t}><u{f}x{j}/></{t}>")),
-                2 => {
-                    let c = rng.gen_range(0..500) * 2 + 1;
-                    (
-                        format!("/{t}[u{f}x{j} and v{f}x{j} > {c}]/w{f}x{j}"),
-                        format!(
-                            "<{t}><u{f}x{j}/><v{f}x{j}>{}</v{f}x{j}><w{f}x{j}/></{t}>",
-                            c + 1
-                        ),
-                    )
-                }
-                3 => (
-                    format!("/{t}[v{f}x{j} = \"mid\"]"),
-                    format!("<{t}><v{f}x{j}>mid</v{f}x{j}></{t}>"),
-                ),
-                4 => (
-                    format!("//{t}[u{f}x{j}]"),
-                    format!("<{t}><u{f}x{j}/></{t}>"),
-                ),
-                _ => match &prev {
-                    // A commutative twin: the previous member's tail
-                    // with its conjuncts swapped (when it has two).
-                    Some((tail, witness)) if tail.contains(" and ") => {
-                        let open = tail.find('[').expect("conjunctive tails have a predicate");
-                        let close = tail.rfind(']').expect("matching bracket");
-                        let (a, b) = tail[open + 1..close]
-                            .split_once(" and ")
-                            .expect("two conjuncts");
-                        (
-                            format!("{}[{b} and {a}]{}", &tail[..open], &tail[close + 1..]),
-                            witness.clone(),
-                        )
-                    }
-                    _ => (format!("/{t}"), format!("<{t}/>")),
-                },
+            // The shared pool is empty in family-unique mode, so `get`
+            // doubles as the mode switch.
+            let (tail, witness) = match shared_tails.get(j) {
+                Some(tw) => tw.clone(),
+                None => gen_tail(rng, &f.to_string(), j, &prev),
             };
             let src = format!("{prefix}{tail}");
             queries.push(parse_query(&src).expect("generated query is syntactically valid"));
@@ -308,6 +304,58 @@ pub fn random_shared_prefix_bank<R: Rng>(
         family_of,
         witnesses,
         prefix_depth: depth,
+    }
+}
+
+/// One member tail below a family prefix: a `(tail XPath, witness XML)`
+/// pair with names scoped by the `fam` tag and member index `j`.
+fn gen_tail<R: Rng>(
+    rng: &mut R,
+    fam: &str,
+    j: usize,
+    prev: &Option<(String, String)>,
+) -> (String, String) {
+    let t = format!("t{fam}x{j}");
+    match rng.gen_range(0..6) {
+        0 => (format!("/{t}"), format!("<{t}/>")),
+        1 => (
+            format!("/{t}[u{fam}x{j}]"),
+            format!("<{t}><u{fam}x{j}/></{t}>"),
+        ),
+        2 => {
+            let c = rng.gen_range(0..500) * 2 + 1;
+            (
+                format!("/{t}[u{fam}x{j} and v{fam}x{j} > {c}]/w{fam}x{j}"),
+                format!(
+                    "<{t}><u{fam}x{j}/><v{fam}x{j}>{}</v{fam}x{j}><w{fam}x{j}/></{t}>",
+                    c + 1
+                ),
+            )
+        }
+        3 => (
+            format!("/{t}[v{fam}x{j} = \"mid\"]"),
+            format!("<{t}><v{fam}x{j}>mid</v{fam}x{j}></{t}>"),
+        ),
+        4 => (
+            format!("//{t}[u{fam}x{j}]"),
+            format!("<{t}><u{fam}x{j}/></{t}>"),
+        ),
+        _ => match prev {
+            // A commutative twin: the previous member's tail with its
+            // conjuncts swapped (when it has two).
+            Some((tail, witness)) if tail.contains(" and ") => {
+                let open = tail.find('[').expect("conjunctive tails have a predicate");
+                let close = tail.rfind(']').expect("matching bracket");
+                let (a, b) = tail[open + 1..close]
+                    .split_once(" and ")
+                    .expect("two conjuncts");
+                (
+                    format!("{}[{b} and {a}]{}", &tail[..open], &tail[close + 1..]),
+                    witness.clone(),
+                )
+            }
+            _ => (format!("/{t}"), format!("<{t}/>")),
+        },
     }
 }
 
@@ -398,6 +446,7 @@ mod tests {
             families: 6,
             queries_per_family: 5,
             prefix_depth: 3,
+            cross_family_tails: false,
         };
         let bank = random_shared_prefix_bank(&mut rng, &cfg);
         assert_eq!(bank.len(), 30);
@@ -419,6 +468,7 @@ mod tests {
             families: 4,
             queries_per_family: 6,
             prefix_depth: 4,
+            cross_family_tails: false,
         };
         let bank = random_shared_prefix_bank(&mut rng, &cfg);
         for i in 0..bank.len() {
@@ -437,6 +487,48 @@ mod tests {
         // The prefix steps themselves are predicate-free and sharable.
         for q in &bank.queries {
             assert!(fx_analysis::sharable_prefix_len(q) >= cfg.prefix_depth);
+        }
+    }
+
+    #[test]
+    fn cross_family_tails_repeat_residuals_across_trie_groups() {
+        let mut rng = SmallRng::seed_from_u64(0x5A14);
+        let cfg = SharedPrefixBankConfig {
+            families: 6,
+            queries_per_family: 5,
+            prefix_depth: 3,
+            cross_family_tails: true,
+        };
+        let bank = random_shared_prefix_bank(&mut rng, &cfg);
+        // Member j of every family carries the same canonical residual
+        // form (names, shapes and random constants included)…
+        let rkey =
+            |q: &Query| fx_analysis::canonical_residual_key(q, fx_analysis::sharable_prefix_len(q));
+        for j in 0..cfg.queries_per_family {
+            let first = rkey(&bank.queries[j]);
+            for f in 1..cfg.families {
+                let i = f * cfg.queries_per_family + j;
+                assert_eq!(rkey(&bank.queries[i]), first, "member {j} of family {f}");
+            }
+        }
+        // …while the full queries stay family-distinct (different
+        // prefixes), so the indexed bank sees many groups but pools few
+        // compiled residuals.
+        let ib = fx_core::IndexedBank::new(&bank.queries).unwrap();
+        assert!(ib.group_count() > cfg.queries_per_family);
+        assert!(
+            ib.residual_pool_size() <= cfg.queries_per_family,
+            "{} forms for {} groups",
+            ib.residual_pool_size(),
+            ib.group_count()
+        );
+        // And every query still parses/compiles/reports like the
+        // family-unique variant.
+        for (i, q) in bank.queries.iter().enumerate() {
+            fx_core::CompiledQuery::compile(q)
+                .unwrap_or_else(|e| panic!("query #{i} uncompilable: {e}"))
+                .reporting_supported()
+                .unwrap_or_else(|e| panic!("query #{i} not reportable: {e}"));
         }
     }
 

@@ -116,6 +116,7 @@ fn main() {
             families: 64,
             queries_per_family: 16,
             prefix_depth: 3,
+            cross_family_tails: false,
         },
     );
     let indexed = Engine::builder()
@@ -130,6 +131,27 @@ fn main() {
         "\n-- shared-prefix index: {} queries, {} matched --",
         indexed.len(),
         verdicts.matching().count()
+    );
+    // The attributed space story: shared state split back across its
+    // sharers, so the indexed bank's total is comparable to running
+    // per-query filters — and far below it.
+    let stats = session.index_stats().expect("indexed session");
+    println!(
+        "space: {} bits total ({} shared trie + {} residual instances), \
+         sum of per-query attribution = {}",
+        stats.total_bits,
+        stats.shared_trie_bits,
+        stats.residual_bits,
+        verdicts.total_peak_bits(),
+    );
+    println!(
+        "activations: {} instances over {} events ({:.3}/event), \
+         {} compiled residual forms for {} query groups",
+        stats.activations,
+        stats.events,
+        stats.activation_rate(),
+        stats.residual_pool,
+        stats.groups,
     );
     println!(
         "(per-event work tracked the 3 activated families, not the {}-query bank;\n\

@@ -119,7 +119,7 @@ pub mod prelude {
         redundancy_free, text_width,
     };
     pub use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
-    pub use fx_core::{IndexedBank, MultiFilter, SpaceStats, StreamFilter};
+    pub use fx_core::{IndexSpaceStats, IndexedBank, MultiFilter, SpaceStats, StreamFilter};
     pub use fx_dom::Document;
     /// The pre-engine name of [`Evaluator`], kept so downstream imports
     /// keep compiling; new code should name [`Evaluator`] directly.

@@ -16,7 +16,18 @@ use frontier_xpath::workloads::{
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Case-count knob for this suite's proptests: CI pins a small count by
+/// exporting `FX_PROPTEST_CASES`; local runs omit it (or set it higher)
+/// to crank coverage. Cases themselves stay seeded/deterministic — the
+/// knob changes how many run, never which.
+fn fx_cases(default: u32) -> u32 {
+    std::env::var("FX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// (query, ordinal, span start, span end) — the full observable content
 /// of a routed match, order-normalized.
@@ -76,6 +87,7 @@ fn seeded_1k_bank_parity_on_shared_prefix_documents() {
             families: 64,
             queries_per_family: 16,
             prefix_depth: 3,
+            cross_family_tails: false,
         },
     );
     assert_eq!(bank.len(), 1024);
@@ -200,6 +212,7 @@ fn engine_sessions_agree_across_policies() {
             families: 12,
             queries_per_family: 8,
             prefix_depth: 4,
+            cross_family_tails: false,
         },
     );
     let build = |policy, mode| {
@@ -247,6 +260,7 @@ fn index_shares_state_on_inactive_families() {
             families: 64,
             queries_per_family: 16,
             prefix_depth: 3,
+            cross_family_tails: false,
         },
     );
     let mut ib = IndexedBank::new(&bank.queries).unwrap();
@@ -271,6 +285,115 @@ fn index_shares_state_on_inactive_families() {
     );
 }
 
+/// Shared-residual dedup must not change observable behaviour: a seeded
+/// bank whose residual shapes repeat across distinct trie groups (the
+/// `cross_family_tails` generator variant) compiles each canonical
+/// residual form exactly once, yet stays verdict-, ordinal- and
+/// span-equivalent to the naive bank.
+#[test]
+fn cross_group_residual_bank_parity() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE);
+    let bank = random_shared_prefix_bank(
+        &mut rng,
+        &SharedPrefixBankConfig {
+            families: 12,
+            queries_per_family: 6,
+            prefix_depth: 3,
+            cross_family_tails: true,
+        },
+    );
+    let ib = IndexedBank::new(&bank.queries).unwrap();
+    assert!(
+        ib.group_count() >= 12,
+        "distinct prefixes keep groups distinct: {}",
+        ib.group_count()
+    );
+    assert!(
+        ib.residual_pool_size() <= 6,
+        "repeated residual shapes must pool: {} forms for {} groups",
+        ib.residual_pool_size(),
+        ib.group_count()
+    );
+    assert_eq!(
+        ib.residual_builds() as usize,
+        ib.residual_pool_size(),
+        "exactly one compiled build per canonical residual form"
+    );
+    for xml in [
+        bank.document(&[0, 5, 11], 3, 2),
+        bank.document(&(0..12).collect::<Vec<_>>(), 6, 1),
+        bank.document(&[], 0, 2),
+    ] {
+        assert_parity(&bank.queries, &xml);
+    }
+}
+
+/// Space-accounting invariant, on every bank of this suite's shared-
+/// prefix differential corpus: the per-query attribution sums
+/// **exactly** to the bank-level total, and no query is ever charged
+/// more than a standalone `StreamFilter` run of its own query over the
+/// same stream would have cost.
+///
+/// The second bound is a statement about banks with real sharing (the
+/// index's use case): a trie row costs `log|trie|` bits where a lone
+/// filter's row costs `log|Q|`, so with only a handful of sharers the
+/// per-query trie share can exceed a standalone run's row cost by a bit
+/// or two — but divided across a family of 16 (and a bank of hundreds)
+/// it sits far below it, while the standalone cost never shrinks.
+#[test]
+fn attributed_space_is_exact_and_bounded_by_standalone() {
+    for (seed, families, queries_per_family, prefix_depth, cross_family_tails) in [
+        (0x5B1u64, 64, 16, 3, false),
+        (0x5B2, 32, 16, 4, false),
+        (0x5B3, 16, 16, 3, true),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bank = random_shared_prefix_bank(
+            &mut rng,
+            &SharedPrefixBankConfig {
+                families,
+                queries_per_family,
+                prefix_depth,
+                cross_family_tails,
+            },
+        );
+        let mut ib = IndexedBank::new(&bank.queries).unwrap();
+        let mut solo: Vec<StreamFilter> = bank
+            .queries
+            .iter()
+            .map(|q| StreamFilter::new(q).unwrap())
+            .collect();
+        for xml in [
+            bank.document(&[0, 1, families - 1], 4, 2),
+            bank.document(&(0..families).collect::<Vec<_>>(), 2, 0),
+            bank.document(&[], 0, 3),
+        ] {
+            for e in &fx_xml::parse(&xml).unwrap() {
+                ib.process(e);
+                for f in solo.iter_mut() {
+                    f.process(e);
+                }
+            }
+        }
+        let attributed = ib.peak_memory_bits();
+        assert_eq!(
+            attributed.iter().sum::<u64>(),
+            ib.total_max_bits(),
+            "attribution must be exact (seed {seed:#x})"
+        );
+        let stats = ib.space_stats();
+        assert_eq!(stats.total_bits, ib.total_max_bits());
+        for (i, f) in solo.iter().enumerate() {
+            assert!(
+                attributed[i] <= f.stats().max_bits,
+                "query #{i} (seed {seed:#x}): attributed {} > standalone {}",
+                attributed[i],
+                f.stats().max_bits
+            );
+        }
+    }
+}
+
 const PROPTEST_BANKS: &[&[&str]] = &[
     &["/a/b/c", "/a/b/c[x]", "/a/b[c]/c", "/a/b//c"],
     &["//a//b", "//a/b", "//a//b[c]", "//b"],
@@ -279,7 +402,53 @@ const PROPTEST_BANKS: &[&[&str]] = &[
 ];
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(fx_cases(32)))]
+
+    /// Arc-pooled vs fresh-compile parity: the same bank built with the
+    /// shared-residual pool and with per-group fresh (non-Arc) compiles
+    /// must agree on verdicts and `results()` — and with the naive
+    /// oracle — when the document's family segments are emitted in a
+    /// case-chosen permutation, so residual activation order varies
+    /// across cases.
+    #[test]
+    fn pooled_and_unpooled_banks_agree_under_permuted_activation(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let families = 6usize;
+        let bank = random_shared_prefix_bank(
+            &mut rng,
+            &SharedPrefixBankConfig {
+                families,
+                queries_per_family: 4,
+                prefix_depth: 3,
+                cross_family_tails: seed % 2 == 0,
+            },
+        );
+        // Fisher–Yates with the case rng: which families appear, in
+        // which order (activation order follows document order).
+        let mut order: Vec<usize> = (0..families).collect();
+        for i in (1..families).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let active: Vec<usize> = order.into_iter().take(1 + seed as usize % families).collect();
+        let xml = bank.document(&active, 1 + seed as usize % 4, seed as usize % 3);
+
+        let mut pooled = IndexedBank::new(&bank.queries).unwrap();
+        let mut fresh = IndexedBank::new_unpooled(&bank.queries).unwrap();
+        let mut oracle = MultiFilter::new(&bank.queries).unwrap();
+        for e in &fx_xml::parse(&xml).unwrap() {
+            pooled.process(e);
+            fresh.process(e);
+            oracle.process(e);
+        }
+        prop_assert_eq!(pooled.results(), fresh.results(), "pooled vs fresh on {}", &xml);
+        prop_assert_eq!(pooled.matching_queries(), fresh.matching_queries());
+        prop_assert_eq!(pooled.results(), oracle.results(), "pooled vs naive on {}", &xml);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fx_cases(64)))]
 
     /// Proptest-driven parity on generated (bank, document) pairs.
     #[test]

@@ -12,13 +12,27 @@
 //! capped by 4× the budget) and reports mean wall-clock time per
 //! iteration plus derived throughput. No statistics files are written;
 //! results go to stdout, which is what the experiment harness reads.
+//!
+//! Like real criterion, passing `--test` to the bench binary (`cargo
+//! bench -- --test`) switches to *smoke mode*: every benchmark closure
+//! runs exactly once past warm-up, with no timing budget — CI uses this
+//! to prove bench harnesses still execute without paying for a full
+//! measurement run.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when the bench binary was invoked with `--test` (smoke mode):
+/// run each closure once, skip the timing budget.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Throughput annotation for a benchmark group.
 #[derive(Debug, Clone, Copy)]
@@ -190,12 +204,21 @@ fn run_one(
     mut f: impl FnMut(&mut Bencher),
 ) {
     let mut report = None;
+    let (budget, min_batches) = if smoke_mode() {
+        (Duration::ZERO, 1)
+    } else {
+        (criterion.measurement_time, criterion.sample_size)
+    };
     let mut b = Bencher {
-        budget: criterion.measurement_time,
-        min_batches: criterion.sample_size,
+        budget,
+        min_batches,
         report: &mut report,
     };
     f(&mut b);
+    if smoke_mode() {
+        println!("bench: {label:<40} ok (smoke mode: 1 iter)");
+        return;
+    }
     match report {
         Some((iters, elapsed)) if iters > 0 => {
             let per_iter = elapsed.as_secs_f64() / iters as f64;
