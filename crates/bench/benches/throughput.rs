@@ -1,14 +1,22 @@
 //! Experiment E10: filtering throughput — the Õ(|D|·|Q|·r) time claim of
-//! Theorem 8.8, and the engine comparison on linear and twig queries.
+//! Theorem 8.8, the engine comparison on linear and twig queries, and
+//! the **byte-throughput (MB/s) series** over the full parse→filter
+//! pipeline: parse-only, parse + one filter, and parse + a 1024-query
+//! indexed bank, each on the owned-`Event` surface vs the
+//! symbol-interned zero-copy surface (`feed_interned` → `SymEvent`).
+//! The post-PR-5 numbers live in `BENCH_throughput.json` at the repo
+//! root, the perf trajectory later PRs measure against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fx_automata::{BufferingFilter, LazyDfaFilter, NfaFilter};
-use fx_core::StreamFilter;
+use fx_core::{CompiledQuery, IndexedBank, StreamFilter};
 use fx_engine::Engine;
 use fx_workloads as wl;
+use fx_xml::StreamingParser;
 use fx_xpath::parse_query;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn xmark_events(scale: usize) -> Vec<fx_xml::Event> {
     let mut rng = SmallRng::seed_from_u64(42);
@@ -122,9 +130,139 @@ fn bench_query_size_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The xmark document as a byte stream, for the MB/s series.
+fn xmark_xml(scale: usize) -> String {
+    let mut rng = SmallRng::seed_from_u64(42);
+    wl::auction_site(
+        &mut rng,
+        &wl::XmarkConfig {
+            items: 10 * scale,
+            auctions: 6 * scale,
+            people: 5 * scale,
+            category_depth: 4,
+        },
+    )
+    .to_xml()
+}
+
+/// MB/s over the full pipeline, owned vs interned surfaces.
+///
+/// * `parse-only` — tokenize + event assembly, events dropped.
+/// * `parse+filter` — one `//item[price > 300]` frontier filter.
+/// * `parse+indexed-1024` — a 1024-query shared-prefix bank.
+///
+/// The owned rows materialize an `Event` per token (name `String`,
+/// attribute `Vec`); the interned rows run the zero-copy path (names
+/// interned to `Sym`s, payloads borrowed from parser scratch — no
+/// per-event allocation in steady state).
+fn bench_byte_throughput(c: &mut Criterion) {
+    let xml = xmark_xml(4);
+    let mut group = c.benchmark_group("bytes");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("parse-only", "owned"), &xml, |b, xml| {
+        b.iter(|| {
+            let mut p = StreamingParser::new();
+            let mut n = 0usize;
+            p.feed(xml, &mut |_e| n += 1).unwrap();
+            p.finish(&mut |_e| n += 1).unwrap();
+            n
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parse-only", "interned"),
+        &xml,
+        |b, xml| {
+            // One shared table across iterations: steady state, as a
+            // long-running session would run.
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            b.iter(|| {
+                let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+                let mut n = 0usize;
+                p.feed_interned(xml, &mut |_e, _s| n += 1).unwrap();
+                p.finish_interned(&mut |_e, _s| n += 1).unwrap();
+                n
+            });
+        },
+    );
+
+    let q = parse_query("//item[price > 300]").unwrap();
+    group.bench_with_input(BenchmarkId::new("parse+filter", "owned"), &xml, |b, xml| {
+        let mut f = StreamFilter::new(&q).unwrap();
+        b.iter(|| {
+            let mut p = StreamingParser::new();
+            p.feed(xml, &mut |e| f.process(&e)).unwrap();
+            p.finish(&mut |e| f.process(&e)).unwrap();
+            f.result()
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parse+filter", "interned"),
+        &xml,
+        |b, xml| {
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+            let mut f = StreamFilter::from_compiled(compiled);
+            b.iter(|| {
+                let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+                p.feed_interned(xml, &mut |e, s| f.process_sym(e, s))
+                    .unwrap();
+                p.finish_interned(&mut |e, s| f.process_sym(e, s)).unwrap();
+                f.result()
+            });
+        },
+    );
+
+    // The 1024-query indexed bank over its own shared-prefix workload
+    // (two active families), parsed from bytes each iteration.
+    let mut rng = SmallRng::seed_from_u64(0xBEC + 1024);
+    let bank_queries = wl::random_shared_prefix_bank(
+        &mut rng,
+        &wl::SharedPrefixBankConfig {
+            families: 64,
+            queries_per_family: 16,
+            prefix_depth: 3,
+            cross_family_tails: false,
+        },
+    );
+    let bank_xml = bank_queries.document_repeated(&[0, 1], 4, 8, 8);
+    group.throughput(Throughput::Bytes(bank_xml.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("parse+indexed-1024", "owned"),
+        &bank_xml,
+        |b, xml| {
+            let mut ib = IndexedBank::new(&bank_queries.queries).unwrap();
+            b.iter(|| {
+                let mut p = StreamingParser::new();
+                p.feed(xml, &mut |e| ib.process(&e)).unwrap();
+                p.finish(&mut |e| ib.process(&e)).unwrap();
+                ib.matching().count()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("parse+indexed-1024", "interned"),
+        &bank_xml,
+        |b, xml| {
+            let mut ib = IndexedBank::new(&bank_queries.queries).unwrap();
+            let symbols = Arc::clone(ib.symbols());
+            b.iter(|| {
+                let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+                let sink = &mut |_m: fx_core::Match| {};
+                p.feed_interned(xml, &mut |e, s| ib.process_sym_to(e, s, sink))
+                    .unwrap();
+                p.finish_interned(&mut |e, s| ib.process_sym_to(e, s, sink))
+                    .unwrap();
+                ib.matching().count()
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_twig_engines, bench_linear_engines, bench_recursion_scaling, bench_query_size_scaling
+    targets = bench_byte_throughput, bench_twig_engines, bench_linear_engines, bench_recursion_scaling, bench_query_size_scaling
 }
 criterion_main!(benches);

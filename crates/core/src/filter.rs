@@ -25,9 +25,10 @@
 use crate::reporter::{Frame, Match, MatchSink, Reporter};
 use crate::space::SpaceStats;
 use fx_eval::truth::{constraining_predicate, TruthError};
-use fx_xml::{Attribute, Event, SaxHandler, Span};
+use fx_xml::{
+    AttrBuf, Event, EventRef, SaxHandler, Span, Sym, SymAttr, SymCache, SymEvent, Symbols,
+};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -76,11 +77,38 @@ impl std::error::Error for UnsupportedQuery {}
 struct CNode {
     axis: Axis,
     ntest: NodeTest,
+    /// The node test resolved against the compiled query's [`Symbols`]
+    /// table: `None` for a wildcard, otherwise the interned name. The
+    /// per-event node-test check is a single integer compare against
+    /// this — never a string compare.
+    sym: Option<Sym>,
     children: Vec<u32>,
     /// For leaves: the constraining atomic predicate and its variable, or
     /// `None` when `TRUTH(u) = S` (any candidate is a real match).
     leaf_predicate: Option<(Expr, QueryNodeId)>,
     is_leaf: bool,
+}
+
+impl CNode {
+    /// Whether an element or attribute named `name` passes this node's
+    /// test. [`Sym::UNKNOWN`] (a name the table never interned) fails
+    /// every named test and passes every wildcard, exactly like a fresh
+    /// name would.
+    #[inline]
+    fn passes(&self, name: Sym) -> bool {
+        match self.sym {
+            None => true,
+            Some(s) => s == name,
+        }
+    }
+}
+
+/// Resolves a node test against a symbol table (`None` = wildcard).
+fn intern_ntest(symbols: &Symbols, ntest: &NodeTest) -> Option<Sym> {
+    match ntest {
+        NodeTest::Wildcard => None,
+        NodeTest::Name(n) => Some(symbols.intern(n)),
+    }
 }
 
 /// The compiled form of a query accepted by the filter.
@@ -100,11 +128,26 @@ pub struct CompiledQuery {
     pub(crate) out_axes_child: Vec<bool>,
     size: usize,
     source: String,
+    /// The symbol table the node tests were resolved against. Events
+    /// must reach the filter as syms from this same table (the owned
+    /// [`Event`] entry points convert through it automatically).
+    symbols: Arc<Symbols>,
 }
 
 impl CompiledQuery {
-    /// Compiles `q`, verifying it lies in the supported fragment.
+    /// Compiles `q` against a fresh private [`Symbols`] table,
+    /// verifying it lies in the supported fragment. To share one table
+    /// across a bank (so one event conversion serves every query), use
+    /// [`CompiledQuery::compile_with`].
     pub fn compile(q: &Query) -> Result<CompiledQuery, UnsupportedQuery> {
+        CompiledQuery::compile_with(q, Arc::new(Symbols::new()))
+    }
+
+    /// Compiles `q`, interning its node tests into `symbols`.
+    pub fn compile_with(
+        q: &Query,
+        symbols: Arc<Symbols>,
+    ) -> Result<CompiledQuery, UnsupportedQuery> {
         // Fragment checks (§8: leaf-only-value-restricted univariate
         // conjunctive).
         for u in q.all_nodes() {
@@ -135,9 +178,11 @@ impl CompiledQuery {
             if !is_leaf && leaf_predicate.is_some() {
                 return Err(UnsupportedQuery::NotLeafOnlyValueRestricted(u));
             }
+            let ntest = q.ntest(u).cloned().unwrap_or(NodeTest::Wildcard);
             nodes.push(CNode {
                 axis: q.axis(u).unwrap_or(Axis::Child),
-                ntest: q.ntest(u).cloned().unwrap_or(NodeTest::Wildcard),
+                sym: intern_ntest(&symbols, &ntest),
+                ntest,
                 children: q.children(u).iter().map(|c| c.0).collect(),
                 leaf_predicate: if is_leaf { leaf_predicate } else { None },
                 is_leaf,
@@ -169,7 +214,27 @@ impl CompiledQuery {
             out_axes_child,
             size: q.len(),
             source: fx_xpath::to_xpath(q),
+            symbols,
         })
+    }
+
+    /// The symbol table this query's node tests are resolved against.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
+    }
+
+    /// Re-resolves the node tests against `symbols` (a no-op when it is
+    /// already this query's table). Banks call this to unify queries
+    /// compiled against different private tables onto one shared table,
+    /// so a single per-event conversion serves the whole bank.
+    pub fn bind(&mut self, symbols: &Arc<Symbols>) {
+        if Arc::ptr_eq(&self.symbols, symbols) {
+            return;
+        }
+        for n in &mut self.nodes {
+            n.sym = intern_ntest(symbols, &n.ntest);
+        }
+        self.symbols = Arc::clone(symbols);
     }
 
     /// The query size `|Q|`.
@@ -180,6 +245,17 @@ impl CompiledQuery {
     /// The XPath text the query was compiled from.
     pub fn source(&self) -> &str {
         &self.source
+    }
+
+    /// The `(node-test sym, axis)` pairs of the query root's children —
+    /// the records a fresh filter starts with. The indexed bank derives
+    /// *dormancy triggers* from these: until some event selects one of
+    /// them, a residual instance provably holds no state beyond its
+    /// initial records and need not exist at all.
+    pub(crate) fn root_child_specs(&self) -> impl Iterator<Item = (Option<Sym>, Axis)> + '_ {
+        self.root_children
+            .iter()
+            .map(|&c| (self.nodes[c as usize].sym, self.nodes[c as usize].axis))
     }
 
     /// Whether the query can run in *reporting* (selection) mode:
@@ -224,6 +300,21 @@ pub struct StreamFilter {
     /// one compilation: constructing a filter from an existing handle is
     /// a reference-count bump, never a recompilation or deep clone.
     query: Arc<CompiledQuery>,
+    /// All mutable per-document state, split from `query` so the event
+    /// handlers borrow the compiled query and the state disjointly —
+    /// no per-event `Arc` traffic, no cloning of compiled nodes.
+    st: FilterState,
+    /// Reused attribute buffer for the owned-event conversion layer.
+    attr_scratch: AttrBuf,
+    /// Lock-free name-lookup memo for the owned-event conversion layer.
+    name_cache: SymCache,
+}
+
+/// The mutable half of a [`StreamFilter`]: the frontier table and every
+/// per-document accumulator, plus the reused per-event scratch buffers
+/// that keep the handlers allocation-free in steady state.
+#[derive(Debug, Clone)]
+struct FilterState {
     frontier: Vec<FrontierRecord>,
     buffer: String,
     buffer_refs: usize,
@@ -242,6 +333,24 @@ pub struct StreamFilter {
     /// multi-query bank re-run the (recursive) early-decision check only
     /// when it could possibly have changed.
     match_progress: u64,
+    /// Reused per-event scratch: indices of child-axis records leaving
+    /// the table at a `startElement`.
+    scratch_remove: Vec<usize>,
+    /// Reused per-event scratch: records spawned at a `startElement`.
+    scratch_insert: Vec<FrontierRecord>,
+    /// Reused per-event scratch: distinct parents folded at an
+    /// `endElement`.
+    scratch_parents: Vec<u32>,
+    /// Reused per-event scratch: `(parent, all_matched, pred_matched)`
+    /// fold results of an `endElement`.
+    scratch_groups: Vec<(u32, bool, bool)>,
+    /// The arguments of the last delivered `SpaceStats::observe` call:
+    /// `(rows, stack entries, buffer bytes, level)`. A snapshot whose
+    /// components are all ≤ these is dominated (the bits formula is
+    /// monotone in every argument), so it cannot move any maximum and
+    /// is skipped — most events of a steady stream don't re-enter the
+    /// observation arithmetic at all.
+    observe_snap: (usize, usize, usize, usize),
 }
 
 impl StreamFilter {
@@ -264,16 +373,25 @@ impl StreamFilter {
         let size = query.size();
         StreamFilter {
             query,
-            frontier: Vec::new(),
-            buffer: String::new(),
-            buffer_refs: 0,
-            current_level: 0,
-            stats: SpaceStats::new(size),
-            result: None,
-            reporter: None,
-            element_ordinal: 0,
-            removed_matched: Vec::new(),
-            match_progress: 0,
+            st: FilterState {
+                frontier: Vec::new(),
+                buffer: String::new(),
+                buffer_refs: 0,
+                current_level: 0,
+                stats: SpaceStats::new(size),
+                result: None,
+                reporter: None,
+                element_ordinal: 0,
+                removed_matched: Vec::new(),
+                match_progress: 0,
+                scratch_remove: Vec::new(),
+                scratch_insert: Vec::new(),
+                scratch_parents: Vec::new(),
+                scratch_groups: Vec::new(),
+                observe_snap: (0, 0, 0, 0),
+            },
+            attr_scratch: AttrBuf::new(),
+            name_cache: SymCache::new(),
         }
     }
 
@@ -299,7 +417,7 @@ impl StreamFilter {
     ) -> Result<StreamFilter, UnsupportedQuery> {
         query.reporting_supported()?;
         let mut f = StreamFilter::from_shared(query);
-        f.reporter = Some(Reporter::default());
+        f.st.reporter = Some(Reporter::default());
         Ok(f)
     }
 
@@ -320,7 +438,7 @@ impl StreamFilter {
     /// incrementally (the `run_reporting` path) every confirmed position
     /// accumulates there and this returns the complete result set.
     pub fn matched_positions(&self) -> Option<Vec<u64>> {
-        match (&self.reporter, self.result) {
+        match (&self.st.reporter, self.st.result) {
             (Some(rep), Some(_)) => Some(rep.results()),
             _ => None,
         }
@@ -333,7 +451,7 @@ impl StreamFilter {
     ///
     /// No-op in filtering (non-reporting) mode.
     pub fn drain_matches(&mut self, query: usize, sink: &mut dyn MatchSink) {
-        if let Some(rep) = &mut self.reporter {
+        if let Some(rep) = &mut self.st.reporter {
             for (ordinal, span) in rep.drain_outbox() {
                 sink.on_match(Match {
                     query,
@@ -349,12 +467,12 @@ impl StreamFilter {
     /// ancestor chains already resolved are emitted immediately and never
     /// counted here.
     pub fn peak_pending_positions(&self) -> usize {
-        self.reporter.as_ref().map_or(0, |r| r.max_pendings)
+        self.st.reporter.as_ref().map_or(0, |r| r.max_pendings)
     }
 
     /// True when this filter reports positions (selection mode).
     pub fn is_reporting(&self) -> bool {
-        self.reporter.is_some()
+        self.st.reporter.is_some()
     }
 
     /// Feeds a slice of events.
@@ -382,27 +500,104 @@ impl StreamFilter {
     /// Feeds one event together with its source byte span, so reporting
     /// mode can stamp each confirmed match with the element's full
     /// source range (start tag through end tag).
+    ///
+    /// This is the owned-event conversion layer: the name is resolved
+    /// to a [`Sym`] through the compiled query's table (a read-only
+    /// lookup) and dispatch proceeds on integers. Sources that already
+    /// hold interned events (`fx_xml::StreamingParser::feed_interned`)
+    /// should call [`StreamFilter::process_sym`] directly and skip the
+    /// lookup.
     pub fn process_spanned(&mut self, event: &Event, span: Span) {
+        self.process_ref(event.as_ref(), span);
+    }
+
+    /// [`StreamFilter::process_spanned`] over a borrowed
+    /// [`EventRef`] — no owned `Event` needs to exist. Names are
+    /// resolved through a per-filter lock-free [`SymCache`]; unknown
+    /// names become [`Sym::UNKNOWN`] and fail every named node test.
+    pub fn process_ref(&mut self, event: EventRef<'_>, span: Span) {
         match event {
-            Event::StartDocument => self.start_document(),
-            Event::EndDocument => self.end_document(),
-            Event::StartElement { name, attributes } => self.start_element(name, attributes, span),
-            Event::EndElement { name } => self.end_element(name, span),
-            Event::Text { content } => self.text(content),
+            EventRef::StartDocument => self.process_sym(SymEvent::StartDocument, span),
+            EventRef::EndDocument => self.process_sym(SymEvent::EndDocument, span),
+            EventRef::StartElement { name, attributes } => {
+                let sym = self.name_cache.lookup(self.query.symbols(), name);
+                if attributes.is_empty() {
+                    self.process_sym(
+                        SymEvent::StartElement {
+                            name: sym,
+                            attributes: &[],
+                        },
+                        span,
+                    );
+                } else {
+                    let mut scratch = std::mem::take(&mut self.attr_scratch);
+                    let attrs = scratch.fill_from_cached(
+                        &mut self.name_cache,
+                        self.query.symbols(),
+                        attributes,
+                    );
+                    self.process_sym(
+                        SymEvent::StartElement {
+                            name: sym,
+                            attributes: attrs,
+                        },
+                        span,
+                    );
+                    self.attr_scratch = scratch;
+                }
+            }
+            EventRef::EndElement { name } => {
+                let sym = self.name_cache.lookup(self.query.symbols(), name);
+                self.process_sym(SymEvent::EndElement { name: sym }, span);
+            }
+            EventRef::Text { content } => self.process_sym(SymEvent::Text { content }, span),
         }
-        self.stats.events += 1;
-        let stacks: usize = self.frontier.iter().map(|r| r.str_starts.len()).sum();
-        self.stats.observe(
-            self.frontier.len(),
-            stacks,
-            self.buffer.len(),
-            self.current_level,
+    }
+
+    /// Feeds one *interned* event: the allocation-free hot path. The
+    /// event's syms must come from this filter's compiled table
+    /// ([`CompiledQuery::symbols`]) — feed the same table to the parser
+    /// (`StreamingParser::with_symbols`) and the names meet as equal
+    /// integers.
+    pub fn process_sym(&mut self, event: SymEvent<'_>, span: Span) {
+        // Disjoint borrows: the compiled query is read, the state is
+        // mutated — no per-event refcount traffic, no cloning.
+        let q: &CompiledQuery = &self.query;
+        let st = &mut self.st;
+        match event {
+            SymEvent::StartDocument => st.start_document(q),
+            SymEvent::EndDocument => st.end_document(q),
+            SymEvent::StartElement { name, attributes } => {
+                st.start_element(q, name, attributes, span)
+            }
+            SymEvent::EndElement { name } => st.end_element(q, name, span),
+            SymEvent::Text { content } => st.text(content),
+        }
+        st.stats.events += 1;
+        // `buffer_refs` counts the open leaf candidacies, which is
+        // exactly the total of per-record offset-stack entries.
+        let snap = (
+            st.frontier.len(),
+            st.buffer_refs,
+            st.buffer.len(),
+            st.current_level,
         );
+        let dominated = snap.0 <= st.observe_snap.0
+            && snap.1 <= st.observe_snap.1
+            && snap.2 <= st.observe_snap.2
+            && snap.3 <= st.observe_snap.3;
+        if !dominated {
+            // The snapshot must be a tuple that was actually observed —
+            // a pointwise max of several would dominate points whose
+            // bits exceed every real observation.
+            st.observe_snap = snap;
+            st.stats.observe(snap.0, snap.1, snap.2, snap.3);
+        }
     }
 
     /// The verdict, available after `endDocument`.
     pub fn result(&self) -> Option<bool> {
-        self.result
+        self.st.result
     }
 
     /// Early decision: `Some(verdict)` as soon as the verdict can no
@@ -419,17 +614,17 @@ impl StreamFilter {
     /// must still be examined), and an undecided filter reports `None`
     /// until `endDocument`.
     pub fn decided(&self) -> Option<bool> {
-        if self.result.is_some() {
-            return self.result;
+        if self.st.result.is_some() {
+            return self.st.result;
         }
-        if self.reporter.is_some() {
+        if self.st.reporter.is_some() {
             return None;
         }
         if self
             .query
             .root_children
             .iter()
-            .all(|&v| self.satisfied_at(v, 0))
+            .all(|&v| self.st.satisfied_at(&self.query, v, 0))
         {
             return Some(true);
         }
@@ -441,8 +636,8 @@ impl StreamFilter {
         // match and the conjunction is dead. This is the dominant
         // dissemination case: most `/doc[...]`-shaped filters die on the
         // root tag of a non-matching document.
-        if self.current_level > 0 {
-            let impossible = self.frontier.iter().any(|r| {
+        if self.st.current_level > 0 {
+            let impossible = self.st.frontier.iter().any(|r| {
                 r.level == 0
                     && !r.matched
                     && r.str_starts.is_empty()
@@ -462,16 +657,76 @@ impl StreamFilter {
     /// callers polling it per event (the multi-query bank) re-check only
     /// when this value moved — keeping the polling off the hot path.
     pub fn match_progress(&self) -> u64 {
-        self.match_progress
+        self.st.match_progress
     }
 
-    /// Whether query node `u`, expected at frontier level `level`, is
-    /// already guaranteed a real match. Either its record is matched, or
-    /// `u` is mid-candidacy (child-axis records leave the table then) and
-    /// every child is satisfied one level deeper — in which case the
-    /// candidacy's close is guaranteed to fold `u` to matched, because
-    /// matched flags are monotone in filtering mode.
-    fn satisfied_at(&self, u: u32, level: usize) -> bool {
+    /// Fast-forwards a freshly-started filter to document level
+    /// `level`, as if it had processed `level` enclosing start tags
+    /// none of which selected any record. Sound exactly when that is
+    /// true — the indexed bank's dormant activations guarantee it (the
+    /// first *selecting* event is the one that wakes the instance), in
+    /// which case the skipped events could only have moved the level,
+    /// the ordinal counter (compensated via the bank's ordinal offset)
+    /// and the space statistics (intentionally not charged: the state
+    /// genuinely never existed). In reporting mode the missed ancestors
+    /// get empty frames — correct, since none of them was a candidate.
+    pub(crate) fn fast_forward(&mut self, level: usize) {
+        self.st.current_level = level;
+        if let Some(rep) = &mut self.st.reporter {
+            for _ in 0..level {
+                rep.open_element(Frame::default());
+            }
+        }
+    }
+
+    /// Resets the cumulative space/pending statistics to a fresh-filter
+    /// state, so a *pooled* filter (the indexed bank recycles retired
+    /// residual instances) reports exactly what a newly-spawned one
+    /// would. Frontier state is reset by the next `StartDocument` as
+    /// usual; only the monotone counters need explicit clearing.
+    pub(crate) fn reset_metrics(&mut self) {
+        self.st.stats = SpaceStats::new(self.query.size());
+        self.st.observe_snap = (0, 0, 0, 0);
+        if let Some(rep) = &mut self.st.reporter {
+            rep.reset();
+            rep.max_pendings = 0;
+        }
+    }
+
+    /// The space statistics gathered so far.
+    pub fn stats(&self) -> &SpaceStats {
+        &self.st.stats
+    }
+
+    /// Peak logical memory, in bits — shorthand for `stats().max_bits`,
+    /// mirroring the automata baselines' accessor of the same name.
+    pub fn peak_memory_bits(&self) -> u64 {
+        self.st.stats.max_bits
+    }
+
+    /// A snapshot of the frontier table (for tracing, cf. Fig. 22).
+    pub fn frontier(&self) -> &[FrontierRecord] {
+        &self.st.frontier
+    }
+
+    /// Renders a frontier record's node test (for traces).
+    pub fn ntest_of(&self, node: u32) -> String {
+        self.query.nodes[node as usize].ntest.to_string()
+    }
+}
+
+/// The event handlers (Figs. 20–21), on the mutable half: each takes
+/// the compiled query as a plain borrow, so reading node data and
+/// mutating the frontier cost nothing beyond the work itself.
+impl FilterState {
+    /// See [`StreamFilter::decided`]: whether query node `u`, expected
+    /// at frontier level `level`, is already guaranteed a real match.
+    /// Either its record is matched, or `u` is mid-candidacy (child-axis
+    /// records leave the table then) and every child is satisfied one
+    /// level deeper — in which case the candidacy's close is guaranteed
+    /// to fold `u` to matched, because matched flags are monotone in
+    /// filtering mode.
+    fn satisfied_at(&self, q: &CompiledQuery, u: u32, level: usize) -> bool {
         if self
             .frontier
             .iter()
@@ -479,37 +734,16 @@ impl StreamFilter {
         {
             return true;
         }
-        let n = &self.query.nodes[u as usize];
+        let n = &q.nodes[u as usize];
         if n.is_leaf || n.axis == Axis::Attribute {
             return false;
         }
-        n.children.iter().all(|&c| self.satisfied_at(c, level + 1))
+        n.children
+            .iter()
+            .all(|&c| self.satisfied_at(q, c, level + 1))
     }
 
-    /// The space statistics gathered so far.
-    pub fn stats(&self) -> &SpaceStats {
-        &self.stats
-    }
-
-    /// Peak logical memory, in bits — shorthand for `stats().max_bits`,
-    /// mirroring the automata baselines' accessor of the same name.
-    pub fn peak_memory_bits(&self) -> u64 {
-        self.stats.max_bits
-    }
-
-    /// A snapshot of the frontier table (for tracing, cf. Fig. 22).
-    pub fn frontier(&self) -> &[FrontierRecord] {
-        &self.frontier
-    }
-
-    /// Renders a frontier record's node test (for traces).
-    pub fn ntest_of(&self, node: u32) -> String {
-        self.query.nodes[node as usize].ntest.to_string()
-    }
-
-    // -- event handlers (Figs. 20–21) --------------------------------------
-
-    fn start_document(&mut self) {
+    fn start_document(&mut self, q: &CompiledQuery) {
         // The document root is, by definition, the unique candidate match
         // for ROOT(Q); its children enter the frontier at level 0.
         self.frontier.clear();
@@ -523,7 +757,7 @@ impl StreamFilter {
         if let Some(rep) = &mut self.reporter {
             rep.reset();
         }
-        for &v in self.query.root_children.clone().iter() {
+        for &v in &q.root_children {
             self.frontier.push(FrontierRecord {
                 node: v,
                 matched: false,
@@ -533,7 +767,7 @@ impl StreamFilter {
         }
     }
 
-    fn start_element(&mut self, name: &str, attributes: &[Attribute], span: Span) {
+    fn start_element(&mut self, q: &CompiledQuery, name: Sym, attributes: &[SymAttr], span: Span) {
         let lvl = self.current_level;
         let reporting = self.reporter.is_some();
         let ordinal = self.element_ordinal;
@@ -544,54 +778,55 @@ impl StreamFilter {
             // dead from here on (see `decided`).
             self.match_progress += 1;
         }
-        // Select the frontier records for which this element is a
-        // candidate match (Fig. 20 lines 1–4). In reporting mode, records
-        // on the output path stay candidates even after a real match was
-        // found elsewhere: full evaluation must examine *every* candidate,
-        // not stop at the first.
-        let mut selected: Vec<usize> = Vec::new();
-        for (i, rec) in self.frontier.iter().enumerate() {
-            let on_path = self.query.path_index[rec.node as usize].is_some();
-            if rec.matched && !(reporting && on_path) {
-                continue;
-            }
-            let n = &self.query.nodes[rec.node as usize];
-            if n.axis == Axis::Attribute {
-                continue; // attribute records resolve from start tags below
-            }
-            if !n.ntest.passes(name) {
+        let mut frame = if reporting {
+            Some(Frame {
+                ordinal,
+                span_start: span.start,
+                ..Frame::default()
+            })
+        } else {
+            None
+        };
+        // One pass over the pre-existing records: select the frontier
+        // records for which this element is a candidate match (Fig. 20
+        // lines 1–4) and process each selection in place — leaves begin
+        // buffering; internal nodes spawn child records (and child-axis
+        // records temporarily leave the table, Fig. 20 lines 10–11).
+        // Selection reads only the record under the cursor, so fusing
+        // the passes changes nothing; removals and insertions are staged
+        // in reused scratch buffers and applied after the scan, keeping
+        // the original table order and the whole pass allocation-free.
+        // In reporting mode, records on the output path stay candidates
+        // even after a real match was found elsewhere: full evaluation
+        // must examine *every* candidate, not stop at the first.
+        debug_assert!(self.scratch_remove.is_empty() && self.scratch_insert.is_empty());
+        for i in 0..self.frontier.len() {
+            let rec = &self.frontier[i];
+            let node = rec.node;
+            // Cheapest rejections first: the node test (one integer
+            // compare) and the level check throw out almost every
+            // (record, event) pair before any further loads.
+            let n = &q.nodes[node as usize];
+            if !n.passes(name) {
                 continue;
             }
             let level_ok = match n.axis {
                 Axis::Descendant => lvl >= rec.level,
+                Axis::Attribute => false, // resolve from start tags below
                 _ => lvl == rec.level,
             };
-            if level_ok {
-                selected.push(i);
+            if !level_ok {
+                continue;
             }
-        }
-        let mut frame = Frame {
-            ordinal,
-            span_start: span.start,
-            ..Frame::default()
-        };
-        // Process selections: leaves begin buffering; internal nodes spawn
-        // child records (and child-axis records temporarily leave the
-        // table, Fig. 20 lines 10–11).
-        let mut to_remove: Vec<usize> = Vec::new();
-        let mut to_insert: Vec<FrontierRecord> = Vec::new();
-        for &i in &selected {
-            let node = self.frontier[i].node;
-            let n = self.query.nodes[node as usize].clone();
-            if reporting {
-                if let Some(idx) = self.query.path_index[node as usize] {
+            if rec.matched && !(reporting && q.path_index[node as usize].is_some()) {
+                continue;
+            }
+            if let Some(frame) = &mut frame {
+                if let Some(idx) = q.path_index[node as usize] {
                     if !frame.candidates.contains(&idx) {
                         frame.candidates.push(idx);
                     }
-                    if n.is_leaf
-                        && n.leaf_predicate.is_none()
-                        && idx as usize == self.query.out_path.len()
-                    {
+                    if n.is_leaf && n.leaf_predicate.is_none() && idx as usize == q.out_path.len() {
                         frame.out_leaf_unrestricted = true;
                     }
                 }
@@ -612,21 +847,21 @@ impl StreamFilter {
                         self.removed_matched
                             .push((node, lvl, self.frontier[i].matched));
                     }
-                    to_remove.push(i);
+                    self.scratch_remove.push(i);
                 }
                 for &v in &n.children {
-                    let vn = &self.query.nodes[v as usize];
+                    let vn = &q.nodes[v as usize];
                     if vn.axis == Axis::Attribute {
                         // Attributes arrive with this very start tag:
                         // resolve immediately.
                         let matched = attributes.iter().any(|a| {
-                            vn.ntest.passes(&a.name)
+                            vn.passes(a.name)
                                 && vn.children.is_empty()
                                 && Self::value_in_truth(vn, &a.value)
                         });
                         if let Some(w) = attributes
                             .iter()
-                            .find(|a| vn.ntest.passes(&a.name))
+                            .find(|a| vn.passes(a.name))
                             .map(|a| a.value.chars().count())
                         {
                             self.stats.observe_text_width(w);
@@ -634,14 +869,14 @@ impl StreamFilter {
                         if matched {
                             self.match_progress += 1;
                         }
-                        to_insert.push(FrontierRecord {
+                        self.scratch_insert.push(FrontierRecord {
                             node: v,
                             matched,
                             level: lvl + 1,
                             str_starts: Vec::new(),
                         });
                     } else {
-                        to_insert.push(FrontierRecord {
+                        self.scratch_insert.push(FrontierRecord {
                             node: v,
                             matched: false,
                             level: lvl + 1,
@@ -652,12 +887,12 @@ impl StreamFilter {
             }
         }
         // Apply removals back-to-front so indices stay valid.
-        for &i in to_remove.iter().rev() {
+        while let Some(i) = self.scratch_remove.pop() {
             self.frontier.remove(i);
         }
-        self.frontier.extend(to_insert);
+        self.frontier.append(&mut self.scratch_insert);
         self.current_level = lvl + 1;
-        if let Some(rep) = &mut self.reporter {
+        if let (Some(rep), Some(frame)) = (&mut self.reporter, frame) {
             rep.open_element(frame);
         }
     }
@@ -675,7 +910,7 @@ impl StreamFilter {
         }
     }
 
-    fn end_element(&mut self, name: &str, span: Span) {
+    fn end_element(&mut self, q: &CompiledQuery, name: Sym, span: Span) {
         // Saturate on malformed streams (the paper lets algorithms behave
         // arbitrarily on them, but we must not crash: the lower-bound
         // prober feeds crossed prefix/suffix pairs that may be malformed).
@@ -685,15 +920,15 @@ impl StreamFilter {
         // 1. Leaf records whose candidacy ends here: evaluate the buffered
         //    string value against TRUTH(u) (Fig. 21 lines 2–10).
         let reporting = self.reporter.is_some();
-        let out_node = self.query.out_path.last().copied();
+        let out_node = q.out_path.last().copied();
         let mut out_leaf_value: Option<bool> = None;
         for i in 0..self.frontier.len() {
             let node = self.frontier[i].node;
-            let n = &self.query.nodes[node as usize];
-            if !n.is_leaf || n.leaf_predicate.is_none() || n.axis == Axis::Attribute {
+            let n = &q.nodes[node as usize];
+            if !n.passes(name) {
                 continue;
             }
-            if !n.ntest.passes(name) {
+            if !n.is_leaf || n.leaf_predicate.is_none() || n.axis == Axis::Attribute {
                 continue;
             }
             let level_ok = match n.axis {
@@ -707,12 +942,11 @@ impl StreamFilter {
                 .str_starts
                 .pop()
                 .expect("checked non-empty");
-            let value = self.buffer[start..].to_string();
+            let value = &self.buffer[start..];
             self.stats.observe_text_width(value.chars().count());
             let needs_value = !self.frontier[i].matched || (reporting && Some(node) == out_node);
             if needs_value {
-                let n = &self.query.nodes[node as usize];
-                let ok = Self::value_in_truth(n, &value);
+                let ok = Self::value_in_truth(n, value);
                 self.frontier[i].matched |= ok;
                 if ok {
                     self.match_progress += 1;
@@ -730,27 +964,27 @@ impl StreamFilter {
         // 2. Child records of candidates ending at this element: group by
         //    parent, conjoin their matched flags, and fold into the parent
         //    record (Fig. 21 lines 11–29, with `matched ∨= m`).
-        let mut parents: Vec<u32> = Vec::new();
+        debug_assert!(self.scratch_parents.is_empty() && self.scratch_groups.is_empty());
         for rec in &self.frontier {
             if rec.level > lvl {
-                let p = self.parent_of(rec.node);
-                if !parents.contains(&p) {
-                    parents.push(p);
+                let p = q.parents[rec.node as usize];
+                if !self.scratch_parents.contains(&p) {
+                    self.scratch_parents.push(p);
                 }
             }
         }
-        let mut group: HashMap<u32, (bool, bool)> = HashMap::new();
-        for p in parents {
+        for pi in 0..self.scratch_parents.len() {
+            let p = self.scratch_parents[pi];
             // The successor child does not participate in the *predicate*
             // conjunction (it is the output-path continuation).
-            let successor = self.query.path_index[p as usize]
-                .and_then(|idx| self.query.out_path.get(idx as usize).copied());
+            let successor =
+                q.path_index[p as usize].and_then(|idx| q.out_path.get(idx as usize).copied());
             let mut all_matched = true;
             let mut pred_matched = true;
             let mut k = 0;
             while k < self.frontier.len() {
                 let rec = &self.frontier[k];
-                if rec.level > lvl && self.parent_of(rec.node) == p {
+                if rec.level > lvl && q.parents[rec.node as usize] == p {
                     all_matched &= rec.matched;
                     if Some(rec.node) != successor {
                         pred_matched &= rec.matched;
@@ -760,11 +994,11 @@ impl StreamFilter {
                     k += 1;
                 }
             }
-            group.insert(p, (all_matched, pred_matched));
+            self.scratch_groups.push((p, all_matched, pred_matched));
             if all_matched {
                 self.match_progress += 1;
             }
-            let pn = &self.query.nodes[p as usize];
+            let pn = &q.nodes[p as usize];
             if pn.axis == Axis::Descendant {
                 // The record(s) for p are still in the table; accumulate
                 // into every live candidacy (under parent recursion the
@@ -796,26 +1030,23 @@ impl StreamFilter {
                 });
             }
         }
+        self.scratch_parents.clear();
         if let Some(rep) = &mut self.reporter {
             rep.close_element(
-                &group,
+                &self.scratch_groups,
                 out_leaf_value,
-                &self.query.out_path,
-                &self.query.out_axes_child,
+                &q.out_path,
+                &q.out_axes_child,
                 span.end,
             );
         }
+        self.scratch_groups.clear();
     }
 
-    fn parent_of(&self, node: u32) -> u32 {
-        self.query.parents[node as usize]
-    }
-
-    fn end_document(&mut self) {
+    fn end_document(&mut self, q: &CompiledQuery) {
         // The document root is a real match for ROOT(Q) iff every child of
         // ROOT(Q) found a real match.
-        let verdict = self
-            .query
+        let verdict = q
             .root_children
             .iter()
             .all(|&v| self.frontier.iter().any(|r| r.node == v && r.matched));
@@ -825,22 +1056,19 @@ impl StreamFilter {
 
 impl SaxHandler for StreamFilter {
     fn start_document(&mut self) {
-        self.process(&Event::StartDocument);
+        self.process_ref(EventRef::StartDocument, Span::EMPTY);
     }
     fn end_document(&mut self) {
-        self.process(&Event::EndDocument);
+        self.process_ref(EventRef::EndDocument, Span::EMPTY);
     }
-    fn start_element(&mut self, name: &str, attributes: &[Attribute]) {
-        self.process(&Event::StartElement {
-            name: name.to_string(),
-            attributes: attributes.to_vec(),
-        });
+    fn start_element(&mut self, name: &str, attributes: &[fx_xml::Attribute]) {
+        self.process_ref(EventRef::StartElement { name, attributes }, Span::EMPTY);
     }
     fn end_element(&mut self, name: &str) {
-        self.process(&Event::end(name));
+        self.process_ref(EventRef::EndElement { name }, Span::EMPTY);
     }
     fn text(&mut self, content: &str) {
-        self.process(&Event::text(content));
+        self.process_ref(EventRef::Text { content }, Span::EMPTY);
     }
 }
 
@@ -1031,7 +1259,7 @@ mod tests {
         assert_eq!(f.result(), Some(true));
         assert_eq!(f.stats().max_buffer_bytes, 6);
         assert!(
-            f.buffer.is_empty(),
+            f.st.buffer.is_empty(),
             "buffer must be reset when refcount hits 0"
         );
     }

@@ -67,11 +67,26 @@ use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
 use crate::space::bits_for;
 use fx_analysis::{canonical_key, canonical_steps, sharable_prefix_of, CanonicalStep};
-use fx_xml::{Event, Span};
+use fx_xml::{AttrBuf, Event, EventRef, Span, Sym, SymCache, SymEvent, Symbols};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The record/node code standing for a wildcard node test. Interned
+/// sym ids never reach it (the table asserts well below `u32::MAX - 1`)
+/// and [`Sym::UNKNOWN`] is `u32::MAX`, so the three-way name check is
+/// two integer compares with no `Option` unwrapping.
+const WILDCARD_CODE: u32 = u32::MAX - 1;
+
+/// The dense dispatch code of a node test: its interned sym id, or
+/// [`WILDCARD_CODE`].
+fn sym_code(sym: Option<Sym>) -> u32 {
+    match sym {
+        None => WILDCARD_CODE,
+        Some(s) => s.index() as u32,
+    }
+}
 
 /// Process-wide count of [`CompiledResidual`] constructions, for
 /// measurement harnesses (the multi_query bench reports builds per
@@ -125,6 +140,11 @@ impl CompiledResidual {
 struct TrieNode {
     axis: Axis,
     ntest: NodeTest,
+    /// The node test's dense dispatch code ([`sym_code`]): the open
+    /// frontier records inline it, so the per-event shared-segment scan
+    /// touches a flat record array only — no trie chasing, no string
+    /// hashing or comparison.
+    code: u32,
     children: Vec<u32>,
     /// Groups whose entire chain ends here: a predicate-free linear
     /// query. An activation of this node *is* a match; no per-query
@@ -174,6 +194,55 @@ struct Instance {
     noted_pending: usize,
 }
 
+/// One open occurrence of a trie path in the shared frontier segment.
+/// The node test's dispatch code and axis are denormalized out of the
+/// trie so the per-event scan is a linear pass over a flat array of
+/// 16-byte records doing integer compares — the hot loop the symbol
+/// table exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TrieRec {
+    /// The trie node this record tracks.
+    node: u32,
+    /// Insertion level (exact-match level for child-axis nodes, minimum
+    /// level for descendant-axis nodes).
+    level: u32,
+    /// The node's [`sym_code`].
+    code: u32,
+    /// Whether the node's axis is `Descendant`.
+    descendant: bool,
+}
+
+/// A *dormant* activation: a divergence point was reached for `group`
+/// at `root_level`, but no residual instance exists yet. Until some
+/// event inside the activation subtree actually selects one of the
+/// residual's root records (see [`ResidualTriggers`]), an instance
+/// would provably hold nothing beyond its initial frontier records —
+/// so the bank holds this 16-byte entry instead of a live filter, and
+/// events cost the dormant group two integer compares instead of a
+/// full filter step. Activations whose subtree never exhibits a
+/// matching child retire without the instance ever existing.
+#[derive(Debug, Clone, Copy)]
+struct Dormant {
+    group: u32,
+    /// Document level of the activating element; `-1` for
+    /// document-rooted groups.
+    root_level: i64,
+}
+
+/// The wake-up conditions of a residual form's dormant activations:
+/// one `(dispatch code, is-descendant)` pair per root-child record of
+/// the compiled residual. A start event at relative depth `rel` inside
+/// the activation subtree fires iff some pair matches the event's name
+/// code (or is a wildcard) and either is descendant-axis or `rel == 0`.
+#[derive(Debug, Clone)]
+struct ResidualTriggers {
+    /// False when the residual's root children include an attribute
+    /// axis — those resolve off candidate start tags the dormant check
+    /// does not model, so such groups spawn eagerly as before.
+    eligible: bool,
+    specs: Vec<(u32, bool)>,
+}
+
 /// An indexed bank of streaming filters sharing one event feed *and*
 /// the evaluation of common query prefixes.
 ///
@@ -202,6 +271,11 @@ pub struct IndexedBank {
     root_groups: Vec<u32>,
     /// Bank index → group index.
     query_group: Vec<u32>,
+    /// The bank's shared symbol table: trie node tests and every
+    /// compiled residual resolve against it, so one per-event
+    /// conversion (or an already-interned event from a parser sharing
+    /// the table) serves the whole bank.
+    symbols: Arc<Symbols>,
     /// Bank indices of the queries whose prefixes live in the trie
     /// (everything except empty-prefix root groups): the sharers the
     /// shared-trie bits are attributed across.
@@ -209,10 +283,29 @@ pub struct IndexedBank {
     reporting: bool,
 
     // -- per-document state -------------------------------------------------
-    /// The shared frontier segment: one `(trie node, insertion level)`
-    /// record per open occurrence of a trie path.
-    records: Vec<(u32, u32)>,
+    /// The shared frontier segment: one record per open occurrence of a
+    /// trie path, with the node test's dispatch code and axis inlined so
+    /// the per-event scan reads this flat array and nothing else.
+    records: Vec<TrieRec>,
     instances: Vec<Instance>,
+    /// Reused per-event scratch: trie nodes the current start tag
+    /// activated.
+    scratch_activated: Vec<u32>,
+    /// Reused attribute buffer for the owned-event conversion layer.
+    attr_scratch: AttrBuf,
+    /// Lock-free name-lookup memo for the owned-event conversion layer.
+    name_cache: SymCache,
+    /// Dormant activations (see [`Dormant`]): divergence points reached
+    /// whose residual instances have not been woken yet.
+    dormant: Vec<Dormant>,
+    /// Per compiled-residual wake-up specs for dormant activations.
+    residual_triggers: Vec<ResidualTriggers>,
+    /// Retired residual-instance filters, pooled per compiled-residual
+    /// id: spawning an activation pops one (metrics reset, state reset
+    /// by its `StartDocument`) instead of allocating fresh frontier and
+    /// scratch buffers — the instance churn of a busy document touches
+    /// the allocator only until the pool warms.
+    free_filters: Vec<Vec<StreamFilter>>,
     current_level: u32,
     element_ordinal: u64,
     /// Terminal activations awaiting their close tag (for the span):
@@ -308,7 +401,17 @@ impl IndexedBank {
     /// first unsupported one (with its bank index), exactly like
     /// [`crate::MultiFilter::new`].
     pub fn new(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        IndexedBank::build(queries, false, true)
+        IndexedBank::build(queries, false, true, Arc::new(Symbols::new()))
+    }
+
+    /// [`IndexedBank::new`] interning into a caller-supplied symbol
+    /// table — the engine passes its own so parser-side interned events
+    /// dispatch straight into the trie.
+    pub fn new_with_symbols(
+        queries: &[Query],
+        symbols: Arc<Symbols>,
+    ) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        IndexedBank::build(queries, false, true, symbols)
     }
 
     /// Compiles and indexes a *selection* bank: every query runs in
@@ -317,7 +420,16 @@ impl IndexedBank {
     /// with the index of the first query whose output node cannot be
     /// reported.
     pub fn new_reporting(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        IndexedBank::build(queries, true, true)
+        IndexedBank::build(queries, true, true, Arc::new(Symbols::new()))
+    }
+
+    /// [`IndexedBank::new_reporting`] interning into a caller-supplied
+    /// symbol table.
+    pub fn new_reporting_with_symbols(
+        queries: &[Query],
+        symbols: Arc<Symbols>,
+    ) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
+        IndexedBank::build(queries, true, true, symbols)
     }
 
     /// A filtering bank that skips the shared-residual pool: every
@@ -327,17 +439,19 @@ impl IndexedBank {
     /// `indexed_differential` proptests); production code wants
     /// [`IndexedBank::new`].
     pub fn new_unpooled(queries: &[Query]) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        IndexedBank::build(queries, false, false)
+        IndexedBank::build(queries, false, false, Arc::new(Symbols::new()))
     }
 
     fn build(
         queries: &[Query],
         reporting: bool,
         pooled: bool,
+        symbols: Arc<Symbols>,
     ) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
         let mut trie = vec![TrieNode {
             axis: Axis::Child,
             ntest: NodeTest::Wildcard,
+            code: WILDCARD_CODE,
             children: Vec::new(),
             terminal: Vec::new(),
             residual: Vec::new(),
@@ -353,7 +467,8 @@ impl IndexedBank {
         for (i, q) in queries.iter().enumerate() {
             // Validate the full query exactly like the naive bank, so
             // unsupported queries fail with the same index either way.
-            let compiled = CompiledQuery::compile(q).map_err(|e| (i, e))?;
+            let compiled =
+                CompiledQuery::compile_with(q, Arc::clone(&symbols)).map_err(|e| (i, e))?;
             if reporting {
                 compiled.reporting_supported().map_err(|e| (i, e))?;
             }
@@ -375,9 +490,14 @@ impl IndexedBank {
                     Some(c) => c,
                     None => {
                         let id = trie.len() as u32;
+                        let code = match &step.ntest {
+                            NodeTest::Wildcard => WILDCARD_CODE,
+                            NodeTest::Name(n) => sym_code(Some(symbols.intern(n))),
+                        };
                         trie.push(TrieNode {
                             axis: step.axis,
                             ntest: step.ntest.clone(),
+                            code,
                             children: Vec::new(),
                             terminal: Vec::new(),
                             residual: Vec::new(),
@@ -422,7 +542,8 @@ impl IndexedBank {
                     Some(&r) => r,
                     None => {
                         let residual = residual_query(q, k);
-                        let rc = CompiledQuery::compile(&residual).map_err(|e| (i, e))?;
+                        let rc = CompiledQuery::compile_with(&residual, Arc::clone(&symbols))
+                            .map_err(|e| (i, e))?;
                         if reporting {
                             rc.reporting_supported().map_err(|e| (i, e))?;
                         }
@@ -446,6 +567,22 @@ impl IndexedBank {
             .filter_map(|(i, &g)| (!root_set.contains(&g)).then_some(i))
             .collect();
         let built_residuals = residuals.len() as u64;
+        let free_filters = vec![Vec::new(); residuals.len()];
+        let residual_triggers = residuals
+            .iter()
+            .map(|r| {
+                let mut eligible = true;
+                let mut specs = Vec::new();
+                for (sym, axis) in r.compiled().root_child_specs() {
+                    match axis {
+                        Axis::Attribute => eligible = false,
+                        Axis::Descendant => specs.push((sym_code(sym), true)),
+                        _ => specs.push((sym_code(sym), false)),
+                    }
+                }
+                ResidualTriggers { eligible, specs }
+            })
+            .collect();
         Ok(IndexedBank {
             trie,
             groups,
@@ -453,10 +590,17 @@ impl IndexedBank {
             built_residuals,
             root_groups,
             query_group,
+            symbols,
             trie_sharers,
             reporting,
             records: Vec::new(),
             instances: Vec::new(),
+            scratch_activated: Vec::new(),
+            attr_scratch: AttrBuf::new(),
+            name_cache: SymCache::new(),
+            dormant: Vec::new(),
+            residual_triggers,
+            free_filters,
             current_level: 0,
             element_ordinal: 0,
             open_terminals: Vec::new(),
@@ -554,14 +698,82 @@ impl IndexedBank {
     /// confirmed to `sink` — each stamped with the bank index of the
     /// query that selected it. Filtering-mode banks never call the sink.
     pub fn process_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        // One conversion to the interned form serves the shared trie
+        // walk and every live residual instance — and it is lazy about
+        // what it converts: only start tags need their name resolved
+        // for the trie, attributes and end-tag names are consumed by
+        // residual instances alone, so with no instance live they are
+        // not even looked up.
+        match event.as_ref() {
+            EventRef::StartElement { name, attributes } => {
+                let sym = self.name_cache.lookup(&self.symbols, name);
+                if attributes.is_empty() || (self.instances.is_empty() && self.dormant.is_empty()) {
+                    // No instance will see this start tag's attributes
+                    // (instances spawned *at* it never receive it, and
+                    // only a live or woken instance ever reads them).
+                    self.process_sym_to(
+                        SymEvent::StartElement {
+                            name: sym,
+                            attributes: &[],
+                        },
+                        span,
+                        sink,
+                    );
+                } else {
+                    let mut scratch = std::mem::take(&mut self.attr_scratch);
+                    let attrs =
+                        scratch.fill_from_cached(&mut self.name_cache, &self.symbols, attributes);
+                    self.process_sym_to(
+                        SymEvent::StartElement {
+                            name: sym,
+                            attributes: attrs,
+                        },
+                        span,
+                        sink,
+                    );
+                    self.attr_scratch = scratch;
+                }
+            }
+            EventRef::EndElement { name } => {
+                // The trie drops records by level, not by name; only
+                // live instances compare the end tag's name.
+                let sym = if self.instances.is_empty() {
+                    Sym::UNKNOWN
+                } else {
+                    self.name_cache.lookup(&self.symbols, name)
+                };
+                self.process_sym_to(SymEvent::EndElement { name: sym }, span, sink);
+            }
+            EventRef::StartDocument => self.process_sym_to(SymEvent::StartDocument, span, sink),
+            EventRef::EndDocument => self.process_sym_to(SymEvent::EndDocument, span, sink),
+            EventRef::Text { content } => {
+                self.process_sym_to(SymEvent::Text { content }, span, sink)
+            }
+        }
+    }
+
+    /// [`IndexedBank::process_to`] over an already-interned event (syms
+    /// from the bank's table, [`IndexedBank::symbols`]) — the zero-copy
+    /// hot path a `StreamingParser` sharing the table feeds directly.
+    pub fn process_sym_to(&mut self, event: SymEvent<'_>, span: Span, sink: &mut dyn MatchSink) {
         self.events += 1;
         match event {
-            Event::StartDocument => self.start_document(),
-            Event::StartElement { name, .. } => self.start_element(event, name, span, sink),
-            Event::EndElement { .. } => self.end_element(event, span, sink),
-            Event::Text { .. } => self.feed_instances(event, span, self.current_level as i64, sink),
-            Event::EndDocument => self.end_document(sink),
+            SymEvent::StartDocument => self.start_document(),
+            SymEvent::StartElement { name, .. } => self.start_element(event, name, span, sink),
+            SymEvent::EndElement { .. } => self.end_element(event, span, sink),
+            SymEvent::Text { .. } => {
+                self.feed_instances(event, span, self.current_level as i64, sink)
+            }
+            SymEvent::EndDocument => self.end_document(sink),
         }
+    }
+
+    /// The bank's shared symbol table: hand it to
+    /// `fx_xml::StreamingParser::with_symbols` so parsed events arrive
+    /// already interned and [`IndexedBank::process_sym_to`] dispatches
+    /// without any per-event name lookup.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
     }
 
     /// Per-query verdicts (available after `endDocument`, or earlier for
@@ -660,7 +872,10 @@ impl IndexedBank {
 
     fn start_document(&mut self) {
         self.records.clear();
-        self.instances.clear();
+        self.dormant.clear();
+        while let Some(inst) = self.instances.pop() {
+            self.recycle(inst);
+        }
         self.live_bits.fill(0);
         self.live_pending.fill(0);
         self.open_terminals.clear();
@@ -673,43 +888,70 @@ impl IndexedBank {
         for s in &mut self.emitted {
             s.clear();
         }
-        for &c in &self.trie[0].children {
-            self.records.push((c, 0));
+        for ci in 0..self.trie[0].children.len() {
+            let c = self.trie[0].children[ci];
+            self.push_record(c, 0);
         }
-        // Empty-prefix groups run as document-rooted instances: exactly
-        // the naive bank's per-query filters, short-circuiting included.
+        // Empty-prefix groups run as document-rooted activations:
+        // exactly the naive bank's per-query filters (short-circuiting
+        // included), except they stay dormant until the document shows
+        // a root-record match — the naive bank's dominant root-tag
+        // early-reject case costs two integer compares here.
         for gi in 0..self.root_groups.len() {
             let g = self.root_groups[gi];
-            self.spawn_instance(g, 0, -1);
+            self.activate(g, -1);
         }
         self.note_trie_peak();
     }
 
-    fn start_element(&mut self, event: &Event, name: &str, span: Span, sink: &mut dyn MatchSink) {
+    fn start_element(
+        &mut self,
+        event: SymEvent<'_>,
+        name: Sym,
+        span: Span,
+        sink: &mut dyn MatchSink,
+    ) {
         let lvl = self.current_level;
         // Feed instances rooted strictly above this element first; the
         // instances this element spawns below must not see its start tag
         // (they are rooted *at* it).
         self.feed_instances(event, span, lvl as i64, sink);
+        // Wake any dormant activation this start tag triggers (the
+        // woken instance receives this very event as its first);
+        // activations registered *by* this element below are appended
+        // afterwards and correctly sleep through it.
+        let code = name.index() as u32;
+        if !self.dormant.is_empty() {
+            self.trigger_dormant(event, code, lvl, span, sink);
+        }
 
         // Walk the shared segment once: which trie nodes does this
-        // element activate?
-        let mut activated: Vec<u32> = Vec::new();
-        for &(t, rl) in &self.records {
-            let node = &self.trie[t as usize];
-            let level_ok = match node.axis {
-                Axis::Descendant => lvl >= rl,
-                _ => lvl == rl,
+        // element activate? The scan reads the flat record array only —
+        // per record, two integer compares (level, dispatch code).
+        self.scratch_activated.clear();
+        for rec in &self.records {
+            let level_ok = if rec.descendant {
+                lvl >= rec.level
+            } else {
+                lvl == rec.level
             };
-            if level_ok && node.ntest.passes(name) && !activated.contains(&t) {
-                activated.push(t);
+            if level_ok
+                && (rec.code == WILDCARD_CODE || rec.code == code)
+                && !self.scratch_activated.contains(&rec.node)
+            {
+                self.scratch_activated.push(rec.node);
             }
         }
-        for &t in &activated {
+        for ai in 0..self.scratch_activated.len() {
+            let t = self.scratch_activated[ai];
             for ci in 0..self.trie[t as usize].children.len() {
                 let c = self.trie[t as usize].children[ci];
-                if !self.records.contains(&(c, lvl + 1)) {
-                    self.records.push((c, lvl + 1));
+                if !self
+                    .records
+                    .iter()
+                    .any(|r| r.node == c && r.level == lvl + 1)
+                {
+                    self.push_record(c, lvl + 1);
                 }
             }
             for gi in 0..self.trie[t as usize].terminal.len() {
@@ -728,7 +970,7 @@ impl IndexedBank {
                 if !self.reporting && self.group_true[g as usize] {
                     continue;
                 }
-                self.spawn_instance(g, self.element_ordinal + 1, lvl as i64);
+                self.activate(g, lvl as i64);
             }
         }
         self.element_ordinal += 1;
@@ -746,12 +988,14 @@ impl IndexedBank {
         let row_bits = (bits_for(self.trie.len().saturating_sub(1))
             + bits_for(self.current_level as usize)
             + 1) as u64;
-        self.peak_trie_bits = self
-            .peak_trie_bits
-            .max(self.records.len() as u64 * row_bits);
+        // Dormant activations are bank state too: charge each as one
+        // shared-segment row (a group reference plus a level — the same
+        // shape as a trie record).
+        let rows = (self.records.len() + self.dormant.len()) as u64;
+        self.peak_trie_bits = self.peak_trie_bits.max(rows * row_bits);
     }
 
-    fn end_element(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+    fn end_element(&mut self, event: SymEvent<'_>, span: Span, sink: &mut dyn MatchSink) {
         let new_level = self.current_level.saturating_sub(1);
         // Instances strictly inside see the end tag; the ones rooted at
         // the closing element get `EndDocument` instead, below.
@@ -768,8 +1012,14 @@ impl IndexedBank {
             }
         }
 
-        // Drop shared records spawned inside the closing element.
-        self.records.retain(|&(_, rl)| rl <= new_level);
+        // Drop shared records spawned inside the closing element, and
+        // dormant activations rooted at it — their subtree ended with
+        // no wake-up, so their verdicts are (correctly) still false and
+        // the instance never needed to exist.
+        self.records.retain(|r| r.level <= new_level);
+        if !self.dormant.is_empty() {
+            self.dormant.retain(|d| d.root_level != new_level as i64);
+        }
 
         // Terminal activations of the closing element: the span is now
         // complete, and — the chain being predicate-free — the match is
@@ -787,27 +1037,121 @@ impl IndexedBank {
         while !self.instances.is_empty() {
             self.retire_instance(0, sink);
         }
+        self.dormant.clear();
         self.finished = true;
+    }
+
+    /// Appends an open-occurrence record for trie node `t`, inlining its
+    /// dispatch code and axis.
+    fn push_record(&mut self, t: u32, level: u32) {
+        let node = &self.trie[t as usize];
+        self.records.push(TrieRec {
+            node: t,
+            level,
+            code: node.code,
+            descendant: node.axis == Axis::Descendant,
+        });
     }
 
     // -- instance plumbing --------------------------------------------------
 
+    /// Registers an activation of group `g` rooted at `root_level`:
+    /// dormant (the default — a 16-byte entry woken by the first event
+    /// that would select a residual root record) or, for residual forms
+    /// dormancy cannot model (attribute-axis root children), an eager
+    /// instance exactly as before.
+    fn activate(&mut self, g: u32, root_level: i64) {
+        let rid = self.groups[g as usize]
+            .residual
+            .expect("only residual groups activate");
+        if self.residual_triggers[rid as usize].eligible {
+            self.dormant.push(Dormant {
+                group: g,
+                root_level,
+            });
+        } else {
+            let offset = if root_level < 0 {
+                0
+            } else {
+                self.element_ordinal + 1
+            };
+            self.spawn_instance_at(g, offset, root_level, 0);
+        }
+    }
+
+    /// Wakes every dormant activation the current start tag triggers:
+    /// the woken instance is fast-forwarded to its relative depth (the
+    /// skipped events provably left it untouched — nothing selected)
+    /// and fed this event as its first.
+    fn trigger_dormant(
+        &mut self,
+        event: SymEvent<'_>,
+        code: u32,
+        lvl: u32,
+        span: Span,
+        sink: &mut dyn MatchSink,
+    ) {
+        let mut di = 0;
+        while di < self.dormant.len() {
+            let d = self.dormant[di];
+            let g = d.group as usize;
+            if !self.reporting && self.group_true[g] {
+                // Accepted groups need no instance — drop the entry.
+                self.dormant.swap_remove(di);
+                continue;
+            }
+            let rel = lvl as i64 - d.root_level - 1;
+            debug_assert!(rel >= 0, "dormant entries live above the event");
+            let rid = self.groups[g].residual.expect("dormant ⇒ residual");
+            let fired = self.residual_triggers[rid as usize]
+                .specs
+                .iter()
+                .any(|&(c, desc)| (desc || rel == 0) && (c == WILDCARD_CODE || c == code));
+            if !fired {
+                di += 1;
+                continue;
+            }
+            self.dormant.swap_remove(di);
+            let idx =
+                self.spawn_instance_at(d.group, self.element_ordinal, d.root_level, rel as usize);
+            self.feed_one(idx, event, span, sink);
+        }
+    }
+
     /// Spawns one residual instance: an `Arc` bump on the group's pooled
-    /// [`CompiledResidual`] plus empty per-instance state. No
+    /// [`CompiledResidual`] plus empty per-instance state, fast-forwarded
+    /// to relative depth `fast_forward` (0 for eager spawns). No
     /// compilation, no deep clone, no per-step allocation — the hot path
-    /// the shared pool exists for.
-    fn spawn_instance(&mut self, g: u32, ordinal_offset: u64, root_level: i64) {
+    /// the shared pool exists for. Returns the instance's index.
+    fn spawn_instance_at(
+        &mut self,
+        g: u32,
+        ordinal_offset: u64,
+        root_level: i64,
+        fast_forward: usize,
+    ) -> usize {
         let rid = self.groups[g as usize]
             .residual
             .expect("only residual groups spawn instances");
-        let compiled = Arc::clone(&self.residuals[rid as usize].compiled);
-        let mut filter = if self.reporting {
-            StreamFilter::from_shared_reporting(compiled)
-                .expect("reporting support validated at build")
-        } else {
-            StreamFilter::from_shared(compiled)
+        let mut filter = match self.free_filters[rid as usize].pop() {
+            Some(mut pooled) => {
+                pooled.reset_metrics();
+                pooled
+            }
+            None => {
+                let compiled = Arc::clone(&self.residuals[rid as usize].compiled);
+                if self.reporting {
+                    StreamFilter::from_shared_reporting(compiled)
+                        .expect("reporting support validated at build")
+                } else {
+                    StreamFilter::from_shared(compiled)
+                }
+            }
         };
-        filter.process(&Event::StartDocument);
+        filter.process_sym(SymEvent::StartDocument, Span::EMPTY);
+        if fast_forward > 0 {
+            filter.fast_forward(fast_forward);
+        }
         let noted_bits = filter.stats().max_bits;
         let noted_pending = filter.peak_pending_positions();
         self.instances.push(Instance {
@@ -826,6 +1170,7 @@ impl IndexedBank {
         self.peak_pending[gi] = self.peak_pending[gi].max(self.live_pending[gi]);
         self.activations += 1;
         self.peak_instances = self.peak_instances.max(self.instances.len());
+        self.instances.len() - 1
     }
 
     /// Feeds `event` to every instance rooted strictly above `threshold`
@@ -833,7 +1178,7 @@ impl IndexedBank {
     /// the decided-filter short-circuit in filtering mode.
     fn feed_instances(
         &mut self,
-        event: &Event,
+        event: SymEvent<'_>,
         span: Span,
         threshold: i64,
         sink: &mut dyn MatchSink,
@@ -846,18 +1191,38 @@ impl IndexedBank {
                 // so the instance is pure overhead. Same rationale as
                 // MultiFilter's decided-filter skip.
                 self.note_stats(i);
-                self.instances.swap_remove(i);
+                let inst = self.instances.swap_remove(i);
+                self.recycle(inst);
                 continue;
             }
             if threshold <= self.instances[i].root_level {
                 i += 1;
                 continue;
             }
+            if !self.feed_one(i, event, span, sink) {
+                i += 1;
+            }
+        }
+    }
+
+    /// Feeds `event` to instance `i` with full bookkeeping (match
+    /// draining, decided short-circuit, space-delta folding). Returns
+    /// `true` when the instance was removed (its slot now holds the
+    /// previous last instance, swap-remove style).
+    fn feed_one(
+        &mut self,
+        i: usize,
+        event: SymEvent<'_>,
+        span: Span,
+        sink: &mut dyn MatchSink,
+    ) -> bool {
+        let g = self.instances[i].group as usize;
+        {
             let mut drained: Vec<(u64, Span)> = Vec::new();
             let mut decided = None;
             {
                 let inst = &mut self.instances[i];
-                inst.filter.process_spanned(event, span);
+                inst.filter.process_sym(event, span);
                 if self.reporting {
                     inst.filter
                         .drain_matches(0, &mut |m: Match| drained.push((m.ordinal, m.span)));
@@ -908,11 +1273,12 @@ impl IndexedBank {
                     self.group_true[g] = true;
                 }
                 self.note_stats(i);
-                self.instances.swap_remove(i);
-                continue;
+                let inst = self.instances.swap_remove(i);
+                self.recycle(inst);
+                return true;
             }
-            i += 1;
         }
+        false
     }
 
     /// Sends `EndDocument` to instance `i`, harvests its verdict and any
@@ -923,7 +1289,7 @@ impl IndexedBank {
         let verdict;
         {
             let inst = &mut self.instances[i];
-            inst.filter.process(&Event::EndDocument);
+            inst.filter.process_sym(SymEvent::EndDocument, Span::EMPTY);
             if self.reporting {
                 inst.filter
                     .drain_matches(0, &mut |m: Match| drained.push((m.ordinal, m.span)));
@@ -938,7 +1304,16 @@ impl IndexedBank {
             self.group_true[g] = true;
         }
         self.note_stats(i);
-        self.instances.swap_remove(i);
+        let inst = self.instances.swap_remove(i);
+        self.recycle(inst);
+    }
+
+    /// Returns a removed instance's filter to the per-residual pool for
+    /// the next activation to reuse.
+    fn recycle(&mut self, inst: Instance) {
+        if let Some(rid) = self.groups[inst.group as usize].residual {
+            self.free_filters[rid as usize].push(inst.filter);
+        }
     }
 
     /// Folds instance `i`'s final statistics into its group's peaks and
@@ -1357,9 +1732,13 @@ mod tests {
         let residual_bits_at = |d: usize| {
             let queries = vec![parse_query("/hub//t/x[y]").unwrap()];
             let mut ib = IndexedBank::new(&queries).unwrap();
-            // x carries no y, so no instance ever accepts and none is
-            // short-circuited away before the peak.
-            let xml = format!("<hub>{}<x/>{}</hub>", "<t>".repeat(d), "</t>".repeat(d));
+            // Every <t> carries a *direct* <x/> child, so each of the d
+            // dormant activations genuinely wakes (dormancy would
+            // otherwise — correctly — never materialize the outer
+            // instances, whose x can only sit deeper than one level);
+            // the x carries no y, so no instance ever accepts and none
+            // is short-circuited away before the peak.
+            let xml = format!("<hub>{}{}</hub>", "<t><x/>".repeat(d), "</t>".repeat(d));
             for e in &fx_xml::parse(&xml).unwrap() {
                 ib.process(e);
             }

@@ -42,8 +42,9 @@
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
 use crate::space::SpaceStats;
-use fx_xml::{Event, Span};
+use fx_xml::{AttrBuf, Event, EventRef, Span, SymCache, SymEvent, Symbols};
 use fx_xpath::Query;
+use std::sync::Arc;
 
 /// A bank of streaming filters sharing one event feed.
 #[derive(Debug, Clone)]
@@ -56,39 +57,67 @@ pub struct MultiFilter {
     /// Last observed [`StreamFilter::match_progress`] per filter: the
     /// decision check re-runs only when a match flag actually moved.
     progress: Vec<u64>,
+    /// Number of filters whose verdict is still open this document.
+    /// When it hits zero the bank skips events *before* converting
+    /// them — on dissemination workloads most documents decide the
+    /// whole bank within a few tags, making the tail of the stream
+    /// free.
+    open: usize,
+    /// The bank's shared symbol table: every filter's compiled node
+    /// tests are syms from this table, so one per-event conversion (or
+    /// an already-interned event from a parser sharing the table)
+    /// serves the whole bank.
+    symbols: Arc<Symbols>,
+    /// Reused attribute buffer for the owned-event conversion layer.
+    attr_scratch: AttrBuf,
+    /// Lock-free name-lookup memo for the owned-event conversion layer.
+    name_cache: SymCache,
 }
 
 impl MultiFilter {
-    /// Compiles all queries; fails on the first unsupported one (with its
-    /// index).
+    /// Compiles all queries against one shared symbol table; fails on
+    /// the first unsupported one (with its index).
     pub fn new(queries: &[Query]) -> Result<MultiFilter, (usize, UnsupportedQuery)> {
-        let mut filters = Vec::with_capacity(queries.len());
+        let symbols = Arc::new(Symbols::new());
+        let mut shared = Vec::with_capacity(queries.len());
         for (i, q) in queries.iter().enumerate() {
-            let compiled = CompiledQuery::compile(q).map_err(|e| (i, e))?;
-            filters.push(StreamFilter::from_compiled(compiled));
+            let compiled =
+                CompiledQuery::compile_with(q, Arc::clone(&symbols)).map_err(|e| (i, e))?;
+            shared.push(Arc::new(compiled));
         }
-        let decided = vec![None; filters.len()];
-        let progress = vec![0; filters.len()];
-        Ok(MultiFilter {
-            filters,
-            decided,
-            progress,
-        })
+        Ok(MultiFilter::from_shared(shared))
     }
 
-    /// Builds a bank from already-compiled queries (cheap; lets the
-    /// engine share one compilation across many sessions).
+    /// Builds a bank from already-compiled queries, wrapping each in an
+    /// [`Arc`]. Callers holding `Arc<CompiledQuery>` handles (the
+    /// engine) should use [`MultiFilter::from_shared`], which never
+    /// copies a compilation.
     pub fn from_compiled(compiled: impl IntoIterator<Item = CompiledQuery>) -> MultiFilter {
-        let filters: Vec<StreamFilter> = compiled
-            .into_iter()
-            .map(StreamFilter::from_compiled)
-            .collect();
+        MultiFilter::from_shared(compiled.into_iter().map(Arc::new))
+    }
+
+    /// Builds a bank from *shared* compiled queries: each filter spawn
+    /// is a reference-count bump, never a recompilation or deep clone —
+    /// sessions over one engine share one compilation. Queries compiled
+    /// against different symbol tables are re-bound (copy-on-write)
+    /// onto the first query's table so the bank converts each event
+    /// exactly once; handles that already share a table (the engine
+    /// path) are used as-is.
+    pub fn from_shared(compiled: impl IntoIterator<Item = Arc<CompiledQuery>>) -> MultiFilter {
+        let (symbols, shared) = unify_tables(compiled.into_iter().collect());
+        let filters: Vec<StreamFilter> =
+            shared.into_iter().map(StreamFilter::from_shared).collect();
         let decided = vec![None; filters.len()];
         let progress = vec![0; filters.len()];
+        let open = filters.len();
         MultiFilter {
             filters,
             decided,
             progress,
+            open,
+            symbols,
+            attr_scratch: AttrBuf::new(),
+            name_cache: SymCache::new(),
         }
     }
 
@@ -100,16 +129,30 @@ impl MultiFilter {
     pub fn from_compiled_reporting(
         compiled: impl IntoIterator<Item = CompiledQuery>,
     ) -> Result<MultiFilter, (usize, UnsupportedQuery)> {
-        let mut filters = Vec::new();
-        for (i, c) in compiled.into_iter().enumerate() {
-            filters.push(StreamFilter::from_compiled_reporting(c).map_err(|e| (i, e))?);
+        MultiFilter::from_shared_reporting(compiled.into_iter().map(Arc::new))
+    }
+
+    /// [`MultiFilter::from_shared`] in reporting mode — the
+    /// no-deep-clone selection bank.
+    pub fn from_shared_reporting(
+        compiled: impl IntoIterator<Item = Arc<CompiledQuery>>,
+    ) -> Result<MultiFilter, (usize, UnsupportedQuery)> {
+        let (symbols, shared) = unify_tables(compiled.into_iter().collect());
+        let mut filters = Vec::with_capacity(shared.len());
+        for (i, c) in shared.into_iter().enumerate() {
+            filters.push(StreamFilter::from_shared_reporting(c).map_err(|e| (i, e))?);
         }
         let decided = vec![None; filters.len()];
         let progress = vec![0; filters.len()];
+        let open = filters.len();
         Ok(MultiFilter {
             filters,
             decided,
             progress,
+            open,
+            symbols,
+            attr_scratch: AttrBuf::new(),
+            name_cache: SymCache::new(),
         })
     }
 
@@ -145,13 +188,60 @@ impl MultiFilter {
     /// not called); reporting banks never short-circuit, because full
     /// evaluation must examine every candidate.
     pub fn process_to(&mut self, event: &Event, span: Span, sink: &mut dyn MatchSink) {
+        // Fully-decided bank: nothing will look at this event (decided
+        // filters skip even `EndDocument`), so skip the conversion too.
+        // `StartDocument` always passes — it reopens every filter.
+        if self.open == 0 && !matches!(event, Event::StartDocument) {
+            return;
+        }
+        // Convert to the interned form once, here at the bank level:
+        // every filter then dispatches on integer syms.
+        match event.as_ref() {
+            EventRef::StartElement { name, attributes } => {
+                let sym = self.name_cache.lookup(&self.symbols, name);
+                let mut scratch = std::mem::take(&mut self.attr_scratch);
+                let attrs =
+                    scratch.fill_from_cached(&mut self.name_cache, &self.symbols, attributes);
+                self.process_sym_to(
+                    SymEvent::StartElement {
+                        name: sym,
+                        attributes: attrs,
+                    },
+                    span,
+                    sink,
+                );
+                self.attr_scratch = scratch;
+            }
+            EventRef::EndElement { name } => {
+                let sym = self.name_cache.lookup(&self.symbols, name);
+                self.process_sym_to(SymEvent::EndElement { name: sym }, span, sink);
+            }
+            EventRef::StartDocument => self.process_sym_to(SymEvent::StartDocument, span, sink),
+            EventRef::EndDocument => self.process_sym_to(SymEvent::EndDocument, span, sink),
+            EventRef::Text { content } => {
+                self.process_sym_to(SymEvent::Text { content }, span, sink)
+            }
+        }
+    }
+
+    /// [`MultiFilter::process_to`] over an already-interned event (syms
+    /// from the bank's table, [`MultiFilter::symbols`]) — the zero-copy
+    /// hot path a `StreamingParser` sharing the table feeds directly.
+    pub fn process_sym_to(&mut self, event: SymEvent<'_>, span: Span, sink: &mut dyn MatchSink) {
+        // Fully-decided bank: no filter will look at this event (decided
+        // filters skip even `EndDocument`), so skip the whole loop —
+        // the engine's interned reader path lands here directly.
+        if self.open == 0 && !matches!(event, SymEvent::StartDocument) {
+            return;
+        }
         match event {
-            Event::StartDocument => {
+            SymEvent::StartDocument => {
                 for i in 0..self.filters.len() {
-                    self.filters[i].process_spanned(event, span);
+                    self.filters[i].process_sym(event, span);
                     self.decided[i] = None;
                     self.progress[i] = 0;
                 }
+                self.open = self.filters.len();
             }
             _ => {
                 for i in 0..self.filters.len() {
@@ -162,7 +252,7 @@ impl MultiFilter {
                         continue;
                     }
                     let f = &mut self.filters[i];
-                    f.process_spanned(event, span);
+                    f.process_sym(event, span);
                     f.drain_matches(i, sink);
                     // `decided` can only flip when a match flag turned
                     // true, so the recursive check runs on transitions
@@ -171,10 +261,21 @@ impl MultiFilter {
                     if progress != self.progress[i] {
                         self.progress[i] = progress;
                         self.decided[i] = f.decided();
+                        if self.decided[i].is_some() {
+                            self.open -= 1;
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// The bank's shared symbol table: hand it to
+    /// `fx_xml::StreamingParser::with_symbols` so parsed events arrive
+    /// already interned and [`MultiFilter::process_sym_to`] skips the
+    /// per-event name lookup entirely.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
     }
 
     /// Per-query verdicts (available after `endDocument`, or earlier for
@@ -228,6 +329,25 @@ impl MultiFilter {
     pub fn stats(&self) -> Vec<&SpaceStats> {
         self.filters.iter().map(StreamFilter::stats).collect()
     }
+}
+
+/// Ensures every compiled handle shares one symbol table (the first
+/// query's, or a fresh one for an empty bank): handles already on that
+/// table pass through untouched (the engine's pooled path — pure
+/// refcount bumps), foreign ones are re-bound copy-on-write.
+fn unify_tables(mut compiled: Vec<Arc<CompiledQuery>>) -> (Arc<Symbols>, Vec<Arc<CompiledQuery>>) {
+    let symbols = compiled
+        .first()
+        .map(|c| Arc::clone(c.symbols()))
+        .unwrap_or_default();
+    for c in compiled.iter_mut() {
+        if !Arc::ptr_eq(c.symbols(), &symbols) {
+            let mut rebound = (**c).clone();
+            rebound.bind(&symbols);
+            *c = Arc::new(rebound);
+        }
+    }
+    (symbols, compiled)
 }
 
 #[cfg(test)]

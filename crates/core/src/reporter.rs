@@ -22,7 +22,6 @@
 //! the rest of the document has streamed.
 
 use fx_xml::Span;
-use std::collections::HashMap;
 
 /// One confirmed output node of `FULLEVAL(Q, D)`, delivered to a
 /// [`MatchSink`] the moment its ancestor chain resolves.
@@ -123,16 +122,18 @@ impl Reporter {
         self.frames.push(frame);
     }
 
-    /// Closes the top frame. `pred_ok` maps a query-node id to whether all
-    /// of its *predicate* children matched within the closing element;
-    /// `out_leaf_value` is the per-candidate value verdict when the output
-    /// node is a value-restricted leaf candidate here; `axes_child` tells,
-    /// for each 1-based path index, whether that step has a child axis
-    /// (true) or descendant axis (false); `end_offset` is the source byte
-    /// offset one past the closing tag (completing the element's span).
+    /// Closes the top frame. `pred_ok` lists, per folded query node,
+    /// `(node, all_children_matched, predicate_children_matched)` for the
+    /// closing element (the filter's reused fold scratch — a handful of
+    /// entries, scanned linearly); `out_leaf_value` is the per-candidate
+    /// value verdict when the output node is a value-restricted leaf
+    /// candidate here; `axes_child` tells, for each 1-based path index,
+    /// whether that step has a child axis (true) or descendant axis
+    /// (false); `end_offset` is the source byte offset one past the
+    /// closing tag (completing the element's span).
     pub(crate) fn close_element(
         &mut self,
-        pred_ok: &HashMap<u32, (bool, bool)>,
+        pred_ok: &[(u32, bool, bool)],
         out_leaf_value: Option<bool>,
         path_nodes: &[u32],
         axes_child: &[bool],
@@ -153,10 +154,7 @@ impl Reporter {
             } else {
                 // Internal output node: its predicate children must have
                 // matched within this element.
-                pred_ok
-                    .get(&path_nodes[m as usize - 1])
-                    .map(|&(_, p)| p)
-                    .unwrap_or(false)
+                lookup_pred(pred_ok, path_nodes[m as usize - 1]).unwrap_or(false)
             };
             if local_ok {
                 out.push(Pending {
@@ -177,14 +175,11 @@ impl Reporter {
             // Consume: this element is a valid candidate for index i.
             if frame.candidates.contains(&i) {
                 let node = path_nodes[i as usize - 1];
-                let ok = pred_ok.get(&node).map(|&(_, pm)| pm).unwrap_or_else(|| {
-                    // A path node with no children at all (impossible for
-                    // interior indexes — they have a successor), or one
-                    // whose children were spawned but all resolved
-                    // earlier. Treat missing entries as vacuous only for
-                    // leaves.
-                    false
-                });
+                // A path node with no entry has no children folded here
+                // (impossible for interior indexes — they have a
+                // successor), or its children were spawned but all
+                // resolved earlier. Treat missing entries as false.
+                let ok = lookup_pred(pred_ok, node).unwrap_or(false);
                 if ok {
                     out.push(Pending { needed: i - 1, ..p });
                 }
@@ -249,6 +244,16 @@ impl Reporter {
         r.sort_unstable();
         r
     }
+}
+
+/// The predicate-children verdict folded for `node`, if any (linear
+/// scan: the fold scratch holds one entry per distinct parent closing
+/// at this element — a handful).
+fn lookup_pred(pred_ok: &[(u32, bool, bool)], node: u32) -> Option<bool> {
+    pred_ok
+        .iter()
+        .find(|&&(n, _, _)| n == node)
+        .map(|&(_, _, pm)| pm)
 }
 
 #[cfg(test)]

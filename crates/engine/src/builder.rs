@@ -3,9 +3,10 @@
 use crate::error::EngineError;
 use crate::session::{Outcome, Session, SessionInner, Verdicts};
 use fx_core::{CompiledQuery, IndexedBank, StreamFilter};
-use fx_xml::Event;
+use fx_xml::{Event, Symbols};
 use fx_xpath::{parse_query, Query};
 use std::io::Read;
+use std::sync::Arc;
 
 /// What a built [`Engine`] produces for each document.
 ///
@@ -182,6 +183,11 @@ impl EngineBuilder {
                 backend: self.backend,
             });
         }
+        // One symbol table per engine: queries compile against it, the
+        // indexed bank's trie resolves against it, and every session's
+        // parser interns document names into it — so events and node
+        // tests meet as equal integers with no per-event conversion.
+        let symbols = Arc::new(Symbols::new());
         let mut compiled = Vec::new();
         match self.backend {
             // Under IndexPolicy::SharedPrefix the indexed bank built
@@ -190,13 +196,13 @@ impl EngineBuilder {
             // sessions never read `compiled` — skip the duplicate pass.
             Backend::Frontier if self.index == IndexPolicy::None => {
                 for (index, q) in self.queries.iter().enumerate() {
-                    let c = CompiledQuery::compile(q)
+                    let c = CompiledQuery::compile_with(q, Arc::clone(&symbols))
                         .map_err(|source| EngineError::Unsupported { index, source })?;
                     if self.mode == Mode::Select {
                         c.reporting_supported()
                             .map_err(|source| EngineError::Unsupported { index, source })?;
                     }
-                    compiled.push(c);
+                    compiled.push(Arc::new(c));
                 }
             }
             Backend::Frontier => {}
@@ -219,9 +225,9 @@ impl EngineBuilder {
         // residual compilation) and cheaply cloned per session.
         let indexed = if self.index == IndexPolicy::SharedPrefix {
             let bank = if self.mode == Mode::Select {
-                IndexedBank::new_reporting(&self.queries)
+                IndexedBank::new_reporting_with_symbols(&self.queries, Arc::clone(&symbols))
             } else {
-                IndexedBank::new(&self.queries)
+                IndexedBank::new_with_symbols(&self.queries, Arc::clone(&symbols))
             }
             .map_err(|(index, source)| EngineError::Unsupported { index, source })?;
             Some(bank)
@@ -234,6 +240,7 @@ impl EngineBuilder {
             backend: self.backend,
             mode: self.mode,
             indexed,
+            symbols,
         })
     }
 }
@@ -247,13 +254,20 @@ impl EngineBuilder {
 pub struct Engine {
     queries: Vec<Query>,
     /// Pre-compiled forms (Frontier backend only; other backends build
-    /// their automata per session, which is cheap for linear paths).
-    compiled: Vec<CompiledQuery>,
+    /// their automata per session, which is cheap for linear paths),
+    /// behind `Arc` so spawning a session is a reference-count bump per
+    /// query — compiled state is pooled across every session of this
+    /// engine, never cloned.
+    compiled: Vec<Arc<CompiledQuery>>,
     backend: Backend,
     mode: Mode,
     /// The shared-prefix bank prototype ([`IndexPolicy::SharedPrefix`]
-    /// only): trie and residuals prebuilt, cloned per session.
+    /// only): trie and residuals prebuilt, cloned per session (the
+    /// compiled residual pool inside is `Arc`-shared, so the clone is
+    /// bookkeeping, not recompilation).
     indexed: Option<IndexedBank>,
+    /// The engine-wide symbol table (see [`Engine::symbols`]).
+    symbols: Arc<Symbols>,
 }
 
 impl Engine {
@@ -297,6 +311,15 @@ impl Engine {
         &self.queries
     }
 
+    /// The engine-wide symbol table: every compiled node test is a sym
+    /// from it, and every session's reader path interns document names
+    /// into it. Hand it to `fx_xml::StreamingParser::with_symbols` when
+    /// driving a session with hand-built parsers, so events arrive
+    /// pre-interned and the banks skip per-event name lookups.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
+    }
+
     /// Opens a session: the mutable per-document evaluation state. A
     /// session may be reused for many documents in sequence (each
     /// `StartDocument` resets the filters), which is how the
@@ -306,25 +329,38 @@ impl Engine {
         // Indexed engines run every session on a clone of the prebuilt
         // shared-prefix bank (filtering or reporting per the mode).
         if let Some(proto) = &self.indexed {
-            return Session::new(SessionInner::Indexed(Box::new(proto.clone())), self.mode);
+            return Session::new(
+                SessionInner::Indexed(Box::new(proto.clone())),
+                self.mode,
+                Arc::clone(&self.symbols),
+            );
         }
         // Selection sessions always run on a reporting bank (even with a
         // single query): the bank stamps every confirmed match with its
-        // query index and routes it to the caller's sink.
+        // query index and routes it to the caller's sink. Spawning
+        // shares the engine's compiled queries by reference — no clone.
         if self.mode == Mode::Select {
-            let bank = fx_core::MultiFilter::from_compiled_reporting(self.compiled.iter().cloned())
-                .expect("reporting support validated at build()");
-            return Session::new(SessionInner::Bank(bank), self.mode);
+            let bank =
+                fx_core::MultiFilter::from_shared_reporting(self.compiled.iter().map(Arc::clone))
+                    .expect("reporting support validated at build()");
+            return Session::new(
+                SessionInner::Bank(bank),
+                self.mode,
+                Arc::clone(&self.symbols),
+            );
         }
         // A multi-query Frontier session runs on the short-circuiting
         // bank; a single-query one keeps the bare filter so its space
-        // statistics stay bit-for-bit identical to a legacy run.
+        // statistics stay bit-for-bit identical to a legacy run. Either
+        // way the compiled queries are pooled behind `Arc` — spawning a
+        // session never recompiles or deep-clones them.
         if self.backend == Backend::Frontier && self.compiled.len() > 1 {
             return Session::new(
-                SessionInner::Bank(fx_core::MultiFilter::from_compiled(
-                    self.compiled.iter().cloned(),
+                SessionInner::Bank(fx_core::MultiFilter::from_shared(
+                    self.compiled.iter().map(Arc::clone),
                 )),
                 self.mode,
+                Arc::clone(&self.symbols),
             );
         }
         let evaluators: Vec<Box<dyn crate::Evaluator>> = match self.backend {
@@ -332,7 +368,7 @@ impl Engine {
                 .compiled
                 .iter()
                 .map(|c| {
-                    Box::new(StreamFilter::from_compiled(c.clone())) as Box<dyn crate::Evaluator>
+                    Box::new(StreamFilter::from_shared(Arc::clone(c))) as Box<dyn crate::Evaluator>
                 })
                 .collect(),
             Backend::Nfa => self
@@ -360,7 +396,11 @@ impl Engine {
                 })
                 .collect(),
         };
-        Session::new(SessionInner::Each(evaluators), self.mode)
+        Session::new(
+            SessionInner::Each(evaluators),
+            self.mode,
+            Arc::clone(&self.symbols),
+        )
     }
 
     /// One-shot convenience: stream a document from a reader through a

@@ -5,8 +5,9 @@ use crate::builder::Mode;
 use crate::error::EngineError;
 use crate::evaluator::Evaluator;
 use fx_core::{Match, MatchSink};
-use fx_xml::{Event, EventIter, Span};
+use fx_xml::{Event, EventIter, Span, StreamingParser, SymEvent, Symbols};
 use std::io::Read;
+use std::sync::Arc;
 
 /// The mutable half of the engine: filters mid-document.
 ///
@@ -38,6 +39,14 @@ pub struct Session {
     inner: SessionInner,
     events: u64,
     mode: Mode,
+    /// The engine's symbol table: the reader entry points parse with it
+    /// so events reach the banks pre-interned (zero per-event name
+    /// lookups, zero per-event allocation on the tag-dispatch path).
+    symbols: Arc<Symbols>,
+    /// The session's reusable lookup-only parser for the interned
+    /// reader path: reset per document, its scratch buffers, name memo
+    /// and read buffer stay warm across a reused session's documents.
+    parser: Option<StreamingParser>,
     /// Matches confirmed through the sink-less entry points, held for
     /// [`Session::finish_outcome`]; cleared at each `StartDocument`.
     collected: Vec<Match>,
@@ -68,14 +77,31 @@ impl SessionInner {
             SessionInner::Indexed(bank) => bank.process_to(event, span, sink),
         }
     }
+
+    /// Whether this session can consume interned events natively (the
+    /// frontier banks); `Each` evaluators (automata baselines, bare
+    /// single filters) keep the owned-event surface.
+    fn supports_interned(&self) -> bool {
+        matches!(self, SessionInner::Bank(_) | SessionInner::Indexed(_))
+    }
+
+    fn push_sym(&mut self, event: SymEvent<'_>, span: Span, sink: &mut dyn MatchSink) {
+        match self {
+            SessionInner::Bank(bank) => bank.process_sym_to(event, span, sink),
+            SessionInner::Indexed(bank) => bank.process_sym_to(event, span, sink),
+            SessionInner::Each(_) => unreachable!("interned path gated by supports_interned"),
+        }
+    }
 }
 
 impl Session {
-    pub(crate) fn new(inner: SessionInner, mode: Mode) -> Session {
+    pub(crate) fn new(inner: SessionInner, mode: Mode, symbols: Arc<Symbols>) -> Session {
         Session {
             inner,
             events: 0,
             mode,
+            symbols,
+            parser: None,
             collected: Vec::new(),
         }
     }
@@ -234,10 +260,14 @@ impl Session {
         reader: R,
         sink: &mut dyn MatchSink,
     ) -> Result<Verdicts, EngineError> {
-        let mut events = EventIter::new(reader);
-        while let Some(item) = events.next_spanned() {
-            let (event, span) = item?;
-            self.push_spanned_to(&event, span, sink);
+        if self.inner.supports_interned() {
+            self.drive_interned(reader, sink)?;
+        } else {
+            let mut events = EventIter::new(reader);
+            while let Some(item) = events.next_spanned() {
+                let (event, span) = item?;
+                self.push_spanned_to(&event, span, sink);
+            }
         }
         self.finish()
     }
@@ -250,12 +280,62 @@ impl Session {
     }
 
     fn drive_collected<R: Read>(&mut self, reader: R) -> Result<(), EngineError> {
+        if self.inner.supports_interned() {
+            // Collect into the session's own outbox: drop the previous
+            // document's matches (a drive is exactly one document, so
+            // clearing up front equals clearing at its `StartDocument`)
+            // and run the shared interned loop with the outbox as sink.
+            self.collected.clear();
+            let mut collected = std::mem::take(&mut self.collected);
+            let result = self.drive_interned(reader, &mut collected);
+            self.collected = collected;
+            return result;
+        }
         let mut events = EventIter::new(reader);
         while let Some(item) = events.next_spanned() {
             let (event, span) = item?;
             self.push_spanned(&event, span);
         }
         Ok(())
+    }
+
+    /// The zero-copy reader loop: parse with the engine's shared symbol
+    /// table ([`fx_xml::StreamingParser::feed_interned`]) and dispatch
+    /// interned events straight into the bank — no owned `Event` is ever
+    /// materialized, and in steady state no allocation happens per
+    /// element event anywhere on the path.
+    fn drive_interned<R: Read>(
+        &mut self,
+        reader: R,
+        sink: &mut dyn MatchSink,
+    ) -> Result<(), EngineError> {
+        // Lookup-only: document names outside the compiled query
+        // vocabulary collapse to `Sym::UNKNOWN` instead of growing
+        // the engine-wide table, so a long-lived engine's memory
+        // stays bounded by its queries, never by document content.
+        // The parser itself is kept across documents (reset per drive)
+        // so its scratch buffers and name memo stay warm.
+        let mut parser = self.parser.take().unwrap_or_else(|| {
+            StreamingParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
+        });
+        parser.reset();
+        let Session {
+            inner,
+            collected,
+            events,
+            ..
+        } = self;
+        let result = parser
+            .drive_reader(reader, &mut |ev, span| {
+                if matches!(ev, SymEvent::StartDocument) {
+                    collected.clear();
+                }
+                *events += 1;
+                inner.push_sym(ev, span, sink);
+            })
+            .map_err(EngineError::from);
+        self.parser = Some(parser);
+        result
     }
 }
 
@@ -619,6 +699,34 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].ordinal, 1);
         assert_eq!(got[0].span, fx_xml::Span::EMPTY);
+    }
+
+    #[test]
+    fn reader_path_keeps_the_symbol_table_bounded() {
+        // The engine-wide table holds the query vocabulary only: a
+        // stream of documents with ever-fresh element names must not
+        // grow it (the reader path parses in lookup-only mode).
+        let engine = Engine::builder()
+            .query_str("/doc[title]")
+            .query_str("//doc/item")
+            .build()
+            .unwrap();
+        let before = engine.symbols().len();
+        let mut session = engine.session();
+        for i in 0..50 {
+            let xml = format!("<doc><title/><u{i}><v{i}/></u{i}></doc>");
+            session.run_reader(xml.as_bytes()).unwrap();
+        }
+        assert_eq!(
+            engine.symbols().len(),
+            before,
+            "document names leaked into the engine table"
+        );
+        // And the queries still evaluate correctly against such docs.
+        let v = session
+            .run_reader("<doc><title/><item/><w99/></doc>".as_bytes())
+            .unwrap();
+        assert_eq!(v.matched(), &[true, true]);
     }
 
     #[test]

@@ -216,7 +216,9 @@ impl SharedPrefixBank {
                 .skip(1)
                 .collect();
             for s in &steps {
-                xml.push_str(&format!("<{s}>"));
+                xml.push('<');
+                xml.push_str(s);
+                xml.push('>');
             }
             for (n, &i) in self.members(f).iter().enumerate() {
                 if n < witnesses_per_family {
@@ -227,8 +229,35 @@ impl SharedPrefixBank {
                 xml.push_str("<zz/>");
             }
             for s in steps.iter().rev() {
-                xml.push_str(&format!("</{s}>"));
+                xml.push_str("</");
+                xml.push_str(s);
+                xml.push('>');
             }
+        }
+        xml.push_str("</hub>");
+        xml
+    }
+
+    /// [`SharedPrefixBank::document`] repeated `copies` times under one
+    /// root: a byte-throughput workload of controllable size for the
+    /// MB/s benches (each copy re-exercises the activation/dormancy
+    /// cycle of the active families).
+    pub fn document_repeated(
+        &self,
+        active_families: &[usize],
+        witnesses_per_family: usize,
+        noise: usize,
+        copies: usize,
+    ) -> String {
+        let one = self.document(active_families, witnesses_per_family, noise);
+        let body = one
+            .strip_prefix("<hub>")
+            .and_then(|s| s.strip_suffix("</hub>"))
+            .expect("document is hub-rooted");
+        let mut xml = String::with_capacity(one.len() * copies.max(1) + 16);
+        xml.push_str("<hub>");
+        for _ in 0..copies.max(1) {
+            xml.push_str(body);
         }
         xml.push_str("</hub>");
         xml
@@ -530,6 +559,33 @@ mod tests {
                 .reporting_supported()
                 .unwrap_or_else(|e| panic!("query #{i} not reportable: {e}"));
         }
+    }
+
+    #[test]
+    fn document_repeated_replicates_the_body() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bank = random_shared_prefix_bank(
+            &mut rng,
+            &SharedPrefixBankConfig {
+                families: 3,
+                queries_per_family: 2,
+                prefix_depth: 2,
+                cross_family_tails: false,
+            },
+        );
+        let one = bank.document(&[0], 1, 2);
+        let four = bank.document_repeated(&[0], 1, 2, 4);
+        assert!(
+            fx_xml::parse(&four).is_ok(),
+            "repeated doc stays well-formed"
+        );
+        // Four copies of the body under one root.
+        let body = one
+            .strip_prefix("<hub>")
+            .unwrap()
+            .strip_suffix("</hub>")
+            .unwrap();
+        assert_eq!(four.matches(body).count(), 4);
     }
 
     #[test]

@@ -59,6 +59,23 @@ pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, EntityError> {
         return Ok(Cow::Borrowed(s));
     }
     let mut out = String::with_capacity(s.len());
+    decode_append(s, &mut out)?;
+    Ok(Cow::Owned(out))
+}
+
+/// [`decode_entities`], appending into a caller-supplied buffer: the
+/// allocation-free form the streaming parser's reused scratch buffers
+/// are fed through (no `Cow`, no intermediate `String` even when the
+/// input contains references).
+pub fn decode_entities_into(s: &str, out: &mut String) -> Result<(), EntityError> {
+    if !s.contains('&') {
+        out.push_str(s);
+        return Ok(());
+    }
+    decode_append(s, out)
+}
+
+fn decode_append(s: &str, out: &mut String) -> Result<(), EntityError> {
     let mut rest = s;
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
@@ -92,7 +109,7 @@ pub fn decode_entities(s: &str) -> Result<Cow<'_, str>, EntityError> {
         rest = &rest[end + 1..];
     }
     out.push_str(rest);
-    Ok(Cow::Owned(out))
+    Ok(())
 }
 
 #[cfg(test)]

@@ -141,6 +141,69 @@ pub fn notation(events: &[Event]) -> String {
     out
 }
 
+/// A borrowed SAX event: the zero-copy view of an [`Event`], with name
+/// and payload `&str` slices pointing into whatever buffer produced
+/// them (an owned event, a parser scratch buffer, a document string).
+///
+/// Use it to hand events to consumers without materializing owned
+/// `String`s — `fx-core`'s `StreamFilter::process_ref` accepts it
+/// directly. [`Event::as_ref`] borrows an owned event;
+/// [`EventRef::to_owned`] materializes one back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventRef<'a> {
+    /// `startDocument()`.
+    StartDocument,
+    /// `endDocument()`.
+    EndDocument,
+    /// `startElement(n)` with its attributes.
+    StartElement {
+        /// The element name.
+        name: &'a str,
+        /// The attributes, in document order.
+        attributes: &'a [Attribute],
+    },
+    /// `endElement(n)`.
+    EndElement {
+        /// The element name.
+        name: &'a str,
+    },
+    /// `text(α)`.
+    Text {
+        /// The entity-decoded character content.
+        content: &'a str,
+    },
+}
+
+impl EventRef<'_> {
+    /// Materializes an owned [`Event`] (allocating; the conversion the
+    /// borrowed representation exists to avoid on hot paths).
+    pub fn to_owned(&self) -> Event {
+        match *self {
+            EventRef::StartDocument => Event::StartDocument,
+            EventRef::EndDocument => Event::EndDocument,
+            EventRef::StartElement { name, attributes } => Event::StartElement {
+                name: name.to_string(),
+                attributes: attributes.to_vec(),
+            },
+            EventRef::EndElement { name } => Event::end(name),
+            EventRef::Text { content } => Event::text(content),
+        }
+    }
+}
+
+impl Event {
+    /// Borrows this event as a zero-copy [`EventRef`].
+    pub fn as_ref(&self) -> EventRef<'_> {
+        match self {
+            Event::StartDocument => EventRef::StartDocument,
+            Event::EndDocument => EventRef::EndDocument,
+            Event::StartElement { name, attributes } => EventRef::StartElement { name, attributes },
+            Event::EndElement { name } => EventRef::EndElement { name },
+            Event::Text { content } => EventRef::Text { content },
+        }
+    }
+}
+
 /// A push-style consumer of SAX events (the event-handler interface of §8.1).
 ///
 /// All methods have empty default bodies so implementors only override the

@@ -24,11 +24,12 @@ pub mod parser;
 pub mod reader;
 pub mod span;
 pub mod split;
+pub mod symbols;
 pub mod wellformed;
 pub mod writer;
 
-pub use escape::{decode_entities, escape_attr, escape_text};
-pub use event::{drive, notation, Attribute, Event, EventCollector, SaxHandler};
+pub use escape::{decode_entities, decode_entities_into, escape_attr, escape_text};
+pub use event::{drive, notation, Attribute, Event, EventCollector, EventRef, SaxHandler};
 pub use iter::{EventIter, SpannedEvents};
 pub use parser::{parse, parse_spanned, parse_spanned_with, parse_with, ParseError, ParseOptions};
 pub use reader::{parse_reader, StreamingParser};
@@ -36,6 +37,7 @@ pub use span::Span;
 pub use split::{
     element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,
 };
+pub use symbols::{AttrBuf, Sym, SymAttr, SymCache, SymEvent, Symbols};
 pub use wellformed::{check, is_well_formed, stream_depth, Violation};
 pub use writer::{to_pretty_xml, to_xml, WriteError};
 

@@ -3,23 +3,62 @@
 //! [`StreamingParser`] accepts arbitrary byte-chunk boundaries and emits
 //! events as soon as they are complete, so a filter can run over documents
 //! far larger than RAM — the setting the paper's space bounds are about.
+//!
+//! The parser's native output is the *interned* event surface
+//! ([`StreamingParser::feed_interned`] → [`SymEvent`]): element and
+//! attribute names are interned into the parser's shared [`Symbols`]
+//! table and payloads borrow reusable scratch buffers, so steady-state
+//! parsing performs **zero heap allocations per element event**. The
+//! owned-event surface ([`StreamingParser::feed`] /
+//! [`StreamingParser::feed_spanned`]) is a thin conversion layer over it.
 
-use crate::escape::decode_entities;
-use crate::event::{Attribute, Event, SaxHandler};
+use crate::escape::decode_entities_into;
+use crate::event::{Event, SaxHandler};
 use crate::parser::ParseError;
 use crate::span::Span;
-use std::io::BufRead;
+use crate::symbols::{AttrBuf, Sym, SymCache, SymEvent, Symbols};
+use std::io::{BufRead, Read};
+use std::sync::Arc;
 
 /// A resumable push parser. Feed it string chunks; it emits events through
 /// a callback and buffers only the current incomplete token.
 #[derive(Debug, Clone)]
 pub struct StreamingParser {
     buf: String,
-    stack: Vec<String>,
+    /// Consumed prefix of `buf`: tokens advance this cursor instead of
+    /// draining the buffer (an O(remaining) memmove per token — on a
+    /// batch feed that is quadratic in document size). The buffer
+    /// compacts once per `feed`, amortizing the move to O(1) per byte.
+    pos: usize,
+    symbols: Arc<Symbols>,
+    /// When false (see [`StreamingParser::lookup_only`]), document
+    /// names are *resolved* against the table read-only instead of
+    /// interned: names outside the compiled vocabulary collapse to
+    /// [`Sym::UNKNOWN`] and the shared table never grows with document
+    /// content — the bounded-memory mode the engine's reader path uses.
+    intern_names: bool,
+    /// Per-parser lock-free memo over the table.
+    name_cache: SymCache,
+    /// Open elements: `(sym, name)` with the name strings pooled
+    /// (popped slots keep their capacity). End tags are matched by
+    /// *string*, which stays exact when unknown names share a sym.
+    stack: Vec<(Sym, String)>,
+    /// Number of live `stack` entries (the rest are retired slots kept
+    /// for reuse).
+    depth: usize,
     started: bool,
     finished: bool,
     consumed: usize,
     keep_whitespace: bool,
+    /// Reused copy of the tag being handled (the tag must leave `buf`
+    /// before events are emitted, but not via a fresh allocation).
+    tag_scratch: String,
+    /// Reused entity-decoded text buffer; `Text` events borrow it.
+    text_scratch: String,
+    /// Reused attribute slots; `StartElement` events borrow them.
+    attrs: AttrBuf,
+    /// Reused read buffer for [`StreamingParser::drive_reader`].
+    io_chunk: Vec<u8>,
 }
 
 impl Default for StreamingParser {
@@ -30,22 +69,98 @@ impl Default for StreamingParser {
 
 impl StreamingParser {
     /// Creates a parser with default options (whitespace-only text
-    /// dropped, matching [`crate::parse`]).
+    /// dropped, matching [`crate::parse`]) and a fresh private
+    /// [`Symbols`] table.
     pub fn new() -> StreamingParser {
+        StreamingParser::with_symbols(Arc::new(Symbols::new()))
+    }
+
+    /// Creates a parser interning names into `symbols` — the table the
+    /// downstream filters' compiled node tests live in, so interned
+    /// events and compiled queries meet as equal integers.
+    pub fn with_symbols(symbols: Arc<Symbols>) -> StreamingParser {
         StreamingParser {
             buf: String::new(),
+            pos: 0,
+            symbols,
+            intern_names: true,
+            name_cache: SymCache::new(),
             stack: Vec::new(),
+            depth: 0,
             started: false,
             finished: false,
             consumed: 0,
             keep_whitespace: false,
+            tag_scratch: String::new(),
+            text_scratch: String::new(),
+            attrs: AttrBuf::new(),
+            io_chunk: Vec::new(),
         }
+    }
+
+    /// Resets per-document state so the parser can stream another
+    /// document, keeping everything amortizable warm: the symbol table
+    /// handle, the name memo, and every scratch buffer's capacity.
+    /// Sessions reuse one parser across documents this way instead of
+    /// rebuilding scratch per document.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        self.depth = 0;
+        self.started = false;
+        self.finished = false;
+        self.consumed = 0;
+    }
+
+    /// The symbol table this parser interns names into.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
     }
 
     /// Keeps whitespace-only text nodes.
     pub fn keep_whitespace(mut self) -> StreamingParser {
         self.keep_whitespace = true;
         self
+    }
+
+    /// Switches to *lookup-only* name resolution: document names are
+    /// resolved against the (shared) table without interning — names
+    /// the table has never seen collapse to [`Sym::UNKNOWN`], exactly
+    /// as the filters' owned-event conversion treats them (they fail
+    /// every named node test and pass every wildcard), and the table
+    /// never grows with document content. This is how a long-lived
+    /// engine keeps bounded memory on streams with unbounded
+    /// distinct-name cardinality; the default interning mode instead
+    /// guarantees distinct syms per distinct name (required by
+    /// [`SymEvent::to_owned`] and thus the owned `feed`/`feed_spanned`
+    /// wrappers, which must not be used in lookup-only mode).
+    ///
+    /// Compile every query against the table *before* parsing: the
+    /// per-parser memo caches "unknown" verdicts (see
+    /// [`crate::SymCache`]).
+    pub fn lookup_only(mut self) -> StreamingParser {
+        self.intern_names = false;
+        self
+    }
+
+    /// Resolves a name per the parser's mode: memoized lookup, plus
+    /// interning (and memo refresh) on a miss in the default mode.
+    fn resolve_name(&mut self, name: &str) -> Sym {
+        self.name_cache
+            .lookup_or_intern(&self.symbols, name, self.intern_names)
+    }
+
+    /// Pushes an open element, reusing a retired slot's name capacity.
+    fn stack_push(&mut self, sym: Sym, name: &str) {
+        if self.depth == self.stack.len() {
+            self.stack.push((sym, name.to_string()));
+        } else {
+            let slot = &mut self.stack[self.depth];
+            slot.0 = sym;
+            slot.1.clear();
+            slot.1.push_str(name);
+        }
+        self.depth += 1;
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -71,8 +186,58 @@ impl StreamingParser {
         chunk: &str,
         emit: &mut dyn FnMut(Event, Span),
     ) -> Result<(), ParseError> {
+        self.require_interning()?;
+        let symbols = Arc::clone(&self.symbols);
+        self.feed_interned(chunk, &mut |ev, span| emit(ev.to_owned(&symbols), span))
+    }
+
+    /// The owned-event wrappers must resolve every sym back to its
+    /// name, which [`StreamingParser::lookup_only`] mode cannot do
+    /// (unknown names collapse to one sentinel): reject the combination
+    /// with a proper error instead of panicking inside `resolve`.
+    fn require_interning(&self) -> Result<(), ParseError> {
+        if self.intern_names {
+            Ok(())
+        } else {
+            Err(self.err(
+                "the owned-event surface (feed/feed_spanned/finish_spanned) requires                  interning mode; a lookup_only parser emits interned events only",
+            ))
+        }
+    }
+
+    /// Feeds a chunk, emitting every completed event in *interned*,
+    /// zero-copy form: names are [`Sym`]s from the parser's table,
+    /// attribute and text payloads borrow the parser's reusable scratch
+    /// buffers (valid for the duration of the callback). In steady
+    /// state — names already interned, scratch capacities warm — a
+    /// start/end element event allocates nothing.
+    pub fn feed_interned(
+        &mut self,
+        chunk: &str,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        self.compact();
         self.buf.push_str(chunk);
         self.drain(false, emit)
+    }
+
+    /// Drops the consumed prefix of the buffer (cheap when it was fully
+    /// consumed, one move of the unconsumed tail otherwise).
+    fn compact(&mut self) {
+        if self.pos == 0 {
+            return;
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+        } else {
+            self.buf.drain(..self.pos);
+        }
+        self.pos = 0;
+    }
+
+    /// The unconsumed input.
+    fn pending(&self) -> &str {
+        &self.buf[self.pos..]
     }
 
     /// Signals end of input; emits any trailing events (including
@@ -83,14 +248,24 @@ impl StreamingParser {
 
     /// [`StreamingParser::finish`], with each event's source byte [`Span`].
     pub fn finish_spanned(&mut self, emit: &mut dyn FnMut(Event, Span)) -> Result<(), ParseError> {
+        self.require_interning()?;
+        let symbols = Arc::clone(&self.symbols);
+        self.finish_interned(&mut |ev, span| emit(ev.to_owned(&symbols), span))
+    }
+
+    /// [`StreamingParser::finish`] on the interned surface.
+    pub fn finish_interned(
+        &mut self,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
         self.drain(true, emit)?;
-        if !self.buf.trim().is_empty() {
+        if !self.pending().trim().is_empty() {
             return Err(self.err("unexpected trailing content at end of input"));
         }
-        if !self.stack.is_empty() {
+        if self.depth > 0 {
             return Err(self.err(format!(
                 "unclosed element `{}`",
-                self.stack.last().expect("non-empty")
+                self.stack[self.depth - 1].1
             )));
         }
         if !self.started {
@@ -100,14 +275,86 @@ impl StreamingParser {
             return Err(self.err("finish called twice"));
         }
         self.finished = true;
-        emit(Event::EndDocument, Span::point(self.consumed as u64));
+        emit(SymEvent::EndDocument, Span::point(self.consumed as u64));
         Ok(())
     }
 
-    fn drain(&mut self, at_eof: bool, emit: &mut dyn FnMut(Event, Span)) -> Result<(), ParseError> {
+    /// Streams a whole document from `reader` through the interned
+    /// surface: the engine's zero-copy hot path. Reads fixed-size
+    /// chunks, carries split UTF-8 scalars across boundaries, feeds and
+    /// finishes. Parser memory is bounded by the chunk plus the largest
+    /// single XML token, never by document size — and in
+    /// [`StreamingParser::lookup_only`] mode (how the engine drives
+    /// this) the shared symbol table stays bounded by the compiled
+    /// query vocabulary too; the default interning mode instead grows
+    /// the table with the document's *distinct* names.
+    pub fn drive_reader<R: Read>(
+        &mut self,
+        mut reader: R,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        let io_err = |e: std::io::Error| ParseError {
+            message: format!("read error: {e}"),
+            line: 0,
+            column: 0,
+        };
+        if self.io_chunk.is_empty() {
+            self.io_chunk.resize(8 * 1024, 0);
+        }
+        // Take the reused read buffer out for the loop (so reads and
+        // `feed_interned` can borrow `self` independently) and restore
+        // it on every exit path.
+        let mut chunk = std::mem::take(&mut self.io_chunk);
+        // Incomplete UTF-8 tail carried to the next read (at most 3 bytes).
+        let mut carry: Vec<u8> = Vec::new();
+        let result = loop {
+            let n = match reader.read(&mut chunk) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(io_err(e)),
+            };
+            if n == 0 {
+                if !carry.is_empty() {
+                    break Err(self.err("invalid UTF-8: truncated scalar at end of input"));
+                }
+                break self.finish_interned(emit);
+            }
+            let step = if carry.is_empty() {
+                utf8_prefix_len(&chunk[..n], self).and_then(|valid| {
+                    let text = std::str::from_utf8(&chunk[..valid]).expect("validated prefix");
+                    self.feed_interned(text, emit)?;
+                    carry.extend_from_slice(&chunk[valid..n]);
+                    Ok(())
+                })
+            } else {
+                carry.extend_from_slice(&chunk[..n]);
+                utf8_prefix_len(&carry, self).and_then(|valid| {
+                    // Move the carry out so `feed_interned` can borrow
+                    // `self`.
+                    let data = std::mem::take(&mut carry);
+                    let text = std::str::from_utf8(&data[..valid]).expect("validated prefix");
+                    let result = self.feed_interned(text, emit);
+                    carry = data;
+                    carry.drain(..valid);
+                    result
+                })
+            };
+            if let Err(e) = step {
+                break Err(e);
+            }
+        };
+        self.io_chunk = chunk;
+        result
+    }
+
+    fn drain(
+        &mut self,
+        at_eof: bool,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
         loop {
             // Text up to the next tag (or all of it at EOF).
-            match self.buf.find('<') {
+            match self.pending().find('<') {
                 Some(0) => {}
                 Some(pos) => {
                     let before = self.consumed;
@@ -123,7 +370,7 @@ impl StreamingParser {
                 }
                 None => {
                     if at_eof {
-                        let len = self.buf.len();
+                        let len = self.pending().len();
                         if len > 0 {
                             self.take_text(len, emit)?;
                         }
@@ -131,44 +378,63 @@ impl StreamingParser {
                     return Ok(());
                 }
             }
-            // A tag begins at offset 0; find its end, respecting the
+            // A tag begins at the cursor; find its end, respecting the
             // multi-character terminators of comments/CDATA/PIs and
             // quoted attribute values (which may contain `>`).
             let Some(tag_len) = self.tag_length()? else {
                 return Ok(()); // incomplete: wait for more input
             };
-            let tag: String = self.buf.drain(..tag_len).collect();
+            // Copy the tag into the reused scratch so the cursor can
+            // advance past it without a fresh allocation, then hand it
+            // to the handler.
+            let mut tag = std::mem::take(&mut self.tag_scratch);
+            tag.clear();
+            tag.push_str(&self.buf[self.pos..self.pos + tag_len]);
+            self.pos += tag_len;
             self.consumed += tag_len;
             let span = Span::new((self.consumed - tag_len) as u64, self.consumed as u64);
-            self.handle_tag(&tag, span, emit)?;
+            let result = self.handle_tag(&tag, span, emit);
+            self.tag_scratch = tag;
+            result?;
         }
     }
 
     fn take_text(
         &mut self,
         len: usize,
-        emit: &mut dyn FnMut(Event, Span),
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
         // Hold back a trailing fragment that may be a split entity
         // reference ("&am" + "p;").
+        let text = &self.buf[self.pos..self.pos + len];
         let mut end = len;
-        if let Some(amp) = self.buf[..len].rfind('&') {
-            if !self.buf[amp..len].contains(';') {
+        if let Some(amp) = text.rfind('&') {
+            if !text[amp..].contains(';') {
                 end = amp;
             }
         }
         if end == 0 {
             return Ok(());
         }
-        let raw: String = self.buf.drain(..end).collect();
+        self.text_scratch.clear();
+        if let Err(e) =
+            decode_entities_into(&self.buf[self.pos..self.pos + end], &mut self.text_scratch)
+        {
+            return Err(self.err(e.to_string()));
+        }
+        self.pos += end;
         self.consumed += end;
         let span = Span::new((self.consumed - end) as u64, self.consumed as u64);
-        let text = decode_entities(&raw).map_err(|e| self.err(e.to_string()))?;
-        if self.keep_whitespace || !text.chars().all(char::is_whitespace) {
-            if self.stack.is_empty() {
+        if self.keep_whitespace || !self.text_scratch.chars().all(char::is_whitespace) {
+            if self.depth == 0 {
                 return Err(self.err("text content outside the root element"));
             }
-            emit(Event::text(text), span);
+            emit(
+                SymEvent::Text {
+                    content: &self.text_scratch,
+                },
+                span,
+            );
         }
         Ok(())
     }
@@ -176,7 +442,7 @@ impl StreamingParser {
     /// Length of the complete tag at the buffer start, or `None` if more
     /// input is needed.
     fn tag_length(&self) -> Result<Option<usize>, ParseError> {
-        let b = &self.buf;
+        let b = self.pending();
         debug_assert!(b.starts_with('<'));
         let closed_by = |needle: &str, from: usize| -> Option<usize> {
             b[from..].find(needle).map(|i| from + i + needle.len())
@@ -222,7 +488,7 @@ impl StreamingParser {
         &mut self,
         tag: &str,
         span: Span,
-        emit: &mut dyn FnMut(Event, Span),
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
         if tag.starts_with("<!--") || tag.starts_with("<?") || tag.starts_with("<!DOCTYPE") {
             return Ok(());
@@ -231,26 +497,29 @@ impl StreamingParser {
             .strip_prefix("<![CDATA[")
             .and_then(|t| t.strip_suffix("]]>"))
         {
-            if self.stack.is_empty() {
+            if self.depth == 0 {
                 return Err(self.err("CDATA outside the root element"));
             }
             if !cdata.is_empty() {
-                emit(Event::text(cdata), span);
+                emit(SymEvent::Text { content: cdata }, span);
             }
             return Ok(());
         }
         if let Some(rest) = tag.strip_prefix("</") {
             let name = rest.trim_end_matches('>').trim();
-            match self.stack.pop() {
-                Some(open) if open == name => {
-                    emit(Event::end(name), span);
-                    Ok(())
-                }
-                Some(open) => {
-                    Err(self.err(format!("mismatched `</{name}>`; expected `</{open}>`")))
-                }
-                None => Err(self.err(format!("`</{name}>` without matching start tag"))),
+            if self.depth == 0 {
+                return Err(self.err(format!("`</{name}>` without matching start tag")));
             }
+            // Match by string (exact even when several unknown names
+            // share a sym in lookup-only mode) and emit the sym the
+            // matching start carried — no lookup at all on end tags.
+            let (open_sym, ref open_name) = self.stack[self.depth - 1];
+            if open_name != name {
+                return Err(self.err(format!("mismatched `</{name}>`; expected `</{open_name}>`")));
+            }
+            self.depth -= 1;
+            emit(SymEvent::EndElement { name: open_sym }, span);
+            Ok(())
         } else {
             let inner = tag.trim_start_matches('<').trim_end_matches('>');
             let (inner, self_closing) = match inner.strip_suffix('/') {
@@ -262,43 +531,72 @@ impl StreamingParser {
             if name.is_empty() {
                 return Err(self.err("empty tag name"));
             }
-            if self.stack.is_empty() && self.started {
+            if self.depth == 0 && self.started {
                 return Err(self.err("multiple root elements"));
             }
-            let attributes = match parts.next() {
-                Some(attrs) => parse_attrs(attrs).map_err(|m| self.err(m))?,
-                None => Vec::new(),
-            };
+            match parts.next() {
+                Some(attrs) => parse_attrs_into(
+                    attrs,
+                    &self.symbols,
+                    &mut self.name_cache,
+                    self.intern_names,
+                    &mut self.attrs,
+                )
+                .map_err(|m| self.err(m))?,
+                None => self.attrs.clear(),
+            }
+            let sym = self.resolve_name(name);
             if !self.started {
                 self.started = true;
-                emit(Event::StartDocument, Span::point(0));
+                emit(SymEvent::StartDocument, Span::point(0));
             }
             emit(
-                Event::StartElement {
-                    name: name.to_string(),
-                    attributes,
+                SymEvent::StartElement {
+                    name: sym,
+                    attributes: self.attrs.as_slice(),
                 },
                 span,
             );
             if self_closing {
                 // A self-closing tag is both events; they share its span.
-                emit(Event::end(name), span);
+                emit(SymEvent::EndElement { name: sym }, span);
             } else {
-                self.stack.push(name.to_string());
+                self.stack_push(sym, name);
             }
             Ok(())
         }
     }
 }
 
-fn parse_attrs(s: &str) -> Result<Vec<Attribute>, String> {
-    let mut out = Vec::new();
+/// Length of the longest valid-UTF-8 prefix of `data`; errors (via
+/// `p.err`) when the invalid bytes cannot be a split scalar.
+fn utf8_prefix_len(data: &[u8], p: &StreamingParser) -> Result<usize, ParseError> {
+    match std::str::from_utf8(data) {
+        Ok(_) => Ok(data.len()),
+        Err(e) if e.error_len().is_none() => Ok(e.valid_up_to()),
+        Err(e) => Err(p.err(format!("invalid UTF-8 in input: {e}"))),
+    }
+}
+
+/// Parses `name="value"` pairs into the reused buffer, resolving names
+/// per the parser's mode (interned, or lookup-only with unknown names
+/// collapsing to [`Sym::UNKNOWN`]). Duplicates are detected by name
+/// *string*, which stays exact under the collapse. Allocation-free in
+/// steady state (slot strings and known names are reused).
+fn parse_attrs_into(
+    s: &str,
+    symbols: &Symbols,
+    cache: &mut SymCache,
+    intern_names: bool,
+    out: &mut AttrBuf,
+) -> Result<(), String> {
+    out.clear();
     let mut rest = s.trim();
     while !rest.is_empty() {
         let eq = rest
             .find('=')
             .ok_or_else(|| format!("expected `=` in attributes: `{rest}`"))?;
-        let name = rest[..eq].trim().to_string();
+        let name = rest[..eq].trim();
         rest = rest[eq + 1..].trim_start();
         let quote = rest.chars().next().filter(|&c| c == '"' || c == '\'');
         let Some(q) = quote else {
@@ -306,16 +604,15 @@ fn parse_attrs(s: &str) -> Result<Vec<Attribute>, String> {
         };
         let close = rest[1..].find(q).ok_or("unterminated attribute value")? + 1;
         let raw = &rest[1..close];
-        let value = decode_entities(raw)
-            .map_err(|e| e.to_string())?
-            .into_owned();
-        if out.iter().any(|a: &Attribute| a.name == name) {
+        let sym = cache.lookup_or_intern(symbols, name, intern_names);
+        if out.has_name_str(name) {
             return Err(format!("duplicate attribute `{name}`"));
         }
-        out.push(Attribute { name, value });
+        let value = out.push_named(sym, name);
+        decode_entities_into(raw, value).map_err(|e| e.to_string())?;
         rest = rest[close + 1..].trim_start();
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Parses from any [`BufRead`], pushing events into a [`SaxHandler`]
@@ -437,6 +734,20 @@ mod tests {
     }
 
     #[test]
+    fn multiple_roots_are_rejected_after_stack_slots_retire() {
+        // Regression: the pooled element stack keeps retired slots, so
+        // the multiple-roots guard must consult the live depth, not
+        // `stack.is_empty()`.
+        let mut p = StreamingParser::new();
+        let mut sink = |_e: Event| {};
+        p.feed("<a></a>", &mut sink).unwrap();
+        assert!(p.feed("<b></b>", &mut sink).is_err());
+
+        let mut p2 = StreamingParser::new();
+        assert!(p2.feed("<a><x/></a><b/>", &mut sink).is_err());
+    }
+
+    #[test]
     fn unterminated_entity_before_tag_errors_instead_of_looping() {
         // Regression: "&am" (no `;`) directly before a tag used to spin
         // forever in `drain` — the held-back fragment never shrank.
@@ -513,7 +824,7 @@ mod tests {
             starts: usize,
         }
         impl SaxHandler for Counter {
-            fn start_element(&mut self, _n: &str, _a: &[Attribute]) {
+            fn start_element(&mut self, _n: &str, _a: &[crate::event::Attribute]) {
                 self.starts += 1;
             }
         }
@@ -528,5 +839,186 @@ mod tests {
         )
         .unwrap();
         assert_eq!(counter.starts, 1001);
+    }
+
+    // -- interned surface ---------------------------------------------------
+
+    /// Runs the interned path and re-materializes owned events through
+    /// the table, for comparison with the owned path.
+    fn interned_as_owned(xml: &str, chunk: usize) -> Vec<(Event, Span)> {
+        let mut parser = StreamingParser::new();
+        let symbols = Arc::clone(parser.symbols());
+        let mut out: Vec<(Event, Span)> = Vec::new();
+        let bytes = xml.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + chunk).min(bytes.len());
+            parser
+                .feed_interned(
+                    std::str::from_utf8(&bytes[i..end]).unwrap(),
+                    &mut |ev, s| out.push((ev.to_owned(&symbols), s)),
+                )
+                .unwrap();
+            i = end;
+        }
+        parser
+            .finish_interned(&mut |ev, s| out.push((ev.to_owned(&symbols), s)))
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn interned_events_match_owned_events_at_every_chunking() {
+        let xml = r#"<a note="1 > 0"><b>x &amp; y</b><![CDATA[q]]><c/>t</a>"#;
+        let reference = spanned_events(xml, xml.len());
+        for chunk in [1usize, 2, 3, 7, xml.len()] {
+            assert_eq!(interned_as_owned(xml, chunk), reference, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn interned_names_are_stable_across_occurrences() {
+        let mut parser = StreamingParser::new();
+        let mut names: Vec<Sym> = Vec::new();
+        parser
+            .feed_interned("<a><b/><b/><a><b/></a></a>", &mut |ev, _| {
+                if let SymEvent::StartElement { name, .. } = ev {
+                    names.push(name);
+                }
+            })
+            .unwrap();
+        parser.finish_interned(&mut |_, _| {}).unwrap();
+        assert_eq!(names.len(), 5);
+        assert_eq!(names[1], names[2]);
+        assert_eq!(names[1], names[4]);
+        assert_ne!(names[0], names[1]);
+        assert_eq!(parser.symbols().len(), 2);
+    }
+
+    #[test]
+    fn shared_table_gives_equal_syms_across_parsers() {
+        let symbols = Arc::new(Symbols::new());
+        let sym_of = |xml: &str| {
+            let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+            let mut first = None;
+            p.feed_interned(xml, &mut |ev, _| {
+                if let SymEvent::StartElement { name, .. } = ev {
+                    first.get_or_insert(name);
+                }
+            })
+            .unwrap();
+            first.unwrap()
+        };
+        assert_eq!(sym_of("<doc><x/></doc>"), sym_of("<doc><y/></doc>"));
+    }
+
+    #[test]
+    fn lookup_only_mode_never_grows_the_table() {
+        let symbols = Arc::new(Symbols::new());
+        let known = symbols.intern("item");
+        let mut p = StreamingParser::with_symbols(Arc::clone(&symbols)).lookup_only();
+        let mut events = Vec::new();
+        p.feed_interned(
+            r#"<root><item/><other key="v">text</other></root>"#,
+            &mut |ev, _| events.push(format!("{ev:?}")),
+        )
+        .unwrap();
+        p.finish_interned(&mut |_, _| {}).unwrap();
+        assert_eq!(symbols.len(), 1, "document names must not intern");
+        // The known name resolves to its real sym; unknown ones
+        // collapse to UNKNOWN (and still match as start/end pairs).
+        assert!(events.iter().any(|e| e.contains(&format!("{known:?}"))));
+        assert!(events
+            .iter()
+            .any(|e| e.contains("UNKNOWN") || e.contains("4294967295")));
+    }
+
+    #[test]
+    fn lookup_only_rejects_the_owned_event_surface() {
+        // The owned wrappers must resolve syms back to names, which
+        // lookup-only mode cannot do: a proper error, not a panic.
+        let mut p = StreamingParser::new().lookup_only();
+        let err = p.feed("<a/>", &mut |_e| {}).unwrap_err();
+        assert!(err.message.contains("interning"), "{err}");
+        let mut p2 = StreamingParser::new().lookup_only();
+        p2.feed_interned("<a/>", &mut |_, _| {}).unwrap();
+        assert!(p2.finish_spanned(&mut |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn parser_reset_reuses_scratch_across_documents() {
+        let mut p = StreamingParser::new();
+        let mut names = Vec::new();
+        p.feed_interned("<a><b/></a>", &mut |ev, _| {
+            if let SymEvent::StartElement { name, .. } = ev {
+                names.push(name);
+            }
+        })
+        .unwrap();
+        p.finish_interned(&mut |_, _| {}).unwrap();
+        p.reset();
+        p.feed_interned("<a><c/></a>", &mut |ev, _| {
+            if let SymEvent::StartElement { name, .. } = ev {
+                names.push(name);
+            }
+        })
+        .unwrap();
+        p.finish_interned(&mut |_, _| {}).unwrap();
+        assert_eq!(names[0], names[2], "syms stable across reset");
+        assert_eq!(p.symbols().len(), 3);
+        // And a reset parser enforces completeness afresh.
+        p.reset();
+        p.feed_interned("<open>", &mut |_, _| {}).unwrap();
+        assert!(p.finish_interned(&mut |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn lookup_only_mode_still_matches_end_tags_exactly() {
+        // Two distinct unknown names share Sym::UNKNOWN, but tag
+        // matching is by string: crossing them is still an error.
+        let mut p = StreamingParser::new().lookup_only();
+        let mut sink = |_: SymEvent<'_>, _: crate::span::Span| {};
+        p.feed_interned("<aaa><bbb>", &mut sink).unwrap();
+        assert!(p.feed_interned("</aaa>", &mut sink).is_err());
+
+        // And duplicate unknown attribute names are still rejected.
+        let mut p2 = StreamingParser::new().lookup_only();
+        assert!(p2
+            .feed_interned(r#"<t q="1" q="2"/>"#, &mut |_, _| {})
+            .is_err());
+        // Distinct unknown attribute names are not false duplicates.
+        let mut p3 = StreamingParser::new().lookup_only();
+        p3.feed_interned(r#"<t q="1" r="2"/>"#, &mut |_, _| {})
+            .unwrap();
+    }
+
+    #[test]
+    fn drive_reader_equals_batch_with_multibyte_splits() {
+        let xml = "<a attr=\"v\">héllo • wörld<b/></a>";
+        let expected = parse(xml).unwrap();
+        let mut parser = StreamingParser::new();
+        let symbols = Arc::clone(parser.symbols());
+        let mut got = Vec::new();
+        parser
+            .drive_reader(std::io::Cursor::new(xml.as_bytes()), &mut |ev, _| {
+                got.push(ev.to_owned(&symbols))
+            })
+            .unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn drive_reader_reports_truncation_and_bad_utf8() {
+        let mut p = StreamingParser::new();
+        assert!(p
+            .drive_reader(std::io::Cursor::new(b"<a><b>".as_ref()), &mut |_, _| {})
+            .is_err());
+        let mut p2 = StreamingParser::new();
+        assert!(p2
+            .drive_reader(
+                std::io::Cursor::new(b"<a>\xFF</a>".as_ref()),
+                &mut |_, _| {}
+            )
+            .is_err());
     }
 }

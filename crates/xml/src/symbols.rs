@@ -1,0 +1,553 @@
+//! QName symbol interning: the zero-copy event hot path's currency.
+//!
+//! Per-event `String` allocation and string comparison dominate the
+//! wall-clock of the streaming filters, even though the paper prices
+//! memory in bits (§3.1.4): every `startElement(n)` used to allocate an
+//! owned name and every frontier record compared it byte-by-byte. A
+//! [`Symbols`] table maps each distinct element/attribute name to a
+//! dense `u32` [`Sym`] once, so the parser can stamp events with
+//! integer names ([`SymEvent`]) and compiled queries can resolve their
+//! node tests to integers at compile time — turning the per-event,
+//! per-record node-test check into a single integer compare.
+//!
+//! # Invariants
+//!
+//! * **Ids are stable for the lifetime of the table**: `intern(n)`
+//!   returns the same [`Sym`] for the same name forever, and
+//!   [`Symbols::resolve`] inverts it forever.
+//! * **Ids are never recycled**: the table only grows; no operation
+//!   removes a name or reassigns its id. A table shared between a
+//!   parser, a compiled query bank, and any number of sessions
+//!   therefore never invalidates anyone's cached [`Sym`]s.
+//! * **Equal ids ⇔ equal names, within one table.** Syms from
+//!   *different* tables are meaningless to compare; every consumer
+//!   (filter, bank, engine) pins the `Arc<Symbols>` it was compiled
+//!   against and converts incoming string-named events through that
+//!   same table.
+//! * [`Sym::UNKNOWN`] is never returned by [`Symbols::intern`]: it is
+//!   the reserved "name absent from this table" code produced by
+//!   [`Symbols::lookup_or_unknown`], and compares unequal to every
+//!   interned sym (so a document name no query mentions simply fails
+//!   every named node test, without growing the table).
+//!
+//! The table is internally synchronized (`RwLock`); interning an
+//! already-known name takes a read lock only, so concurrent sessions
+//! sharing one table do not serialize on the hot path.
+//!
+//! Because ids are never recycled, the table's footprint grows with
+//! every *distinct* name ever interned. Long-lived consumers that
+//! stream adversarial name cardinality should resolve document names
+//! read-only (`StreamingParser::lookup_only`, [`Symbols::lookup_or_unknown`])
+//! so only compiled query vocabulary ever lands in the table — the
+//! engine's reader path does exactly this.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::RwLock;
+
+/// The multiply-xor hash used by the interning map (the widely-used
+/// "Fx" construction): names are short and looked up once per event on
+/// the hot path, where SipHash's per-byte cost dominates the whole
+/// conversion. Not DoS-hardened — the table holds XML names from
+/// documents the caller already chose to parse.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8-byte words, then the tail, folding each with the
+        // rotate-xor-multiply step.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= (b as u64) << (8 * i);
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// An interned name: a dense integer id issued by a [`Symbols`] table.
+///
+/// Compare syms only against syms from the same table (see the module
+/// invariants). `Sym`s order by interning order, which is meaningless
+/// but stable — handy for dense per-sym side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// The reserved "not in this table" code (see
+    /// [`Symbols::lookup_or_unknown`]). Never issued by
+    /// [`Symbols::intern`]; unequal to every interned sym.
+    pub const UNKNOWN: Sym = Sym(u32::MAX);
+
+    /// The raw id, for dense side tables indexed by sym.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxMap<String, Sym>,
+    names: Vec<String>,
+}
+
+/// A grow-only, internally-synchronized name-interning table (see the
+/// module docs for the id-stability invariants).
+///
+/// Share one table per engine/bank via `Arc<Symbols>`: the parser
+/// interns document names into it, compiled queries resolve their node
+/// tests against it, and equal strings meet as equal integers on the
+/// hot path.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    inner: RwLock<Inner>,
+}
+
+impl Symbols {
+    /// An empty table.
+    pub fn new() -> Symbols {
+        Symbols::default()
+    }
+
+    /// Returns the sym for `name`, interning it on first sight.
+    ///
+    /// Known names take a read lock only. Ids are issued densely in
+    /// interning order and never recycled.
+    pub fn intern(&self, name: &str) -> Sym {
+        if let Some(&s) = self.inner.read().expect("symbols lock").map.get(name) {
+            return s;
+        }
+        let mut inner = self.inner.write().expect("symbols lock");
+        if let Some(&s) = inner.map.get(name) {
+            return s; // raced with another writer
+        }
+        let id = inner.names.len() as u32;
+        assert!(id < u32::MAX - 1, "symbol table overflow");
+        let s = Sym(id);
+        inner.names.push(name.to_string());
+        inner.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// The sym for `name`, if it was ever interned.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.inner
+            .read()
+            .expect("symbols lock")
+            .map
+            .get(name)
+            .copied()
+    }
+
+    /// The sym for `name`, or [`Sym::UNKNOWN`] when the table has never
+    /// seen it. This is the read-only conversion used when feeding
+    /// string-named events to compiled filters: an unknown name cannot
+    /// equal any compiled node test, so the sentinel behaves exactly
+    /// like a fresh sym without growing the table.
+    pub fn lookup_or_unknown(&self, name: &str) -> Sym {
+        self.lookup(name).unwrap_or(Sym::UNKNOWN)
+    }
+
+    /// The name behind `sym` (a clone; resolution is for diagnostics
+    /// and the owned-event conversion layer, not the hot path).
+    ///
+    /// Panics on [`Sym::UNKNOWN`] or a sym from another table.
+    pub fn resolve(&self, sym: Sym) -> String {
+        self.inner.read().expect("symbols lock").names[sym.index()].clone()
+    }
+
+    /// Appends the name behind `sym` to `out` without allocating a
+    /// fresh `String`.
+    pub fn resolve_into(&self, sym: Sym, out: &mut String) {
+        out.push_str(&self.inner.read().expect("symbols lock").names[sym.index()]);
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("symbols lock").names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A small direct-mapped, lock-free memo for [`Symbols`] lookups,
+/// owned by a single consumer (a filter bank's owned-event conversion
+/// layer). XML documents draw names from a tiny vocabulary, so almost
+/// every per-event lookup hits the cache and costs a short hash plus
+/// one string compare — no table lock at all. Misses fall through to
+/// the shared table and fill the slot (reusing its `String` capacity).
+///
+/// The cache memoizes *lookup* results, including "unknown". A memoed
+/// [`Sym::UNKNOWN`] can go stale when another table user (a parser, a
+/// later-built bank) interns that name afterwards — harmlessly: the
+/// consumer's own compiled names were all interned before its first
+/// lookup, so a name that ever memoizes as unknown is outside its
+/// compiled vocabulary, where `UNKNOWN` and a real (never-compared)
+/// sym behave identically.
+#[derive(Debug, Clone, Default)]
+pub struct SymCache {
+    slots: Vec<(String, Sym)>,
+}
+
+const SYM_CACHE_SLOTS: usize = 64;
+
+/// The raw Fx hash of a byte string (the [`FxHasher`] fold, without
+/// the `Hash`-trait framing).
+fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+// NOTE: slots materialize on first use (`Default` is an empty vec), so
+// `mem::take`-style swaps of a consumer's cache cost nothing.
+impl SymCache {
+    /// An empty cache.
+    pub fn new() -> SymCache {
+        SymCache::default()
+    }
+
+    /// [`Symbols::lookup_or_unknown`] through the memo.
+    pub fn lookup(&mut self, symbols: &Symbols, name: &str) -> Sym {
+        if self.slots.is_empty() {
+            self.slots
+                .resize(SYM_CACHE_SLOTS, (String::new(), Sym::UNKNOWN));
+        }
+        let idx = (fx_hash_bytes(name.as_bytes()) as usize) & (SYM_CACHE_SLOTS - 1);
+        let slot = &mut self.slots[idx];
+        if slot.0 == name && !name.is_empty() {
+            return slot.1;
+        }
+        let sym = symbols.lookup_or_unknown(name);
+        slot.0.clear();
+        slot.0.push_str(name);
+        slot.1 = sym;
+        sym
+    }
+
+    /// [`SymCache::lookup`], optionally interning on a miss (with the
+    /// memo slot refreshed so the stale "unknown" verdict is replaced):
+    /// the one resolution primitive both parser modes share.
+    pub fn lookup_or_intern(&mut self, symbols: &Symbols, name: &str, intern: bool) -> Sym {
+        let sym = self.lookup(symbols, name);
+        if sym != Sym::UNKNOWN || !intern {
+            return sym;
+        }
+        let interned = symbols.intern(name);
+        self.insert(name, interned);
+        interned
+    }
+
+    /// Overwrites the memo slot for `name` (used after interning a name
+    /// the cache had memoized as unknown).
+    pub fn insert(&mut self, name: &str, sym: Sym) {
+        if self.slots.is_empty() {
+            self.slots
+                .resize(SYM_CACHE_SLOTS, (String::new(), Sym::UNKNOWN));
+        }
+        let idx = (fx_hash_bytes(name.as_bytes()) as usize) & (SYM_CACHE_SLOTS - 1);
+        let slot = &mut self.slots[idx];
+        slot.0.clear();
+        slot.0.push_str(name);
+        slot.1 = sym;
+    }
+}
+
+/// An attribute of an interned start-element event: interned name,
+/// entity-decoded value. The value `String` is owned by a reusable
+/// scratch buffer ([`AttrBuf`]), so steady-state parsing reuses its
+/// capacity instead of allocating per event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymAttr {
+    /// The interned attribute name (no `@` sigil).
+    pub name: Sym,
+    /// The attribute value, entity-decoded.
+    pub value: String,
+}
+
+/// A SAX event with interned names and borrowed payloads: the zero-copy
+/// sibling of the owned [`crate::Event`].
+///
+/// Produced by [`crate::StreamingParser::feed_interned`] (names interned
+/// into the parser's table, attribute/text payloads borrowed from its
+/// reusable scratch buffers) and consumed natively by the `fx-core`
+/// filters, whose compiled node tests are syms from the same table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymEvent<'a> {
+    /// `startDocument()`.
+    StartDocument,
+    /// `endDocument()`.
+    EndDocument,
+    /// `startElement(n)` with its attributes.
+    StartElement {
+        /// The interned element name.
+        name: Sym,
+        /// The attributes, in document order.
+        attributes: &'a [SymAttr],
+    },
+    /// `endElement(n)`.
+    EndElement {
+        /// The interned element name.
+        name: Sym,
+    },
+    /// `text(α)`.
+    Text {
+        /// The entity-decoded character content.
+        content: &'a str,
+    },
+}
+
+impl SymEvent<'_> {
+    /// Converts to an owned [`crate::Event`], resolving names through
+    /// `symbols` (the table the syms were issued by).
+    pub fn to_owned(&self, symbols: &Symbols) -> crate::Event {
+        match *self {
+            SymEvent::StartDocument => crate::Event::StartDocument,
+            SymEvent::EndDocument => crate::Event::EndDocument,
+            SymEvent::StartElement { name, attributes } => crate::Event::StartElement {
+                name: symbols.resolve(name),
+                attributes: attributes
+                    .iter()
+                    .map(|a| crate::Attribute {
+                        name: symbols.resolve(a.name),
+                        value: a.value.clone(),
+                    })
+                    .collect(),
+            },
+            SymEvent::EndElement { name } => crate::Event::EndElement {
+                name: symbols.resolve(name),
+            },
+            SymEvent::Text { content } => crate::Event::Text {
+                content: content.to_string(),
+            },
+        }
+    }
+}
+
+/// A reusable attribute buffer: holds `SymAttr` slots whose value
+/// `String`s keep their capacity across [`AttrBuf::clear`], so filling
+/// it allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct AttrBuf {
+    items: Vec<SymAttr>,
+    /// Attribute name strings, parallel to `items` and likewise pooled
+    /// — filled by [`AttrBuf::push_named`] so duplicate detection can
+    /// compare strings even when several unknown names share
+    /// [`Sym::UNKNOWN`]. Slots filled via [`AttrBuf::push_name`] leave
+    /// their name string empty.
+    names: Vec<String>,
+    len: usize,
+}
+
+impl AttrBuf {
+    /// An empty buffer.
+    pub fn new() -> AttrBuf {
+        AttrBuf::default()
+    }
+
+    /// Logically empties the buffer, retaining every slot's capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The filled attributes.
+    pub fn as_slice(&self) -> &[SymAttr] {
+        &self.items[..self.len]
+    }
+
+    /// Number of filled attributes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no attributes are filled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when a filled attribute already carries `name`.
+    pub fn contains_name(&self, name: Sym) -> bool {
+        self.as_slice().iter().any(|a| a.name == name)
+    }
+
+    /// Opens the next slot under `name` and returns its (cleared) value
+    /// buffer for the caller to fill. Reuses a retired slot's `String`
+    /// when one is available.
+    pub fn push_name(&mut self, name: Sym) -> &mut String {
+        if self.len == self.items.len() {
+            self.items.push(SymAttr {
+                name,
+                value: String::new(),
+            });
+            self.names.push(String::new());
+        } else {
+            self.items[self.len].name = name;
+            self.items[self.len].value.clear();
+            self.names[self.len].clear();
+        }
+        self.len += 1;
+        &mut self.items[self.len - 1].value
+    }
+
+    /// [`AttrBuf::push_name`], additionally recording the attribute's
+    /// name string (reusing the slot's capacity) so
+    /// [`AttrBuf::has_name_str`] can detect duplicates by text — the
+    /// only sound check when unknown names collapse to
+    /// [`Sym::UNKNOWN`].
+    pub fn push_named(&mut self, sym: Sym, name: &str) -> &mut String {
+        self.push_name(sym); // opens the slot and clears its name string
+        self.names[self.len - 1].push_str(name);
+        &mut self.items[self.len - 1].value
+    }
+
+    /// True when a slot filled via [`AttrBuf::push_named`] already
+    /// carries the name string `name`.
+    pub fn has_name_str(&self, name: &str) -> bool {
+        self.names[..self.len].iter().any(|n| n == name)
+    }
+
+    /// Fills the buffer from owned [`crate::Attribute`]s, converting
+    /// names through `symbols` *without* interning (unknown names become
+    /// [`Sym::UNKNOWN`]), and returns the filled slice. This is the
+    /// owned-event → interned-event conversion used by filters and
+    /// banks when fed pre-materialized [`crate::Event`]s.
+    pub fn fill_from<'s>(
+        &'s mut self,
+        symbols: &Symbols,
+        attributes: &[crate::Attribute],
+    ) -> &'s [SymAttr] {
+        self.clear();
+        for a in attributes {
+            self.push_name(symbols.lookup_or_unknown(&a.name))
+                .push_str(&a.value);
+        }
+        self.as_slice()
+    }
+
+    /// [`AttrBuf::fill_from`] with name lookups memoized through a
+    /// [`SymCache`] — the lock-free hot form.
+    pub fn fill_from_cached<'s>(
+        &'s mut self,
+        cache: &mut SymCache,
+        symbols: &Symbols,
+        attributes: &[crate::Attribute],
+    ) -> &'s [SymAttr] {
+        self.clear();
+        for a in attributes {
+            self.push_name(cache.lookup(symbols, &a.name))
+                .push_str(&a.value);
+        }
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let t = Symbols::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(t.intern("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "a");
+        assert_eq!(t.resolve(b), "b");
+    }
+
+    #[test]
+    fn lookup_does_not_grow_the_table() {
+        let t = Symbols::new();
+        t.intern("known");
+        assert_eq!(t.lookup("known"), Some(Sym(0)));
+        assert_eq!(t.lookup("unknown"), None);
+        assert_eq!(t.lookup_or_unknown("unknown"), Sym::UNKNOWN);
+        assert_eq!(t.len(), 1, "lookup must not intern");
+        assert_ne!(t.lookup_or_unknown("known"), Sym::UNKNOWN);
+    }
+
+    #[test]
+    fn attr_buf_reuses_slots() {
+        let t = Symbols::new();
+        let mut buf = AttrBuf::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        buf.push_name(a).push_str("one");
+        buf.push_name(b).push_str("two");
+        assert_eq!(buf.len(), 2);
+        assert!(buf.contains_name(a) && buf.contains_name(b));
+        let cap = buf.items[0].value.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.push_name(b).push_str("re");
+        assert_eq!(buf.as_slice()[0].name, b);
+        assert_eq!(buf.as_slice()[0].value, "re");
+        assert_eq!(buf.items[0].value.capacity(), cap, "capacity retained");
+    }
+
+    #[test]
+    fn sym_event_round_trips_to_owned() {
+        let t = Symbols::new();
+        let name = t.intern("item");
+        let attr = t.intern("id");
+        let mut buf = AttrBuf::new();
+        buf.push_name(attr).push('7');
+        let ev = SymEvent::StartElement {
+            name,
+            attributes: buf.as_slice(),
+        };
+        assert_eq!(
+            ev.to_owned(&t),
+            crate::Event::start_with_attrs("item", vec![crate::Attribute::new("id", "7")])
+        );
+        assert_eq!(
+            SymEvent::Text { content: "x" }.to_owned(&t),
+            crate::Event::text("x")
+        );
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        use std::sync::Arc;
+        let t = Arc::new(Symbols::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| t.intern(&format!("n{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(t.len(), 100);
+    }
+}

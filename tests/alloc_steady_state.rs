@@ -1,0 +1,155 @@
+//! The zero-allocation guarantee of the interned event hot path: in
+//! steady state — symbol table populated, scratch buffers warm — a
+//! start/end element event performs **no heap allocation anywhere** on
+//! the parse → intern → tag-dispatch path, for a single `StreamFilter`
+//! and for the `IndexedBank`'s shared-trie walk alike.
+//!
+//! Measured with a counting `#[global_allocator]`; this file holds a
+//! single test so no sibling test thread can pollute the counter.
+
+use frontier_xpath::filter::{CompiledQuery, IndexedBank, StreamFilter};
+use frontier_xpath::xml::{Span, StreamingParser, SymEvent, Symbols};
+use frontier_xpath::xpath::parse_query;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Counts every allocation and reallocation made by *this thread*
+/// (frees are irrelevant: a path that frees must have allocated). The
+/// counter is thread-local so harness/watchdog threads cannot pollute
+/// the measurement, and const-initialized so reading it inside the
+/// allocator never recurses into allocation.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // TLS may be unavailable during thread teardown; skip counting then.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+/// Pins a closure to the higher-ranked `for<'a> FnMut(SymEvent<'a>, _)`
+/// signature `feed_interned` expects (bound-to-a-variable closures
+/// otherwise infer one concrete lifetime).
+fn emitter<F: for<'a> FnMut(SymEvent<'a>, Span)>(f: F) -> F {
+    f
+}
+
+#[test]
+fn interned_hot_path_allocates_nothing_per_element_in_steady_state() {
+    // --- Single filter: parse + filter over one endless document. ----
+    let symbols = Arc::new(Symbols::new());
+    let q = parse_query("/r/i[@a]").unwrap();
+    let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+    let mut filter = StreamFilter::from_compiled(compiled);
+    let mut parser = StreamingParser::with_symbols(Arc::clone(&symbols));
+
+    // One repeating body chunk: a start tag with an attribute, text, an
+    // end tag — the tag-dispatch steady state.
+    let chunk = r#"<i a="1">x</i><j/>"#;
+    let mut count = 0u64;
+    {
+        let mut emit = emitter(|ev, span| {
+            filter.process_sym(ev, span);
+            count += 1;
+        });
+        parser.feed_interned("<r>", &mut emit).unwrap();
+        // Warm-up: interns every name, grows every scratch buffer and
+        // frontier/table capacity to its steady footprint.
+        for _ in 0..64 {
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+
+    let before = allocations();
+    let steady = 1000u64;
+    {
+        let mut emit = emitter(|ev, span| {
+            filter.process_sym(ev, span);
+            count += 1;
+        });
+        for _ in 0..steady {
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let after = allocations();
+    assert!(count > 5 * steady, "events flowed: {count}");
+    assert_eq!(
+        after - before,
+        0,
+        "parse+filter start/end element dispatch must not allocate in \
+         steady state ({} allocations over {steady} chunks)",
+        after - before
+    );
+
+    // The stream stays live and correct: close it out and check the
+    // verdict (every <i> carries @a).
+    let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+    parser.feed_interned("</r>", &mut emit).unwrap();
+    parser.finish_interned(&mut emit).unwrap();
+    assert_eq!(filter.result(), Some(true));
+
+    // --- Indexed bank: shared-trie dispatch with dormant groups. -----
+    // None of the prefixes matches the document, so the whole bank
+    // stays on the trie walk — the per-event cost the index promises.
+    let queries: Vec<_> = [
+        "/site/regions/asia/item[price > 10]",
+        "/site/regions/europe/item[price > 10]",
+        "/site/categories/category/name",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect();
+    let mut bank = IndexedBank::new(&queries).unwrap();
+    let mut parser = StreamingParser::with_symbols(Arc::clone(bank.symbols()));
+    let sink = &mut |_: frontier_xpath::filter::Match| {};
+    {
+        let mut emit = emitter(|ev, span| bank.process_sym_to(ev, span, sink));
+        parser.feed_interned("<r>", &mut emit).unwrap();
+        for _ in 0..64 {
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let before = allocations();
+    {
+        let mut emit = emitter(|ev, span| bank.process_sym_to(ev, span, sink));
+        for _ in 0..steady {
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "indexed-bank trie dispatch must not allocate in steady state \
+         ({} allocations over {steady} chunks)",
+        after - before
+    );
+}
