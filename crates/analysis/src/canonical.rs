@@ -295,6 +295,50 @@ pub fn sharable_prefix_of(steps: &[CanonicalStep]) -> usize {
     k
 }
 
+/// Everything the shared-prefix index needs to place one query, derived
+/// in a single chain walk: the canonical steps, the whole-query grouping
+/// key, and the sharable-prefix length. The incremental subscribe path
+/// of `fx_core::IndexedBank` computes this once per subscription instead
+/// of re-deriving the chain for each quantity
+/// ([`canonical_key`] + [`canonical_steps`] + [`sharable_prefix_of`]
+/// walk it three times).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical succession chain ([`canonical_steps`]).
+    pub steps: Vec<CanonicalStep>,
+    /// The whole-query grouping key ([`canonical_key`]): queries with
+    /// equal keys are semantically interchangeable and may share one
+    /// evaluation.
+    pub key: String,
+    /// The sharable-prefix length ([`sharable_prefix_of`]): how many
+    /// leading steps a prefix trie may own.
+    pub sharable: usize,
+}
+
+impl CanonicalForm {
+    /// Derives the full canonical form of `q` in one pass.
+    pub fn of(q: &Query) -> CanonicalForm {
+        let steps = canonical_steps(q);
+        let sharable = sharable_prefix_of(&steps);
+        let key = steps.iter().map(CanonicalStep::to_string).collect();
+        CanonicalForm {
+            steps,
+            key,
+            sharable,
+        }
+    }
+
+    /// The canonical key of the residual below a prefix of `skip` steps
+    /// — [`canonical_residual_key`] without re-deriving the chain. With
+    /// `skip = 0` this equals [`CanonicalForm::key`].
+    pub fn residual_key(&self, skip: usize) -> String {
+        self.steps[skip..]
+            .iter()
+            .map(CanonicalStep::to_string)
+            .collect()
+    }
+}
+
 /// The number of leading *sharable* canonical steps `a` and `b` have in
 /// common — the depth at which the two queries would share a trie path.
 pub fn shared_prefix_depth(a: &Query, b: &Query) -> usize {

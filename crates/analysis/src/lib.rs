@@ -31,7 +31,8 @@ pub use automorphism::{dominated_leaves, structural_domination_set, Automorphism
 pub use canonical::{
     auxiliary_name, canonical_document, canonical_key, canonical_residual_key, canonical_steps,
     sharable_prefix_len, sharable_prefix_of, shared_prefix_depth, strongly_subsumption_free,
-    structurally_canonical_document, unique_values, CanonicalDocument, CanonicalStep,
+    structurally_canonical_document, unique_values, CanonicalDocument, CanonicalForm,
+    CanonicalStep,
 };
 pub use fragment::{
     closure_free, conjunctive, depth_theorem_node, leaf_only_value_restricted,

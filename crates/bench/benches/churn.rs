@@ -1,0 +1,180 @@
+//! Experiment E12: query churn on a live bank. Three series:
+//!
+//! - `churn/sub-unsub-pair`: one subscribe + unsubscribe of a
+//!   known-form query against a warm bank of n standing queries — the
+//!   steady-state churn op the dissemination server performs at
+//!   document boundaries. O(|query|) trie work, zero compiles.
+//! - `churn/incremental-build` vs `churn/batch-build`: growing a bank
+//!   one `subscribe` at a time versus the batch constructor, so the
+//!   incremental path's overhead stays visible.
+//! - `churn/server-publish`: the end-to-end dissemination server — one
+//!   published document per iteration through the interned reader path,
+//!   fanned out to n live subscriptions, with a sub/unsub pair landed
+//!   between documents.
+//!
+//! The parity series (printed once, asserted) pins the steady-state
+//! guarantee behind all three: churn on a warm bank never recompiles a
+//! residual, and the churned bank's verdicts equal a from-scratch
+//! build's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fx_core::IndexedBank;
+use fx_server::{DisseminationServer, ServerConfig};
+use fx_workloads as wl;
+use fx_xpath::Query;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn family_bank(n: usize) -> (Vec<Query>, String) {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE + n as u64);
+    let families = (n / 16).max(1);
+    let bank = wl::random_shared_prefix_bank(
+        &mut rng,
+        &wl::SharedPrefixBankConfig {
+            families,
+            queries_per_family: n.min(16),
+            prefix_depth: 3,
+            cross_family_tails: false,
+        },
+    );
+    let active: Vec<usize> = (0..families.min(2)).collect();
+    let xml = bank.document(&active, 4, 8);
+    (bank.queries, xml)
+}
+
+fn bench_churn_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    for n in [16usize, 128, 1024] {
+        let (queries, _) = family_bank(n);
+        // One churn pair against a warm bank: the form is already
+        // pooled, so this is pure trie + bookkeeping work.
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("sub-unsub-pair", n), &queries, |b, qs| {
+            let mut bank = IndexedBank::new(qs).unwrap();
+            let probe = qs[qs.len() / 2].clone();
+            let builds = bank.residual_builds();
+            b.iter(|| {
+                let id = bank.subscribe(&probe).unwrap();
+                bank.unsubscribe(id)
+            });
+            assert_eq!(
+                bank.residual_builds(),
+                builds,
+                "steady-state churn must not recompile residuals"
+            );
+        });
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("incremental-build", n),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let mut bank = IndexedBank::new(&[]).unwrap();
+                    for q in qs {
+                        bank.subscribe(q).unwrap();
+                    }
+                    bank.len()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("batch-build", n), &queries, |b, qs| {
+            b.iter(|| IndexedBank::new(qs).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    for n in [16usize, 128] {
+        let (queries, xml) = family_bank(n);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("server-publish", n), &queries, |b, qs| {
+            let server = DisseminationServer::start(ServerConfig::default());
+            let handle = server.handle();
+            let subs: Vec<_> = qs
+                .iter()
+                .map(|q| handle.subscribe(q.clone()).unwrap())
+                .collect();
+            let probe = qs[0].clone();
+            let builds_warm = handle.stats().unwrap().residual_builds;
+            b.iter(|| {
+                handle.publish_str(&xml).unwrap();
+                // Land a churn pair behind the document, then use
+                // the stats barrier to wait until the worker has
+                // fully processed both.
+                let sub = handle.subscribe(probe.clone()).unwrap();
+                handle.unsubscribe(sub.id()).unwrap();
+                handle.stats().unwrap().documents
+            });
+            let stats = server.shutdown();
+            assert_eq!(stats.parse_errors, 0);
+            assert_eq!(
+                stats.residual_builds, builds_warm,
+                "server churn must not recompile residuals"
+            );
+            drop(subs);
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state parity, printed once and asserted: heavy churn on a
+/// warm bank compiles nothing, and the survivor bank's verdicts match a
+/// from-scratch build over the same queries.
+fn report_churn_parity(_c: &mut Criterion) {
+    println!("churn: steady-state parity — churned bank vs from-scratch bank");
+    for n in [16usize, 128, 1024] {
+        let (queries, xml) = family_bank(n);
+        let events = fx_xml::parse(&xml).unwrap();
+        let mut bank = IndexedBank::new(&queries).unwrap();
+        let builds = bank.residual_builds();
+        // 4 churn waves: duplicate half the bank, retire the duplicates,
+        // compact, stream a document in between.
+        for _ in 0..4 {
+            let ids: Vec<_> = queries
+                .iter()
+                .take(n / 2)
+                .map(|q| bank.subscribe(q).unwrap())
+                .collect();
+            for e in &events {
+                bank.process(e);
+            }
+            for id in ids {
+                assert!(bank.unsubscribe(id));
+            }
+            bank.compact();
+        }
+        for e in &events {
+            bank.process(e);
+        }
+        let mut fresh = IndexedBank::new(&queries).unwrap();
+        for e in &events {
+            fresh.process(e);
+        }
+        let survivors = bank.matching_queries();
+        assert_eq!(
+            survivors,
+            fresh.matching_queries(),
+            "churned bank diverged from a from-scratch build at n={n}"
+        );
+        assert_eq!(
+            bank.residual_builds(),
+            builds,
+            "churn recompiled a residual at n={n}"
+        );
+        println!(
+            "churn: n={n:<4} matching={:<4} residual_builds={builds} (flat across 4 waves) \
+             compactions={}",
+            survivors.len(),
+            bank.compactions(),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = report_churn_parity, bench_churn_ops, bench_server_publish
+}
+criterion_main!(benches);

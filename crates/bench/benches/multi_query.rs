@@ -134,6 +134,30 @@ fn bench_shared_prefix_index(c: &mut Criterion) {
                 });
             },
         );
+        // End-to-end: the same indexed session driven straight from
+        // bytes through `run_reader`, i.e. parse + intern + index in one
+        // loop (the zero-copy interned path — no owned `Event` is ever
+        // materialized). The pre-parsed series above stays for
+        // comparability; the gap between the two is the parse cost.
+        group.bench_with_input(
+            BenchmarkId::new("engine-indexed-reader", n),
+            &bank.queries,
+            |b, qs| {
+                let engine = Engine::builder()
+                    .queries(qs.iter().cloned())
+                    .index(IndexPolicy::SharedPrefix)
+                    .build()
+                    .unwrap();
+                let mut session = engine.session();
+                b.iter(|| {
+                    session
+                        .run_reader(xml.as_bytes())
+                        .unwrap()
+                        .matching()
+                        .count()
+                });
+            },
+        );
     }
     group.finish();
 }

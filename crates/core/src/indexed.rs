@@ -55,18 +55,38 @@
 //! `peak shared-trie bits + Σ per-group instance peaks`, measured in the
 //! same Theorem 8.8 frontier-row units as [`crate::SpaceStats`].
 //!
+//! ## Query churn
+//!
+//! The bank is **mutable**: [`IndexedBank::subscribe`] registers one
+//! more standing query in O(|query|) — the canonical chain extends the
+//! live trie in place, no existing group or slot is renumbered, and the
+//! remainder reuses the shared residual pool whenever its canonical form
+//! was already compiled. [`IndexedBank::unsubscribe`] tombstones the
+//! slot; a group left without members is tombstoned with it (activation
+//! sites skip it for the cost of one emptiness check) and its pooled
+//! filters are released so the residual pool's `Arc` refcounts drop
+//! naturally. Tombstones are folded away by [`IndexedBank::compact`] —
+//! run automatically once their density crosses the
+//! [`CompactionPolicy`] threshold — which rebuilds the trie and slot
+//! table from the surviving subscriptions while *moving* the existing
+//! compiled residuals into the new pool: churn never recompiles the
+//! bank, and [`IndexedBank::residual_builds`] moves only when a
+//! genuinely new canonical form first appears.
+//!
 //! Correctness rests on the decomposition `BOOLEVAL(Q, D) = ∨ₓ
 //! BOOLEVAL(Q', subtree(x))` (and the analogous union for `FULLEVAL`)
 //! over the candidates `x` of the predicate-free prefix — predicates
 //! cannot constrain prefix nodes, so matches distribute over the
 //! divergence point — and is proven against [`crate::MultiFilter`] by
 //! `tests/indexed_differential.rs` (verdicts *and* routed match streams,
-//! ordinals, spans and bank indices included).
+//! ordinals, spans and bank indices included); churned banks are proven
+//! equivalent to from-scratch banks over the surviving queries by
+//! `tests/churn_differential.rs`.
 
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
 use crate::space::bits_for;
-use fx_analysis::{canonical_key, canonical_steps, sharable_prefix_of, CanonicalStep};
+use fx_analysis::CanonicalForm;
 use fx_xml::{AttrBuf, Event, EventRef, Span, Sym, SymCache, SymEvent, Symbols};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::{HashMap, HashSet};
@@ -155,10 +175,60 @@ struct TrieNode {
     residual: Vec<u32>,
 }
 
+/// A stable handle to one subscribed query, returned by
+/// [`IndexedBank::subscribe`]. Ids are unique for the bank's whole
+/// lifetime: they survive [`IndexedBank::compact`] (which renumbers
+/// *slots*, not subscriptions) and are never reused after
+/// [`IndexedBank::unsubscribe`]. Translate to the current bank slot —
+/// the `query` field of routed [`Match`]es — with
+/// [`IndexedBank::slot_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(u64);
+
+impl SubscriptionId {
+    /// The raw id (monotone in registration order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// When [`IndexedBank::unsubscribe`] folds tombstoned slots away
+/// automatically (see [`IndexedBank::compact`]). Compaction costs one
+/// pass over the surviving subscriptions (no recompilation), so the
+/// default waits for tombstones to outnumber half the slot table —
+/// amortized O(1/ratio) slot moves per unsubscribe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Never auto-compact below this many tombstoned slots.
+    pub min_tombstones: usize,
+    /// Auto-compact when tombstoned slots exceed this fraction of all
+    /// slots. Set it at or above `1.0` to disable automatic compaction
+    /// (explicit [`IndexedBank::compact`] calls still work).
+    pub max_tombstone_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            min_tombstones: 16,
+            max_tombstone_ratio: 0.5,
+        }
+    }
+}
+
 /// A set of bank queries with identical canonical form, evaluated once.
 #[derive(Debug, Clone)]
 struct Group {
     /// Bank indices (registration order) sharing this canonical form.
+    /// Empty for a **tombstoned** group (every member unsubscribed):
+    /// the group's trie linkage stays in place until compaction, but
+    /// every activation site skips it.
     members: Vec<usize>,
     /// Index into the bank's [`CompiledResidual`] pool of the compiled
     /// remainder below the shared prefix (`None` for terminal groups).
@@ -169,6 +239,10 @@ struct Group {
     /// which case nested activations can confirm the same output element
     /// twice and reported ordinals must be deduplicated per document.
     needs_dedup: bool,
+    /// Whether the sharable prefix is empty (a `root_groups` member):
+    /// such queries hold no trie state, so the shared-trie bits are not
+    /// attributed to them.
+    document_rooted: bool,
 }
 
 /// A live residual evaluation: one query group below one activation.
@@ -236,11 +310,28 @@ struct Dormant {
 /// code (or is a wildcard) and either is descendant-axis or `rel == 0`.
 #[derive(Debug, Clone)]
 struct ResidualTriggers {
-    /// False when the residual's root children include an attribute
-    /// axis — those resolve off candidate start tags the dormant check
-    /// does not model, so such groups spawn eagerly as before.
-    eligible: bool,
     specs: Vec<(u32, bool)>,
+}
+
+/// Derives a compiled residual's dormant wake-up specs. Attribute-axis
+/// root children contribute **no** trigger: an attribute resolves only
+/// off its parent's start tag, and a residual's root stands for the
+/// activating element (or the virtual document root), whose tag precedes
+/// the instance's event window — so such a child can never be satisfied
+/// by any event the instance would see. An activation whose every root
+/// child is attribute-axis therefore sleeps forever, which is exactly
+/// the always-false verdict the (previously eager) instance computed
+/// the expensive way.
+fn triggers_for(compiled: &CompiledQuery) -> ResidualTriggers {
+    let specs = compiled
+        .root_child_specs()
+        .filter_map(|(sym, axis)| match axis {
+            Axis::Attribute => None,
+            Axis::Descendant => Some((sym_code(sym), true)),
+            _ => Some((sym_code(sym), false)),
+        })
+        .collect();
+    ResidualTriggers { specs }
 }
 
 /// An indexed bank of streaming filters sharing one event feed *and*
@@ -262,25 +353,53 @@ pub struct IndexedBank {
     /// Cloning the bank (one clone per engine session) bumps refcounts;
     /// nothing is ever recompiled.
     residuals: Vec<CompiledResidual>,
-    /// Number of [`CompiledResidual`] builds this bank performed — by
-    /// construction exactly `residuals.len()`, and flat across any
-    /// amount of processing (activations only bump refcounts).
+    /// Number of [`CompiledResidual`] builds this bank performed: one
+    /// per canonical residual form first subscribed, and flat across
+    /// any amount of processing *and churn over known forms*
+    /// (activations, unsubscribes and compactions only move refcounts).
     built_residuals: u64,
     /// Groups with an empty sharable prefix, spawned at `StartDocument`
     /// as document-rooted instances (the naive-bank degenerate case).
     root_groups: Vec<u32>,
-    /// Bank index → group index.
+    /// Bank index (slot) → group index.
     query_group: Vec<u32>,
+    /// Canonical query key → group index: the incremental grouping
+    /// table [`IndexedBank::subscribe`] dedups into.
+    group_of_key: HashMap<String, u32>,
+    /// Canonical residual form → pool index: the cross-group dedup.
+    pool_of_key: HashMap<String, u32>,
+    /// Per pool entry, the number of live (non-tombstoned) groups
+    /// referencing it; an entry at zero keeps only its compiled `Arc`
+    /// (its filter free-list is dropped on the spot) until a compaction
+    /// pass drops the entry itself.
+    residual_uses: Vec<u32>,
+    /// Subscription id → current slot, for every live subscription.
+    subs: HashMap<u64, usize>,
+    /// Slot → subscription id (stale for tombstoned slots).
+    slot_sub: Vec<u64>,
+    /// Slot liveness: `false` marks a tombstone awaiting compaction.
+    slot_alive: Vec<bool>,
+    /// Slot → the subscribed query, retained so compaction can rebuild
+    /// the index without consulting the caller (and without
+    /// recompiling: compiled forms are carried over by canonical key).
+    slot_query: Vec<Query>,
+    /// Next subscription id (monotone; never reused).
+    next_sub: u64,
+    /// Number of tombstoned slots ([`CompactionPolicy`] trigger).
+    dead_slots: usize,
+    /// When unsubscribe folds tombstones away automatically.
+    policy: CompactionPolicy,
+    /// Number of compaction passes performed.
+    compactions: u64,
     /// The bank's shared symbol table: trie node tests and every
     /// compiled residual resolve against it, so one per-event
     /// conversion (or an already-interned event from a parser sharing
     /// the table) serves the whole bank.
     symbols: Arc<Symbols>,
-    /// Bank indices of the queries whose prefixes live in the trie
-    /// (everything except empty-prefix root groups): the sharers the
-    /// shared-trie bits are attributed across.
-    trie_sharers: Vec<usize>,
     reporting: bool,
+    /// Whether residuals share the canonical-form pool (false only for
+    /// the unpooled differential-testing reference).
+    pooled: bool,
 
     // -- per-document state -------------------------------------------------
     /// The shared frontier segment: one record per open occurrence of a
@@ -448,178 +567,512 @@ impl IndexedBank {
         pooled: bool,
         symbols: Arc<Symbols>,
     ) -> Result<IndexedBank, (usize, UnsupportedQuery)> {
-        let mut trie = vec![TrieNode {
-            axis: Axis::Child,
-            ntest: NodeTest::Wildcard,
-            code: WILDCARD_CODE,
-            children: Vec::new(),
-            terminal: Vec::new(),
-            residual: Vec::new(),
-        }];
-        let mut groups: Vec<Group> = Vec::new();
-        let mut residuals: Vec<CompiledResidual> = Vec::new();
-        let mut root_groups = Vec::new();
-        let mut query_group = Vec::with_capacity(queries.len());
-        let mut group_of_key: HashMap<String, u32> = HashMap::new();
-        // Canonical residual form → pool index: the cross-group dedup.
-        let mut pool_of_key: HashMap<String, u32> = HashMap::new();
-
+        let mut bank = IndexedBank::empty(reporting, pooled, symbols);
         for (i, q) in queries.iter().enumerate() {
-            // Validate the full query exactly like the naive bank, so
-            // unsupported queries fail with the same index either way.
-            let compiled =
-                CompiledQuery::compile_with(q, Arc::clone(&symbols)).map_err(|e| (i, e))?;
-            if reporting {
-                compiled.reporting_supported().map_err(|e| (i, e))?;
-            }
-            let key = canonical_key(q);
-            if let Some(&g) = group_of_key.get(&key) {
-                groups[g as usize].members.push(i);
-                query_group.push(g);
-                continue;
-            }
-            let steps = canonical_steps(q);
-            let k = sharable_prefix_of(&steps);
-            let mut node = 0u32;
-            let mut needs_dedup = false;
-            for step in &steps[..k] {
-                needs_dedup |= step.axis == Axis::Descendant;
-                node = match trie[node as usize].children.iter().copied().find(|&c| {
-                    trie[c as usize].axis == step.axis && trie[c as usize].ntest == step.ntest
-                }) {
-                    Some(c) => c,
-                    None => {
-                        let id = trie.len() as u32;
-                        let code = match &step.ntest {
-                            NodeTest::Wildcard => WILDCARD_CODE,
-                            NodeTest::Name(n) => sym_code(Some(symbols.intern(n))),
-                        };
-                        trie.push(TrieNode {
-                            axis: step.axis,
-                            ntest: step.ntest.clone(),
-                            code,
-                            children: Vec::new(),
-                            terminal: Vec::new(),
-                            residual: Vec::new(),
-                        });
-                        trie[node as usize].children.push(id);
-                        id
-                    }
-                };
-            }
-            let g = groups.len() as u32;
-            group_of_key.insert(key, g);
-            query_group.push(g);
-            if k == steps.len() && k > 0 {
-                trie[node as usize].terminal.push(g);
-                groups.push(Group {
-                    members: vec![i],
-                    residual: None,
-                    needs_dedup,
-                });
-            } else if k == 0 {
-                // Document-rooted remainder = the whole query; its
-                // residual form is the full canonical key, so a root
-                // group can still share its compiled form with a trie
-                // group whose remainder renders identically.
-                let rkey = residual_key_of(&steps, 0);
-                let r = match pool_of_key.get(&rkey).filter(|_| pooled) {
-                    Some(&r) => r,
-                    None => intern_residual(&mut residuals, &mut pool_of_key, rkey, compiled),
-                };
-                root_groups.push(g);
-                groups.push(Group {
-                    members: vec![i],
-                    residual: Some(r),
-                    needs_dedup: false,
-                });
-            } else {
-                let rkey = residual_key_of(&steps, k);
-                let r = match pool_of_key.get(&rkey).filter(|_| pooled) {
-                    // Pool hit: the remainder was already compiled (and
-                    // reporting-validated) for an earlier group —
-                    // possibly one on an entirely different trie path.
-                    Some(&r) => r,
-                    None => {
-                        let residual = residual_query(q, k);
-                        let rc = CompiledQuery::compile_with(&residual, Arc::clone(&symbols))
-                            .map_err(|e| (i, e))?;
-                        if reporting {
-                            rc.reporting_supported().map_err(|e| (i, e))?;
-                        }
-                        intern_residual(&mut residuals, &mut pool_of_key, rkey, rc)
-                    }
-                };
-                trie[node as usize].residual.push(g);
-                groups.push(Group {
-                    members: vec![i],
-                    residual: Some(r),
-                    needs_dedup,
-                });
-            }
+            bank.subscribe(q).map_err(|e| (i, e))?;
         }
+        Ok(bank)
+    }
 
-        let n_groups = groups.len();
-        let root_set: HashSet<u32> = root_groups.iter().copied().collect();
-        let trie_sharers: Vec<usize> = query_group
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &g)| (!root_set.contains(&g)).then_some(i))
-            .collect();
-        let built_residuals = residuals.len() as u64;
-        let free_filters = vec![Vec::new(); residuals.len()];
-        let residual_triggers = residuals
-            .iter()
-            .map(|r| {
-                let mut eligible = true;
-                let mut specs = Vec::new();
-                for (sym, axis) in r.compiled().root_child_specs() {
-                    match axis {
-                        Axis::Attribute => eligible = false,
-                        Axis::Descendant => specs.push((sym_code(sym), true)),
-                        _ => specs.push((sym_code(sym), false)),
-                    }
-                }
-                ResidualTriggers { eligible, specs }
-            })
-            .collect();
-        Ok(IndexedBank {
-            trie,
-            groups,
-            residuals,
-            built_residuals,
-            root_groups,
-            query_group,
+    /// An empty mutable bank; queries arrive through
+    /// [`IndexedBank::subscribe`]. (Construction-time queries are
+    /// subscriptions too — ids are assigned in registration order.)
+    fn empty(reporting: bool, pooled: bool, symbols: Arc<Symbols>) -> IndexedBank {
+        IndexedBank {
+            trie: vec![TrieNode {
+                axis: Axis::Child,
+                ntest: NodeTest::Wildcard,
+                code: WILDCARD_CODE,
+                children: Vec::new(),
+                terminal: Vec::new(),
+                residual: Vec::new(),
+            }],
+            groups: Vec::new(),
+            residuals: Vec::new(),
+            built_residuals: 0,
+            root_groups: Vec::new(),
+            query_group: Vec::new(),
+            group_of_key: HashMap::new(),
+            pool_of_key: HashMap::new(),
+            residual_uses: Vec::new(),
+            subs: HashMap::new(),
+            slot_sub: Vec::new(),
+            slot_alive: Vec::new(),
+            slot_query: Vec::new(),
+            next_sub: 0,
+            dead_slots: 0,
+            policy: CompactionPolicy::default(),
+            compactions: 0,
             symbols,
-            trie_sharers,
             reporting,
+            pooled,
             records: Vec::new(),
             instances: Vec::new(),
             scratch_activated: Vec::new(),
             attr_scratch: AttrBuf::new(),
             name_cache: SymCache::new(),
             dormant: Vec::new(),
-            residual_triggers,
-            free_filters,
+            residual_triggers: Vec::new(),
+            free_filters: Vec::new(),
             current_level: 0,
             element_ordinal: 0,
             open_terminals: Vec::new(),
-            group_true: vec![false; n_groups],
-            emitted: vec![HashSet::new(); n_groups],
+            group_true: Vec::new(),
+            emitted: Vec::new(),
             finished: false,
-            peak_bits: vec![0; n_groups],
-            live_bits: vec![0; n_groups],
-            peak_pending: vec![0; n_groups],
-            live_pending: vec![0; n_groups],
+            peak_bits: Vec::new(),
+            live_bits: Vec::new(),
+            peak_pending: Vec::new(),
+            live_pending: Vec::new(),
             peak_records: 0,
             peak_trie_bits: 0,
             peak_instances: 0,
             activations: 0,
             events: 0,
-        })
+        }
     }
 
-    /// Number of registered queries.
+    // -- query churn --------------------------------------------------------
+
+    /// Registers one more standing query, **incrementally** and in
+    /// O(|query|): the canonical chain is derived once, the shared
+    /// prefix extends the live trie in place (no existing group, slot
+    /// or record is renumbered), and the remainder reuses the shared
+    /// residual pool whenever its canonical form is already compiled —
+    /// [`IndexedBank::residual_builds`] moves only when a genuinely new
+    /// form first appears, never for churn over known shapes, and the
+    /// bank as a whole is never recompiled.
+    ///
+    /// Call between documents: the new query takes effect at the next
+    /// `StartDocument` (mid-document calls are safe but the query's
+    /// view of the in-flight document is partial).
+    pub fn subscribe(&mut self, q: &Query) -> Result<SubscriptionId, UnsupportedQuery> {
+        let id = SubscriptionId(self.next_sub);
+        self.insert_slot(q, id, None)?;
+        self.next_sub += 1;
+        // Compiling the query may have interned names an earlier
+        // document's owned-event conversion memoized as unknown — drop
+        // those verdicts so the new query sees them. (Reader-path
+        // consumers own their parser's memo; see
+        // `StreamingParser::invalidate_name_memo`.)
+        self.name_cache.clear();
+        Ok(id)
+    }
+
+    /// Withdraws a subscription in O(group size): the slot is
+    /// tombstoned (live slots do not move), its group loses a member,
+    /// and a group left empty is tombstoned with it — its live
+    /// evaluation state is dropped on the spot, and a pool entry left
+    /// without live groups releases its pooled filters so the shared
+    /// residual's `Arc` refcounts drop back to the compiled entry
+    /// alone. Nothing is recompiled; the inert trie linkage is folded
+    /// away by the next [`IndexedBank::compact`] (automatic per
+    /// [`CompactionPolicy`]).
+    ///
+    /// Returns `false` for unknown or already-withdrawn ids.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let Some(slot) = self.subs.remove(&id.0) else {
+            return false;
+        };
+        self.slot_alive[slot] = false;
+        self.dead_slots += 1;
+        let g = self.query_group[slot] as usize;
+        if let Some(pos) = self.groups[g].members.iter().position(|&m| m == slot) {
+            self.groups[g].members.swap_remove(pos);
+        }
+        if self.groups[g].members.is_empty() {
+            self.drop_group_state(g);
+            if let Some(rid) = self.groups[g].residual {
+                let rid = rid as usize;
+                self.residual_uses[rid] -= 1;
+                if self.residual_uses[rid] == 0 {
+                    // Each pooled filter holds an `Arc` of the compiled
+                    // residual: dropping the free-list now leaves the
+                    // pool entry as the form's last reference.
+                    self.free_filters[rid].clear();
+                }
+            }
+            // Historical peaks leave with the group's last owner, so
+            // the per-query attribution keeps summing exactly over the
+            // queries that still exist.
+            self.peak_bits[g] = 0;
+            self.peak_pending[g] = 0;
+            self.group_true[g] = false;
+        }
+        self.maybe_compact();
+        true
+    }
+
+    /// Folds every tombstoned slot away: rebuilds the trie, groups and
+    /// slot table from the surviving subscriptions — renumbering
+    /// **slots** only; [`SubscriptionId`]s are stable and re-resolve
+    /// through [`IndexedBank::slot_of`] — and drops residual-pool
+    /// entries no surviving group references. The pass *moves* the
+    /// existing compiled residuals into the rebuilt pool (`Arc`
+    /// clones) and skips re-validation, so it performs **zero** query
+    /// compilations: [`IndexedBank::residual_builds`] is unchanged.
+    ///
+    /// Only effective between documents (mid-document calls return
+    /// `false` and change nothing). Returns `true` when a rebuild
+    /// happened.
+    pub fn compact(&mut self) -> bool {
+        // "Between documents" ⇔ nothing processed yet, or the last
+        // document ran to `EndDocument`.
+        if self.dead_slots == 0 || !(self.events == 0 || self.finished) {
+            return false;
+        }
+        debug_assert!(self.instances.is_empty() && self.dormant.is_empty());
+        // Carry compiled residual forms and per-group history (peaks
+        // and the last document's verdicts) across the rebuild, keyed
+        // by canonical form.
+        let residuals = std::mem::take(&mut self.residuals);
+        let pool_keys = std::mem::take(&mut self.pool_of_key);
+        let warm: HashMap<String, CompiledResidual> = pool_keys
+            .into_iter()
+            .map(|(k, r)| (k, residuals[r as usize].clone()))
+            .collect();
+        let old_groups = std::mem::take(&mut self.group_of_key);
+        let mut carry: HashMap<String, (u64, usize, bool)> = HashMap::new();
+        for (key, g) in old_groups {
+            let gi = g as usize;
+            if !self.groups[gi].members.is_empty() {
+                carry.insert(
+                    key,
+                    (
+                        self.peak_bits[gi],
+                        self.peak_pending[gi],
+                        self.group_true[gi],
+                    ),
+                );
+            }
+        }
+        let slot_query = std::mem::take(&mut self.slot_query);
+        let slot_sub = std::mem::take(&mut self.slot_sub);
+        let slot_alive = std::mem::take(&mut self.slot_alive);
+        let survivors: Vec<(u64, Query)> = slot_query
+            .into_iter()
+            .zip(slot_sub)
+            .zip(slot_alive)
+            .filter_map(|((q, sub), alive)| alive.then_some((sub, q)))
+            .collect();
+
+        self.trie.truncate(1);
+        self.trie[0].children.clear();
+        self.groups.clear();
+        self.root_groups.clear();
+        self.query_group.clear();
+        self.subs.clear();
+        self.residual_uses.clear();
+        self.residual_triggers.clear();
+        self.free_filters.clear();
+        self.group_true.clear();
+        self.emitted.clear();
+        self.peak_bits.clear();
+        self.live_bits.clear();
+        self.peak_pending.clear();
+        self.live_pending.clear();
+        self.records.clear();
+        self.open_terminals.clear();
+        self.dead_slots = 0;
+
+        for (sub, q) in survivors {
+            self.insert_slot(&q, SubscriptionId(sub), Some(&warm))
+                .expect("surviving queries were validated at subscribe");
+        }
+        let restored: Vec<(u32, (u64, usize, bool))> = self
+            .group_of_key
+            .iter()
+            .filter_map(|(key, &g)| carry.get(key).map(|&h| (g, h)))
+            .collect();
+        for (g, (peak_bits, peak_pending, was_true)) in restored {
+            let gi = g as usize;
+            self.peak_bits[gi] = peak_bits;
+            self.peak_pending[gi] = peak_pending;
+            self.group_true[gi] = was_true;
+        }
+        self.compactions += 1;
+        true
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead_slots >= self.policy.min_tombstones
+            && (self.dead_slots as f64)
+                > self.policy.max_tombstone_ratio * self.query_group.len() as f64
+        {
+            self.compact();
+        }
+    }
+
+    /// The shared insertion path of [`IndexedBank::subscribe`] and
+    /// [`IndexedBank::compact`]: registers `q` in the next slot under
+    /// subscription `id`. `warm` carries a previous incarnation's
+    /// residual pool (keyed by canonical form) so compaction
+    /// revalidates and recompiles nothing.
+    fn insert_slot(
+        &mut self,
+        q: &Query,
+        id: SubscriptionId,
+        warm: Option<&HashMap<String, CompiledResidual>>,
+    ) -> Result<(), UnsupportedQuery> {
+        // Validate the full query exactly like the naive bank (skipped
+        // on compaction, which reinserts already-validated queries and
+        // compiles only on a warm-pool miss — which reinsertion of a
+        // pooled bank never hits).
+        let mut compiled = None;
+        if warm.is_none() {
+            let c = CompiledQuery::compile_with(q, Arc::clone(&self.symbols))?;
+            if self.reporting {
+                c.reporting_supported()?;
+            }
+            compiled = Some(c);
+        }
+        let slot = self.query_group.len();
+        let form = CanonicalForm::of(q);
+        let g = match self.group_of_key.get(&form.key) {
+            Some(&g) => {
+                self.join_group(g, slot);
+                g
+            }
+            None => self.insert_group(q, form, slot, compiled, warm)?,
+        };
+        self.query_group.push(g);
+        self.slot_sub.push(id.0);
+        self.slot_alive.push(true);
+        self.slot_query.push(q.clone());
+        self.subs.insert(id.0, slot);
+        Ok(())
+    }
+
+    /// Adds `slot` to the existing group `g`, reviving it if
+    /// tombstoned (its trie linkage was never removed; it only needs
+    /// its pool entry's use count back).
+    fn join_group(&mut self, g: u32, slot: usize) {
+        let gi = g as usize;
+        if self.groups[gi].members.is_empty() {
+            if let Some(rid) = self.groups[gi].residual {
+                self.residual_uses[rid as usize] += 1;
+            }
+        }
+        self.groups[gi].members.push(slot);
+    }
+
+    /// Creates the group for a canonical form the bank has not seen:
+    /// walks/extends the trie along the sharable prefix and wires the
+    /// remainder into the residual pool. O(|query|) — the trie walk
+    /// touches one node per prefix step, and appended nodes/groups
+    /// never renumber existing ones.
+    fn insert_group(
+        &mut self,
+        q: &Query,
+        form: CanonicalForm,
+        slot: usize,
+        compiled: Option<CompiledQuery>,
+        warm: Option<&HashMap<String, CompiledResidual>>,
+    ) -> Result<u32, UnsupportedQuery> {
+        let steps = &form.steps;
+        let k = form.sharable;
+        let mut node = 0u32;
+        let mut needs_dedup = false;
+        for step in &steps[..k] {
+            needs_dedup |= step.axis == Axis::Descendant;
+            node = match self.trie[node as usize]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| {
+                    self.trie[c as usize].axis == step.axis
+                        && self.trie[c as usize].ntest == step.ntest
+                }) {
+                Some(c) => c,
+                None => {
+                    let id = self.trie.len() as u32;
+                    let code = match &step.ntest {
+                        NodeTest::Wildcard => WILDCARD_CODE,
+                        NodeTest::Name(n) => sym_code(Some(self.symbols.intern(n))),
+                    };
+                    self.trie.push(TrieNode {
+                        axis: step.axis,
+                        ntest: step.ntest.clone(),
+                        code,
+                        children: Vec::new(),
+                        terminal: Vec::new(),
+                        residual: Vec::new(),
+                    });
+                    self.trie[node as usize].children.push(id);
+                    id
+                }
+            };
+        }
+        let g = self.groups.len() as u32;
+        if k == steps.len() && k > 0 {
+            self.trie[node as usize].terminal.push(g);
+            self.push_group(Group {
+                members: vec![slot],
+                residual: None,
+                needs_dedup,
+                document_rooted: false,
+            });
+        } else {
+            // A document-rooted remainder (k == 0) is the whole query;
+            // its residual form is the full canonical key, so a root
+            // group can still share its compiled form with a trie
+            // group whose remainder renders identically.
+            let rkey = form.residual_key(k);
+            let r = match self.pool_hit(&rkey, warm) {
+                Some(r) => r,
+                None => {
+                    // Genuinely new canonical form: compile it (for
+                    // k == 0 the subscribe path already has it).
+                    let rc = match (k, compiled) {
+                        (0, Some(c)) => c,
+                        _ => {
+                            let residual = if k == 0 {
+                                q.clone()
+                            } else {
+                                residual_query(q, k)
+                            };
+                            let rc =
+                                CompiledQuery::compile_with(&residual, Arc::clone(&self.symbols))?;
+                            if self.reporting {
+                                rc.reporting_supported()?;
+                            }
+                            rc
+                        }
+                    };
+                    self.built_residuals += 1;
+                    self.intern(CompiledResidual::build(rc, rkey))
+                }
+            };
+            if k == 0 {
+                self.root_groups.push(g);
+                self.push_group(Group {
+                    members: vec![slot],
+                    residual: Some(r),
+                    needs_dedup: false,
+                    document_rooted: true,
+                });
+            } else {
+                self.trie[node as usize].residual.push(g);
+                self.push_group(Group {
+                    members: vec![slot],
+                    residual: Some(r),
+                    needs_dedup,
+                    document_rooted: false,
+                });
+            }
+        }
+        self.group_of_key.insert(form.key, g);
+        Ok(g)
+    }
+
+    /// Looks up a canonical residual form: first in the live pool,
+    /// then in a compaction's warm pool (a hit there moves the entry —
+    /// an `Arc` clone, never a build — into the live pool). Unpooled
+    /// banks skip both, so every group owns a private fresh build.
+    fn pool_hit(
+        &mut self,
+        rkey: &str,
+        warm: Option<&HashMap<String, CompiledResidual>>,
+    ) -> Option<u32> {
+        if !self.pooled {
+            return None;
+        }
+        if let Some(&r) = self.pool_of_key.get(rkey) {
+            self.residual_uses[r as usize] += 1;
+            return Some(r);
+        }
+        warm.and_then(|w| w.get(rkey))
+            .cloned()
+            .map(|res| self.intern(res))
+    }
+
+    /// Adds a pool entry (with one use), registering its dormant
+    /// wake-up triggers and its (empty) filter free-list.
+    fn intern(&mut self, res: CompiledResidual) -> u32 {
+        let r = self.residuals.len() as u32;
+        self.pool_of_key.insert(res.key.clone(), r);
+        self.residual_triggers.push(triggers_for(res.compiled()));
+        self.free_filters.push(Vec::new());
+        self.residual_uses.push(1);
+        self.residuals.push(res);
+        r
+    }
+
+    /// Appends a group, growing every per-group parallel array.
+    fn push_group(&mut self, group: Group) {
+        self.groups.push(group);
+        self.group_true.push(false);
+        self.emitted.push(HashSet::new());
+        self.peak_bits.push(0);
+        self.live_bits.push(0);
+        self.peak_pending.push(0);
+        self.live_pending.push(0);
+    }
+
+    /// Drops a tombstoned group's live per-document state: open
+    /// residual instances, dormant activations and pending terminal
+    /// spans (a mid-document unsubscribe simply stops evaluating).
+    fn drop_group_state(&mut self, g: usize) {
+        let mut i = 0;
+        while i < self.instances.len() {
+            if self.instances[i].group as usize == g {
+                self.note_stats(i);
+                self.instances.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.dormant.retain(|d| d.group as usize != g);
+        self.open_terminals
+            .retain(|&(_, og, _, _)| og as usize != g);
+        self.live_bits[g] = 0;
+        self.live_pending[g] = 0;
+    }
+
+    /// The stable id of the subscription currently occupying `slot`
+    /// (`None` for tombstoned or out-of-range slots) — the inverse of
+    /// [`IndexedBank::slot_of`], for translating a routed [`Match`]'s
+    /// bank index back to its subscriber.
+    pub fn subscription_of(&self, slot: usize) -> Option<SubscriptionId> {
+        (self.slot_alive.get(slot) == Some(&true)).then(|| SubscriptionId(self.slot_sub[slot]))
+    }
+
+    /// The current slot (bank index) of a subscription, `None` once
+    /// unsubscribed. Slots are stable except across
+    /// [`IndexedBank::compact`].
+    pub fn slot_of(&self, id: SubscriptionId) -> Option<usize> {
+        self.subs.get(&id.0).copied()
+    }
+
+    /// Number of live (non-tombstoned) subscriptions.
+    pub fn live_subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    pub fn tombstoned_slots(&self) -> usize {
+        self.dead_slots
+    }
+
+    /// Number of compaction passes performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The automatic compaction policy (see [`CompactionPolicy`]).
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// Replaces the automatic compaction policy.
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of registered slots — live subscriptions plus tombstones
+    /// awaiting compaction ([`IndexedBank::live_subscriptions`] counts
+    /// the live ones alone). Per-slot vectors such as
+    /// [`IndexedBank::results`] have this length.
     pub fn len(&self) -> usize {
         self.query_group.len()
     }
@@ -647,11 +1100,13 @@ impl IndexedBank {
         self.residuals.len()
     }
 
-    /// Number of [`CompiledResidual`] builds this bank performed: exactly
-    /// one per canonical residual form, at construction. Processing any
-    /// number of documents — and spawning any number of residual
-    /// instances — leaves this unchanged, which is the allocation-free
-    /// activation guarantee.
+    /// Number of [`CompiledResidual`] builds this bank performed:
+    /// exactly one per canonical residual form, at the form's first
+    /// subscription. Processing any number of documents, spawning any
+    /// number of residual instances, and any amount of churn over
+    /// already-known forms — unsubscribes, compactions, re-subscribes
+    /// — leave this unchanged: that is the no-recompilation guarantee
+    /// the mutable bank is built around.
     pub fn residual_builds(&self) -> u64 {
         self.built_residuals
     }
@@ -777,7 +1232,10 @@ impl IndexedBank {
     }
 
     /// Per-query verdicts (available after `endDocument`, or earlier for
-    /// groups that short-circuited to an accept).
+    /// groups that short-circuited to an accept), indexed by slot.
+    /// Entries for tombstoned slots are unspecified — translate live
+    /// subscriptions through [`IndexedBank::slot_of`] instead of
+    /// iterating blindly after churn.
     pub fn results(&self) -> Vec<Option<bool>> {
         self.query_group
             .iter()
@@ -793,13 +1251,13 @@ impl IndexedBank {
             .collect()
     }
 
-    /// Iterates the indices of the queries the last document matched,
-    /// without allocating.
+    /// Iterates the slots of the live queries the last document
+    /// matched, without allocating (tombstoned slots never report).
     pub fn matching(&self) -> impl Iterator<Item = usize> + '_ {
         self.query_group
             .iter()
             .enumerate()
-            .filter_map(|(i, &g)| self.group_true[g as usize].then_some(i))
+            .filter_map(|(i, &g)| (self.slot_alive[i] && self.group_true[g as usize]).then_some(i))
     }
 
     /// Indices of the queries the last document matched, collected.
@@ -825,7 +1283,29 @@ impl IndexedBank {
         for (g, group) in self.groups.iter().enumerate() {
             split_evenly(self.peak_bits[g], &group.members, &mut out);
         }
-        split_evenly(self.peak_trie_bits, &self.trie_sharers, &mut out);
+        // The trie sharers (everything alive except empty-prefix root
+        // groups) are derived on demand: churn moves slots in and out
+        // of the sharing set, and attribution is a finish-time read,
+        // not a hot path.
+        let sharers: Vec<usize> = self
+            .query_group
+            .iter()
+            .enumerate()
+            .filter(|&(i, &g)| self.slot_alive[i] && !self.groups[g as usize].document_rooted)
+            .map(|(i, _)| i)
+            .collect();
+        if sharers.is_empty() {
+            // Every trie query unsubscribed mid-life: the segment's
+            // history has no natural owner left, so spread it over
+            // whatever is still alive to keep the attribution summing
+            // exactly to the bank total.
+            let alive: Vec<usize> = (0..self.query_group.len())
+                .filter(|&i| self.slot_alive[i])
+                .collect();
+            split_evenly(self.peak_trie_bits, &alive, &mut out);
+        } else {
+            split_evenly(self.peak_trie_bits, &sharers, &mut out);
+        }
         out
     }
 
@@ -899,6 +1379,9 @@ impl IndexedBank {
         // early-reject case costs two integer compares here.
         for gi in 0..self.root_groups.len() {
             let g = self.root_groups[gi];
+            if self.groups[g as usize].members.is_empty() {
+                continue; // tombstoned, awaiting compaction
+            }
             self.activate(g, -1);
         }
         self.note_trie_peak();
@@ -956,6 +1439,9 @@ impl IndexedBank {
             }
             for gi in 0..self.trie[t as usize].terminal.len() {
                 let g = self.trie[t as usize].terminal[gi];
+                if self.groups[g as usize].members.is_empty() {
+                    continue; // tombstoned, awaiting compaction
+                }
                 if self.reporting {
                     self.open_terminals
                         .push((lvl, g, self.element_ordinal, span.start));
@@ -965,6 +1451,9 @@ impl IndexedBank {
             }
             for gi in 0..self.trie[t as usize].residual.len() {
                 let g = self.trie[t as usize].residual[gi];
+                if self.groups[g as usize].members.is_empty() {
+                    continue; // tombstoned, awaiting compaction
+                }
                 // Decided-group short-circuit: a filtering group already
                 // accepted needs no further instances.
                 if !self.reporting && self.group_true[g as usize] {
@@ -1055,28 +1544,22 @@ impl IndexedBank {
 
     // -- instance plumbing --------------------------------------------------
 
-    /// Registers an activation of group `g` rooted at `root_level`:
-    /// dormant (the default — a 16-byte entry woken by the first event
-    /// that would select a residual root record) or, for residual forms
-    /// dormancy cannot model (attribute-axis root children), an eager
-    /// instance exactly as before.
+    /// Registers an activation of group `g` rooted at `root_level`: a
+    /// dormant 16-byte entry, woken by the first event that would
+    /// select one of the residual's root records. Every residual form
+    /// is dormancy-eligible — attribute-axis root children, which the
+    /// wake check does not model, are provably unsatisfiable inside the
+    /// activation subtree (see [`triggers_for`]), so skipping their
+    /// triggers loses nothing.
     fn activate(&mut self, g: u32, root_level: i64) {
-        let rid = self.groups[g as usize]
-            .residual
-            .expect("only residual groups activate");
-        if self.residual_triggers[rid as usize].eligible {
-            self.dormant.push(Dormant {
-                group: g,
-                root_level,
-            });
-        } else {
-            let offset = if root_level < 0 {
-                0
-            } else {
-                self.element_ordinal + 1
-            };
-            self.spawn_instance_at(g, offset, root_level, 0);
-        }
+        debug_assert!(
+            self.groups[g as usize].residual.is_some(),
+            "only residual groups activate"
+        );
+        self.dormant.push(Dormant {
+            group: g,
+            root_level,
+        });
     }
 
     /// Wakes every dormant activation the current start tag triggers:
@@ -1372,30 +1855,6 @@ fn split_evenly(bits: u64, sharers: &[usize], out: &mut [u64]) {
     for (rank, &i) in sharers.iter().enumerate() {
         out[i] += base + u64::from((rank as u64) < rem);
     }
-}
-
-/// The canonical residual form of a chain below a prefix of `skip`
-/// steps, rendered from an already-computed canonical chain — the same
-/// key `fx_analysis::canonical_residual_key` produces, without
-/// re-deriving the steps the build loop is already holding.
-fn residual_key_of(steps: &[CanonicalStep], skip: usize) -> String {
-    steps[skip..].iter().map(CanonicalStep::to_string).collect()
-}
-
-/// Interns an already-validated compiled remainder into the bank's
-/// shared-residual pool under its canonical residual form. Callers check
-/// for a pool hit first (to skip re-deriving and re-compiling the
-/// remainder); this only runs for genuinely new forms.
-fn intern_residual(
-    residuals: &mut Vec<CompiledResidual>,
-    pool_of_key: &mut HashMap<String, u32>,
-    key: String,
-    compiled: CompiledQuery,
-) -> u32 {
-    let r = residuals.len() as u32;
-    residuals.push(CompiledResidual::build(compiled, key.clone()));
-    pool_of_key.insert(key, r);
-    r
 }
 
 /// Builds the residual query of `q` below a sharable prefix of length
@@ -1777,6 +2236,209 @@ mod tests {
             six >= 4 * one,
             "6 simultaneous instances must buffer several candidacies: {six} vs {one}"
         );
+    }
+
+    #[test]
+    fn attribute_rooted_residuals_stay_dormant() {
+        // /@id's residual root child is attribute-axis: unsatisfiable
+        // inside any activation subtree (the virtual root has no start
+        // tag), so the activation must sleep forever instead of
+        // spawning the old eager instance — same verdicts, zero
+        // instances.
+        let (mut ib, mut mf) = bank(&["/@id", "/hub/item/@id"]);
+        feed_both(&mut ib, &mut mf, r#"<hub id="3"><item id="7"/></hub>"#);
+        feed_both(&mut ib, &mut mf, "<hub><item/></hub>");
+        assert_eq!(
+            ib.peak_live_instances(),
+            1,
+            "only the woken /hub residual materializes; /@id never does"
+        );
+    }
+
+    #[test]
+    fn subscribe_extends_a_live_bank_without_recompiling_known_forms() {
+        let mut ib =
+            IndexedBank::new(&[parse_query("/site/asia/item[price > 5]").unwrap()]).unwrap();
+        let builds = ib.residual_builds();
+        // A new prefix with an already-known canonical remainder: trie
+        // grows, pool does not.
+        let b = ib
+            .subscribe(&parse_query("/site/europe/item[5 < price]").unwrap())
+            .unwrap();
+        assert_eq!(ib.residual_builds(), builds, "known form: no compile");
+        assert_eq!(ib.live_subscriptions(), 2);
+        // A genuinely new form compiles exactly once.
+        let c = ib
+            .subscribe(&parse_query("/site/asia/leaf").unwrap())
+            .unwrap();
+        for e in
+            &fx_xml::parse("<site><europe><item><price>9</price></item></europe></site>").unwrap()
+        {
+            ib.process(e);
+        }
+        assert_eq!(ib.results()[ib.slot_of(b).unwrap()], Some(true));
+        assert_eq!(ib.results()[ib.slot_of(c).unwrap()], Some(false));
+        // Fresh-bank parity for the same surviving set.
+        let queries: Vec<Query> = [
+            "/site/asia/item[price > 5]",
+            "/site/europe/item[5 < price]",
+            "/site/asia/leaf",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+        let mut fresh = IndexedBank::new(&queries).unwrap();
+        for e in
+            &fx_xml::parse("<site><europe><item><price>9</price></item></europe></site>").unwrap()
+        {
+            fresh.process(e);
+        }
+        assert_eq!(fresh.results(), ib.results());
+    }
+
+    #[test]
+    fn unsubscribe_tombstones_and_compaction_folds_them_away() {
+        let srcs = [
+            "/hub/asia/item[price > 5]/name",
+            "/hub/europe/item[5 < price]/name",
+            "/hub/asia/other",
+            "//t[u]",
+        ];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+        let mut ib = IndexedBank::new(&queries).unwrap();
+        let builds = ib.residual_builds();
+        let ids: Vec<SubscriptionId> = (0..4).map(|s| ib.subscription_of(s).unwrap()).collect();
+        assert!(ib.unsubscribe(ids[1]));
+        assert!(!ib.unsubscribe(ids[1]), "double unsubscribe is a no-op");
+        assert_eq!(ib.live_subscriptions(), 3);
+        assert_eq!(ib.tombstoned_slots(), 1);
+        // The tombstoned query no longer matches or routes.
+        let xml = "<hub><europe><item><price>9</price><name/></item></europe>\
+                   <asia><other/></asia></hub>";
+        for e in &fx_xml::parse(xml).unwrap() {
+            ib.process(e);
+        }
+        assert_eq!(
+            ib.matching().collect::<Vec<_>>(),
+            vec![2],
+            "dead slot 1 must not report"
+        );
+        // Compaction renumbers slots, keeps ids, recompiles nothing.
+        assert!(ib.compact());
+        assert_eq!(ib.len(), 3);
+        assert_eq!(ib.tombstoned_slots(), 0);
+        assert_eq!(ib.residual_builds(), builds, "compaction never compiles");
+        assert_eq!(ib.slot_of(ids[0]), Some(0));
+        assert_eq!(ib.slot_of(ids[1]), None);
+        assert_eq!(ib.slot_of(ids[2]), Some(1));
+        assert_eq!(ib.subscription_of(1), Some(ids[2]));
+        // Verdicts of the last document survive the fold.
+        assert_eq!(ib.results(), vec![Some(false), Some(true), Some(false)]);
+        // The unreferenced europe remainder left the pool.
+        assert!(ib.residual_pool_size() <= 2, "{}", ib.residual_pool_size());
+        // And the compacted bank still evaluates like a fresh one.
+        let surviving: Vec<Query> = [srcs[0], srcs[2], srcs[3]]
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
+        let mut fresh = IndexedBank::new(&surviving).unwrap();
+        for xml in [
+            xml,
+            "<t><u/></t>",
+            "<hub><asia><item><price>9</price><name/></item></asia></hub>",
+        ] {
+            for e in &fx_xml::parse(xml).unwrap() {
+                ib.process(e);
+                fresh.process(e);
+            }
+            assert_eq!(ib.results(), fresh.results(), "{xml}");
+        }
+    }
+
+    #[test]
+    fn resubscribing_a_tombstoned_form_revives_its_group() {
+        let mut ib = IndexedBank::new(&[parse_query("/a/item[p]").unwrap()]).unwrap();
+        let builds = ib.residual_builds();
+        let first = ib.subscription_of(0).unwrap();
+        assert!(ib.unsubscribe(first));
+        // Same canonical form again: the tombstoned group revives —
+        // no new group, no new compile.
+        let again = ib.subscribe(&parse_query("/a/item[p]").unwrap()).unwrap();
+        assert_ne!(again, first, "ids are never reused");
+        assert_eq!(ib.group_count(), 1);
+        assert_eq!(ib.residual_builds(), builds);
+        for e in &fx_xml::parse("<a><item><p/></item></a>").unwrap() {
+            ib.process(e);
+        }
+        assert_eq!(
+            ib.matching().collect::<Vec<_>>(),
+            vec![ib.slot_of(again).unwrap()]
+        );
+    }
+
+    #[test]
+    fn automatic_compaction_honours_the_policy() {
+        let mut ib = IndexedBank::new(&[]).unwrap();
+        ib.set_compaction_policy(CompactionPolicy {
+            min_tombstones: 4,
+            max_tombstone_ratio: 0.5,
+        });
+        let keep = ib.subscribe(&parse_query("/keep/me").unwrap()).unwrap();
+        let mut churned = Vec::new();
+        for i in 0..6 {
+            let q = parse_query(&format!("/fam{i}/item[p > {i}]")).unwrap();
+            churned.push(ib.subscribe(&q).unwrap());
+        }
+        let builds = ib.residual_builds();
+        for id in churned {
+            ib.unsubscribe(id);
+        }
+        // The 4th tombstone crosses the threshold (4 ≥ 4 and 4 > 0.5·7)
+        // and auto-compacts; the last two stay below it.
+        assert_eq!(ib.compactions(), 1, "threshold crossed ⇒ auto-compact");
+        assert_eq!(ib.tombstoned_slots(), 2);
+        // An explicit compact ignores the policy and folds the rest.
+        assert!(ib.compact());
+        assert_eq!(ib.tombstoned_slots(), 0);
+        assert_eq!(ib.len(), 1);
+        assert_eq!(ib.slot_of(keep), Some(0));
+        assert_eq!(ib.residual_builds(), builds, "churn never recompiles");
+        assert_eq!(
+            ib.residual_pool_size(),
+            0,
+            "every churned remainder released its pool entry"
+        );
+    }
+
+    #[test]
+    fn mid_document_churn_is_safe_and_lands_next_document() {
+        let (mut ib, mut mf) = bank(&["/r[a]", "//b[c]"]);
+        let events = fx_xml::parse("<r><a/><b><c/></b></r>").unwrap();
+        for (n, e) in events.iter().enumerate() {
+            ib.process(e);
+            mf.process(e);
+            if n == 2 {
+                // Mid-document: subscribe a new query and withdraw an
+                // existing one. Neither may disturb the in-flight
+                // evaluation of the untouched query.
+                ib.subscribe(&parse_query("/r/a").unwrap()).unwrap();
+                let id = ib.subscription_of(1).unwrap();
+                ib.unsubscribe(id);
+            }
+        }
+        assert_eq!(ib.results()[0], Some(true));
+        // Next document, everything is in effect.
+        let survivors = ["/r[a]", "/r/a"];
+        let (mut fresh, _) = bank(&survivors);
+        for e in &fx_xml::parse("<r><a/></r>").unwrap() {
+            ib.process(e);
+            fresh.process(e);
+        }
+        let by_id: Vec<Option<bool>> = (0..ib.len())
+            .filter(|&s| ib.subscription_of(s).is_some())
+            .map(|s| ib.results()[s])
+            .collect();
+        assert_eq!(by_id, fresh.results());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use fx_xml::Event;
 
 /// A streaming algorithm computing `BOOLEVAL_Q` over SAX events.
-pub trait Evaluator {
+///
+/// `Send` so a [`crate::Session`] can live on a service's worker thread
+/// (`fx-server`); every filter in the workspace is plain owned data.
+pub trait Evaluator: Send {
     /// Feeds one event. A `StartDocument` resets per-document state.
     fn process(&mut self, event: &Event);
     /// The verdict, available after `EndDocument`.

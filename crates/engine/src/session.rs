@@ -4,7 +4,7 @@
 use crate::builder::Mode;
 use crate::error::EngineError;
 use crate::evaluator::Evaluator;
-use fx_core::{Match, MatchSink};
+use fx_core::{IndexedBank, Match, MatchSink};
 use fx_xml::{Event, EventIter, Span, StreamingParser, SymEvent, Symbols};
 use std::io::Read;
 use std::sync::Arc;
@@ -103,6 +103,57 @@ impl Session {
             symbols,
             parser: None,
             collected: Vec::new(),
+        }
+    }
+
+    /// Wraps a live [`IndexedBank`] — typically one grown through
+    /// [`IndexedBank::subscribe`] — in a session, inheriting the bank's
+    /// symbol table and reporting mode. This is the entry point for
+    /// long-running dissemination services (`fx-server`): the bank stays
+    /// reachable through [`Session::indexed_bank`] /
+    /// [`Session::indexed_bank_mut`] so queries can churn between
+    /// documents while the session keeps its parser warm across
+    /// [`Session::run_reader_to`] calls.
+    pub fn from_indexed(bank: IndexedBank) -> Session {
+        let mode = if bank.is_reporting() {
+            Mode::Select
+        } else {
+            Mode::Filter
+        };
+        let symbols = Arc::clone(bank.symbols());
+        Session::new(SessionInner::Indexed(Box::new(bank)), mode, symbols)
+    }
+
+    /// The underlying [`IndexedBank`] of a session built with
+    /// [`crate::IndexPolicy::SharedPrefix`] or
+    /// [`Session::from_indexed`]; `None` otherwise.
+    pub fn indexed_bank(&self) -> Option<&IndexedBank> {
+        match &self.inner {
+            SessionInner::Indexed(bank) => Some(bank),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the underlying [`IndexedBank`], for subscribing
+    /// and unsubscribing queries on a live session. Churn is safe at any
+    /// time but only fully effective from the next document; apply it
+    /// between documents (see `IndexedBank::subscribe`).
+    pub fn indexed_bank_mut(&mut self) -> Option<&mut IndexedBank> {
+        match &mut self.inner {
+            SessionInner::Indexed(bank) => Some(bank),
+            _ => None,
+        }
+    }
+
+    /// Invalidates the warm parser's memoized name verdicts. Must be
+    /// called after subscribing queries on a live session
+    /// ([`Session::indexed_bank_mut`] + `IndexedBank::subscribe`): the
+    /// lookup-only reader path memoizes unknown-name verdicts, and a new
+    /// subscription can intern names an earlier document already
+    /// memoized as unknown. No-op when no reader has run yet.
+    pub fn refresh_symbol_memo(&mut self) {
+        if let Some(parser) = &mut self.parser {
+            parser.invalidate_name_memo();
         }
     }
 

@@ -1,0 +1,554 @@
+//! The service loop: a command/document inbox feeding one worker thread
+//! that owns the engine session, applies churn at document boundaries,
+//! and fans matches out per subscriber.
+
+use crate::sub::{Delivery, SubShared, Subscription};
+use crate::{ServerConfig, ServerError};
+use fx_core::{IndexedBank, Match, MatchSink, SubscriptionId, UnsupportedQuery};
+use fx_engine::Session;
+use fx_xml::Symbols;
+use fx_xpath::Query;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued churn / introspection operation. Commands are applied by
+/// the worker between documents, in submission order.
+enum Command {
+    Subscribe {
+        query: Query,
+        outlet: Outlet,
+        reply: SyncSender<Result<SubscriptionId, UnsupportedQuery>>,
+    },
+    Unsubscribe {
+        id: SubscriptionId,
+        reply: SyncSender<bool>,
+    },
+    Compact {
+        reply: SyncSender<bool>,
+    },
+    Stats {
+        reply: SyncSender<ServerStats>,
+    },
+}
+
+/// The shared mailbox between handles and the worker: a command queue
+/// (unbounded — churn ops are small and must not deadlock against a
+/// full document queue) and a *bounded* document queue whose fullness
+/// blocks publishers.
+/// One unit of worker work: all pending commands, or one document —
+/// never both (commands apply before documents, and the stats barrier
+/// depends on draining the document queue itself).
+type WorkBatch = (Vec<Command>, Option<Arc<[u8]>>);
+
+struct Inbox {
+    state: Mutex<InboxState>,
+    /// Worker-side: signalled when work (commands, documents, shutdown)
+    /// arrives.
+    work: Condvar,
+    /// Publisher-side: signalled when a document slot frees up.
+    space: Condvar,
+}
+
+struct InboxState {
+    cmds: VecDeque<Command>,
+    docs: VecDeque<Arc<[u8]>>,
+    doc_cap: usize,
+    shutdown: bool,
+}
+
+impl Inbox {
+    fn new(doc_cap: usize) -> Inbox {
+        Inbox {
+            state: Mutex::new(InboxState {
+                cmds: VecDeque::new(),
+                docs: VecDeque::new(),
+                doc_cap: doc_cap.max(1),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Queues a command unless the server is shutting down.
+    fn command(&self, cmd: Command) -> Result<(), ServerError> {
+        let mut st = self.state.lock().unwrap();
+        if st.shutdown {
+            return Err(ServerError::Closed);
+        }
+        st.cmds.push_back(cmd);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Queues a document, blocking while the queue is at capacity.
+    fn publish(&self, doc: Arc<[u8]>) -> Result<(), ServerError> {
+        let mut st = self.state.lock().unwrap();
+        while st.docs.len() >= st.doc_cap && !st.shutdown {
+            st = self.space.wait(st).unwrap();
+        }
+        if st.shutdown {
+            return Err(ServerError::Closed);
+        }
+        st.docs.push_back(doc);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Worker side: blocks for work, then takes *all* pending commands
+    /// — or, when none are queued, one document. Commands and documents
+    /// are never batched together: the stats barrier drains the document
+    /// queue itself, so it must still hold whatever was published before
+    /// it. Returns `None` when the server is shut down and fully
+    /// drained.
+    fn take_work(&self) -> Option<WorkBatch> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.cmds.is_empty() {
+                return Some((st.cmds.drain(..).collect(), None));
+            }
+            if let Some(doc) = st.docs.pop_front() {
+                self.space.notify_one();
+                return Some((Vec::new(), Some(doc)));
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.work.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking: pops one pending document if there is one (used by
+    /// the stats barrier to drain the queue).
+    fn take_doc(&self) -> Option<Arc<[u8]>> {
+        let mut st = self.state.lock().unwrap();
+        let doc = st.docs.pop_front();
+        if doc.is_some() {
+            self.space.notify_one();
+        }
+        doc
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// A cumulative snapshot of the server's activity, taken at a document
+/// boundary by [`ServerHandle::stats`] (which therefore also acts as a
+/// barrier: it returns only after every previously queued command and
+/// document has been processed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Documents fully processed.
+    pub documents: u64,
+    /// Documents rejected by the parser (malformed XML); the stream
+    /// continues with the next document.
+    pub parse_errors: u64,
+    /// Matches delivered into subscriber mailboxes.
+    pub deliveries: u64,
+    /// Matches dropped because a subscriber's mailbox was full (the sum
+    /// of every subscriber's lag counter, including departed ones).
+    pub dropped_deliveries: u64,
+    /// Subscriptions accepted over the server's lifetime.
+    pub subscribes: u64,
+    /// Subscriptions withdrawn (explicit and auto-unsubscribed).
+    pub unsubscribes: u64,
+    /// Currently live subscriptions.
+    pub live_subscriptions: usize,
+    /// Subscribers withdrawn automatically after their mailbox receiver
+    /// was dropped.
+    pub auto_unsubscribes: u64,
+    /// Bank compactions performed (policy-driven and explicit).
+    pub compactions: u64,
+    /// Residual automata compiled since startup — flat under churn over
+    /// known query shapes (the no-rebuild guarantee, observable).
+    pub residual_builds: u64,
+}
+
+/// The worker-side end of one subscription: the delivery sender (owned
+/// *only* here, so dropping it on withdrawal disconnects the mailbox)
+/// plus the counters shared with the subscriber.
+#[derive(Clone)]
+struct Outlet {
+    tx: SyncSender<Delivery>,
+    shared: Arc<SubShared>,
+}
+
+/// The per-document fan-out sink: routes each confirmed [`Match`] (whose
+/// `query` field is the bank slot) to the slot's subscriber mailbox.
+struct FanOut<'a> {
+    routes: &'a [Option<(SubscriptionId, Outlet)>],
+    doc_seq: u64,
+    document: &'a Arc<[u8]>,
+    deliveries: &'a mut u64,
+    dropped: &'a mut u64,
+    any_disconnected: &'a mut bool,
+}
+
+impl MatchSink for FanOut<'_> {
+    fn on_match(&mut self, m: Match) {
+        let Some(Some((id, outlet))) = self.routes.get(m.query) else {
+            return; // tombstoned or never-routed slot
+        };
+        if outlet.shared.disconnected.load(Ordering::Relaxed) {
+            return;
+        }
+        let delivery = Delivery {
+            subscription: *id,
+            doc_seq: self.doc_seq,
+            ordinal: m.ordinal,
+            span: m.span,
+            document: Arc::clone(self.document),
+        };
+        match outlet.tx.try_send(delivery) {
+            Ok(()) => {
+                outlet.shared.delivered.fetch_add(1, Ordering::Relaxed);
+                *self.deliveries += 1;
+            }
+            Err(TrySendError::Full(_)) => {
+                // A stalled subscriber lags; the stream does not stop.
+                outlet.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                *self.dropped += 1;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                outlet.shared.disconnected.store(true, Ordering::Relaxed);
+                *self.any_disconnected = true;
+            }
+        }
+    }
+}
+
+/// The worker: exclusive owner of the engine session (bank + symbol
+/// table + warm parser) and all subscriber routing state.
+struct Worker {
+    inbox: Arc<Inbox>,
+    session: Session,
+    /// Live subscribers by id; the only lasting owner of each delivery
+    /// sender.
+    subscribers: HashMap<SubscriptionId, Outlet>,
+    /// Slot → subscriber, rebuilt (lazily) after any churn/compaction.
+    routes: Vec<Option<(SubscriptionId, Outlet)>>,
+    routes_dirty: bool,
+    doc_seq: u64,
+    stats: ServerStats,
+}
+
+impl Worker {
+    fn bank(&mut self) -> &mut IndexedBank {
+        self.session
+            .indexed_bank_mut()
+            .expect("server sessions always wrap an indexed bank")
+    }
+
+    fn run(mut self) -> ServerStats {
+        while let Some((cmds, doc)) = self.inbox.take_work() {
+            for cmd in cmds {
+                self.apply(cmd);
+            }
+            if let Some(doc) = doc {
+                self.process(doc);
+            }
+        }
+        self.snapshot()
+    }
+
+    fn apply(&mut self, cmd: Command) {
+        match cmd {
+            Command::Subscribe {
+                query,
+                outlet,
+                reply,
+            } => {
+                let result = self.bank().subscribe(&query);
+                if let Ok(id) = result {
+                    // The compile may have interned names a previous
+                    // document memoized as unknown in the warm parser.
+                    self.session.refresh_symbol_memo();
+                    self.subscribers.insert(id, outlet);
+                    self.routes_dirty = true;
+                    self.stats.subscribes += 1;
+                    if reply.send(Ok(id)).is_err() {
+                        // The subscriber gave up before learning its id;
+                        // nobody could ever unsubscribe it — undo now.
+                        self.withdraw(id);
+                    }
+                } else {
+                    let _ = reply.send(result.map(|_| unreachable!()));
+                }
+            }
+            Command::Unsubscribe { id, reply } => {
+                let _ = reply.send(self.withdraw(id));
+            }
+            Command::Compact { reply } => {
+                let did = self.bank().compact();
+                if did {
+                    self.routes_dirty = true;
+                }
+                let _ = reply.send(did);
+            }
+            Command::Stats { reply } => {
+                // The barrier contract: everything queued before the
+                // stats call — commands (they precede it in the command
+                // queue) *and* documents — is reflected in the snapshot.
+                while let Some(doc) = self.inbox.take_doc() {
+                    self.process(doc);
+                }
+                let _ = reply.send(self.snapshot());
+            }
+        }
+    }
+
+    fn withdraw(&mut self, id: SubscriptionId) -> bool {
+        if !self.bank().unsubscribe(id) {
+            return false;
+        }
+        self.subscribers.remove(&id);
+        // Drop the routed sender clones immediately (not lazily at the
+        // next document): the worker owns the last senders, so this
+        // disconnects the withdrawn mailbox and wakes a blocked `recv`.
+        self.routes.clear();
+        self.routes_dirty = true;
+        self.stats.unsubscribes += 1;
+        true
+    }
+
+    /// Rebuilds the slot → subscriber routing table from the bank's
+    /// current slot layout (slots renumber on compaction; ids do not).
+    fn rebuild_routes(&mut self) {
+        let slots = self
+            .session
+            .indexed_bank()
+            .expect("server sessions always wrap an indexed bank")
+            .len();
+        self.routes.clear();
+        self.routes.resize_with(slots, || None);
+        for slot in 0..slots {
+            let bank = self.session.indexed_bank().unwrap();
+            if let Some(id) = bank.subscription_of(slot) {
+                if let Some(outlet) = self.subscribers.get(&id) {
+                    self.routes[slot] = Some((id, outlet.clone()));
+                }
+            }
+        }
+        self.routes_dirty = false;
+    }
+
+    fn process(&mut self, doc: Arc<[u8]>) {
+        if self.routes_dirty {
+            self.rebuild_routes();
+        }
+        let mut deliveries = 0;
+        let mut dropped = 0;
+        let mut any_disconnected = false;
+        let doc_seq = self.doc_seq;
+        let mut sink = FanOut {
+            routes: &self.routes,
+            doc_seq,
+            document: &doc,
+            deliveries: &mut deliveries,
+            dropped: &mut dropped,
+            any_disconnected: &mut any_disconnected,
+        };
+        let result = self.session.run_reader_to(&doc[..], &mut sink);
+        self.doc_seq += 1;
+        self.stats.deliveries += deliveries;
+        self.stats.dropped_deliveries += dropped;
+        match result {
+            Ok(_) => self.stats.documents += 1,
+            Err(_) => self.stats.parse_errors += 1,
+        }
+        if any_disconnected {
+            // Departed subscribers (receiver dropped) are withdrawn at
+            // the document boundary, like any other churn.
+            let gone: Vec<SubscriptionId> = self
+                .subscribers
+                .iter()
+                .filter(|(_, s)| s.shared.disconnected.load(Ordering::Relaxed))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in gone {
+                self.withdraw(id);
+                self.stats.auto_unsubscribes += 1;
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let bank = self
+            .session
+            .indexed_bank()
+            .expect("server sessions always wrap an indexed bank");
+        let mut stats = self.stats.clone();
+        stats.live_subscriptions = bank.live_subscriptions();
+        stats.compactions = bank.compactions();
+        stats.residual_builds = bank.residual_builds();
+        stats
+    }
+}
+
+/// A running dissemination service: one worker thread owning the engine,
+/// fed through [`ServerHandle`]s. See the crate docs for the full model.
+pub struct DisseminationServer {
+    inbox: Arc<Inbox>,
+    mailbox_capacity: usize,
+    worker: JoinHandle<ServerStats>,
+}
+
+impl DisseminationServer {
+    /// Spawns the worker with an empty query bank. Subscribers and
+    /// documents may arrive from any thread, in any order.
+    pub fn start(config: ServerConfig) -> DisseminationServer {
+        let symbols = Arc::new(Symbols::new());
+        let mut bank = IndexedBank::new_reporting_with_symbols(&[], symbols)
+            .expect("an empty bank always builds");
+        bank.set_compaction_policy(config.compaction);
+        let inbox = Arc::new(Inbox::new(config.doc_queue_capacity));
+        let worker = Worker {
+            inbox: Arc::clone(&inbox),
+            session: Session::from_indexed(bank),
+            subscribers: HashMap::new(),
+            routes: Vec::new(),
+            routes_dirty: false,
+            doc_seq: 0,
+            stats: ServerStats::default(),
+        };
+        let worker = std::thread::Builder::new()
+            .name("fx-server".into())
+            .spawn(move || worker.run())
+            .expect("spawning the fx-server worker thread");
+        DisseminationServer {
+            inbox,
+            mailbox_capacity: config.mailbox_capacity.max(1),
+            worker,
+        }
+    }
+
+    /// A cloneable ingress handle (subscribe / publish / stats).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inbox: Arc::clone(&self.inbox),
+            mailbox_capacity: self.mailbox_capacity,
+        }
+    }
+
+    /// Stops accepting work, drains everything already queued (commands
+    /// *and* documents), joins the worker and returns its final stats.
+    pub fn shutdown(self) -> ServerStats {
+        self.inbox.close();
+        self.worker
+            .join()
+            .expect("fx-server worker thread panicked")
+    }
+}
+
+impl std::fmt::Debug for DisseminationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisseminationServer")
+            .finish_non_exhaustive()
+    }
+}
+
+/// A thread-safe ingress handle to a [`DisseminationServer`]. Cheap to
+/// clone; every clone feeds the same worker.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inbox: Arc<Inbox>,
+    mailbox_capacity: usize,
+}
+
+impl ServerHandle {
+    /// Registers a standing query and returns its [`Subscription`]
+    /// mailbox. Applied at the next document boundary: the subscription
+    /// sees every document published after this call returns (and may
+    /// additionally see earlier documents still queued when it lands).
+    /// Incremental — O(|query|) bank growth, no recompilation of
+    /// existing queries.
+    pub fn subscribe(&self, query: Query) -> Result<Subscription, ServerError> {
+        self.subscribe_with_mailbox(query, self.mailbox_capacity)
+    }
+
+    /// [`ServerHandle::subscribe`] with a per-subscription mailbox
+    /// capacity overriding [`crate::ServerConfig::mailbox_capacity`].
+    pub fn subscribe_with_mailbox(
+        &self,
+        query: Query,
+        mailbox: usize,
+    ) -> Result<Subscription, ServerError> {
+        let (tx, rx) = sync_channel(mailbox.max(1));
+        let shared = Arc::new(SubShared::default());
+        let (reply, confirmed) = sync_channel(1);
+        self.inbox.command(Command::Subscribe {
+            query,
+            outlet: Outlet {
+                tx,
+                shared: Arc::clone(&shared),
+            },
+            reply,
+        })?;
+        let id = confirmed
+            .recv()
+            .map_err(|_| ServerError::Closed)?
+            .map_err(ServerError::Unsupported)?;
+        Ok(Subscription { id, rx, shared })
+    }
+
+    /// Withdraws a subscription at the next document boundary. `false`
+    /// if the id was never live or is already gone.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<bool, ServerError> {
+        let (reply, done) = sync_channel(1);
+        self.inbox.command(Command::Unsubscribe { id, reply })?;
+        done.recv().map_err(|_| ServerError::Closed)
+    }
+
+    /// Queues one XML document for evaluation against every live
+    /// subscription. Blocks while the document queue is at capacity
+    /// (upstream backpressure); returns `Err` only when the server is
+    /// shut down.
+    pub fn publish(&self, doc: impl Into<Arc<[u8]>>) -> Result<(), ServerError> {
+        self.inbox.publish(doc.into())
+    }
+
+    /// [`ServerHandle::publish`] for string documents.
+    pub fn publish_str(&self, doc: &str) -> Result<(), ServerError> {
+        self.publish(doc.as_bytes().to_vec())
+    }
+
+    /// Forces a bank compaction (normally policy-driven) at the next
+    /// document boundary. `true` if tombstones were folded away.
+    pub fn compact(&self) -> Result<bool, ServerError> {
+        let (reply, done) = sync_channel(1);
+        self.inbox.command(Command::Compact { reply })?;
+        done.recv().map_err(|_| ServerError::Closed)
+    }
+
+    /// A cumulative activity snapshot. Synchronous: acts as a barrier
+    /// for everything queued before it (commands and documents alike).
+    pub fn stats(&self) -> Result<ServerStats, ServerError> {
+        let (reply, done) = sync_channel(1);
+        self.inbox.command(Command::Stats { reply })?;
+        done.recv().map_err(|_| ServerError::Closed)
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").finish_non_exhaustive()
+    }
+}
+
+// The worker thread owns the session (bank + symbols + parser) and the
+// handles cross threads; regressions in these bounds should fail the
+// build here, not at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Session>();
+    assert_send::<Subscription>();
+    assert_send_sync::<ServerHandle>();
+};

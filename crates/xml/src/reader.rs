@@ -117,6 +117,17 @@ impl StreamingParser {
         &self.symbols
     }
 
+    /// Drops every memoized name verdict. A lookup-only parser memoizes
+    /// [`Sym::UNKNOWN`] for names outside the table; if the shared table
+    /// later gains such a name (a dissemination server compiling a new
+    /// subscription), the stale memo would keep collapsing it to
+    /// `UNKNOWN`. Call this after interning new names behind a live
+    /// parser; [`StreamingParser::reset`] deliberately keeps the memo
+    /// warm.
+    pub fn invalidate_name_memo(&mut self) {
+        self.name_cache.clear();
+    }
+
     /// Keeps whitespace-only text nodes.
     pub fn keep_whitespace(mut self) -> StreamingParser {
         self.keep_whitespace = true;

@@ -258,6 +258,18 @@ impl SymCache {
         interned
     }
 
+    /// Forgets every memoized verdict (slot `String` capacity is kept).
+    /// Required after the shared table gains names *behind* a lookup-only
+    /// consumer — e.g. a dissemination server compiling a freshly
+    /// subscribed query — since a stale memoized [`Sym::UNKNOWN`] would
+    /// otherwise hide the now-interned name from that consumer.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.0.clear();
+            slot.1 = Sym::UNKNOWN;
+        }
+    }
+
     /// Overwrites the memo slot for `name` (used after interning a name
     /// the cache had memoized as unknown).
     pub fn insert(&mut self, name: &str, sym: Sym) {

@@ -108,6 +108,7 @@ pub use fx_dom as dom;
 pub use fx_engine as engine;
 pub use fx_eval as eval;
 pub use fx_lowerbounds as lowerbounds;
+pub use fx_server as server;
 pub use fx_workloads as workloads;
 pub use fx_xml as xml;
 pub use fx_xpath as xpath;
@@ -130,6 +131,7 @@ pub mod prelude {
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
+    pub use fx_server::{Delivery, DisseminationServer, ServerConfig, ServerHandle, Subscription};
     pub use fx_xml::{parse as parse_xml, Event, EventIter, SaxHandler, Span};
     pub use fx_xpath::{parse_query, Query};
 }

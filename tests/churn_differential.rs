@@ -1,0 +1,233 @@
+//! Churn differential: an `IndexedBank` that lived through an arbitrary
+//! interleaving of subscribe / unsubscribe / compact / document ops must
+//! be observationally equivalent — per-subscription boolean verdicts
+//! *and* routed match streams (ordinal + source span) — to a bank built
+//! from scratch over the surviving queries. On top of parity, the suite
+//! pins the no-rebuild guarantee: once every canonical residual form in
+//! the op pool has been seen, `residual_builds()` never moves again, no
+//! matter how the bank churns.
+
+use frontier_xpath::filter::{IndexedBank, SubscriptionId};
+use frontier_xpath::prelude::*;
+use frontier_xpath::workloads::{random_document, RandomDocConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Case-count knob: CI pins a small count via `FX_PROPTEST_CASES`;
+/// local runs omit it for the default or set it higher for coverage.
+fn fx_cases(default: u32) -> u32 {
+    std::env::var("FX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The subscription pool: reporting-supported shapes sharing prefixes
+/// and canonical residual forms, so churn exercises trie extension,
+/// group revival, pool reuse, and cross-group residual sharing.
+const POOL: &[&str] = &[
+    "/a/b/c",
+    "/a/b/c[x]",
+    "/a/b[c]/c",
+    "/a/b//c",
+    "//a/b",
+    "//a//b",
+    "//a//b[c]",
+    "//a[b]/c",
+    "/a[b and c]",
+    "/a/*/b",
+    "//b[a and .//c]",
+    "/a[b > 2]/c",
+    "//x//a[b]",
+    "//c",
+];
+
+fn pool_queries() -> Vec<Query> {
+    POOL.iter().map(|s| parse_query(s).unwrap()).collect()
+}
+
+/// (live index, ordinal, span start, span end): match streams with bank
+/// slots translated to stable per-subscription positions, order-
+/// normalized so routing, duplication and drops all fail loudly.
+fn normalize(matches: &[Match], slot_to_pos: &[Option<usize>]) -> Vec<(usize, u64, u64, u64)> {
+    let mut v: Vec<(usize, u64, u64, u64)> = matches
+        .iter()
+        .map(|m| {
+            let pos = slot_to_pos
+                .get(m.query)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| panic!("match routed to dead or unknown slot {}", m.query));
+            (pos, m.ordinal, m.span.start, m.span.end)
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Feeds `xml` through the churned bank and a from-scratch bank over the
+/// surviving queries; asserts verdict and match-stream equivalence.
+fn assert_doc_parity(churned: &mut IndexedBank, live: &[(SubscriptionId, Query)], xml: &str) {
+    let surviving: Vec<Query> = live.iter().map(|(_, q)| q.clone()).collect();
+    let mut fresh = IndexedBank::new_reporting(&surviving).unwrap();
+    let mut got: Vec<Match> = Vec::new();
+    let mut want: Vec<Match> = Vec::new();
+    for (event, span) in fx_xml::parse_spanned(xml).unwrap() {
+        churned.process_to(&event, span, &mut got);
+        fresh.process_to(&event, span, &mut want);
+    }
+    // Translate churned slots to positions in the surviving list.
+    let mut slot_to_pos: Vec<Option<usize>> = vec![None; churned.len()];
+    for (pos, (id, _)) in live.iter().enumerate() {
+        let slot = churned
+            .slot_of(*id)
+            .expect("live subscription must resolve to a slot");
+        slot_to_pos[slot] = Some(pos);
+    }
+    let churned_results = churned.results();
+    let fresh_results = fresh.results();
+    for (pos, (id, q)) in live.iter().enumerate() {
+        let slot = churned.slot_of(*id).unwrap();
+        assert_eq!(
+            churned_results[slot], fresh_results[pos],
+            "verdict of {q:?} ({id}) after churn, on {xml}"
+        );
+    }
+    assert_eq!(
+        normalize(&got, &slot_to_pos),
+        normalize(&want, &(0..fresh.len()).map(Some).collect::<Vec<_>>()),
+        "match streams diverged on {xml}"
+    );
+}
+
+/// One churn scenario: a seeded random walk over subscribe (from the
+/// pool), unsubscribe (random churned id), explicit compact, and
+/// document ops, with parity checked against a from-scratch bank at
+/// every document and once more at the end.
+///
+/// One subscription per pool form stays pinned for the whole walk, so
+/// every canonical residual keeps a live user. That is the steady-state
+/// regime the flat-`residual_builds()` guarantee covers: a form whose
+/// last subscriber leaves has its pooled residual reclaimed at the next
+/// compaction, and re-subscribing it later legitimately compiles once.
+fn run_churn_case(seed: u64) {
+    let pool = pool_queries();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut bank = IndexedBank::new_reporting(&[]).unwrap();
+
+    let pinned: Vec<(SubscriptionId, Query)> = pool
+        .iter()
+        .map(|q| (bank.subscribe(q).unwrap(), q.clone()))
+        .collect();
+    let mut extras: Vec<(SubscriptionId, Query)> = Vec::new();
+    let builds_at_steady_state = bank.residual_builds();
+
+    let doc_cfg = RandomDocConfig {
+        max_depth: 6,
+        max_children: 4,
+        names: ["a", "b", "c", "x"].iter().map(|s| s.to_string()).collect(),
+        text_values: vec![String::new(), "1".into(), "3".into(), "6".into()],
+    };
+    let live = |pinned: &[(SubscriptionId, Query)], extras: &[(SubscriptionId, Query)]| {
+        pinned.iter().chain(extras).cloned().collect::<Vec<_>>()
+    };
+    let ops = 12 + (seed as usize % 12);
+    for _ in 0..ops {
+        match rng.gen_range(0..10u32) {
+            // Subscribe a pool query (repeats deliberate: duplicate
+            // members and group revival are the interesting paths).
+            0..=3 => {
+                let q = &pool[rng.gen_range(0..pool.len())];
+                let id = bank.subscribe(q).unwrap();
+                extras.push((id, q.clone()));
+            }
+            // Unsubscribe a random churned subscription.
+            4..=5 => {
+                if !extras.is_empty() {
+                    let (id, _) = extras.swap_remove(rng.gen_range(0..extras.len()));
+                    assert!(bank.unsubscribe(id), "{id} was live");
+                }
+            }
+            // Explicit compaction (a no-op when nothing is tombstoned).
+            6 => {
+                bank.compact();
+            }
+            // Stream a document and differential-check it.
+            _ => {
+                let xml = random_document(&mut rng, &doc_cfg).to_xml();
+                assert_doc_parity(&mut bank, &live(&pinned, &extras), &xml);
+            }
+        }
+        assert_eq!(
+            bank.residual_builds(),
+            builds_at_steady_state,
+            "steady-state churn recompiled a residual (seed {seed:#x})"
+        );
+    }
+    // Always close with a compaction and one more differential document,
+    // so every case checks the post-compaction routing too.
+    bank.compact();
+    let xml = random_document(&mut rng, &doc_cfg).to_xml();
+    assert_doc_parity(&mut bank, &live(&pinned, &extras), &xml);
+    assert_eq!(bank.residual_builds(), builds_at_steady_state);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fx_cases(48)))]
+
+    /// The acceptance-criteria property: any op interleaving leaves the
+    /// bank equivalent to a from-scratch build over the survivors, with
+    /// `residual_builds()` flat throughout.
+    #[test]
+    fn churned_bank_matches_from_scratch_bank(seed in 0u64..1_000_000) {
+        run_churn_case(seed);
+    }
+}
+
+/// A deterministic long walk (independent of proptest's case budget):
+/// heavier churn with policy-driven auto-compaction enabled.
+#[test]
+fn long_churn_walk_with_auto_compaction() {
+    let pool = pool_queries();
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut bank = IndexedBank::new_reporting(&[]).unwrap();
+    bank.set_compaction_policy(frontier_xpath::filter::CompactionPolicy {
+        min_tombstones: 8,
+        max_tombstone_ratio: 0.3,
+    });
+    let pinned: Vec<(SubscriptionId, Query)> = pool
+        .iter()
+        .map(|q| (bank.subscribe(q).unwrap(), q.clone()))
+        .collect();
+    let mut extras: Vec<(SubscriptionId, Query)> = Vec::new();
+    let builds = bank.residual_builds();
+    let doc_cfg = RandomDocConfig {
+        max_depth: 5,
+        max_children: 3,
+        names: ["a", "b", "c", "x"].iter().map(|s| s.to_string()).collect(),
+        text_values: vec![String::new(), "3".into(), "6".into()],
+    };
+    for round in 0..40 {
+        // Churn burst: a wave of subscribes and unsubscribes on top of
+        // the pinned resident set.
+        for _ in 0..6 {
+            let q = &pool[rng.gen_range(0..pool.len())];
+            extras.push((bank.subscribe(q).unwrap(), q.clone()));
+        }
+        for _ in 0..6 {
+            if !extras.is_empty() {
+                let (id, _) = extras.swap_remove(rng.gen_range(0..extras.len()));
+                assert!(bank.unsubscribe(id));
+            }
+        }
+        let all: Vec<_> = pinned.iter().chain(&extras).cloned().collect();
+        let xml = random_document(&mut rng, &doc_cfg).to_xml();
+        assert_doc_parity(&mut bank, &all, &xml);
+        assert_eq!(bank.residual_builds(), builds, "round {round}");
+    }
+    assert!(
+        bank.compactions() > 0,
+        "40 rounds of burst churn must cross the auto-compaction threshold"
+    );
+}
