@@ -3,8 +3,9 @@
 //! the **byte-throughput (MB/s) series** over the full parse→filter
 //! pipeline: parse-only, parse + one filter, and parse + a 1024-query
 //! indexed bank, each on the owned-`Event` surface vs the
-//! symbol-interned zero-copy surface (`feed_interned` → `SymEvent`).
-//! The post-PR-5 numbers live in `BENCH_throughput.json` at the repo
+//! symbol-interned zero-copy surface (`feed_interned` → `SymEvent`),
+//! plus `html/*` and `json/*` MB/s series for the non-XML frontends.
+//! The measured numbers live in `BENCH_throughput.json` at the repo
 //! root, the perf trajectory later PRs measure against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -260,9 +261,117 @@ fn bench_byte_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// MB/s for the non-XML frontends over their generated corpora: the
+/// soup tokenizer and the JSON lexer alone (interned events dropped),
+/// and end-to-end through a filtering engine session (`run_source`,
+/// lookup-only table shared with the compiled query).
+///
+/// Corpora are many small documents rather than one large one — the
+/// shape these frontends are for (scraped pages, record streams) — so
+/// the rows also price per-document reset and verdict turnaround.
+fn bench_frontend_throughput(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let soup_cfg = wl::HtmlSoupConfig {
+        max_depth: 7,
+        max_children: 6,
+        quirkiness: 0.5,
+    };
+    let html_docs: Vec<String> = wl::html_soup_corpus(&mut rng, &soup_cfg, 64)
+        .into_iter()
+        .map(|d| d.html)
+        .collect();
+    let html_bytes: u64 = html_docs.iter().map(|d| d.len() as u64).sum();
+
+    let mut group = c.benchmark_group("html");
+    group.throughput(Throughput::Bytes(html_bytes));
+    group.bench_with_input(
+        BenchmarkId::new("tokenize", "interned"),
+        &html_docs,
+        |b, docs| {
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            let mut p = fx_html::HtmlParser::with_symbols(Arc::clone(&symbols));
+            b.iter(|| {
+                let mut n = 0usize;
+                for d in docs {
+                    p.reset();
+                    p.feed_interned(d, &mut |_e, _s| n += 1).unwrap();
+                    p.finish_interned(&mut |_e, _s| n += 1).unwrap();
+                }
+                n
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("filter", "engine"),
+        &html_docs,
+        |b, docs| {
+            let engine = Engine::builder().query_str("//li[p]").build().unwrap();
+            let mut session = engine.session();
+            let mut src = engine.html_source();
+            b.iter(|| {
+                let mut matched = 0usize;
+                for d in docs {
+                    matched += session.run_source(&mut src, d.as_bytes()).unwrap().any() as usize;
+                }
+                matched
+            });
+        },
+    );
+    group.finish();
+
+    let record_cfg = wl::JsonRecordsConfig {
+        max_depth: 5,
+        max_members: 5,
+        max_items: 4,
+        messiness: 0.3,
+    };
+    let json_docs: Vec<String> = wl::json_records(&mut rng, &record_cfg, 128)
+        .into_iter()
+        .map(|r| r.json)
+        .collect();
+    let json_bytes: u64 = json_docs.iter().map(|d| d.len() as u64).sum();
+
+    let mut group = c.benchmark_group("json");
+    group.throughput(Throughput::Bytes(json_bytes));
+    group.bench_with_input(
+        BenchmarkId::new("tokenize", "interned"),
+        &json_docs,
+        |b, docs| {
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            let mut p = fx_json::JsonParser::with_symbols(Arc::clone(&symbols));
+            b.iter(|| {
+                let mut n = 0usize;
+                for d in docs {
+                    p.reset();
+                    p.feed_interned(d, &mut |_e, _s| n += 1).unwrap();
+                    p.finish_interned(&mut |_e, _s| n += 1).unwrap();
+                }
+                n
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("filter", "engine"),
+        &json_docs,
+        |b, docs| {
+            let engine = Engine::builder().query_str("//user[name]").build().unwrap();
+            let mut session = engine.session();
+            let mut src = engine.json_source();
+            b.iter(|| {
+                let mut matched = 0usize;
+                for d in docs {
+                    matched += session.run_source(&mut src, d.as_bytes()).unwrap().any() as usize;
+                }
+                matched
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_byte_throughput, bench_twig_engines, bench_linear_engines, bench_recursion_scaling, bench_query_size_scaling
+    targets = bench_byte_throughput, bench_frontend_throughput, bench_twig_engines, bench_linear_engines, bench_recursion_scaling, bench_query_size_scaling
 }
 criterion_main!(benches);

@@ -188,6 +188,20 @@ impl EngineBuilder {
         // parser interns document names into it — so events and node
         // tests meet as equal integers with no per-event conversion.
         let symbols = Arc::new(Symbols::new());
+        // Seed the table with every query's name vocabulary up front,
+        // for *all* backends — Frontier compilation would intern these
+        // anyway, but the automata and buffering backends compile
+        // nothing against the table, and the lookup-only frontends
+        // (`Engine::html_source`, `Session::run_source`) rely on the
+        // invariant that a name missing from the table cannot be part
+        // of any query.
+        for q in &self.queries {
+            for id in q.all_nodes() {
+                if let Some(fx_xpath::NodeTest::Name(n)) = q.ntest(id) {
+                    symbols.intern(n);
+                }
+            }
+        }
         let mut compiled = Vec::new();
         match self.backend {
             // Under IndexPolicy::SharedPrefix the indexed bank built
@@ -444,6 +458,57 @@ impl Engine {
     pub fn select_str(&self, xml: &str) -> Result<Outcome, EngineError> {
         self.select_reader(xml.as_bytes())
     }
+
+    /// An HTML-soup frontend bound to this engine: a lenient
+    /// [`fx_html::HtmlParser`] sharing the engine's symbol table in
+    /// lookup-only mode, so document names outside the query vocabulary
+    /// never grow the table. Reuse it across documents with
+    /// [`Session::run_source`] to keep its scratch buffers warm.
+    pub fn html_source(&self) -> fx_html::HtmlParser {
+        fx_html::HtmlParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
+    }
+
+    /// A streaming-JSON frontend bound to this engine: an
+    /// [`fx_json::JsonParser`] sharing the engine's symbol table in
+    /// lookup-only mode (see [`Engine::html_source`]).
+    pub fn json_source(&self) -> fx_json::JsonParser {
+        fx_json::JsonParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
+    }
+
+    /// One-shot convenience: stream an HTML document from a reader
+    /// through a fresh session and the lenient soup tokenizer. HTML
+    /// never fails structurally, so the only errors are I/O and
+    /// invalid UTF-8.
+    pub fn filter_html_reader<R: Read>(&self, reader: R) -> Result<Verdicts, EngineError> {
+        self.session().run_source(&mut self.html_source(), reader)
+    }
+
+    /// One-shot HTML selection: [`Engine::select_reader`] through the
+    /// soup tokenizer, returning verdicts plus per-query matches whose
+    /// spans index the HTML source bytes.
+    pub fn select_html_reader<R: Read>(&self, reader: R) -> Result<Outcome, EngineError> {
+        self.session()
+            .run_source_outcome(&mut self.html_source(), reader)
+    }
+
+    /// One-shot convenience: stream a JSON document from a reader
+    /// through a fresh session and the JSON→element mapping (objects as
+    /// elements, keys as QNames, array items as repeated children —
+    /// see `fx_json`). Malformed JSON is a [`ParseError`] wrapped in
+    /// [`EngineError::Parse`].
+    ///
+    /// [`ParseError`]: fx_xml::ParseError
+    pub fn filter_json_reader<R: Read>(&self, reader: R) -> Result<Verdicts, EngineError> {
+        self.session().run_source(&mut self.json_source(), reader)
+    }
+
+    /// One-shot JSON selection: verdicts plus per-query matches whose
+    /// spans index the JSON source bytes (an element match spans its
+    /// originating value token onward — see `fx_json`'s span rules).
+    pub fn select_json_reader<R: Read>(&self, reader: R) -> Result<Outcome, EngineError> {
+        self.session()
+            .run_source_outcome(&mut self.json_source(), reader)
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +676,110 @@ mod tests {
             matches!(err, EngineError::QueryParse { index: 0, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn html_and_json_frontends_share_the_engine() {
+        let e = Engine::builder().query_str("//li").build().unwrap();
+        let before = e.symbols().len();
+        let v = e
+            .filter_html_reader("<UL><li>a<li>b</ul>".as_bytes())
+            .unwrap();
+        assert!(v.any());
+        assert!(!e
+            .filter_html_reader("<p>no lists</p>".as_bytes())
+            .unwrap()
+            .any());
+        // Lookup-only sources never grow the engine table, even over
+        // documents full of names outside the query vocabulary.
+        assert_eq!(e.symbols().len(), before);
+
+        let e = Engine::builder()
+            .query_str("/json/user/name")
+            .build()
+            .unwrap();
+        assert!(e
+            .filter_json_reader(r#"{"user":{"name":"ada"}}"#.as_bytes())
+            .unwrap()
+            .any());
+        assert!(!e
+            .filter_json_reader(r#"{"user":{"id":7}}"#.as_bytes())
+            .unwrap()
+            .any());
+        // Malformed JSON is a parse error, not soup.
+        assert!(matches!(
+            e.filter_json_reader("{broken".as_bytes()),
+            Err(EngineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn frontend_selection_reports_source_spans() {
+        let e = Engine::builder()
+            .query_str("//li")
+            .select()
+            .build()
+            .unwrap();
+        let html = "<ul><li>a<li>b</ul>";
+        let out = e.select_html_reader(html.as_bytes()).unwrap();
+        assert!(out.verdicts().matched()[0]);
+        let spans: Vec<_> = out
+            .matches(0)
+            .iter()
+            .map(|m| m.span.slice(html).unwrap())
+            .collect();
+        // A match span covers the element from its start tag through
+        // its (here implied) close.
+        assert_eq!(spans, vec!["<li>a", "<li>b"]);
+
+        let e = Engine::builder()
+            .query_str("/json/tags")
+            .select()
+            .build()
+            .unwrap();
+        let out = e
+            .select_json_reader(r#"{"tags":[1,2,3]}"#.as_bytes())
+            .unwrap();
+        assert_eq!(out.matches(0).len(), 3);
+    }
+
+    #[test]
+    fn each_sessions_take_the_owned_fallback_for_frontends() {
+        // The automata backends have no interned surface: run_source
+        // materializes owned events, collapsing names a lookup-only
+        // source could not resolve to a sentinel outside any query
+        // vocabulary. Verdicts must agree with the frontier backend.
+        let html = "<div><ul><li>x</li></ul></div>";
+        for backend in [Backend::Frontier, Backend::Nfa, Backend::LazyDfa] {
+            let e = Engine::builder()
+                .query_str("//li")
+                .backend(backend)
+                .build()
+                .unwrap();
+            let mut session = e.session();
+            let v = session
+                .run_source(&mut e.html_source(), html.as_bytes())
+                .unwrap();
+            assert!(v.any(), "{backend:?}");
+            let v = session
+                .run_source(&mut e.html_source(), "<div><p>x</p></div>".as_bytes())
+                .unwrap();
+            assert!(!v.any(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn a_source_with_a_foreign_table_still_evaluates() {
+        let e = Engine::builder().query_str("/json/a").build().unwrap();
+        // An interning parser over its own table: syms are meaningless
+        // to the engine, so the session re-resolves per event.
+        let mut source = fx_json::JsonParser::new();
+        let v = e
+            .session()
+            .run_source(&mut source, r#"{"a": 1}"#.as_bytes())
+            .unwrap();
+        assert!(v.any());
+        assert!(!Arc::ptr_eq(source.symbols(), e.symbols()));
     }
 
     #[test]

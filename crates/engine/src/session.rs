@@ -5,7 +5,9 @@ use crate::builder::Mode;
 use crate::error::EngineError;
 use crate::evaluator::Evaluator;
 use fx_core::{IndexedBank, Match, MatchSink};
-use fx_xml::{Event, EventIter, Span, StreamingParser, SymEvent, Symbols};
+use fx_xml::{
+    Attribute, Event, EventIter, EventSource, Span, StreamingParser, Sym, SymEvent, Symbols,
+};
 use std::io::Read;
 use std::sync::Arc;
 
@@ -330,6 +332,113 @@ impl Session {
         self.finish_outcome()
     }
 
+    /// [`Session::run_reader`] generalized over the event frontend:
+    /// streams one whole document from `reader` through `source` — any
+    /// [`EventSource`] (the XML [`StreamingParser`], `fx-html`'s soup
+    /// tokenizer, `fx-json`'s record adapter, …) — and finishes with
+    /// the verdicts.
+    ///
+    /// The source should share the engine's symbol table (build it with
+    /// `with_symbols(engine.symbols().clone()).lookup_only()`, or use
+    /// `Engine::html_source` / `Engine::json_source`): then interned
+    /// events flow straight into the frontier banks with no per-event
+    /// allocation, exactly like the XML reader path. A source carrying
+    /// a *different* table still evaluates correctly — its events are
+    /// materialized and re-resolved per event, at owned-event cost.
+    pub fn run_source<R: Read>(
+        &mut self,
+        source: &mut dyn EventSource,
+        mut reader: R,
+    ) -> Result<Verdicts, EngineError> {
+        self.drive_source_collected(source, &mut reader)?;
+        self.finish()
+    }
+
+    /// [`Session::run_source`], delivering each match to `sink` *as it
+    /// is confirmed* — [`Session::run_reader_to`] for non-XML frontends.
+    pub fn run_source_to<R: Read>(
+        &mut self,
+        source: &mut dyn EventSource,
+        mut reader: R,
+        sink: &mut dyn MatchSink,
+    ) -> Result<Verdicts, EngineError> {
+        self.drive_source(source, &mut reader, sink)?;
+        self.finish()
+    }
+
+    /// [`Session::run_source`], returning the full [`Outcome`] —
+    /// verdicts plus the collected per-query matches.
+    pub fn run_source_outcome<R: Read>(
+        &mut self,
+        source: &mut dyn EventSource,
+        mut reader: R,
+    ) -> Result<Outcome, EngineError> {
+        self.drive_source_collected(source, &mut reader)?;
+        self.finish_outcome()
+    }
+
+    fn drive_source_collected(
+        &mut self,
+        source: &mut dyn EventSource,
+        reader: &mut dyn Read,
+    ) -> Result<(), EngineError> {
+        // Same outbox dance as `drive_collected`: one drive is one
+        // document, so clearing up front equals clearing at its
+        // `StartDocument`.
+        self.collected.clear();
+        let mut collected = std::mem::take(&mut self.collected);
+        let result = self.drive_source(source, reader, &mut collected);
+        self.collected = collected;
+        result
+    }
+
+    /// The frontend-generic drive loop. Interned-capable sessions fed
+    /// by a source sharing the engine's table take the same zero-copy
+    /// path as [`Session::drive_interned`]; everything else (automata
+    /// baselines, foreign tables) converts each event to its owned form
+    /// through the *source's* table, mapping [`Sym::UNKNOWN`] — a name
+    /// a lookup-only source saw but never interned — to a sentinel that
+    /// cannot collide with any query's vocabulary (if it could, the
+    /// name would have been interned at compile time and would not be
+    /// unknown).
+    fn drive_source(
+        &mut self,
+        source: &mut dyn EventSource,
+        reader: &mut dyn Read,
+        sink: &mut dyn MatchSink,
+    ) -> Result<(), EngineError> {
+        source.reset();
+        let shares_table = Arc::ptr_eq(source.symbols(), &self.symbols);
+        let Session {
+            inner,
+            collected,
+            events,
+            ..
+        } = self;
+        if inner.supports_interned() && shares_table {
+            return source
+                .drive(reader, &mut |ev, span| {
+                    if matches!(ev, SymEvent::StartDocument) {
+                        collected.clear();
+                    }
+                    *events += 1;
+                    inner.push_sym(ev, span, sink);
+                })
+                .map_err(EngineError::from);
+        }
+        let symbols = Arc::clone(source.symbols());
+        source
+            .drive(reader, &mut |ev, span| {
+                if matches!(ev, SymEvent::StartDocument) {
+                    collected.clear();
+                }
+                *events += 1;
+                let event = owned_from_sym(&symbols, &ev);
+                inner.push(&event, span, sink);
+            })
+            .map_err(EngineError::from)
+    }
+
     fn drive_collected<R: Read>(&mut self, reader: R) -> Result<(), EngineError> {
         if self.inner.supports_interned() {
             // Collect into the session's own outbox: drop the previous
@@ -387,6 +496,47 @@ impl Session {
             .map_err(EngineError::from);
         self.parser = Some(parser);
         result
+    }
+}
+
+/// What [`Sym::UNKNOWN`] resolves to on the owned-event fallback path:
+/// a name a lookup-only source could not resolve is by construction
+/// outside every query's vocabulary, and U+FFFD is not a name-start
+/// character in any frontend, so this sentinel can never equal a node
+/// test — the evaluators reject it exactly as they would the real name.
+const UNKNOWN_NAME: &str = "\u{fffd}unknown";
+
+/// Materializes an interned event through `symbols` (the table the
+/// source issued its syms from), collapsing unresolvable names to
+/// [`UNKNOWN_NAME`]. This is [`SymEvent::to_owned`] made total over
+/// lookup-only streams.
+fn owned_from_sym(symbols: &Symbols, ev: &SymEvent<'_>) -> Event {
+    let resolve = |sym: Sym| {
+        if sym == Sym::UNKNOWN {
+            UNKNOWN_NAME.to_string()
+        } else {
+            symbols.resolve(sym)
+        }
+    };
+    match *ev {
+        SymEvent::StartDocument => Event::StartDocument,
+        SymEvent::EndDocument => Event::EndDocument,
+        SymEvent::StartElement { name, attributes } => Event::StartElement {
+            name: resolve(name),
+            attributes: attributes
+                .iter()
+                .map(|a| Attribute {
+                    name: resolve(a.name),
+                    value: a.value.clone(),
+                })
+                .collect(),
+        },
+        SymEvent::EndElement { name } => Event::EndElement {
+            name: resolve(name),
+        },
+        SymEvent::Text { content } => Event::Text {
+            content: content.to_string(),
+        },
     }
 }
 

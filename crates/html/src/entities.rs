@@ -1,0 +1,143 @@
+//! Lenient HTML character-reference decoding.
+//!
+//! Unlike `fx_xml::decode_entities_into`, which rejects unknown
+//! entities (XML has exactly five), HTML decoding must *never fail*:
+//! real pages are full of bare `&` and misspelled references. The rules
+//! here are the lenient subset the soup parser guarantees:
+//!
+//! * `&#123;` / `&#x1F;` decode as code points; values outside Unicode
+//!   (or surrogates) become U+FFFD REPLACEMENT CHARACTER.
+//! * A known named reference followed by `;` decodes (the common
+//!   HTML 4 set: `&amp;`, `&lt;`, `&nbsp;`, `&mdash;`, …).
+//! * Everything else — unknown names, missing semicolons, a bare `&` —
+//!   passes through literally, byte for byte.
+
+/// The replacement text for a known named reference (no `&`/`;`).
+fn named(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "amp" | "AMP" => "&",
+        "lt" | "LT" => "<",
+        "gt" | "GT" => ">",
+        "quot" | "QUOT" => "\"",
+        "apos" => "'",
+        "nbsp" => "\u{a0}",
+        "copy" => "\u{a9}",
+        "reg" => "\u{ae}",
+        "deg" => "\u{b0}",
+        "plusmn" => "\u{b1}",
+        "middot" => "\u{b7}",
+        "frac12" => "\u{bd}",
+        "laquo" => "\u{ab}",
+        "raquo" => "\u{bb}",
+        "sect" => "\u{a7}",
+        "para" => "\u{b6}",
+        "szlig" => "\u{df}",
+        "agrave" => "\u{e0}",
+        "ccedil" => "\u{e7}",
+        "egrave" => "\u{e8}",
+        "eacute" => "\u{e9}",
+        "auml" => "\u{e4}",
+        "ouml" => "\u{f6}",
+        "uuml" => "\u{fc}",
+        "times" => "\u{d7}",
+        "divide" => "\u{f7}",
+        "cent" => "\u{a2}",
+        "pound" => "\u{a3}",
+        "yen" => "\u{a5}",
+        "euro" => "\u{20ac}",
+        "ndash" => "\u{2013}",
+        "mdash" => "\u{2014}",
+        "lsquo" => "\u{2018}",
+        "rsquo" => "\u{2019}",
+        "ldquo" => "\u{201c}",
+        "rdquo" => "\u{201d}",
+        "bull" => "\u{2022}",
+        "hellip" => "\u{2026}",
+        "trade" => "\u{2122}",
+        _ => return None,
+    })
+}
+
+/// Decodes one reference starting just *after* a `&`, appending the
+/// replacement to `out` and returning how many bytes of `tail` it
+/// consumed — or `None` when `tail` does not start a decodable
+/// reference (the caller then emits the `&` literally).
+fn decode_one(tail: &str, out: &mut String) -> Option<usize> {
+    if let Some(num) = tail.strip_prefix('#') {
+        let (digits, radix, prefix) = match num.strip_prefix(['x', 'X']) {
+            Some(hex) => (hex, 16, 2),
+            None => (num, 10, 1),
+        };
+        // A ';' is ASCII, so its byte index is a char boundary.
+        let semi = digits.as_bytes().iter().take(9).position(|&b| b == b';')?;
+        if semi == 0 {
+            return None;
+        }
+        let code = u32::from_str_radix(&digits[..semi], radix).ok()?;
+        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+        return Some(prefix + semi + 1);
+    }
+    let semi = tail.as_bytes().iter().take(32).position(|&b| b == b';')?;
+    if semi == 0 {
+        return None;
+    }
+    out.push_str(named(&tail[..semi])?);
+    Some(semi + 1)
+}
+
+/// Appends `input` to `out` with HTML character references decoded
+/// leniently (see the module docs). Never fails; undecodable `&`
+/// sequences pass through literally.
+pub fn decode_html_entities_into(input: &str, out: &mut String) {
+    let mut rest = input;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp + 1..];
+        match decode_one(tail, out) {
+            Some(used) => rest = &tail[used..],
+            None => {
+                out.push('&');
+                rest = tail;
+            }
+        }
+    }
+    out.push_str(rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(s: &str) -> String {
+        let mut out = String::new();
+        decode_html_entities_into(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn known_named_references_decode() {
+        assert_eq!(decode("a &amp; b"), "a & b");
+        assert_eq!(decode("&lt;tag&gt;"), "<tag>");
+        assert_eq!(decode("1&nbsp;2"), "1\u{a0}2");
+        assert_eq!(decode("&hellip;"), "\u{2026}");
+    }
+
+    #[test]
+    fn numeric_references_decode() {
+        assert_eq!(decode("&#65;"), "A");
+        assert_eq!(decode("&#x41;"), "A");
+        assert_eq!(decode("&#x1F600;"), "\u{1f600}");
+        // Surrogates and out-of-range become U+FFFD, never an error.
+        assert_eq!(decode("&#xD800;"), "\u{fffd}");
+        assert_eq!(decode("&#x110000;"), "\u{fffd}");
+    }
+
+    #[test]
+    fn undecodable_sequences_pass_through() {
+        assert_eq!(decode("fish & chips"), "fish & chips");
+        assert_eq!(decode("&notareference;"), "&notareference;");
+        assert_eq!(decode("&amp"), "&amp"); // no semicolon
+        assert_eq!(decode("&#;&#xG;&"), "&#;&#xG;&");
+        assert_eq!(decode("100% &= fine"), "100% &= fine");
+    }
+}

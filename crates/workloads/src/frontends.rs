@@ -1,0 +1,866 @@
+//! Seeded corpora for the non-XML event frontends: HTML soup documents
+//! and streaming-JSON records, each paired with a canonical **witness**
+//! — the well-formed XML spelling of the tree the frontend is required
+//! to recover. The differential suites parse the messy form through
+//! `fx-html`/`fx-json` and the witness through the XML stack, then
+//! demand identical DOMs, verdicts, and match sets (this crate itself
+//! depends on neither frontend, so the witnesses are ground truth, not
+//! an echo of the implementation under test).
+//!
+//! The HTML generator only emits quirks the soup parser's documented
+//! recovery rules provably undo — folded case, void elements, the
+//! `</li>`/`</p>` omission pairs, attribute quirk spellings, dropped
+//! comments/doctypes, stray end tags, lenient entities, raw-text
+//! `<script>`/`<style>` — so every generated pair is equivalent *by
+//! construction*, mirroring how [`crate::SharedPrefixBank::document`]
+//! builds documents whose match sets are known a priori.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One HTML-soup document paired with its DOM witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoupDoc {
+    /// The messy HTML: case soup, omitted end tags, bare voids,
+    /// attribute quirks, comments, stray markup.
+    pub html: String,
+    /// The equivalent well-formed XML — what a lenient parse of `html`
+    /// must reconstruct.
+    pub xml: String,
+}
+
+/// Configuration for [`html_soup_document`] / [`html_soup_corpus`].
+#[derive(Debug, Clone)]
+pub struct HtmlSoupConfig {
+    /// Maximum element nesting depth below the root.
+    pub max_depth: usize,
+    /// Maximum children per container element.
+    pub max_children: usize,
+    /// Probability in `[0, 1]` of applying each individual quirk
+    /// (end-tag omission, case soup, comment injection, …). `0.0`
+    /// renders the witness tree as plain lowercase HTML.
+    pub quirkiness: f64,
+}
+
+impl Default for HtmlSoupConfig {
+    fn default() -> Self {
+        HtmlSoupConfig {
+            max_depth: 5,
+            max_children: 4,
+            quirkiness: 0.5,
+        }
+    }
+}
+
+/// The generated tree: rendering needs sibling lookahead (an omitted
+/// `</p>` is only recoverable before a block start), so generation and
+/// rendering are separate passes over this structure.
+enum Node {
+    Elem {
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+        children: Vec<Node>,
+    },
+    /// A text run: the HTML spelling (may use lenient entities, bare
+    /// `&`) and the XML spelling of the same decoded content.
+    Text {
+        html: &'static str,
+        xml: &'static str,
+    },
+    /// A void element (`<br>`, `<img>`, …).
+    Void {
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+    },
+    /// A raw-text element: `<script>`/`<style>` content is verbatim in
+    /// HTML and escaped in the witness.
+    Raw {
+        name: &'static str,
+        content: &'static str,
+    },
+}
+
+/// Text runs as `(html spelling, xml spelling)` — never
+/// whitespace-only, so whitespace-dropping policies cannot diverge.
+const TEXTS: &[(&str, &str)] = &[
+    ("alpha", "alpha"),
+    ("beta 42", "beta 42"),
+    ("fish & chips", "fish &amp; chips"),
+    ("a &amp; b", "a &amp; b"),
+    ("dash &mdash; here", "dash \u{2014} here"),
+    ("n&#111;te", "note"),
+    ("1 < 2 sometimes", "1 &lt; 2 sometimes"),
+];
+
+const RAW_SCRIPTS: &[&str] = &["if (a < b) { go(); }", "x && !y", "a = b>>2;"];
+const RAW_STYLES: &[&str] = &[".cls > a { color: red }", "b { margin: 0 }"];
+
+const ATTR_VALUES: &[&str] = &["x1", "main", "42", "left", "k9"];
+
+fn gen_attrs<R: Rng>(rng: &mut R) -> Vec<(&'static str, String)> {
+    let mut attrs = Vec::new();
+    if rng.gen_bool(0.5) {
+        attrs.push(("class", ATTR_VALUES.choose(rng).unwrap().to_string()));
+    }
+    if rng.gen_bool(0.3) {
+        attrs.push(("id", ATTR_VALUES.choose(rng).unwrap().to_string()));
+    }
+    if rng.gen_bool(0.2) {
+        // Valueless in HTML with some probability; the witness always
+        // spells the empty value out.
+        attrs.push(("data-k", String::new()));
+    }
+    attrs
+}
+
+/// What kinds of children a position may hold.
+#[derive(Clone, Copy, PartialEq)]
+enum Ctx {
+    /// Block containers: `div`, `section`, `li`, the root.
+    Block,
+    /// `ul` — `li` children only.
+    List,
+    /// `p` and the inline elements — phrasing content only.
+    Inline,
+    /// Leaf inline (`span`, `em`, `a`) — text only.
+    Leaf,
+}
+
+fn gen_children<R: Rng>(rng: &mut R, cfg: &HtmlSoupConfig, ctx: Ctx, depth: usize) -> Vec<Node> {
+    let n = rng.gen_range(if ctx == Ctx::List {
+        1..=cfg.max_children.max(1)
+    } else {
+        0..=cfg.max_children
+    });
+    let mut out: Vec<Node> = Vec::new();
+    for _ in 0..n {
+        let deep = depth >= cfg.max_depth;
+        let node = match ctx {
+            Ctx::List => Node::Elem {
+                name: "li",
+                attrs: gen_attrs(rng),
+                children: if deep {
+                    Vec::new()
+                } else {
+                    gen_children(rng, cfg, Ctx::Block, depth + 1)
+                },
+            },
+            Ctx::Leaf => text_node(rng),
+            Ctx::Inline => match if deep {
+                rng.gen_range(0..3)
+            } else {
+                rng.gen_range(0..5)
+            } {
+                0 => text_node(rng),
+                1 => Node::Void {
+                    name: "br",
+                    attrs: Vec::new(),
+                },
+                2 => Node::Void {
+                    name: "img",
+                    attrs: gen_attrs(rng),
+                },
+                _ => Node::Elem {
+                    name: ["span", "em", "a"].choose(rng).unwrap(),
+                    attrs: gen_attrs(rng),
+                    children: gen_children(rng, cfg, Ctx::Leaf, depth + 1),
+                },
+            },
+            Ctx::Block => match if deep {
+                rng.gen_range(0..4)
+            } else {
+                rng.gen_range(0..10)
+            } {
+                0 | 1 => text_node(rng),
+                2 => Node::Void {
+                    name: "br",
+                    attrs: Vec::new(),
+                },
+                3 => Node::Void {
+                    name: "input",
+                    attrs: gen_attrs(rng),
+                },
+                4 => Node::Elem {
+                    name: ["div", "section"].choose(rng).unwrap(),
+                    attrs: gen_attrs(rng),
+                    children: gen_children(rng, cfg, Ctx::Block, depth + 1),
+                },
+                5 => Node::Elem {
+                    name: "ul",
+                    attrs: gen_attrs(rng),
+                    children: gen_children(rng, cfg, Ctx::List, depth + 1),
+                },
+                6 | 7 => Node::Elem {
+                    name: "p",
+                    attrs: gen_attrs(rng),
+                    children: gen_children(rng, cfg, Ctx::Inline, depth + 1),
+                },
+                8 => Node::Raw {
+                    name: "script",
+                    content: RAW_SCRIPTS.choose(rng).unwrap(),
+                },
+                _ => Node::Raw {
+                    name: "style",
+                    content: RAW_STYLES.choose(rng).unwrap(),
+                },
+            },
+        };
+        // Two adjacent text children would be one DOM text node on one
+        // side of the differential and two on the other: skip.
+        if matches!(node, Node::Text { .. }) && matches!(out.last(), Some(Node::Text { .. })) {
+            continue;
+        }
+        out.push(node);
+    }
+    out
+}
+
+fn text_node<R: Rng>(rng: &mut R) -> Node {
+    let &(html, xml) = TEXTS.choose(rng).unwrap();
+    Node::Text { html, xml }
+}
+
+fn xml_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// True when a start tag of `name` implicitly closes an open `p` — the
+/// omission opportunities the renderer may exploit. Kept to names the
+/// generator actually emits.
+fn closes_p(name: &str) -> bool {
+    matches!(name, "div" | "section" | "ul" | "p")
+}
+
+struct SoupRenderer<'a, R: Rng> {
+    rng: &'a mut R,
+    quirk: f64,
+    html: String,
+    xml: String,
+}
+
+impl<R: Rng> SoupRenderer<'_, R> {
+    fn quirky(&mut self) -> bool {
+        let q = self.quirk;
+        q > 0.0 && self.rng.gen_bool(q)
+    }
+
+    /// Renders a name into the HTML side, possibly case-souped.
+    fn html_name(&mut self, name: &str) {
+        if self.quirky() {
+            let upper = name.to_ascii_uppercase();
+            self.html.push_str(&upper);
+        } else {
+            self.html.push_str(name);
+        }
+    }
+
+    fn attrs(&mut self, attrs: &[(&'static str, String)]) {
+        for (name, value) in attrs {
+            // Witness: canonical double-quoted lowercase.
+            self.xml.push(' ');
+            self.xml.push_str(name);
+            self.xml.push_str("=\"");
+            xml_escape_into(value, &mut self.xml);
+            self.xml.push('"');
+            // HTML: one of the quirk spellings.
+            self.html.push(' ');
+            self.html_name(name);
+            if value.is_empty() && self.quirky() {
+                continue; // valueless boolean attribute
+            }
+            self.html.push('=');
+            let plain = !value.is_empty() && value.chars().all(|c| c.is_ascii_alphanumeric());
+            match if plain { self.rng.gen_range(0..3) } else { 0 } {
+                1 => self.html.push_str(value), // unquoted
+                2 => {
+                    self.html.push('\'');
+                    self.html.push_str(value);
+                    self.html.push('\'');
+                }
+                _ => {
+                    self.html.push('"');
+                    self.html.push_str(value);
+                    self.html.push('"');
+                }
+            }
+        }
+        // A duplicate of the first attribute with a junk value: the
+        // parser keeps the first occurrence, so the witness is
+        // unchanged.
+        if let Some((name, _)) = attrs.first() {
+            if self.quirky() {
+                self.html.push(' ');
+                self.html.push_str(name);
+                self.html.push_str("=dup");
+            }
+        }
+    }
+
+    /// Markup the parser drops entirely: comments, stray end tags.
+    /// Safe at any child boundary (text runs are flushed by the tag
+    /// either way, and the generator never makes adjacent text nodes).
+    fn noise(&mut self) {
+        if self.quirky() {
+            match self.rng.gen_range(0..3) {
+                0 => self.html.push_str("<!-- soup -->"),
+                1 => self.html.push_str("</zzz>"),
+                _ => self.html.push_str("</br>"),
+            }
+        }
+    }
+
+    /// Renders `node`. `parent_closes` is true when the parent element
+    /// will emit an explicit end tag (so a last-child `</li>`/`</p>`
+    /// may be omitted and recovered by the forgiving end-tag match);
+    /// `next` is the following sibling, if any.
+    fn node(&mut self, node: &Node, parent_closes: bool, next: Option<&Node>) {
+        match node {
+            Node::Text { html, xml } => {
+                self.html.push_str(html);
+                self.xml.push_str(xml);
+            }
+            Node::Void { name, attrs } => {
+                self.html.push('<');
+                self.html_name(name);
+                self.xml.push('<');
+                self.xml.push_str(name);
+                self.attrs(attrs);
+                self.html.push('>');
+                self.xml.push_str("/>");
+            }
+            Node::Raw { name, content } => {
+                self.html.push('<');
+                self.html_name(name);
+                self.html.push('>');
+                self.html.push_str(content);
+                self.html.push_str("</");
+                self.html_name(name);
+                self.html.push('>');
+                self.xml.push('<');
+                self.xml.push_str(name);
+                self.xml.push('>');
+                xml_escape_into(content, &mut self.xml);
+                self.xml.push_str("</");
+                self.xml.push_str(name);
+                self.xml.push('>');
+            }
+            Node::Elem {
+                name,
+                attrs,
+                children,
+            } => {
+                self.elem(name, attrs, children, parent_closes, next);
+            }
+        }
+    }
+
+    fn elem(
+        &mut self,
+        name: &str,
+        attrs: &[(&'static str, String)],
+        children: &[Node],
+        parent_closes: bool,
+        next: Option<&Node>,
+    ) {
+        // Decide end-tag omission up front: children need to know
+        // whether an explicit end tag will clean the stack behind them.
+        let next_elem_name = match next {
+            Some(Node::Elem { name, .. }) => Some(*name),
+            _ => None,
+        };
+        let omittable = match name {
+            // `<li>` closes an open `li`; `</ul>` recovers a trailing one.
+            "li" => next_elem_name == Some("li") || (next.is_none() && parent_closes),
+            // Block starts close an open `p`; so does the parent's
+            // explicit end tag.
+            "p" => next_elem_name.is_some_and(closes_p) || (next.is_none() && parent_closes),
+            _ => false,
+        };
+        let omit_end = omittable && self.quirky();
+
+        self.html.push('<');
+        self.html_name(name);
+        self.xml.push('<');
+        self.xml.push_str(name);
+        self.attrs(attrs);
+        if children.is_empty() && self.quirky() {
+            // A trailing slash on a non-void start tag is ignored: the
+            // element still opens and still needs its end tag.
+            self.html.push_str("/>");
+        } else {
+            self.html.push('>');
+        }
+        self.xml.push('>');
+
+        for (i, child) in children.iter().enumerate() {
+            if matches!(
+                child,
+                Node::Elem { .. } | Node::Void { .. } | Node::Raw { .. }
+            ) {
+                self.noise();
+            }
+            self.node(child, !omit_end, children.get(i + 1));
+        }
+
+        self.xml.push_str("</");
+        self.xml.push_str(name);
+        self.xml.push('>');
+        if !omit_end {
+            self.html.push_str("</");
+            self.html_name(name);
+            self.html.push('>');
+        }
+    }
+}
+
+/// Generates one HTML-soup document with its DOM witness. The soup and
+/// the witness render the *same* generated tree, so they are
+/// equivalent by construction under the `fx-html` recovery rules.
+pub fn html_soup_document<R: Rng>(rng: &mut R, cfg: &HtmlSoupConfig) -> SoupDoc {
+    let children = gen_children(rng, cfg, Ctx::Block, 1);
+    let root = Node::Elem {
+        name: "html",
+        attrs: Vec::new(),
+        children,
+    };
+    let mut r = SoupRenderer {
+        rng,
+        quirk: cfg.quirkiness.clamp(0.0, 1.0),
+        html: String::new(),
+        xml: String::new(),
+    };
+    if r.quirky() {
+        r.html.push_str("<!DOCTYPE html>");
+    }
+    r.node(&root, true, None);
+    SoupDoc {
+        html: r.html,
+        xml: r.xml,
+    }
+}
+
+/// A corpus of [`html_soup_document`]s from one seeded RNG.
+pub fn html_soup_corpus<R: Rng>(rng: &mut R, cfg: &HtmlSoupConfig, n: usize) -> Vec<SoupDoc> {
+    (0..n).map(|_| html_soup_document(rng, cfg)).collect()
+}
+
+/// Forward XPath queries over the soup vocabulary — names the
+/// generator emits plus misses — for differential verdict checks.
+pub fn soup_queries() -> Vec<String> {
+    [
+        "//li",
+        "//ul/li",
+        "/html//p",
+        "//div[p]",
+        "//section//span",
+        "//li[p and ul]",
+        "//p[em]/span",
+        "/html/div",
+        "//script",
+        "//table", // never generated: must stay unmatched
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// One JSON record paired with the XML spelling of its element mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonRecord {
+    /// The JSON text (random inter-token whitespace, occasional
+    /// trailing commas — accepted by the lenient reader).
+    pub json: String,
+    /// The `fx-json` element mapping of the same value, as well-formed
+    /// XML: one `<json>` root, members as elements, member-value
+    /// arrays spliced, nested arrays wrapped with `item` children.
+    pub xml: String,
+}
+
+/// Configuration for [`json_record`] / [`json_records`].
+#[derive(Debug, Clone)]
+pub struct JsonRecordsConfig {
+    /// Maximum value nesting depth.
+    pub max_depth: usize,
+    /// Maximum members per object.
+    pub max_members: usize,
+    /// Maximum items per array.
+    pub max_items: usize,
+    /// Probability in `[0, 1]` of inter-token whitespace and trailing
+    /// commas.
+    pub messiness: f64,
+}
+
+impl Default for JsonRecordsConfig {
+    fn default() -> Self {
+        JsonRecordsConfig {
+            max_depth: 4,
+            max_members: 4,
+            max_items: 3,
+            messiness: 0.4,
+        }
+    }
+}
+
+/// A JSON value with both spellings of every scalar decided at
+/// generation time.
+enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Literal spelling, identical on both sides (`fx-json` passes
+    /// number tokens through verbatim).
+    Number(&'static str),
+    /// `(json string-body, xml text)` — escapes on the left, decoded
+    /// (and XML-escaped) on the right.
+    String(&'static str, &'static str),
+    Array(Vec<JsonValue>),
+    Object(Vec<(&'static str, JsonValue)>),
+}
+
+const JSON_NUMBERS: &[&str] = &["0", "42", "-7", "3.5", "1e3", "0.25", "-0.5e-2"];
+
+/// `(escaped body, decoded XML text)` pairs; no whitespace-only
+/// decodings.
+const JSON_STRINGS: &[(&str, &str)] = &[
+    ("ada", "ada"),
+    ("", ""),
+    ("two\\nlines", "two\nlines"),
+    ("say \\\"hi\\\"", "say \"hi\""),
+    ("back\\\\slash", "back\\slash"),
+    ("uni\\u0041", "uniA"),
+    ("amp & less <", "amp &amp; less &lt;"),
+];
+
+const JSON_KEYS: &[&str] = &[
+    "id", "name", "tags", "user", "total", "items", "meta", "note", "price", "active",
+];
+
+fn gen_json_value<R: Rng>(rng: &mut R, cfg: &JsonRecordsConfig, depth: usize) -> JsonValue {
+    let scalar = depth >= cfg.max_depth;
+    match if scalar {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..6)
+    } {
+        0 => JsonValue::Number(JSON_NUMBERS.choose(rng).unwrap()),
+        1 => {
+            let &(j, x) = JSON_STRINGS.choose(rng).unwrap();
+            JsonValue::String(j, x)
+        }
+        2 => JsonValue::Bool(rng.gen_bool(0.5)),
+        3 => JsonValue::Null,
+        4 => JsonValue::Array(
+            (0..rng.gen_range(0..=cfg.max_items))
+                .map(|_| gen_json_value(rng, cfg, depth + 1))
+                .collect(),
+        ),
+        _ => gen_json_object(rng, cfg, depth),
+    }
+}
+
+fn gen_json_object<R: Rng>(rng: &mut R, cfg: &JsonRecordsConfig, depth: usize) -> JsonValue {
+    let n = rng.gen_range(0..=cfg.max_members).min(JSON_KEYS.len());
+    let mut keys: Vec<&'static str> = JSON_KEYS.to_vec();
+    // Partial Fisher–Yates: distinct keys per object (the vendored
+    // rand has no `shuffle`).
+    for i in 0..n {
+        let j = rng.gen_range(i..keys.len());
+        keys.swap(i, j);
+    }
+    JsonValue::Object(
+        keys.into_iter()
+            .take(n)
+            .map(|k| (k, gen_json_value(rng, cfg, depth + 1)))
+            .collect(),
+    )
+}
+
+struct JsonRenderer<'a, R: Rng> {
+    rng: &'a mut R,
+    messy: f64,
+    json: String,
+    xml: String,
+}
+
+impl<R: Rng> JsonRenderer<'_, R> {
+    fn ws(&mut self) {
+        if self.messy > 0.0 && self.rng.gen_bool(self.messy) {
+            self.json
+                .push_str([" ", "\n", "  ", "\t"].choose(self.rng).unwrap());
+        }
+    }
+
+    /// Renders the JSON spelling of `v` (the XML side is driven
+    /// separately by structure, because member arrays splice).
+    fn json_value(&mut self, v: &JsonValue) {
+        self.ws();
+        match v {
+            JsonValue::Null => self.json.push_str("null"),
+            JsonValue::Bool(b) => self.json.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => self.json.push_str(n),
+            JsonValue::String(j, _) => {
+                self.json.push('"');
+                self.json.push_str(j);
+                self.json.push('"');
+            }
+            JsonValue::Array(items) => {
+                self.json.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.json.push(',');
+                    }
+                    self.json_value(it);
+                }
+                if !items.is_empty() && self.messy > 0.0 && self.rng.gen_bool(self.messy / 2.0) {
+                    self.json.push(','); // trailing comma — tolerated
+                }
+                self.ws();
+                self.json.push(']');
+            }
+            JsonValue::Object(members) => {
+                self.json.push('{');
+                for (i, (k, mv)) in members.iter().enumerate() {
+                    if i > 0 {
+                        self.json.push(',');
+                    }
+                    self.ws();
+                    self.json.push('"');
+                    self.json.push_str(k);
+                    self.json.push_str("\":");
+                    self.json_value(mv);
+                }
+                if !members.is_empty() && self.messy > 0.0 && self.rng.gen_bool(self.messy / 2.0) {
+                    self.json.push(','); // trailing comma — tolerated
+                }
+                self.ws();
+                self.json.push('}');
+            }
+        }
+    }
+
+    /// Renders the element mapping of `v` in slot `name` (an array here
+    /// *wraps*: it is in item position).
+    fn xml_slot(&mut self, name: &str, v: &JsonValue) {
+        let empty = match v {
+            JsonValue::Null => true,
+            JsonValue::String(_, x) => x.is_empty(),
+            JsonValue::Array(items) => items.is_empty(),
+            JsonValue::Object(members) => members.is_empty(),
+            _ => false,
+        };
+        if empty {
+            self.xml.push('<');
+            self.xml.push_str(name);
+            self.xml.push_str("/>");
+            return;
+        }
+        self.xml.push('<');
+        self.xml.push_str(name);
+        self.xml.push('>');
+        match v {
+            JsonValue::Bool(b) => self.xml.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => self.xml.push_str(n),
+            JsonValue::String(_, x) => self.xml.push_str(x),
+            JsonValue::Array(items) => {
+                for it in items {
+                    self.xml_slot("item", it);
+                }
+            }
+            JsonValue::Object(members) => {
+                for (k, mv) in members {
+                    self.xml_member(k, mv);
+                }
+            }
+            JsonValue::Null => unreachable!("null is empty"),
+        }
+        self.xml.push_str("</");
+        self.xml.push_str(name);
+        self.xml.push('>');
+    }
+
+    /// Renders member `"k": v` — an array value splices into repeated
+    /// `<k>` elements.
+    fn xml_member(&mut self, k: &str, v: &JsonValue) {
+        match v {
+            JsonValue::Array(items) => {
+                for it in items {
+                    self.xml_slot(k, it);
+                }
+            }
+            _ => self.xml_slot(k, v),
+        }
+    }
+}
+
+/// Generates one JSON record with the XML witness of its element
+/// mapping.
+pub fn json_record<R: Rng>(rng: &mut R, cfg: &JsonRecordsConfig) -> JsonRecord {
+    // Root is usually an object (the record shape), sometimes an array
+    // or a bare scalar.
+    let value = match rng.gen_range(0..6) {
+        0 => gen_json_value(rng, cfg, cfg.max_depth),
+        1 => JsonValue::Array(
+            (0..rng.gen_range(0..=cfg.max_items))
+                .map(|_| gen_json_value(rng, cfg, 1))
+                .collect(),
+        ),
+        _ => gen_json_object(rng, cfg, 0),
+    };
+    let mut r = JsonRenderer {
+        rng,
+        messy: cfg.messiness.clamp(0.0, 1.0),
+        json: String::new(),
+        xml: String::new(),
+    };
+    r.json_value(&value);
+    r.ws();
+    r.xml_slot("json", &value);
+    JsonRecord {
+        json: r.json,
+        xml: r.xml,
+    }
+}
+
+/// A corpus of [`json_record`]s from one seeded RNG.
+pub fn json_records<R: Rng>(rng: &mut R, cfg: &JsonRecordsConfig, n: usize) -> Vec<JsonRecord> {
+    (0..n).map(|_| json_record(rng, cfg)).collect()
+}
+
+/// Forward XPath queries over the record vocabulary, for differential
+/// verdict checks.
+pub fn json_queries() -> Vec<String> {
+    [
+        "/json",
+        "/json/user",
+        "//name",
+        "//tags",
+        "//user[name]",
+        "/json/items/item",
+        "//meta[id and name]",
+        "//price",
+        "//absent", // never generated: must stay unmatched
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_dom::Document;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn soup_corpus_is_deterministic_per_seed() {
+        let cfg = HtmlSoupConfig::default();
+        let a = html_soup_corpus(&mut SmallRng::seed_from_u64(3), &cfg, 8);
+        let b = html_soup_corpus(&mut SmallRng::seed_from_u64(3), &cfg, 8);
+        let c = html_soup_corpus(&mut SmallRng::seed_from_u64(4), &cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn soup_witnesses_are_well_formed_single_rooted_xml() {
+        let cfg = HtmlSoupConfig::default();
+        for doc in html_soup_corpus(&mut SmallRng::seed_from_u64(11), &cfg, 32) {
+            let parsed = Document::from_xml(&doc.xml);
+            assert!(
+                parsed.is_ok(),
+                "witness must parse: {}\n{:?}",
+                doc.xml,
+                parsed.err()
+            );
+        }
+    }
+
+    #[test]
+    fn soup_actually_contains_quirks() {
+        let cfg = HtmlSoupConfig {
+            quirkiness: 1.0,
+            ..HtmlSoupConfig::default()
+        };
+        let corpus = html_soup_corpus(&mut SmallRng::seed_from_u64(5), &cfg, 16);
+        let all: String = corpus.iter().map(|d| d.html.as_str()).collect();
+        assert!(all.contains("<!-- soup -->"), "comments injected");
+        assert!(all.contains("</zzz>"), "stray end tags injected");
+        assert!(all.chars().any(|c| c.is_ascii_uppercase()), "case soup");
+        // Full quirkiness omits every omittable end tag.
+        assert!(!all.contains("</li>") || !all.contains("</p>"));
+        // And none of the quirks leak into the witness.
+        let xml: String = corpus.iter().map(|d| d.xml.as_str()).collect();
+        assert!(!xml.contains("zzz") && !xml.contains("soup"));
+    }
+
+    #[test]
+    fn plain_mode_renders_wellformed_html() {
+        let cfg = HtmlSoupConfig {
+            quirkiness: 0.0,
+            ..HtmlSoupConfig::default()
+        };
+        // With quirkiness 0 the HTML differs from the witness only in
+        // void/entity/raw-text spelling.
+        let doc = html_soup_document(&mut SmallRng::seed_from_u64(9), &cfg);
+        assert!(!doc.html.contains("<!--"));
+        assert!(!doc.html.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn json_corpus_is_deterministic_and_witnessed() {
+        let cfg = JsonRecordsConfig::default();
+        let a = json_records(&mut SmallRng::seed_from_u64(21), &cfg, 16);
+        let b = json_records(&mut SmallRng::seed_from_u64(21), &cfg, 16);
+        assert_eq!(a, b);
+        for rec in &a {
+            assert!(rec.xml.starts_with("<json"), "{}", rec.xml);
+            let parsed = Document::from_xml(&rec.xml);
+            assert!(
+                parsed.is_ok(),
+                "witness must parse: {}\n{:?}",
+                rec.xml,
+                parsed.err()
+            );
+        }
+    }
+
+    #[test]
+    fn json_member_arrays_splice_in_the_witness() {
+        // A hand-held check of the splice/wrap rules the renderer
+        // encodes, independent of the RNG.
+        let v = JsonValue::Object(vec![(
+            "tags",
+            JsonValue::Array(vec![
+                JsonValue::Number("1"),
+                JsonValue::Array(vec![JsonValue::Number("2")]),
+            ]),
+        )]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut r = JsonRenderer {
+            rng: &mut rng,
+            messy: 0.0,
+            json: String::new(),
+            xml: String::new(),
+        };
+        r.xml_slot("json", &v);
+        assert_eq!(
+            r.xml,
+            "<json><tags>1</tags><tags><item>2</item></tags></json>"
+        );
+    }
+
+    #[test]
+    fn query_lists_parse() {
+        for q in soup_queries().iter().chain(json_queries().iter()) {
+            fx_xpath::parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -9,12 +9,17 @@
 #![warn(missing_docs)]
 
 pub mod docs;
+pub mod frontends;
 pub mod queries;
 pub mod xmark;
 
 pub use docs::{
     depth_document, disjointness_document, long_text, nested, random_document, small_alphabet,
     wide, RandomDocConfig,
+};
+pub use frontends::{
+    html_soup_corpus, html_soup_document, json_queries, json_record, json_records, soup_queries,
+    HtmlSoupConfig, JsonRecord, JsonRecordsConfig, SoupDoc,
 };
 pub use queries::{
     balanced_twig, descendant_chain, random_redundancy_free, random_shared_prefix_bank, star,

@@ -22,6 +22,7 @@ pub mod event;
 pub mod iter;
 pub mod parser;
 pub mod reader;
+pub mod source;
 pub mod span;
 pub mod split;
 pub mod symbols;
@@ -33,6 +34,7 @@ pub use event::{drive, notation, Attribute, Event, EventCollector, EventRef, Sax
 pub use iter::{EventIter, SpannedEvents};
 pub use parser::{parse, parse_spanned, parse_spanned_with, parse_with, ParseError, ParseOptions};
 pub use reader::{parse_reader, StreamingParser};
+pub use source::{drive_utf8_chunks, EventSource};
 pub use span::Span;
 pub use split::{
     element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,

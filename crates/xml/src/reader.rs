@@ -304,56 +304,14 @@ impl StreamingParser {
         mut reader: R,
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
-        let io_err = |e: std::io::Error| ParseError {
-            message: format!("read error: {e}"),
-            line: 0,
-            column: 0,
-        };
-        if self.io_chunk.is_empty() {
-            self.io_chunk.resize(8 * 1024, 0);
-        }
         // Take the reused read buffer out for the loop (so reads and
         // `feed_interned` can borrow `self` independently) and restore
         // it on every exit path.
         let mut chunk = std::mem::take(&mut self.io_chunk);
-        // Incomplete UTF-8 tail carried to the next read (at most 3 bytes).
-        let mut carry: Vec<u8> = Vec::new();
-        let result = loop {
-            let n = match reader.read(&mut chunk) {
-                Ok(n) => n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => break Err(io_err(e)),
-            };
-            if n == 0 {
-                if !carry.is_empty() {
-                    break Err(self.err("invalid UTF-8: truncated scalar at end of input"));
-                }
-                break self.finish_interned(emit);
-            }
-            let step = if carry.is_empty() {
-                utf8_prefix_len(&chunk[..n], self).and_then(|valid| {
-                    let text = std::str::from_utf8(&chunk[..valid]).expect("validated prefix");
-                    self.feed_interned(text, emit)?;
-                    carry.extend_from_slice(&chunk[valid..n]);
-                    Ok(())
-                })
-            } else {
-                carry.extend_from_slice(&chunk[..n]);
-                utf8_prefix_len(&carry, self).and_then(|valid| {
-                    // Move the carry out so `feed_interned` can borrow
-                    // `self`.
-                    let data = std::mem::take(&mut carry);
-                    let text = std::str::from_utf8(&data[..valid]).expect("validated prefix");
-                    let result = self.feed_interned(text, emit);
-                    carry = data;
-                    carry.drain(..valid);
-                    result
-                })
-            };
-            if let Err(e) = step {
-                break Err(e);
-            }
-        };
+        let result = crate::source::drive_utf8_chunks(&mut reader, &mut chunk, &mut |text| {
+            self.feed_interned(text, emit)
+        })
+        .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
         result
     }
@@ -579,13 +537,25 @@ impl StreamingParser {
     }
 }
 
-/// Length of the longest valid-UTF-8 prefix of `data`; errors (via
-/// `p.err`) when the invalid bytes cannot be a split scalar.
-fn utf8_prefix_len(data: &[u8], p: &StreamingParser) -> Result<usize, ParseError> {
-    match std::str::from_utf8(data) {
-        Ok(_) => Ok(data.len()),
-        Err(e) if e.error_len().is_none() => Ok(e.valid_up_to()),
-        Err(e) => Err(p.err(format!("invalid UTF-8 in input: {e}"))),
+impl crate::source::EventSource for StreamingParser {
+    fn symbols(&self) -> &Arc<Symbols> {
+        StreamingParser::symbols(self)
+    }
+
+    fn reset(&mut self) {
+        StreamingParser::reset(self);
+    }
+
+    fn invalidate_name_memo(&mut self) {
+        StreamingParser::invalidate_name_memo(self);
+    }
+
+    fn drive(
+        &mut self,
+        reader: &mut dyn Read,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        self.drive_reader(reader, emit)
     }
 }
 

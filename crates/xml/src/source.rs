@@ -1,0 +1,208 @@
+//! [`EventSource`]: the format-agnostic input seam of the pipeline.
+//!
+//! The frontier core is already format-agnostic — it consumes interned
+//! [`SymEvent`]s, never XML text — so the only XML-specific piece of the
+//! whole system is the tokenizer at the front. `EventSource` names that
+//! seam: *anything* that can stream one document's worth of interned
+//! events from an [`std::io::Read`] can drive an engine session, with the
+//! paper's `O(FS(Q)·log d)` frontier-space bound intact (the bound is
+//! stated over event streams of nesting depth `d`, not over XML).
+//!
+//! Implementors today:
+//!
+//! * [`crate::StreamingParser`] — the XML tokenizer in this crate;
+//! * `fx_html::HtmlParser` — a lenient streaming HTML-soup tokenizer;
+//! * `fx_json::JsonParser` — a streaming JSON → element-event adapter.
+//!
+//! All three share the same contract: events are emitted the moment
+//! they are complete, names are resolved through the source's
+//! [`Symbols`] table (interned, or — the engine's long-lived mode —
+//! looked up read-only so unbounded input vocabularies never grow the
+//! table), and per-document state resets without dropping warm scratch
+//! capacity.
+
+use crate::parser::ParseError;
+use crate::span::Span;
+use crate::symbols::{SymEvent, Symbols};
+use std::io::Read;
+use std::sync::Arc;
+
+/// A streaming producer of one document's interned SAX events.
+///
+/// The engine drives sources through `Session::run_source`; a source is
+/// reusable across documents ([`EventSource::reset`] is called before
+/// each drive, and implementations keep scratch buffers warm across
+/// resets, exactly like [`crate::StreamingParser::reset`]).
+pub trait EventSource {
+    /// The symbol table this source resolves names against. Syms in the
+    /// emitted events are only meaningful to consumers compiled against
+    /// the same table.
+    fn symbols(&self) -> &Arc<Symbols>;
+
+    /// Resets per-document state so the source can stream another
+    /// document, keeping amortizable scratch (buffers, name memos)
+    /// warm.
+    fn reset(&mut self);
+
+    /// Drops any memoized name-resolution verdicts. Required after the
+    /// shared table gains names behind a live lookup-only source (e.g.
+    /// a dissemination server compiling a late subscription); a no-op
+    /// for sources without a memo.
+    fn invalidate_name_memo(&mut self) {}
+
+    /// Streams one whole document from `reader`, emitting every event
+    /// (including the `StartDocument`/`EndDocument` framing) with its
+    /// source byte [`Span`]. Memory stays bounded by the read chunk
+    /// plus the largest single input token, never by document size.
+    fn drive(
+        &mut self,
+        reader: &mut dyn Read,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError>;
+}
+
+/// Length of the longest valid-UTF-8 prefix of `data`, or an error when
+/// the invalid bytes cannot be a scalar split across a chunk boundary.
+fn utf8_prefix_len(data: &[u8]) -> Result<usize, ParseError> {
+    match std::str::from_utf8(data) {
+        Ok(_) => Ok(data.len()),
+        Err(e) if e.error_len().is_none() => Ok(e.valid_up_to()),
+        Err(e) => Err(ParseError {
+            message: format!("invalid UTF-8 in input: {e}"),
+            line: 0,
+            column: 0,
+        }),
+    }
+}
+
+/// The shared byte-chunk → `&str`-chunk reader loop every text-based
+/// [`EventSource`] uses: reads fixed-size chunks into `io_chunk`
+/// (grown to 8 KiB on first use, reused afterwards), carries UTF-8
+/// scalars split across read boundaries (at most 3 bytes), and hands
+/// each maximal valid-UTF-8 run to `feed`. Returns after EOF; the
+/// caller then finishes its own token state.
+pub fn drive_utf8_chunks(
+    reader: &mut dyn Read,
+    io_chunk: &mut Vec<u8>,
+    feed: &mut dyn FnMut(&str) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let io_err = |e: std::io::Error| ParseError {
+        message: format!("read error: {e}"),
+        line: 0,
+        column: 0,
+    };
+    if io_chunk.is_empty() {
+        io_chunk.resize(8 * 1024, 0);
+    }
+    // Incomplete UTF-8 tail carried to the next read (at most 3 bytes).
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let n = match reader.read(io_chunk) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(e)),
+        };
+        if n == 0 {
+            if !carry.is_empty() {
+                return Err(ParseError {
+                    message: "invalid UTF-8: truncated scalar at end of input".to_string(),
+                    line: 0,
+                    column: 0,
+                });
+            }
+            return Ok(());
+        }
+        if carry.is_empty() {
+            let valid = utf8_prefix_len(&io_chunk[..n])?;
+            feed(std::str::from_utf8(&io_chunk[..valid]).expect("validated prefix"))?;
+            carry.extend_from_slice(&io_chunk[valid..n]);
+        } else {
+            carry.extend_from_slice(&io_chunk[..n]);
+            let valid = utf8_prefix_len(&carry)?;
+            feed(std::str::from_utf8(&carry[..valid]).expect("validated prefix"))?;
+            carry.drain(..valid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::StreamingParser;
+    use crate::Event;
+
+    #[test]
+    fn streaming_parser_is_an_event_source() {
+        let mut parser = StreamingParser::new();
+        let symbols = Arc::clone(parser.symbols());
+        let source: &mut dyn EventSource = &mut parser;
+        let mut got = Vec::new();
+        source
+            .drive(&mut "<a><b>6</b></a>".as_bytes(), &mut |ev, _| {
+                got.push(ev.to_owned(&symbols))
+            })
+            .unwrap();
+        assert_eq!(got, crate::parse("<a><b>6</b></a>").unwrap());
+
+        // Reusable: reset, then stream a second document.
+        source.reset();
+        let mut got2 = Vec::new();
+        source
+            .drive(&mut "<x/>".as_bytes(), &mut |ev, _| {
+                got2.push(ev.to_owned(&symbols))
+            })
+            .unwrap();
+        assert_eq!(got2, crate::parse("<x/>").unwrap());
+    }
+
+    #[test]
+    fn drive_utf8_chunks_carries_split_scalars() {
+        // A 1-byte reader splits every multi-byte scalar.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let text = "héllo • wörld";
+        let mut out = String::new();
+        let mut chunk = Vec::new();
+        drive_utf8_chunks(&mut OneByte(text.as_bytes(), 0), &mut chunk, &mut |s| {
+            out.push_str(s);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, text);
+
+        // A truncated scalar at EOF is a proper error.
+        let bad = &"é".as_bytes()[..1];
+        let mut chunk = Vec::new();
+        assert!(drive_utf8_chunks(&mut OneByte(bad, 0), &mut chunk, &mut |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn event_source_drive_matches_drive_reader() {
+        let xml = "<a attr=\"v\">x &amp; y<b/></a>";
+        let mut p1 = StreamingParser::new();
+        let s1 = Arc::clone(p1.symbols());
+        let mut via_reader: Vec<Event> = Vec::new();
+        p1.drive_reader(xml.as_bytes(), &mut |ev, _| {
+            via_reader.push(ev.to_owned(&s1));
+        })
+        .unwrap();
+
+        let mut p2 = StreamingParser::new();
+        let s2 = Arc::clone(p2.symbols());
+        let mut via_source: Vec<Event> = Vec::new();
+        EventSource::drive(&mut p2, &mut xml.as_bytes(), &mut |ev, _| {
+            via_source.push(ev.to_owned(&s2));
+        })
+        .unwrap();
+        assert_eq!(via_reader, via_source);
+    }
+}

@@ -7,9 +7,14 @@
 //!   cat doc.xml | cargo run --example fxgrep -- '//item[price > 300]'
 //!
 //! Flags:
-//!   -p   selection mode: print each matched element (ordinal + byte span)
-//!        the moment the engine confirms it — grep-style streaming output
-//!   -v   print the filter's space statistics
+//!   -p              selection mode: print each matched element (ordinal +
+//!                   byte span) the moment the engine confirms it —
+//!                   grep-style streaming output
+//!   -v              print the filter's space statistics
+//!   --format FMT    input format: xml (default), html (lenient soup
+//!                   tokenizer — never fails structurally), or json
+//!                   (objects as elements, keys as QNames; query with
+//!                   paths like '/json/user/name')
 //!
 //! With `-p` the engine runs in `Mode::Select`: matches stream out as
 //! they are confirmed (often long before end-of-document), each carrying
@@ -20,14 +25,50 @@ use frontier_xpath::prelude::*;
 use std::io::Read;
 use std::process::ExitCode;
 
+enum Format {
+    Xml,
+    Html,
+    Json,
+}
+
+/// Strips `--format FMT` / `--format=FMT` out of `args`; `None` with a
+/// message already printed on a bad or missing value.
+fn take_format(args: &mut Vec<String>) -> Option<Format> {
+    let value = if let Some(pos) = args.iter().position(|a| a == "--format") {
+        if pos + 1 >= args.len() {
+            eprintln!("fxgrep: --format needs a value (xml, html, or json)");
+            return None;
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        v
+    } else if let Some(pos) = args.iter().position(|a| a.starts_with("--format=")) {
+        args.remove(pos)["--format=".len()..].to_string()
+    } else {
+        return Some(Format::Xml);
+    };
+    match value.as_str() {
+        "xml" => Some(Format::Xml),
+        "html" => Some(Format::Html),
+        "json" => Some(Format::Json),
+        other => {
+            eprintln!("fxgrep: unknown format '{other}' (expected xml, html, or json)");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let positions = args.iter().any(|a| a == "-p");
     let verbose = args.iter().any(|a| a == "-v");
     args.retain(|a| a != "-p" && a != "-v");
+    let Some(format) = take_format(&mut args) else {
+        return ExitCode::from(2);
+    };
 
     let Some(query_src) = args.first() else {
-        eprintln!("usage: fxgrep [-p] [-v] '<xpath>' [file.xml ...]");
+        eprintln!("usage: fxgrep [-p] [-v] [--format xml|html|json] '<xpath>' [file ...]");
         return ExitCode::from(2);
     };
     let engine = match Engine::builder()
@@ -48,6 +89,14 @@ fn main() -> ExitCode {
 
     let files = &args[1..];
     let mut any_match = false;
+    // The non-XML frontends are created once and reused across files,
+    // keeping their scratch buffers warm; they share the engine's
+    // symbol table in lookup-only mode.
+    let mut source: Option<Box<dyn EventSource>> = match format {
+        Format::Xml => None,
+        Format::Html => Some(Box::new(engine.html_source())),
+        Format::Json => Some(Box::new(engine.json_source())),
+    };
     // One session per file: the session's event counter and peak
     // statistics are cumulative across the documents it processes, and
     // `-v` should report each file on its own.
@@ -59,7 +108,11 @@ fn main() -> ExitCode {
             matches += 1;
             println!("{label}: element #{} @ bytes {}", m.ordinal, m.span);
         };
-        match session.run_reader_to(reader, &mut sink) {
+        let result = match source.as_mut() {
+            None => session.run_reader_to(reader, &mut sink),
+            Some(src) => session.run_source_to(src.as_mut(), reader, &mut sink),
+        };
+        match result {
             Ok(verdicts) => {
                 let matched = verdicts.any();
                 any_match |= matched;

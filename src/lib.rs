@@ -77,7 +77,9 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`engine`] | **The canonical API**: `Engine` builder, per-document `Session`s, the `Evaluator` trait, unified `EngineError` |
-//! | [`xml`] | SAX events, streaming parser/writer, pull-based [`xml::EventIter`], stream splicing (§3.1.4) |
+//! | [`xml`] | SAX events, streaming parser/writer, pull-based [`xml::EventIter`], the [`xml::EventSource`] frontend trait, stream splicing (§3.1.4) |
+//! | [`html`] | Lenient streaming HTML-soup frontend: tag soup in, the same interned events out |
+//! | [`json`] | Streaming JSON frontend: objects as elements, keys as QNames, array items as repeated children |
 //! | [`dom`] | The XPath data model: trees, `STRVAL`, depth (§3.1.1) |
 //! | [`xpath`] | Forward XPath parser, query trees, predicate semantics (§3.1.2–3) |
 //! | [`eval`] | Reference `SELECT`/`FULLEVAL`/`BOOLEVAL`, matchings (§3.1.3, §5.5) |
@@ -107,6 +109,8 @@ pub use fx_core as filter;
 pub use fx_dom as dom;
 pub use fx_engine as engine;
 pub use fx_eval as eval;
+pub use fx_html as html;
+pub use fx_json as json;
 pub use fx_lowerbounds as lowerbounds;
 pub use fx_server as server;
 pub use fx_workloads as workloads;
@@ -130,8 +134,10 @@ pub mod prelude {
         MatchSink, Mode, Outcome, Session, Verdicts,
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
+    pub use fx_html::{parse_html, HtmlParser};
+    pub use fx_json::{parse_json, JsonParser};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
     pub use fx_server::{Delivery, DisseminationServer, ServerConfig, ServerHandle, Subscription};
-    pub use fx_xml::{parse as parse_xml, Event, EventIter, SaxHandler, Span};
+    pub use fx_xml::{parse as parse_xml, Event, EventIter, EventSource, SaxHandler, Span};
     pub use fx_xpath::{parse_query, Query};
 }

@@ -1,13 +1,16 @@
 //! The zero-allocation guarantee of the interned event hot path: in
 //! steady state — symbol table populated, scratch buffers warm — a
 //! start/end element event performs **no heap allocation anywhere** on
-//! the parse → intern → tag-dispatch path, for a single `StreamFilter`
-//! and for the `IndexedBank`'s shared-trie walk alike.
+//! the parse → intern → tag-dispatch path, for a single `StreamFilter`,
+//! for the `IndexedBank`'s shared-trie walk, and for the HTML-soup and
+//! JSON frontends feeding the same filter alike.
 //!
 //! Measured with a counting `#[global_allocator]`; this file holds a
 //! single test so no sibling test thread can pollute the counter.
 
 use frontier_xpath::filter::{CompiledQuery, IndexedBank, StreamFilter};
+use frontier_xpath::html::HtmlParser;
+use frontier_xpath::json::JsonParser;
 use frontier_xpath::xml::{Span, StreamingParser, SymEvent, Symbols};
 use frontier_xpath::xpath::parse_query;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -152,4 +155,76 @@ fn interned_hot_path_allocates_nothing_per_element_in_steady_state() {
          ({} allocations over {steady} chunks)",
         after - before
     );
+
+    // --- HTML-soup frontend: tokenize + recover + filter. ------------
+    // The chunk exercises the soup hot path: an attributed start tag,
+    // text, an explicit end tag, and a void element.
+    let symbols = Arc::new(Symbols::new());
+    let q = parse_query("/ul/li[@a]").unwrap();
+    let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+    let mut filter = StreamFilter::from_compiled(compiled);
+    let mut html = HtmlParser::with_symbols(Arc::clone(&symbols));
+    let chunk = r#"<li a="1">x</li><wbr>"#;
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        html.feed_interned("<ul>", &mut emit).unwrap();
+        for _ in 0..64 {
+            html.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let before = allocations();
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        for _ in 0..steady {
+            html.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "html soup tokenize+filter must not allocate in steady state \
+         ({} allocations over {steady} chunks)",
+        after - before
+    );
+    let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+    html.feed_interned("</ul>", &mut emit).unwrap();
+    html.finish_interned(&mut emit).unwrap();
+    assert_eq!(filter.result(), Some(true));
+
+    // --- JSON frontend: lex + map-to-elements + filter. --------------
+    // Repeated members of the root object: object values become
+    // elements, string and number scalars become text.
+    let symbols = Arc::new(Symbols::new());
+    let q = parse_query("/json/i[a]").unwrap();
+    let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+    let mut filter = StreamFilter::from_compiled(compiled);
+    let mut json = JsonParser::with_symbols(Arc::clone(&symbols));
+    let chunk = r#""i":{"a":"x","n":17},"#;
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        json.feed_interned("{", &mut emit).unwrap();
+        for _ in 0..64 {
+            json.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let before = allocations();
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        for _ in 0..steady {
+            json.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "json lex+map+filter must not allocate in steady state \
+         ({} allocations over {steady} chunks)",
+        after - before
+    );
+    let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+    json.feed_interned("}", &mut emit).unwrap();
+    json.finish_interned(&mut emit).unwrap();
+    assert_eq!(filter.result(), Some(true));
 }
