@@ -65,17 +65,30 @@ fn named(name: &str) -> Option<&'static str> {
 fn decode_one(tail: &str, out: &mut String) -> Option<usize> {
     if let Some(num) = tail.strip_prefix('#') {
         let (digits, radix, prefix) = match num.strip_prefix(['x', 'X']) {
-            Some(hex) => (hex, 16, 2),
-            None => (num, 10, 1),
+            Some(hex) => (hex, 16u32, 2),
+            None => (num, 10u32, 1),
         };
-        // A ';' is ASCII, so its byte index is a char boundary.
-        let semi = digits.as_bytes().iter().take(9).position(|&b| b == b';')?;
-        if semi == 0 {
+        // Accumulate every leading digit (any length — saturation
+        // pushes an overflowing value out of Unicode range, which maps
+        // to U+FFFD below rather than erroring or passing through).
+        let bytes = digits.as_bytes();
+        let mut n = 0;
+        let mut code: u32 = 0;
+        while let Some(d) = bytes.get(n).and_then(|&b| (b as char).to_digit(radix)) {
+            code = code.saturating_mul(radix).saturating_add(d);
+            n += 1;
+        }
+        if n == 0 || bytes.get(n) != Some(&b';') {
             return None;
         }
-        let code = u32::from_str_radix(&digits[..semi], radix).ok()?;
-        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-        return Some(prefix + semi + 1);
+        // HTML never fails on a well-formed numeric reference: zero,
+        // surrogates, and out-of-range values all become U+FFFD.
+        let c = match code {
+            0 | 0xD800..=0xDFFF => '\u{fffd}',
+            c => char::from_u32(c).unwrap_or('\u{fffd}'),
+        };
+        out.push(c);
+        return Some(prefix + n + 1);
     }
     let semi = tail.as_bytes().iter().take(32).position(|&b| b == b';')?;
     if semi == 0 {
@@ -130,6 +143,23 @@ mod tests {
         // Surrogates and out-of-range become U+FFFD, never an error.
         assert_eq!(decode("&#xD800;"), "\u{fffd}");
         assert_eq!(decode("&#x110000;"), "\u{fffd}");
+    }
+
+    #[test]
+    fn numeric_reference_edge_cases_become_replacement() {
+        // NUL, surrogates (either spelling), out-of-range, and
+        // arbitrarily long overflowing digit strings all decode to
+        // U+FFFD — never a raw control character, never a pass-through.
+        assert_eq!(decode("&#0;"), "\u{fffd}");
+        assert_eq!(decode("&#xD800;"), "\u{fffd}");
+        assert_eq!(decode("&#xDFFF;"), "\u{fffd}");
+        assert_eq!(decode("&#55296;"), "\u{fffd}");
+        assert_eq!(decode("&#x110000;"), "\u{fffd}");
+        assert_eq!(decode("&#1114112;"), "\u{fffd}");
+        assert_eq!(decode("&#99999999999999999999;"), "\u{fffd}");
+        assert_eq!(decode("&#xFFFFFFFFFFFFFFFF;"), "\u{fffd}");
+        // The largest valid scalar still decodes.
+        assert_eq!(decode("&#x10FFFF;"), "\u{10ffff}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! structural error. The only failures it can surface are I/O and
 //! invalid UTF-8 from [`HtmlParser::drive_reader`].
 
-use fx_xml::{AttrBuf, Event, EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols};
+use fx_xml::scan;
+use fx_xml::{
+    AttrBuf, Event, EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols, Utf8Carry,
+};
 use std::io::Read;
 use std::sync::Arc;
 
@@ -115,6 +118,9 @@ pub struct HtmlParser {
     text_scratch: String,
     /// Reused attribute slots; `StartElement` events borrow them.
     attrs: AttrBuf,
+    /// Incomplete UTF-8 scalar split across byte-chunk feeds
+    /// ([`HtmlParser::feed_interned_bytes`]).
+    utf8_carry: Utf8Carry,
     /// Reused read buffer for [`HtmlParser::drive_reader`].
     io_chunk: Vec<u8>,
 }
@@ -154,6 +160,7 @@ impl HtmlParser {
             attr_scratch: String::new(),
             text_scratch: String::new(),
             attrs: AttrBuf::new(),
+            utf8_carry: Utf8Carry::new(),
             io_chunk: Vec::new(),
         }
     }
@@ -191,6 +198,7 @@ impl HtmlParser {
         self.finished = false;
         self.consumed = 0;
         self.raw = None;
+        self.utf8_carry.clear();
     }
 
     /// Drops memoized name verdicts (see
@@ -231,6 +239,27 @@ impl HtmlParser {
         Ok(())
     }
 
+    /// [`HtmlParser::feed_interned`] on raw bytes: validates UTF-8 once
+    /// per chunk and carries a scalar split across chunk boundaries, so
+    /// any read boundary — including mid-multibyte-character — is safe.
+    /// The only possible error is invalid UTF-8.
+    pub fn feed_interned_bytes(
+        &mut self,
+        chunk: &[u8],
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        self.compact();
+        let HtmlParser {
+            buf, utf8_carry, ..
+        } = self;
+        utf8_carry.feed(chunk, &mut |text| {
+            buf.push_str(text);
+            Ok(())
+        })?;
+        self.drain(false, emit);
+        Ok(())
+    }
+
     /// Signals end of input: emits trailing text, closes every open
     /// element (implied end tags at EOF), and frames the stream with
     /// `StartDocument`/`EndDocument` even when the input held no
@@ -246,6 +275,7 @@ impl HtmlParser {
                 column: self.consumed + 1,
             });
         }
+        self.utf8_carry.finish()?;
         self.drain(true, emit);
         if !self.started {
             self.started = true;
@@ -297,8 +327,8 @@ impl HtmlParser {
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
         let mut chunk = std::mem::take(&mut self.io_chunk);
-        let result = fx_xml::drive_utf8_chunks(&mut reader, &mut chunk, &mut |text| {
-            self.feed_interned(text, emit)
+        let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, emit)
         })
         .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
@@ -334,7 +364,7 @@ impl HtmlParser {
             let b = self.pending().as_bytes();
             let mut i = 0;
             let tag_at = loop {
-                match b[i..].iter().position(|&c| c == b'<') {
+                match scan::memchr(b'<', &b[i..]) {
                     None => break None,
                     Some(j) => {
                         let at = i + j;
@@ -587,7 +617,7 @@ impl HtmlParser {
         let closer_len = 2 + self.raw_closer.len();
         let mut i = 0;
         let closer = loop {
-            match b[i..].iter().position(|&c| c == b'<') {
+            match scan::memchr(b'<', &b[i..]) {
                 None => break None,
                 Some(j) => {
                     let at = i + j;
@@ -644,7 +674,7 @@ impl HtmlParser {
             }
             Some(at) => {
                 // Need the closer's `>` to consume the end tag.
-                let Some(gt) = b[at + closer_len..].iter().position(|&c| c == b'>') else {
+                let Some(gt) = scan::memchr(b'>', &b[at + closer_len..]) else {
                     if at_eof {
                         // Partial end tag at EOF: drop it.
                         if at > 0 {

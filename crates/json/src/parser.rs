@@ -6,7 +6,8 @@
 //! state allocation-free, and `reset` makes one parser serve many
 //! documents. See the crate docs for the JSON → element mapping.
 
-use fx_xml::{EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols};
+use fx_xml::scan;
+use fx_xml::{EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols, Utf8Carry};
 use std::io::Read;
 use std::sync::Arc;
 
@@ -57,6 +58,9 @@ pub struct JsonParser {
     consumed: usize,
     /// Reused escape-decoded string buffer; `Text` events borrow it.
     text_scratch: String,
+    /// Incomplete UTF-8 scalar split across byte-chunk feeds
+    /// ([`JsonParser::feed_interned_bytes`]).
+    utf8_carry: Utf8Carry,
     /// Reused read buffer for [`JsonParser::drive_reader`].
     io_chunk: Vec<u8>,
 }
@@ -89,6 +93,7 @@ impl JsonParser {
             finished: false,
             consumed: 0,
             text_scratch: String::new(),
+            utf8_carry: Utf8Carry::new(),
             io_chunk: Vec::new(),
         }
     }
@@ -119,6 +124,7 @@ impl JsonParser {
         self.started = false;
         self.finished = false;
         self.consumed = 0;
+        self.utf8_carry.clear();
     }
 
     /// Drops memoized name verdicts (see
@@ -151,6 +157,25 @@ impl JsonParser {
         self.drain(false, emit)
     }
 
+    /// [`JsonParser::feed_interned`] on raw bytes: validates UTF-8 once
+    /// per chunk and carries a scalar split across chunk boundaries, so
+    /// any read boundary — including mid-multibyte-character — is safe.
+    pub fn feed_interned_bytes(
+        &mut self,
+        chunk: &[u8],
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        self.compact();
+        let JsonParser {
+            buf, utf8_carry, ..
+        } = self;
+        utf8_carry.feed(chunk, &mut |text| {
+            buf.push_str(text);
+            Ok(())
+        })?;
+        self.drain(false, emit)
+    }
+
     /// Signals end of input: completes a trailing number token, then
     /// verifies the document held exactly one root value and emits
     /// `EndDocument`.
@@ -161,6 +186,7 @@ impl JsonParser {
         if self.finished {
             return Err(self.err("finish called twice"));
         }
+        self.utf8_carry.finish()?;
         self.drain(true, emit)?;
         if !self.started {
             return Err(self.err("empty document"));
@@ -182,8 +208,8 @@ impl JsonParser {
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
         let mut chunk = std::mem::take(&mut self.io_chunk);
-        let result = fx_xml::drive_utf8_chunks(&mut reader, &mut chunk, &mut |text| {
-            self.feed_interned(text, emit)
+        let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, emit)
         })
         .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
@@ -506,12 +532,16 @@ impl JsonParser {
 fn string_token_len(b: &str) -> Option<usize> {
     let bytes = b.as_bytes();
     debug_assert_eq!(bytes[0], b'"');
+    // SWAR skip to the next `"` or `\`: ordinary string content (the
+    // overwhelming majority of bytes) is crossed in word strides.
     let mut i = 1;
     while i < bytes.len() {
-        match bytes[i] {
-            b'"' => return Some(i + 1),
-            b'\\' => i += 2,
-            _ => i += 1,
+        match scan::memchr2(b'"', b'\\', &bytes[i..]) {
+            None => return None,
+            Some(p) if bytes[i + p] == b'"' => return Some(i + p + 1),
+            // An escape: skip the backslash and the escaped byte (which
+            // may still be missing at the buffer end -> keep waiting).
+            Some(p) => i += p + 2,
         }
     }
     None

@@ -75,6 +75,18 @@ pub fn decode_entities_into(s: &str, out: &mut String) -> Result<(), EntityError
     decode_append(s, out)
 }
 
+/// The XML 1.0 `Char` production: characters a numeric character
+/// reference may denote. Excludes NUL and the other C0 controls
+/// (except tab/LF/CR), surrogates (unreachable as `char` anyway), and
+/// the non-characters U+FFFE/U+FFFF.
+fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
 fn decode_append(s: &str, out: &mut String) -> Result<(), EntityError> {
     let mut rest = s;
     while let Some(pos) = rest.find('&') {
@@ -100,9 +112,15 @@ fn decode_append(s: &str, out: &mut String) -> Result<(), EntityError> {
                 } else {
                     None
                 };
-                let c = cp.and_then(char::from_u32).ok_or_else(|| EntityError {
-                    reference: name.to_string(),
-                })?;
+                // `char::from_u32` rejects surrogates and > 0x10FFFF;
+                // the `Char` filter additionally rejects NUL, stray C0
+                // controls, and U+FFFE/U+FFFF — all fatal in XML.
+                let c = cp
+                    .and_then(char::from_u32)
+                    .filter(|&c| is_xml_char(c))
+                    .ok_or_else(|| EntityError {
+                        reference: name.to_string(),
+                    })?;
                 out.push(c);
             }
         }
@@ -152,6 +170,25 @@ mod tests {
         assert!(decode_entities("&bogus;").is_err());
         assert!(decode_entities("&unterminated").is_err());
         assert!(decode_entities("&#xZZ;").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_xml_chars() {
+        // Out-of-range and surrogate references are malformed …
+        assert!(decode_entities("&#x110000;").is_err());
+        assert!(decode_entities("&#xD800;").is_err());
+        assert!(decode_entities("&#55296;").is_err());
+        // … and so are characters outside the XML `Char` production:
+        // NUL, stray C0 controls, and the FFFE/FFFF non-characters.
+        assert!(decode_entities("&#0;").is_err());
+        assert!(decode_entities("&#x1F;").is_err());
+        assert!(decode_entities("&#xFFFE;").is_err());
+        assert!(decode_entities("&#xFFFF;").is_err());
+        // Tab, LF, CR, and the plane boundaries stay valid.
+        assert_eq!(decode_entities("&#x9;&#xA;&#xD;").unwrap(), "\t\n\r");
+        assert_eq!(decode_entities("&#xD7FF;").unwrap(), "\u{d7ff}");
+        assert_eq!(decode_entities("&#xE000;").unwrap(), "\u{e000}");
+        assert_eq!(decode_entities("&#x10FFFF;").unwrap(), "\u{10ffff}");
     }
 
     #[test]

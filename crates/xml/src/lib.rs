@@ -22,6 +22,7 @@ pub mod event;
 pub mod iter;
 pub mod parser;
 pub mod reader;
+pub mod scan;
 pub mod source;
 pub mod span;
 pub mod split;
@@ -34,7 +35,7 @@ pub use event::{drive, notation, Attribute, Event, EventCollector, EventRef, Sax
 pub use iter::{EventIter, SpannedEvents};
 pub use parser::{parse, parse_spanned, parse_spanned_with, parse_with, ParseError, ParseOptions};
 pub use reader::{parse_reader, StreamingParser};
-pub use source::{drive_utf8_chunks, EventSource};
+pub use source::{drive_byte_chunks, drive_utf8_chunks, EventSource, Utf8Carry};
 pub use span::Span;
 pub use split::{
     element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,

@@ -11,10 +11,20 @@
 //! parsing performs **zero heap allocations per element event**. The
 //! owned-event surface ([`StreamingParser::feed`] /
 //! [`StreamingParser::feed_spanned`]) is a thin conversion layer over it.
+//!
+//! The inner byte scan is built on [`crate::scan`] — SWAR word-at-a-time
+//! structural search for `<`, `>`, `&`, and quote delimiters — and text
+//! spans containing no `&` are emitted as borrowed slices of the input
+//! buffer with no entity decoding and no copy. Raw byte chunks enter
+//! through [`StreamingParser::feed_interned_bytes`], which validates
+//! UTF-8 once per chunk and carries a scalar split across chunk
+//! boundaries (see [`crate::source::Utf8Carry`]).
 
 use crate::escape::decode_entities_into;
 use crate::event::{Event, SaxHandler};
 use crate::parser::ParseError;
+use crate::scan;
+use crate::source::Utf8Carry;
 use crate::span::Span;
 use crate::symbols::{AttrBuf, Sym, SymCache, SymEvent, Symbols};
 use std::io::{BufRead, Read};
@@ -39,10 +49,17 @@ pub struct StreamingParser {
     intern_names: bool,
     /// Per-parser lock-free memo over the table.
     name_cache: SymCache,
-    /// Open elements: `(sym, name)` with the name strings pooled
-    /// (popped slots keep their capacity). End tags are matched by
+    /// Open elements: `(sym, name start)` where the second field is
+    /// the byte offset of this element's name in
+    /// [`StreamingParser::name_arena`]. End tags are matched by
     /// *string*, which stays exact when unknown names share a sym.
-    stack: Vec<(Sym, String)>,
+    stack: Vec<(Sym, u32)>,
+    /// The names of all open elements, concatenated in stack order —
+    /// the top element's name is always the arena's suffix, so a pop
+    /// is a `truncate`. One growing buffer instead of a `String` per
+    /// depth keeps fresh parsers allocation-light and the end-tag
+    /// memcmp cache-local.
+    name_arena: String,
     /// Number of live `stack` entries (the rest are retired slots kept
     /// for reuse).
     depth: usize,
@@ -50,13 +67,17 @@ pub struct StreamingParser {
     finished: bool,
     consumed: usize,
     keep_whitespace: bool,
-    /// Reused copy of the tag being handled (the tag must leave `buf`
-    /// before events are emitted, but not via a fresh allocation).
-    tag_scratch: String,
-    /// Reused entity-decoded text buffer; `Text` events borrow it.
+    /// Incomplete UTF-8 scalar split across byte-chunk feeds
+    /// ([`StreamingParser::feed_interned_bytes`]).
+    utf8_carry: Utf8Carry,
+    /// Reused entity-decoded text buffer; `Text` events with entities
+    /// borrow it (entity-free text borrows `buf` directly).
     text_scratch: String,
     /// Reused attribute slots; `StartElement` events borrow them.
     attrs: AttrBuf,
+    /// Reused structural index: positions of `<` `>` `"` `'` `&` in the
+    /// unconsumed buffer, rebuilt by one SWAR pass per drain.
+    struct_idx: Vec<u32>,
     /// Reused read buffer for [`StreamingParser::drive_reader`].
     io_chunk: Vec<u8>,
 }
@@ -86,14 +107,16 @@ impl StreamingParser {
             intern_names: true,
             name_cache: SymCache::new(),
             stack: Vec::new(),
+            name_arena: String::new(),
             depth: 0,
             started: false,
             finished: false,
             consumed: 0,
             keep_whitespace: false,
-            tag_scratch: String::new(),
+            utf8_carry: Utf8Carry::new(),
             text_scratch: String::new(),
             attrs: AttrBuf::new(),
+            struct_idx: Vec::new(),
             io_chunk: Vec::new(),
         }
     }
@@ -107,9 +130,11 @@ impl StreamingParser {
         self.buf.clear();
         self.pos = 0;
         self.depth = 0;
+        self.name_arena.clear();
         self.started = false;
         self.finished = false;
         self.consumed = 0;
+        self.utf8_carry.clear();
     }
 
     /// The symbol table this parser interns names into.
@@ -161,17 +186,25 @@ impl StreamingParser {
             .lookup_or_intern(&self.symbols, name, self.intern_names)
     }
 
-    /// Pushes an open element, reusing a retired slot's name capacity.
+    /// Pushes an open element, appending its name to the arena, so the
+    /// end-tag hot path is one name memcmp against the tag's interior
+    /// — no trimming, no extraction.
     fn stack_push(&mut self, sym: Sym, name: &str) {
+        let start = self.name_arena.len() as u32;
+        self.name_arena.push_str(name);
         if self.depth == self.stack.len() {
-            self.stack.push((sym, name.to_string()));
+            self.stack.push((sym, start));
         } else {
-            let slot = &mut self.stack[self.depth];
-            slot.0 = sym;
-            slot.1.clear();
-            slot.1.push_str(name);
+            self.stack[self.depth] = (sym, start);
         }
         self.depth += 1;
+    }
+
+    /// The name of the innermost open element — always the arena's
+    /// suffix.
+    fn top_name(&self) -> (Sym, usize, &str) {
+        let (sym, start) = self.stack[self.depth - 1];
+        (sym, start as usize, &self.name_arena[start as usize..])
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -222,13 +255,58 @@ impl StreamingParser {
     /// buffers (valid for the duration of the callback). In steady
     /// state — names already interned, scratch capacities warm — a
     /// start/end element event allocates nothing.
-    pub fn feed_interned(
+    pub fn feed_interned<F: FnMut(SymEvent<'_>, Span)>(
         &mut self,
         chunk: &str,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         self.compact();
+        if self.buf.is_empty() {
+            // Zero-copy fast path: no partial token is buffered, so the
+            // chunk itself is the input — parse in place and buffer only
+            // the incomplete tail for the next feed.
+            let result = self.drain_slice(chunk, false, emit);
+            self.buf.push_str(&chunk[self.pos..]);
+            self.pos = 0;
+            return result;
+        }
         self.buf.push_str(chunk);
+        self.drain(false, emit)
+    }
+
+    /// [`StreamingParser::feed_interned`] over raw bytes with arbitrary
+    /// chunk boundaries: validates UTF-8 **once per chunk** and carries
+    /// a trailing scalar split across the boundary to the next feed —
+    /// any split point, including mid-character, is safe. This is the
+    /// surface reader drivers use; don't interleave it mid-scalar with
+    /// the `&str` feeds (a pending carry would reorder bytes).
+    pub fn feed_interned_bytes<F: FnMut(SymEvent<'_>, Span)>(
+        &mut self,
+        chunk: &[u8],
+        emit: &mut F,
+    ) -> Result<(), ParseError> {
+        self.compact();
+        if self.buf.is_empty() && self.utf8_carry.is_empty() {
+            // Zero-copy fast path: nothing carried, so if the chunk is
+            // wholly valid UTF-8 it can be parsed in place like
+            // [`StreamingParser::feed_interned`] does. A chunk that
+            // fails whole-validation (split trailing scalar, or truly
+            // invalid bytes) takes the carry path below, which
+            // distinguishes the two.
+            if let Ok(s) = std::str::from_utf8(chunk) {
+                let result = self.drain_slice(s, false, emit);
+                self.buf.push_str(&s[self.pos..]);
+                self.pos = 0;
+                return result;
+            }
+        }
+        let mut carry = self.utf8_carry;
+        let fed = carry.feed(chunk, &mut |s| {
+            self.buf.push_str(s);
+            Ok(())
+        });
+        self.utf8_carry = carry;
+        fed?;
         self.drain(false, emit)
     }
 
@@ -265,19 +343,17 @@ impl StreamingParser {
     }
 
     /// [`StreamingParser::finish`] on the interned surface.
-    pub fn finish_interned(
+    pub fn finish_interned<F: FnMut(SymEvent<'_>, Span)>(
         &mut self,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
+        self.utf8_carry.finish()?;
         self.drain(true, emit)?;
         if !self.pending().trim().is_empty() {
             return Err(self.err("unexpected trailing content at end of input"));
         }
         if self.depth > 0 {
-            return Err(self.err(format!(
-                "unclosed element `{}`",
-                self.stack[self.depth - 1].1
-            )));
+            return Err(self.err(format!("unclosed element `{}`", self.top_name().2)));
         }
         if !self.started {
             return Err(self.err("empty document"));
@@ -299,17 +375,17 @@ impl StreamingParser {
     /// this) the shared symbol table stays bounded by the compiled
     /// query vocabulary too; the default interning mode instead grows
     /// the table with the document's *distinct* names.
-    pub fn drive_reader<R: Read>(
+    pub fn drive_reader<R: Read, F: FnMut(SymEvent<'_>, Span)>(
         &mut self,
         mut reader: R,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         // Take the reused read buffer out for the loop (so reads and
-        // `feed_interned` can borrow `self` independently) and restore
-        // it on every exit path.
+        // the feed can borrow `self` independently) and restore it on
+        // every exit path.
         let mut chunk = std::mem::take(&mut self.io_chunk);
-        let result = crate::source::drive_utf8_chunks(&mut reader, &mut chunk, &mut |text| {
-            self.feed_interned(text, emit)
+        let result = crate::source::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, emit)
         })
         .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
@@ -321,28 +397,86 @@ impl StreamingParser {
         at_eof: bool,
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
+        // Take the buffer out so tags and text can be handled as plain
+        // slices of it while `&mut self` stays free for state updates —
+        // this is what lets a tag be parsed in place, with no scratch
+        // copy, and entity-free text be emitted borrowed.
+        let buf = std::mem::take(&mut self.buf);
+        let result = self.drain_slice(&buf, at_eof, emit);
+        self.buf = buf;
+        result
+    }
+
+    /// [`StreamingParser::drain`] over any input slice (the internal
+    /// buffer, or — the zero-copy fast path — the caller's own chunk).
+    /// One SWAR pass builds the structural index; the token loop then
+    /// walks delimiter *positions* instead of re-scanning bytes.
+    fn drain_slice(
+        &mut self,
+        buf: &str,
+        at_eof: bool,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        let mut idx = std::mem::take(&mut self.struct_idx);
+        idx.clear();
+        assert!(
+            buf.len() <= u32::MAX as usize,
+            "single buffered token exceeds 4 GiB"
+        );
+        // Pre-size to the worst typical density (~1 delimiter per 4
+        // bytes) so a cold index reaches capacity in one reallocation
+        // instead of a doubling cascade.
+        idx.reserve((buf.len() - self.pos) / 4);
+        scan::positions_xml(buf.as_bytes(), self.pos, &mut idx);
+        let result = self.drain_buf(buf, &idx, at_eof, emit);
+        self.struct_idx = idx;
+        result
+    }
+
+    fn drain_buf(
+        &mut self,
+        buf: &str,
+        idx: &[u32],
+        at_eof: bool,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        let bytes = buf.as_bytes();
+        let mut k = 0usize; // cursor into the structural index
         loop {
-            // Text up to the next tag (or all of it at EOF).
-            match self.pending().find('<') {
-                Some(0) => {}
-                Some(pos) => {
-                    let before = self.consumed;
-                    self.take_text(pos, emit)?;
-                    if self.consumed == before {
-                        // The text before the tag is entirely a held-back
-                        // entity fragment ("&am…" with no `;`); a tag can
-                        // never complete it, so looping would never make
-                        // progress.
+            // Walk the index to the next `<` at or after the cursor,
+            // noting the last `&` passed on the way (text entities).
+            let mut last_amp = usize::MAX;
+            let mut lt = None;
+            while k < idx.len() {
+                let p = idx[k] as usize;
+                if p >= self.pos {
+                    match bytes[p] {
+                        b'<' => {
+                            lt = Some(p);
+                            break;
+                        }
+                        b'&' => last_amp = p,
+                        _ => {} // `>` and quotes are plain text here
+                    }
+                }
+                k += 1;
+            }
+            match lt {
+                Some(p) if p == self.pos => {}
+                Some(p) => {
+                    self.take_text(buf, p - self.pos, last_amp, emit)?;
+                    if self.pos < p {
+                        // The text directly before the tag ends in a
+                        // held-back entity fragment ("&am…" with no
+                        // `;`); a tag can never complete it.
                         return Err(self.err("unterminated entity reference before tag"));
                     }
                     continue;
                 }
                 None => {
-                    if at_eof {
-                        let len = self.pending().len();
-                        if len > 0 {
-                            self.take_text(len, emit)?;
-                        }
+                    let len = buf.len() - self.pos;
+                    if at_eof && len > 0 {
+                        self.take_text(buf, len, last_amp, emit)?;
                     }
                     return Ok(());
                 }
@@ -350,110 +484,196 @@ impl StreamingParser {
             // A tag begins at the cursor; find its end, respecting the
             // multi-character terminators of comments/CDATA/PIs and
             // quoted attribute values (which may contain `>`).
-            let Some(tag_len) = self.tag_length()? else {
+            let Some((tag_len, k_next)) = self.tag_region(bytes, idx, k)? else {
                 return Ok(()); // incomplete: wait for more input
             };
-            // Copy the tag into the reused scratch so the cursor can
-            // advance past it without a fresh allocation, then hand it
-            // to the handler.
-            let mut tag = std::mem::take(&mut self.tag_scratch);
-            tag.clear();
-            tag.push_str(&self.buf[self.pos..self.pos + tag_len]);
+            k = k_next;
+            let tag = &buf[self.pos..self.pos + tag_len];
             self.pos += tag_len;
             self.consumed += tag_len;
             let span = Span::new((self.consumed - tag_len) as u64, self.consumed as u64);
-            let result = self.handle_tag(&tag, span, emit);
-            self.tag_scratch = tag;
-            result?;
+            self.handle_tag(tag, span, emit)?;
         }
     }
 
     fn take_text(
         &mut self,
+        buf: &str,
         len: usize,
+        last_amp: usize, // absolute position of the last `&`, or usize::MAX
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
-        // Hold back a trailing fragment that may be a split entity
-        // reference ("&am" + "p;").
-        let text = &self.buf[self.pos..self.pos + len];
-        let mut end = len;
-        if let Some(amp) = text.rfind('&') {
-            if !text[amp..].contains(';') {
-                end = amp;
+        let text = &buf[self.pos..self.pos + len];
+        // Entity-free text (the overwhelmingly common case) needs no
+        // decoding and no hold-back: the raw slice is the payload.
+        let (end, decoded) = if last_amp == usize::MAX {
+            (len, false)
+        } else {
+            // Hold back a trailing fragment that may be a split entity
+            // reference ("&am" + "p;").
+            let amp = last_amp - self.pos;
+            let end = if scan::memchr(b';', &text.as_bytes()[amp..]).is_none() {
+                amp
+            } else {
+                len
+            };
+            if end == 0 {
+                return Ok(());
             }
-        }
-        if end == 0 {
-            return Ok(());
-        }
-        self.text_scratch.clear();
-        if let Err(e) =
-            decode_entities_into(&self.buf[self.pos..self.pos + end], &mut self.text_scratch)
-        {
-            return Err(self.err(e.to_string()));
-        }
+            self.text_scratch.clear();
+            if let Err(e) = decode_entities_into(&text[..end], &mut self.text_scratch) {
+                return Err(self.err(e.to_string()));
+            }
+            (end, true)
+        };
         self.pos += end;
         self.consumed += end;
         let span = Span::new((self.consumed - end) as u64, self.consumed as u64);
-        if self.keep_whitespace || !self.text_scratch.chars().all(char::is_whitespace) {
+        let content: &str = if decoded {
+            &self.text_scratch
+        } else {
+            &text[..end]
+        };
+        if self.keep_whitespace || !is_all_whitespace(content) {
             if self.depth == 0 {
                 return Err(self.err("text content outside the root element"));
             }
-            emit(
-                SymEvent::Text {
-                    content: &self.text_scratch,
-                },
-                span,
-            );
+            emit(SymEvent::Text { content }, span);
         }
         Ok(())
     }
 
-    /// Length of the complete tag at the buffer start, or `None` if more
-    /// input is needed.
-    fn tag_length(&self) -> Result<Option<usize>, ParseError> {
-        let b = self.pending();
-        debug_assert!(b.starts_with('<'));
-        let closed_by = |needle: &str, from: usize| -> Option<usize> {
-            b[from..].find(needle).map(|i| from + i + needle.len())
-        };
-        if b.starts_with("<!--") {
-            return Ok(closed_by("-->", 4));
-        }
-        if b.starts_with("<![CDATA[") {
-            return Ok(closed_by("]]>", 9));
-        }
-        if b.starts_with("<?") {
-            return Ok(closed_by("?>", 2));
-        }
-        if b.starts_with("<!") {
-            // DOCTYPE with optional internal subset.
-            let mut depth = 0usize;
-            for (i, c) in b.char_indices().skip(2) {
-                match c {
-                    '[' => depth += 1,
-                    ']' => depth = depth.saturating_sub(1),
-                    '>' if depth == 0 => return Ok(Some(i + 1)),
-                    _ => {}
+    /// Extent of the complete tag whose `<` sits at `idx[k]` (== the
+    /// cursor): `(byte length, index entry just past the tag)`, or
+    /// `None` if more input is needed. Pure index walk — no byte
+    /// re-scanning except the short prefix dispatch and the rare
+    /// DOCTYPE form.
+    fn tag_region(
+        &self,
+        bytes: &[u8],
+        idx: &[u32],
+        k: usize,
+    ) -> Result<Option<(usize, usize)>, ParseError> {
+        let lt = idx[k] as usize;
+        debug_assert_eq!(bytes[lt], b'<');
+        let b = &bytes[lt..];
+        if matches!(b.get(1), Some(b'!') | Some(b'?')) {
+            // Comment / CDATA / PI: a `>` directly preceded by the
+            // construct's suffix ends it, quotes notwithstanding.
+            let (from, suffix): (usize, &[u8]) = if b.starts_with(b"<!--") {
+                (4, b"--")
+            } else if b.starts_with(b"<![CDATA[") {
+                (9, b"]]")
+            } else if b.starts_with(b"<?") {
+                (2, b"?")
+            } else {
+                // DOCTYPE with optional internal subset: bracket-aware
+                // byte scan (rare; brackets are not indexed).
+                let mut depth = 0usize;
+                for (i, &c) in b.iter().enumerate().skip(2) {
+                    match c {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => {
+                            let end = lt + i + 1;
+                            let mut j = k + 1;
+                            while j < idx.len() && (idx[j] as usize) < end {
+                                j += 1;
+                            }
+                            return Ok(Some((i + 1, j)));
+                        }
+                        _ => {}
+                    }
                 }
+                return Ok(None);
+            };
+            let min = lt + from + suffix.len();
+            let mut j = k + 1;
+            while j < idx.len() {
+                let p = idx[j] as usize;
+                if bytes[p] == b'>' && p >= min && &bytes[p - suffix.len()..p] == suffix {
+                    return Ok(Some((p + 1 - lt, j + 1)));
+                }
+                j += 1;
             }
             return Ok(None);
         }
-        // A start or end tag: scan with quote awareness.
-        let mut quote: Option<char> = None;
-        for (i, c) in b.char_indices().skip(1) {
-            match (quote, c) {
-                (Some(q), _) if c == q => quote = None,
-                (Some(_), _) => {}
-                (None, '"') | (None, '\'') => quote = Some(c),
-                (None, '>') => return Ok(Some(i + 1)),
-                (None, '<') => return Err(self.err("`<` inside a tag")),
-                _ => {}
+        // A start or end tag: walk delimiter positions, skipping quoted
+        // attribute values (which may contain `>` or `<`).
+        let mut j = k + 1;
+        while j < idx.len() {
+            let p = idx[j] as usize;
+            match bytes[p] {
+                b'>' => return Ok(Some((p + 1 - lt, j + 1))),
+                b'<' => return Err(self.err("`<` inside a tag")),
+                b'"' | b'\'' => {
+                    let quote = bytes[p];
+                    j += 1;
+                    while j < idx.len() && bytes[idx[j] as usize] != quote {
+                        j += 1;
+                    }
+                    if j >= idx.len() {
+                        return Ok(None); // unclosed quote: wait
+                    }
+                    j += 1;
+                }
+                _ => j += 1, // `&` inside a tag: nothing structural
             }
         }
         Ok(None)
     }
 
     fn handle_tag(
+        &mut self,
+        tag: &str,
+        span: Span,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        // One byte decides the tag kind; the `<!…`/`<?…` markup forms
+        // take the cold path.
+        match tag.as_bytes()[1] {
+            b'!' | b'?' => self.handle_markup_tag(tag, span, emit),
+            b'/' => {
+                // Hot path: a well-formed end tag is byte-identical to
+                // the expected closer stored at push time — one memcmp,
+                // no trimming, no name extraction, no lookup. Matching
+                // by bytes stays exact even when several unknown names
+                // share a sym in lookup-only mode.
+                if self.depth > 0 {
+                    let (open_sym, start, open_name) = self.top_name();
+                    if *open_name.as_bytes() == tag.as_bytes()[2..tag.len() - 1] {
+                        self.depth -= 1;
+                        self.name_arena.truncate(start);
+                        emit(SymEvent::EndElement { name: open_sym }, span);
+                        return Ok(());
+                    }
+                }
+                // Cold path: whitespace inside the closer (`</a >`),
+                // a mismatch, or an unopened end tag.
+                let name = trim_ws(&tag[2..tag.len() - 1]);
+                if self.depth == 0 {
+                    return Err(self.err(format!("`</{name}>` without matching start tag")));
+                }
+                let (open_sym, start, open_name) = self.top_name();
+                if open_name != name {
+                    return Err(
+                        self.err(format!("mismatched `</{name}>`; expected `</{open_name}>`"))
+                    );
+                }
+                self.depth -= 1;
+                self.name_arena.truncate(start);
+                emit(SymEvent::EndElement { name: open_sym }, span);
+                Ok(())
+            }
+            _ => self.handle_element_tag(tag, span, emit),
+        }
+    }
+
+    /// `<!…>` / `<?…>` markup: comments, PIs, and DOCTYPE are skipped,
+    /// CDATA becomes text, and any other `<!…` form falls through to
+    /// the element path (an element named `!…`, as the batch parser
+    /// sees it).
+    fn handle_markup_tag(
         &mut self,
         tag: &str,
         span: Span,
@@ -474,66 +694,77 @@ impl StreamingParser {
             }
             return Ok(());
         }
-        if let Some(rest) = tag.strip_prefix("</") {
-            let name = rest.trim_end_matches('>').trim();
-            if self.depth == 0 {
-                return Err(self.err(format!("`</{name}>` without matching start tag")));
-            }
-            // Match by string (exact even when several unknown names
-            // share a sym in lookup-only mode) and emit the sym the
-            // matching start carried — no lookup at all on end tags.
-            let (open_sym, ref open_name) = self.stack[self.depth - 1];
-            if open_name != name {
-                return Err(self.err(format!("mismatched `</{name}>`; expected `</{open_name}>`")));
-            }
-            self.depth -= 1;
-            emit(SymEvent::EndElement { name: open_sym }, span);
-            Ok(())
-        } else {
-            let inner = tag.trim_start_matches('<').trim_end_matches('>');
-            let (inner, self_closing) = match inner.strip_suffix('/') {
-                Some(rest) => (rest, true),
-                None => (inner, false),
-            };
-            let mut parts = inner.splitn(2, [' ', '\t', '\r', '\n']);
-            let name = parts.next().unwrap_or_default().trim();
-            if name.is_empty() {
-                return Err(self.err("empty tag name"));
-            }
-            if self.depth == 0 && self.started {
-                return Err(self.err("multiple root elements"));
-            }
-            match parts.next() {
-                Some(attrs) => parse_attrs_into(
-                    attrs,
-                    &self.symbols,
-                    &mut self.name_cache,
-                    self.intern_names,
-                    &mut self.attrs,
-                )
-                .map_err(|m| self.err(m))?,
-                None => self.attrs.clear(),
-            }
-            let sym = self.resolve_name(name);
-            if !self.started {
-                self.started = true;
-                emit(SymEvent::StartDocument, Span::point(0));
-            }
-            emit(
-                SymEvent::StartElement {
-                    name: sym,
-                    attributes: self.attrs.as_slice(),
-                },
-                span,
-            );
-            if self_closing {
-                // A self-closing tag is both events; they share its span.
-                emit(SymEvent::EndElement { name: sym }, span);
-            } else {
-                self.stack_push(sym, name);
-            }
-            Ok(())
+        self.handle_element_tag(tag, span, emit)
+    }
+
+    /// A start (or self-closing) tag: `<name attr="v"…>` / `<name…/>`.
+    fn handle_element_tag(
+        &mut self,
+        tag: &str,
+        span: Span,
+        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+    ) -> Result<(), ParseError> {
+        let inner = &tag.as_bytes()[1..tag.len() - 1];
+        let (inner, self_closing) = match inner.split_last() {
+            Some((&b'/', rest)) => (rest, true),
+            _ => (inner, false),
+        };
+        // The name ends at the first splitter byte (the same set
+        // `splitn` used); anything after it is the attribute region.
+        let mut ne = 0;
+        while ne < inner.len() && !matches!(inner[ne], b' ' | b'\t' | b'\r' | b'\n') {
+            ne += 1;
         }
+        // The `ne` scan guarantees no splitter bytes inside the slice,
+        // so the trim can only bite on the exotic edges (0x0B / 0x0C /
+        // non-ASCII whitespace) — skip it when both edge bytes are
+        // plain ASCII.
+        let name_raw = &tag[1..1 + ne];
+        let name = match (name_raw.as_bytes().first(), name_raw.as_bytes().last()) {
+            (Some(&f), Some(&l))
+                if !matches!(f, 0x0B | 0x0C | 0x80..) && !matches!(l, 0x0B | 0x0C | 0x80..) =>
+            {
+                name_raw
+            }
+            _ => trim_ws(name_raw),
+        };
+        if name.is_empty() {
+            return Err(self.err("empty tag name"));
+        }
+        if self.depth == 0 && self.started {
+            return Err(self.err("multiple root elements"));
+        }
+        if ne < inner.len() {
+            parse_attrs_into(
+                &tag[1 + ne + 1..1 + inner.len()],
+                &self.symbols,
+                &mut self.name_cache,
+                self.intern_names,
+                &mut self.attrs,
+            )
+            .map_err(|m| self.err(m))?;
+        } else {
+            self.attrs.clear();
+        }
+        let sym = self.resolve_name(name);
+        if !self.started {
+            self.started = true;
+            emit(SymEvent::StartDocument, Span::point(0));
+        }
+        emit(
+            SymEvent::StartElement {
+                name: sym,
+                attributes: self.attrs.as_slice(),
+            },
+            span,
+        );
+        if self_closing {
+            // A self-closing tag is both events; they share its span.
+            emit(SymEvent::EndElement { name: sym }, span);
+        } else {
+            self.stack_push(sym, name);
+        }
+        Ok(())
     }
 }
 
@@ -553,10 +784,79 @@ impl crate::source::EventSource for StreamingParser {
     fn drive(
         &mut self,
         reader: &mut dyn Read,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        mut emit: &mut dyn FnMut(SymEvent<'_>, Span),
     ) -> Result<(), ParseError> {
-        self.drive_reader(reader, emit)
+        self.drive_reader(reader, &mut emit)
     }
+}
+
+/// `s.trim()` with a byte-wise fast path: trims the ASCII whitespace
+/// edges directly and falls back to the exact Unicode trim only when a
+/// non-ASCII byte is left on an edge (which is the only way Unicode
+/// whitespace can remain there).
+fn trim_ws(s: &str) -> &str {
+    let b = s.as_bytes();
+    let mut start = 0;
+    while start < b.len() && matches!(b[start], b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C) {
+        start += 1;
+    }
+    let mut end = b.len();
+    while end > start && matches!(b[end - 1], b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C) {
+        end -= 1;
+    }
+    let t = &s[start..end];
+    match t.as_bytes() {
+        [f, .., l] if *f >= 0x80 || *l >= 0x80 => t.trim(),
+        _ => t,
+    }
+}
+
+/// `trim_ws` for slices whose leading edge is already known clean
+/// (e.g. attribute names, which start right after a [`skip_ws`]):
+/// only the trailing edge is scanned.
+fn trim_ws_end(s: &str) -> &str {
+    let b = s.as_bytes();
+    let mut end = b.len();
+    while end > 0 && matches!(b[end - 1], b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C) {
+        end -= 1;
+    }
+    let t = &s[..end];
+    match t.as_bytes() {
+        [.., l] if *l >= 0x80 => t.trim_end(),
+        _ => t,
+    }
+}
+
+/// First index `>= i` in `s` that is not whitespace (`s[i..].trim_start()`
+/// as an index), with the same byte-wise fast path as [`trim_ws`].
+fn skip_ws(s: &str, mut i: usize) -> usize {
+    let b = s.as_bytes();
+    while i < b.len() {
+        match b[i] {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C => i += 1,
+            0x80.. => {
+                let rest = &s[i..];
+                return i + (rest.len() - rest.trim_start().len());
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// `s.chars().all(char::is_whitespace)` with a byte-wise fast path:
+/// bails out at the first non-whitespace ASCII byte (the common case
+/// for real text) and falls back to the exact `char` check only when
+/// a non-ASCII byte appears first.
+fn is_all_whitespace(s: &str) -> bool {
+    for (i, &b) in s.as_bytes().iter().enumerate() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C => {}
+            0x80.. => return s[i..].chars().all(char::is_whitespace),
+            _ => return false,
+        }
+    }
+    true
 }
 
 /// Parses `name="value"` pairs into the reused buffer, resolving names
@@ -572,44 +872,71 @@ fn parse_attrs_into(
     out: &mut AttrBuf,
 ) -> Result<(), String> {
     out.clear();
-    let mut rest = s.trim();
-    while !rest.is_empty() {
-        let eq = rest
-            .find('=')
-            .ok_or_else(|| format!("expected `=` in attributes: `{rest}`"))?;
-        let name = rest[..eq].trim();
-        rest = rest[eq + 1..].trim_start();
-        let quote = rest.chars().next().filter(|&c| c == '"' || c == '\'');
-        let Some(q) = quote else {
-            return Err("expected quoted attribute value".to_string());
+    let s = s.trim_end();
+    let b = s.as_bytes();
+    let mut i = skip_ws(s, 0);
+    while i < b.len() {
+        let eq = match scan::memchr(b'=', &b[i..]) {
+            Some(p) => i + p,
+            None => return Err(format!("expected `=` in attributes: `{}`", &s[i..])),
         };
-        let close = rest[1..].find(q).ok_or("unterminated attribute value")? + 1;
-        let raw = &rest[1..close];
+        let name = trim_ws_end(&s[i..eq]);
+        let j = skip_ws(s, eq + 1);
+        let q = match b.get(j) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err("expected quoted attribute value".to_string()),
+        };
+        let close = match scan::memchr(q, &b[j + 1..]) {
+            Some(p) => j + 1 + p,
+            None => return Err("unterminated attribute value".to_string()),
+        };
+        let raw = &s[j + 1..close];
         let sym = cache.lookup_or_intern(symbols, name, intern_names);
-        if out.has_name_str(name) {
-            return Err(format!("duplicate attribute `{name}`"));
+        // In interning mode distinct names have distinct syms, so the
+        // duplicate check is an integer scan and the name string need
+        // not be copied at all. Only the lookup-only collapse (unknown
+        // names sharing `Sym::UNKNOWN`) requires comparing by text.
+        let value = if intern_names {
+            if out.contains_name(sym) {
+                return Err(format!("duplicate attribute `{name}`"));
+            }
+            out.push_name(sym)
+        } else {
+            if out.has_name_str(name) {
+                return Err(format!("duplicate attribute `{name}`"));
+            }
+            out.push_named(sym, name)
+        };
+        if scan::memchr(b'&', raw.as_bytes()).is_none() {
+            value.push_str(raw);
+        } else {
+            decode_entities_into(raw, value).map_err(|e| e.to_string())?;
         }
-        let value = out.push_named(sym, name);
-        decode_entities_into(raw, value).map_err(|e| e.to_string())?;
-        rest = rest[close + 1..].trim_start();
+        i = skip_ws(s, close + 1);
     }
     Ok(())
 }
 
 /// Parses from any [`BufRead`], pushing events into a [`SaxHandler`]
-/// without materializing the document. Fixed-size read buffer; memory is
-/// bounded by the largest single token.
+/// without materializing the document. Fixed-size read buffer; memory
+/// is bounded by the largest single token. Reads are fed as raw bytes,
+/// so a buffer boundary landing inside a multibyte UTF-8 character is
+/// carried, not an error.
 pub fn parse_reader<R: BufRead, H: SaxHandler>(
     mut reader: R,
     handler: &mut H,
 ) -> Result<(), ParseError> {
     let mut parser = StreamingParser::new();
-    let mut emit = |e: Event| match &e {
-        Event::StartDocument => handler.start_document(),
-        Event::EndDocument => handler.end_document(),
-        Event::StartElement { name, attributes } => handler.start_element(name, attributes),
-        Event::EndElement { name } => handler.end_element(name),
-        Event::Text { content } => handler.text(content),
+    let symbols = Arc::clone(parser.symbols());
+    let mut emit = |ev: SymEvent<'_>, _: Span| {
+        let e = ev.to_owned(&symbols);
+        match &e {
+            Event::StartDocument => handler.start_document(),
+            Event::EndDocument => handler.end_document(),
+            Event::StartElement { name, attributes } => handler.start_element(name, attributes),
+            Event::EndElement { name } => handler.end_element(name),
+            Event::Text { content } => handler.text(content),
+        }
     };
     loop {
         let chunk = reader.fill_buf().map_err(|e| ParseError {
@@ -620,16 +947,11 @@ pub fn parse_reader<R: BufRead, H: SaxHandler>(
         if chunk.is_empty() {
             break;
         }
-        let text = std::str::from_utf8(chunk).map_err(|e| ParseError {
-            message: format!("invalid UTF-8: {e}"),
-            line: 0,
-            column: 0,
-        })?;
         let len = chunk.len();
-        parser.feed(text, &mut emit)?;
+        parser.feed_interned_bytes(chunk, &mut emit)?;
         reader.consume(len);
     }
-    parser.finish(&mut emit)
+    parser.finish_interned(&mut emit)
 }
 
 #[cfg(test)]

@@ -75,54 +75,148 @@ fn utf8_prefix_len(data: &[u8]) -> Result<usize, ParseError> {
     }
 }
 
-/// The shared byte-chunk → `&str`-chunk reader loop every text-based
-/// [`EventSource`] uses: reads fixed-size chunks into `io_chunk`
-/// (grown to 8 KiB on first use, reused afterwards), carries UTF-8
-/// scalars split across read boundaries (at most 3 bytes), and hands
-/// each maximal valid-UTF-8 run to `feed`. Returns after EOF; the
+/// Total byte width of the UTF-8 sequence introduced by `lead`.
+fn scalar_width(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// An incomplete UTF-8 scalar carried across byte-chunk boundaries: at
+/// most 3 bytes of a 2–4-byte sequence, held inline (no allocation).
+///
+/// This is the structural fix for the chunk-boundary UTF-8 bug: every
+/// byte-feeding surface (`feed_interned_bytes` on the three parsers,
+/// [`drive_utf8_chunks`], `parse_reader`) validates UTF-8 **once per
+/// chunk** and parks a split trailing scalar here instead of failing —
+/// or worse, slicing a `&str` mid-scalar — when a read boundary lands
+/// inside a multibyte character.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utf8Carry {
+    tail: [u8; 4],
+    len: u8,
+}
+
+impl Utf8Carry {
+    /// An empty carry.
+    pub const fn new() -> Utf8Carry {
+        Utf8Carry {
+            tail: [0; 4],
+            len: 0,
+        }
+    }
+
+    /// True when no partial scalar is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops any pending partial scalar (per-document reset).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Feeds `chunk`: first completes (and emits) the carried scalar if
+    /// one is pending, then hands the chunk's maximal valid-UTF-8 run
+    /// to `sink`, carrying any new incomplete trailing scalar. Errors
+    /// only on bytes that cannot be part of any valid scalar.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        sink: &mut dyn FnMut(&str) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        if self.len > 0 {
+            let width = scalar_width(self.tail[0]);
+            while (self.len as usize) < width {
+                let Some((&b, rest)) = chunk.split_first() else {
+                    return Ok(());
+                };
+                self.tail[self.len as usize] = b;
+                self.len += 1;
+                chunk = rest;
+            }
+            let scalar = self.tail;
+            self.len = 0;
+            let scalar = std::str::from_utf8(&scalar[..width]).map_err(|e| ParseError {
+                message: format!("invalid UTF-8 in input: {e}"),
+                line: 0,
+                column: 0,
+            })?;
+            sink(scalar)?;
+        }
+        let valid = utf8_prefix_len(chunk)?;
+        if valid > 0 {
+            sink(std::str::from_utf8(&chunk[..valid]).expect("validated prefix"))?;
+        }
+        let tail = &chunk[valid..];
+        self.tail[..tail.len()].copy_from_slice(tail);
+        self.len = tail.len() as u8;
+        Ok(())
+    }
+
+    /// Ends the stream: a carried scalar that never completed is a
+    /// truncation error.
+    pub fn finish(&self) -> Result<(), ParseError> {
+        if self.len == 0 {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: "invalid UTF-8: truncated scalar at end of input".to_string(),
+                line: 0,
+                column: 0,
+            })
+        }
+    }
+}
+
+/// The shared fixed-size read loop every [`EventSource`] driver uses:
+/// reads chunks into `io_chunk` (grown to 8 KiB on first use, reused
+/// afterwards) and hands each raw byte run to `feed` — UTF-8 handling
+/// is the consumer's business (the parsers' `feed_interned_bytes`
+/// carry split scalars via [`Utf8Carry`]). Returns after EOF; the
 /// caller then finishes its own token state.
+pub fn drive_byte_chunks(
+    reader: &mut dyn Read,
+    io_chunk: &mut Vec<u8>,
+    feed: &mut dyn FnMut(&[u8]) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    if io_chunk.is_empty() {
+        io_chunk.resize(8 * 1024, 0);
+    }
+    loop {
+        let n = match reader.read(io_chunk) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(ParseError {
+                    message: format!("read error: {e}"),
+                    line: 0,
+                    column: 0,
+                })
+            }
+        };
+        if n == 0 {
+            return Ok(());
+        }
+        feed(&io_chunk[..n])?;
+    }
+}
+
+/// [`drive_byte_chunks`] decoded to `&str` runs: carries UTF-8 scalars
+/// split across read boundaries (at most 3 bytes) and hands each
+/// maximal valid-UTF-8 run to `feed`. Kept for callers that want text
+/// chunks; the parsers' own drivers feed bytes and carry internally.
 pub fn drive_utf8_chunks(
     reader: &mut dyn Read,
     io_chunk: &mut Vec<u8>,
     feed: &mut dyn FnMut(&str) -> Result<(), ParseError>,
 ) -> Result<(), ParseError> {
-    let io_err = |e: std::io::Error| ParseError {
-        message: format!("read error: {e}"),
-        line: 0,
-        column: 0,
-    };
-    if io_chunk.is_empty() {
-        io_chunk.resize(8 * 1024, 0);
-    }
-    // Incomplete UTF-8 tail carried to the next read (at most 3 bytes).
-    let mut carry: Vec<u8> = Vec::new();
-    loop {
-        let n = match reader.read(io_chunk) {
-            Ok(n) => n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(io_err(e)),
-        };
-        if n == 0 {
-            if !carry.is_empty() {
-                return Err(ParseError {
-                    message: "invalid UTF-8: truncated scalar at end of input".to_string(),
-                    line: 0,
-                    column: 0,
-                });
-            }
-            return Ok(());
-        }
-        if carry.is_empty() {
-            let valid = utf8_prefix_len(&io_chunk[..n])?;
-            feed(std::str::from_utf8(&io_chunk[..valid]).expect("validated prefix"))?;
-            carry.extend_from_slice(&io_chunk[valid..n]);
-        } else {
-            carry.extend_from_slice(&io_chunk[..n]);
-            let valid = utf8_prefix_len(&carry)?;
-            feed(std::str::from_utf8(&carry[..valid]).expect("validated prefix"))?;
-            carry.drain(..valid);
-        }
-    }
+    let mut carry = Utf8Carry::new();
+    drive_byte_chunks(reader, io_chunk, &mut |bytes| carry.feed(bytes, feed))?;
+    carry.finish()
 }
 
 #[cfg(test)]

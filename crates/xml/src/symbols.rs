@@ -67,10 +67,27 @@ impl Hasher for FxHasher {
             let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
             self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
         }
-        let mut tail = 0u64;
-        for (i, &b) in chunks.remainder().iter().enumerate() {
-            tail |= (b as u64) << (8 * i);
-        }
+        // Fold the tail as one little-endian word. Short names (≤ 8
+        // bytes — nearly every XML name) take exactly one fold, and the
+        // 4..=7 case reads two overlapping u32s instead of looping per
+        // byte (the overlap ORs identical bits, so the value equals the
+        // byte-at-a-time fold).
+        let rem = chunks.remainder();
+        let tail = match rem.len() {
+            0 => 0u64,
+            4..=7 => {
+                let head = u32::from_le_bytes(rem[..4].try_into().expect("4 bytes")) as u64;
+                let end = u32::from_le_bytes(rem[rem.len() - 4..].try_into().expect("4 bytes"));
+                head | ((end as u64) << (8 * (rem.len() - 4)))
+            }
+            _ => {
+                let mut t = 0u64;
+                for (i, &b) in rem.iter().enumerate() {
+                    t |= (b as u64) << (8 * i);
+                }
+                t
+            }
+        };
         self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
     }
 
@@ -190,12 +207,20 @@ impl Symbols {
     }
 }
 
-/// A small direct-mapped, lock-free memo for [`Symbols`] lookups,
-/// owned by a single consumer (a filter bank's owned-event conversion
-/// layer). XML documents draw names from a tiny vocabulary, so almost
-/// every per-event lookup hits the cache and costs a short hash plus
-/// one string compare — no table lock at all. Misses fall through to
-/// the shared table and fill the slot (reusing its `String` capacity).
+/// A small 2-way set-associative, lock-free memo for [`Symbols`]
+/// lookups, owned by a single consumer (a filter bank's owned-event
+/// conversion layer). XML documents draw names from a tiny vocabulary,
+/// so almost every per-event lookup hits the cache and costs a short
+/// hash plus one or two string compares — no table lock at all. Misses
+/// fall through to the shared table and fill the set's colder way
+/// (reusing its `String` capacity).
+///
+/// Two ways per set matter: real vocabularies routinely put two hot
+/// names in one hash bucket (an element and the attribute it always
+/// carries, say), and a direct-mapped memo would then *miss on every
+/// single lookup* as the pair evicts each other — paying the table's
+/// read lock per event. With two ways and move-to-front promotion the
+/// alternating pair simply occupies both ways of its set.
 ///
 /// The cache memoizes *lookup* results, including "unknown". A memoed
 /// [`Sym::UNKNOWN`] can go stale when another table user (a parser, a
@@ -206,10 +231,59 @@ impl Symbols {
 /// sym behave identically.
 #[derive(Debug, Clone, Default)]
 pub struct SymCache {
-    slots: Vec<(String, Sym)>,
+    slots: Vec<CacheSlot>,
 }
 
-const SYM_CACHE_SLOTS: usize = 64;
+/// Number of 2-way sets; the memo holds twice this many entries.
+const SYM_CACHE_SETS: usize = 128;
+
+/// Longest name memoized inline. Longer names (rare in real vocabularies)
+/// bypass the memo and pay the shared-table lookup each time.
+const SYM_CACHE_NAME_MAX: usize = 22;
+
+/// One memo entry. The name bytes live inline so a probe is a length
+/// check plus a short `memcmp` — no pointer chase — and a fresh cache
+/// materializes without a single per-name allocation.
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    sym: Sym,
+    /// Name length in bytes; `0` marks an empty slot (empty names
+    /// never enter the memo).
+    len: u8,
+    name: [u8; SYM_CACHE_NAME_MAX],
+}
+
+impl CacheSlot {
+    const EMPTY: CacheSlot = CacheSlot {
+        sym: Sym::UNKNOWN,
+        len: 0,
+        name: [0; SYM_CACHE_NAME_MAX],
+    };
+
+    fn filled(nb: &[u8], sym: Sym) -> CacheSlot {
+        let mut slot = CacheSlot::EMPTY;
+        slot.name[..nb.len()].copy_from_slice(nb);
+        slot.len = nb.len() as u8;
+        slot.sym = sym;
+        slot
+    }
+
+    /// Zero-pads a probe key once so every way comparison is a
+    /// fixed-size array equality (unrolled word compares, no
+    /// variable-length `memcmp` per way). Slot padding bytes are
+    /// always zero ([`CacheSlot::filled`] starts from `EMPTY`), so
+    /// padded equality coincides with prefix equality.
+    fn pad_key(nb: &[u8]) -> [u8; SYM_CACHE_NAME_MAX] {
+        let mut key = [0u8; SYM_CACHE_NAME_MAX];
+        key[..nb.len()].copy_from_slice(nb);
+        key
+    }
+
+    #[inline]
+    fn matches(&self, len: usize, key: &[u8; SYM_CACHE_NAME_MAX]) -> bool {
+        self.len as usize == len && self.name == *key
+    }
+}
 
 /// The raw Fx hash of a byte string (the [`FxHasher`] fold, without
 /// the `Hash`-trait framing).
@@ -227,21 +301,33 @@ impl SymCache {
         SymCache::default()
     }
 
+    /// Index of the first (hotter) way of `name`'s set.
+    fn set_index(name: &str) -> usize {
+        ((fx_hash_bytes(name.as_bytes()) as usize) & (SYM_CACHE_SETS - 1)) * 2
+    }
+
     /// [`Symbols::lookup_or_unknown`] through the memo.
     pub fn lookup(&mut self, symbols: &Symbols, name: &str) -> Sym {
-        if self.slots.is_empty() {
-            self.slots
-                .resize(SYM_CACHE_SLOTS, (String::new(), Sym::UNKNOWN));
+        let nb = name.as_bytes();
+        if nb.is_empty() || nb.len() > SYM_CACHE_NAME_MAX {
+            return symbols.lookup_or_unknown(name);
         }
-        let idx = (fx_hash_bytes(name.as_bytes()) as usize) & (SYM_CACHE_SLOTS - 1);
-        let slot = &mut self.slots[idx];
-        if slot.0 == name && !name.is_empty() {
-            return slot.1;
+        if self.slots.is_empty() {
+            self.slots.resize(SYM_CACHE_SETS * 2, CacheSlot::EMPTY);
+        }
+        let idx = SymCache::set_index(name);
+        let key = CacheSlot::pad_key(nb);
+        if self.slots[idx].matches(nb.len(), &key) {
+            return self.slots[idx].sym;
+        }
+        if self.slots[idx + 1].matches(nb.len(), &key) {
+            self.slots.swap(idx, idx + 1);
+            return self.slots[idx].sym;
         }
         let sym = symbols.lookup_or_unknown(name);
-        slot.0.clear();
-        slot.0.push_str(name);
-        slot.1 = sym;
+        // Fill the colder way, then promote it to the front.
+        self.slots[idx + 1] = CacheSlot::filled(nb, sym);
+        self.slots.swap(idx, idx + 1);
         sym
     }
 
@@ -258,30 +344,36 @@ impl SymCache {
         interned
     }
 
-    /// Forgets every memoized verdict (slot `String` capacity is kept).
+    /// Forgets every memoized verdict (slot storage is kept).
     /// Required after the shared table gains names *behind* a lookup-only
     /// consumer — e.g. a dissemination server compiling a freshly
     /// subscribed query — since a stale memoized [`Sym::UNKNOWN`] would
     /// otherwise hide the now-interned name from that consumer.
     pub fn clear(&mut self) {
-        for slot in &mut self.slots {
-            slot.0.clear();
-            slot.1 = Sym::UNKNOWN;
-        }
+        self.slots.fill(CacheSlot::EMPTY);
     }
 
-    /// Overwrites the memo slot for `name` (used after interning a name
-    /// the cache had memoized as unknown).
+    /// Overwrites the memo entry for `name` (used after interning a
+    /// name the cache had memoized as unknown), leaving it in the hot
+    /// way of its set.
     pub fn insert(&mut self, name: &str, sym: Sym) {
-        if self.slots.is_empty() {
-            self.slots
-                .resize(SYM_CACHE_SLOTS, (String::new(), Sym::UNKNOWN));
+        let nb = name.as_bytes();
+        if nb.is_empty() || nb.len() > SYM_CACHE_NAME_MAX {
+            return;
         }
-        let idx = (fx_hash_bytes(name.as_bytes()) as usize) & (SYM_CACHE_SLOTS - 1);
-        let slot = &mut self.slots[idx];
-        slot.0.clear();
-        slot.0.push_str(name);
-        slot.1 = sym;
+        if self.slots.is_empty() {
+            self.slots.resize(SYM_CACHE_SETS * 2, CacheSlot::EMPTY);
+        }
+        let idx = SymCache::set_index(name);
+        let key = CacheSlot::pad_key(nb);
+        if self.slots[idx].matches(nb.len(), &key) {
+            self.slots[idx].sym = sym;
+            return;
+        }
+        // Hit in the cold way updates in place; a true miss evicts it.
+        // Either way the entry is promoted to the front.
+        self.slots[idx + 1] = CacheSlot::filled(nb, sym);
+        self.slots.swap(idx, idx + 1);
     }
 }
 

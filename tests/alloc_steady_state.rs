@@ -227,4 +227,55 @@ fn interned_hot_path_allocates_nothing_per_element_in_steady_state() {
     json.feed_interned("}", &mut emit).unwrap();
     json.finish_interned(&mut emit).unwrap();
     assert_eq!(filter.result(), Some(true));
+
+    // --- Byte feed: SWAR structural scan + UTF-8 carry. --------------
+    // The raw-byte surface layers chunk UTF-8 validation, the carry for
+    // scalars split across reads, and the structural-index scan on top
+    // of the same drain — none of which may allocate once the index
+    // vector has grown to the chunk's delimiter count. Every iteration
+    // cuts the chunk mid-multibyte-character so the carry is exercised
+    // on the hot path, not just at boundaries.
+    let symbols = Arc::new(Symbols::new());
+    let q = parse_query("/r/i[@a]").unwrap();
+    let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+    let mut filter = StreamFilter::from_compiled(compiled);
+    let mut parser = StreamingParser::with_symbols(Arc::clone(&symbols));
+    let chunk = "<i a=\"1\">caf\u{e9}\u{2022}</i><j/>".as_bytes();
+    let cut = 13; // one byte into the 2-byte `é`
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        parser.feed_interned_bytes(b"<r>", &mut emit).unwrap();
+        for _ in 0..64 {
+            parser
+                .feed_interned_bytes(&chunk[..cut], &mut emit)
+                .unwrap();
+            parser
+                .feed_interned_bytes(&chunk[cut..], &mut emit)
+                .unwrap();
+        }
+    }
+    let before = allocations();
+    {
+        let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+        for _ in 0..steady {
+            parser
+                .feed_interned_bytes(&chunk[..cut], &mut emit)
+                .unwrap();
+            parser
+                .feed_interned_bytes(&chunk[cut..], &mut emit)
+                .unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "byte feed (utf-8 carry + structural scan) must not allocate in \
+         steady state ({} allocations over {steady} chunks)",
+        after - before
+    );
+    let mut emit = emitter(|ev, span| filter.process_sym(ev, span));
+    parser.feed_interned_bytes(b"</r>", &mut emit).unwrap();
+    parser.finish_interned(&mut emit).unwrap();
+    assert_eq!(filter.result(), Some(true));
 }
