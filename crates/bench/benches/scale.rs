@@ -1,0 +1,156 @@
+//! The `scale/*` series: multi-core scale-out throughput at 1/2/4/8
+//! threads, aggregate MB/s over the full parse→filter pipeline.
+//!
+//! * `scale/doc-sharded/{N}` — a corpus of many small XMark documents
+//!   fanned across N worker threads via `Engine::run_sharded` (each
+//!   worker a full cloned session with a frozen-snapshot parser). The
+//!   embarrassingly-parallel axis: MB/s should scale near-linearly
+//!   until memory bandwidth bites.
+//! * `scale/bank-sharded/{K}` — one large document against a 1024-query
+//!   shared-prefix bank partitioned into K shard banks fed from a
+//!   single parse through the broadcast `BatchRing`. Scales the
+//!   per-event bank work, not the parse (which stays serial), so the
+//!   ceiling is lower — Amdahl applies to the parse fraction.
+//!
+//! Measured numbers are appended to `BENCH_throughput.json` at the repo
+//! root. `tests/sharded_differential.rs` proves the outputs are
+//! thread-count-invariant; this file prices them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fx_engine::{Engine, IndexPolicy};
+use fx_workloads as wl;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn xmark_corpus(docs: usize, scale: usize) -> Vec<String> {
+    (0..docs)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(42 + i as u64);
+            wl::auction_site(
+                &mut rng,
+                &wl::XmarkConfig {
+                    items: 10 * scale,
+                    auctions: 6 * scale,
+                    people: 5 * scale,
+                    category_depth: 4,
+                },
+            )
+            .to_xml()
+        })
+        .collect()
+}
+
+/// Document sharding: N threads over a 64-document XMark corpus.
+fn bench_doc_sharded(c: &mut Criterion) {
+    let corpus = xmark_corpus(64, 2);
+    let bytes: u64 = corpus.iter().map(|d| d.len() as u64).sum();
+    let engine = Engine::builder()
+        .query_str("//item[price > 300]")
+        .query_str("/site/people/person[name]")
+        .query_str("//keyword")
+        .build()
+        .unwrap();
+
+    let mut group = c.benchmark_group("scale/doc-sharded");
+    group.throughput(Throughput::Bytes(bytes));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let verdicts = engine.run_sharded(&corpus, threads).unwrap();
+                    verdicts.iter().filter(|v| v.any()).count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Bank sharding: one ~1 MB shared-prefix document against a
+/// 1024-query bank split into K shard banks.
+fn bench_bank_sharded(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0xBEC + 1024);
+    let bank = wl::random_shared_prefix_bank(
+        &mut rng,
+        &wl::SharedPrefixBankConfig {
+            families: 64,
+            queries_per_family: 16,
+            prefix_depth: 3,
+            cross_family_tails: false,
+        },
+    );
+    let xml = bank.document_repeated(&[0, 1], 4, 8, 32);
+    let engine = Engine::builder()
+        .queries(bank.queries.iter().cloned())
+        .index(IndexPolicy::SharedPrefix)
+        .build()
+        .unwrap();
+
+    let mut group = c.benchmark_group("scale/bank-sharded");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let out = engine.run_bank_sharded(xml.as_bytes(), shards).unwrap();
+                    out.matched().iter().filter(|&&m| m).count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The acceptance gate: on a ≥4-way machine, document sharding at 4
+/// threads must deliver at least 3× the single-thread throughput on
+/// the embarrassingly-parallel corpus. Skipped in smoke (`--test`)
+/// mode and on narrower machines (CI containers are often 1–2 wide),
+/// where the ratio measures the scheduler, not the architecture.
+fn speedup_gate(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if smoke || width < 4 {
+        eprintln!("scale/speedup-gate: skipped (smoke={smoke}, parallelism={width})");
+        return;
+    }
+    let corpus = xmark_corpus(64, 2);
+    let engine = Engine::builder()
+        .query_str("//item[price > 300]")
+        .query_str("/site/people/person[name]")
+        .query_str("//keyword")
+        .build()
+        .unwrap();
+    let time = |threads: usize| {
+        engine.run_sharded(&corpus, threads).unwrap(); // warm
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                engine.run_sharded(&corpus, threads).unwrap();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let t1 = time(1);
+    let t4 = time(4);
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    eprintln!("scale/speedup-gate: 1→4 threads speedup {speedup:.2}× (parallelism {width})");
+    assert!(
+        speedup >= 3.0,
+        "document sharding must reach ≥3× at 4 threads on a {width}-wide \
+         machine; measured {speedup:.2}× ({t1:?} → {t4:?})"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_doc_sharded, bench_bank_sharded, speedup_gate
+}
+criterion_main!(benches);

@@ -190,6 +190,20 @@ impl SubscriptionId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs an id from its raw value ([`SubscriptionId::as_u64`]).
+    ///
+    /// Ids are assigned by [`IndexedBank::subscribe`] as the
+    /// deterministic sequence 0, 1, 2, … (incremented only on success),
+    /// so a coordinator that mirrors the subscribe stream — the sharded
+    /// server broadcasting one churn command to N workers — can predict
+    /// the id every replica will assign and hand it to callers without
+    /// waiting for a worker round-trip. Constructing an id the bank
+    /// never issued is safe: every lookup treats unknown ids as
+    /// already-withdrawn.
+    pub fn from_raw(raw: u64) -> SubscriptionId {
+        SubscriptionId(raw)
+    }
 }
 
 impl std::fmt::Display for SubscriptionId {
@@ -400,6 +414,15 @@ pub struct IndexedBank {
     /// Whether residuals share the canonical-form pool (false only for
     /// the unpooled differential-testing reference).
     pooled: bool,
+    /// Per-group ownership mask of a bank shard produced by
+    /// [`IndexedBank::partition`] (`None` for every unsharded bank:
+    /// the bank owns all of its groups). A shard runs the shared trie
+    /// walk and the dormancy bookkeeping for **every** group — that is
+    /// what keeps its record/dormant trajectories, and hence the
+    /// shared-segment space accounting, identical to the unsharded
+    /// bank's — but spawns residual instances, confirms terminals and
+    /// routes matches only for the groups it owns.
+    shard_owned: Option<Vec<bool>>,
 
     // -- per-document state -------------------------------------------------
     /// The shared frontier segment: one record per open occurrence of a
@@ -513,6 +536,46 @@ impl IndexSpaceStats {
             self.activations as f64 / self.events as f64
         }
     }
+
+    /// Combines per-shard stats from an [`IndexedBank::partition`] run
+    /// over one event stream into the figures of the equivalent
+    /// unsharded bank. Field by field:
+    ///
+    /// - `residual_bits` and `activations` **sum** — each group's
+    ///   instances live in exactly one shard, and its owning shard's
+    ///   trajectory for them is event-for-event the unsharded one, so
+    ///   both sums are exact (in reporting *and* filtering mode).
+    /// - `shared_trie_bits`, `peak_records`, `events`, `groups` and
+    ///   `residual_pool` take the **max** — every shard walks the same
+    ///   shared segment over the same stream, so in reporting mode all
+    ///   shards agree and the max is the exact common value. (In
+    ///   filtering mode a non-owning shard may retain dormancy entries
+    ///   past a group's accept, so the max can exceed the unsharded
+    ///   `shared_trie_bits`, never undershoot it.)
+    /// - `peak_instances` **sums**, which is an upper bound, not the
+    ///   exact unsharded figure: per-shard peaks may occur at
+    ///   different events, and a sum of per-shard maxima bounds the
+    ///   maximum of the sum from above. The exact joint peak is not
+    ///   recoverable from per-shard summaries.
+    /// - `total_bits` is recomputed as `shared_trie_bits +
+    ///   residual_bits` of the merged figures.
+    ///
+    /// Merging an empty slice yields the default (all-zero) stats.
+    pub fn merge_sharded(shards: &[IndexSpaceStats]) -> IndexSpaceStats {
+        let mut out = IndexSpaceStats::default();
+        for s in shards {
+            out.shared_trie_bits = out.shared_trie_bits.max(s.shared_trie_bits);
+            out.residual_bits += s.residual_bits;
+            out.peak_records = out.peak_records.max(s.peak_records);
+            out.peak_instances += s.peak_instances;
+            out.activations += s.activations;
+            out.events = out.events.max(s.events);
+            out.groups = out.groups.max(s.groups);
+            out.residual_pool = out.residual_pool.max(s.residual_pool);
+        }
+        out.total_bits = out.shared_trie_bits + out.residual_bits;
+        out
+    }
 }
 
 impl IndexedBank {
@@ -606,6 +669,7 @@ impl IndexedBank {
             symbols,
             reporting,
             pooled,
+            shard_owned: None,
             records: Vec::new(),
             instances: Vec::new(),
             scratch_activated: Vec::new(),
@@ -646,7 +710,18 @@ impl IndexedBank {
     /// Call between documents: the new query takes effect at the next
     /// `StartDocument` (mid-document calls are safe but the query's
     /// view of the in-flight document is partial).
+    ///
+    /// # Panics
+    ///
+    /// On a shard produced by [`IndexedBank::partition`]: shards are
+    /// read-only snapshots of the parent's subscription set (churn
+    /// would desynchronize the group-ownership masks). Churn the
+    /// parent bank, then re-partition.
     pub fn subscribe(&mut self, q: &Query) -> Result<SubscriptionId, UnsupportedQuery> {
+        assert!(
+            self.shard_owned.is_none(),
+            "subscribe on a bank shard: churn the parent bank and re-partition"
+        );
         let id = SubscriptionId(self.next_sub);
         self.insert_slot(q, id, None)?;
         self.next_sub += 1;
@@ -670,7 +745,16 @@ impl IndexedBank {
     /// [`CompactionPolicy`]).
     ///
     /// Returns `false` for unknown or already-withdrawn ids.
+    ///
+    /// # Panics
+    ///
+    /// On a shard produced by [`IndexedBank::partition`] (see
+    /// [`IndexedBank::subscribe`]).
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        assert!(
+            self.shard_owned.is_none(),
+            "unsubscribe on a bank shard: churn the parent bank and re-partition"
+        );
         let Some(slot) = self.subs.remove(&id.0) else {
             return false;
         };
@@ -715,7 +799,17 @@ impl IndexedBank {
     /// Only effective between documents (mid-document calls return
     /// `false` and change nothing). Returns `true` when a rebuild
     /// happened.
+    ///
+    /// # Panics
+    ///
+    /// On a shard produced by [`IndexedBank::partition`] (the rebuild
+    /// renumbers groups, which would desynchronize the ownership
+    /// mask); see [`IndexedBank::subscribe`].
     pub fn compact(&mut self) -> bool {
+        assert!(
+            self.shard_owned.is_none(),
+            "compact on a bank shard: churn the parent bank and re-partition"
+        );
         // "Between documents" ⇔ nothing processed yet, or the last
         // document ran to `EndDocument`.
         if self.dead_slots == 0 || !(self.events == 0 || self.finished) {
@@ -801,6 +895,127 @@ impl IndexedBank {
         {
             self.compact();
         }
+    }
+
+    // -- bank sharding ------------------------------------------------------
+
+    /// Splits the bank into `shards` sub-banks for parallel evaluation
+    /// of **one** event stream: each shard is a full structural clone
+    /// (same trie, groups, residual pool and symbol table) carrying a
+    /// group-ownership mask, with every group owned by exactly one
+    /// shard (greedily balanced by member count). Feed the identical
+    /// interned event sequence to every shard — on separate threads,
+    /// via `fx_xml::EventBatch` broadcast — then combine: per-slot
+    /// verdicts and matches come from the shard that
+    /// [`IndexedBank::owns_slot`], and per-shard
+    /// [`IndexedBank::space_stats`] merge through
+    /// [`IndexSpaceStats::merge_sharded`].
+    ///
+    /// **Equivalence.** Every shard runs the shared trie walk and the
+    /// dormancy bookkeeping for all groups — the shared-segment
+    /// trajectory (records *and* dormant activations) is identical in
+    /// every shard and identical to this bank's, so in reporting mode
+    /// `shared_trie_bits`/`peak_records` are exact, not estimates.
+    /// Only residual-instance spawning, terminal confirmation and
+    /// match routing are gated by ownership, so each group's
+    /// instance-side behaviour (verdicts, matches, `peak_bits`,
+    /// activation counts) in its owning shard is event-for-event what
+    /// the unsharded bank computes. In filtering mode the accepted-
+    /// group short-circuit is ownership-local — a non-owning shard
+    /// keeps dormancy entries the unsharded bank would have dropped
+    /// after the group accepted — so a shard's `shared_trie_bits` may
+    /// exceed (never undershoot) the unsharded figure; verdicts are
+    /// unaffected.
+    ///
+    /// Shards are read-only snapshots of the subscription set: churn
+    /// ([`IndexedBank::subscribe`] / [`IndexedBank::unsubscribe`] /
+    /// [`IndexedBank::compact`]) panics on a shard — churn the parent
+    /// and re-partition. Per-document state and statistics are reset
+    /// in every shard, so merged stats account exactly the documents
+    /// processed after the split. Call between documents.
+    ///
+    /// `shards` is clamped to at least 1; asking for more shards than
+    /// live groups yields trailing shards that own nothing (they still
+    /// track the shared segment — harmless, but wasted work).
+    pub fn partition(&self, shards: usize) -> Vec<IndexedBank> {
+        let shards = shards.max(1);
+        // Greedy balance: heaviest group first, onto the lightest
+        // shard. Weight 1 + |members| — a group costs its instance
+        // churn plus per-member match fan-out; tombstoned groups
+        // weigh nothing and are skipped at every activation site
+        // anyway.
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(self.groups[g].members.len()));
+        let mut load = vec![0usize; shards];
+        let mut owner = vec![0usize; self.groups.len()];
+        for g in order {
+            let lightest = (0..shards).min_by_key(|&s| load[s]).unwrap_or(0);
+            owner[g] = lightest;
+            if !self.groups[g].members.is_empty() {
+                load[lightest] += 1 + self.groups[g].members.len();
+            }
+        }
+        (0..shards)
+            .map(|s| {
+                let mut shard = self.clone();
+                shard.shard_owned = Some(owner.iter().map(|&o| o == s).collect());
+                shard.reset_processing_state();
+                shard
+            })
+            .collect()
+    }
+
+    /// Whether this bank owns group `g` — always true for an
+    /// unsharded bank, and true for exactly one shard of a
+    /// [`IndexedBank::partition`] per group.
+    #[inline]
+    fn owns_group(&self, g: usize) -> bool {
+        match &self.shard_owned {
+            None => true,
+            Some(mask) => mask[g],
+        }
+    }
+
+    /// Whether this bank owns the group of slot `slot` — the shard
+    /// whose [`IndexedBank::results`] entry, routed matches and
+    /// per-group statistics are authoritative for that query. Always
+    /// true for an unsharded bank.
+    pub fn owns_slot(&self, slot: usize) -> bool {
+        self.owns_group(self.query_group[slot] as usize)
+    }
+
+    /// Whether this bank is a shard of an [`IndexedBank::partition`].
+    pub fn is_shard(&self) -> bool {
+        self.shard_owned.is_some()
+    }
+
+    /// Clears per-document evaluation state and zeroes every
+    /// statistic, so a freshly partitioned shard accounts only what
+    /// it processes after the split.
+    fn reset_processing_state(&mut self) {
+        self.records.clear();
+        while let Some(inst) = self.instances.pop() {
+            self.recycle(inst);
+        }
+        self.dormant.clear();
+        self.open_terminals.clear();
+        self.scratch_activated.clear();
+        self.current_level = 0;
+        self.element_ordinal = 0;
+        self.finished = false;
+        self.group_true.fill(false);
+        for s in &mut self.emitted {
+            s.clear();
+        }
+        self.peak_bits.fill(0);
+        self.live_bits.fill(0);
+        self.peak_pending.fill(0);
+        self.live_pending.fill(0);
+        self.peak_records = 0;
+        self.peak_trie_bits = 0;
+        self.peak_instances = 0;
+        self.activations = 0;
+        self.events = 0;
     }
 
     /// The shared insertion path of [`IndexedBank::subscribe`] and
@@ -1442,6 +1657,9 @@ impl IndexedBank {
                 if self.groups[g as usize].members.is_empty() {
                     continue; // tombstoned, awaiting compaction
                 }
+                if !self.owns_group(g as usize) {
+                    continue; // another shard confirms this group
+                }
                 if self.reporting {
                     self.open_terminals
                         .push((lvl, g, self.element_ordinal, span.start));
@@ -1595,6 +1813,13 @@ impl IndexedBank {
                 continue;
             }
             self.dormant.swap_remove(di);
+            // A shard tracks dormancy for every group (shared-segment
+            // parity) but wakes instances only for its own: the entry
+            // is consumed exactly when the unsharded bank would
+            // consume it, and the owning shard does the work.
+            if !self.owns_group(g) {
+                continue;
+            }
             let idx =
                 self.spawn_instance_at(d.group, self.element_ordinal, d.root_level, rel as usize);
             self.feed_one(idx, event, span, sink);

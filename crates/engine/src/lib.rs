@@ -130,9 +130,11 @@ mod builder;
 mod error;
 mod evaluator;
 mod session;
+mod sharded;
 
 pub use builder::{Backend, Engine, EngineBuilder, IndexPolicy, Mode};
 pub use error::EngineError;
 pub use evaluator::Evaluator;
 pub use fx_core::{IndexSpaceStats, Match, MatchSink};
 pub use session::{MatchCollector, Outcome, Session, Verdicts};
+pub use sharded::{BankShardedOutcome, BatchRing};

@@ -153,10 +153,38 @@ impl Session {
     /// lookup-only reader path memoizes unknown-name verdicts, and a new
     /// subscription can intern names an earlier document already
     /// memoized as unknown. No-op when no reader has run yet.
+    ///
+    /// On a [`Session::freeze_parser`] session this additionally
+    /// re-takes the frozen symbol snapshot, so names the churn interned
+    /// become visible to this session's reader. In a multi-worker pool
+    /// every worker session must refresh its *own* memo when it applies
+    /// a churn command — another worker's refresh does nothing for this
+    /// one (see the multi-worker caveat on `fx_xml::SymCache`).
     pub fn refresh_symbol_memo(&mut self) {
         if let Some(parser) = &mut self.parser {
             parser.invalidate_name_memo();
         }
+    }
+
+    /// Switches the session's warm reader onto a **frozen snapshot** of
+    /// the engine's symbol table ([`fx_xml::SymbolsSnapshot`]): from the
+    /// next document on, the reader path resolves names lock-free
+    /// against the snapshot instead of read-locking the shared table.
+    /// This is the per-worker mode of the sharded runners
+    /// ([`crate::Engine::run_sharded`] and the sharded dissemination
+    /// server), where N sessions parse concurrently against one engine
+    /// — the engine-owned mutable table stays single-writer while
+    /// worker reads touch no lock at all.
+    ///
+    /// The snapshot is a point-in-time view: after subscribing queries
+    /// on a live bank, call [`Session::refresh_symbol_memo`] to re-take
+    /// it (churn is the only event that grows the table, since frozen
+    /// readers run lookup-only).
+    pub fn freeze_parser(&mut self) {
+        let parser = self.parser.take().unwrap_or_else(|| {
+            StreamingParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
+        });
+        self.parser = Some(parser.frozen());
     }
 
     /// Number of registered queries.

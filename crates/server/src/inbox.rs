@@ -1,0 +1,110 @@
+//! The shared mailbox between handles and a worker thread: an unbounded
+//! command queue plus a *bounded* document queue whose fullness blocks
+//! publishers. Generic over the command and document types so the
+//! single-worker [`crate::DisseminationServer`] and the per-worker
+//! queues of [`crate::ShardedServer`] share one tested implementation.
+
+use crate::ServerError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One unit of worker work: all pending commands, or one document —
+/// never both (commands apply before documents, and the stats barrier
+/// depends on draining the document queue itself).
+pub(crate) type WorkBatch<C, D> = (Vec<C>, Option<D>);
+
+pub(crate) struct Inbox<C, D> {
+    state: Mutex<InboxState<C, D>>,
+    /// Worker-side: signalled when work (commands, documents, shutdown)
+    /// arrives.
+    work: Condvar,
+    /// Publisher-side: signalled when a document slot frees up.
+    space: Condvar,
+}
+
+struct InboxState<C, D> {
+    cmds: VecDeque<C>,
+    docs: VecDeque<D>,
+    doc_cap: usize,
+    shutdown: bool,
+}
+
+impl<C, D> Inbox<C, D> {
+    pub(crate) fn new(doc_cap: usize) -> Inbox<C, D> {
+        Inbox {
+            state: Mutex::new(InboxState {
+                cmds: VecDeque::new(),
+                docs: VecDeque::new(),
+                doc_cap: doc_cap.max(1),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Queues a command unless the server is shutting down.
+    pub(crate) fn command(&self, cmd: C) -> Result<(), ServerError> {
+        let mut st = self.state.lock().unwrap();
+        if st.shutdown {
+            return Err(ServerError::Closed);
+        }
+        st.cmds.push_back(cmd);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Queues a document, blocking while the queue is at capacity.
+    pub(crate) fn publish(&self, doc: D) -> Result<(), ServerError> {
+        let mut st = self.state.lock().unwrap();
+        while st.docs.len() >= st.doc_cap && !st.shutdown {
+            st = self.space.wait(st).unwrap();
+        }
+        if st.shutdown {
+            return Err(ServerError::Closed);
+        }
+        st.docs.push_back(doc);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Worker side: blocks for work, then takes *all* pending commands
+    /// — or, when none are queued, one document. Commands and documents
+    /// are never batched together: the stats barrier drains the document
+    /// queue itself, so it must still hold whatever was published before
+    /// it. Returns `None` when the server is shut down and fully
+    /// drained.
+    pub(crate) fn take_work(&self) -> Option<WorkBatch<C, D>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.cmds.is_empty() {
+                return Some((st.cmds.drain(..).collect(), None));
+            }
+            if let Some(doc) = st.docs.pop_front() {
+                self.space.notify_one();
+                return Some((Vec::new(), Some(doc)));
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.work.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking: pops one pending document if there is one (used by
+    /// the stats barrier to drain the queue).
+    pub(crate) fn take_doc(&self) -> Option<D> {
+        let mut st = self.state.lock().unwrap();
+        let doc = st.docs.pop_front();
+        if doc.is_some() {
+            self.space.notify_one();
+        }
+        doc
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}

@@ -71,11 +71,14 @@
 
 #![warn(missing_docs)]
 
+mod inbox;
 mod service;
+mod sharded;
 mod sub;
 
 pub use fx_core::{CompactionPolicy, SubscriptionId, UnsupportedQuery};
 pub use service::{DisseminationServer, ServerHandle, ServerStats};
+pub use sharded::{ShardedHandle, ShardedServer};
 pub use sub::{Delivery, Subscription};
 
 /// Construction-time knobs for [`DisseminationServer::start`].

@@ -2,16 +2,17 @@
 //! that owns the engine session, applies churn at document boundaries,
 //! and fans matches out per subscriber.
 
+use crate::inbox::Inbox;
 use crate::sub::{Delivery, SubShared, Subscription};
 use crate::{ServerConfig, ServerError};
 use fx_core::{IndexedBank, Match, MatchSink, SubscriptionId, UnsupportedQuery};
 use fx_engine::Session;
 use fx_xml::Symbols;
 use fx_xpath::Query;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One queued churn / introspection operation. Commands are applied by
@@ -32,111 +33,6 @@ enum Command {
     Stats {
         reply: SyncSender<ServerStats>,
     },
-}
-
-/// The shared mailbox between handles and the worker: a command queue
-/// (unbounded — churn ops are small and must not deadlock against a
-/// full document queue) and a *bounded* document queue whose fullness
-/// blocks publishers.
-/// One unit of worker work: all pending commands, or one document —
-/// never both (commands apply before documents, and the stats barrier
-/// depends on draining the document queue itself).
-type WorkBatch = (Vec<Command>, Option<Arc<[u8]>>);
-
-struct Inbox {
-    state: Mutex<InboxState>,
-    /// Worker-side: signalled when work (commands, documents, shutdown)
-    /// arrives.
-    work: Condvar,
-    /// Publisher-side: signalled when a document slot frees up.
-    space: Condvar,
-}
-
-struct InboxState {
-    cmds: VecDeque<Command>,
-    docs: VecDeque<Arc<[u8]>>,
-    doc_cap: usize,
-    shutdown: bool,
-}
-
-impl Inbox {
-    fn new(doc_cap: usize) -> Inbox {
-        Inbox {
-            state: Mutex::new(InboxState {
-                cmds: VecDeque::new(),
-                docs: VecDeque::new(),
-                doc_cap: doc_cap.max(1),
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            space: Condvar::new(),
-        }
-    }
-
-    /// Queues a command unless the server is shutting down.
-    fn command(&self, cmd: Command) -> Result<(), ServerError> {
-        let mut st = self.state.lock().unwrap();
-        if st.shutdown {
-            return Err(ServerError::Closed);
-        }
-        st.cmds.push_back(cmd);
-        self.work.notify_one();
-        Ok(())
-    }
-
-    /// Queues a document, blocking while the queue is at capacity.
-    fn publish(&self, doc: Arc<[u8]>) -> Result<(), ServerError> {
-        let mut st = self.state.lock().unwrap();
-        while st.docs.len() >= st.doc_cap && !st.shutdown {
-            st = self.space.wait(st).unwrap();
-        }
-        if st.shutdown {
-            return Err(ServerError::Closed);
-        }
-        st.docs.push_back(doc);
-        self.work.notify_one();
-        Ok(())
-    }
-
-    /// Worker side: blocks for work, then takes *all* pending commands
-    /// — or, when none are queued, one document. Commands and documents
-    /// are never batched together: the stats barrier drains the document
-    /// queue itself, so it must still hold whatever was published before
-    /// it. Returns `None` when the server is shut down and fully
-    /// drained.
-    fn take_work(&self) -> Option<WorkBatch> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if !st.cmds.is_empty() {
-                return Some((st.cmds.drain(..).collect(), None));
-            }
-            if let Some(doc) = st.docs.pop_front() {
-                self.space.notify_one();
-                return Some((Vec::new(), Some(doc)));
-            }
-            if st.shutdown {
-                return None;
-            }
-            st = self.work.wait(st).unwrap();
-        }
-    }
-
-    /// Non-blocking: pops one pending document if there is one (used by
-    /// the stats barrier to drain the queue).
-    fn take_doc(&self) -> Option<Arc<[u8]>> {
-        let mut st = self.state.lock().unwrap();
-        let doc = st.docs.pop_front();
-        if doc.is_some() {
-            self.space.notify_one();
-        }
-        doc
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().shutdown = true;
-        self.work.notify_all();
-        self.space.notify_all();
-    }
 }
 
 /// A cumulative snapshot of the server's activity, taken at a document
@@ -227,7 +123,7 @@ impl MatchSink for FanOut<'_> {
 /// The worker: exclusive owner of the engine session (bank + symbol
 /// table + warm parser) and all subscriber routing state.
 struct Worker {
-    inbox: Arc<Inbox>,
+    inbox: Arc<Inbox<Command, Arc<[u8]>>>,
     session: Session,
     /// Live subscribers by id; the only lasting owner of each delivery
     /// sender.
@@ -395,7 +291,7 @@ impl Worker {
 /// A running dissemination service: one worker thread owning the engine,
 /// fed through [`ServerHandle`]s. See the crate docs for the full model.
 pub struct DisseminationServer {
-    inbox: Arc<Inbox>,
+    inbox: Arc<Inbox<Command, Arc<[u8]>>>,
     mailbox_capacity: usize,
     worker: JoinHandle<ServerStats>,
 }
@@ -458,7 +354,7 @@ impl std::fmt::Debug for DisseminationServer {
 /// clone; every clone feeds the same worker.
 #[derive(Clone)]
 pub struct ServerHandle {
-    inbox: Arc<Inbox>,
+    inbox: Arc<Inbox<Command, Arc<[u8]>>>,
     mailbox_capacity: usize,
 }
 

@@ -1,0 +1,721 @@
+//! The multi-core dissemination service: N worker threads, each owning
+//! a full engine session over **one shared symbol table**, documents
+//! fanned out round-robin by sequence number, deliveries merged back
+//! into a single stable `doc_seq` order per subscriber.
+//!
+//! ## Why a shadow bank
+//!
+//! Every worker holds its own [`IndexedBank`] clone of the same
+//! subscription set, so churn must produce the *same*
+//! [`SubscriptionId`] in all of them. Ids are deterministic (0, 1, 2, …
+//! in subscribe order, never recycled), so the coordinator keeps a
+//! **shadow bank** — subscribe-only, it never sees a document — that
+//! assigns the id and validates the query *before* the command is
+//! broadcast; workers then apply the same subscribe and are guaranteed
+//! to agree (`expect`, not error-plumbing, on the worker side).
+//!
+//! ## Why delivery ordering holds
+//!
+//! The merger thread owns every subscriber outlet. Coordinator churn
+//! sends `Register`/`Deregister` *before* broadcasting the matching
+//! bank command to workers, and `std::sync::mpsc` is one FIFO queue —
+//! so a report that mentions a subscription can never overtake its
+//! registration. Worker reports carry the document's global sequence
+//! number; the merger holds a reorder buffer and releases deliveries
+//! strictly in publish order, so a subscriber observes the same
+//! `doc_seq`-sorted stream a single-worker server would produce.
+//!
+//! ## Deadlock discipline
+//!
+//! The merger never takes the churn lock. A departed subscriber
+//! (receiver dropped) is detected on delivery, its outlet dropped
+//! immediately, and its id parked on a lock-free-enough side list that
+//! the *next* churn or stats operation sweeps into real
+//! auto-unsubscribes. The stats barrier can therefore hold the churn
+//! lock while waiting on workers and merger without any cycle.
+
+use crate::inbox::Inbox;
+use crate::sub::{Delivery, SubShared, Subscription};
+use crate::{ServerConfig, ServerError, ServerStats};
+use fx_core::{IndexedBank, Match, SubscriptionId};
+use fx_engine::Session;
+use fx_xml::{Span, Symbols};
+use fx_xpath::Query;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A churn / introspection command broadcast to every shard worker.
+/// Pre-validated by the coordinator's shadow bank, so workers carry no
+/// reply channels (except the stats barrier).
+enum ShardCommand {
+    Subscribe { query: Query },
+    Unsubscribe { id: SubscriptionId },
+    Compact,
+    Stats { reply: SyncSender<WorkerStats> },
+}
+
+/// The per-worker slice of the final [`ServerStats`]. Cumulative —
+/// a stats barrier clones it, never resets it.
+#[derive(Default, Clone)]
+struct WorkerStats {
+    documents: u64,
+    parse_errors: u64,
+}
+
+/// What one worker reports for one processed document.
+struct DocReport {
+    seq: u64,
+    document: Arc<[u8]>,
+    /// Matches already resolved to subscription ids (slots are
+    /// worker-local; ids are global).
+    matches: Vec<(SubscriptionId, u64, Span)>,
+}
+
+enum MergerMsg {
+    Register {
+        id: SubscriptionId,
+        outlet: Outlet,
+    },
+    Deregister {
+        id: SubscriptionId,
+    },
+    Report(DocReport),
+    /// Stats barrier: by FIFO ordering, every report sent before this
+    /// point has been processed when the reply arrives.
+    Flush {
+        reply: SyncSender<MergerStats>,
+    },
+}
+
+#[derive(Default, Clone)]
+struct MergerStats {
+    deliveries: u64,
+    dropped_deliveries: u64,
+}
+
+/// The merger-side end of one subscription (same shape as the
+/// single-worker server's outlet, owned by the merger thread only).
+struct Outlet {
+    tx: SyncSender<Delivery>,
+    shared: Arc<SubShared>,
+}
+
+type WorkerInbox = Inbox<ShardCommand, (u64, Arc<[u8]>)>;
+
+/// Coordinator-side churn state, guarded by one mutex so subscribe /
+/// unsubscribe / compact / stats are serialized (documents are not —
+/// publishing never takes this lock).
+struct ChurnState {
+    /// Subscribe-only twin of every worker's bank: assigns ids,
+    /// validates queries, carries the live/compaction/residual
+    /// counters.
+    shadow: IndexedBank,
+    /// Coordinator's sender to the merger; `None` once shutdown has
+    /// taken it (dropping it is half of the merger's exit condition).
+    merger_tx: Option<Sender<MergerMsg>>,
+    subscribes: u64,
+    unsubscribes: u64,
+    auto_unsubscribes: u64,
+}
+
+struct SharedState {
+    inboxes: Vec<Arc<WorkerInbox>>,
+    seq: AtomicU64,
+    churn: Mutex<ChurnState>,
+    /// Ids whose receivers vanished, parked by the merger for the next
+    /// churn-lock holder to sweep into auto-unsubscribes.
+    disconnected: Arc<Mutex<Vec<SubscriptionId>>>,
+    mailbox_capacity: usize,
+}
+
+impl SharedState {
+    /// Must hold the churn lock. Turns merger-detected departures into
+    /// real withdrawals (shadow + every worker + dereg bookkeeping).
+    fn sweep_disconnected(&self, churn: &mut ChurnState) {
+        let gone: Vec<SubscriptionId> = std::mem::take(&mut *self.disconnected.lock().unwrap());
+        for id in gone {
+            if !churn.shadow.unsubscribe(id) {
+                continue; // explicitly unsubscribed in the meantime
+            }
+            if let Some(tx) = &churn.merger_tx {
+                let _ = tx.send(MergerMsg::Deregister { id });
+            }
+            for inbox in &self.inboxes {
+                let _ = inbox.command(ShardCommand::Unsubscribe { id });
+            }
+            churn.unsubscribes += 1;
+            churn.auto_unsubscribes += 1;
+        }
+    }
+}
+
+/// One shard worker: a full engine session (cloned subscription set,
+/// shared symbol table, frozen-snapshot parser) processing every
+/// `seq % workers == index` document.
+struct ShardWorker {
+    inbox: Arc<WorkerInbox>,
+    session: Session,
+    merger: Sender<MergerMsg>,
+    stats: WorkerStats,
+}
+
+impl ShardWorker {
+    fn bank(&mut self) -> &mut IndexedBank {
+        self.session
+            .indexed_bank_mut()
+            .expect("shard workers always wrap an indexed bank")
+    }
+
+    fn run(mut self) -> WorkerStats {
+        while let Some((cmds, doc)) = self.inbox.take_work() {
+            for cmd in cmds {
+                self.apply(cmd);
+            }
+            if let Some(doc) = doc {
+                self.process(doc);
+            }
+        }
+        self.stats
+    }
+
+    fn apply(&mut self, cmd: ShardCommand) {
+        match cmd {
+            ShardCommand::Subscribe { query } => {
+                self.bank()
+                    .subscribe(&query)
+                    .expect("validated by the coordinator's shadow bank");
+                // The shadow's compile interned this query's names into
+                // the shared table *before* the broadcast, but an
+                // earlier document may have memoized them UNKNOWN in
+                // this worker's frozen parser — re-take the snapshot.
+                self.session.refresh_symbol_memo();
+            }
+            ShardCommand::Unsubscribe { id } => {
+                self.bank().unsubscribe(id);
+            }
+            ShardCommand::Compact => {
+                self.bank().compact();
+            }
+            ShardCommand::Stats { reply } => {
+                // Barrier: drain this worker's own document queue so the
+                // snapshot reflects everything published before the call.
+                while let Some(doc) = self.inbox.take_doc() {
+                    self.process(doc);
+                }
+                let _ = reply.send(self.stats.clone());
+            }
+        }
+    }
+
+    fn process(&mut self, (seq, doc): (u64, Arc<[u8]>)) {
+        let mut raw: Vec<Match> = Vec::new();
+        let result = self
+            .session
+            .run_reader_to(&doc[..], &mut |m: Match| raw.push(m));
+        // Slot → id mapping happens *after* the run (the session is
+        // exclusively borrowed during it) and before the report leaves
+        // this thread; slots are worker-local and may renumber on
+        // compaction, ids never do.
+        let bank = self
+            .session
+            .indexed_bank()
+            .expect("shard workers always wrap an indexed bank");
+        let matches = raw
+            .iter()
+            .filter_map(|m| {
+                bank.subscription_of(m.query)
+                    .map(|id| (id, m.ordinal, m.span))
+            })
+            .collect();
+        match result {
+            Ok(_) => self.stats.documents += 1,
+            Err(_) => self.stats.parse_errors += 1,
+        }
+        let _ = self.merger.send(MergerMsg::Report(DocReport {
+            seq,
+            document: doc,
+            matches,
+        }));
+    }
+}
+
+/// The merger: sole owner of subscriber outlets, reordering worker
+/// reports into global publish order before delivering.
+struct Merger {
+    rx: Receiver<MergerMsg>,
+    outlets: HashMap<SubscriptionId, Outlet>,
+    pending: HashMap<u64, DocReport>,
+    next_seq: u64,
+    stats: MergerStats,
+    disconnected: Arc<Mutex<Vec<SubscriptionId>>>,
+}
+
+impl Merger {
+    fn run(mut self) -> MergerStats {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                MergerMsg::Register { id, outlet } => {
+                    self.outlets.insert(id, outlet);
+                }
+                MergerMsg::Deregister { id } => {
+                    // Dropping the outlet drops the last delivery
+                    // sender, waking a blocked subscriber `recv`.
+                    self.outlets.remove(&id);
+                }
+                MergerMsg::Report(report) => {
+                    self.pending.insert(report.seq, report);
+                    while let Some(ready) = self.pending.remove(&self.next_seq) {
+                        self.deliver(ready);
+                        self.next_seq += 1;
+                    }
+                }
+                MergerMsg::Flush { reply } => {
+                    let _ = reply.send(self.stats.clone());
+                }
+            }
+        }
+        // Shutdown: every sender is gone, so no report published before
+        // the close is missing — release whatever the reorder buffer
+        // still holds, in sequence order.
+        let mut leftover: Vec<DocReport> = self.pending.drain().map(|(_, r)| r).collect();
+        leftover.sort_by_key(|r| r.seq);
+        for report in leftover {
+            self.deliver(report);
+        }
+        self.stats
+    }
+
+    fn deliver(&mut self, report: DocReport) {
+        let mut any_disconnected = false;
+        for (id, ordinal, span) in report.matches {
+            let Some(outlet) = self.outlets.get(&id) else {
+                continue; // withdrawn between report and merge
+            };
+            if outlet.shared.disconnected.load(Ordering::Relaxed) {
+                continue;
+            }
+            let delivery = Delivery {
+                subscription: id,
+                doc_seq: report.seq,
+                ordinal,
+                span,
+                document: Arc::clone(&report.document),
+            };
+            match outlet.tx.try_send(delivery) {
+                Ok(()) => {
+                    outlet.shared.delivered.fetch_add(1, Ordering::Relaxed);
+                    self.stats.deliveries += 1;
+                }
+                Err(TrySendError::Full(_)) => {
+                    // A stalled subscriber lags; the stream does not stop.
+                    outlet.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.stats.dropped_deliveries += 1;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    outlet.shared.disconnected.store(true, Ordering::Relaxed);
+                    any_disconnected = true;
+                }
+            }
+        }
+        if any_disconnected {
+            // Park departed ids for the next churn-lock holder; never
+            // take the churn lock here (stats holds it while waiting on
+            // our Flush reply).
+            let gone: Vec<SubscriptionId> = self
+                .outlets
+                .iter()
+                .filter(|(_, o)| o.shared.disconnected.load(Ordering::Relaxed))
+                .map(|(&id, _)| id)
+                .collect();
+            let mut parked = self.disconnected.lock().unwrap();
+            for id in gone {
+                self.outlets.remove(&id);
+                parked.push(id);
+            }
+        }
+    }
+}
+
+/// A running multi-core dissemination service: [`DisseminationServer`](crate::DisseminationServer)
+/// semantics — churn at document boundaries, per-subscriber bounded
+/// mailboxes, lossless upstream backpressure — scaled across N worker
+/// threads plus a merger. See the module docs for the architecture.
+pub struct ShardedServer {
+    state: Arc<SharedState>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    merger: JoinHandle<MergerStats>,
+}
+
+impl ShardedServer {
+    /// Spawns `workers` shard workers (clamped to at least 1) and the
+    /// merger, all with empty query banks over one shared symbol table.
+    pub fn start(config: ServerConfig, workers: usize) -> ShardedServer {
+        let workers = workers.max(1);
+        let symbols = Arc::new(Symbols::new());
+        let new_bank = |symbols: &Arc<Symbols>| {
+            let mut bank = IndexedBank::new_reporting_with_symbols(&[], Arc::clone(symbols))
+                .expect("an empty bank always builds");
+            bank.set_compaction_policy(config.compaction);
+            bank
+        };
+
+        let (merger_tx, merger_rx) = channel();
+        let disconnected = Arc::new(Mutex::new(Vec::new()));
+        let inboxes: Vec<Arc<WorkerInbox>> = (0..workers)
+            // Each worker gets the full configured document budget; the
+            // round-robin split means total queued bytes stay bounded by
+            // workers × capacity.
+            .map(|_| Arc::new(Inbox::new(config.doc_queue_capacity)))
+            .collect();
+
+        let worker_handles = inboxes
+            .iter()
+            .enumerate()
+            .map(|(i, inbox)| {
+                let mut session = Session::from_indexed(new_bank(&symbols));
+                session.freeze_parser();
+                let worker = ShardWorker {
+                    inbox: Arc::clone(inbox),
+                    session,
+                    merger: merger_tx.clone(),
+                    stats: WorkerStats::default(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("fx-shard-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawning an fx-server shard worker thread")
+            })
+            .collect();
+
+        let merger = Merger {
+            rx: merger_rx,
+            outlets: HashMap::new(),
+            pending: HashMap::new(),
+            next_seq: 0,
+            stats: MergerStats::default(),
+            disconnected: Arc::clone(&disconnected),
+        };
+        let merger = std::thread::Builder::new()
+            .name("fx-merger".into())
+            .spawn(move || merger.run())
+            .expect("spawning the fx-server merger thread");
+
+        ShardedServer {
+            state: Arc::new(SharedState {
+                inboxes,
+                seq: AtomicU64::new(0),
+                churn: Mutex::new(ChurnState {
+                    shadow: new_bank(&symbols),
+                    merger_tx: Some(merger_tx),
+                    subscribes: 0,
+                    unsubscribes: 0,
+                    auto_unsubscribes: 0,
+                }),
+                disconnected,
+                mailbox_capacity: config.mailbox_capacity.max(1),
+            }),
+            workers: worker_handles,
+            merger,
+        }
+    }
+
+    /// A cloneable ingress handle (subscribe / publish / stats), same
+    /// surface as [`ServerHandle`](crate::ServerHandle).
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Number of shard worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops accepting work, drains every worker's queues and the
+    /// merger's reorder buffer, joins all threads and returns the
+    /// merged final stats.
+    pub fn shutdown(self) -> ServerStats {
+        for inbox in &self.state.inboxes {
+            inbox.close();
+        }
+        let mut stats = ServerStats::default();
+        for h in self.workers {
+            let ws = h.join().expect("fx-server shard worker panicked");
+            stats.documents += ws.documents;
+            stats.parse_errors += ws.parse_errors;
+        }
+        // Workers' merger senders died with their threads; dropping the
+        // coordinator's completes the merger's exit condition.
+        {
+            let mut churn = self.state.churn.lock().unwrap();
+            churn.merger_tx = None;
+        }
+        let ms = self.merger.join().expect("fx-server merger panicked");
+        stats.deliveries = ms.deliveries;
+        stats.dropped_deliveries = ms.dropped_deliveries;
+
+        let mut churn = self.state.churn.lock().unwrap();
+        // Final sweep: departures the merger parked but no churn op got
+        // to (workers are gone, only the shadow's books need closing).
+        for id in std::mem::take(&mut *self.state.disconnected.lock().unwrap()) {
+            if churn.shadow.unsubscribe(id) {
+                churn.unsubscribes += 1;
+                churn.auto_unsubscribes += 1;
+            }
+        }
+        stats.subscribes = churn.subscribes;
+        stats.unsubscribes = churn.unsubscribes;
+        stats.auto_unsubscribes = churn.auto_unsubscribes;
+        stats.live_subscriptions = churn.shadow.live_subscriptions();
+        stats.compactions = churn.shadow.compactions();
+        stats.residual_builds = churn.shadow.residual_builds();
+        stats
+    }
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A thread-safe ingress handle to a [`ShardedServer`]. Cheap to clone;
+/// every clone feeds the same worker pool.
+#[derive(Clone)]
+pub struct ShardedHandle {
+    state: Arc<SharedState>,
+}
+
+impl ShardedHandle {
+    /// Registers a standing query on **every** shard worker and returns
+    /// its [`Subscription`] mailbox. The id comes from the coordinator's
+    /// shadow bank, so it is identical across workers and stable under
+    /// compaction. The subscription sees every document published after
+    /// this call returns, across all workers.
+    pub fn subscribe(&self, query: Query) -> Result<Subscription, ServerError> {
+        self.subscribe_with_mailbox(query, self.state.mailbox_capacity)
+    }
+
+    /// [`ShardedHandle::subscribe`] with a per-subscription mailbox
+    /// capacity overriding [`ServerConfig::mailbox_capacity`].
+    pub fn subscribe_with_mailbox(
+        &self,
+        query: Query,
+        mailbox: usize,
+    ) -> Result<Subscription, ServerError> {
+        let mut churn = self.state.churn.lock().unwrap();
+        self.state.sweep_disconnected(&mut churn);
+        let Some(tx) = churn.merger_tx.clone() else {
+            return Err(ServerError::Closed);
+        };
+        let id = churn
+            .shadow
+            .subscribe(&query)
+            .map_err(ServerError::Unsupported)?;
+        churn.subscribes += 1;
+        let (delivery_tx, rx) = sync_channel(mailbox.max(1));
+        let shared = Arc::new(SubShared::default());
+        // Register reaches the merger before any worker can report a
+        // match for this id (FIFO channel; the broadcast is below).
+        let _ = tx.send(MergerMsg::Register {
+            id,
+            outlet: Outlet {
+                tx: delivery_tx,
+                shared: Arc::clone(&shared),
+            },
+        });
+        for inbox in &self.state.inboxes {
+            inbox.command(ShardCommand::Subscribe {
+                query: query.clone(),
+            })?;
+        }
+        Ok(Subscription { id, rx, shared })
+    }
+
+    /// Withdraws a subscription from every worker at its next document
+    /// boundary. `false` if the id was never live or is already gone.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<bool, ServerError> {
+        let mut churn = self.state.churn.lock().unwrap();
+        self.state.sweep_disconnected(&mut churn);
+        if churn.merger_tx.is_none() {
+            return Err(ServerError::Closed);
+        }
+        if !churn.shadow.unsubscribe(id) {
+            return Ok(false);
+        }
+        churn.unsubscribes += 1;
+        if let Some(tx) = &churn.merger_tx {
+            let _ = tx.send(MergerMsg::Deregister { id });
+        }
+        for inbox in &self.state.inboxes {
+            inbox.command(ShardCommand::Unsubscribe { id })?;
+        }
+        Ok(true)
+    }
+
+    /// Queues one XML document, assigned the next global sequence
+    /// number and routed to worker `seq % workers`. Blocks while that
+    /// worker's document queue is at capacity.
+    pub fn publish(&self, doc: impl Into<Arc<[u8]>>) -> Result<(), ServerError> {
+        let doc = doc.into();
+        let seq = self.state.seq.fetch_add(1, Ordering::Relaxed);
+        let worker = (seq % self.state.inboxes.len() as u64) as usize;
+        self.state.inboxes[worker].publish((seq, doc))
+    }
+
+    /// [`ShardedHandle::publish`] for string documents.
+    pub fn publish_str(&self, doc: &str) -> Result<(), ServerError> {
+        self.publish(doc.as_bytes().to_vec())
+    }
+
+    /// Forces a bank compaction on the shadow and every worker. `true`
+    /// if tombstones were folded away.
+    pub fn compact(&self) -> Result<bool, ServerError> {
+        let mut churn = self.state.churn.lock().unwrap();
+        self.state.sweep_disconnected(&mut churn);
+        if churn.merger_tx.is_none() {
+            return Err(ServerError::Closed);
+        }
+        let did = churn.shadow.compact();
+        for inbox in &self.state.inboxes {
+            inbox.command(ShardCommand::Compact)?;
+        }
+        Ok(did)
+    }
+
+    /// A cumulative activity snapshot, merged across all workers and
+    /// the merger. Synchronous barrier: every document published before
+    /// this call is reflected — each worker drains its own queue, then
+    /// the merger confirms it has processed every resulting report.
+    pub fn stats(&self) -> Result<ServerStats, ServerError> {
+        let mut churn = self.state.churn.lock().unwrap();
+        self.state.sweep_disconnected(&mut churn);
+        let Some(tx) = churn.merger_tx.clone() else {
+            return Err(ServerError::Closed);
+        };
+
+        let mut stats = ServerStats::default();
+        // Phase 1: every worker drains its document queue and reports.
+        // Replies are collected only after all commands are queued, so
+        // the workers drain in parallel.
+        let replies: Vec<_> = self
+            .state
+            .inboxes
+            .iter()
+            .map(|inbox| {
+                let (reply, done) = sync_channel(1);
+                inbox.command(ShardCommand::Stats { reply })?;
+                Ok(done)
+            })
+            .collect::<Result<_, ServerError>>()?;
+        for done in replies {
+            let ws: WorkerStats = done.recv().map_err(|_| ServerError::Closed)?;
+            stats.documents += ws.documents;
+            stats.parse_errors += ws.parse_errors;
+        }
+        // Phase 2: all reports now sit before Flush in the merger's
+        // FIFO, so its reply covers every one of them.
+        let (reply, done) = sync_channel(1);
+        let _ = tx.send(MergerMsg::Flush { reply });
+        let ms = done.recv().map_err(|_| ServerError::Closed)?;
+        stats.deliveries = ms.deliveries;
+        stats.dropped_deliveries = ms.dropped_deliveries;
+
+        stats.subscribes = churn.subscribes;
+        stats.unsubscribes = churn.unsubscribes;
+        stats.auto_unsubscribes = churn.auto_unsubscribes;
+        stats.live_subscriptions = churn.shadow.live_subscriptions();
+        stats.compactions = churn.shadow.compactions();
+        stats.residual_builds = churn.shadow.residual_builds();
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for ShardedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHandle").finish_non_exhaustive()
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedHandle>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xpath::parse_query;
+
+    #[test]
+    fn fans_documents_across_workers_and_merges_in_order() {
+        let server = ShardedServer::start(ServerConfig::default(), 4);
+        let handle = server.handle();
+        let sub = handle
+            .subscribe(parse_query("//item/name").unwrap())
+            .unwrap();
+        for i in 0..40 {
+            handle
+                .publish_str(&format!("<cat><item><name>n{i}</name></item></cat>"))
+                .unwrap();
+        }
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.documents, 40);
+        assert_eq!(stats.deliveries, 40);
+        let seqs: Vec<u64> = (0..40).map(|_| sub.recv().unwrap().doc_seq).collect();
+        let sorted: Vec<u64> = (0..40).collect();
+        assert_eq!(seqs, sorted, "deliveries arrive in global publish order");
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.documents, 40);
+        assert_eq!(final_stats.live_subscriptions, 1);
+    }
+
+    #[test]
+    fn churn_applies_to_every_worker() {
+        let server = ShardedServer::start(ServerConfig::default(), 3);
+        let handle = server.handle();
+        let a = handle.subscribe(parse_query("//a").unwrap()).unwrap();
+        let b = handle.subscribe(parse_query("//b").unwrap()).unwrap();
+        assert_ne!(a.id(), b.id());
+        // Enough documents that every worker sees some.
+        for _ in 0..9 {
+            handle.publish_str("<r><a/><b/></r>").unwrap();
+        }
+        // Barrier: commands overtake queued documents (they apply at the
+        // next boundary), so drain before withdrawing `a`.
+        handle.stats().unwrap();
+        assert!(handle.unsubscribe(a.id()).unwrap());
+        assert!(!handle.unsubscribe(a.id()).unwrap(), "already gone");
+        for _ in 0..9 {
+            handle.publish_str("<r><a/><b/></r>").unwrap();
+        }
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.documents, 18);
+        assert_eq!(stats.live_subscriptions, 1);
+        // `a` saw the first nine documents everywhere, `b` all 18.
+        assert_eq!(a.delivered(), 9);
+        assert_eq!(b.delivered(), 18);
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscribe_after_shutdown_fails() {
+        let server = ShardedServer::start(ServerConfig::default(), 2);
+        let handle = server.handle();
+        server.shutdown();
+        assert!(matches!(
+            handle.subscribe(parse_query("//x").unwrap()),
+            Err(ServerError::Closed)
+        ));
+        assert!(matches!(
+            handle.publish_str("<x/>"),
+            Err(ServerError::Closed)
+        ));
+    }
+}

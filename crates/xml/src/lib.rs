@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod escape;
 pub mod event;
 pub mod iter;
@@ -30,6 +31,7 @@ pub mod symbols;
 pub mod wellformed;
 pub mod writer;
 
+pub use batch::EventBatch;
 pub use escape::{decode_entities, decode_entities_into, escape_attr, escape_text};
 pub use event::{drive, notation, Attribute, Event, EventCollector, EventRef, SaxHandler};
 pub use iter::{EventIter, SpannedEvents};
@@ -40,7 +42,7 @@ pub use span::Span;
 pub use split::{
     element_range, find_nth, first_end, first_start, matching_end, splice, Segmentation,
 };
-pub use symbols::{AttrBuf, Sym, SymAttr, SymCache, SymEvent, Symbols};
+pub use symbols::{AttrBuf, Sym, SymAttr, SymCache, SymEvent, Symbols, SymbolsSnapshot};
 pub use wellformed::{check, is_well_formed, stream_depth, Violation};
 pub use writer::{to_pretty_xml, to_xml, WriteError};
 

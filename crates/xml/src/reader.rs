@@ -26,7 +26,7 @@ use crate::parser::ParseError;
 use crate::scan;
 use crate::source::Utf8Carry;
 use crate::span::Span;
-use crate::symbols::{AttrBuf, Sym, SymCache, SymEvent, Symbols};
+use crate::symbols::{AttrBuf, Sym, SymCache, SymEvent, Symbols, SymbolsSnapshot};
 use std::io::{BufRead, Read};
 use std::sync::Arc;
 
@@ -47,6 +47,11 @@ pub struct StreamingParser {
     /// [`Sym::UNKNOWN`] and the shared table never grows with document
     /// content — the bounded-memory mode the engine's reader path uses.
     intern_names: bool,
+    /// A frozen view of the table (see [`StreamingParser::frozen`]):
+    /// when set, name resolution goes through this immutable snapshot
+    /// instead of the live table — no lock even on memo misses, the
+    /// worker-thread mode. Implies lookup-only resolution.
+    snapshot: Option<std::sync::Arc<SymbolsSnapshot>>,
     /// Per-parser lock-free memo over the table.
     name_cache: SymCache,
     /// Open elements: `(sym, name start)` where the second field is
@@ -105,6 +110,7 @@ impl StreamingParser {
             pos: 0,
             symbols,
             intern_names: true,
+            snapshot: None,
             name_cache: SymCache::new(),
             stack: Vec::new(),
             name_arena: String::new(),
@@ -149,8 +155,17 @@ impl StreamingParser {
     /// `UNKNOWN`. Call this after interning new names behind a live
     /// parser; [`StreamingParser::reset`] deliberately keeps the memo
     /// warm.
+    ///
+    /// In a worker pool, *every* worker must invalidate its own parser
+    /// when churn grows the shared table — see the multi-worker caveat
+    /// on [`SymCache`]. A [`StreamingParser::frozen`] parser re-freezes
+    /// its snapshot here too, so the new vocabulary becomes visible to
+    /// its lock-free path.
     pub fn invalidate_name_memo(&mut self) {
         self.name_cache.clear();
+        if self.snapshot.is_some() {
+            self.snapshot = Some(std::sync::Arc::new(self.symbols.freeze()));
+        }
     }
 
     /// Keeps whitespace-only text nodes.
@@ -179,11 +194,30 @@ impl StreamingParser {
         self
     }
 
-    /// Resolves a name per the parser's mode: memoized lookup, plus
+    /// [`StreamingParser::lookup_only`] resolution against a **frozen
+    /// snapshot** of the parser's table, taken now: name resolution
+    /// never touches the live table's lock again — not even on memo
+    /// misses — which is what lets N worker parsers share one
+    /// engine-owned table with zero read contention. The snapshot
+    /// carries exactly the vocabulary interned so far (compile every
+    /// query first); if the table later grows behind this parser, call
+    /// [`StreamingParser::invalidate_name_memo`], which re-freezes.
+    pub fn frozen(mut self) -> StreamingParser {
+        self.intern_names = false;
+        self.snapshot = Some(std::sync::Arc::new(self.symbols.freeze()));
+        self
+    }
+
+    /// Resolves a name per the parser's mode: memoized lookup against
+    /// the frozen snapshot (lock-free) or the live table, plus
     /// interning (and memo refresh) on a miss in the default mode.
     fn resolve_name(&mut self, name: &str) -> Sym {
-        self.name_cache
-            .lookup_or_intern(&self.symbols, name, self.intern_names)
+        match &self.snapshot {
+            Some(snap) => self.name_cache.lookup_frozen(snap, name),
+            None => self
+                .name_cache
+                .lookup_or_intern(&self.symbols, name, self.intern_names),
+        }
     }
 
     /// Pushes an open element, appending its name to the arena, so the
@@ -738,6 +772,7 @@ impl StreamingParser {
             parse_attrs_into(
                 &tag[1 + ne + 1..1 + inner.len()],
                 &self.symbols,
+                self.snapshot.as_deref(),
                 &mut self.name_cache,
                 self.intern_names,
                 &mut self.attrs,
@@ -867,6 +902,7 @@ fn is_all_whitespace(s: &str) -> bool {
 fn parse_attrs_into(
     s: &str,
     symbols: &Symbols,
+    snapshot: Option<&SymbolsSnapshot>,
     cache: &mut SymCache,
     intern_names: bool,
     out: &mut AttrBuf,
@@ -891,7 +927,10 @@ fn parse_attrs_into(
             None => return Err("unterminated attribute value".to_string()),
         };
         let raw = &s[j + 1..close];
-        let sym = cache.lookup_or_intern(symbols, name, intern_names);
+        let sym = match snapshot {
+            Some(snap) => cache.lookup_frozen(snap, name),
+            None => cache.lookup_or_intern(symbols, name, intern_names),
+        };
         // In interning mode distinct names have distinct syms, so the
         // duplicate check is an integer scan and the name string need
         // not be copied at all. Only the lookup-only collapse (unknown

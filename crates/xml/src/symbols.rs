@@ -205,6 +205,87 @@ impl Symbols {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Captures the table's current contents as a frozen
+    /// [`SymbolsSnapshot`]: an immutable copy whose lookups take **no
+    /// lock at all**, for fan-out across worker threads. Because ids
+    /// are stable and never recycled, every sym the snapshot resolves
+    /// stays valid against the live table forever; names interned
+    /// *after* the freeze are simply absent from the snapshot (they
+    /// resolve to [`Sym::UNKNOWN`]), exactly as if a lookup-only
+    /// consumer had raced ahead of the interning. Re-freeze after
+    /// growing the table behind snapshot readers — see
+    /// [`SymbolsSnapshot::is_current`].
+    pub fn freeze(&self) -> SymbolsSnapshot {
+        let inner = self.inner.read().expect("symbols lock");
+        SymbolsSnapshot {
+            map: inner.map.clone(),
+            names: inner.names.clone(),
+        }
+    }
+}
+
+/// A frozen, read-only view of a [`Symbols`] table at one instant
+/// (produced by [`Symbols::freeze`]), shareable via `Arc` across any
+/// number of worker threads with **lock-free** lookups.
+///
+/// # Invariants
+///
+/// * Every `(name, sym)` pair in the snapshot is permanently valid
+///   against the source table: ids are never recycled, so a snapshot
+///   can never return a sym the live table disagrees with.
+/// * A snapshot never sees names interned after the freeze — they
+///   resolve to [`Sym::UNKNOWN`], the same collapse a lookup-only
+///   parser applies to out-of-vocabulary document names. A consumer
+///   whose compiled vocabulary grows (a dissemination server accepting
+///   a new subscription) must re-freeze, exactly where it already
+///   invalidates its [`SymCache`] memo.
+/// * Freezing is O(table size) and happens at churn boundaries, never
+///   on the per-event hot path.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolsSnapshot {
+    map: FxMap<String, Sym>,
+    names: Vec<String>,
+}
+
+impl SymbolsSnapshot {
+    /// The sym for `name`, if the source table had interned it at
+    /// freeze time. Lock-free.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// The sym for `name`, or [`Sym::UNKNOWN`] when the snapshot does
+    /// not contain it — the read-only conversion worker threads use.
+    /// Lock-free.
+    pub fn lookup_or_unknown(&self, name: &str) -> Sym {
+        self.lookup(name).unwrap_or(Sym::UNKNOWN)
+    }
+
+    /// The name behind `sym`, borrowed from the snapshot (no clone, no
+    /// lock). `None` for [`Sym::UNKNOWN`] or a sym issued after the
+    /// freeze.
+    pub fn resolve(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index()).map(String::as_str)
+    }
+
+    /// Number of names the snapshot holds.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the snapshot holds no names.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// True when `table` has interned nothing since this snapshot was
+    /// frozen (ids are dense and never recycled, so equal lengths mean
+    /// equal contents). The cheap staleness probe for consumers that
+    /// re-freeze at churn boundaries.
+    pub fn is_current(&self, table: &Symbols) -> bool {
+        self.names.len() == table.len()
+    }
 }
 
 /// A small 2-way set-associative, lock-free memo for [`Symbols`]
@@ -229,6 +310,20 @@ impl Symbols {
 /// lookup, so a name that ever memoizes as unknown is outside its
 /// compiled vocabulary, where `UNKNOWN` and a real (never-compared)
 /// sym behave identically.
+///
+/// **Multi-worker caveat.** The harmlessness argument is *per
+/// consumer*: it assumes the consumer's own vocabulary never grows
+/// behind its memo. In a pool of workers sharing one table, a
+/// subscribe handled by worker A interns names that worker B's memo
+/// may already hold as `UNKNOWN` from B's earlier documents — and B's
+/// vocabulary *did* just grow, so the staleness is no longer harmless
+/// for B. Every worker must therefore invalidate its **own** memo
+/// (and re-freeze its own [`SymbolsSnapshot`], if it parses against
+/// one) when it applies the churn command — invalidating only the
+/// worker that performed the interning is a correctness bug. The
+/// sharded server does this by broadcasting churn to every worker,
+/// each of which refreshes its own session's memo; the regression is
+/// pinned by `tests/concurrency_stress.rs`.
 #[derive(Debug, Clone, Default)]
 pub struct SymCache {
     slots: Vec<CacheSlot>,
@@ -326,6 +421,33 @@ impl SymCache {
         }
         let sym = symbols.lookup_or_unknown(name);
         // Fill the colder way, then promote it to the front.
+        self.slots[idx + 1] = CacheSlot::filled(nb, sym);
+        self.slots.swap(idx, idx + 1);
+        sym
+    }
+
+    /// [`Symbols::lookup_or_unknown`] through the memo, resolving
+    /// misses against a frozen [`SymbolsSnapshot`] instead of the live
+    /// table: the fully lock-free worker-thread form (hits touch only
+    /// the memo, misses only the immutable snapshot).
+    pub fn lookup_frozen(&mut self, snapshot: &SymbolsSnapshot, name: &str) -> Sym {
+        let nb = name.as_bytes();
+        if nb.is_empty() || nb.len() > SYM_CACHE_NAME_MAX {
+            return snapshot.lookup_or_unknown(name);
+        }
+        if self.slots.is_empty() {
+            self.slots.resize(SYM_CACHE_SETS * 2, CacheSlot::EMPTY);
+        }
+        let idx = SymCache::set_index(name);
+        let key = CacheSlot::pad_key(nb);
+        if self.slots[idx].matches(nb.len(), &key) {
+            return self.slots[idx].sym;
+        }
+        if self.slots[idx + 1].matches(nb.len(), &key) {
+            self.slots.swap(idx, idx + 1);
+            return self.slots[idx].sym;
+        }
+        let sym = snapshot.lookup_or_unknown(name);
         self.slots[idx + 1] = CacheSlot::filled(nb, sym);
         self.slots.swap(idx, idx + 1);
         sym

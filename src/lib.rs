@@ -130,14 +130,17 @@ pub mod prelude {
     /// keep compiling; new code should name [`Evaluator`] directly.
     pub use fx_engine::Evaluator as BooleanStreamFilter;
     pub use fx_engine::{
-        Backend, Engine, EngineBuilder, EngineError, Evaluator, IndexPolicy, Match, MatchCollector,
-        MatchSink, Mode, Outcome, Session, Verdicts,
+        Backend, BankShardedOutcome, BatchRing, Engine, EngineBuilder, EngineError, Evaluator,
+        IndexPolicy, Match, MatchCollector, MatchSink, Mode, Outcome, Session, Verdicts,
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_html::{parse_html, HtmlParser};
     pub use fx_json::{parse_json, JsonParser};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
-    pub use fx_server::{Delivery, DisseminationServer, ServerConfig, ServerHandle, Subscription};
+    pub use fx_server::{
+        Delivery, DisseminationServer, ServerConfig, ServerHandle, ShardedHandle, ShardedServer,
+        Subscription,
+    };
     pub use fx_xml::{parse as parse_xml, Event, EventIter, EventSource, SaxHandler, Span};
     pub use fx_xpath::{parse_query, Query};
 }

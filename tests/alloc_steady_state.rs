@@ -278,4 +278,65 @@ fn interned_hot_path_allocates_nothing_per_element_in_steady_state() {
     parser.feed_interned_bytes(b"</r>", &mut emit).unwrap();
     parser.finish_interned(&mut emit).unwrap();
     assert_eq!(filter.result(), Some(true));
+
+    // --- Sharded worker hot path: frozen snapshot + batch ring. ------
+    // The multi-core pipeline run end-to-end on this thread (the
+    // counter is thread-local): a frozen-snapshot parser resolves names
+    // lock-free, events are copied into an `EventBatch` (the producer
+    // side of the broadcast ring), then replayed through a consumer
+    // scratch buffer into a partitioned bank shard — the exact per-event
+    // work a `run_bank_sharded` worker does. After warm-up grows the
+    // batch arenas and the shard's trie scratch, the fill → replay →
+    // clear cycle must be allocation-free: `clear()` retains capacity,
+    // so a recycled batch never re-allocates.
+    let queries: Vec<_> = [
+        "/site/regions/asia/item[price > 10]",
+        "/site/regions/europe/item[price > 10]",
+        "/site/categories/category/name",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect();
+    let parent = IndexedBank::new(&queries).unwrap();
+    let symbols = Arc::clone(parent.symbols());
+    let mut shard = parent.partition(2).swap_remove(0);
+    // Freeze after the bank compile interned the query vocabulary.
+    let mut parser = StreamingParser::with_symbols(Arc::clone(&symbols))
+        .lookup_only()
+        .frozen();
+    let mut batch = frontier_xpath::xml::EventBatch::new();
+    let mut scratch = frontier_xpath::xml::AttrBuf::new();
+    let chunk = r#"<i a="1">x</i><j/>"#;
+    let sink = &mut |_: frontier_xpath::filter::Match| {};
+    {
+        let mut emit = emitter(|ev, span| batch.push(&ev, span));
+        parser.feed_interned("<r>", &mut emit).unwrap();
+        for _ in 0..64 {
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+    }
+    batch.replay(&mut scratch, |ev, span| {
+        shard.process_sym_to(ev, span, sink)
+    });
+    batch.clear();
+    let before = allocations();
+    for _ in 0..steady {
+        {
+            let mut emit = emitter(|ev, span| batch.push(&ev, span));
+            parser.feed_interned(chunk, &mut emit).unwrap();
+        }
+        batch.replay(&mut scratch, |ev, span| {
+            shard.process_sym_to(ev, span, sink)
+        });
+        batch.clear();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "sharded worker path (frozen parse → batch fill → replay into a \
+         bank shard) must not allocate in steady state ({} allocations \
+         over {steady} cycles)",
+        after - before
+    );
 }
