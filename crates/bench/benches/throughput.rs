@@ -187,6 +187,27 @@ fn bench_byte_throughput(c: &mut Criterion) {
         },
     );
 
+    // The batch-native surface: the parser's recycled `EventBatch` fed
+    // straight from the byte stream (`drive_batched`), the consumer
+    // crossed once per ~1024 events instead of once per event. The
+    // parser persists across iterations (`reset` keeps every buffer
+    // warm) — the steady state a long-lived session runs in.
+    group.bench_with_input(
+        BenchmarkId::new("batched-parse-only", "interned"),
+        &xml,
+        |b, xml| {
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+            b.iter(|| {
+                let mut n = 0usize;
+                p.reset();
+                p.drive_batched(xml.as_bytes(), &mut |batch| n += batch.len())
+                    .unwrap();
+                n
+            });
+        },
+    );
+
     let q = parse_query("//item[price > 300]").unwrap();
     group.bench_with_input(BenchmarkId::new("parse+filter", "owned"), &xml, |b, xml| {
         let mut f = StreamFilter::new(&q).unwrap();
@@ -209,6 +230,29 @@ fn bench_byte_throughput(c: &mut Criterion) {
                 p.feed_interned(xml, &mut |e, s| f.process_sym(e, s))
                     .unwrap();
                 p.finish_interned(&mut |e, s| f.process_sym(e, s)).unwrap();
+                f.result()
+            });
+        },
+    );
+
+    // Same pipeline through the batch boundary: `drive_batched` fills
+    // the parser's recycled batch, the filter walks it per call
+    // (`process_batch` + one drain), nothing allocates per event.
+    group.bench_with_input(
+        BenchmarkId::new("batched-parse+filter", "interned"),
+        &xml,
+        |b, xml| {
+            let symbols = Arc::new(fx_xml::Symbols::new());
+            let compiled = CompiledQuery::compile_with(&q, Arc::clone(&symbols)).unwrap();
+            let mut f = StreamFilter::from_compiled(compiled);
+            let mut p = StreamingParser::with_symbols(Arc::clone(&symbols));
+            let mut scratch = fx_xml::AttrBuf::new();
+            b.iter(|| {
+                p.reset();
+                p.drive_batched(xml.as_bytes(), &mut |batch| {
+                    f.process_batch(batch, &mut scratch)
+                })
+                .unwrap();
                 f.result()
             });
         },
@@ -254,6 +298,24 @@ fn bench_byte_throughput(c: &mut Criterion) {
                     .unwrap();
                 p.finish_interned(&mut |e, s| ib.process_sym_to(e, s, sink))
                     .unwrap();
+                ib.matching().count()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched-parse+indexed-1024", "interned"),
+        &bank_xml,
+        |b, xml| {
+            let mut ib = IndexedBank::new(&bank_queries.queries).unwrap();
+            let symbols = Arc::clone(ib.symbols());
+            let mut p = StreamingParser::with_symbols(symbols);
+            b.iter(|| {
+                p.reset();
+                let sink = &mut |_m: fx_core::Match| {};
+                p.drive_batched(xml.as_bytes(), &mut |batch| {
+                    ib.process_batch_to(batch, sink)
+                })
+                .unwrap();
                 ib.matching().count()
             });
         },

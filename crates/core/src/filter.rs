@@ -26,7 +26,8 @@ use crate::reporter::{Frame, Match, MatchSink, Reporter};
 use crate::space::SpaceStats;
 use fx_eval::truth::{constraining_predicate, TruthError};
 use fx_xml::{
-    AttrBuf, Event, EventRef, SaxHandler, Span, Sym, SymAttr, SymCache, SymEvent, Symbols,
+    AttrBuf, Event, EventBatch, EventRef, SaxHandler, Span, Sym, SymAttr, SymCache, SymEvent,
+    Symbols,
 };
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::fmt;
@@ -593,6 +594,33 @@ impl StreamFilter {
             st.observe_snap = snap;
             st.stats.observe(snap.0, snap.1, snap.2, snap.3);
         }
+    }
+
+    /// Feeds a whole interned [`EventBatch`] in one call: the batch is
+    /// replayed into [`StreamFilter::process_sym`] with the attribute
+    /// `scratch` hoisted out of the per-event loop, so the filter sees
+    /// exactly the per-event stream but pays the call boundary once per
+    /// run. The batch's syms must come from the same table as the
+    /// compiled query.
+    pub fn process_batch(&mut self, batch: &EventBatch, scratch: &mut AttrBuf) {
+        batch.replay(scratch, |ev, span| self.process_sym(ev, span));
+    }
+
+    /// [`StreamFilter::process_batch`] with confirmed matches drained
+    /// **once per batch** instead of once per event. The reporter's
+    /// outbox is a FIFO, so a single filter's match order is exactly
+    /// that of the per-event drain — only the sink-call granularity is
+    /// amortized. (The multi-filter bank keeps per-event draining to
+    /// preserve cross-filter match interleaving.)
+    pub fn process_batch_to(
+        &mut self,
+        batch: &EventBatch,
+        scratch: &mut AttrBuf,
+        query: usize,
+        sink: &mut dyn MatchSink,
+    ) {
+        self.process_batch(batch, scratch);
+        self.drain_matches(query, sink);
     }
 
     /// The verdict, available after `endDocument`.

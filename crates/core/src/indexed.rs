@@ -87,7 +87,7 @@ use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
 use crate::space::bits_for;
 use fx_analysis::CanonicalForm;
-use fx_xml::{AttrBuf, Event, EventRef, Span, Sym, SymCache, SymEvent, Symbols};
+use fx_xml::{AttrBuf, Event, EventBatch, EventRef, Span, Sym, SymCache, SymEvent, Symbols};
 use fx_xpath::{Axis, Expr, NodeTest, Query, QueryNodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -435,6 +435,9 @@ pub struct IndexedBank {
     scratch_activated: Vec<u32>,
     /// Reused attribute buffer for the owned-event conversion layer.
     attr_scratch: AttrBuf,
+    /// Reused match-drain buffer for instance feeding/retirement, so the
+    /// per-event hot path never allocates a fresh drain vector.
+    drain_scratch: Vec<(u64, Span)>,
     /// Lock-free name-lookup memo for the owned-event conversion layer.
     name_cache: SymCache,
     /// Dormant activations (see [`Dormant`]): divergence points reached
@@ -674,6 +677,7 @@ impl IndexedBank {
             instances: Vec::new(),
             scratch_activated: Vec::new(),
             attr_scratch: AttrBuf::new(),
+            drain_scratch: Vec::new(),
             name_cache: SymCache::new(),
             dormant: Vec::new(),
             residual_triggers: Vec::new(),
@@ -1438,6 +1442,17 @@ impl IndexedBank {
         }
     }
 
+    /// [`IndexedBank::process_sym_to`] over a whole [`EventBatch`]: the
+    /// batch-granular hot path. One bank call walks the entire run with
+    /// the replay attribute scratch hoisted out of the per-event loop;
+    /// event order, match routing, verdicts, and space accounting are
+    /// exactly those of the per-event feed.
+    pub fn process_batch_to(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
+        let mut scratch = std::mem::take(&mut self.attr_scratch);
+        batch.replay(&mut scratch, |ev, span| self.process_sym_to(ev, span, sink));
+        self.attr_scratch = scratch;
+    }
+
     /// The bank's shared symbol table: hand it to
     /// `fx_xml::StreamingParser::with_symbols` so parsed events arrive
     /// already interned and [`IndexedBank::process_sym_to`] dispatches
@@ -1926,7 +1941,8 @@ impl IndexedBank {
     ) -> bool {
         let g = self.instances[i].group as usize;
         {
-            let mut drained: Vec<(u64, Span)> = Vec::new();
+            let mut drained = std::mem::take(&mut self.drain_scratch);
+            drained.clear();
             let mut decided = None;
             {
                 let inst = &mut self.instances[i];
@@ -1972,10 +1988,12 @@ impl IndexedBank {
             }
             if !drained.is_empty() {
                 let offset = self.instances[i].ordinal_offset;
-                for (o, sp) in drained {
+                for &(o, sp) in &drained {
                     self.emit(g, o + offset, sp, sink);
                 }
+                drained.clear();
             }
+            self.drain_scratch = drained;
             if let Some(v) = decided {
                 if v {
                     self.group_true[g] = true;
@@ -1993,7 +2011,8 @@ impl IndexedBank {
     /// final matches, records statistics, and removes it.
     fn retire_instance(&mut self, i: usize, sink: &mut dyn MatchSink) {
         let g = self.instances[i].group as usize;
-        let mut drained: Vec<(u64, Span)> = Vec::new();
+        let mut drained = std::mem::take(&mut self.drain_scratch);
+        drained.clear();
         let verdict;
         {
             let inst = &mut self.instances[i];
@@ -2005,9 +2024,11 @@ impl IndexedBank {
             verdict = inst.filter.result();
         }
         let offset = self.instances[i].ordinal_offset;
-        for (o, sp) in drained {
+        for &(o, sp) in &drained {
             self.emit(g, o + offset, sp, sink);
         }
+        drained.clear();
+        self.drain_scratch = drained;
         if verdict == Some(true) {
             self.group_true[g] = true;
         }

@@ -42,7 +42,7 @@
 use crate::filter::{CompiledQuery, StreamFilter, UnsupportedQuery};
 use crate::reporter::{Match, MatchSink};
 use crate::space::SpaceStats;
-use fx_xml::{AttrBuf, Event, EventRef, Span, SymCache, SymEvent, Symbols};
+use fx_xml::{AttrBuf, Event, EventBatch, EventRef, Span, SymCache, SymEvent, Symbols};
 use fx_xpath::Query;
 use std::sync::Arc;
 
@@ -268,6 +268,35 @@ impl MultiFilter {
                 }
             }
         }
+    }
+
+    /// [`MultiFilter::process_sym_to`] over a whole [`EventBatch`] —
+    /// the batch-granular hot path: one bank call walks the entire run
+    /// with the replay attribute scratch hoisted out of the event loop,
+    /// and a bank that goes fully decided mid-batch skips the
+    /// *remainder of the batch* (and every subsequent batch, via the
+    /// same `open == 0` probe) with one index scan for the next
+    /// `StartDocument` instead of re-entering per-event dispatch.
+    /// Event order, match routing, and per-filter statistics are
+    /// exactly those of the per-event feed.
+    pub fn process_batch_to(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
+        let mut scratch = std::mem::take(&mut self.attr_scratch);
+        let mut i = 0usize;
+        while i < batch.len() {
+            if self.open == 0 {
+                // Fully decided: only a `StartDocument` can wake the
+                // bank, so jump straight to the next one (or done).
+                match batch.find_start_document(i) {
+                    Some(j) => i = j,
+                    None => break,
+                }
+            }
+            i = batch.replay_control(i, &mut scratch, |ev, span| {
+                self.process_sym_to(ev, span, sink);
+                self.open > 0
+            });
+        }
+        self.attr_scratch = scratch;
     }
 
     /// The bank's shared symbol table: hand it to

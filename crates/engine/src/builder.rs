@@ -481,6 +481,18 @@ impl Engine {
         fx_json::JsonParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
     }
 
+    /// A newline-delimited-JSON frontend bound to this engine: an
+    /// [`fx_json::NdjsonParser`] sharing the engine's symbol table in
+    /// lookup-only mode. The stream is a *document sequence* — each
+    /// non-blank line is framed as its own document — so drive it
+    /// through a reused session ([`Session::run_source`]) and the
+    /// session's verdicts reflect the **last** record, while match
+    /// sinks and collected outcomes see **every** record's matches,
+    /// with stream-global spans that slice the original NDJSON input.
+    pub fn ndjson_source(&self) -> fx_json::NdjsonParser {
+        fx_json::NdjsonParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
+    }
+
     /// One-shot convenience: stream an HTML document from a reader
     /// through a fresh session and the lenient soup tokenizer. HTML
     /// never fails structurally, so the only errors are I/O and

@@ -6,7 +6,8 @@ use crate::error::EngineError;
 use crate::evaluator::Evaluator;
 use fx_core::{IndexedBank, Match, MatchSink};
 use fx_xml::{
-    Attribute, Event, EventIter, EventSource, Span, StreamingParser, Sym, SymEvent, Symbols,
+    Attribute, Event, EventBatch, EventIter, EventSource, Span, StreamingParser, Sym, SymEvent,
+    Symbols,
 };
 use std::io::Read;
 use std::sync::Arc;
@@ -87,10 +88,14 @@ impl SessionInner {
         matches!(self, SessionInner::Bank(_) | SessionInner::Indexed(_))
     }
 
-    fn push_sym(&mut self, event: SymEvent<'_>, span: Span, sink: &mut dyn MatchSink) {
+    /// Whole-batch dispatch: one virtual call hands a run of events to
+    /// the bank, which walks it with per-event scratch hoisted out of
+    /// the loop (and, for the multi-filter bank, skips the rest of a
+    /// batch once every filter is decided).
+    fn push_batch(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
         match self {
-            SessionInner::Bank(bank) => bank.process_sym_to(event, span, sink),
-            SessionInner::Indexed(bank) => bank.process_sym_to(event, span, sink),
+            SessionInner::Bank(bank) => bank.process_batch_to(batch, sink),
+            SessionInner::Indexed(bank) => bank.process_batch_to(batch, sink),
             SessionInner::Each(_) => unreachable!("interned path gated by supports_interned"),
         }
     }
@@ -444,13 +449,14 @@ impl Session {
             ..
         } = self;
         if inner.supports_interned() && shares_table {
+            // A drive is exactly one document, so clearing the outbox up
+            // front equals clearing at its `StartDocument` — which lets
+            // the hot loop take whole batches with no per-event check.
+            collected.clear();
             return source
-                .drive(reader, &mut |ev, span| {
-                    if matches!(ev, SymEvent::StartDocument) {
-                        collected.clear();
-                    }
-                    *events += 1;
-                    inner.push_sym(ev, span, sink);
+                .drive_batched(reader, &mut |batch| {
+                    *events += batch.len() as u64;
+                    inner.push_batch(batch, sink);
                 })
                 .map_err(EngineError::from);
         }
@@ -488,10 +494,19 @@ impl Session {
     }
 
     /// The zero-copy reader loop: parse with the engine's shared symbol
-    /// table ([`fx_xml::StreamingParser::feed_interned`]) and dispatch
-    /// interned events straight into the bank — no owned `Event` is ever
-    /// materialized, and in steady state no allocation happens per
-    /// element event anywhere on the path.
+    /// table and dispatch interned events straight into the bank — no
+    /// owned `Event` is ever materialized, and in steady state no
+    /// allocation happens per element event anywhere on the path.
+    ///
+    /// Events move in **batches**: the parser fills a reusable
+    /// arena-backed [`EventBatch`] per structural-index pass and the
+    /// bank walks each run in one call
+    /// ([`fx_core::MultiFilter::process_batch_to`] /
+    /// [`fx_core::IndexedBank::process_batch_to`]), so the callback
+    /// boundary is paid once per batch instead of once per event. The
+    /// single-filter bank skips the batch buffer entirely: its filter is
+    /// fused into the tokenizer's monomorphized emit chain, with no
+    /// dynamic call anywhere on the per-event path.
     fn drive_interned<R: Read>(
         &mut self,
         reader: R,
@@ -507,21 +522,24 @@ impl Session {
             StreamingParser::with_symbols(Arc::clone(&self.symbols)).lookup_only()
         });
         parser.reset();
-        let Session {
-            inner,
-            collected,
-            events,
-            ..
-        } = self;
-        let result = parser
-            .drive_reader(reader, &mut |ev, span| {
-                if matches!(ev, SymEvent::StartDocument) {
-                    collected.clear();
-                }
-                *events += 1;
-                inner.push_sym(ev, span, sink);
-            })
-            .map_err(EngineError::from);
+        // A drive is exactly one document: clearing the outbox up front
+        // equals clearing at its `StartDocument`.
+        self.collected.clear();
+        let Session { inner, events, .. } = self;
+        let result = match inner {
+            SessionInner::Bank(bank) if bank.len() == 1 => parser
+                .drive_reader(reader, &mut |ev, span| {
+                    *events += 1;
+                    bank.process_sym_to(ev, span, sink);
+                })
+                .map_err(EngineError::from),
+            _ => parser
+                .drive_batched(reader, &mut |batch| {
+                    *events += batch.len() as u64;
+                    inner.push_batch(batch, sink);
+                })
+                .map_err(EngineError::from),
+        };
         self.parser = Some(parser);
         result
     }

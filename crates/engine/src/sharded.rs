@@ -27,14 +27,9 @@ use crate::builder::Engine;
 use crate::error::EngineError;
 use crate::session::{Outcome, Session, Verdicts};
 use fx_core::{IndexSpaceStats, Match};
-use fx_xml::{AttrBuf, EventBatch, StreamingParser};
+use fx_xml::{EventBatch, StreamingParser, BATCH_BYTES, BATCH_EVENTS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-
-/// Events per [`EventBatch`] before the producer publishes it.
-const BATCH_EVENTS: usize = 1024;
-/// Payload bytes per [`EventBatch`] before the producer publishes it.
-const BATCH_BYTES: usize = 64 * 1024;
 
 /// A bounded single-producer / multi-consumer **broadcast** ring of
 /// [`EventBatch`]es: every consumer sees every batch, in publish
@@ -223,9 +218,15 @@ impl Engine {
     /// threads — the many-small-docs dissemination path. Each worker
     /// owns a full session (cloned bank, frozen-snapshot parser via
     /// [`Session::freeze_parser`], so name resolution is lock-free) and
-    /// claims documents from a shared counter; results come back in
-    /// **input order** (`docs[i]` → `result[i]`, the stable `doc_seq`
-    /// ordering), however the workers interleave.
+    /// claims work from a shared counter by **claim-halving**: each
+    /// claim takes half of the remaining queue divided by the worker
+    /// count (at least one document), so early claims amortize the
+    /// atomic while the tail degrades to single-document grabs — a
+    /// worker stuck on one huge document strands at most its current
+    /// (geometrically shrinking) chunk, and the rest of the queue is
+    /// stolen by idle workers. Results come back in **input order**
+    /// (`docs[i]` → `result[i]`, the stable `doc_seq` ordering), however
+    /// the workers interleave.
     ///
     /// Verdicts are per-document identical to running each document
     /// through [`Engine::run_reader`] on one thread. On error the
@@ -277,11 +278,32 @@ impl Engine {
                         session.freeze_parser();
                         let mut produced = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= docs.len() {
+                            // Claim-halving: take `remaining / (2 ·
+                            // threads)` documents (at least one) in one
+                            // CAS. Chunks shrink geometrically toward
+                            // single-document claims, so skewed document
+                            // sizes rebalance at the tail instead of
+                            // stranding a fixed share behind one slow
+                            // worker.
+                            let start = next.load(Ordering::Relaxed);
+                            if start >= docs.len() {
                                 break;
                             }
-                            produced.push((i, run(&mut session, docs[i].as_ref())));
+                            let take = ((docs.len() - start) / (2 * threads)).max(1);
+                            if next
+                                .compare_exchange_weak(
+                                    start,
+                                    start + take,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_err()
+                            {
+                                continue;
+                            }
+                            for (i, doc) in docs.iter().enumerate().skip(start).take(take) {
+                                produced.push((i, run(&mut session, doc.as_ref())));
+                            }
                         }
                         produced
                     })
@@ -336,12 +358,9 @@ impl Engine {
                 .map(|(ci, mut bank)| {
                     let ring = &ring;
                     s.spawn(move || {
-                        let mut scratch = AttrBuf::new();
                         let mut matches: Vec<Match> = Vec::new();
                         ring.consume(ci, |batch| {
-                            batch.replay(&mut scratch, |ev, span| {
-                                bank.process_sym_to(ev, span, &mut |m: Match| matches.push(m));
-                            });
+                            bank.process_batch_to(batch, &mut |m: Match| matches.push(m));
                         });
                         let owns: Vec<bool> = (0..bank.len()).map(|q| bank.owns_slot(q)).collect();
                         (bank.results(), owns, matches, bank.space_stats())
@@ -351,7 +370,12 @@ impl Engine {
 
             // The producer runs on the calling thread: one parse, K
             // replays. The parser freezes its own snapshot of the
-            // engine table, so this thread needs no lock either.
+            // engine table, so this thread needs no lock either. It
+            // fills its batch inline (same `BATCH_EVENTS`/`BATCH_BYTES`
+            // cut as `drive_batched`) rather than through the parser's
+            // own batch, because the ring recycles batches by swapping
+            // owned buffers — `publish` needs `&mut EventBatch`, not
+            // the borrow `drive_batched` hands out.
             let mut parser = StreamingParser::with_symbols(Arc::clone(self.symbols()))
                 .lookup_only()
                 .frozen();
@@ -401,7 +425,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::IndexPolicy;
-    use fx_xml::{Span, SymEvent, Symbols};
+    use fx_xml::{AttrBuf, Span, SymEvent, Symbols};
 
     /// Every consumer must see every batch, in publish order, with
     /// backpressure never deadlocking a slow consumer.

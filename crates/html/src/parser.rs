@@ -10,7 +10,8 @@
 
 use fx_xml::scan;
 use fx_xml::{
-    AttrBuf, Event, EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols, Utf8Carry,
+    AttrBuf, Event, EventBatch, EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols,
+    Utf8Carry, BATCH_BYTES, BATCH_EVENTS,
 };
 use std::io::Read;
 use std::sync::Arc;
@@ -123,6 +124,8 @@ pub struct HtmlParser {
     utf8_carry: Utf8Carry,
     /// Reused read buffer for [`HtmlParser::drive_reader`].
     io_chunk: Vec<u8>,
+    /// Reused event batch for [`HtmlParser::drive_batched`].
+    ev_batch: EventBatch,
 }
 
 impl Default for HtmlParser {
@@ -162,6 +165,7 @@ impl HtmlParser {
             attrs: AttrBuf::new(),
             utf8_carry: Utf8Carry::new(),
             io_chunk: Vec::new(),
+            ev_batch: EventBatch::new(),
         }
     }
 
@@ -228,10 +232,10 @@ impl HtmlParser {
     /// interned zero-copy form. Structural oddities recover silently;
     /// the `Result` exists for [`EventSource`] parity and is always
     /// `Ok` here.
-    pub fn feed_interned(
+    pub fn feed_interned<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         chunk: &str,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         self.compact();
         self.buf.push_str(chunk);
@@ -243,10 +247,10 @@ impl HtmlParser {
     /// per chunk and carries a scalar split across chunk boundaries, so
     /// any read boundary — including mid-multibyte-character — is safe.
     /// The only possible error is invalid UTF-8.
-    pub fn feed_interned_bytes(
+    pub fn feed_interned_bytes<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         chunk: &[u8],
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         self.compact();
         let HtmlParser {
@@ -264,9 +268,9 @@ impl HtmlParser {
     /// element (implied end tags at EOF), and frames the stream with
     /// `StartDocument`/`EndDocument` even when the input held no
     /// elements at all.
-    pub fn finish_interned(
+    pub fn finish_interned<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         if self.finished {
             return Err(ParseError {
@@ -321,10 +325,10 @@ impl HtmlParser {
     /// Streams a whole document from `reader` through the interned
     /// surface: fixed-size chunks, split UTF-8 scalars carried across
     /// boundaries. The only possible errors are I/O and invalid UTF-8.
-    pub fn drive_reader<R: Read>(
+    pub fn drive_reader<R: Read, F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         mut reader: R,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let mut chunk = std::mem::take(&mut self.io_chunk);
         let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
@@ -332,6 +336,37 @@ impl HtmlParser {
         })
         .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
+        result
+    }
+
+    /// Streams a whole document from `reader` as recycled
+    /// [`EventBatch`]es — the soup frontend's native
+    /// [`EventSource::drive_batched`]: batches cut on
+    /// [`BATCH_EVENTS`] events or [`BATCH_BYTES`] payload bytes, the
+    /// batch borrow valid only for the `consume` call.
+    pub fn drive_batched<R: Read>(
+        &mut self,
+        mut reader: R,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError> {
+        let mut batch = std::mem::take(&mut self.ev_batch);
+        batch.clear();
+        let mut chunk = std::mem::take(&mut self.io_chunk);
+        let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, &mut |ev, span| batch.push(&ev, span))?;
+            if batch.len() >= BATCH_EVENTS || batch.payload_bytes() >= BATCH_BYTES {
+                consume(&batch);
+                batch.clear();
+            }
+            Ok(())
+        })
+        .and_then(|()| self.finish_interned(&mut |ev, span| batch.push(&ev, span)));
+        if result.is_ok() && !batch.is_empty() {
+            consume(&batch);
+        }
+        batch.clear();
+        self.io_chunk = chunk;
+        self.ev_batch = batch;
         result
     }
 
@@ -351,7 +386,7 @@ impl HtmlParser {
         self.pos = 0;
     }
 
-    fn drain(&mut self, at_eof: bool, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn drain<F: FnMut(SymEvent<'_>, Span) + ?Sized>(&mut self, at_eof: bool, emit: &mut F) {
         loop {
             if self.raw.is_some() {
                 if !self.drain_raw(at_eof, emit) {
@@ -423,7 +458,12 @@ impl HtmlParser {
     /// Emits the next `len` bytes of pending input as one text node
     /// (entity-decoded when `decode`), dropping it when whitespace-only
     /// (unless [`HtmlParser::keep_whitespace`]) or outside any element.
-    fn take_text(&mut self, len: usize, decode: bool, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn take_text<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        len: usize,
+        decode: bool,
+        emit: &mut F,
+    ) {
         self.text_scratch.clear();
         let raw = &self.buf[self.pos..self.pos + len];
         if decode {
@@ -486,7 +526,12 @@ impl HtmlParser {
         None
     }
 
-    fn handle_tag(&mut self, tag: &str, span: Span, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn handle_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        tag: &str,
+        span: Span,
+        emit: &mut F,
+    ) {
         if tag.starts_with("<!") || tag.starts_with("<?") {
             return; // comments, doctype, processing-instruction soup
         }
@@ -497,7 +542,12 @@ impl HtmlParser {
         }
     }
 
-    fn handle_end_tag(&mut self, rest: &str, span: Span, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn handle_end_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        rest: &str,
+        span: Span,
+        emit: &mut F,
+    ) {
         self.name_scratch.clear();
         for c in rest.chars() {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' {
@@ -527,11 +577,11 @@ impl HtmlParser {
         emit(SymEvent::EndElement { name: sym }, span);
     }
 
-    fn handle_start_tag(
+    fn handle_start_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         tag: &str,
         span: Span,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) {
         // `<name attrs>` — a trailing `/` is ignored on non-void
         // elements, as in HTML (`<div/>` opens a div).
@@ -609,7 +659,11 @@ impl HtmlParser {
     /// Drains raw-text content (`<script>`, `<title>`, …): everything
     /// to the matching case-insensitive `</name` is one text node.
     /// Returns false when waiting for more input.
-    fn drain_raw(&mut self, at_eof: bool, emit: &mut dyn FnMut(SymEvent<'_>, Span)) -> bool {
+    fn drain_raw<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        at_eof: bool,
+        emit: &mut F,
+    ) -> bool {
         let kind = self.raw.expect("drain_raw called in raw mode");
         let decode = kind == RawKind::Escapable;
         let b = self.pending().as_bytes();
@@ -777,12 +831,12 @@ impl EventSource for HtmlParser {
         HtmlParser::invalidate_name_memo(self);
     }
 
-    fn drive(
+    fn drive_batched(
         &mut self,
         reader: &mut dyn Read,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        consume: &mut dyn FnMut(&EventBatch),
     ) -> Result<(), ParseError> {
-        self.drive_reader(reader, emit)
+        HtmlParser::drive_batched(self, reader, consume)
     }
 }
 

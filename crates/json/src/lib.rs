@@ -48,6 +48,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ndjson;
 pub mod parser;
 
+pub use ndjson::NdjsonParser;
 pub use parser::{parse_json, JsonParser};

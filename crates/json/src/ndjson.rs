@@ -1,0 +1,317 @@
+//! Newline-delimited JSON (NDJSON) record streams.
+//!
+//! An NDJSON stream is a sequence of JSON documents, one per line —
+//! the lingua franca of log pipelines and bulk APIs. [`NdjsonParser`]
+//! maps the whole stream onto the engine's event surface as a
+//! **document sequence**: each non-blank line becomes one framed
+//! document (`StartDocument` … `EndDocument`) under the crate's JSON →
+//! element mapping, exactly as if each record had been streamed through
+//! [`JsonParser`] on its own — but through one reusable parser, one
+//! symbol table, and one pass over the input.
+//!
+//! Segmentation is sound because a *raw* newline byte can never occur
+//! inside a JSON string token (the grammar requires it escaped as
+//! `\n`), so splitting the byte stream at `0x0A` only ever cuts between
+//! tokens or inside insignificant whitespace. Blank (whitespace-only)
+//! lines are skipped. Spans are **stream-global** byte offsets, so a
+//! match's span slices the original NDJSON input, not the record.
+//!
+//! A multi-document source composes with session reuse: drive the
+//! stream once and every record's verdicts fold through the same
+//! filter bank, with per-document state reset at each record's
+//! `StartDocument` — which is how `fxgrep --format ndjson` answers
+//! "does any record match".
+
+use crate::parser::JsonParser;
+use fx_xml::{
+    EventBatch, EventSource, ParseError, Span, SymEvent, Symbols, BATCH_BYTES, BATCH_EVENTS,
+};
+use std::io::Read;
+use std::sync::Arc;
+
+/// A streaming NDJSON frontend: one [`JsonParser`] recycled across the
+/// stream's records, each non-blank line framed as its own document.
+/// Implements [`EventSource`], so it drives engine sessions exactly
+/// like the single-document frontends.
+#[derive(Debug, Clone)]
+pub struct NdjsonParser {
+    inner: JsonParser,
+    /// Stream-global byte offset of the current record's first byte:
+    /// the inner parser's record-local spans shift by this much.
+    base: u64,
+    /// Total stream bytes consumed so far (records plus newlines).
+    stream_pos: u64,
+    /// Whether the current record has seen a non-whitespace byte —
+    /// blank lines produce no document.
+    dirty: bool,
+    /// Reused read buffer for the reader drivers.
+    io_chunk: Vec<u8>,
+    /// Reused event batch for [`NdjsonParser::drive_batched`].
+    ev_batch: EventBatch,
+}
+
+impl Default for NdjsonParser {
+    fn default() -> Self {
+        NdjsonParser::new()
+    }
+}
+
+impl NdjsonParser {
+    /// A parser with a fresh private [`Symbols`] table.
+    pub fn new() -> NdjsonParser {
+        NdjsonParser::from_inner(JsonParser::new())
+    }
+
+    /// A parser interning keys into `symbols` — the table downstream
+    /// compiled queries resolve their node tests in.
+    pub fn with_symbols(symbols: Arc<Symbols>) -> NdjsonParser {
+        NdjsonParser::from_inner(JsonParser::with_symbols(symbols))
+    }
+
+    fn from_inner(inner: JsonParser) -> NdjsonParser {
+        NdjsonParser {
+            inner,
+            base: 0,
+            stream_pos: 0,
+            dirty: false,
+            io_chunk: Vec::new(),
+            ev_batch: EventBatch::new(),
+        }
+    }
+
+    /// Switches the inner parser to *lookup-only* name resolution (see
+    /// [`JsonParser::lookup_only`]): unbounded key vocabularies never
+    /// grow the shared table.
+    pub fn lookup_only(mut self) -> NdjsonParser {
+        self.inner = self.inner.lookup_only();
+        self
+    }
+
+    /// The symbol table this parser resolves keys against.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        self.inner.symbols()
+    }
+
+    /// Resets per-stream state, keeping the table handle, the name
+    /// memo, and every scratch buffer's capacity warm.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.base = 0;
+        self.stream_pos = 0;
+        self.dirty = false;
+    }
+
+    /// Drops memoized name verdicts (see
+    /// `fx_xml::StreamingParser::invalidate_name_memo`).
+    pub fn invalidate_name_memo(&mut self) {
+        self.inner.invalidate_name_memo();
+    }
+
+    /// Feeds one newline-free segment of the current record to the
+    /// inner parser, shifting its record-local spans to stream-global
+    /// offsets.
+    fn feed_segment(&mut self, segment: &[u8], batch: &mut EventBatch) -> Result<(), ParseError> {
+        if segment.is_empty() {
+            return Ok(());
+        }
+        if !self.dirty
+            && segment
+                .iter()
+                .any(|&b| !matches!(b, b' ' | b'\t' | b'\r' | 0xEF | 0xBB | 0xBF))
+        {
+            self.dirty = true;
+        }
+        let base = self.base;
+        self.inner.feed_interned_bytes(segment, &mut |ev, span| {
+            batch.push(&ev, Span::new(span.start + base, span.end + base))
+        })?;
+        self.stream_pos += segment.len() as u64;
+        Ok(())
+    }
+
+    /// Ends the current record: a record that saw content finishes
+    /// (emitting its `EndDocument`) and the inner parser resets for the
+    /// next line; a blank record just resets the offset bookkeeping.
+    fn end_record(&mut self, batch: &mut EventBatch) -> Result<(), ParseError> {
+        if self.dirty {
+            let base = self.base;
+            self.inner.finish_interned(&mut |ev, span| {
+                batch.push(&ev, Span::new(span.start + base, span.end + base))
+            })?;
+            self.dirty = false;
+        }
+        self.inner.reset();
+        self.base = self.stream_pos;
+        Ok(())
+    }
+
+    /// Streams the whole record sequence from `reader` as recycled
+    /// [`EventBatch`]es — the NDJSON frontend's native
+    /// [`EventSource::drive_batched`]. Batches cut on [`BATCH_EVENTS`]
+    /// events or [`BATCH_BYTES`] payload bytes and freely span record
+    /// boundaries; each record contributes its own
+    /// `StartDocument` … `EndDocument` framing.
+    pub fn drive_batched<R: Read>(
+        &mut self,
+        mut reader: R,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError> {
+        let mut batch = std::mem::take(&mut self.ev_batch);
+        batch.clear();
+        let mut chunk = std::mem::take(&mut self.io_chunk);
+        let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            let mut rest = bytes;
+            // Splitting at raw 0x0A is UTF-8-safe (never a continuation
+            // byte) and JSON-safe (never inside an unescaped string).
+            while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+                let (line, after) = rest.split_at(nl);
+                self.feed_segment(line, &mut batch)?;
+                self.end_record(&mut batch)?;
+                self.stream_pos += 1; // the newline itself
+                self.base = self.stream_pos;
+                rest = &after[1..];
+                if batch.len() >= BATCH_EVENTS || batch.payload_bytes() >= BATCH_BYTES {
+                    consume(&batch);
+                    batch.clear();
+                }
+            }
+            self.feed_segment(rest, &mut batch)?;
+            if batch.len() >= BATCH_EVENTS || batch.payload_bytes() >= BATCH_BYTES {
+                consume(&batch);
+                batch.clear();
+            }
+            Ok(())
+        })
+        // A trailing record without a final newline still counts.
+        .and_then(|()| self.end_record(&mut batch));
+        if result.is_ok() && !batch.is_empty() {
+            consume(&batch);
+        }
+        batch.clear();
+        self.io_chunk = chunk;
+        self.ev_batch = batch;
+        result
+    }
+
+    /// Per-event [`NdjsonParser::drive_batched`]: streams the record
+    /// sequence one event at a time.
+    pub fn drive_reader<R: Read, F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        mut reader: R,
+        emit: &mut F,
+    ) -> Result<(), ParseError> {
+        let mut scratch = fx_xml::AttrBuf::new();
+        self.drive_batched(&mut reader, &mut |batch| {
+            batch.replay(&mut scratch, &mut *emit)
+        })
+    }
+}
+
+impl EventSource for NdjsonParser {
+    fn symbols(&self) -> &Arc<Symbols> {
+        NdjsonParser::symbols(self)
+    }
+
+    fn reset(&mut self) {
+        NdjsonParser::reset(self);
+    }
+
+    fn invalidate_name_memo(&mut self) {
+        NdjsonParser::invalidate_name_memo(self);
+    }
+
+    fn drive_batched(
+        &mut self,
+        reader: &mut dyn Read,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError> {
+        NdjsonParser::drive_batched(self, reader, consume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx_xml::Event;
+
+    fn events_of(ndjson: &str) -> Vec<Event> {
+        let mut p = NdjsonParser::new();
+        let symbols = Arc::clone(p.symbols());
+        let mut out = Vec::new();
+        p.drive_reader(ndjson.as_bytes(), &mut |ev, _| {
+            out.push(ev.to_owned(&symbols));
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn each_line_is_one_framed_document() {
+        let evs = events_of("{\"a\":1}\n{\"a\":2}\n");
+        let docs = evs
+            .iter()
+            .filter(|e| matches!(e, Event::StartDocument))
+            .count();
+        assert_eq!(docs, 2);
+        let mut per_record = crate::parse_json("{\"a\":1}").unwrap();
+        per_record.extend(crate::parse_json("{\"a\":2}").unwrap());
+        assert_eq!(evs, per_record);
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline() {
+        let evs = events_of("\n{\"a\":1}\n\n   \n{\"a\":2}");
+        let docs = evs
+            .iter()
+            .filter(|e| matches!(e, Event::StartDocument))
+            .count();
+        assert_eq!(docs, 2, "blank lines produce no documents");
+    }
+
+    #[test]
+    fn spans_are_stream_global() {
+        let ndjson = "{\"a\":1}\n{\"bb\":22}\n";
+        let mut p = NdjsonParser::new();
+        let symbols = Arc::clone(p.symbols());
+        let mut spans = Vec::new();
+        p.drive_reader(ndjson.as_bytes(), &mut |ev, span| {
+            if let SymEvent::StartElement { name, .. } = ev {
+                if symbols.resolve(name) == "bb" {
+                    spans.push(span);
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(spans.len(), 1);
+        // The second record's "bb" member starts after the first line,
+        // and its span (the value token, per the JSON mapping) slices
+        // the *stream*, not the record.
+        assert!(spans[0].start >= 8, "{:?}", spans[0]);
+        assert_eq!(spans[0].slice(ndjson), Some("22"));
+    }
+
+    #[test]
+    fn malformed_record_is_an_error() {
+        let mut p = NdjsonParser::new();
+        assert!(p
+            .drive_reader("{\"a\":1}\n{broken\n".as_bytes(), &mut |_, _| {})
+            .is_err());
+    }
+
+    #[test]
+    fn parser_is_reusable_across_streams() {
+        let mut p = NdjsonParser::new();
+        let symbols = Arc::clone(p.symbols());
+        for _ in 0..2 {
+            let mut docs = 0;
+            p.drive_reader("{\"a\":1}\n{\"a\":2}\n".as_bytes(), &mut |ev, _| {
+                if ev.to_owned(&symbols) == Event::StartDocument {
+                    docs += 1;
+                }
+            })
+            .unwrap();
+            assert_eq!(docs, 2);
+            EventSource::reset(&mut p);
+        }
+    }
+}

@@ -7,7 +7,10 @@
 //! documents. See the crate docs for the JSON → element mapping.
 
 use fx_xml::scan;
-use fx_xml::{EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols, Utf8Carry};
+use fx_xml::{
+    EventBatch, EventSource, ParseError, Span, Sym, SymCache, SymEvent, Symbols, Utf8Carry,
+    BATCH_BYTES, BATCH_EVENTS,
+};
 use std::io::Read;
 use std::sync::Arc;
 
@@ -63,6 +66,8 @@ pub struct JsonParser {
     utf8_carry: Utf8Carry,
     /// Reused read buffer for [`JsonParser::drive_reader`].
     io_chunk: Vec<u8>,
+    /// Reused event batch for [`JsonParser::drive_batched`].
+    ev_batch: EventBatch,
 }
 
 impl Default for JsonParser {
@@ -95,6 +100,7 @@ impl JsonParser {
             text_scratch: String::new(),
             utf8_carry: Utf8Carry::new(),
             io_chunk: Vec::new(),
+            ev_batch: EventBatch::new(),
         }
     }
 
@@ -147,10 +153,10 @@ impl JsonParser {
 
     /// Feeds a chunk, emitting every event whose token is complete, in
     /// interned zero-copy form.
-    pub fn feed_interned(
+    pub fn feed_interned<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         chunk: &str,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         self.compact();
         self.buf.push_str(chunk);
@@ -160,10 +166,10 @@ impl JsonParser {
     /// [`JsonParser::feed_interned`] on raw bytes: validates UTF-8 once
     /// per chunk and carries a scalar split across chunk boundaries, so
     /// any read boundary — including mid-multibyte-character — is safe.
-    pub fn feed_interned_bytes(
+    pub fn feed_interned_bytes<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         chunk: &[u8],
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         self.compact();
         let JsonParser {
@@ -179,9 +185,9 @@ impl JsonParser {
     /// Signals end of input: completes a trailing number token, then
     /// verifies the document held exactly one root value and emits
     /// `EndDocument`.
-    pub fn finish_interned(
+    pub fn finish_interned<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         if self.finished {
             return Err(self.err("finish called twice"));
@@ -202,10 +208,10 @@ impl JsonParser {
     /// Streams a whole document from `reader` through the interned
     /// surface: fixed-size chunks, split UTF-8 scalars carried across
     /// boundaries.
-    pub fn drive_reader<R: Read>(
+    pub fn drive_reader<R: Read, F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         mut reader: R,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let mut chunk = std::mem::take(&mut self.io_chunk);
         let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
@@ -213,6 +219,37 @@ impl JsonParser {
         })
         .and_then(|()| self.finish_interned(emit));
         self.io_chunk = chunk;
+        result
+    }
+
+    /// Streams a whole document from `reader` as recycled
+    /// [`EventBatch`]es — the JSON frontend's native
+    /// [`EventSource::drive_batched`]: batches cut on
+    /// [`BATCH_EVENTS`] events or [`BATCH_BYTES`] payload bytes, the
+    /// batch borrow valid only for the `consume` call.
+    pub fn drive_batched<R: Read>(
+        &mut self,
+        mut reader: R,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError> {
+        let mut batch = std::mem::take(&mut self.ev_batch);
+        batch.clear();
+        let mut chunk = std::mem::take(&mut self.io_chunk);
+        let result = fx_xml::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, &mut |ev, span| batch.push(&ev, span))?;
+            if batch.len() >= BATCH_EVENTS || batch.payload_bytes() >= BATCH_BYTES {
+                consume(&batch);
+                batch.clear();
+            }
+            Ok(())
+        })
+        .and_then(|()| self.finish_interned(&mut |ev, span| batch.push(&ev, span)));
+        if result.is_ok() && !batch.is_empty() {
+            consume(&batch);
+        }
+        batch.clear();
+        self.io_chunk = chunk;
+        self.ev_batch = batch;
         result
     }
 
@@ -266,7 +303,7 @@ impl JsonParser {
         }
     }
 
-    fn ensure_started(&mut self, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn ensure_started<F: FnMut(SymEvent<'_>, Span) + ?Sized>(&mut self, emit: &mut F) {
         if !self.started {
             self.started = true;
             emit(SymEvent::StartDocument, Span::point(0));
@@ -283,7 +320,7 @@ impl JsonParser {
     }
 
     /// Pops the innermost container at its `}` / `]`.
-    fn close_container(&mut self, span: Span, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn close_container<F: FnMut(SymEvent<'_>, Span) + ?Sized>(&mut self, span: Span, emit: &mut F) {
         let frame = self.stack.pop().expect("close with open container");
         let close = match frame {
             Frame::Object { close } => Some(close),
@@ -295,10 +332,10 @@ impl JsonParser {
         self.after_value();
     }
 
-    fn drain(
+    fn drain<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         at_eof: bool,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         loop {
             self.skip_ws();
@@ -505,7 +542,12 @@ impl JsonParser {
 
     /// Emits the element/text/element triple of a string scalar whose
     /// decoded text sits in `text_scratch`.
-    fn emit_scalar(&mut self, name: Sym, span: Span, emit: &mut dyn FnMut(SymEvent<'_>, Span)) {
+    fn emit_scalar<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
+        &mut self,
+        name: Sym,
+        span: Span,
+        emit: &mut F,
+    ) {
         self.ensure_started(emit);
         emit(
             SymEvent::StartElement {
@@ -627,12 +669,12 @@ impl EventSource for JsonParser {
         JsonParser::invalidate_name_memo(self);
     }
 
-    fn drive(
+    fn drive_batched(
         &mut self,
         reader: &mut dyn Read,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        consume: &mut dyn FnMut(&EventBatch),
     ) -> Result<(), ParseError> {
-        self.drive_reader(reader, emit)
+        JsonParser::drive_batched(self, reader, consume)
     }
 }
 

@@ -21,6 +21,17 @@
 use crate::span::Span;
 use crate::symbols::{AttrBuf, Sym, SymEvent};
 
+/// Default batch cut on event count: producers publish a batch once it
+/// holds this many events. Sized so one batch amortizes the dispatch
+/// boundary (one virtual call per ~1024 events instead of per event)
+/// while staying small enough to live in cache.
+pub const BATCH_EVENTS: usize = 1024;
+
+/// Default batch cut on payload bytes (text + attribute values): the
+/// companion knob to [`BATCH_EVENTS`] for text-heavy streams, so one
+/// giant text node cannot grow a batch arena without bound.
+pub const BATCH_BYTES: usize = 64 * 1024;
+
 /// One event's fixed-size record. Payload fields index the batch
 /// arenas; unused fields are zero.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +64,22 @@ struct BatchAttr {
 }
 
 /// A reusable, owned run of interned events (see the module docs).
+///
+/// # Reuse and invalidation
+///
+/// A batch is a value type over *copied* payloads: once
+/// [`EventBatch::push`] returns, the batch is self-contained — it stays
+/// valid across further parser feeds, resets, and thread sends, unlike
+/// the borrowed [`SymEvent`]s it was built from. The intended lifecycle
+/// is a loop of **fill → replay (any number of times) → [`EventBatch::clear`]**:
+/// `clear` logically empties the batch but keeps every arena's
+/// capacity, so a recycled batch performs zero allocations per event in
+/// steady state. Pushing *without* clearing appends (batches
+/// accumulate); replaying a cleared batch yields nothing. The one
+/// invalidation rule: the [`Sym`]s inside a batch are only meaningful
+/// against the symbol table of the parser that produced it, so a batch
+/// must never outlive that table or cross to a consumer compiled
+/// against a different one.
 #[derive(Debug, Clone, Default)]
 pub struct EventBatch {
     ops: Vec<BatchOp>,
@@ -182,6 +209,65 @@ impl EventBatch {
                 ),
             }
         }
+    }
+
+    /// Index of the first `StartDocument` at or after `from`, if any —
+    /// how a decided consumer skips the rest of one document's events
+    /// without replaying them (document boundaries are the only places
+    /// a decided filter bank can wake up).
+    pub fn find_start_document(&self, from: usize) -> Option<usize> {
+        self.ops[from..]
+            .iter()
+            .position(|op| op.kind == OpKind::StartDocument)
+            .map(|i| from + i)
+    }
+
+    /// [`EventBatch::replay`] from event index `from`, with per-event
+    /// flow control: `f` returns `true` to keep going, `false` to stop
+    /// after the current event. Returns the index of the first event
+    /// *not* replayed (`len()` when the batch ran dry), so a consumer
+    /// that short-circuits mid-batch (a filter bank going fully
+    /// decided) can later resume — typically at the next
+    /// [`EventBatch::find_start_document`] — without re-entering
+    /// per-event dispatch in between.
+    pub fn replay_control<F: for<'a> FnMut(SymEvent<'a>, Span) -> bool>(
+        &self,
+        from: usize,
+        scratch: &mut AttrBuf,
+        mut f: F,
+    ) -> usize {
+        for (i, op) in self.ops.iter().enumerate().skip(from) {
+            let keep_going = match op.kind {
+                OpKind::StartDocument => f(SymEvent::StartDocument, op.span),
+                OpKind::EndDocument => f(SymEvent::EndDocument, op.span),
+                OpKind::Start => {
+                    scratch.clear();
+                    for attr in &self.attrs[op.a as usize..op.b as usize] {
+                        scratch
+                            .push_name(attr.name)
+                            .push_str(&self.text[attr.a as usize..attr.b as usize]);
+                    }
+                    f(
+                        SymEvent::StartElement {
+                            name: op.name,
+                            attributes: scratch.as_slice(),
+                        },
+                        op.span,
+                    )
+                }
+                OpKind::End => f(SymEvent::EndElement { name: op.name }, op.span),
+                OpKind::Text => f(
+                    SymEvent::Text {
+                        content: &self.text[op.a as usize..op.b as usize],
+                    },
+                    op.span,
+                ),
+            };
+            if !keep_going {
+                return i + 1;
+            }
+        }
+        self.ops.len()
     }
 }
 

@@ -31,7 +31,7 @@ pub mod symbols;
 pub mod wellformed;
 pub mod writer;
 
-pub use batch::EventBatch;
+pub use batch::{EventBatch, BATCH_BYTES, BATCH_EVENTS};
 pub use escape::{decode_entities, decode_entities_into, escape_attr, escape_text};
 pub use event::{drive, notation, Attribute, Event, EventCollector, EventRef, SaxHandler};
 pub use iter::{EventIter, SpannedEvents};

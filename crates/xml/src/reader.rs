@@ -20,6 +20,7 @@
 //! UTF-8 once per chunk and carries a scalar split across chunk
 //! boundaries (see [`crate::source::Utf8Carry`]).
 
+use crate::batch::{EventBatch, BATCH_BYTES, BATCH_EVENTS};
 use crate::escape::decode_entities_into;
 use crate::event::{Event, SaxHandler};
 use crate::parser::ParseError;
@@ -85,6 +86,10 @@ pub struct StreamingParser {
     struct_idx: Vec<u32>,
     /// Reused read buffer for [`StreamingParser::drive_reader`].
     io_chunk: Vec<u8>,
+    /// Reused event batch for [`StreamingParser::drive_batched`]:
+    /// recycled (`clear` keeps arena capacity) so the batched drive
+    /// allocates nothing per event in steady state.
+    ev_batch: EventBatch,
 }
 
 impl Default for StreamingParser {
@@ -124,6 +129,7 @@ impl StreamingParser {
             attrs: AttrBuf::new(),
             struct_idx: Vec::new(),
             io_chunk: Vec::new(),
+            ev_batch: EventBatch::new(),
         }
     }
 
@@ -426,10 +432,77 @@ impl StreamingParser {
         result
     }
 
-    fn drain(
+    /// One batched drain: feeds `chunk` and appends every event this
+    /// structural-index pass completes to `batch` — the batch-granular
+    /// sibling of [`StreamingParser::feed_interned`]. The push into the
+    /// batch is monomorphized into the token loop, and the batch copies
+    /// payloads into its own arenas, so the filled batch outlives
+    /// further feeds (see [`EventBatch`] for the reuse rules).
+    pub fn drain_batch(&mut self, chunk: &str, batch: &mut EventBatch) -> Result<(), ParseError> {
+        self.feed_interned(chunk, &mut |ev, span| batch.push(&ev, span))
+    }
+
+    /// [`StreamingParser::drain_batch`] over raw bytes with arbitrary
+    /// chunk boundaries (the [`StreamingParser::feed_interned_bytes`]
+    /// surface).
+    pub fn drain_batch_bytes(
+        &mut self,
+        chunk: &[u8],
+        batch: &mut EventBatch,
+    ) -> Result<(), ParseError> {
+        self.feed_interned_bytes(chunk, &mut |ev, span| batch.push(&ev, span))
+    }
+
+    /// [`StreamingParser::finish_interned`] into a batch: appends the
+    /// trailing events (including `EndDocument`) to `batch`.
+    pub fn finish_batch(&mut self, batch: &mut EventBatch) -> Result<(), ParseError> {
+        self.finish_interned(&mut |ev, span| batch.push(&ev, span))
+    }
+
+    /// Streams a whole document from `reader` as *batches*: the parser
+    /// fills its own recycled [`EventBatch`] (events plus spans, arenas
+    /// reused — zero allocation per event in steady state) and hands
+    /// each full batch to `consume`, cutting on [`BATCH_EVENTS`] events
+    /// or [`BATCH_BYTES`] payload bytes. One virtual call per batch
+    /// replaces one per event — the dispatch-amortized hot path
+    /// `Session::run_reader*` rides. The batch borrow handed to
+    /// `consume` is only valid for that call; the producer clears and
+    /// refills it afterwards.
+    pub fn drive_batched<R: Read>(
+        &mut self,
+        mut reader: R,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError> {
+        let mut batch = std::mem::take(&mut self.ev_batch);
+        batch.clear();
+        let mut chunk = std::mem::take(&mut self.io_chunk);
+        let result = crate::source::drive_byte_chunks(&mut reader, &mut chunk, &mut |bytes| {
+            self.feed_interned_bytes(bytes, &mut |ev, span| batch.push(&ev, span))?;
+            if batch.len() >= BATCH_EVENTS || batch.payload_bytes() >= BATCH_BYTES {
+                consume(&batch);
+                batch.clear();
+            }
+            Ok(())
+        })
+        .and_then(|()| self.finish_interned(&mut |ev, span| batch.push(&ev, span)));
+        if result.is_ok() && !batch.is_empty() {
+            consume(&batch);
+        }
+        batch.clear();
+        self.io_chunk = chunk;
+        self.ev_batch = batch;
+        result
+    }
+
+    // The whole internal drain chain is generic over the emit closure
+    // (`?Sized` keeps `&mut dyn FnMut` callers working): a concrete
+    // closure handed to the public generic surface monomorphizes all
+    // the way into the token loop — the filter inlines into the
+    // tokenizer, with no virtual call per event.
+    fn drain<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         at_eof: bool,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         // Take the buffer out so tags and text can be handled as plain
         // slices of it while `&mut self` stays free for state updates —
@@ -445,11 +518,11 @@ impl StreamingParser {
     /// buffer, or — the zero-copy fast path — the caller's own chunk).
     /// One SWAR pass builds the structural index; the token loop then
     /// walks delimiter *positions* instead of re-scanning bytes.
-    fn drain_slice(
+    fn drain_slice<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         buf: &str,
         at_eof: bool,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let mut idx = std::mem::take(&mut self.struct_idx);
         idx.clear();
@@ -467,12 +540,12 @@ impl StreamingParser {
         result
     }
 
-    fn drain_buf(
+    fn drain_buf<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         buf: &str,
         idx: &[u32],
         at_eof: bool,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let bytes = buf.as_bytes();
         let mut k = 0usize; // cursor into the structural index
@@ -530,12 +603,12 @@ impl StreamingParser {
         }
     }
 
-    fn take_text(
+    fn take_text<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         buf: &str,
         len: usize,
         last_amp: usize, // absolute position of the last `&`, or usize::MAX
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let text = &buf[self.pos..self.pos + len];
         // Entity-free text (the overwhelmingly common case) needs no
@@ -657,11 +730,11 @@ impl StreamingParser {
         Ok(None)
     }
 
-    fn handle_tag(
+    fn handle_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         tag: &str,
         span: Span,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         // One byte decides the tag kind; the `<!…`/`<?…` markup forms
         // take the cold path.
@@ -707,11 +780,11 @@ impl StreamingParser {
     /// CDATA becomes text, and any other `<!…` form falls through to
     /// the element path (an element named `!…`, as the batch parser
     /// sees it).
-    fn handle_markup_tag(
+    fn handle_markup_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         tag: &str,
         span: Span,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         if tag.starts_with("<!--") || tag.starts_with("<?") || tag.starts_with("<!DOCTYPE") {
             return Ok(());
@@ -732,11 +805,11 @@ impl StreamingParser {
     }
 
     /// A start (or self-closing) tag: `<name attr="v"…>` / `<name…/>`.
-    fn handle_element_tag(
+    fn handle_element_tag<F: FnMut(SymEvent<'_>, Span) + ?Sized>(
         &mut self,
         tag: &str,
         span: Span,
-        emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        emit: &mut F,
     ) -> Result<(), ParseError> {
         let inner = &tag.as_bytes()[1..tag.len() - 1];
         let (inner, self_closing) = match inner.split_last() {
@@ -816,12 +889,12 @@ impl crate::source::EventSource for StreamingParser {
         StreamingParser::invalidate_name_memo(self);
     }
 
-    fn drive(
+    fn drive_batched(
         &mut self,
         reader: &mut dyn Read,
-        mut emit: &mut dyn FnMut(SymEvent<'_>, Span),
+        consume: &mut dyn FnMut(&EventBatch),
     ) -> Result<(), ParseError> {
-        self.drive_reader(reader, &mut emit)
+        StreamingParser::drive_batched(self, reader, consume)
     }
 }
 

@@ -21,9 +21,10 @@
 //! table), and per-document state resets without dropping warm scratch
 //! capacity.
 
+use crate::batch::EventBatch;
 use crate::parser::ParseError;
 use crate::span::Span;
-use crate::symbols::{SymEvent, Symbols};
+use crate::symbols::{AttrBuf, SymEvent, Symbols};
 use std::io::Read;
 use std::sync::Arc;
 
@@ -50,15 +51,38 @@ pub trait EventSource {
     /// for sources without a memo.
     fn invalidate_name_memo(&mut self) {}
 
-    /// Streams one whole document from `reader`, emitting every event
-    /// (including the `StartDocument`/`EndDocument` framing) with its
-    /// source byte [`Span`]. Memory stays bounded by the read chunk
-    /// plus the largest single input token, never by document size.
+    /// Streams one whole document from `reader` as **runs of events**:
+    /// the source fills a reusable arena-backed [`EventBatch`] (events
+    /// plus spans, including the `StartDocument`/`EndDocument` framing)
+    /// and hands each full batch to `consume` — one virtual call per
+    /// batch instead of per event, which is what the engine's hot path
+    /// rides. The batch borrow is valid only for the duration of the
+    /// call (the source recycles it); memory stays bounded by the read
+    /// chunk, the batch cut ([`crate::BATCH_EVENTS`] /
+    /// [`crate::BATCH_BYTES`]), and the largest single input token —
+    /// never by document size. Batching is pure control-transfer
+    /// amortization: event order, spans, and the paper's frontier-space
+    /// bounds are exactly those of the per-event stream.
+    fn drive_batched(
+        &mut self,
+        reader: &mut dyn Read,
+        consume: &mut dyn FnMut(&EventBatch),
+    ) -> Result<(), ParseError>;
+
+    /// Per-event [`EventSource::drive_batched`]: streams the document
+    /// one event at a time by replaying each batch into `emit`. This is
+    /// the compatibility surface — same events, same spans — for
+    /// consumers that need a callback per event; throughput-sensitive
+    /// consumers should take whole batches via
+    /// [`EventSource::drive_batched`] instead.
     fn drive(
         &mut self,
         reader: &mut dyn Read,
         emit: &mut dyn FnMut(SymEvent<'_>, Span),
-    ) -> Result<(), ParseError>;
+    ) -> Result<(), ParseError> {
+        let mut scratch = AttrBuf::new();
+        self.drive_batched(reader, &mut |batch| batch.replay(&mut scratch, &mut *emit))
+    }
 }
 
 /// Length of the longest valid-UTF-8 prefix of `data`, or an error when

@@ -12,9 +12,13 @@
 //!                   grep-style streaming output
 //!   -v              print the filter's space statistics
 //!   --format FMT    input format: xml (default), html (lenient soup
-//!                   tokenizer — never fails structurally), or json
+//!                   tokenizer — never fails structurally), json
 //!                   (objects as elements, keys as QNames; query with
-//!                   paths like '/json/user/name')
+//!                   paths like '/json/user/name'), or ndjson
+//!                   (newline-delimited JSON: each line is its own
+//!                   record/document; MATCH means *some* record
+//!                   matched, so the engine runs in selection mode
+//!                   internally and the query must be reportable)
 //!
 //! With `-p` the engine runs in `Mode::Select`: matches stream out as
 //! they are confirmed (often long before end-of-document), each carrying
@@ -29,6 +33,7 @@ enum Format {
     Xml,
     Html,
     Json,
+    Ndjson,
 }
 
 /// Strips `--format FMT` / `--format=FMT` out of `args`; `None` with a
@@ -36,7 +41,7 @@ enum Format {
 fn take_format(args: &mut Vec<String>) -> Option<Format> {
     let value = if let Some(pos) = args.iter().position(|a| a == "--format") {
         if pos + 1 >= args.len() {
-            eprintln!("fxgrep: --format needs a value (xml, html, or json)");
+            eprintln!("fxgrep: --format needs a value (xml, html, json, or ndjson)");
             return None;
         }
         let v = args.remove(pos + 1);
@@ -51,8 +56,9 @@ fn take_format(args: &mut Vec<String>) -> Option<Format> {
         "xml" => Some(Format::Xml),
         "html" => Some(Format::Html),
         "json" => Some(Format::Json),
+        "ndjson" => Some(Format::Ndjson),
         other => {
-            eprintln!("fxgrep: unknown format '{other}' (expected xml, html, or json)");
+            eprintln!("fxgrep: unknown format '{other}' (expected xml, html, json, or ndjson)");
             None
         }
     }
@@ -68,12 +74,17 @@ fn main() -> ExitCode {
     };
 
     let Some(query_src) = args.first() else {
-        eprintln!("usage: fxgrep [-p] [-v] [--format xml|html|json] '<xpath>' [file ...]");
+        eprintln!("usage: fxgrep [-p] [-v] [--format xml|html|json|ndjson] '<xpath>' [file ...]");
         return ExitCode::from(2);
     };
+    // NDJSON streams many records through one drive, and the session's
+    // verdicts reflect only the last record — so "did any record match"
+    // is answered through the match stream: the engine runs in selection
+    // mode and a file MATCHes iff some record confirmed a match.
+    let ndjson = matches!(format, Format::Ndjson);
     let engine = match Engine::builder()
         .query_str(query_src)
-        .mode(if positions {
+        .mode(if positions || ndjson {
             Mode::Select
         } else {
             Mode::Filter
@@ -96,6 +107,7 @@ fn main() -> ExitCode {
         Format::Xml => None,
         Format::Html => Some(Box::new(engine.html_source())),
         Format::Json => Some(Box::new(engine.json_source())),
+        Format::Ndjson => Some(Box::new(engine.ndjson_source())),
     };
     // One session per file: the session's event counter and peak
     // statistics are cumulative across the documents it processes, and
@@ -106,7 +118,9 @@ fn main() -> ExitCode {
         let mut matches = 0usize;
         let mut sink = |m: Match| {
             matches += 1;
-            println!("{label}: element #{} @ bytes {}", m.ordinal, m.span);
+            if positions {
+                println!("{label}: element #{} @ bytes {}", m.ordinal, m.span);
+            }
         };
         let result = match source.as_mut() {
             None => session.run_reader_to(reader, &mut sink),
@@ -114,7 +128,9 @@ fn main() -> ExitCode {
         };
         match result {
             Ok(verdicts) => {
-                let matched = verdicts.any();
+                // NDJSON: any record's confirmed match counts; the
+                // verdicts only describe the stream's last record.
+                let matched = if ndjson { matches > 0 } else { verdicts.any() };
                 any_match |= matched;
                 match (matched, positions) {
                     (true, true) => println!("{label}: MATCH ({matches} selected)"),

@@ -135,7 +135,7 @@ pub mod prelude {
     };
     pub use fx_eval::{bool_eval, document_matches, full_eval};
     pub use fx_html::{parse_html, HtmlParser};
-    pub use fx_json::{parse_json, JsonParser};
+    pub use fx_json::{parse_json, JsonParser, NdjsonParser};
     pub use fx_lowerbounds::{depth_bound, disj_segments, frontier_bound, probe_fooling_set};
     pub use fx_server::{
         Delivery, DisseminationServer, ServerConfig, ServerHandle, ShardedHandle, ShardedServer,

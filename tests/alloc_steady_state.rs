@@ -339,4 +339,57 @@ fn interned_hot_path_allocates_nothing_per_element_in_steady_state() {
          over {steady} cycles)",
         after - before
     );
+
+    // --- Batched drain: `drive_batched` → `process_batch_to`. --------
+    // The engine's default hot path since events became batch-native:
+    // the parser fills its recycled `EventBatch` from reader chunks and
+    // the bank walks each batch in one call. After warm-up grows the
+    // batch arena, the io chunk, and the banks' scratch, a whole
+    // drive — thousands of events, several batch hand-offs — must not
+    // allocate at all: `clear()` retains arena capacity and
+    // `process_batch_to` hoists its scratch out of the event loop.
+    let queries: Vec<_> = ["/r/i[@a]", "/r/j"]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+    let mut bank = frontier_xpath::filter::MultiFilter::new(&queries).unwrap();
+    // One shared table so one parse feeds both banks.
+    let mut indexed = IndexedBank::new_with_symbols(&queries, Arc::clone(bank.symbols())).unwrap();
+    let mut parser = StreamingParser::with_symbols(Arc::clone(bank.symbols())).lookup_only();
+    // >BATCH_EVENTS events per document, so every drive spans several
+    // batch hand-offs.
+    let doc = format!("<r>{}</r>", r#"<i a="1">x</i><j/>"#.repeat(400));
+    let sink = &mut |_: frontier_xpath::filter::Match| {};
+    let mut batches = 0u64;
+    for _ in 0..4 {
+        parser.reset();
+        parser
+            .drive_batched(doc.as_bytes(), &mut |b| {
+                bank.process_batch_to(b, sink);
+                indexed.process_batch_to(b, sink);
+            })
+            .unwrap();
+    }
+    let before = allocations();
+    let drives = 32u64;
+    for _ in 0..drives {
+        parser.reset();
+        parser
+            .drive_batched(doc.as_bytes(), &mut |b| {
+                batches += 1;
+                bank.process_batch_to(b, sink);
+                indexed.process_batch_to(b, sink);
+            })
+            .unwrap();
+    }
+    let after = allocations();
+    assert!(batches > drives, "each drive spans several batches");
+    assert_eq!(
+        after - before,
+        0,
+        "batched drive (parse → EventBatch → bank batch walk) must not \
+         allocate in steady state ({} allocations over {drives} drives)",
+        after - before
+    );
+    assert_eq!(bank.results(), vec![Some(true), Some(true)]);
 }

@@ -1,0 +1,432 @@
+//! Batch ≡ per-event differential: `drive_batched` is pure
+//! control-transfer amortization, so across every frontend (XML, HTML,
+//! JSON, NDJSON) and every read-chunk geometry it must yield the
+//! identical event stream — same events, same spans — as the per-event
+//! drivers, and the banks' batch walkers
+//! (`MultiFilter::process_batch_to`, `IndexedBank::process_batch_to`,
+//! `StreamFilter::process_batch_to`) must produce identical verdicts,
+//! match streams, and space statistics to per-event dispatch —
+//! including when a decided bank short-circuits mid-batch.
+//!
+//! Case counts honor `FX_PROPTEST_CASES` (CI pins a small count; local
+//! runs omit it to crank coverage).
+
+use frontier_xpath::filter::{IndexedBank, MultiFilter, StreamFilter};
+use frontier_xpath::html::HtmlParser;
+use frontier_xpath::json::{JsonParser, NdjsonParser};
+use frontier_xpath::prelude::*;
+use frontier_xpath::workloads::{
+    html_soup_document, json_record, random_document, HtmlSoupConfig, JsonRecordsConfig,
+    RandomDocConfig,
+};
+use frontier_xpath::xml::{AttrBuf, EventBatch, Span as XSpan, StreamingParser, SymEvent, Symbols};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Read;
+use std::sync::Arc;
+
+fn fx_cases(default: u32) -> u32 {
+    std::env::var("FX_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A reader that hands out pseudo-random chunk sizes (1..=max), so the
+/// batched drivers see every flavor of token-straddling read boundary.
+struct ChunkyReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    rng: SmallRng,
+    max: usize,
+}
+
+impl<'a> ChunkyReader<'a> {
+    fn new(data: &'a [u8], seed: u64, max: usize) -> ChunkyReader<'a> {
+        ChunkyReader {
+            data,
+            pos: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            max: max.max(1),
+        }
+    }
+}
+
+impl Read for ChunkyReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let want = self.rng.gen_range(1..=self.max);
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Owned `(event, span)` stream of a batched drive, via replay.
+fn batched_stream(
+    source: &mut dyn EventSource,
+    symbols: &Arc<Symbols>,
+    data: &[u8],
+    chunk_seed: u64,
+) -> Vec<(Event, XSpan)> {
+    let mut out = Vec::new();
+    let mut scratch = AttrBuf::new();
+    source.reset();
+    source
+        .drive_batched(
+            &mut ChunkyReader::new(data, chunk_seed, 13),
+            &mut |batch: &EventBatch| {
+                batch.replay(&mut scratch, |ev, span| {
+                    out.push((ev.to_owned(symbols), span));
+                })
+            },
+        )
+        .unwrap();
+    out
+}
+
+/// XML per-event reference vs the batched drive, across chunk cuts.
+#[test]
+fn xml_batched_drive_matches_per_event_drive() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C);
+    let cfg = RandomDocConfig::default();
+    for case in 0..24u64 {
+        let xml = random_document(&mut rng, &cfg).to_xml();
+        let mut parser = StreamingParser::new();
+        let symbols = Arc::clone(parser.symbols());
+        let mut reference = Vec::new();
+        parser
+            .drive_reader(
+                ChunkyReader::new(xml.as_bytes(), case, 7),
+                &mut |ev: SymEvent<'_>, span| {
+                    reference.push((ev.to_owned(&symbols), span));
+                },
+            )
+            .unwrap();
+        for chunk_seed in [case, case + 1000] {
+            let got = batched_stream(&mut parser, &symbols, xml.as_bytes(), chunk_seed);
+            assert_eq!(got, reference, "xml case {case}, chunk seed {chunk_seed}");
+        }
+    }
+}
+
+/// HTML and JSON frontends: per-event `drive_reader` vs `drive_batched`.
+#[test]
+fn html_and_json_batched_drives_match_per_event() {
+    let mut rng = SmallRng::seed_from_u64(0x50FA);
+    for case in 0..16u64 {
+        let html = html_soup_document(&mut rng, &HtmlSoupConfig::default()).html;
+        let mut hp = HtmlParser::new();
+        let hsyms = Arc::clone(hp.symbols());
+        let mut reference = Vec::new();
+        hp.drive_reader(
+            ChunkyReader::new(html.as_bytes(), case, 5),
+            &mut |ev: SymEvent<'_>, span| {
+                reference.push((ev.to_owned(&hsyms), span));
+            },
+        )
+        .unwrap();
+        hp.reset();
+        let got = batched_stream(&mut hp, &hsyms, html.as_bytes(), case + 7);
+        assert_eq!(got, reference, "html case {case}");
+
+        let json = json_record(&mut rng, &JsonRecordsConfig::default()).json;
+        let mut jp = JsonParser::new();
+        let jsyms = Arc::clone(jp.symbols());
+        let mut reference = Vec::new();
+        jp.drive_reader(
+            ChunkyReader::new(json.as_bytes(), case, 5),
+            &mut |ev: SymEvent<'_>, span| {
+                reference.push((ev.to_owned(&jsyms), span));
+            },
+        )
+        .unwrap();
+        jp.reset();
+        let got = batched_stream(&mut jp, &jsyms, json.as_bytes(), case + 7);
+        assert_eq!(got, reference, "json case {case}");
+    }
+}
+
+/// NDJSON: the batched record-sequence drive equals the concatenation
+/// of per-record parses, at every chunk geometry (record boundaries
+/// land mid-chunk, chunk boundaries land mid-record).
+#[test]
+fn ndjson_batched_drive_matches_per_record_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0D5A);
+    let cfg = JsonRecordsConfig::default();
+    for case in 0..12u64 {
+        // The generator's messy whitespace can include raw newlines,
+        // which NDJSON framing forbids mid-record — flatten them to
+        // spaces (same byte count, same token stream).
+        let records: Vec<String> = (0..4)
+            .map(|_| json_record(&mut rng, &cfg).json.replace('\n', " "))
+            .collect();
+        let stream = records.join("\n") + "\n";
+        let mut reference = Vec::new();
+        for r in &records {
+            reference.extend(frontier_xpath::json::parse_json(r).unwrap());
+        }
+        let mut np = NdjsonParser::new();
+        let syms = Arc::clone(np.symbols());
+        let got: Vec<Event> = batched_stream(&mut np, &syms, stream.as_bytes(), case)
+            .into_iter()
+            .map(|(ev, _)| ev)
+            .collect();
+        assert_eq!(got, reference, "ndjson case {case}");
+    }
+}
+
+/// Queries over the `random_document` alphabet: a mix of
+/// early-true-deciding, early-false-deciding (root mismatch), and
+/// full-stream shapes.
+fn bank_queries() -> Vec<Query> {
+    [
+        "/a[b]",
+        "/a//x",
+        "//b[c]/d",
+        "/nomatch[z]", // decides FALSE at the first tag unless the root is `nomatch`
+        "//e",
+        "/b/c",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect()
+}
+
+/// Drives `xml` through a cloned pair of banks — one per-event, one
+/// batched — and demands identical verdicts, match streams, and
+/// per-filter statistics.
+fn assert_bank_parity(xml: &str, reporting: bool, chunk_seed: u64) {
+    let queries = bank_queries();
+    let bank = if reporting {
+        let symbols = Arc::new(Symbols::new());
+        let compiled: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                frontier_xpath::filter::CompiledQuery::compile_with(q, Arc::clone(&symbols))
+                    .unwrap()
+            })
+            .collect();
+        MultiFilter::from_compiled_reporting(compiled).unwrap()
+    } else {
+        MultiFilter::new(&queries).unwrap()
+    };
+    let mut per_event = bank.clone();
+    let mut batched = bank;
+
+    let mut parser = StreamingParser::with_symbols(Arc::clone(per_event.symbols())).lookup_only();
+    let mut ref_matches: Vec<Match> = Vec::new();
+    parser
+        .drive_reader(
+            ChunkyReader::new(xml.as_bytes(), chunk_seed, 11),
+            &mut |ev: SymEvent<'_>, span| {
+                per_event.process_sym_to(ev, span, &mut |m: Match| ref_matches.push(m));
+            },
+        )
+        .unwrap();
+
+    parser.reset();
+    let mut got_matches: Vec<Match> = Vec::new();
+    parser
+        .drive_batched(
+            ChunkyReader::new(xml.as_bytes(), chunk_seed + 1, 11),
+            &mut |batch| {
+                batched.process_batch_to(batch, &mut |m: Match| got_matches.push(m));
+            },
+        )
+        .unwrap();
+
+    assert_eq!(batched.results(), per_event.results(), "verdicts diverged");
+    assert_eq!(got_matches, ref_matches, "match streams diverged");
+    let ref_stats: Vec<(u64, u64)> = per_event
+        .stats()
+        .iter()
+        .map(|s| (s.events, s.max_bits))
+        .collect();
+    let got_stats: Vec<(u64, u64)> = batched
+        .stats()
+        .iter()
+        .map(|s| (s.events, s.max_bits))
+        .collect();
+    assert_eq!(got_stats, ref_stats, "space statistics diverged");
+    assert_eq!(
+        batched.peak_pending_positions(),
+        per_event.peak_pending_positions()
+    );
+}
+
+/// Same for the shared-prefix indexed bank.
+fn assert_indexed_parity(xml: &str, chunk_seed: u64) {
+    let queries = bank_queries();
+    let bank = IndexedBank::new_reporting(&queries).unwrap();
+    let mut per_event = bank.clone();
+    let mut batched = bank;
+
+    let mut parser = StreamingParser::with_symbols(Arc::clone(per_event.symbols())).lookup_only();
+    let mut ref_matches: Vec<Match> = Vec::new();
+    parser
+        .drive_reader(
+            ChunkyReader::new(xml.as_bytes(), chunk_seed, 9),
+            &mut |ev: SymEvent<'_>, span| {
+                per_event.process_sym_to(ev, span, &mut |m: Match| ref_matches.push(m));
+            },
+        )
+        .unwrap();
+
+    parser.reset();
+    let mut got_matches: Vec<Match> = Vec::new();
+    parser
+        .drive_batched(
+            ChunkyReader::new(xml.as_bytes(), chunk_seed + 1, 9),
+            &mut |batch| {
+                batched.process_batch_to(batch, &mut |m: Match| got_matches.push(m));
+            },
+        )
+        .unwrap();
+
+    assert_eq!(batched.results(), per_event.results());
+    assert_eq!(got_matches, ref_matches);
+    assert_eq!(batched.total_max_bits(), per_event.total_max_bits());
+}
+
+/// A bank that fully decides on the very first tag (every query's root
+/// step mismatches) must short-circuit the rest of the batch — and
+/// every later batch — with verdicts and statistics identical to the
+/// per-event path, which stops feeding filters event-by-event.
+#[test]
+fn decided_bank_short_circuits_mid_batch_with_identical_results() {
+    // >BATCH_EVENTS events so the document spans several batches.
+    let body = "<b><c>6</c></b>".repeat(800);
+    let xml = format!("<zzz>{body}</zzz>");
+    assert_bank_parity(&xml, false, 42);
+
+    // And a mid-document accept: every query decided TRUE early.
+    let queries: Vec<Query> = ["/r[a]", "/r[b]"]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect();
+    let bank = MultiFilter::new(&queries).unwrap();
+    let mut per_event = bank.clone();
+    let mut batched = bank;
+    let tail = "<c/>".repeat(3000);
+    let xml = format!("<r><a/><b/>{tail}</r>");
+
+    let mut parser = StreamingParser::with_symbols(Arc::clone(per_event.symbols())).lookup_only();
+    parser
+        .drive_reader(xml.as_bytes(), &mut |ev: SymEvent<'_>, span| {
+            per_event.process_sym_to(ev, span, &mut |_: Match| {});
+        })
+        .unwrap();
+    parser.reset();
+    parser
+        .drive_batched(xml.as_bytes(), &mut |batch| {
+            batched.process_batch_to(batch, &mut |_: Match| {});
+        })
+        .unwrap();
+    assert_eq!(batched.results(), vec![Some(true), Some(true)]);
+    assert_eq!(batched.results(), per_event.results());
+    let events: Vec<u64> = batched.stats().iter().map(|s| s.events).collect();
+    let ref_events: Vec<u64> = per_event.stats().iter().map(|s| s.events).collect();
+    assert_eq!(events, ref_events);
+    // The short circuit actually bit: filters saw far fewer events than
+    // the document carries.
+    assert!(events.iter().all(|&e| e < 100), "{events:?}");
+}
+
+/// The single-filter fused surface: `StreamFilter::process_batch_to`
+/// (one drain per batch) equals per-event processing with per-event
+/// drains — the outbox is FIFO, so even the match order is identical.
+#[test]
+fn single_filter_batch_drain_matches_per_event() {
+    let q = parse_query("//b").unwrap();
+    let compiled = frontier_xpath::filter::CompiledQuery::compile(&q).unwrap();
+    let symbols = Arc::clone(compiled.symbols());
+    let per_event = StreamFilter::from_compiled_reporting(compiled).unwrap();
+    let mut batched = per_event.clone();
+    let mut per_event = per_event;
+
+    let xml = format!("<a>{}</a>", "<b>6</b>".repeat(50));
+    let mut parser = StreamingParser::with_symbols(symbols).lookup_only();
+    let mut ref_matches: Vec<Match> = Vec::new();
+    parser
+        .drive_reader(xml.as_bytes(), &mut |ev: SymEvent<'_>, span| {
+            per_event.process_sym(ev, span);
+            per_event.drain_matches(0, &mut |m: Match| ref_matches.push(m));
+        })
+        .unwrap();
+
+    parser.reset();
+    let mut got_matches: Vec<Match> = Vec::new();
+    let mut scratch = AttrBuf::new();
+    parser
+        .drive_batched(xml.as_bytes(), &mut |batch| {
+            batched.process_batch_to(batch, &mut scratch, 0, &mut |m: Match| got_matches.push(m));
+        })
+        .unwrap();
+    assert_eq!(got_matches, ref_matches);
+    assert_eq!(batched.result(), per_event.result());
+    assert_eq!(batched.stats().events, per_event.stats().events);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fx_cases(32)))]
+
+    /// Random documents × random chunk geometries: the multi-filter
+    /// bank (filtering and reporting) and the indexed bank agree with
+    /// per-event dispatch on verdicts, matches, and statistics.
+    #[test]
+    fn bank_batch_parity_on_random_documents(seed in 0u64..1_000_000, chunk_seed in 0u64..1_000) {
+        let cfg = RandomDocConfig::default();
+        let xml = random_document(&mut SmallRng::seed_from_u64(seed), &cfg).to_xml();
+        assert_bank_parity(&xml, false, chunk_seed);
+        assert_bank_parity(&xml, true, chunk_seed);
+        assert_indexed_parity(&xml, chunk_seed);
+    }
+
+    /// Engine-level parity: `run_reader_to` (now batched inside) equals
+    /// hand-driven per-event evaluation on verdicts and match streams,
+    /// for both the multi-filter bank and the indexed bank.
+    #[test]
+    fn session_batched_path_matches_per_event_bank(seed in 0u64..1_000_000) {
+        let cfg = RandomDocConfig::default();
+        let xml = random_document(&mut SmallRng::seed_from_u64(seed), &cfg).to_xml();
+        let srcs = ["/a[b]", "//b[c]/d", "//e"];
+        let queries: Vec<Query> = srcs.iter().map(|s| parse_query(s).unwrap()).collect();
+
+        let engine = Engine::builder()
+            .queries(queries.iter().cloned())
+            .mode(Mode::Select)
+            .build()
+            .unwrap();
+        let mut sink = MatchCollector::new();
+        let verdicts = engine
+            .session()
+            .run_reader_to(ChunkyReader::new(xml.as_bytes(), seed, 13), &mut sink)
+            .unwrap();
+
+        let symbols = Arc::new(Symbols::new());
+        let compiled: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                frontier_xpath::filter::CompiledQuery::compile_with(q, Arc::clone(&symbols))
+                    .unwrap()
+            })
+            .collect();
+        let mut bank = MultiFilter::from_compiled_reporting(compiled).unwrap();
+        let mut parser = StreamingParser::with_symbols(Arc::clone(bank.symbols())).lookup_only();
+        let mut ref_matches: Vec<Match> = Vec::new();
+        parser
+            .drive_reader(xml.as_bytes(), &mut |ev: SymEvent<'_>, span| {
+                bank.process_sym_to(ev, span, &mut |m: Match| ref_matches.push(m));
+            })
+            .unwrap();
+
+        let ref_verdicts: Vec<bool> = bank.results().iter().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(verdicts.matched(), &ref_verdicts[..]);
+        prop_assert_eq!(sink.matches(), &ref_matches[..]);
+    }
+}

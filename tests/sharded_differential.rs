@@ -91,6 +91,41 @@ fn doc_sharded_filtering_matches_sequential_xmark() {
     }
 }
 
+/// Skewed document sizes: one document dwarfs the rest of the corpus,
+/// the shape the claim-halving work-stealing loop exists for — an early
+/// big claim must not strand the giant's neighbors on one thread, and
+/// whichever thread draws the giant, verdicts and ordering must still
+/// be exactly sequential. Small docs are heavily duplicated so claims
+/// start well above one document per grab.
+#[test]
+fn doc_sharded_skewed_sizes_match_sequential() {
+    let mut corpus = xmark_corpus(48, 1, 3);
+    // One giant (~20× the small docs) buried mid-corpus.
+    let giant = xmark_corpus(1, 24, 99).remove(0);
+    corpus.insert(17, giant);
+    let engine = Engine::builder()
+        .query_str("//item[price > 300]")
+        .query_str("/site/people/person[name]")
+        .query_str("//keyword")
+        .build()
+        .unwrap();
+    let reference: Vec<Vec<bool>> = corpus
+        .iter()
+        .map(|d| engine.run_reader(d.as_bytes()).unwrap().matched().to_vec())
+        .collect();
+    for &threads in THREAD_COUNTS {
+        let sharded = engine.run_sharded(&corpus, threads).unwrap();
+        assert_eq!(sharded.len(), corpus.len());
+        for (i, v) in sharded.iter().enumerate() {
+            assert_eq!(
+                v.matched(),
+                &reference[i][..],
+                "skewed doc {i} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
 /// Document sharding on a selection engine: full per-document match
 /// streams (ordinals + spans), keyed by the stable input order, must be
 /// identical at every thread count.
